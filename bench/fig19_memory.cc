@@ -1,0 +1,57 @@
+// Figure 19: maximum memory usage versus dataset size on DBLP excerpts,
+// query /dblp/inproceedings[author]/title/text(). The DOM engine grows
+// linearly with the input (the paper reports a 4-5x constant); the
+// streaming engines stay flat.
+//
+// The lazy-DFA engine cannot take the predicate; per the paper's own
+// footnote it runs /dblp/inproceedings/title/text() instead.
+#include <string>
+#include <vector>
+
+#include "datagen/generators.h"
+#include "fig_util.h"
+
+namespace xsq::bench {
+namespace {
+
+int Main() {
+  PrintHeader("Figure 19", "memory usage vs. DBLP dataset size");
+  const char* query = "/dblp/inproceedings[author]/title/text()";
+  const char* lazydfa_query = "/dblp/inproceedings/title/text()";
+
+  std::vector<size_t> sizes;
+  for (size_t mb = 2; mb <= 10; mb += 2) {
+    sizes.push_back(ScaledBytes(mb << 20));
+  }
+  const System systems[] = {System::kXsqNc, System::kXsqF, System::kLazyDfa,
+                            System::kDom,   System::kNaive,
+                            System::kTextIndex};
+
+  TablePrinter table({"Input", "XSQ-NC", "XSQ-F", "LazyDFA(XMLTK)*",
+                      "DOM(Saxon)", "Subtree(Joost)", "TextIndex**"});
+  for (size_t size : sizes) {
+    const std::string xml = datagen::GenerateDblp(size, 1);
+    std::vector<std::string> row = {FormatBytes(xml.size())};
+    for (System system : systems) {
+      const char* q = system == System::kLazyDfa ? lazydfa_query : query;
+      Result<RunMeasurement> m = RunSystem(system, q, xml);
+      if (!m.ok()) return 1;
+      row.push_back(m->supported ? FormatBytes(m->peak_memory_bytes) : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\n* LazyDFA runs the predicate-free variant (paper footnote 1).\n"
+      "** TextIndex(XQEngine) supports only 32K elements per document\n"
+      "   (paper footnote 2), so DBLP excerpts exceed it.\n"
+      "Paper shape check (Fig. 19): DOM memory is linear in input size\n"
+      "with a multi-x constant; every streaming engine's buffer stays\n"
+      "flat (bytes, not megabytes) as the input grows 5x.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xsq::bench
+
+int main() { return xsq::bench::Main(); }

@@ -1,0 +1,59 @@
+// Figure 21: effect of data ordering on throughput. The ToXgene
+// template produces <a id="k"><prior/>...10,000 fillers...<posterior/>
+// </a> records; the three queries all return the empty set but decide
+// it at different points of each record:
+//
+//   /data/a[@id=0]       decided at the begin event: skip everything
+//   /data/a[prior=0]     decided... never early: buffering until </a>
+//   /data/a[posterior=0] likewise buffered until the end of <a>
+//
+// (The paper writes /a[...]; our document wraps records in a <data>
+// root, hence the /data prefix - same semantics.)
+#include <string>
+
+#include "datagen/generators.h"
+#include "fig_util.h"
+
+namespace xsq::bench {
+namespace {
+
+int Main() {
+  PrintHeader("Figure 21", "effect of data ordering on throughput");
+  const std::string xml =
+      datagen::GenerateOrderingDataset(ScaledBytes(10u << 20), 10000);
+  Result<RunMeasurement> pure = RunBest(System::kPureParser, "", xml);
+  if (!pure.ok()) return 1;
+
+  const char* queries[] = {"/data/a[prior=0]", "/data/a[posterior=0]",
+                           "/data/a[@id=0]"};
+  const System systems[] = {System::kXsqNc, System::kXsqF, System::kDom};
+
+  for (System system : systems) {
+    std::printf("\n%s\n", SystemName(system));
+    TablePrinter table({"Query", "Rel. throughput", "", "Peak buffer"});
+    for (const char* query : queries) {
+      Result<RunMeasurement> m = RunBest(system, query, xml);
+      if (!m.ok()) return 1;
+      if (!m->supported) {
+        table.AddRow({query, "(cannot handle the query)", "", ""});
+        continue;
+      }
+      double rel = RelativeThroughput(*m, *pure);
+      table.AddRow({query, FormatDouble(rel, 2), Bar(rel),
+                    FormatBytes(m->peak_memory_bytes)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nPaper shape check (Fig. 21): XSQ-NC is markedly faster on\n"
+      "[@id=0] (it can skip each <a> at its begin event) than on the\n"
+      "two buffering queries; XSQ-F is less order-sensitive because it\n"
+      "runs the same queue machinery either way; the DOM engine is\n"
+      "insensitive to ordering since it evaluates in memory.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xsq::bench
+
+int main() { return xsq::bench::Main(); }

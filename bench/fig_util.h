@@ -1,0 +1,58 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary regenerates one table/figure of the paper's Section 6 on
+// synthetic corpora (see DESIGN.md for the experiment index). Corpus
+// sizes default to a few MB so the whole suite runs in seconds; set
+// XSQ_BENCH_SCALE=N to scale all inputs by N (e.g. 16 approximates the
+// paper's dataset sizes).
+#ifndef XSQ_BENCH_FIG_UTIL_H_
+#define XSQ_BENCH_FIG_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util/runner.h"
+#include "bench_util/table.h"
+
+namespace xsq::bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("XSQ_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+inline size_t ScaledBytes(size_t base) {
+  return static_cast<size_t>(static_cast<double>(base) * BenchScale());
+}
+
+// Runs `reps` times and keeps the fastest run (steadier numbers for
+// small corpora).
+inline Result<RunMeasurement> RunBest(System system,
+                                      std::string_view query_text,
+                                      std::string_view xml, int reps = 3) {
+  Result<RunMeasurement> best = RunSystem(system, query_text, xml);
+  if (!best.ok() || !best->supported) return best;
+  for (int i = 1; i < reps; ++i) {
+    Result<RunMeasurement> next = RunSystem(system, query_text, xml);
+    if (next.ok() && next->supported &&
+        next->total_seconds() < best->total_seconds()) {
+      best = next;
+    }
+  }
+  return best;
+}
+
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("==================================================\n");
+  std::printf("%s: %s\n", figure, description);
+  std::printf("(scale=%.2g; set XSQ_BENCH_SCALE to resize corpora)\n",
+              BenchScale());
+  std::printf("==================================================\n");
+}
+
+}  // namespace xsq::bench
+
+#endif  // XSQ_BENCH_FIG_UTIL_H_

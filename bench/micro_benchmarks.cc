@@ -1,0 +1,273 @@
+// Micro-benchmarks (google-benchmark) for the individual components:
+// SAX parsing, query compilation, HPDT construction, per-event engine
+// cost, and the ablation the paper discusses in Section 6.2 - the price
+// of nondeterminism (XSQ-F vs XSQ-NC on the same closure-free query)
+// and of closure depth.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "core/engine_nc.h"
+#include "core/hpdt.h"
+#include "core/result_sink.h"
+#include "datagen/generators.h"
+#include "dom/builder.h"
+#include "dom/evaluator.h"
+#include "dtd/dtd.h"
+#include "dtd/validator.h"
+#include "filter/filter_engine.h"
+#include "lazydfa/lazy_dfa_engine.h"
+#include "textindex/text_index_engine.h"
+#include "xml/sax_parser.h"
+#include "xpath/ast.h"
+#include "xsm/xsm_engine.h"
+
+namespace xsq {
+namespace {
+
+class NullHandler : public xml::SaxHandler {
+ public:
+  void OnBegin(std::string_view, const std::vector<xml::Attribute>&,
+               int) override {}
+  void OnEnd(std::string_view, int) override {}
+  void OnText(std::string_view, std::string_view, int) override {}
+};
+
+const std::string& DblpCorpus() {
+  static const std::string* corpus =
+      new std::string(datagen::GenerateDblp(2u << 20, 1));
+  return *corpus;
+}
+
+const std::string& RecursiveCorpus() {
+  static const std::string* corpus =
+      new std::string(datagen::GenerateRecursivePubs(2u << 20, 7));
+  return *corpus;
+}
+
+void ReportThroughput(benchmark::State& state, size_t bytes_per_iter) {
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * bytes_per_iter));
+}
+
+void BM_SaxParse(benchmark::State& state) {
+  const std::string& xml = DblpCorpus();
+  for (auto _ : state) {
+    NullHandler handler;
+    xml::SaxParser parser(&handler);
+    Status status = parser.Parse(xml);
+    benchmark::DoNotOptimize(status);
+  }
+  ReportThroughput(state, xml.size());
+}
+BENCHMARK(BM_SaxParse);
+
+void BM_SaxParseChunked(benchmark::State& state) {
+  const std::string& xml = DblpCorpus();
+  const size_t chunk = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    NullHandler handler;
+    xml::SaxParser parser(&handler);
+    for (size_t pos = 0; pos < xml.size(); pos += chunk) {
+      Status status = parser.Feed(
+          std::string_view(xml).substr(pos, chunk));
+      benchmark::DoNotOptimize(status);
+    }
+    benchmark::DoNotOptimize(parser.Finish());
+  }
+  ReportThroughput(state, xml.size());
+}
+BENCHMARK(BM_SaxParseChunked)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_QueryCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    auto query =
+        xpath::ParseQuery("//pub[year>2000]//book[author]//name/text()");
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_QueryCompile);
+
+void BM_HpdtBuild(benchmark::State& state) {
+  // HPDT size doubles per delayed predicate; range(0) = predicate count.
+  std::string text;
+  for (int i = 0; i < state.range(0); ++i) text += "/a[b]";
+  text += "/text()";
+  auto query = xpath::ParseQuery(text);
+  for (auto _ : state) {
+    auto hpdt = core::Hpdt::Build(*query);
+    benchmark::DoNotOptimize(hpdt);
+  }
+  auto hpdt = core::Hpdt::Build(*query);
+  state.counters["bpdts"] = static_cast<double>((*hpdt)->bpdt_count());
+}
+BENCHMARK(BM_HpdtBuild)->Arg(2)->Arg(6)->Arg(10);
+
+template <typename Engine>
+void RunEngine(benchmark::State& state, const char* query_text,
+               const std::string& xml) {
+  auto query = xpath::ParseQuery(query_text);
+  core::CountingSink sink;
+  auto engine = Engine::Create(*query, &sink);
+  if (!engine.ok()) {
+    state.SkipWithError(engine.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    xml::SaxParser parser(engine->get());
+    Status status = parser.Parse(xml);
+    benchmark::DoNotOptimize(status);
+  }
+  ReportThroughput(state, xml.size());
+}
+
+// Ablation: the cost of nondeterminism. Identical closure-free query,
+// identical input; the only difference is the engine machinery.
+void BM_XsqNc_ClosureFree(benchmark::State& state) {
+  RunEngine<core::XsqNcEngine>(
+      state, "/dblp/inproceedings[author]/title/text()", DblpCorpus());
+}
+BENCHMARK(BM_XsqNc_ClosureFree);
+
+void BM_XsqF_ClosureFree(benchmark::State& state) {
+  RunEngine<core::XsqEngine>(
+      state, "/dblp/inproceedings[author]/title/text()", DblpCorpus());
+}
+BENCHMARK(BM_XsqF_ClosureFree);
+
+void BM_LazyDfa_PredicateFree(benchmark::State& state) {
+  RunEngine<lazydfa::LazyDfaEngine>(
+      state, "/dblp/inproceedings/title/text()", DblpCorpus());
+}
+BENCHMARK(BM_LazyDfa_PredicateFree);
+
+// Ablation: closure depth on recursive data - each extra '//' step
+// multiplies the live match chains.
+void BM_XsqF_ClosureDepth(benchmark::State& state) {
+  std::string query;
+  for (int i = 0; i < state.range(0); ++i) query += "//pub";
+  query += "//book/title/text()";
+  RunEngine<core::XsqEngine>(state, query.c_str(), RecursiveCorpus());
+}
+BENCHMARK(BM_XsqF_ClosureDepth)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_XsqF_RecursiveClosurePredicates(benchmark::State& state) {
+  RunEngine<core::XsqEngine>(
+      state, "//pub[year]//book[@id]/title/text()", RecursiveCorpus());
+}
+BENCHMARK(BM_XsqF_RecursiveClosurePredicates);
+
+void BM_DomBuild(benchmark::State& state) {
+  const std::string& xml = DblpCorpus();
+  for (auto _ : state) {
+    auto doc = dom::BuildFromString(xml);
+    benchmark::DoNotOptimize(doc);
+  }
+  ReportThroughput(state, xml.size());
+}
+BENCHMARK(BM_DomBuild);
+
+void BM_DomEvaluate(benchmark::State& state) {
+  auto doc = dom::BuildFromString(DblpCorpus());
+  auto query = xpath::ParseQuery("/dblp/inproceedings[author]/title/text()");
+  for (auto _ : state) {
+    auto result = dom::Evaluate(*doc, *query);
+    benchmark::DoNotOptimize(result);
+  }
+  ReportThroughput(state, DblpCorpus().size());
+}
+BENCHMARK(BM_DomEvaluate);
+
+// Aggregation path: stat-buffer updates instead of item emission.
+void BM_XsqF_Aggregation(benchmark::State& state) {
+  RunEngine<core::XsqEngine>(state, "//book/price/sum()",
+                             RecursiveCorpus());
+}
+BENCHMARK(BM_XsqF_Aggregation);
+
+// Union ablation: one union branch vs two, same matched set.
+void BM_XsqF_SingleBranch(benchmark::State& state) {
+  RunEngine<core::XsqEngine>(state, "/dblp/article/title/text()",
+                             DblpCorpus());
+}
+BENCHMARK(BM_XsqF_SingleBranch);
+
+void BM_XsqF_UnionTwoBranches(benchmark::State& state) {
+  RunEngine<core::XsqEngine>(
+      state, "/dblp/article/title/text() | /dblp/inproceedings/title/text()",
+      DblpCorpus());
+}
+BENCHMARK(BM_XsqF_UnionTwoBranches);
+
+// XSM chained-transducer throughput for the Section 5 comparison.
+void BM_Xsm_ClosureFree(benchmark::State& state) {
+  RunEngine<xsm::XsmEngine>(
+      state, "/dblp/inproceedings[author]/title/text()", DblpCorpus());
+}
+BENCHMARK(BM_Xsm_ClosureFree);
+
+// Streaming DTD validation throughput (pushdown validator).
+void BM_DtdValidation(benchmark::State& state) {
+  static const char* kDblpDtd =
+      "<!ELEMENT dblp (article|inproceedings)*>"
+      "<!ELEMENT article (author*,title,year,journal,pages)>"
+      "<!ELEMENT inproceedings (author*,title,year,booktitle,pages)>"
+      "<!ATTLIST article key CDATA #REQUIRED>"
+      "<!ATTLIST inproceedings key CDATA #REQUIRED>"
+      "<!ELEMENT author (#PCDATA)><!ELEMENT title (#PCDATA)>"
+      "<!ELEMENT year (#PCDATA)><!ELEMENT journal (#PCDATA)>"
+      "<!ELEMENT booktitle (#PCDATA)><!ELEMENT pages (#PCDATA)>";
+  auto dtd = dtd::Dtd::Parse(kDblpDtd);
+  if (!dtd.ok()) {
+    state.SkipWithError(dtd.status().ToString().c_str());
+    return;
+  }
+  const std::string& xml = DblpCorpus();
+  for (auto _ : state) {
+    Status status = dtd::ValidateDocument(*dtd, xml, "dblp");
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+  ReportThroughput(state, xml.size());
+}
+BENCHMARK(BM_DtdValidation);
+
+// Shared-NFA filtering cost per document, by subscription count.
+void BM_FilterDocument(benchmark::State& state) {
+  filter::FilterEngine engine;
+  for (int i = 0; i < state.range(0); ++i) {
+    std::string query = i % 2 == 0 ? "/dblp/article/title" : "//author";
+    query += "";  // queries repeat; sharing collapses them
+    if (!engine.AddQuery(query).ok()) {
+      state.SkipWithError("AddQuery failed");
+      return;
+    }
+  }
+  const std::string doc = datagen::GenerateDblp(2000, 1);
+  for (auto _ : state) {
+    auto matched = engine.FilterDocument(doc);
+    benchmark::DoNotOptimize(matched);
+  }
+  ReportThroughput(state, doc.size());
+}
+BENCHMARK(BM_FilterDocument)->Arg(8)->Arg(128);
+
+// Full-text index construction (the XQEngine preprocessing phase).
+void BM_TextIndexBuild(benchmark::State& state) {
+  const std::string xml = datagen::GenerateShake(1u << 20, 1);
+  for (auto _ : state) {
+    auto engine = textindex::TextIndexEngine::Build(xml);
+    benchmark::DoNotOptimize(engine);
+  }
+  ReportThroughput(state, xml.size());
+}
+BENCHMARK(BM_TextIndexBuild);
+
+}  // namespace
+}  // namespace xsq
+
+BENCHMARK_MAIN();

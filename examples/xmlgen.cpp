@@ -1,0 +1,67 @@
+// xmlgen: generates the synthetic corpora used by the benchmark suite,
+// so experiments can also be driven by hand with xsq_cli:
+//
+//   ./xmlgen shake 8 > shake.xml
+//   ./xsq_cli --stats QUERY shake.xml
+//   (e.g. QUERY = /PLAY/ACT/SCENE/SPEECH[LINE%love]/SPEAKER/text())
+//
+// Usage: xmlgen CORPUS [SIZE_MB] [SEED]
+//   CORPUS: shake | nasa | dblp | psd | recursive | ordering | colors
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datagen/generators.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: xmlgen shake|nasa|dblp|psd|recursive|ordering|colors "
+               "[SIZE_MB] [SEED]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string corpus = argv[1];
+  const double size_mb = argc > 2 ? std::atof(argv[2]) : 4.0;
+  const uint64_t seed =
+      argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 2003;
+  if (size_mb <= 0) return Usage();
+  const size_t bytes = static_cast<size_t>(size_mb * 1024.0 * 1024.0);
+
+  std::string xml;
+  if (corpus == "shake") {
+    xml = xsq::datagen::GenerateShake(bytes, seed);
+  } else if (corpus == "nasa") {
+    xml = xsq::datagen::GenerateNasa(bytes, seed);
+  } else if (corpus == "dblp") {
+    xml = xsq::datagen::GenerateDblp(bytes, seed);
+  } else if (corpus == "psd") {
+    xml = xsq::datagen::GeneratePsd(bytes, seed);
+  } else if (corpus == "recursive") {
+    xml = xsq::datagen::GenerateRecursivePubs(bytes, seed);
+  } else if (corpus == "ordering") {
+    xml = xsq::datagen::GenerateOrderingDataset(bytes, 10000);
+  } else if (corpus == "colors") {
+    xml = xsq::datagen::GenerateColorDataset(bytes, seed);
+  } else {
+    return Usage();
+  }
+
+  std::fwrite(xml.data(), 1, xml.size(), stdout);
+
+  xsq::Result<xsq::datagen::DatasetStats> stats =
+      xsq::datagen::ComputeStats(xml);
+  if (stats.ok()) {
+    std::fprintf(stderr,
+                 "# %s: %zu bytes, %zu elements, avg depth %.2f, "
+                 "max depth %d, text %zu bytes\n",
+                 corpus.c_str(), stats->bytes, stats->element_count,
+                 stats->avg_depth, stats->max_depth, stats->text_bytes);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Plain-text table and bar-chart rendering for the benchmark binaries,
+// which print each of the paper's figures as rows/series on stdout.
+#ifndef XSQ_BENCH_UTIL_TABLE_H_
+#define XSQ_BENCH_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xsq::bench {
+
+// Fixed-width column table with a header row.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  // Renders to a string (header, separator, rows).
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "#####----- 0.52"-style horizontal bar for relative-throughput plots.
+std::string Bar(double fraction, int width = 30);
+
+std::string FormatDouble(double value, int precision = 2);
+std::string FormatBytes(size_t bytes);
+
+}  // namespace xsq::bench
+
+#endif  // XSQ_BENCH_UTIL_TABLE_H_

@@ -1,0 +1,48 @@
+// Deterministic memory accounting used to reproduce the paper's memory
+// figures (Figures 19 and 20) without depending on OS/JVM reporting.
+//
+// Engines report logical buffered/materialized bytes through a
+// MemoryTracker; the benchmark harness reads the peak. This measures the
+// quantity the paper studies: how much of the stream a processor must
+// retain (buffers for streaming engines, the whole tree for DOM engines).
+#ifndef XSQ_COMMON_MEMORY_TRACKER_H_
+#define XSQ_COMMON_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xsq {
+
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+
+  // Not copyable: trackers are identity objects shared by reference.
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  void Add(size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  void Release(size_t bytes) {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+  size_t current_bytes() const { return current_; }
+  size_t peak_bytes() const { return peak_; }
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+}  // namespace xsq
+
+#endif  // XSQ_COMMON_MEMORY_TRACKER_H_

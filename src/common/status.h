@@ -1,0 +1,129 @@
+// Status and Result<T>: exception-free error handling in the style of
+// RocksDB's Status / Arrow's Result. All fallible public APIs in XSQ++
+// return one of these types.
+#ifndef XSQ_COMMON_STATUS_H_
+#define XSQ_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xsq {
+
+// Broad error categories. Kept deliberately small; detail lives in the
+// human-readable message (with line/column for parse errors).
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed (e.g. bad query)
+  kParseError,        // malformed XML / XPath input
+  kNotSupported,      // feature outside the implemented XPath subset
+  kOutOfRange,        // index/size violation
+  kInternal,          // invariant violation inside the library
+};
+
+// Returns a stable human-readable name such as "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type describing the outcome of an operation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "ParseError: unexpected '<' at line 3, column 7".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}       // NOLINT
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(value_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagates a non-OK status to the caller.
+#define XSQ_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::xsq::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+// Evaluates a Result<T> expression, propagating errors, else binds `lhs`.
+#define XSQ_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto XSQ_CONCAT_(_res, __LINE__) = (expr); \
+  if (!XSQ_CONCAT_(_res, __LINE__).ok())     \
+    return XSQ_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(XSQ_CONCAT_(_res, __LINE__)).value()
+
+#define XSQ_CONCAT_IMPL_(a, b) a##b
+#define XSQ_CONCAT_(a, b) XSQ_CONCAT_IMPL_(a, b)
+
+}  // namespace xsq
+
+#endif  // XSQ_COMMON_STATUS_H_

@@ -1,0 +1,92 @@
+#include "common/strings.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace xsq {
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && IsXmlWhitespace(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && IsXmlWhitespace(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::optional<double> ParseNumber(std::string_view s) {
+  std::string_view t = TrimWhitespace(s);
+  if (t.empty() || t.size() > 63) return std::nullopt;
+  char buf[64];
+  std::memcpy(buf, t.data(), t.size());
+  buf[t.size()] = '\0';
+  char* end = nullptr;
+  double value = std::strtod(buf, &end);
+  if (end != buf + t.size()) return std::nullopt;
+  if (std::isnan(value)) return std::nullopt;
+  return value;
+}
+
+bool Contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string FormatNumber(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "Infinity" : "-Infinity";
+  double integral_part;
+  if (std::modf(value, &integral_part) == 0.0 &&
+      std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+std::string XmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace xsq

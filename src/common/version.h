@@ -1,0 +1,15 @@
+// Library version, following the paper-era release numbering (the
+// original XSQ shipped as 1.0).
+#ifndef XSQ_COMMON_VERSION_H_
+#define XSQ_COMMON_VERSION_H_
+
+namespace xsq {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr char kVersionString[] = "1.0.0";
+
+}  // namespace xsq
+
+#endif  // XSQ_COMMON_VERSION_H_

@@ -1,0 +1,210 @@
+#include "core/hpdt.h"
+
+#include <deque>
+
+namespace xsq::core {
+
+namespace {
+
+// One predicate can be decided at the begin event iff it only inspects
+// the element's own attributes.
+bool PredicateDecidedAtBegin(const xpath::Predicate& predicate) {
+  return predicate.kind == xpath::PredicateKind::kAttribute;
+}
+
+std::string ComparisonSuffix(const xpath::Predicate& p) {
+  if (!p.has_comparison) return "";
+  return std::string(xpath::CompareOpName(p.op)) + p.literal;
+}
+
+}  // namespace
+
+bool StepDecidedAtBegin(const xpath::LocationStep& step) {
+  for (const xpath::Predicate& predicate : step.predicates) {
+    if (!PredicateDecidedAtBegin(predicate)) return false;
+  }
+  return true;
+}
+
+std::string Bpdt::Name() const {
+  return "bpdt(" + std::to_string(layer) + "," + std::to_string(position) +
+         ")";
+}
+
+Bpdt* Hpdt::AddBpdt(int layer, uint64_t position, Bpdt* parent,
+                    bool via_true) {
+  auto bpdt = std::make_unique<Bpdt>();
+  bpdt->layer = layer;
+  bpdt->position = position;
+  bpdt->parent = parent;
+  if (layer > 0) {
+    bpdt->step = &query_.steps[static_cast<size_t>(layer) - 1];
+    bpdt->has_na_state = !StepDecidedAtBegin(*bpdt->step);
+  }
+  if (parent == nullptr) {
+    bpdt->on_true_spine = true;
+  } else {
+    bpdt->on_true_spine = via_true && parent->on_true_spine;
+    if (via_true) {
+      parent->left = bpdt.get();
+    } else {
+      parent->right = bpdt.get();
+    }
+  }
+  GenerateTemplateStates(bpdt.get());
+  bpdts_.push_back(std::move(bpdt));
+  return bpdts_.back().get();
+}
+
+void Hpdt::GenerateTemplateStates(Bpdt* bpdt) {
+  auto state = [&]() { return next_state_id_++; };
+  auto arc = [&](int from, int to, std::string label, std::string guard = "",
+                 std::string ops = "") {
+    bpdt->arcs.push_back(
+        {from, to, std::move(label), std::move(guard), std::move(ops)});
+  };
+
+  if (bpdt->step == nullptr) {
+    // Root BPDT (Figure 12): consumes the document root.
+    bpdt->start_state = state();
+    bpdt->true_state = state();
+    arc(bpdt->start_state, bpdt->true_state, "<root>");
+    arc(bpdt->true_state, bpdt->start_state, "</root>");
+    return;
+  }
+
+  const xpath::LocationStep& step = *bpdt->step;
+  const std::string tag = step.node_test;
+  bpdt->start_state = state();
+  bpdt->true_state = state();
+  if (bpdt->has_na_state) bpdt->na_state = state();
+
+  if (step.axis == xpath::Axis::kClosure) {
+    // Closure self-transition on the START state (Section 4.2): the
+    // begin arcs below then accept the tag at any depth.
+    arc(bpdt->start_state, bpdt->start_state, "//");
+  }
+
+  const std::string flush_or_upload =
+      bpdt->on_true_spine ? "{queue.flush()}" : "{queue.upload()}";
+
+  if (!bpdt->has_na_state) {
+    // Templates decided at begin: plain step or attribute predicate
+    // (Figure 5). A failing attribute comparison simply has no arc.
+    std::string guard;
+    for (const xpath::Predicate& p : step.predicates) {
+      guard += "[@" + p.attribute + ComparisonSuffix(p) + "]";
+    }
+    arc(bpdt->start_state, bpdt->true_state, "<" + tag + ">", guard);
+    arc(bpdt->true_state, bpdt->start_state, "</" + tag + ">");
+    return;
+  }
+
+  // Templates with an NA state (Figures 6-9). When the step carries
+  // several delayed predicates (an extension of the paper's grammar),
+  // the NA->TRUE transition fires once the conjunction is complete; the
+  // arcs listed here describe each predicate's deciding event.
+  arc(bpdt->start_state, bpdt->na_state, "<" + tag + ">");
+  arc(bpdt->na_state, bpdt->start_state, "</" + tag + ">", "",
+      "{queue.clear()}");
+  arc(bpdt->true_state, bpdt->start_state, "</" + tag + ">");
+  for (const xpath::Predicate& p : step.predicates) {
+    switch (p.kind) {
+      case xpath::PredicateKind::kAttribute:
+        // Decided at begin: folded into the entry arc.
+        bpdt->arcs[bpdt->arcs.size() - 3].guard +=
+            "[@" + p.attribute + ComparisonSuffix(p) + "]";
+        break;
+      case xpath::PredicateKind::kText:
+        arc(bpdt->na_state, bpdt->true_state, "<" + tag + ".text()>",
+            "[text()" + (p.has_comparison ? ComparisonSuffix(p) : "") + "]",
+            flush_or_upload);
+        break;
+      case xpath::PredicateKind::kChild:
+        arc(bpdt->na_state, bpdt->true_state, "<" + p.child_tag + ">", "",
+            flush_or_upload);
+        break;
+      case xpath::PredicateKind::kChildAttribute:
+        arc(bpdt->na_state, bpdt->true_state, "<" + p.child_tag + ">",
+            "[@" + p.attribute + ComparisonSuffix(p) + "]", flush_or_upload);
+        break;
+      case xpath::PredicateKind::kChildText:
+        arc(bpdt->na_state, bpdt->true_state,
+            "<" + p.child_tag + ".text()>", "[text()" + ComparisonSuffix(p) +
+            "]", flush_or_upload);
+        break;
+    }
+  }
+}
+
+Result<std::unique_ptr<Hpdt>> Hpdt::Build(const xpath::Query& query) {
+  if (query.steps.empty()) {
+    return Status::InvalidArgument("query has no location steps");
+  }
+  if (query.steps.size() > 32) {
+    return Status::NotSupported(
+        "queries with more than 32 location steps are not supported");
+  }
+  auto hpdt = std::unique_ptr<Hpdt>(new Hpdt(query));
+
+  // Breadth-first construction, mirroring Section 4.2: for each BPDT of
+  // the previous layer, a left child off its TRUE state and, if it has
+  // an NA state, a right child off that.
+  Bpdt* root = hpdt->AddBpdt(0, 0, nullptr, /*via_true=*/false);
+  std::deque<Bpdt*> frontier = {root};
+  const int layers = hpdt->num_layers();
+  for (int layer = 1; layer <= layers; ++layer) {
+    std::deque<Bpdt*> next;
+    for (Bpdt* parent : frontier) {
+      Bpdt* left = hpdt->AddBpdt(layer, 2 * parent->position + 1, parent,
+                                 /*via_true=*/true);
+      next.push_back(left);
+      if (parent->has_na_state) {
+        Bpdt* right = hpdt->AddBpdt(layer, 2 * parent->position, parent,
+                                    /*via_true=*/false);
+        next.push_back(right);
+      }
+      if (hpdt->bpdt_count() > 100000) {
+        return Status::NotSupported(
+            "HPDT would exceed 100000 BPDTs; simplify the query");
+      }
+    }
+    frontier = std::move(next);
+  }
+  return hpdt;
+}
+
+std::string Hpdt::DebugString() const {
+  std::string out = "HPDT for query: " + query_.ToString() + "\n";
+  out += "  layers=" + std::to_string(num_layers()) +
+         " bpdts=" + std::to_string(bpdt_count()) +
+         " states=" + std::to_string(state_count()) + "\n";
+  for (const auto& bpdt : bpdts_) {
+    out += bpdt->Name();
+    if (bpdt->step != nullptr) {
+      out += "  step=" + bpdt->step->ToString();
+    } else {
+      out += "  (root)";
+    }
+    if (bpdt->on_true_spine) out += "  [true-spine]";
+    out += "\n";
+    out += "    states: START=$" + std::to_string(bpdt->start_state) +
+           " TRUE=$" + std::to_string(bpdt->true_state);
+    if (bpdt->na_state >= 0) out += " NA=$" + std::to_string(bpdt->na_state);
+    if (bpdt->parent != nullptr) {
+      out += "  parent=" + bpdt->parent->Name();
+      out += bpdt->parent->left == bpdt.get() ? " (via TRUE)" : " (via NA)";
+    }
+    out += "\n";
+    for (const BpdtArc& arc : bpdt->arcs) {
+      out += "    $" + std::to_string(arc.from) + " -> $" +
+             std::to_string(arc.to) + "  " + arc.label;
+      if (!arc.guard.empty()) out += " " + arc.guard;
+      if (!arc.ops.empty()) out += " " + arc.ops;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace xsq::core

@@ -1,0 +1,113 @@
+// Hierarchical pushdown transducer (paper Section 4).
+//
+// Each location step of the query is compiled into a BPDT from the
+// template matching its predicate category (Figures 5-9; Figure 12 for
+// the root). BPDTs are then composed into a binary tree: for a BPDT b at
+// (layer, k), its left child (layer+1, 2k+1) hangs off b's TRUE state and
+// its right child (layer+1, 2k) hangs off b's NA state (absent when the
+// step's predicate is decided immediately at the begin event). The
+// position of a BPDT therefore encodes exactly which predicates are
+// already known true when the run is inside it: bit i of k is 1 iff the
+// i-th predicate is TRUE (Section 4.2).
+//
+// The runtime (engine.cc) walks this tree; the explicit per-template
+// state/arc listing is also materialized so the HPDT can be printed in
+// the style of the paper's Figure 11 (see DebugString and the xsq_cli
+// example's --explain flag).
+#ifndef XSQ_CORE_HPDT_H_
+#define XSQ_CORE_HPDT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xsq::core {
+
+// One transition arc of a BPDT, materialized for inspection.
+struct BpdtArc {
+  int from;           // global state id
+  int to;             // global state id
+  std::string label;  // e.g. "<tag>", "</tag>", "<child.text()>", "//"
+  std::string guard;  // e.g. "[text()>2000]", empty if none
+  std::string ops;    // e.g. "{queue.flush()}", empty if none
+};
+
+// A basic pushdown transducer for one location step.
+struct Bpdt {
+  int layer = 0;          // 0 is the root BPDT; step i maps to layer i
+  uint64_t position = 0;  // k within the layer (paper numbering)
+  const xpath::LocationStep* step = nullptr;  // null for the root BPDT
+
+  Bpdt* parent = nullptr;
+  Bpdt* left = nullptr;   // entered from this BPDT's TRUE state
+  Bpdt* right = nullptr;  // entered from this BPDT's NA state
+
+  // True when the step's predicates cannot all be decided at the begin
+  // event (i.e. the template has an NA state).
+  bool has_na_state = false;
+
+  // True when every ancestor was entered through a TRUE state, i.e.
+  // position == 2^layer - 1. Buffers of such BPDTs flush straight to the
+  // output; all others upload to an ancestor (Section 4.2).
+  bool on_true_spine = false;
+
+  // Global state ids of the template's distinguished states (-1 absent).
+  int start_state = -1;
+  int true_state = -1;
+  int na_state = -1;
+
+  std::vector<BpdtArc> arcs;
+
+  std::string Name() const;  // "bpdt(2,3)"
+};
+
+class Hpdt {
+ public:
+  // Compiles a parsed query. Fails with NotSupported for queries whose
+  // HPDT would be unreasonably large (more than 32 steps).
+  static Result<std::unique_ptr<Hpdt>> Build(const xpath::Query& query);
+
+  Hpdt(const Hpdt&) = delete;
+  Hpdt& operator=(const Hpdt&) = delete;
+
+  const xpath::Query& query() const { return query_; }
+  const Bpdt* root() const { return bpdts_.front().get(); }
+
+  // All BPDTs, root first, then layer by layer, positions descending
+  // within a layer (paper right-to-left numbering).
+  const std::vector<std::unique_ptr<Bpdt>>& bpdts() const { return bpdts_; }
+
+  int num_layers() const { return static_cast<int>(query_.steps.size()); }
+  size_t bpdt_count() const { return bpdts_.size(); }
+  size_t state_count() const { return static_cast<size_t>(next_state_id_); }
+
+  // The BPDT entered when an element matches step `layer` while the
+  // parent match sits in `from` with the given predicate status.
+  const Bpdt* Enter(const Bpdt* from, bool parent_satisfied) const {
+    return parent_satisfied ? from->left : from->right;
+  }
+
+  // A Figure 11-style rendering of the whole transducer network.
+  std::string DebugString() const;
+
+ private:
+  explicit Hpdt(xpath::Query query) : query_(std::move(query)) {}
+
+  Bpdt* AddBpdt(int layer, uint64_t position, Bpdt* parent, bool via_true);
+  void GenerateTemplateStates(Bpdt* bpdt);
+
+  xpath::Query query_;
+  std::vector<std::unique_ptr<Bpdt>> bpdts_;
+  int next_state_id_ = 1;
+};
+
+// True when the step's predicates can all be decided at the element's
+// begin event (only attribute predicates, or none).
+bool StepDecidedAtBegin(const xpath::LocationStep& step);
+
+}  // namespace xsq::core
+
+#endif  // XSQ_CORE_HPDT_H_

@@ -1,0 +1,74 @@
+// Buffered result items for the nondeterministic XSQ-F runtime
+// (paper Section 4.3).
+//
+// With closure axes, one potential result can be reached by several match
+// chains at once (Example 2). The paper shares a single item among all of
+// them: the item is marked "output" as soon as one chain proves every
+// predicate true, is dropped once every chain has failed, and is emitted
+// only when it reaches the head of the global FIFO - which yields
+// document order and duplicate avoidance. `claims` counts the chains that
+// could still prove the item; each clear() drops one claim.
+#ifndef XSQ_CORE_ITEM_H_
+#define XSQ_CORE_ITEM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xsq::core {
+
+class Item {
+ public:
+  enum class State : uint8_t {
+    kPending,    // some chain may still prove or refute this item
+    kSelected,   // marked "output": at least one chain satisfied everything
+    kDiscarded,  // all claims dropped without selection
+  };
+
+  explicit Item(uint64_t sequence) : sequence_(sequence) {}
+
+  Item(const Item&) = delete;
+  Item& operator=(const Item&) = delete;
+
+  uint64_t sequence() const { return sequence_; }
+  State state() const { return state_; }
+  bool resolved() const { return state_ != State::kPending; }
+
+  // The serialized element / text / attribute value. For catchall output
+  // this grows while the element's subtree streams past.
+  const std::string& value() const { return value_; }
+  std::string* mutable_value() { return &value_; }
+
+  // True once the value can no longer grow (always true except for an
+  // element item whose end tag has not been seen yet).
+  bool complete() const { return complete_; }
+  void set_complete() { complete_ = true; }
+  void set_incomplete() { complete_ = false; }
+
+  void AddClaim() { ++claims_; }
+
+  // One chain failed. The item is discarded when no chain remains and it
+  // was never selected.
+  void DropClaim() {
+    if (claims_ > 0) --claims_;
+    if (claims_ == 0 && state_ == State::kPending) {
+      state_ = State::kDiscarded;
+    }
+  }
+
+  // One chain proved all predicates: mark as output. Idempotent; wins
+  // over any number of later DropClaim calls.
+  void Select() {
+    if (state_ == State::kPending) state_ = State::kSelected;
+  }
+
+ private:
+  uint64_t sequence_;
+  std::string value_;
+  uint32_t claims_ = 0;
+  State state_ = State::kPending;
+  bool complete_ = true;
+};
+
+}  // namespace xsq::core
+
+#endif  // XSQ_CORE_ITEM_H_

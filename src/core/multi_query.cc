@@ -1,0 +1,56 @@
+#include "core/multi_query.h"
+
+namespace xsq::core {
+
+Result<int> MultiQueryEngine::AddQuery(const xpath::Query& query,
+                                       ResultSink* sink) {
+  XSQ_ASSIGN_OR_RETURN(auto engine, XsqEngine::Create(query, sink));
+  engines_.push_back(std::move(engine));
+  return static_cast<int>(engines_.size()) - 1;
+}
+
+Result<int> MultiQueryEngine::AddQuery(std::string_view query_text,
+                                       ResultSink* sink) {
+  XSQ_ASSIGN_OR_RETURN(xpath::Query query, xpath::ParseQuery(query_text));
+  return AddQuery(query, sink);
+}
+
+void MultiQueryEngine::OnDocumentBegin() {
+  for (auto& engine : engines_) engine->OnDocumentBegin();
+}
+
+void MultiQueryEngine::OnBegin(std::string_view tag,
+                               const std::vector<xml::Attribute>& attributes,
+                               int depth) {
+  for (auto& engine : engines_) engine->OnBegin(tag, attributes, depth);
+}
+
+void MultiQueryEngine::OnEnd(std::string_view tag, int depth) {
+  for (auto& engine : engines_) engine->OnEnd(tag, depth);
+}
+
+void MultiQueryEngine::OnText(std::string_view enclosing_tag,
+                              std::string_view text, int depth) {
+  for (auto& engine : engines_) engine->OnText(enclosing_tag, text, depth);
+}
+
+void MultiQueryEngine::OnDocumentEnd() {
+  for (auto& engine : engines_) engine->OnDocumentEnd();
+}
+
+Status MultiQueryEngine::status() const {
+  for (const auto& engine : engines_) {
+    if (!engine->status().ok()) return engine->status();
+  }
+  return Status::OK();
+}
+
+size_t MultiQueryEngine::total_peak_buffered_bytes() const {
+  size_t total = 0;
+  for (const auto& engine : engines_) {
+    total += engine->memory().peak_bytes();
+  }
+  return total;
+}
+
+}  // namespace xsq::core

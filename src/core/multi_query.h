@@ -1,0 +1,68 @@
+// Multi-query evaluation: many standing XPath queries over one stream.
+//
+// Section 5 of the paper notes that "the HPDT used by XSQ has a simple
+// and regular structure, so that multiple HPDTs can be grouped" the way
+// YFilter groups filter automata. This engine realizes the first and
+// dominant level of that sharing: one SAX parse and one event dispatch
+// feed every registered query's HPDT, so the per-query marginal cost is
+// only automaton work, never parsing. (The bench/ext_multiquery binary
+// quantifies the effect against running one full parse per query.)
+//
+// Queries are independent: each gets its own ResultSink and its own
+// document-order output; an unsupported or failed query never affects
+// the others.
+#ifndef XSQ_CORE_MULTI_QUERY_H_
+#define XSQ_CORE_MULTI_QUERY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/result_sink.h"
+#include "xml/events.h"
+#include "xpath/ast.h"
+
+namespace xsq::core {
+
+class MultiQueryEngine : public xml::SaxHandler {
+ public:
+  MultiQueryEngine() = default;
+
+  // Registers a query; its results are delivered to `sink` (not owned).
+  // Returns the query's index. Must not be called while a document is
+  // being streamed.
+  Result<int> AddQuery(const xpath::Query& query, ResultSink* sink);
+
+  // Convenience: parse and register.
+  Result<int> AddQuery(std::string_view query_text, ResultSink* sink);
+
+  // SaxHandler: feed to a SaxParser; events fan out to every query.
+  void OnDocumentBegin() override;
+  void OnBegin(std::string_view tag,
+               const std::vector<xml::Attribute>& attributes,
+               int depth) override;
+  void OnEnd(std::string_view tag, int depth) override;
+  void OnText(std::string_view enclosing_tag, std::string_view text,
+              int depth) override;
+  void OnDocumentEnd() override;
+
+  size_t query_count() const { return engines_.size(); }
+
+  // Engine for one registered query (stats, memory, status).
+  const XsqEngine& engine(int index) const { return *engines_[static_cast<size_t>(index)]; }
+
+  // First non-OK engine status, or OK.
+  Status status() const;
+
+  // Sum of all engines' buffered bytes (for memory studies).
+  size_t total_peak_buffered_bytes() const;
+
+ private:
+  std::vector<std::unique_ptr<XsqEngine>> engines_;
+};
+
+}  // namespace xsq::core
+
+#endif  // XSQ_CORE_MULTI_QUERY_H_

@@ -1,0 +1,66 @@
+// Output interface shared by every streaming engine in this repository
+// (XSQ-F, XSQ-NC, the lazy-DFA engine, the subtree-buffering baseline).
+#ifndef XSQ_CORE_RESULT_SINK_H_
+#define XSQ_CORE_RESULT_SINK_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsq::core {
+
+// Receives query results as they become available. For non-aggregation
+// queries, OnItem is called once per result item in document order. For
+// aggregation queries, OnAggregateUpdate is called with the running value
+// each time it changes (the paper's incremental semantics for unbounded
+// streams, Section 4.4) and OnAggregateFinal once at end of document.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  virtual void OnItem(std::string_view value) = 0;
+  virtual void OnAggregateUpdate(double /*value*/) {}
+  virtual void OnAggregateFinal(std::optional<double> /*value*/) {}
+};
+
+// Collects everything; used by tests and examples.
+class CollectingSink : public ResultSink {
+ public:
+  void OnItem(std::string_view value) override {
+    items.emplace_back(value);
+  }
+  void OnAggregateUpdate(double value) override {
+    aggregate_updates.push_back(value);
+  }
+  void OnAggregateFinal(std::optional<double> value) override {
+    aggregate = value;
+  }
+
+  std::vector<std::string> items;
+  std::vector<double> aggregate_updates;
+  std::optional<double> aggregate;
+};
+
+// Counts items without storing them; used by benchmarks so that sink cost
+// does not dominate throughput measurements.
+class CountingSink : public ResultSink {
+ public:
+  void OnItem(std::string_view value) override {
+    ++item_count;
+    item_bytes += value.size();
+  }
+  void OnAggregateUpdate(double /*value*/) override { ++update_count; }
+  void OnAggregateFinal(std::optional<double> value) override {
+    aggregate = value;
+  }
+
+  size_t item_count = 0;
+  size_t item_bytes = 0;
+  size_t update_count = 0;
+  std::optional<double> aggregate;
+};
+
+}  // namespace xsq::core
+
+#endif  // XSQ_CORE_RESULT_SINK_H_

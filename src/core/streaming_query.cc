@@ -1,0 +1,57 @@
+#include "core/streaming_query.h"
+
+namespace xsq::core {
+
+StreamingQuery::StreamingQuery(xpath::Query query)
+    : query_(std::move(query)) {}
+
+Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Open(
+    std::string_view query_text) {
+  XSQ_ASSIGN_OR_RETURN(xpath::Query query, xpath::ParseQuery(query_text));
+  auto streaming_query =
+      std::unique_ptr<StreamingQuery>(new StreamingQuery(std::move(query)));
+
+  xml::SaxHandler* handler = nullptr;
+  if (!streaming_query->query_.HasClosure() &&
+      !streaming_query->query_.IsUnion()) {
+    XSQ_ASSIGN_OR_RETURN(
+        streaming_query->nc_engine_,
+        XsqNcEngine::Create(streaming_query->query_,
+                            &streaming_query->sink_));
+    handler = streaming_query->nc_engine_.get();
+  } else {
+    XSQ_ASSIGN_OR_RETURN(
+        streaming_query->f_engine_,
+        XsqEngine::Create(streaming_query->query_, &streaming_query->sink_));
+    handler = streaming_query->f_engine_.get();
+  }
+  streaming_query->parser_ = std::make_unique<xml::SaxParser>(handler);
+  return streaming_query;
+}
+
+Status StreamingQuery::Push(std::string_view chunk) {
+  if (closed_) return Status::Internal("Push after Close");
+  XSQ_RETURN_IF_ERROR(parser_->Feed(chunk));
+  if (f_engine_ != nullptr) return f_engine_->status();
+  return nc_engine_->status();
+}
+
+Status StreamingQuery::Close() {
+  if (closed_) return Status::OK();
+  XSQ_RETURN_IF_ERROR(parser_->Finish());
+  closed_ = true;
+  if (f_engine_ != nullptr) return f_engine_->status();
+  return nc_engine_->status();
+}
+
+std::optional<std::string> StreamingQuery::NextItem() {
+  if (next_item_ >= sink_.items.size()) return std::nullopt;
+  return sink_.items[next_item_++];
+}
+
+size_t StreamingQuery::peak_buffered_bytes() const {
+  if (f_engine_ != nullptr) return f_engine_->memory().peak_bytes();
+  return nc_engine_->memory().peak_bytes();
+}
+
+}  // namespace xsq::core

@@ -1,0 +1,80 @@
+// StreamingQuery: the one-object facade over parser + engine + sink.
+//
+// For library users who just want to push bytes and pull results:
+//
+//   auto q = xsq::core::StreamingQuery::Open("//book[price<20]/title/text()");
+//   while (...) {
+//     q->Push(next_chunk);
+//     while (auto item = q->NextItem()) consume(*item);
+//   }
+//   q->Close();
+//
+// Items become available at the earliest moment the engine can prove
+// membership, so NextItem drains results incrementally while the
+// document is still streaming. Closure-free queries automatically run
+// on the faster deterministic XSQ-NC engine; everything else runs on
+// XSQ-F.
+#ifndef XSQ_CORE_STREAMING_QUERY_H_
+#define XSQ_CORE_STREAMING_QUERY_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/engine_nc.h"
+#include "core/result_sink.h"
+#include "xml/sax_parser.h"
+#include "xpath/ast.h"
+
+namespace xsq::core {
+
+class StreamingQuery {
+ public:
+  // Parses and compiles `query_text`.
+  static Result<std::unique_ptr<StreamingQuery>> Open(
+      std::string_view query_text);
+
+  // Feeds the next chunk of the document (any chunk boundaries).
+  Status Push(std::string_view chunk);
+
+  // Declares end of input. Idempotent after success.
+  Status Close();
+
+  // Pops the next available result item, in document order; nullopt
+  // when none is available yet (more input may produce more).
+  std::optional<std::string> NextItem();
+
+  // For aggregation queries: the latest running value (updated as the
+  // stream progresses), and the final value after Close().
+  std::optional<double> current_aggregate() const {
+    return sink_.aggregate_updates.empty()
+               ? std::optional<double>()
+               : std::optional<double>(sink_.aggregate_updates.back());
+  }
+  std::optional<double> final_aggregate() const { return sink_.aggregate; }
+
+  const xpath::Query& query() const { return query_; }
+  bool uses_deterministic_engine() const { return nc_engine_ != nullptr; }
+
+  // Peak buffered bytes so far (the engine's accounted memory).
+  size_t peak_buffered_bytes() const;
+
+ private:
+  explicit StreamingQuery(xpath::Query query);
+
+  xpath::Query query_;
+  CollectingSink sink_;
+  size_t next_item_ = 0;  // items before this index were handed out
+  std::unique_ptr<XsqEngine> f_engine_;
+  std::unique_ptr<XsqNcEngine> nc_engine_;
+  std::unique_ptr<xml::SaxParser> parser_;
+  bool closed_ = false;
+};
+
+}  // namespace xsq::core
+
+#endif  // XSQ_CORE_STREAMING_QUERY_H_

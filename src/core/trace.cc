@@ -1,0 +1,37 @@
+#include "core/trace.h"
+
+namespace xsq::core {
+
+const char* BufferOpKindName(BufferOp::Kind kind) {
+  switch (kind) {
+    case BufferOp::Kind::kEnqueue:
+      return "enqueue";
+    case BufferOp::Kind::kUpload:
+      return "upload";
+    case BufferOp::Kind::kFlush:
+      return "flush";
+    case BufferOp::Kind::kClear:
+      return "clear";
+    case BufferOp::Kind::kEmit:
+      return "emit";
+    case BufferOp::Kind::kDiscard:
+      return "discard";
+  }
+  return "?";
+}
+
+std::string BufferOp::ToString() const {
+  std::string out = BufferOpKindName(kind);
+  if (!bpdt.empty()) {
+    out += " @";
+    out += bpdt;
+  }
+  if (!value.empty()) {
+    out += "  [";
+    out += value;
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace xsq::core

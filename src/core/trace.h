@@ -1,0 +1,62 @@
+// Buffer-operation tracing for XSQ-F.
+//
+// The paper explains the runtime in terms of four buffer operations -
+// queue.enqueue / queue.upload / queue.clear / queue.flush (Sections
+// 3.3 and 4.3). A TraceListener observes exactly those operations as
+// the engine executes, which makes the worked examples of the paper
+// (Example 1's buffering of author A, Example 6's selective clear)
+// directly checkable, and powers xsq_cli --trace.
+#ifndef XSQ_CORE_TRACE_H_
+#define XSQ_CORE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xsq::core {
+
+struct BufferOp {
+  enum class Kind {
+    kEnqueue,  // a potential result item entered a BPDT's buffer
+    kUpload,   // items moved to the nearest still-undecided ancestor
+    kFlush,    // items selected for output (all predicates proved)
+    kClear,    // a claim dropped: the holding BPDT's predicate failed
+    kEmit,     // a selected item left the head of the global FIFO
+    kDiscard,  // an item left the FIFO with all claims dropped
+  };
+
+  Kind kind;
+  std::string bpdt;   // e.g. "bpdt(2,2)"; target BPDT for uploads
+  std::string value;  // current item value (possibly still growing)
+
+  std::string ToString() const;
+};
+
+const char* BufferOpKindName(BufferOp::Kind kind);
+
+class TraceListener {
+ public:
+  virtual ~TraceListener() = default;
+  virtual void OnBufferOp(const BufferOp& op) = 0;
+};
+
+// Collects every operation; used by tests and examples.
+class RecordingTrace : public TraceListener {
+ public:
+  void OnBufferOp(const BufferOp& op) override { ops.push_back(op); }
+
+  // Operations of one kind, in order.
+  std::vector<BufferOp> OfKind(BufferOp::Kind kind) const {
+    std::vector<BufferOp> out;
+    for (const BufferOp& op : ops) {
+      if (op.kind == kind) out.push_back(op);
+    }
+    return out;
+  }
+
+  std::vector<BufferOp> ops;
+};
+
+}  // namespace xsq::core
+
+#endif  // XSQ_CORE_TRACE_H_

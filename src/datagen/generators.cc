@@ -1,0 +1,414 @@
+#include "datagen/generators.h"
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "common/strings.h"
+#include "xml/sax_parser.h"
+
+namespace xsq::datagen {
+
+namespace {
+
+constexpr std::array<std::string_view, 24> kWords = {
+    "the",   "and",    "to",     "of",    "my",     "that",  "is",   "with",
+    "what",  "noble",  "king",   "night", "sword",  "crown", "fair", "blood",
+    "honor", "battle", "ghost",  "queen", "heaven", "storm", "fate", "throne"};
+
+constexpr std::array<std::string_view, 12> kSpeakers = {
+    "MACBETH", "HAMLET",   "OTHELLO", "IAGO",    "ROSALIND", "PORTIA",
+    "BRUTUS",  "CLEOPATRA", "FALSTAFF", "OBERON", "VIOLA",    "PROSPERO"};
+
+constexpr std::array<std::string_view, 16> kNames = {
+    "Smith",  "Chen",  "Garcia", "Patel", "Kim",    "Olsen", "Rossi", "Sato",
+    "Kumar",  "Novak", "Silva",  "Weber", "Dubois", "Ali",   "Ivanov", "Park"};
+
+// Appends `count` space-separated words; with probability
+// `special_probability` one of them is `special_word`.
+void AppendWords(std::string* out, SplitMix64* rng, int count,
+                 std::string_view special_word = {},
+                 double special_probability = 0.0) {
+  int special_at = -1;
+  if (!special_word.empty() && rng->Chance(special_probability)) {
+    special_at = static_cast<int>(rng->Below(static_cast<uint64_t>(count)));
+  }
+  for (int i = 0; i < count; ++i) {
+    if (i > 0) out->push_back(' ');
+    if (i == special_at) {
+      out->append(special_word);
+    } else {
+      out->append(kWords[rng->Below(kWords.size())]);
+    }
+  }
+}
+
+void OpenTag(std::string* out, std::string_view tag) {
+  out->push_back('<');
+  out->append(tag);
+  out->push_back('>');
+}
+
+void CloseTag(std::string* out, std::string_view tag) {
+  out->append("</");
+  out->append(tag);
+  out->push_back('>');
+}
+
+void TextElement(std::string* out, std::string_view tag,
+                 std::string_view text) {
+  OpenTag(out, tag);
+  out->append(text);
+  CloseTag(out, tag);
+}
+
+}  // namespace
+
+std::string GenerateShake(size_t target_bytes, uint64_t seed) {
+  SplitMix64 rng(seed ^ 0x5a5a5a5aULL);
+  std::string out;
+  out.reserve(target_bytes + 4096);
+  OpenTag(&out, "PLAY");
+  TextElement(&out, "TITLE", "The Tragedy of Synthetic Data");
+  while (out.size() < target_bytes) {
+    OpenTag(&out, "ACT");
+    TextElement(&out, "TITLE", "ACT");
+    int scenes = 3 + static_cast<int>(rng.Below(4));
+    for (int s = 0; s < scenes; ++s) {
+      OpenTag(&out, "SCENE");
+      TextElement(&out, "TITLE", "SCENE");
+      int speeches = 10 + static_cast<int>(rng.Below(20));
+      for (int p = 0; p < speeches; ++p) {
+        OpenTag(&out, "SPEECH");
+        TextElement(&out, "SPEAKER", kSpeakers[rng.Below(kSpeakers.size())]);
+        int lines = 1 + static_cast<int>(rng.Below(5));
+        for (int l = 0; l < lines; ++l) {
+          OpenTag(&out, "LINE");
+          AppendWords(&out, &rng, 6 + static_cast<int>(rng.Below(6)), "love",
+                      0.03);
+          CloseTag(&out, "LINE");
+        }
+        CloseTag(&out, "SPEECH");
+      }
+      CloseTag(&out, "SCENE");
+    }
+    CloseTag(&out, "ACT");
+  }
+  CloseTag(&out, "PLAY");
+  return out;
+}
+
+std::string GenerateNasa(size_t target_bytes, uint64_t seed) {
+  SplitMix64 rng(seed ^ 0xa5a5a5a5ULL);
+  std::string out;
+  out.reserve(target_bytes + 4096);
+  OpenTag(&out, "datasets");
+  size_t index = 0;
+  while (out.size() < target_bytes) {
+    ++index;
+    out.append("<dataset subject=\"astronomy\">");
+    TextElement(&out, "title", "Catalog " + std::to_string(index));
+    OpenTag(&out, "altname");
+    AppendWords(&out, &rng, 3);
+    CloseTag(&out, "altname");
+    int references = 1 + static_cast<int>(rng.Below(3));
+    for (int r = 0; r < references; ++r) {
+      OpenTag(&out, "reference");
+      OpenTag(&out, "source");
+      OpenTag(&out, "other");
+      TextElement(&out, "name", kNames[rng.Below(kNames.size())]);
+      TextElement(&out, "year",
+                  std::to_string(1970 + rng.Below(35)));
+      CloseTag(&out, "other");
+      CloseTag(&out, "source");
+      CloseTag(&out, "reference");
+    }
+    OpenTag(&out, "tableHead");
+    int fields = 2 + static_cast<int>(rng.Below(6));
+    for (int f = 0; f < fields; ++f) {
+      OpenTag(&out, "field");
+      TextElement(&out, "name", "col" + std::to_string(f));
+      OpenTag(&out, "definition");
+      AppendWords(&out, &rng, 8);
+      CloseTag(&out, "definition");
+      CloseTag(&out, "field");
+    }
+    CloseTag(&out, "tableHead");
+    CloseTag(&out, "dataset");
+  }
+  CloseTag(&out, "datasets");
+  return out;
+}
+
+std::string GenerateDblp(size_t target_bytes, uint64_t seed) {
+  SplitMix64 rng(seed ^ 0x3c3c3c3cULL);
+  std::string out;
+  out.reserve(target_bytes + 4096);
+  OpenTag(&out, "dblp");
+  size_t key = 0;
+  while (out.size() < target_bytes) {
+    ++key;
+    bool inproceedings = rng.Chance(0.55);
+    const char* record = inproceedings ? "inproceedings" : "article";
+    out.push_back('<');
+    out.append(record);
+    out.append(" key=\"rec/");
+    out.append(std::to_string(key));
+    out.append("\">");
+    // ~10% of inproceedings lack authors, so [author] sometimes fails.
+    int authors = inproceedings && rng.Chance(0.1)
+                      ? 0
+                      : 1 + static_cast<int>(rng.Below(4));
+    for (int a = 0; a < authors; ++a) {
+      std::string name(kNames[rng.Below(kNames.size())]);
+      name += " ";
+      name += kNames[rng.Below(kNames.size())];
+      TextElement(&out, "author", name);
+    }
+    OpenTag(&out, "title");
+    AppendWords(&out, &rng, 5 + static_cast<int>(rng.Below(8)));
+    CloseTag(&out, "title");
+    TextElement(&out, "year", std::to_string(1985 + rng.Below(20)));
+    if (inproceedings) {
+      OpenTag(&out, "booktitle");
+      AppendWords(&out, &rng, 3);
+      CloseTag(&out, "booktitle");
+    } else {
+      OpenTag(&out, "journal");
+      AppendWords(&out, &rng, 3);
+      CloseTag(&out, "journal");
+    }
+    TextElement(&out, "pages", std::to_string(rng.Below(400)) + "-" +
+                                   std::to_string(400 + rng.Below(30)));
+    CloseTag(&out, record);
+  }
+  CloseTag(&out, "dblp");
+  return out;
+}
+
+std::string GeneratePsd(size_t target_bytes, uint64_t seed) {
+  SplitMix64 rng(seed ^ 0xc3c3c3c3ULL);
+  std::string out;
+  out.reserve(target_bytes + 8192);
+  OpenTag(&out, "ProteinDatabase");
+  size_t id = 0;
+  static constexpr char kAminoAcids[] = "ACDEFGHIKLMNPQRSTVWY";
+  while (out.size() < target_bytes) {
+    ++id;
+    out.append("<ProteinEntry id=\"PSD");
+    out.append(std::to_string(id));
+    out.append("\">");
+    OpenTag(&out, "header");
+    TextElement(&out, "uid", std::to_string(id));
+    std::string accession = "A";
+    accession += std::to_string(10000 + id);
+    TextElement(&out, "accession", accession);
+    CloseTag(&out, "header");
+    OpenTag(&out, "protein");
+    OpenTag(&out, "name");
+    AppendWords(&out, &rng, 4);
+    CloseTag(&out, "name");
+    CloseTag(&out, "protein");
+    int references = 1 + static_cast<int>(rng.Below(3));
+    for (int r = 0; r < references; ++r) {
+      OpenTag(&out, "reference");
+      OpenTag(&out, "refinfo");
+      OpenTag(&out, "authors");
+      int authors = 1 + static_cast<int>(rng.Below(5));
+      for (int a = 0; a < authors; ++a) {
+        TextElement(&out, "author", kNames[rng.Below(kNames.size())]);
+      }
+      CloseTag(&out, "authors");
+      TextElement(&out, "year", std::to_string(1980 + rng.Below(25)));
+      CloseTag(&out, "refinfo");
+      CloseTag(&out, "reference");
+    }
+    OpenTag(&out, "sequence");
+    int length = 120 + static_cast<int>(rng.Below(400));
+    for (int c = 0; c < length; ++c) {
+      out.push_back(kAminoAcids[rng.Below(sizeof(kAminoAcids) - 1)]);
+    }
+    CloseTag(&out, "sequence");
+    CloseTag(&out, "ProteinEntry");
+  }
+  CloseTag(&out, "ProteinDatabase");
+  return out;
+}
+
+namespace {
+
+// Recursive helper for GenerateRecursivePubs.
+void EmitPub(std::string* out, SplitMix64* rng, const RecursiveOptions& opts,
+             size_t target_bytes, int depth) {
+  OpenTag(out, "pub");
+  if (rng->Chance(opts.year_probability)) {
+    TextElement(out, "year", std::to_string(1990 + rng->Below(20)));
+  }
+  int children = 1 + static_cast<int>(
+                         rng->Below(static_cast<uint64_t>(opts.max_repeats)));
+  for (int c = 0; c < children && out->size() < target_bytes; ++c) {
+    // Deeper nesting becomes progressively less likely.
+    bool nest = depth < opts.nested_levels && rng->Chance(0.25);
+    if (nest) {
+      EmitPub(out, rng, opts, target_bytes, depth + 1);
+      continue;
+    }
+    if (rng->Chance(opts.book_id_probability)) {
+      out->append("<book id=\"");
+      out->append(std::to_string(rng->Below(100000)));
+      out->append("\">");
+    } else {
+      OpenTag(out, "book");
+    }
+    OpenTag(out, "title");
+    AppendWords(out, rng, 4 + static_cast<int>(rng->Below(5)));
+    CloseTag(out, "title");
+    TextElement(out, "price",
+                std::to_string(5 + rng->Below(95)) + "." +
+                    std::to_string(rng->Below(100)));
+    CloseTag(out, "book");
+  }
+  CloseTag(out, "pub");
+}
+
+}  // namespace
+
+std::string GenerateRecursivePubs(size_t target_bytes, uint64_t seed,
+                                  const RecursiveOptions& options) {
+  SplitMix64 rng(seed ^ 0x77777777ULL);
+  std::string out;
+  out.reserve(target_bytes + 4096);
+  OpenTag(&out, "pubs");
+  while (out.size() < target_bytes) {
+    EmitPub(&out, &rng, options, target_bytes, 1);
+  }
+  CloseTag(&out, "pubs");
+  return out;
+}
+
+namespace {
+
+void EmitGenericElement(std::string* out, SplitMix64* rng,
+                        const GenericOptions& options, size_t target_bytes,
+                        int depth) {
+  const std::string& tag = options.tags[rng->Below(options.tags.size())];
+  out->push_back('<');
+  out->append(tag);
+  if (rng->Chance(options.attribute_probability)) {
+    out->append(" id=\"");
+    out->append(std::to_string(rng->Below(10000)));
+    out->push_back('"');
+  }
+  out->push_back('>');
+  if (rng->Chance(options.text_probability)) {
+    AppendWords(out, rng, 1 + static_cast<int>(rng->Below(6)));
+  }
+  if (depth < options.nested_levels) {
+    int children = static_cast<int>(
+        rng->Below(static_cast<uint64_t>(options.max_repeats) + 1));
+    for (int i = 0; i < children && out->size() < target_bytes; ++i) {
+      EmitGenericElement(out, rng, options, target_bytes, depth + 1);
+    }
+  }
+  out->append("</");
+  out->append(tag);
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string GenerateGeneric(size_t target_bytes, uint64_t seed,
+                            const GenericOptions& options) {
+  SplitMix64 rng(seed ^ 0x2468aceULL);
+  std::string out;
+  out.reserve(target_bytes + 4096);
+  out.append("<gen>");
+  while (out.size() < target_bytes) {
+    EmitGenericElement(&out, &rng, options, target_bytes, 2);
+  }
+  out.append("</gen>");
+  return out;
+}
+
+std::string GenerateOrderingDataset(size_t target_bytes, int foo_repeats) {
+  std::string out;
+  out.reserve(target_bytes + 4096);
+  OpenTag(&out, "data");
+  size_t id = 0;
+  while (out.size() < target_bytes) {
+    ++id;
+    out.append("<a id=\"");
+    out.append(std::to_string(id));
+    out.append("\">");
+    TextElement(&out, "prior", "1");
+    for (int f = 0; f < foo_repeats; ++f) {
+      TextElement(&out, "foo", "1");
+    }
+    TextElement(&out, "posterior", "1");
+    CloseTag(&out, "a");
+  }
+  CloseTag(&out, "data");
+  return out;
+}
+
+std::string GenerateColorDataset(size_t target_bytes, uint64_t seed) {
+  SplitMix64 rng(seed ^ 0x11111111ULL);
+  std::string out;
+  out.reserve(target_bytes + 1024);
+  OpenTag(&out, "a");
+  while (out.size() < target_bytes) {
+    double roll = rng.NextDouble();
+    const char* tag = roll < 0.1 ? "Red" : (roll < 0.4 ? "Green" : "Blue");
+    std::string c(1, static_cast<char>('a' + rng.Below(26)));
+    TextElement(&out, tag, c);
+  }
+  CloseTag(&out, "a");
+  return out;
+}
+
+namespace {
+
+class StatsHandler : public xml::SaxHandler {
+ public:
+  void OnBegin(std::string_view tag,
+               const std::vector<xml::Attribute>& /*attributes*/,
+               int depth) override {
+    ++stats.element_count;
+    depth_sum_ += static_cast<size_t>(depth);
+    tag_length_sum_ += tag.size();
+    if (depth > stats.max_depth) stats.max_depth = depth;
+  }
+  void OnEnd(std::string_view /*tag*/, int /*depth*/) override {}
+  void OnText(std::string_view /*tag*/, std::string_view text,
+              int /*depth*/) override {
+    stats.text_bytes += text.size();
+  }
+
+  void Finalize() {
+    if (stats.element_count > 0) {
+      stats.avg_depth = static_cast<double>(depth_sum_) /
+                        static_cast<double>(stats.element_count);
+      stats.avg_tag_length = static_cast<double>(tag_length_sum_) /
+                             static_cast<double>(stats.element_count);
+    }
+  }
+
+  DatasetStats stats;
+
+ private:
+  size_t depth_sum_ = 0;
+  size_t tag_length_sum_ = 0;
+};
+
+}  // namespace
+
+Result<DatasetStats> ComputeStats(std::string_view xml_text) {
+  StatsHandler handler;
+  xml::SaxParser parser(&handler);
+  XSQ_RETURN_IF_ERROR(parser.Parse(xml_text));
+  handler.Finalize();
+  handler.stats.bytes = xml_text.size();
+  return handler.stats;
+}
+
+}  // namespace xsq::datagen

@@ -1,0 +1,92 @@
+// Deterministic synthetic XML corpora.
+//
+// The paper evaluates on four real datasets (Figure 15: SHAKE, NASA,
+// DBLP, PSD), on IBM XML Generator output (recursive structure,
+// Figure 20), and on two ToXgene templates (Figures 21 and 22). None of
+// those corpora can be redistributed here, so each generator below
+// synthesizes a structurally equivalent corpus: same element vocabulary
+// and nesting shape, comparable tag lengths, text fraction, and depth
+// profile, scaled to any requested size. All generators are seeded and
+// deterministic, so benchmark runs are reproducible.
+#ifndef XSQ_DATAGEN_GENERATORS_H_
+#define XSQ_DATAGEN_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xsq::datagen {
+
+// Shakespeare play (SHAKE): PLAY/ACT/SCENE/SPEECH/{SPEAKER,LINE+}.
+// About 3% of LINE elements contain the word "love" (query Q1).
+std::string GenerateShake(size_t target_bytes, uint64_t seed);
+
+// NASA ADC repository: datasets/dataset/.../reference/source/other/name.
+std::string GenerateNasa(size_t target_bytes, uint64_t seed);
+
+// DBLP records: dblp/{article,inproceedings}/{author*,title,year,...}.
+// A small fraction of inproceedings have no author, so the Figure 19
+// query /dblp/inproceedings[author]/title/text() exercises buffering.
+std::string GenerateDblp(size_t target_bytes, uint64_t seed);
+
+// Protein Sequence Database: ProteinDatabase/ProteinEntry/... with long
+// sequence text (PSD has the largest text fraction of the four).
+std::string GeneratePsd(size_t target_bytes, uint64_t seed);
+
+// IBM XML Generator stand-in (Figure 20): recursive pub/book structure,
+// pubs nested inside pubs up to `nested_levels` deep with up to
+// `max_repeats` children per element. Exercises closure queries such as
+// //pub[year]//book[@id]/title/text() on recursive data.
+struct RecursiveOptions {
+  int nested_levels = 15;
+  int max_repeats = 20;
+  double book_id_probability = 0.8;  // books carrying an id attribute
+  double year_probability = 0.9;     // pubs carrying a year child
+};
+std::string GenerateRecursivePubs(size_t target_bytes, uint64_t seed,
+                                  const RecursiveOptions& options = {});
+
+// General IBM XML Generator stand-in: random trees driven by the same
+// parameters the original exposes (number of levels, maximum repeats,
+// tag pool, attribute/text probabilities). GenerateRecursivePubs above
+// is the shaped instance used by Figure 20; this one generates
+// arbitrary vocabularies for stress and property tests.
+struct GenericOptions {
+  int nested_levels = 8;        // maximum tree depth
+  int max_repeats = 6;          // maximum children per element
+  std::vector<std::string> tags = {"n0", "n1", "n2", "n3", "n4"};
+  double attribute_probability = 0.3;
+  double text_probability = 0.4;
+};
+std::string GenerateGeneric(size_t target_bytes, uint64_t seed,
+                            const GenericOptions& options = {});
+
+// ToXgene template of Figure 21 (data-ordering sensitivity): repeated
+//   <a id="k"><prior>1</prior><foo>1</foo>*N<posterior>1</posterior></a>
+// under a single <data> root. All of /*/a[prior=0], /*/a[posterior=0]
+// and /*/a[@id=0] return empty results, but the position of the
+// deciding element differs.
+std::string GenerateOrderingDataset(size_t target_bytes, int foo_repeats);
+
+// ToXgene template of Figure 22 (result-size sensitivity): a root <a>
+// with 10% <Red>, 30% <Green>, 60% <Blue> children, one character each.
+std::string GenerateColorDataset(size_t target_bytes, uint64_t seed);
+
+// Dataset statistics in the shape of the paper's Figure 15.
+struct DatasetStats {
+  size_t bytes = 0;
+  size_t text_bytes = 0;
+  size_t element_count = 0;
+  double avg_depth = 0.0;
+  int max_depth = 0;
+  double avg_tag_length = 0.0;
+};
+Result<DatasetStats> ComputeStats(std::string_view xml_text);
+
+}  // namespace xsq::datagen
+
+#endif  // XSQ_DATAGEN_GENERATORS_H_

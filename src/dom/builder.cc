@@ -1,0 +1,74 @@
+#include "dom/builder.h"
+
+#include "xml/sax_parser.h"
+
+namespace xsq::dom {
+
+std::string Node::DirectText() const {
+  std::string out;
+  for (const auto& child : children_) {
+    if (child->is_text()) out += child->text();
+  }
+  return out;
+}
+
+size_t Node::ApproxBytes() const {
+  size_t bytes = sizeof(Node) + tag_.capacity() + text_.capacity() +
+                 attributes_.capacity() * sizeof(xml::Attribute) +
+                 children_.capacity() * sizeof(std::unique_ptr<Node>);
+  for (const xml::Attribute& attr : attributes_) {
+    bytes += attr.name.capacity() + attr.value.capacity();
+  }
+  for (const auto& child : children_) {
+    bytes += child->ApproxBytes();
+  }
+  return bytes;
+}
+
+namespace {
+size_t AssignOrder(Node* node, size_t next) {
+  node->set_order_index(next++);
+  for (const auto& child : node->children()) {
+    next = AssignOrder(const_cast<Node*>(child.get()), next);
+  }
+  return next;
+}
+}  // namespace
+
+void Document::AssignOrderIndexes() {
+  AssignOrder(document_node_.get(), 0);
+}
+
+void DomBuilder::OnBegin(std::string_view tag,
+                         const std::vector<xml::Attribute>& attributes,
+                         int /*depth*/) {
+  Node* node =
+      stack_.back()->AddChild(Node::MakeElement(std::string(tag), attributes));
+  stack_.push_back(node);
+}
+
+void DomBuilder::OnEnd(std::string_view /*tag*/, int /*depth*/) {
+  stack_.pop_back();
+}
+
+void DomBuilder::OnText(std::string_view /*enclosing_tag*/,
+                        std::string_view text, int /*depth*/) {
+  stack_.back()->AddChild(Node::MakeText(std::string(text)));
+}
+
+void DomBuilder::OnDocumentEnd() { document_.AssignOrderIndexes(); }
+
+Result<Document> BuildFromString(std::string_view xml_text) {
+  DomBuilder builder;
+  xml::SaxParser parser(&builder);
+  XSQ_RETURN_IF_ERROR(parser.Parse(xml_text));
+  return builder.TakeDocument();
+}
+
+Result<Document> BuildFromFile(const std::string& path) {
+  DomBuilder builder;
+  XSQ_RETURN_IF_ERROR(xml::ParseFile(path, &builder));
+  return builder.TakeDocument();
+}
+
+}  // namespace xsq::dom

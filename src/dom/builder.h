@@ -1,0 +1,46 @@
+// Builds a dom::Document from the SAX event stream, like a DOM-based
+// XPath processor must do before it can evaluate anything (paper
+// Section 6.2: Saxon "loads all the data into the memory and builds the
+// DOM tree before it evaluates the query").
+#ifndef XSQ_DOM_BUILDER_H_
+#define XSQ_DOM_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dom/node.h"
+#include "xml/events.h"
+
+namespace xsq::dom {
+
+class DomBuilder : public xml::SaxHandler {
+ public:
+  DomBuilder() { stack_.push_back(document_.mutable_document_node()); }
+
+  void OnBegin(std::string_view tag,
+               const std::vector<xml::Attribute>& attributes,
+               int depth) override;
+  void OnEnd(std::string_view tag, int depth) override;
+  void OnText(std::string_view enclosing_tag, std::string_view text,
+              int depth) override;
+  void OnDocumentEnd() override;
+
+  // Moves the finished document out of the builder.
+  Document TakeDocument() { return std::move(document_); }
+
+ private:
+  Document document_;
+  std::vector<Node*> stack_;
+};
+
+// Parses a complete document string into a Document.
+Result<Document> BuildFromString(std::string_view xml_text);
+
+// Parses a file into a Document.
+Result<Document> BuildFromFile(const std::string& path);
+
+}  // namespace xsq::dom
+
+#endif  // XSQ_DOM_BUILDER_H_

@@ -1,0 +1,58 @@
+// Reference (non-streaming) XPath evaluator over a DOM tree.
+//
+// Defines the result semantics every streaming engine in this repo must
+// reproduce; the differential property tests compare the engines against
+// this evaluator on randomized documents and queries.
+#ifndef XSQ_DOM_EVALUATOR_H_
+#define XSQ_DOM_EVALUATOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dom/node.h"
+#include "xpath/ast.h"
+
+namespace xsq::dom {
+
+struct EvalResult {
+  // Result items in document order: text contents for /text(), attribute
+  // values for /@attr, serialized elements when the query has no output
+  // expression. Empty for aggregation queries.
+  std::vector<std::string> items;
+
+  // Aggregate value for count()/sum()/avg()/min()/max() queries.
+  // count() and sum() are always present (0 for no matches); avg/min/max
+  // are absent when no matched element has numeric content.
+  std::optional<double> aggregate;
+
+  // Number of distinct elements matching the location path.
+  size_t match_count = 0;
+
+  // Aggregate components (filled for aggregation queries) so partial
+  // results from disjoint fragments can be combined (used by the
+  // subtree-buffering baseline).
+  size_t numeric_count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // valid when numeric_count > 0
+  double max = 0.0;  // valid when numeric_count > 0
+};
+
+// Evaluates `query` against `document`.
+Result<EvalResult> Evaluate(const Document& document,
+                            const xpath::Query& query);
+
+// Returns true iff `element` satisfies every predicate of `step`
+// (existential child semantics; see xpath/value_compare.h). Exposed for
+// reuse by the subtree-buffering baseline engine.
+bool ElementMatchesPredicates(const Node& element,
+                              const xpath::LocationStep& step);
+
+// Serializes an element subtree exactly the way the streaming engines'
+// catchall output does (unindented, escaped, <tag></tag> for empty).
+std::string SerializeSubtree(const Node& element);
+
+}  // namespace xsq::dom
+
+#endif  // XSQ_DOM_EVALUATOR_H_

@@ -1,0 +1,118 @@
+// In-memory XML tree. This is the stand-in for DOM-materializing systems
+// (Saxon, Galax) in the paper's study, and doubles as the correctness
+// oracle for the streaming engines: dom::Evaluate defines the reference
+// result of every query.
+#ifndef XSQ_DOM_NODE_H_
+#define XSQ_DOM_NODE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/events.h"
+
+namespace xsq::dom {
+
+// Either an element or a text node. Children of an element interleave
+// element and text nodes in document order.
+class Node {
+ public:
+  enum class Type { kElement, kText };
+
+  static std::unique_ptr<Node> MakeElement(std::string tag,
+                                           std::vector<xml::Attribute> attrs) {
+    auto node = std::unique_ptr<Node>(new Node(Type::kElement));
+    node->tag_ = std::move(tag);
+    node->attributes_ = std::move(attrs);
+    return node;
+  }
+
+  static std::unique_ptr<Node> MakeText(std::string text) {
+    auto node = std::unique_ptr<Node>(new Node(Type::kText));
+    node->text_ = std::move(text);
+    return node;
+  }
+
+  Type type() const { return type_; }
+  bool is_element() const { return type_ == Type::kElement; }
+  bool is_text() const { return type_ == Type::kText; }
+
+  const std::string& tag() const { return tag_; }
+  const std::string& text() const { return text_; }
+  const std::vector<xml::Attribute>& attributes() const { return attributes_; }
+  const Node* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+
+  // Preorder position in the document; used for document-order output.
+  size_t order_index() const { return order_index_; }
+  void set_order_index(size_t index) { order_index_ = index; }
+
+  // Returns the attribute value, or nullptr if absent.
+  const std::string* FindAttribute(std::string_view name) const {
+    for (const xml::Attribute& attr : attributes_) {
+      if (attr.name == name) return &attr.value;
+    }
+    return nullptr;
+  }
+
+  Node* AddChild(std::unique_ptr<Node> child) {
+    child->parent_ = this;
+    children_.push_back(std::move(child));
+    return children_.back().get();
+  }
+
+  // Concatenation of the *direct* text children. This is the value used
+  // by sum()/avg()/min()/max(); see DESIGN.md section 3.
+  std::string DirectText() const;
+
+  // Approximate heap footprint of this subtree, for the memory study.
+  size_t ApproxBytes() const;
+
+ private:
+  explicit Node(Type type) : type_(type) {}
+
+  Type type_;
+  std::string tag_;
+  std::string text_;
+  std::vector<xml::Attribute> attributes_;
+  Node* parent_ = nullptr;
+  std::vector<std::unique_ptr<Node>> children_;
+  size_t order_index_ = 0;
+};
+
+// A parsed document: a virtual document node whose single element child is
+// the root element (mirroring the XPath root).
+class Document {
+ public:
+  Document() : document_node_(Node::MakeElement("", {})) {}
+
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  const Node* document_node() const { return document_node_.get(); }
+  Node* mutable_document_node() { return document_node_.get(); }
+
+  // The root element, or nullptr for an empty document.
+  const Node* root() const {
+    for (const auto& child : document_node_->children()) {
+      if (child->is_element()) return child.get();
+    }
+    return nullptr;
+  }
+
+  size_t ApproxBytes() const { return document_node_->ApproxBytes(); }
+
+  // Assigns preorder order indexes; called by the builder.
+  void AssignOrderIndexes();
+
+ private:
+  std::unique_ptr<Node> document_node_;
+};
+
+}  // namespace xsq::dom
+
+#endif  // XSQ_DOM_NODE_H_

@@ -1,0 +1,112 @@
+#include "dtd/content_automaton.h"
+
+#include <algorithm>
+
+namespace xsq::dtd {
+
+ContentAutomaton ContentAutomaton::Compile(const Particle& particle) {
+  ContentAutomaton automaton;
+  automaton.start_ = automaton.AddState();
+  automaton.accept_ = automaton.AddState();
+  automaton.Build(particle, automaton.start_, automaton.accept_);
+  return automaton;
+}
+
+void ContentAutomaton::Build(const Particle& particle, int from, int to) {
+  // Wrap repetition around an inner fragment [inner_from, inner_to].
+  int inner_from = from;
+  int inner_to = to;
+  switch (particle.repeat) {
+    case Particle::Repeat::kOne:
+      break;
+    case Particle::Repeat::kOptional:
+      states_[static_cast<size_t>(from)].epsilon.push_back(to);
+      break;
+    case Particle::Repeat::kStar:
+      inner_from = AddState();
+      inner_to = AddState();
+      states_[static_cast<size_t>(from)].epsilon.push_back(inner_from);
+      states_[static_cast<size_t>(from)].epsilon.push_back(to);
+      states_[static_cast<size_t>(inner_to)].epsilon.push_back(inner_from);
+      states_[static_cast<size_t>(inner_to)].epsilon.push_back(to);
+      break;
+    case Particle::Repeat::kPlus:
+      inner_from = AddState();
+      inner_to = AddState();
+      states_[static_cast<size_t>(from)].epsilon.push_back(inner_from);
+      states_[static_cast<size_t>(inner_to)].epsilon.push_back(inner_from);
+      states_[static_cast<size_t>(inner_to)].epsilon.push_back(to);
+      break;
+  }
+
+  switch (particle.kind) {
+    case Particle::Kind::kName:
+      states_[static_cast<size_t>(inner_from)].arcs[particle.name].push_back(
+          inner_to);
+      break;
+    case Particle::Kind::kSequence: {
+      int current = inner_from;
+      for (size_t i = 0; i < particle.children.size(); ++i) {
+        int next = i + 1 == particle.children.size() ? inner_to : AddState();
+        Build(particle.children[i], current, next);
+        current = next;
+      }
+      if (particle.children.empty()) {
+        states_[static_cast<size_t>(inner_from)].epsilon.push_back(inner_to);
+      }
+      break;
+    }
+    case Particle::Kind::kChoice:
+      for (const Particle& child : particle.children) {
+        Build(child, inner_from, inner_to);
+      }
+      if (particle.children.empty()) {
+        states_[static_cast<size_t>(inner_from)].epsilon.push_back(inner_to);
+      }
+      break;
+  }
+}
+
+void ContentAutomaton::CloseOverEpsilon(std::vector<int>* states) const {
+  std::vector<int> pending = *states;
+  while (!pending.empty()) {
+    int state = pending.back();
+    pending.pop_back();
+    for (int next : states_[static_cast<size_t>(state)].epsilon) {
+      if (std::find(states->begin(), states->end(), next) == states->end()) {
+        states->push_back(next);
+        pending.push_back(next);
+      }
+    }
+  }
+  std::sort(states->begin(), states->end());
+}
+
+std::vector<int> ContentAutomaton::Start() const {
+  std::vector<int> states = {start_};
+  CloseOverEpsilon(&states);
+  return states;
+}
+
+std::vector<int> ContentAutomaton::Advance(const std::vector<int>& states,
+                                           std::string_view name) const {
+  std::vector<int> next;
+  const std::string key(name);
+  for (int state : states) {
+    auto it = states_[static_cast<size_t>(state)].arcs.find(key);
+    if (it == states_[static_cast<size_t>(state)].arcs.end()) continue;
+    for (int target : it->second) {
+      if (std::find(next.begin(), next.end(), target) == next.end()) {
+        next.push_back(target);
+      }
+    }
+  }
+  if (!next.empty()) CloseOverEpsilon(&next);
+  return next;
+}
+
+bool ContentAutomaton::Accepts(const std::vector<int>& states) const {
+  return std::find(states.begin(), states.end(), accept_) != states.end();
+}
+
+}  // namespace xsq::dtd

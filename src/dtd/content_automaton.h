@@ -1,0 +1,59 @@
+// Compiles a DTD content-model particle into a finite automaton over
+// child element names, used by the streaming validator. Standard
+// Thompson construction with epsilon edges; the run keeps a state set
+// and computes epsilon closures on the fly (content models are tiny).
+#ifndef XSQ_DTD_CONTENT_AUTOMATON_H_
+#define XSQ_DTD_CONTENT_AUTOMATON_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dtd/dtd.h"
+
+namespace xsq::dtd {
+
+class ContentAutomaton {
+ public:
+  // Builds the automaton for a kChildren content model.
+  static ContentAutomaton Compile(const Particle& particle);
+
+  // Initial state set (epsilon-closed).
+  std::vector<int> Start() const;
+
+  // Advances on one child element name; returns the new state set,
+  // empty when the child is not allowed at this position.
+  std::vector<int> Advance(const std::vector<int>& states,
+                           std::string_view name) const;
+
+  // True when the state set contains the accepting state, i.e. the
+  // children seen so far form a complete instance of the model.
+  bool Accepts(const std::vector<int>& states) const;
+
+  size_t state_count() const { return states_.size(); }
+
+ private:
+  struct State {
+    std::unordered_map<std::string, std::vector<int>> arcs;
+    std::vector<int> epsilon;
+  };
+
+  int AddState() {
+    states_.emplace_back();
+    return static_cast<int>(states_.size()) - 1;
+  }
+
+  // Builds the fragment for `particle` between `from` and `to`.
+  void Build(const Particle& particle, int from, int to);
+
+  void CloseOverEpsilon(std::vector<int>* states) const;
+
+  std::vector<State> states_;
+  int start_ = 0;
+  int accept_ = 0;
+};
+
+}  // namespace xsq::dtd
+
+#endif  // XSQ_DTD_CONTENT_AUTOMATON_H_

@@ -1,0 +1,451 @@
+#include "dtd/dtd.h"
+
+#include <deque>
+
+#include "common/strings.h"
+
+namespace xsq::dtd {
+
+namespace {
+
+const char* RepeatSuffix(Particle::Repeat repeat) {
+  switch (repeat) {
+    case Particle::Repeat::kOne:
+      return "";
+    case Particle::Repeat::kOptional:
+      return "?";
+    case Particle::Repeat::kStar:
+      return "*";
+    case Particle::Repeat::kPlus:
+      return "+";
+  }
+  return "";
+}
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+         c == ':';
+}
+
+// Recursive-descent parser over the declaration text.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Dtd> Parse(Dtd* dtd,
+                    std::unordered_map<std::string, ElementDecl>* elements,
+                    std::vector<std::string>* order) {
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      if (TryConsume("<!ELEMENT")) {
+        XSQ_RETURN_IF_ERROR(ParseElementDecl(elements, order));
+      } else if (TryConsume("<!ATTLIST")) {
+        XSQ_RETURN_IF_ERROR(ParseAttlistDecl(elements, order));
+      } else if (TryConsume("<!ENTITY") || TryConsume("<!NOTATION") ||
+                 TryConsume("<?")) {
+        XSQ_RETURN_IF_ERROR(SkipDeclaration());
+      } else {
+        return Error("expected declaration");
+      }
+    }
+    return std::move(*dtd);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && IsXmlWhitespace(Peek())) ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (true) {
+      SkipWhitespace();
+      if (text_.substr(pos_, 4) == "<!--") {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+        continue;
+      }
+      break;
+    }
+  }
+
+  bool TryConsume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::string ParseName() {
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Status SkipDeclaration() {
+    // Already past the opening token; skip to '>' honoring quotes.
+    char quote = '\0';
+    while (!AtEnd()) {
+      char c = text_[pos_++];
+      if (quote != '\0') {
+        if (c == quote) quote = '\0';
+      } else if (c == '"' || c == '\'') {
+        quote = c;
+      } else if (c == '>') {
+        return Status::OK();
+      }
+    }
+    return Error("unterminated declaration").status();
+  }
+
+  Status ParseElementDecl(
+      std::unordered_map<std::string, ElementDecl>* elements,
+      std::vector<std::string>* order) {
+    SkipWhitespace();
+    std::string name = ParseName();
+    if (name.empty()) return Error("expected element name").status();
+    SkipWhitespace();
+    ContentModel model;
+    if (TryConsume("EMPTY")) {
+      model.kind = ContentModel::Kind::kEmpty;
+    } else if (TryConsume("ANY")) {
+      model.kind = ContentModel::Kind::kAny;
+    } else if (!AtEnd() && Peek() == '(') {
+      XSQ_RETURN_IF_ERROR(ParseModelGroup(&model));
+    } else {
+      return Error("expected EMPTY, ANY, or '(' in element declaration")
+          .status();
+    }
+    SkipWhitespace();
+    if (!TryConsume(">")) {
+      return Error("expected '>' after element declaration").status();
+    }
+    ElementDecl& decl = (*elements)[name];
+    if (decl.name.empty()) {
+      decl.name = name;
+      order->push_back(name);
+    }
+    decl.model = std::move(model);
+    return Status::OK();
+  }
+
+  // Parses "( ... )" which is either mixed content or a children model.
+  Status ParseModelGroup(ContentModel* model) {
+    size_t saved = pos_;
+    ++pos_;  // consume '('
+    SkipWhitespace();
+    if (TryConsume("#PCDATA")) {
+      model->kind = ContentModel::Kind::kMixed;
+      SkipWhitespace();
+      while (TryConsume("|")) {
+        SkipWhitespace();
+        std::string alt = ParseName();
+        if (alt.empty()) return Error("expected name after '|'").status();
+        model->mixed_names.push_back(std::move(alt));
+        SkipWhitespace();
+      }
+      if (!TryConsume(")")) {
+        return Error("expected ')' in mixed content model").status();
+      }
+      TryConsume("*");  // (#PCDATA)* and (#PCDATA|a)* forms
+      return Status::OK();
+    }
+    pos_ = saved;
+    model->kind = ContentModel::Kind::kChildren;
+    return ParseParticle(&model->particle);
+  }
+
+  // particle := name repeat | '(' particle ((',' particle)* | ('|'
+  // particle)*) ')' repeat
+  Status ParseParticle(Particle* particle) {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unexpected end of content model").status();
+    if (Peek() == '(') {
+      ++pos_;
+      std::vector<Particle> children(1);
+      XSQ_RETURN_IF_ERROR(ParseParticle(&children.back()));
+      SkipWhitespace();
+      char separator = '\0';
+      while (!AtEnd() && (Peek() == ',' || Peek() == '|')) {
+        if (separator == '\0') {
+          separator = Peek();
+        } else if (Peek() != separator) {
+          return Error("cannot mix ',' and '|' in one group").status();
+        }
+        ++pos_;
+        children.emplace_back();
+        XSQ_RETURN_IF_ERROR(ParseParticle(&children.back()));
+        SkipWhitespace();
+      }
+      if (!TryConsume(")")) {
+        return Error("expected ')' in content model").status();
+      }
+      if (children.size() == 1 && separator == '\0') {
+        *particle = std::move(children.front());
+        // A repetition on the group wraps the single child's own.
+        Particle::Repeat group_repeat = ParseRepeat();
+        if (group_repeat != Particle::Repeat::kOne) {
+          if (particle->repeat == Particle::Repeat::kOne) {
+            particle->repeat = group_repeat;
+          } else {
+            // e.g. (a?)* - fold conservatively to '*'.
+            particle->repeat = Particle::Repeat::kStar;
+          }
+        }
+        return Status::OK();
+      }
+      particle->kind = separator == '|' ? Particle::Kind::kChoice
+                                        : Particle::Kind::kSequence;
+      particle->children = std::move(children);
+      particle->repeat = ParseRepeat();
+      return Status::OK();
+    }
+    std::string name = ParseName();
+    if (name.empty()) {
+      return Error("expected element name in content model").status();
+    }
+    particle->kind = Particle::Kind::kName;
+    particle->name = std::move(name);
+    particle->repeat = ParseRepeat();
+    return Status::OK();
+  }
+
+  Particle::Repeat ParseRepeat() {
+    if (TryConsume("?")) return Particle::Repeat::kOptional;
+    if (TryConsume("*")) return Particle::Repeat::kStar;
+    if (TryConsume("+")) return Particle::Repeat::kPlus;
+    return Particle::Repeat::kOne;
+  }
+
+  Status ParseAttlistDecl(
+      std::unordered_map<std::string, ElementDecl>* elements,
+      std::vector<std::string>* order) {
+    SkipWhitespace();
+    std::string element = ParseName();
+    if (element.empty()) return Error("expected element name").status();
+    ElementDecl& decl = (*elements)[element];
+    if (decl.name.empty()) {
+      decl.name = element;
+      order->push_back(element);
+    }
+    while (true) {
+      SkipWhitespace();
+      if (TryConsume(">")) return Status::OK();
+      AttributeDecl attr;
+      attr.name = ParseName();
+      if (attr.name.empty()) {
+        return Error("expected attribute name in ATTLIST").status();
+      }
+      SkipWhitespace();
+      if (!AtEnd() && Peek() == '(') {
+        // Enumerated type: (a|b|c).
+        size_t end = text_.find(')', pos_);
+        if (end == std::string_view::npos) {
+          return Error("unterminated enumeration").status();
+        }
+        attr.type = std::string(text_.substr(pos_, end - pos_ + 1));
+        pos_ = end + 1;
+      } else {
+        attr.type = ParseName();
+        if (attr.type.empty()) {
+          return Error("expected attribute type").status();
+        }
+      }
+      SkipWhitespace();
+      if (TryConsume("#REQUIRED")) {
+        attr.presence = AttributeDecl::Presence::kRequired;
+      } else if (TryConsume("#IMPLIED")) {
+        attr.presence = AttributeDecl::Presence::kImplied;
+      } else {
+        if (TryConsume("#FIXED")) {
+          attr.presence = AttributeDecl::Presence::kFixed;
+          SkipWhitespace();
+        } else {
+          attr.presence = AttributeDecl::Presence::kDefault;
+        }
+        if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+          return Error("expected quoted default value").status();
+        }
+        char quote = Peek();
+        ++pos_;
+        size_t end = text_.find(quote, pos_);
+        if (end == std::string_view::npos) {
+          return Error("unterminated default value").status();
+        }
+        attr.default_value = std::string(text_.substr(pos_, end - pos_));
+        pos_ = end + 1;
+      }
+      decl.attributes.push_back(std::move(attr));
+    }
+  }
+
+  Result<Dtd> Error(const std::string& message) const {
+    return Status::ParseError(message + " (offset " + std::to_string(pos_) +
+                              " in DTD)");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void CollectNames(const Particle& particle,
+                  std::vector<std::string>* names) {
+  if (particle.kind == Particle::Kind::kName) {
+    names->push_back(particle.name);
+    return;
+  }
+  for (const Particle& child : particle.children) {
+    CollectNames(child, names);
+  }
+}
+
+}  // namespace
+
+std::string Particle::ToString() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kName:
+      out = name;
+      break;
+    case Kind::kSequence:
+    case Kind::kChoice: {
+      out.assign(1, '(');  // assign: GCC12 -Wrestrict FP
+      const char* sep = kind == Kind::kSequence ? "," : "|";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i].ToString();
+      }
+      out += ")";
+      break;
+    }
+  }
+  out += RepeatSuffix(repeat);
+  return out;
+}
+
+std::string ContentModel::ToString() const {
+  switch (kind) {
+    case Kind::kEmpty:
+      return "EMPTY";
+    case Kind::kAny:
+      return "ANY";
+    case Kind::kMixed: {
+      std::string out = "(#PCDATA";
+      for (const std::string& name : mixed_names) {
+        out.push_back('|');
+        out.append(name);
+      }
+      out.append(")*");
+      return out;
+    }
+    case Kind::kChildren:
+      if (particle.kind == Particle::Kind::kName) {
+        std::string out;
+        out.push_back('(');
+        out.append(particle.ToString());
+        out.push_back(')');
+        return out;
+      }
+      return particle.ToString();
+  }
+  return "";
+}
+
+Result<Dtd> Dtd::Parse(std::string_view dtd_text) {
+  Dtd dtd;
+  Parser parser(dtd_text);
+  return parser.Parse(&dtd, &dtd.elements_, &dtd.order_);
+}
+
+const ElementDecl* Dtd::FindElement(std::string_view name) const {
+  auto it = elements_.find(std::string(name));
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Dtd::PossibleChildren(
+    std::string_view element) const {
+  const ElementDecl* decl = FindElement(element);
+  if (decl == nullptr) return {};
+  switch (decl->model.kind) {
+    case ContentModel::Kind::kEmpty:
+      return {};
+    case ContentModel::Kind::kAny:
+      return order_;
+    case ContentModel::Kind::kMixed:
+      return decl->model.mixed_names;
+    case ContentModel::Kind::kChildren: {
+      std::vector<std::string> names;
+      CollectNames(decl->model.particle, &names);
+      return names;
+    }
+  }
+  return {};
+}
+
+bool Dtd::AllowsText(std::string_view element) const {
+  const ElementDecl* decl = FindElement(element);
+  if (decl == nullptr) return true;  // undeclared: no constraint
+  return decl->model.kind == ContentModel::Kind::kMixed ||
+         decl->model.kind == ContentModel::Kind::kAny;
+}
+
+std::unordered_set<std::string> Dtd::ReachableDescendants(
+    std::string_view element) const {
+  std::unordered_set<std::string> reachable;
+  std::deque<std::string> frontier;
+  for (const std::string& child : PossibleChildren(element)) {
+    if (reachable.insert(child).second) frontier.push_back(child);
+  }
+  while (!frontier.empty()) {
+    std::string current = std::move(frontier.front());
+    frontier.pop_front();
+    for (const std::string& child : PossibleChildren(current)) {
+      if (reachable.insert(child).second) frontier.push_back(child);
+    }
+  }
+  return reachable;
+}
+
+bool Dtd::IsRecursive() const {
+  for (const std::string& name : order_) {
+    if (ReachableDescendants(name).count(name) > 0) return true;
+  }
+  return false;
+}
+
+std::string Dtd::ToString() const {
+  std::string out;
+  for (const std::string& name : order_) {
+    const ElementDecl& decl = elements_.at(name);
+    out += "<!ELEMENT " + name + " " + decl.model.ToString() + ">\n";
+    if (!decl.attributes.empty()) {
+      out += "<!ATTLIST " + name;
+      for (const AttributeDecl& attr : decl.attributes) {
+        out += " " + attr.name + " " + attr.type + " ";
+        switch (attr.presence) {
+          case AttributeDecl::Presence::kRequired:
+            out += "#REQUIRED";
+            break;
+          case AttributeDecl::Presence::kImplied:
+            out += "#IMPLIED";
+            break;
+          case AttributeDecl::Presence::kFixed:
+            out += "#FIXED \"" + attr.default_value + "\"";
+            break;
+          case AttributeDecl::Presence::kDefault:
+            out += "\"" + attr.default_value + "\"";
+            break;
+        }
+      }
+      out += ">\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace xsq::dtd

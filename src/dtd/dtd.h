@@ -1,0 +1,108 @@
+// DTD substrate: document type definitions parsed from the internal
+// subset syntax, a streaming validator, and the schema model used by the
+// query optimizer.
+//
+// The paper closes Section 5 with: "Currently the XSQ system is
+// schema-unaware. It is an interesting topic to automatically
+// incorporate schema information, if available, into the system for
+// optimization." This module implements that future work: the Dtd class
+// models element content models and attribute lists; validator.h checks
+// streams against it with a pushdown automaton (the approach of the
+// related work [Segoufin & Vianu 2002]); optimizer.h uses the element
+// graph to decide query satisfiability and to rewrite closure axes into
+// child axes so XSQ-NC can run instead of XSQ-F.
+#ifndef XSQ_DTD_DTD_H_
+#define XSQ_DTD_DTD_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xsq::dtd {
+
+// One particle of an element content model, e.g. in
+// <!ELEMENT book (title, (author | editor)+, price?)>.
+struct Particle {
+  enum class Kind { kName, kSequence, kChoice };
+  enum class Repeat { kOne, kOptional, kStar, kPlus };  // '', '?', '*', '+'
+
+  Kind kind = Kind::kName;
+  Repeat repeat = Repeat::kOne;
+  std::string name;                 // kName
+  std::vector<Particle> children;   // kSequence / kChoice
+
+  std::string ToString() const;
+};
+
+// The content model of one element declaration.
+struct ContentModel {
+  enum class Kind {
+    kEmpty,     // <!ELEMENT x EMPTY>
+    kAny,       // <!ELEMENT x ANY>
+    kMixed,     // <!ELEMENT x (#PCDATA | a | b)*>
+    kChildren,  // <!ELEMENT x (regular expression of names)>
+  };
+
+  Kind kind = Kind::kAny;
+  std::vector<std::string> mixed_names;  // kMixed alternatives
+  Particle particle;                     // kChildren root particle
+
+  std::string ToString() const;
+};
+
+struct AttributeDecl {
+  enum class Presence { kRequired, kImplied, kFixed, kDefault };
+
+  std::string name;
+  std::string type = "CDATA";  // CDATA / ID / IDREF / NMTOKEN / enumeration
+  Presence presence = Presence::kImplied;
+  std::string default_value;  // kFixed / kDefault
+};
+
+struct ElementDecl {
+  std::string name;
+  ContentModel model;
+  std::vector<AttributeDecl> attributes;
+};
+
+class Dtd {
+ public:
+  // Parses a sequence of <!ELEMENT ...> and <!ATTLIST ...> declarations
+  // (comments and <!ENTITY>/<?...?> declarations are skipped).
+  static Result<Dtd> Parse(std::string_view dtd_text);
+
+  const ElementDecl* FindElement(std::string_view name) const;
+
+  // Names of elements that may appear as children of `element`
+  // according to its content model. ANY yields every declared element.
+  std::vector<std::string> PossibleChildren(std::string_view element) const;
+
+  // True when `element` may directly contain character data.
+  bool AllowsText(std::string_view element) const;
+
+  // True when some element can (transitively) contain itself -
+  // the "recursive DTD" property the paper cites (35 of 60 real DTDs).
+  bool IsRecursive() const;
+
+  // Elements reachable as strict descendants of `element`.
+  std::unordered_set<std::string> ReachableDescendants(
+      std::string_view element) const;
+
+  size_t element_count() const { return order_.size(); }
+  const std::vector<std::string>& element_names() const { return order_; }
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<std::string, ElementDecl> elements_;
+  std::vector<std::string> order_;  // declaration order, for printing
+};
+
+}  // namespace xsq::dtd
+
+#endif  // XSQ_DTD_DTD_H_

@@ -1,0 +1,52 @@
+// Schema-aware query analysis and optimization - the future work named
+// at the end of the paper's Section 5 ("automatically incorporate
+// schema information, if available, into the system for optimization").
+//
+// Given a DTD and a query, the analyzer computes which element names
+// can possibly match each location step. This yields two optimizations:
+//
+//  1. Unsatisfiability: a query whose step (or predicate) can never be
+//     satisfied under the schema is answered empty without reading a
+//     single byte of the stream.
+//
+//  2. Closure elimination: when the DTD's element graph admits exactly
+//     one path for a '//' step, the step is rewritten into explicit
+//     child steps. A fully rewritten query is closure-free, so the
+//     deterministic XSQ-NC engine can run instead of the
+//     nondeterministic XSQ-F (the throughput gap of Figure 16). E.g.
+//     with the SHAKE DTD, //ACT//SPEAKER becomes
+//     /PLAY/ACT/SCENE/SPEECH/SPEAKER - the paper's Q3 turned into Q2.
+#ifndef XSQ_DTD_OPTIMIZER_H_
+#define XSQ_DTD_OPTIMIZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+#include "xpath/ast.h"
+
+namespace xsq::dtd {
+
+struct QueryAnalysis {
+  // False when the schema proves the result is empty.
+  bool satisfiable = true;
+  std::string unsatisfiable_reason;
+
+  // Element names that can match each location step (sorted).
+  std::vector<std::vector<std::string>> step_tags;
+
+  // Present when every closure step expanded to a unique child path;
+  // the rewrite is equivalent on every document valid under the DTD.
+  std::optional<xpath::Query> closure_free_rewrite;
+};
+
+// Analyzes `query` against `dtd` with the given document root element.
+Result<QueryAnalysis> AnalyzeQuery(const Dtd& dtd,
+                                   const std::string& root_element,
+                                   const xpath::Query& query);
+
+}  // namespace xsq::dtd
+
+#endif  // XSQ_DTD_OPTIMIZER_H_

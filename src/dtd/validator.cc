@@ -1,0 +1,201 @@
+#include "dtd/validator.h"
+
+#include "common/strings.h"
+#include "xml/sax_parser.h"
+
+namespace xsq::dtd {
+
+namespace {
+
+bool IsWhitespaceOnly(std::string_view text) {
+  for (char c : text) {
+    if (!IsXmlWhitespace(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DtdValidator::DtdValidator(const Dtd& dtd, std::string expected_root)
+    : dtd_(dtd), expected_root_(std::move(expected_root)) {}
+
+void DtdValidator::Fail(const std::string& message) {
+  if (status_.ok()) {
+    status_ = Status::InvalidArgument("document invalid: " + message);
+  }
+}
+
+const ContentAutomaton* DtdValidator::AutomatonFor(const ElementDecl& decl) {
+  auto it = automata_.find(&decl);
+  if (it != automata_.end()) return it->second.get();
+  auto automaton = std::make_unique<ContentAutomaton>(
+      ContentAutomaton::Compile(decl.model.particle));
+  const ContentAutomaton* raw = automaton.get();
+  automata_.emplace(&decl, std::move(automaton));
+  return raw;
+}
+
+void DtdValidator::OnDocumentBegin() {
+  stack_.clear();
+  status_ = Status::OK();
+  elements_checked_ = 0;
+}
+
+void DtdValidator::OnBegin(std::string_view tag,
+                           const std::vector<xml::Attribute>& attributes,
+                           int /*depth*/) {
+  if (!status_.ok()) return;
+  ++elements_checked_;
+
+  if (stack_.empty()) {
+    if (!expected_root_.empty() && tag != expected_root_) {
+      Fail("root element is '" + std::string(tag) + "', DOCTYPE says '" +
+           expected_root_ + "'");
+      return;
+    }
+  } else {
+    // The parent's content model must allow this child here.
+    Frame& parent = stack_.back();
+    if (parent.decl != nullptr) {
+      switch (parent.decl->model.kind) {
+        case ContentModel::Kind::kEmpty:
+          Fail("element '" + parent.decl->name +
+               "' is declared EMPTY but has a child '" + std::string(tag) +
+               "'");
+          return;
+        case ContentModel::Kind::kAny:
+          break;
+        case ContentModel::Kind::kMixed: {
+          bool allowed = false;
+          for (const std::string& name : parent.decl->model.mixed_names) {
+            if (name == tag) {
+              allowed = true;
+              break;
+            }
+          }
+          if (!allowed) {
+            Fail("element '" + std::string(tag) +
+                 "' is not allowed in mixed content of '" +
+                 parent.decl->name + "'");
+            return;
+          }
+          break;
+        }
+        case ContentModel::Kind::kChildren: {
+          parent.states = parent.automaton->Advance(parent.states, tag);
+          if (parent.states.empty()) {
+            Fail("element '" + std::string(tag) +
+                 "' is not allowed at this position in '" +
+                 parent.decl->name + "' (content model " +
+                 parent.decl->model.ToString() + ")");
+            return;
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  const ElementDecl* decl = dtd_.FindElement(tag);
+  if (decl == nullptr) {
+    Fail("element '" + std::string(tag) + "' is not declared");
+    return;
+  }
+
+  // Attribute validity: every attribute declared; #REQUIRED present;
+  // #FIXED values match.
+  for (const xml::Attribute& attr : attributes) {
+    const AttributeDecl* found = nullptr;
+    for (const AttributeDecl& declared : decl->attributes) {
+      if (declared.name == attr.name) {
+        found = &declared;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      Fail("attribute '" + attr.name + "' of element '" + std::string(tag) +
+           "' is not declared");
+      return;
+    }
+    if (found->presence == AttributeDecl::Presence::kFixed &&
+        attr.value != found->default_value) {
+      Fail("attribute '" + attr.name + "' is #FIXED to \"" +
+           found->default_value + "\"");
+      return;
+    }
+  }
+  for (const AttributeDecl& declared : decl->attributes) {
+    if (declared.presence != AttributeDecl::Presence::kRequired) continue;
+    bool present = false;
+    for (const xml::Attribute& attr : attributes) {
+      if (attr.name == declared.name) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      Fail("required attribute '" + declared.name + "' missing on '" +
+           std::string(tag) + "'");
+      return;
+    }
+  }
+
+  Frame frame;
+  frame.decl = decl;
+  if (decl->model.kind == ContentModel::Kind::kChildren) {
+    frame.automaton = AutomatonFor(*decl);
+    frame.states = frame.automaton->Start();
+  }
+  stack_.push_back(std::move(frame));
+}
+
+void DtdValidator::OnText(std::string_view /*enclosing_tag*/,
+                          std::string_view text, int /*depth*/) {
+  if (!status_.ok() || stack_.empty()) return;
+  const Frame& frame = stack_.back();
+  if (frame.decl == nullptr) return;
+  switch (frame.decl->model.kind) {
+    case ContentModel::Kind::kAny:
+    case ContentModel::Kind::kMixed:
+      return;
+    case ContentModel::Kind::kEmpty:
+      if (!IsWhitespaceOnly(text)) {
+        Fail("element '" + frame.decl->name +
+             "' is declared EMPTY but contains text");
+      }
+      return;
+    case ContentModel::Kind::kChildren:
+      // Whitespace between children ("element content whitespace") is
+      // permitted; other character data is not.
+      if (!IsWhitespaceOnly(text)) {
+        Fail("element '" + frame.decl->name +
+             "' has element content but contains text");
+      }
+      return;
+  }
+}
+
+void DtdValidator::OnEnd(std::string_view /*tag*/, int /*depth*/) {
+  if (!status_.ok() || stack_.empty()) return;
+  const Frame& frame = stack_.back();
+  if (frame.decl != nullptr &&
+      frame.decl->model.kind == ContentModel::Kind::kChildren &&
+      !frame.automaton->Accepts(frame.states)) {
+    Fail("content of element '" + frame.decl->name +
+         "' is incomplete (content model " + frame.decl->model.ToString() +
+         ")");
+  }
+  stack_.pop_back();
+}
+
+void DtdValidator::OnDocumentEnd() {}
+
+Status ValidateDocument(const Dtd& dtd, std::string_view xml_text,
+                        std::string expected_root) {
+  DtdValidator validator(dtd, std::move(expected_root));
+  xml::SaxParser parser(&validator);
+  XSQ_RETURN_IF_ERROR(parser.Parse(xml_text));
+  return validator.status();
+}
+
+}  // namespace xsq::dtd

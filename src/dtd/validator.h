@@ -1,0 +1,73 @@
+// Streaming DTD validation with a pushdown automaton.
+//
+// The paper's related work cites Segoufin & Vianu's "Validating
+// Streaming XML documents" (PODS 2002): validity against a DTD can be
+// checked in a single pass with a stack of content-model automaton
+// configurations. This validator does exactly that: one stack entry per
+// open element holding the state set of the element's content-model
+// automaton; begin events advance the parent's automaton, end events
+// check acceptance, text events check the PCDATA permission, and
+// attribute lists are checked against ATTLIST declarations.
+#ifndef XSQ_DTD_VALIDATOR_H_
+#define XSQ_DTD_VALIDATOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "dtd/content_automaton.h"
+#include "dtd/dtd.h"
+#include "xml/events.h"
+
+namespace xsq::dtd {
+
+class DtdValidator : public xml::SaxHandler {
+ public:
+  // `dtd` must outlive the validator. When `expected_root` is non-empty
+  // the document's root element must carry that name (the DOCTYPE name).
+  explicit DtdValidator(const Dtd& dtd, std::string expected_root = "");
+
+  void OnDocumentBegin() override;
+  void OnBegin(std::string_view tag,
+               const std::vector<xml::Attribute>& attributes,
+               int depth) override;
+  void OnEnd(std::string_view tag, int depth) override;
+  void OnText(std::string_view enclosing_tag, std::string_view text,
+              int depth) override;
+  void OnDocumentEnd() override;
+
+  // OK while the stream is valid so far; the first violation otherwise.
+  const Status& status() const { return status_; }
+  bool valid() const { return status_.ok(); }
+
+  uint64_t elements_checked() const { return elements_checked_; }
+
+ private:
+  struct Frame {
+    const ElementDecl* decl = nullptr;
+    const ContentAutomaton* automaton = nullptr;  // kChildren models only
+    std::vector<int> states;
+  };
+
+  void Fail(const std::string& message);
+  const ContentAutomaton* AutomatonFor(const ElementDecl& decl);
+
+  const Dtd& dtd_;
+  std::string expected_root_;
+  std::vector<Frame> stack_;
+  std::unordered_map<const ElementDecl*, std::unique_ptr<ContentAutomaton>>
+      automata_;
+  Status status_;
+  uint64_t elements_checked_ = 0;
+};
+
+// Convenience: validates a whole document string against a DTD.
+Status ValidateDocument(const Dtd& dtd, std::string_view xml_text,
+                        std::string expected_root = "");
+
+}  // namespace xsq::dtd
+
+#endif  // XSQ_DTD_VALIDATOR_H_

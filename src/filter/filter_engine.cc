@@ -1,0 +1,139 @@
+#include "filter/filter_engine.h"
+
+#include <algorithm>
+
+#include "xml/sax_parser.h"
+
+namespace xsq::filter {
+
+Result<int> FilterEngine::AddQuery(std::string_view query_text) {
+  XSQ_ASSIGN_OR_RETURN(xpath::Query query, xpath::ParseQuery(query_text));
+  if (query.HasPredicates()) {
+    return Status::NotSupported(
+        "filtering supports only structural (predicate-free) paths");
+  }
+  int id = static_cast<int>(query_count_);
+  XSQ_RETURN_IF_ERROR(AddBranch(query.steps, id));
+  for (const xpath::Query& branch : query.union_branches) {
+    XSQ_RETURN_IF_ERROR(AddBranch(branch.steps, id));
+  }
+  ++query_count_;
+  return id;
+}
+
+Status FilterEngine::AddBranch(const std::vector<xpath::LocationStep>& steps,
+                               int id) {
+  int node = 0;
+  for (const xpath::LocationStep& step : steps) {
+    Node& current = nodes_[static_cast<size_t>(node)];
+    int* slot;
+    if (step.axis == xpath::Axis::kChild) {
+      if (step.IsWildcard()) {
+        slot = &current.child_wildcard;
+      } else {
+        slot = &nodes_[static_cast<size_t>(node)]
+                    .child_edges.try_emplace(step.node_test, -1)
+                    .first->second;
+      }
+    } else {
+      if (step.IsWildcard()) {
+        slot = &current.desc_wildcard;
+      } else {
+        slot = &nodes_[static_cast<size_t>(node)]
+                    .desc_edges.try_emplace(step.node_test, -1)
+                    .first->second;
+      }
+    }
+    if (*slot < 0) {
+      int fresh = AddNode();  // may reallocate nodes_: re-resolve the slot
+      const std::string& tag = step.node_test;
+      Node& owner = nodes_[static_cast<size_t>(node)];
+      if (step.axis == xpath::Axis::kChild) {
+        if (step.IsWildcard()) {
+          owner.child_wildcard = fresh;
+        } else {
+          owner.child_edges[tag] = fresh;
+        }
+      } else {
+        if (step.IsWildcard()) {
+          owner.desc_wildcard = fresh;
+        } else {
+          owner.desc_edges[tag] = fresh;
+        }
+      }
+      node = fresh;
+    } else {
+      node = *slot;
+    }
+  }
+  nodes_[static_cast<size_t>(node)].accepts.push_back(id);
+  return Status::OK();
+}
+
+// Runs the shared NFA over one document.
+class FilterEngine::Run : public xml::SaxHandler {
+ public:
+  Run(const std::vector<Node>& nodes, size_t query_count)
+      : nodes_(nodes), matched_(query_count, false) {
+    frontiers_.push_back({0});
+  }
+
+  void OnBegin(std::string_view tag,
+               const std::vector<xml::Attribute>& /*attributes*/,
+               int /*depth*/) override {
+    std::vector<int> next;
+    const std::string tag_key(tag);
+    for (int node_id : frontiers_.back()) {
+      const Node& node = nodes_[static_cast<size_t>(node_id)];
+      auto child_it = node.child_edges.find(tag_key);
+      if (child_it != node.child_edges.end()) Activate(child_it->second, &next);
+      if (node.child_wildcard >= 0) Activate(node.child_wildcard, &next);
+      auto desc_it = node.desc_edges.find(tag_key);
+      if (desc_it != node.desc_edges.end()) Activate(desc_it->second, &next);
+      if (node.desc_wildcard >= 0) Activate(node.desc_wildcard, &next);
+      // A node with pending '//' continuations stays active while the
+      // stream descends below it.
+      if (node.HasDescendantEdges()) Activate(node_id, &next);
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontiers_.push_back(std::move(next));
+  }
+
+  void OnEnd(std::string_view /*tag*/, int /*depth*/) override {
+    frontiers_.pop_back();
+  }
+
+  void OnText(std::string_view /*tag*/, std::string_view /*text*/,
+              int /*depth*/) override {}
+
+  std::vector<int> MatchedIds() const {
+    std::vector<int> ids;
+    for (size_t i = 0; i < matched_.size(); ++i) {
+      if (matched_[i]) ids.push_back(static_cast<int>(i));
+    }
+    return ids;
+  }
+
+ private:
+  void Activate(int node_id, std::vector<int>* next) {
+    next->push_back(node_id);
+    for (int query_id : nodes_[static_cast<size_t>(node_id)].accepts) {
+      matched_[static_cast<size_t>(query_id)] = true;
+    }
+  }
+
+  const std::vector<Node>& nodes_;
+  std::vector<bool> matched_;
+  std::vector<std::vector<int>> frontiers_;
+};
+
+Result<std::vector<int>> FilterEngine::FilterDocument(
+    std::string_view xml_text) {
+  Run run(nodes_, query_count_);
+  xml::SaxParser parser(&run);
+  XSQ_RETURN_IF_ERROR(parser.Parse(xml_text));
+  return run.MatchedIds();
+}
+
+}  // namespace xsq::filter

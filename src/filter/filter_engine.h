@@ -1,0 +1,76 @@
+// Shared-NFA multi-query document filter: the stand-in for the
+// XFilter/YFilter family [Altinel & Franklin 2000; Diao et al. 2002]
+// discussed in the paper's related work and Figure 14.
+//
+// Filtering systems answer a different question than XSQ: given many
+// predicate-free path expressions and a stream of documents, which
+// documents match which expressions? They never buffer element data -
+// only document identifiers are returned - which is why they cannot
+// evaluate general XPath queries (Section 1).
+//
+// Like YFilter, all registered queries are combined into a single NFA
+// whose common prefixes are shared: each node is a location-path prefix,
+// edges are (axis, tag) pairs, and a node remains active across
+// arbitrary descents when some registered query continues from it with a
+// closure axis.
+#ifndef XSQ_FILTER_FILTER_ENGINE_H_
+#define XSQ_FILTER_FILTER_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/events.h"
+#include "xpath/ast.h"
+
+namespace xsq::filter {
+
+class FilterEngine {
+ public:
+  FilterEngine() = default;
+
+  // Registers a predicate-free path query; returns its id (0-based).
+  // Output expressions are ignored: filters report document ids only.
+  Result<int> AddQuery(std::string_view query_text);
+
+  // Streams one document and reports the ids of all queries it matches,
+  // in ascending order.
+  Result<std::vector<int>> FilterDocument(std::string_view xml_text);
+
+  size_t query_count() const { return query_count_; }
+  // Number of shared NFA nodes - the YFilter sharing effect.
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::unordered_map<std::string, int> child_edges;  // '/' axis
+    std::unordered_map<std::string, int> desc_edges;   // '//' axis
+    int child_wildcard = -1;  // '/*'
+    int desc_wildcard = -1;   // '//*'
+    std::vector<int> accepts;  // query ids accepted at this prefix
+
+    bool HasDescendantEdges() const {
+      return !desc_edges.empty() || desc_wildcard >= 0;
+    }
+  };
+
+  class Run;  // per-document SAX handler
+
+  Status AddBranch(const std::vector<xpath::LocationStep>& steps, int id);
+
+  int AddNode() {
+    nodes_.emplace_back();
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  std::vector<Node> nodes_ = std::vector<Node>(1);  // node 0 = root prefix
+  size_t query_count_ = 0;
+};
+
+}  // namespace xsq::filter
+
+#endif  // XSQ_FILTER_FILTER_ENGINE_H_

@@ -1,0 +1,197 @@
+#include "textindex/text_index_engine.h"
+
+#include <algorithm>
+
+#include "dom/builder.h"
+
+namespace xsq::textindex {
+
+namespace {
+
+char FoldCase(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool IsWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9');
+}
+
+// Document-order intersection of two sorted posting lists.
+std::vector<uint32_t> Intersect(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<uint32_t> Union(const std::vector<uint32_t>& a,
+                            const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeText(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (IsWordChar(c)) {
+      current.push_back(FoldCase(c));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+void TextIndexEngine::IndexNode(const dom::Node& node) {
+  if (node.is_element() && node.parent() != nullptr) {  // skip doc node
+    ++element_count_;
+    nodes_by_index_.emplace(static_cast<uint32_t>(node.order_index()), &node);
+  } else {
+    const dom::Node* parent = node.parent();
+    if (parent != nullptr) {
+      uint32_t id = static_cast<uint32_t>(parent->order_index());
+      for (std::string& token : TokenizeText(node.text())) {
+        std::vector<uint32_t>& list = postings_[std::move(token)];
+        if (list.empty() || list.back() != id) {
+          list.push_back(id);
+          postings_bytes_ += sizeof(uint32_t);
+        }
+      }
+    }
+  }
+  for (const auto& child : node.children()) {
+    IndexNode(*child);
+  }
+}
+
+Result<std::unique_ptr<TextIndexEngine>> TextIndexEngine::Build(
+    std::string_view xml) {
+  XSQ_ASSIGN_OR_RETURN(dom::Document document, dom::BuildFromString(xml));
+  auto engine = std::unique_ptr<TextIndexEngine>(new TextIndexEngine());
+  engine->document_ = std::move(document);
+  engine->IndexNode(*engine->document_.document_node());
+  if (engine->element_count_ > kMaxElements) {
+    return Status::NotSupported(
+        "document has " + std::to_string(engine->element_count_) +
+        " elements; the text-index engine supports only " +
+        std::to_string(kMaxElements) + " per document (like XQEngine 0.56)");
+  }
+  return engine;
+}
+
+const std::vector<uint32_t>* TextIndexEngine::Postings(
+    std::string_view word) const {
+  std::string folded;
+  folded.reserve(word.size());
+  for (char c : word) folded.push_back(FoldCase(c));
+  auto it = postings_.find(folded);
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+std::vector<const dom::Node*> TextIndexEngine::SearchWord(
+    std::string_view word) const {
+  std::vector<const dom::Node*> out;
+  const std::vector<uint32_t>* list = Postings(word);
+  if (list == nullptr) return out;
+  out.reserve(list->size());
+  for (uint32_t id : *list) {
+    auto it = nodes_by_index_.find(id);
+    if (it != nodes_by_index_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<const dom::Node*> TextIndexEngine::SearchAll(
+    const std::vector<std::string>& words) const {
+  std::vector<const dom::Node*> out;
+  if (words.empty()) return out;
+  const std::vector<uint32_t>* first = Postings(words.front());
+  if (first == nullptr) return out;
+  std::vector<uint32_t> ids = *first;
+  for (size_t i = 1; i < words.size() && !ids.empty(); ++i) {
+    const std::vector<uint32_t>* next = Postings(words[i]);
+    if (next == nullptr) return out;
+    ids = Intersect(ids, *next);
+  }
+  for (uint32_t id : ids) {
+    auto it = nodes_by_index_.find(id);
+    if (it != nodes_by_index_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<const dom::Node*> TextIndexEngine::SearchAny(
+    const std::vector<std::string>& words) const {
+  std::vector<uint32_t> ids;
+  for (const std::string& word : words) {
+    const std::vector<uint32_t>* list = Postings(word);
+    if (list != nullptr) ids = Union(ids, *list);
+  }
+  std::vector<const dom::Node*> out;
+  for (uint32_t id : ids) {
+    auto it = nodes_by_index_.find(id);
+    if (it != nodes_by_index_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+Result<dom::EvalResult> TextIndexEngine::Evaluate(
+    const xpath::Query& query) const {
+  // Index short-circuit: a contains() constant that tokenizes to words
+  // none of which occur anywhere makes the result trivially empty -
+  // "if the query contains a tag that is not in the data, XQEngine
+  // returns the empty result set immediately" (Section 6.4).
+  for (const xpath::LocationStep& step : query.steps) {
+    for (const xpath::Predicate& predicate : step.predicates) {
+      if (!predicate.has_comparison ||
+          predicate.op != xpath::CompareOp::kContains) {
+        continue;
+      }
+      // The short-circuit is only sound for literals that are a single
+      // run of word characters: such a substring must lie inside one
+      // token, so if no indexed token contains it (case-folded, which
+      // over-approximates the case-sensitive contains), the result is
+      // empty.
+      std::vector<std::string> words = TokenizeText(predicate.literal);
+      if (words.size() != 1 || words.front().size() != predicate.literal.size()) {
+        continue;
+      }
+      bool might_occur = false;
+      for (const auto& [word, list] : postings_) {
+        if (word.find(words.front()) != std::string::npos) {
+          might_occur = true;
+          break;
+        }
+      }
+      if (!might_occur) {
+        dom::EvalResult empty;
+        if (query.output.kind == xpath::OutputKind::kCount ||
+            query.output.kind == xpath::OutputKind::kSum) {
+          empty.aggregate = 0.0;
+        }
+        return empty;
+      }
+    }
+  }
+  return dom::Evaluate(document_, query);
+}
+
+size_t TextIndexEngine::ApproxBytes() const {
+  size_t bytes = document_.ApproxBytes() + postings_bytes_;
+  for (const auto& [word, list] : postings_) {
+    bytes += word.capacity() + sizeof(list);
+  }
+  bytes += nodes_by_index_.size() * (sizeof(uint32_t) + sizeof(void*));
+  return bytes;
+}
+
+}  // namespace xsq::textindex

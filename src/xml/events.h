@@ -1,0 +1,153 @@
+// SAX data model for XML streams (paper Section 2.1).
+//
+// A stream is a sequence of begin / end / text events extended with the
+// depth of the corresponding element. The root element has depth 1; a
+// text event carries the tag and depth of its enclosing element.
+#ifndef XSQ_XML_EVENTS_H_
+#define XSQ_XML_EVENTS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsq::xml {
+
+// One attribute of a begin event. Values are fully entity-decoded.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+// Receives the event stream produced by SaxParser. All string_views are
+// only valid for the duration of the callback; handlers that need the
+// data later must copy it (this is the read-once discipline of streaming
+// data the paper is built around).
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+
+  // Called once before the first event of a document.
+  virtual void OnDocumentBegin() {}
+
+  // Called for a <!DOCTYPE name [internal subset]> declaration, before
+  // the root element's begin event. `internal_subset` is the raw text
+  // between '[' and ']' (empty when absent); it can be handed to
+  // dtd::Dtd::Parse for validation or schema-aware optimization.
+  virtual void OnDoctype(std::string_view /*name*/,
+                         std::string_view /*internal_subset*/) {}
+
+  // Begin event (tag, attrs, depth). Root element has depth == 1.
+  virtual void OnBegin(std::string_view tag,
+                       const std::vector<Attribute>& attributes,
+                       int depth) = 0;
+
+  // End event (/tag, depth).
+  virtual void OnEnd(std::string_view tag, int depth) = 0;
+
+  // Text event (tag, text(), depth): text content of the element `tag`
+  // at depth `depth`. Consecutive character data (including CDATA and
+  // data separated only by comments/PIs) is coalesced into one event, so
+  // the event sequence is independent of input chunking.
+  virtual void OnText(std::string_view enclosing_tag, std::string_view text,
+                      int depth) = 0;
+
+  // Called once after the last end event.
+  virtual void OnDocumentEnd() {}
+};
+
+// Materialized event, used by tests and by engines that buffer.
+struct Event {
+  enum class Type { kBegin, kEnd, kText };
+
+  Type type;
+  std::string tag;                     // element tag (enclosing tag for text)
+  std::vector<Attribute> attributes;  // begin only
+  std::string text;                    // text only
+  int depth = 0;
+
+  static Event Begin(std::string tag, std::vector<Attribute> attrs,
+                     int depth) {
+    Event e;
+    e.type = Type::kBegin;
+    e.tag = std::move(tag);
+    e.attributes = std::move(attrs);
+    e.depth = depth;
+    return e;
+  }
+  static Event End(std::string tag, int depth) {
+    Event e;
+    e.type = Type::kEnd;
+    e.tag = std::move(tag);
+    e.depth = depth;
+    return e;
+  }
+  static Event Text(std::string tag, std::string text, int depth) {
+    Event e;
+    e.type = Type::kText;
+    e.tag = std::move(tag);
+    e.text = std::move(text);
+    e.depth = depth;
+    return e;
+  }
+};
+
+// Fans one event stream out to several handlers in registration order.
+// Lets independent consumers (e.g. a query engine and a DTD validator)
+// share a single parse of the stream.
+class TeeHandler : public SaxHandler {
+ public:
+  TeeHandler() = default;
+  explicit TeeHandler(std::vector<SaxHandler*> targets)
+      : targets_(std::move(targets)) {}
+
+  // `target` is not owned and must outlive the tee.
+  void AddTarget(SaxHandler* target) { targets_.push_back(target); }
+
+  void OnDocumentBegin() override {
+    for (SaxHandler* t : targets_) t->OnDocumentBegin();
+  }
+  void OnDoctype(std::string_view name,
+                 std::string_view internal_subset) override {
+    for (SaxHandler* t : targets_) t->OnDoctype(name, internal_subset);
+  }
+  void OnBegin(std::string_view tag, const std::vector<Attribute>& attributes,
+               int depth) override {
+    for (SaxHandler* t : targets_) t->OnBegin(tag, attributes, depth);
+  }
+  void OnEnd(std::string_view tag, int depth) override {
+    for (SaxHandler* t : targets_) t->OnEnd(tag, depth);
+  }
+  void OnText(std::string_view enclosing_tag, std::string_view text,
+              int depth) override {
+    for (SaxHandler* t : targets_) t->OnText(enclosing_tag, text, depth);
+  }
+  void OnDocumentEnd() override {
+    for (SaxHandler* t : targets_) t->OnDocumentEnd();
+  }
+
+ private:
+  std::vector<SaxHandler*> targets_;
+};
+
+// A handler that records every event; used by tests.
+class RecordingHandler : public SaxHandler {
+ public:
+  void OnBegin(std::string_view tag, const std::vector<Attribute>& attributes,
+               int depth) override {
+    events.push_back(Event::Begin(std::string(tag), attributes, depth));
+  }
+  void OnEnd(std::string_view tag, int depth) override {
+    events.push_back(Event::End(std::string(tag), depth));
+  }
+  void OnText(std::string_view enclosing_tag, std::string_view text,
+              int depth) override {
+    events.push_back(
+        Event::Text(std::string(enclosing_tag), std::string(text), depth));
+  }
+
+  std::vector<Event> events;
+};
+
+}  // namespace xsq::xml
+
+#endif  // XSQ_XML_EVENTS_H_

@@ -1,0 +1,94 @@
+// A from-scratch, non-validating, incremental (push) SAX parser.
+//
+// This is the substrate the paper obtains from Xerces/Expat: it turns a
+// byte stream into the begin/text/end event stream of events.h. It is
+// incremental: bytes may arrive in arbitrary chunks (Feed), which is what
+// makes the downstream engines genuinely *streaming*. The parser enforces
+// well-formedness (matched tags, single root, legal names, legal entity
+// references) and reports errors with line/column positions.
+//
+// Supported syntax: elements, attributes (single or double quoted),
+// character data with the five predefined entities and numeric character
+// references, CDATA sections, comments, processing instructions, the XML
+// declaration, and DOCTYPE declarations (skipped, including an internal
+// subset). DTD-defined entities are not expanded (non-validating).
+#ifndef XSQ_XML_SAX_PARSER_H_
+#define XSQ_XML_SAX_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/events.h"
+
+namespace xsq::xml {
+
+class SaxParser {
+ public:
+  // `handler` must outlive the parser and is not owned.
+  explicit SaxParser(SaxHandler* handler);
+
+  SaxParser(const SaxParser&) = delete;
+  SaxParser& operator=(const SaxParser&) = delete;
+
+  // Consumes the next chunk of the document. Events for every construct
+  // that is complete within the data seen so far are delivered to the
+  // handler before Feed returns. Incomplete trailing constructs are
+  // retained and resumed by the next Feed.
+  Status Feed(std::string_view chunk);
+
+  // Declares end-of-input. Fails if the document is incomplete.
+  Status Finish();
+
+  // Parses a complete document in one call (Feed + Finish).
+  Status Parse(std::string_view document);
+
+  // Restores the parser to its initial state for a new document.
+  void Reset();
+
+  // Total bytes accepted via Feed so far.
+  size_t bytes_consumed() const { return bytes_consumed_; }
+
+  // Position used in error messages; 1-based.
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+  // Current element nesting depth (root element = 1 while open).
+  int depth() const { return static_cast<int>(open_elements_.size()); }
+
+ private:
+  enum class Progress { kOk, kNeedMore };
+
+  Status ParseBuffer(std::string_view data, size_t* consumed, bool at_eof);
+  Status HandleMarkup(std::string_view data, size_t* consumed,
+                      Progress* progress);
+  Status ParseElementTag(std::string_view markup_body, bool self_closing);
+  Status ParseEndTag(std::string_view markup_body);
+  Status FlushText();
+  Status DecodeEntities(std::string_view raw, std::string* out);
+  Status ErrorHere(const std::string& message) const;
+  void AdvancePosition(std::string_view consumed_text);
+
+  SaxHandler* handler_;
+  std::string pending_;                   // unconsumed tail from prior Feed
+  std::string text_;                      // decoded pending character data
+  bool has_pending_text_ = false;         // a text run is in progress
+  std::vector<std::string> open_elements_;
+  std::vector<Attribute> attributes_;     // scratch, reused per begin tag
+  bool seen_root_ = false;
+  bool document_begun_ = false;
+  bool bom_checked_ = false;
+  bool finished_ = false;
+  size_t bytes_consumed_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+// Reads a whole file and parses it. Convenience for tools and tests.
+Status ParseFile(const std::string& path, SaxHandler* handler);
+
+}  // namespace xsq::xml
+
+#endif  // XSQ_XML_SAX_PARSER_H_

@@ -1,0 +1,77 @@
+#include "xml/writer.h"
+
+#include "common/strings.h"
+
+namespace xsq::xml {
+
+void XmlWriter::Indent() {
+  if (!pretty_) return;
+  if (!out_.empty()) out_.push_back('\n');
+  out_.append(static_cast<size_t>(depth_) * 2, ' ');
+}
+
+void XmlWriter::BeginElement(std::string_view tag,
+                             const std::vector<Attribute>& attributes) {
+  Indent();
+  out_.push_back('<');
+  out_.append(tag);
+  for (const Attribute& attr : attributes) {
+    out_.push_back(' ');
+    out_.append(attr.name);
+    out_.append("=\"");
+    out_.append(XmlEscape(attr.value));
+    out_.push_back('"');
+  }
+  out_.push_back('>');
+  ++depth_;
+  needs_indent_ = true;
+}
+
+void XmlWriter::EndElement(std::string_view tag) {
+  --depth_;
+  if (needs_indent_) {
+    // The element had nested children; close on its own line.
+    Indent();
+  }
+  out_.append("</");
+  out_.append(tag);
+  out_.push_back('>');
+  needs_indent_ = true;
+}
+
+void XmlWriter::Text(std::string_view text) {
+  out_.append(XmlEscape(text));
+  needs_indent_ = false;
+}
+
+void XmlWriter::TextElement(std::string_view tag, std::string_view text) {
+  Indent();
+  out_.push_back('<');
+  out_.append(tag);
+  out_.push_back('>');
+  out_.append(XmlEscape(text));
+  out_.append("</");
+  out_.append(tag);
+  out_.push_back('>');
+  needs_indent_ = true;
+}
+
+std::string SerializeEvents(const std::vector<Event>& events) {
+  XmlWriter writer;
+  for (const Event& event : events) {
+    switch (event.type) {
+      case Event::Type::kBegin:
+        writer.BeginElement(event.tag, event.attributes);
+        break;
+      case Event::Type::kEnd:
+        writer.EndElement(event.tag);
+        break;
+      case Event::Type::kText:
+        writer.Text(event.text);
+        break;
+    }
+  }
+  return writer.TakeString();
+}
+
+}  // namespace xsq::xml

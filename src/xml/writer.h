@@ -1,0 +1,55 @@
+// XML serialization: used by the engines' catchall output (queries with no
+// output expression return whole elements), by the subtree-buffering
+// baseline, and by the data generators.
+#ifndef XSQ_XML_WRITER_H_
+#define XSQ_XML_WRITER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/events.h"
+
+namespace xsq::xml {
+
+// Incrementally builds a serialized XML fragment or document.
+// Attribute values and text are escaped; tags are written verbatim.
+class XmlWriter {
+ public:
+  XmlWriter() = default;
+
+  // When true, elements are written one per line with two-space indent.
+  explicit XmlWriter(bool pretty) : pretty_(pretty) {}
+
+  void BeginElement(std::string_view tag,
+                    const std::vector<Attribute>& attributes = {});
+  void EndElement(std::string_view tag);
+  void Text(std::string_view text);
+
+  // Writes <tag>text</tag> in one call.
+  void TextElement(std::string_view tag, std::string_view text);
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+  void Clear() {
+    out_.clear();
+    depth_ = 0;
+    needs_indent_ = false;
+  }
+
+ private:
+  void Indent();
+
+  std::string out_;
+  bool pretty_ = false;
+  int depth_ = 0;
+  bool needs_indent_ = false;
+};
+
+// Serializes a recorded event sequence (a well-formed fragment) to text.
+std::string SerializeEvents(const std::vector<Event>& events);
+
+}  // namespace xsq::xml
+
+#endif  // XSQ_XML_WRITER_H_

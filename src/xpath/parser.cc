@@ -1,0 +1,507 @@
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/strings.h"
+#include "xpath/ast.h"
+
+namespace xsq::xpath {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kContains:
+      return "%";
+  }
+  return "?";
+}
+
+std::string Predicate::ToString() const {
+  std::string out = "[";
+  switch (kind) {
+    case PredicateKind::kAttribute:
+      out += "@" + attribute;
+      break;
+    case PredicateKind::kText:
+      out += "text()";
+      break;
+    case PredicateKind::kChild:
+    case PredicateKind::kChildText:
+      out += child_tag;
+      break;
+    case PredicateKind::kChildAttribute:
+      out += child_tag + "@" + attribute;
+      break;
+  }
+  if (has_comparison) {
+    out += CompareOpName(op);
+    if (literal_number.has_value()) {
+      out += literal;
+    } else {
+      out += "\"" + literal + "\"";
+    }
+  }
+  out += "]";
+  return out;
+}
+
+std::string LocationStep::ToString() const {
+  std::string out = axis == Axis::kClosure ? "//" : "/";
+  out += node_test;
+  for (const Predicate& p : predicates) out += p.ToString();
+  return out;
+}
+
+std::string OutputExpr::ToString() const {
+  switch (kind) {
+    case OutputKind::kElement:
+      return "";
+    case OutputKind::kAttribute:
+      return "/@" + attribute;
+    case OutputKind::kText:
+      return "/text()";
+    case OutputKind::kCount:
+      return "/count()";
+    case OutputKind::kSum:
+      return "/sum()";
+    case OutputKind::kAvg:
+      return "/avg()";
+    case OutputKind::kMin:
+      return "/min()";
+    case OutputKind::kMax:
+      return "/max()";
+  }
+  return "";
+}
+
+bool Query::HasClosure() const {
+  for (const LocationStep& step : steps) {
+    if (step.axis == Axis::kClosure) return true;
+  }
+  for (const Query& branch : union_branches) {
+    if (branch.HasClosure()) return true;
+  }
+  return false;
+}
+
+bool Query::HasPredicates() const {
+  for (const LocationStep& step : steps) {
+    if (!step.predicates.empty()) return true;
+  }
+  for (const Query& branch : union_branches) {
+    if (branch.HasPredicates()) return true;
+  }
+  return false;
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  for (const LocationStep& step : steps) out += step.ToString();
+  out += output.ToString();
+  for (const Query& branch : union_branches) {
+    out += " | ";
+    out += branch.ToString();
+  }
+  return out;
+}
+
+namespace {
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+         c == ':' || static_cast<unsigned char>(c) >= 0x80;
+}
+
+// Recursive-descent parser over the query text.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Query> Parse() {
+    Query query;
+    SkipWhitespace();
+    if (AtEnd()) return Error("empty query");
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) break;
+      Axis axis;
+      if (!ParseAxis(&axis)) {
+        return Error("expected '/' or '//'");
+      }
+      SkipWhitespace();
+      if (AtEnd()) return Error("dangling '/' at end of query");
+
+      // Output expressions terminate the query.
+      if (Peek() == '@') {
+        ++pos_;
+        std::string attr = ParseName();
+        if (attr.empty()) return Error("expected attribute name after '@'");
+        SkipWhitespace();
+        if (!AtEnd()) return Error("output expression must end the query");
+        if (axis != Axis::kChild) {
+          return Error("output expression cannot use the '//' axis");
+        }
+        query.output.kind = OutputKind::kAttribute;
+        query.output.attribute = std::move(attr);
+        break;
+      }
+      size_t saved = pos_;
+      std::string name = ParseName();
+      if (!name.empty() && TryConsume("()")) {
+        OutputKind kind;
+        if (name == "text") {
+          kind = OutputKind::kText;
+        } else if (name == "count") {
+          kind = OutputKind::kCount;
+        } else if (name == "sum") {
+          kind = OutputKind::kSum;
+        } else if (name == "avg") {
+          kind = OutputKind::kAvg;
+        } else if (name == "min") {
+          kind = OutputKind::kMin;
+        } else if (name == "max") {
+          kind = OutputKind::kMax;
+        } else {
+          return Error("unknown output function '" + name + "()'");
+        }
+        SkipWhitespace();
+        if (!AtEnd()) return Error("output expression must end the query");
+        if (axis != Axis::kChild) {
+          return Error("output expression cannot use the '//' axis");
+        }
+        query.output.kind = kind;
+        break;
+      }
+      pos_ = saved;
+
+      LocationStep step;
+      step.axis = axis;
+      if (Peek() == '*') {
+        ++pos_;
+        step.node_test = "*";
+      } else if (Peek() == '.') {
+        // Reverse/self abbreviations '..' and '.': parsed as pseudo
+        // steps here and rewritten into forward-only form below
+        // (the approach of Olteanu et al., "XPath: Looking Forward").
+        ++pos_;
+        if (!AtEnd() && Peek() == '.') {
+          ++pos_;
+          step.node_test = "..";
+        } else {
+          step.node_test = ".";
+        }
+        if (!AtEnd() && Peek() == '[') {
+          return Error("predicates on '.' or '..' steps are not supported");
+        }
+        if (axis != Axis::kChild) {
+          return Error("'//' cannot precede '.' or '..'");
+        }
+        query.steps.push_back(std::move(step));
+        continue;
+      } else {
+        step.node_test = ParseName();
+        if (step.node_test.empty()) {
+          return Error("expected element name or '*'");
+        }
+      }
+      SkipWhitespace();
+      while (!AtEnd() && Peek() == '[') {
+        Predicate predicate;
+        XSQ_RETURN_IF_ERROR(ParsePredicate(&predicate));
+        step.predicates.push_back(std::move(predicate));
+        SkipWhitespace();
+      }
+      query.steps.push_back(std::move(step));
+    }
+    if (query.steps.empty()) {
+      return Error("query has no location steps");
+    }
+    return query;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && IsXmlWhitespace(text_[pos_])) ++pos_;
+  }
+
+  bool TryConsume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseAxis(Axis* axis) {
+    if (AtEnd() || Peek() != '/') return false;
+    ++pos_;
+    if (!AtEnd() && Peek() == '/') {
+      ++pos_;
+      *axis = Axis::kClosure;
+    } else {
+      *axis = Axis::kChild;
+    }
+    return true;
+  }
+
+  std::string ParseName() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  // Parses an optional comparison ("OP constant") ending at ']'.
+  Status ParseComparison(Predicate* predicate) {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated predicate").status();
+    if (Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    CompareOp op;
+    if (TryConsume("!=")) {
+      op = CompareOp::kNe;
+    } else if (TryConsume(">=")) {
+      op = CompareOp::kGe;
+    } else if (TryConsume("<=")) {
+      op = CompareOp::kLe;
+    } else if (TryConsume(">")) {
+      op = CompareOp::kGt;
+    } else if (TryConsume("<")) {
+      op = CompareOp::kLt;
+    } else if (TryConsume("=")) {
+      op = CompareOp::kEq;
+    } else if (TryConsume("%")) {
+      op = CompareOp::kContains;
+    } else if (TryConsume("contains")) {
+      op = CompareOp::kContains;
+    } else {
+      return Error("expected comparison operator or ']' in predicate")
+          .status();
+    }
+    predicate->has_comparison = true;
+    predicate->op = op;
+    SkipWhitespace();
+    if (AtEnd()) return Error("missing comparison constant").status();
+    char quote = Peek();
+    if (quote == '"' || quote == '\'') {
+      ++pos_;
+      size_t end = text_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return Error("unterminated string literal").status();
+      }
+      predicate->literal = std::string(text_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ']') {
+        return Error("expected ']' after string literal").status();
+      }
+      ++pos_;
+    } else {
+      size_t end = text_.find(']', pos_);
+      if (end == std::string_view::npos) {
+        return Error("unterminated predicate").status();
+      }
+      std::string_view raw = TrimWhitespace(text_.substr(pos_, end - pos_));
+      if (raw.empty()) return Error("missing comparison constant").status();
+      predicate->literal = std::string(raw);
+      pos_ = end + 1;
+    }
+    predicate->literal_number = ParseNumber(predicate->literal);
+    return Status::OK();
+  }
+
+  Status ParsePredicate(Predicate* predicate) {
+    ++pos_;  // consume '['
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated predicate").status();
+    if (Peek() == '@') {
+      ++pos_;
+      predicate->kind = PredicateKind::kAttribute;
+      predicate->attribute = ParseName();
+      if (predicate->attribute.empty()) {
+        return Error("expected attribute name after '@'").status();
+      }
+      return ParseComparison(predicate);
+    }
+    if (Peek() == '*') {
+      ++pos_;
+      predicate->child_tag.assign(1, '*');  // assign: GCC12 -Wrestrict FP
+      if (!AtEnd() && Peek() == '@') {
+        ++pos_;
+        predicate->kind = PredicateKind::kChildAttribute;
+        predicate->attribute = ParseName();
+        if (predicate->attribute.empty()) {
+          return Error("expected attribute name after '@'").status();
+        }
+        return ParseComparison(predicate);
+      }
+      predicate->kind = PredicateKind::kChild;
+      XSQ_RETURN_IF_ERROR(ParseComparison(predicate));
+      if (predicate->has_comparison) {
+        predicate->kind = PredicateKind::kChildText;
+      }
+      return Status::OK();
+    }
+    size_t saved = pos_;
+    std::string name = ParseName();
+    if (name.empty()) {
+      return Error("expected '@attr', 'text()', or child tag in predicate")
+          .status();
+    }
+    if (name == "text" && TryConsume("()")) {
+      predicate->kind = PredicateKind::kText;
+      return ParseComparison(predicate);
+    }
+    pos_ = saved;
+    name = ParseName();  // re-read: 'text' without '()' is a child tag
+    if (!AtEnd() && Peek() == '@') {
+      ++pos_;
+      predicate->kind = PredicateKind::kChildAttribute;
+      predicate->child_tag = std::move(name);
+      predicate->attribute = ParseName();
+      if (predicate->attribute.empty()) {
+        return Error("expected attribute name after '@'").status();
+      }
+      return ParseComparison(predicate);
+    }
+    predicate->child_tag = std::move(name);
+    predicate->kind = PredicateKind::kChild;
+    XSQ_RETURN_IF_ERROR(ParseComparison(predicate));
+    if (predicate->has_comparison) {
+      predicate->kind = PredicateKind::kChildText;
+    }
+    return Status::OK();
+  }
+
+  Result<Query> Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        message + " (offset " + std::to_string(pos_) + " in query '" +
+        std::string(text_) + "')");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+namespace {
+
+// Splits on '|' characters at the top level (outside predicate brackets
+// and string literals).
+std::vector<std::string_view> SplitUnionBranches(std::string_view text) {
+  std::vector<std::string_view> branches;
+  size_t start = 0;
+  int bracket_depth = 0;
+  char quote = '\0';
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+    } else if (c == '"' || c == '\'') {
+      quote = c;
+    } else if (c == '[') {
+      ++bracket_depth;
+    } else if (c == ']') {
+      --bracket_depth;
+    } else if (c == '|' && bracket_depth == 0) {
+      branches.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  branches.push_back(text.substr(start));
+  return branches;
+}
+
+}  // namespace
+
+namespace {
+
+// Rewrites '.' (self) and '..' (parent) pseudo steps into forward-only
+// form: '.' disappears; 'X/..' folds into a child-existence predicate
+// on the step before X ("XPath: Looking Forward" [Olteanu et al. 2002]).
+// E.g. /a/b/.. == /a[b] and //x/y/.. == //x[y].
+Status RewriteReverseSteps(Query* query) {
+  std::vector<LocationStep> rewritten;
+  for (LocationStep& step : query->steps) {
+    if (step.node_test == ".") {
+      continue;  // self step: no effect
+    }
+    if (step.node_test != "..") {
+      rewritten.push_back(std::move(step));
+      continue;
+    }
+    // Fold the previous step into a predicate of its own predecessor.
+    if (rewritten.empty()) {
+      return Status::NotSupported(
+          "'..' stepping above the first location step is not supported");
+    }
+    LocationStep child = std::move(rewritten.back());
+    rewritten.pop_back();
+    if (child.axis == Axis::kClosure) {
+      return Status::NotSupported(
+          "'..' after a '//' step is not supported (the parent is not "
+          "expressible as a child-existence predicate)");
+    }
+    if (!child.predicates.empty()) {
+      return Status::NotSupported(
+          "'..' after a predicated step is not supported");
+    }
+    if (rewritten.empty()) {
+      return Status::NotSupported(
+          "'..' reaching the document node is not supported");
+    }
+    Predicate folded;
+    folded.kind = PredicateKind::kChild;
+    folded.child_tag = child.node_test;
+    rewritten.back().predicates.push_back(std::move(folded));
+  }
+  if (rewritten.empty()) {
+    return Status::NotSupported("query reduces to the document node");
+  }
+  query->steps = std::move(rewritten);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  std::vector<std::string_view> branch_texts = SplitUnionBranches(text);
+  if (branch_texts.size() == 1) {
+    XSQ_ASSIGN_OR_RETURN(Query query, Parser(text).Parse());
+    XSQ_RETURN_IF_ERROR(RewriteReverseSteps(&query));
+    return query;
+  }
+  XSQ_ASSIGN_OR_RETURN(Query query, Parser(branch_texts.front()).Parse());
+  XSQ_RETURN_IF_ERROR(RewriteReverseSteps(&query));
+  for (size_t i = 1; i < branch_texts.size(); ++i) {
+    XSQ_ASSIGN_OR_RETURN(Query branch, Parser(branch_texts[i]).Parse());
+    XSQ_RETURN_IF_ERROR(RewriteReverseSteps(&branch));
+    if (branch.output.kind != query.output.kind ||
+        branch.output.attribute != query.output.attribute) {
+      return Status::InvalidArgument(
+          "union branches must share the same output expression (in '" +
+          std::string(text) + "')");
+    }
+    query.union_branches.push_back(std::move(branch));
+  }
+  return query;
+}
+
+}  // namespace xsq::xpath

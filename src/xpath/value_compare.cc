@@ -1,0 +1,46 @@
+#include "xpath/value_compare.h"
+
+#include <optional>
+
+#include "common/strings.h"
+
+namespace xsq::xpath {
+
+bool CompareValue(std::string_view observed, CompareOp op,
+                  std::string_view literal, bool literal_is_number,
+                  double literal_number) {
+  if (op == CompareOp::kContains) {
+    return Contains(observed, literal);
+  }
+
+  std::optional<double> observed_number = ParseNumber(observed);
+  bool both_numeric = literal_is_number && observed_number.has_value();
+
+  switch (op) {
+    case CompareOp::kLt:
+      return both_numeric && *observed_number < literal_number;
+    case CompareOp::kLe:
+      return both_numeric && *observed_number <= literal_number;
+    case CompareOp::kGt:
+      return both_numeric && *observed_number > literal_number;
+    case CompareOp::kGe:
+      return both_numeric && *observed_number >= literal_number;
+    case CompareOp::kEq:
+      if (both_numeric) return *observed_number == literal_number;
+      return observed == literal;
+    case CompareOp::kNe:
+      if (both_numeric) return *observed_number != literal_number;
+      return observed != literal;
+    case CompareOp::kContains:
+      break;  // handled above
+  }
+  return false;
+}
+
+bool CompareValue(std::string_view observed, const Predicate& predicate) {
+  return CompareValue(observed, predicate.op, predicate.literal,
+                      predicate.literal_number.has_value(),
+                      predicate.literal_number.value_or(0.0));
+}
+
+}  // namespace xsq::xpath

@@ -1,0 +1,29 @@
+// Shared comparison semantics for predicate evaluation.
+//
+// Every engine (XSQ-F, XSQ-NC, naive, DOM oracle) routes comparisons
+// through this single function so they agree exactly. Semantics follow
+// XPath 1.0 number coercion: relational operators (<, <=, >, >=) compare
+// numerically and are false when either side is not a number; = compares
+// numerically when both sides are numbers and as strings otherwise;
+// != is the negation of =; contains is a substring test.
+#ifndef XSQ_XPATH_VALUE_COMPARE_H_
+#define XSQ_XPATH_VALUE_COMPARE_H_
+
+#include <string_view>
+
+#include "xpath/ast.h"
+
+namespace xsq::xpath {
+
+// Compares an observed string value (attribute value or text content)
+// against a predicate's comparison constant.
+bool CompareValue(std::string_view observed, const Predicate& predicate);
+
+// Generic form used by code that does not have a Predicate at hand.
+bool CompareValue(std::string_view observed, CompareOp op,
+                  std::string_view literal, bool literal_is_number,
+                  double literal_number);
+
+}  // namespace xsq::xpath
+
+#endif  // XSQ_XPATH_VALUE_COMPARE_H_

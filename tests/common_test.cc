@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "core/aggregator.h"
+#include "core/item.h"
+
+namespace xsq {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::ParseError("bad tag");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_EQ(status.ToString(), "ParseError: bad tag");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotSupported), "NotSupported");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_TRUE(good.status().ok());
+  Result<int> bad = Status::InvalidArgument("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("abc");
+  std::string moved = *std::move(r);
+  EXPECT_EQ(moved, "abc");
+}
+
+TEST(StringsTest, ParseNumber) {
+  EXPECT_DOUBLE_EQ(*ParseNumber("12.5"), 12.5);
+  EXPECT_DOUBLE_EQ(*ParseNumber("  -3 "), -3.0);
+  EXPECT_DOUBLE_EQ(*ParseNumber("1e3"), 1000.0);
+  EXPECT_FALSE(ParseNumber("").has_value());
+  EXPECT_FALSE(ParseNumber("12x").has_value());
+  EXPECT_FALSE(ParseNumber("x12").has_value());
+  EXPECT_FALSE(ParseNumber("1 2").has_value());
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  a b \n"), "a b");
+  EXPECT_EQ(TrimWhitespace("\t\r\n "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StringsTest, FormatNumber) {
+  EXPECT_EQ(FormatNumber(42.0), "42");
+  EXPECT_EQ(FormatNumber(-7.0), "-7");
+  EXPECT_EQ(FormatNumber(2.5), "2.5");
+}
+
+TEST(StringsTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b>&'\""), "a&lt;b&gt;&amp;&apos;&quot;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto pieces = Split("a,,b", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[1], "");
+}
+
+TEST(StringsTest, SplitMix64IsDeterministic) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  SplitMix64 c(8);
+  EXPECT_NE(SplitMix64(7).Next(), c.Next());
+}
+
+TEST(StringsTest, SplitMix64BelowIsInRange) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(MemoryTrackerTest, TracksCurrentAndPeak) {
+  MemoryTracker tracker;
+  tracker.Add(100);
+  tracker.Add(50);
+  EXPECT_EQ(tracker.current_bytes(), 150u);
+  EXPECT_EQ(tracker.peak_bytes(), 150u);
+  tracker.Release(120);
+  EXPECT_EQ(tracker.current_bytes(), 30u);
+  EXPECT_EQ(tracker.peak_bytes(), 150u);
+  tracker.Add(10);
+  EXPECT_EQ(tracker.peak_bytes(), 150u);
+  tracker.Release(1000);  // saturates at zero
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+  tracker.Reset();
+  EXPECT_EQ(tracker.peak_bytes(), 0u);
+}
+
+TEST(ItemTest, SelectWinsOverLaterDrops) {
+  core::Item item(1);
+  item.AddClaim();
+  item.AddClaim();
+  EXPECT_EQ(item.state(), core::Item::State::kPending);
+  item.Select();
+  EXPECT_EQ(item.state(), core::Item::State::kSelected);
+  item.DropClaim();
+  item.DropClaim();
+  EXPECT_EQ(item.state(), core::Item::State::kSelected);
+}
+
+TEST(ItemTest, DiscardedWhenAllClaimsDropped) {
+  core::Item item(1);
+  item.AddClaim();
+  item.AddClaim();
+  item.DropClaim();
+  EXPECT_EQ(item.state(), core::Item::State::kPending);
+  item.DropClaim();
+  EXPECT_EQ(item.state(), core::Item::State::kDiscarded);
+  item.Select();  // too late: discard is terminal
+  EXPECT_EQ(item.state(), core::Item::State::kDiscarded);
+}
+
+TEST(ItemTest, CompletenessFlag) {
+  core::Item item(0);
+  EXPECT_TRUE(item.complete());
+  item.set_incomplete();
+  EXPECT_FALSE(item.complete());
+  item.set_complete();
+  EXPECT_TRUE(item.complete());
+}
+
+TEST(AggregatorTest, Count) {
+  core::Aggregator agg(xpath::OutputKind::kCount);
+  EXPECT_TRUE(agg.Update("anything"));
+  EXPECT_TRUE(agg.Update(""));
+  EXPECT_DOUBLE_EQ(*agg.Final(), 2.0);
+}
+
+TEST(AggregatorTest, SumSkipsNonNumeric) {
+  core::Aggregator agg(xpath::OutputKind::kSum);
+  EXPECT_TRUE(agg.Update("1.5"));
+  EXPECT_FALSE(agg.Update("oops"));
+  EXPECT_TRUE(agg.Update(" 2 "));
+  EXPECT_DOUBLE_EQ(*agg.Final(), 3.5);
+}
+
+TEST(AggregatorTest, SumOfNothingIsZero) {
+  core::Aggregator agg(xpath::OutputKind::kSum);
+  EXPECT_DOUBLE_EQ(*agg.Final(), 0.0);
+  core::Aggregator count(xpath::OutputKind::kCount);
+  EXPECT_DOUBLE_EQ(*count.Final(), 0.0);
+}
+
+TEST(AggregatorTest, AvgMinMax) {
+  core::Aggregator avg(xpath::OutputKind::kAvg);
+  EXPECT_FALSE(avg.Current().has_value());
+  avg.Update("2");
+  avg.Update("4");
+  EXPECT_DOUBLE_EQ(*avg.Current(), 3.0);
+  core::Aggregator mn(xpath::OutputKind::kMin);
+  core::Aggregator mx(xpath::OutputKind::kMax);
+  for (const char* v : {"5", "-2", "9"}) {
+    mn.Update(v);
+    mx.Update(v);
+  }
+  EXPECT_DOUBLE_EQ(*mn.Final(), -2.0);
+  EXPECT_DOUBLE_EQ(*mx.Final(), 9.0);
+  core::Aggregator empty_min(xpath::OutputKind::kMin);
+  EXPECT_FALSE(empty_min.Final().has_value());
+}
+
+}  // namespace
+}  // namespace xsq

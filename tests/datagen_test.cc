@@ -1,0 +1,153 @@
+#include "datagen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dom/builder.h"
+#include "xml/sax_parser.h"
+
+namespace xsq::datagen {
+namespace {
+
+void ExpectWellFormed(const std::string& xml) {
+  Result<dom::Document> doc = dom::BuildFromString(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+}
+
+size_t CountItems(std::string_view query, const std::string& xml) {
+  Result<core::QueryResult> result = core::RunQuery(query, xml);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result->items.size();
+}
+
+TEST(DatagenTest, AllGeneratorsProduceWellFormedXml) {
+  ExpectWellFormed(GenerateShake(50000, 1));
+  ExpectWellFormed(GenerateNasa(50000, 1));
+  ExpectWellFormed(GenerateDblp(50000, 1));
+  ExpectWellFormed(GeneratePsd(50000, 1));
+  ExpectWellFormed(GenerateRecursivePubs(50000, 1));
+  ExpectWellFormed(GenerateOrderingDataset(50000, 20));
+  ExpectWellFormed(GenerateColorDataset(50000, 1));
+}
+
+TEST(DatagenTest, GeneratorsAreDeterministic) {
+  EXPECT_EQ(GenerateShake(20000, 7), GenerateShake(20000, 7));
+  EXPECT_NE(GenerateShake(20000, 7), GenerateShake(20000, 8));
+  EXPECT_EQ(GenerateDblp(20000, 3), GenerateDblp(20000, 3));
+  EXPECT_EQ(GenerateRecursivePubs(20000, 5), GenerateRecursivePubs(20000, 5));
+}
+
+TEST(DatagenTest, SizeScalesWithTarget) {
+  std::string small = GenerateDblp(20000, 1);
+  std::string large = GenerateDblp(200000, 1);
+  EXPECT_GE(small.size(), 20000u);
+  EXPECT_GE(large.size(), 200000u);
+  EXPECT_LT(small.size(), 60000u);  // does not wildly overshoot
+  EXPECT_GT(large.size(), 5 * small.size() / 2);
+}
+
+TEST(DatagenTest, ShakeSupportsThePaperQueries) {
+  std::string xml = GenerateShake(120000, 42);
+  size_t all_speakers =
+      CountItems("/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()", xml);
+  size_t love_speakers =
+      CountItems("/PLAY/ACT/SCENE/SPEECH[LINE%love]/SPEAKER/text()", xml);
+  size_t closure_speakers = CountItems("//ACT//SPEAKER/text()", xml);
+  EXPECT_GT(all_speakers, 50u);
+  EXPECT_GT(love_speakers, 0u);         // some lines mention love...
+  EXPECT_LT(love_speakers, all_speakers);  // ...but not all
+  EXPECT_EQ(closure_speakers, all_speakers);
+}
+
+TEST(DatagenTest, DblpHasRecordsWithAndWithoutAuthors) {
+  std::string xml = GenerateDblp(150000, 42);
+  size_t all = CountItems("/dblp/inproceedings/title/text()", xml);
+  size_t with_author =
+      CountItems("/dblp/inproceedings[author]/title/text()", xml);
+  EXPECT_GT(all, 10u);
+  EXPECT_GT(with_author, 0u);
+  EXPECT_LT(with_author, all);  // ~10% lack authors
+  EXPECT_GT(CountItems("/dblp/article/title/text()", xml), 0u);
+}
+
+TEST(DatagenTest, NasaAndPsdSupportTheirQueries) {
+  EXPECT_GT(CountItems("/datasets/dataset/reference/source/other/name/text()",
+                       GenerateNasa(100000, 1)),
+            0u);
+  EXPECT_GT(CountItems("/ProteinDatabase/ProteinEntry/reference/refinfo"
+                       "/authors/author/text()",
+                       GeneratePsd(100000, 1)),
+            0u);
+}
+
+TEST(DatagenTest, RecursivePubsNestAndSupportClosureQuery) {
+  RecursiveOptions options;
+  options.nested_levels = 8;
+  std::string xml = GenerateRecursivePubs(200000, 9, options);
+  Result<DatasetStats> stats = ComputeStats(xml);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->max_depth, 4);  // genuinely recursive
+  EXPECT_GT(CountItems("//pub[year]//book[@id]/title/text()", xml), 0u);
+}
+
+TEST(DatagenTest, OrderingDatasetQueriesAllReturnEmpty) {
+  std::string xml = GenerateOrderingDataset(60000, 25);
+  EXPECT_EQ(CountItems("/data/a[prior=0]", xml), 0u);
+  EXPECT_EQ(CountItems("/data/a[posterior=0]", xml), 0u);
+  EXPECT_EQ(CountItems("/data/a[@id=0]", xml), 0u);
+  EXPECT_GT(CountItems("/data/a[prior=1]", xml), 0u);
+}
+
+TEST(DatagenTest, ColorDatasetHasRoughlyPaperProportions) {
+  std::string xml = GenerateColorDataset(300000, 5);
+  double red = static_cast<double>(CountItems("/a/Red/text()", xml));
+  double green = static_cast<double>(CountItems("/a/Green/text()", xml));
+  double blue = static_cast<double>(CountItems("/a/Blue/text()", xml));
+  double total = red + green + blue;
+  ASSERT_GT(total, 1000);
+  EXPECT_NEAR(red / total, 0.10, 0.03);
+  EXPECT_NEAR(green / total, 0.30, 0.04);
+  EXPECT_NEAR(blue / total, 0.60, 0.04);
+}
+
+TEST(DatagenTest, GenericGeneratorHonorsItsParameters) {
+  GenericOptions options;
+  options.nested_levels = 5;
+  options.max_repeats = 4;
+  options.tags = {"x", "y"};
+  std::string xml = GenerateGeneric(80000, 3, options);
+  Result<DatasetStats> stats = ComputeStats(xml);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_LE(stats->max_depth, 5);
+  EXPECT_GE(stats->max_depth, 3);  // deep enough to be interesting
+  EXPECT_GT(stats->element_count, 100u);
+  // Only the configured vocabulary (plus the <gen> root) appears.
+  EXPECT_EQ(xml.find("<n0"), std::string::npos);
+  EXPECT_NE(xml.find("<x"), std::string::npos);
+  EXPECT_NE(xml.find("<y"), std::string::npos);
+}
+
+TEST(DatagenTest, GenericGeneratorIsDeterministicAndQueryable) {
+  EXPECT_EQ(GenerateGeneric(30000, 9), GenerateGeneric(30000, 9));
+  EXPECT_NE(GenerateGeneric(30000, 9), GenerateGeneric(30000, 10));
+  std::string xml = GenerateGeneric(60000, 4);
+  EXPECT_GT(CountItems("//n0[@id]", xml), 0u);
+}
+
+TEST(DatagenTest, ComputeStatsMatchesFigure15Shape) {
+  Result<DatasetStats> stats = ComputeStats("<a><b>xy</b><b>z</b></a>");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->element_count, 3u);
+  EXPECT_EQ(stats->text_bytes, 3u);
+  EXPECT_EQ(stats->max_depth, 2);
+  EXPECT_NEAR(stats->avg_depth, (1 + 2 + 2) / 3.0, 1e-9);
+  EXPECT_NEAR(stats->avg_tag_length, 1.0, 1e-9);
+  EXPECT_GT(stats->bytes, 0u);
+}
+
+TEST(DatagenTest, ComputeStatsRejectsMalformedInput) {
+  EXPECT_FALSE(ComputeStats("<a><b></a>").ok());
+}
+
+}  // namespace
+}  // namespace xsq::datagen

@@ -1,0 +1,104 @@
+// The OnDoctype callback bridges the parser and the DTD module: a
+// document that carries its schema in the internal subset can be
+// validated or analyzed without any out-of-band configuration.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "dtd/dtd.h"
+#include "dtd/optimizer.h"
+#include "dtd/validator.h"
+#include "xml/events.h"
+#include "xml/sax_parser.h"
+#include "xpath/ast.h"
+
+namespace xsq {
+namespace {
+
+class DoctypeCapture : public xml::RecordingHandler {
+ public:
+  void OnDoctype(std::string_view name,
+                 std::string_view internal_subset) override {
+    doctype_name = std::string(name);
+    subset = std::string(internal_subset);
+  }
+
+  std::string doctype_name;
+  std::string subset;
+};
+
+constexpr const char* kDocWithDtd = R"(<?xml version="1.0"?>
+<!DOCTYPE lib [
+  <!ELEMENT lib (book*)>
+  <!ELEMENT book (title)>
+  <!ATTLIST book id CDATA #REQUIRED>
+  <!ELEMENT title (#PCDATA)>
+]>
+<lib><book id="1"><title>T</title></book></lib>)";
+
+TEST(DoctypeTest, ReportsNameAndInternalSubset) {
+  DoctypeCapture handler;
+  xml::SaxParser parser(&handler);
+  ASSERT_TRUE(parser.Parse(kDocWithDtd).ok());
+  EXPECT_EQ(handler.doctype_name, "lib");
+  EXPECT_NE(handler.subset.find("<!ELEMENT book (title)>"),
+            std::string::npos);
+  // Events still flow normally after the DOCTYPE.
+  ASSERT_FALSE(handler.events.empty());
+  EXPECT_EQ(handler.events[0].tag, "lib");
+}
+
+TEST(DoctypeTest, DoctypeWithoutSubset) {
+  DoctypeCapture handler;
+  xml::SaxParser parser(&handler);
+  ASSERT_TRUE(parser.Parse("<!DOCTYPE a SYSTEM \"a.dtd\"><a/>").ok());
+  EXPECT_EQ(handler.doctype_name, "a");
+  EXPECT_TRUE(handler.subset.empty());
+}
+
+TEST(DoctypeTest, CapturedSubsetParsesAsDtd) {
+  DoctypeCapture handler;
+  xml::SaxParser parser(&handler);
+  ASSERT_TRUE(parser.Parse(kDocWithDtd).ok());
+  Result<dtd::Dtd> dtd = dtd::Dtd::Parse(handler.subset);
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(dtd->element_count(), 3u);
+  EXPECT_FALSE(dtd->IsRecursive());
+}
+
+TEST(DoctypeTest, EndToEndSelfDescribingDocument) {
+  // Capture the schema from the document itself, then validate the
+  // same document against it and optimize a query with it.
+  DoctypeCapture handler;
+  xml::SaxParser parser(&handler);
+  ASSERT_TRUE(parser.Parse(kDocWithDtd).ok());
+  Result<dtd::Dtd> dtd = dtd::Dtd::Parse(handler.subset);
+  ASSERT_TRUE(dtd.ok());
+
+  EXPECT_TRUE(
+      dtd::ValidateDocument(*dtd, kDocWithDtd, handler.doctype_name).ok());
+
+  Result<xpath::Query> query = xpath::ParseQuery("//title/text()");
+  ASSERT_TRUE(query.ok());
+  Result<dtd::QueryAnalysis> analysis =
+      dtd::AnalyzeQuery(*dtd, handler.doctype_name, *query);
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_TRUE(analysis->closure_free_rewrite.has_value());
+  EXPECT_EQ(analysis->closure_free_rewrite->ToString(),
+            "/lib/book/title/text()");
+}
+
+TEST(DoctypeTest, ChunkedDoctypeStillReported) {
+  DoctypeCapture handler;
+  xml::SaxParser parser(&handler);
+  const std::string doc = kDocWithDtd;
+  for (char c : doc) {
+    ASSERT_TRUE(parser.Feed(std::string_view(&c, 1)).ok());
+  }
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(handler.doctype_name, "lib");
+  EXPECT_FALSE(handler.subset.empty());
+}
+
+}  // namespace
+}  // namespace xsq

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "dom/builder.h"
+#include "dom/evaluator.h"
+#include "xpath/ast.h"
+
+namespace xsq::dom {
+namespace {
+
+// Figure 1 of the paper (whitespace removed for exact text matching).
+constexpr const char* kFig1 =
+    "<root><pub>"
+    "<book id=\"1\"><price>12.00</price><name>First</name>"
+    "<author>A</author><price type=\"discount\">10.00</price></book>"
+    "<book id=\"2\"><price>14.00</price><name>Second</name>"
+    "<author>A</author><author>B</author>"
+    "<price type=\"discount\">12.00</price></book>"
+    "<year>2002</year>"
+    "</pub></root>";
+
+// Figure 2 of the paper: recursive structure (pub inside book).
+constexpr const char* kFig2 =
+    "<root><pub>"
+    "<book><name>X</name><author>A</author></book>"
+    "<book><name>Y</name>"
+    "<pub><book><name>Z</name><author>B</author></book>"
+    "<year>1999</year></pub>"
+    "</book>"
+    "<year>2002</year>"
+    "</pub></root>";
+
+EvalResult Eval(std::string_view xml, std::string_view query_text) {
+  Result<Document> doc = BuildFromString(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  Result<xpath::Query> query = xpath::ParseQuery(query_text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  Result<EvalResult> result = Evaluate(*doc, *query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *std::move(result);
+}
+
+TEST(DomBuilderTest, BuildsTree) {
+  Result<Document> doc = BuildFromString("<a x=\"1\"><b>t</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  const Node* root = doc->root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->tag(), "a");
+  ASSERT_NE(root->FindAttribute("x"), nullptr);
+  EXPECT_EQ(*root->FindAttribute("x"), "1");
+  EXPECT_EQ(root->FindAttribute("nope"), nullptr);
+  ASSERT_EQ(root->children().size(), 2u);
+  const Node* b = root->children()[0].get();
+  EXPECT_EQ(b->tag(), "b");
+  ASSERT_EQ(b->children().size(), 1u);
+  EXPECT_TRUE(b->children()[0]->is_text());
+  EXPECT_EQ(b->children()[0]->text(), "t");
+  EXPECT_EQ(b->parent(), root);
+}
+
+TEST(DomBuilderTest, OrderIndexesAreDocumentOrder) {
+  Result<Document> doc = BuildFromString("<a><b/><c><d/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  const Node* a = doc->root();
+  const Node* b = a->children()[0].get();
+  const Node* c = a->children()[1].get();
+  const Node* d = c->children()[0].get();
+  EXPECT_LT(a->order_index(), b->order_index());
+  EXPECT_LT(b->order_index(), c->order_index());
+  EXPECT_LT(c->order_index(), d->order_index());
+}
+
+TEST(DomBuilderTest, DirectTextConcatenatesOnlyDirectChildren) {
+  Result<Document> doc = BuildFromString("<a>1<b>skip</b>2</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->DirectText(), "12");
+}
+
+TEST(DomEvaluatorTest, PaperExample1) {
+  EvalResult r = Eval(kFig1, "/root/pub[year=2002]/book[price<11]/author");
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "<author>A</author>");
+}
+
+TEST(DomEvaluatorTest, PaperExample2) {
+  EvalResult r = Eval(kFig2, "//pub[year=2002]//book[author]//name");
+  ASSERT_EQ(r.items.size(), 2u);
+  EXPECT_EQ(r.items[0], "<name>X</name>");
+  EXPECT_EQ(r.items[1], "<name>Z</name>");
+}
+
+TEST(DomEvaluatorTest, ClosureMatchesAllDepths) {
+  EvalResult r = Eval("<a><b><a><b/></a></b></a>", "//b");
+  EXPECT_EQ(r.match_count, 2u);
+}
+
+TEST(DomEvaluatorTest, ClosureIsStrictDescendantOfPreviousStep) {
+  // //a//a: the outer a is not its own descendant.
+  EvalResult r = Eval("<a><a/></a>", "//a//a");
+  EXPECT_EQ(r.match_count, 1u);
+}
+
+TEST(DomEvaluatorTest, ChildAxisRequiresDirectChild) {
+  EvalResult r = Eval("<a><x><b/></x></a>", "/a/b");
+  EXPECT_EQ(r.match_count, 0u);
+}
+
+TEST(DomEvaluatorTest, WildcardStep) {
+  EvalResult r = Eval("<a><x><b/></x><y><b/></y></a>", "/a/*/b");
+  EXPECT_EQ(r.match_count, 2u);
+}
+
+TEST(DomEvaluatorTest, AttributePredicates) {
+  const char* doc = "<r><a id=\"3\"/><a id=\"7\"/><a/></r>";
+  EXPECT_EQ(Eval(doc, "/r/a[@id]").match_count, 2u);
+  EXPECT_EQ(Eval(doc, "/r/a[@id=3]").match_count, 1u);
+  EXPECT_EQ(Eval(doc, "/r/a[@id>2]").match_count, 2u);
+  EXPECT_EQ(Eval(doc, "/r/a[@id!=3]").match_count, 1u);
+}
+
+TEST(DomEvaluatorTest, TextPredicates) {
+  const char* doc = "<r><a>5</a><a>x</a><a/></r>";
+  EXPECT_EQ(Eval(doc, "/r/a[text()]").match_count, 2u);
+  EXPECT_EQ(Eval(doc, "/r/a[text()=5]").match_count, 1u);
+  EXPECT_EQ(Eval(doc, "/r/a[text()%x]").match_count, 1u);
+}
+
+TEST(DomEvaluatorTest, ChildPredicates) {
+  const char* doc =
+      "<r><a><b id=\"1\">5</b></a><a><b>9</b></a><a><c/></a></r>";
+  EXPECT_EQ(Eval(doc, "/r/a[b]").match_count, 2u);
+  EXPECT_EQ(Eval(doc, "/r/a[b@id]").match_count, 1u);
+  EXPECT_EQ(Eval(doc, "/r/a[b@id=1]").match_count, 1u);
+  EXPECT_EQ(Eval(doc, "/r/a[b>6]").match_count, 1u);
+  EXPECT_EQ(Eval(doc, "/r/a[*]").match_count, 3u);
+}
+
+TEST(DomEvaluatorTest, ExistentialChildSemantics) {
+  // One failing child does not refute the predicate if another passes.
+  EvalResult r = Eval("<r><a><p>20</p><p>5</p></a></r>", "/r/a[p<11]");
+  EXPECT_EQ(r.match_count, 1u);
+}
+
+TEST(DomEvaluatorTest, MultiplePredicatesAreConjunctive) {
+  const char* doc = "<r><a id=\"1\"><b/></a><a id=\"1\"/><a><b/></a></r>";
+  EXPECT_EQ(Eval(doc, "/r/a[@id][b]").match_count, 1u);
+}
+
+TEST(DomEvaluatorTest, TextOutputEmitsPerTextNode) {
+  EvalResult r = Eval("<r><a>x<b/>y</a></r>", "/r/a/text()");
+  ASSERT_EQ(r.items.size(), 2u);
+  EXPECT_EQ(r.items[0], "x");
+  EXPECT_EQ(r.items[1], "y");
+}
+
+TEST(DomEvaluatorTest, AttributeOutput) {
+  EvalResult r = Eval("<r><a id=\"1\"/><a/><a id=\"2\"/></r>", "/r/a/@id");
+  ASSERT_EQ(r.items.size(), 2u);
+  EXPECT_EQ(r.items[0], "1");
+  EXPECT_EQ(r.items[1], "2");
+}
+
+TEST(DomEvaluatorTest, ElementOutputSerializesSubtree) {
+  EvalResult r =
+      Eval("<r><a x=\"1\">t<b>u</b></a></r>", "/r/a");
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "<a x=\"1\">t<b>u</b></a>");
+}
+
+TEST(DomEvaluatorTest, ElementOutputEscapesText) {
+  EvalResult r = Eval("<r><a>a&amp;b</a></r>", "/r/a");
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "<a>a&amp;b</a>");
+}
+
+TEST(DomEvaluatorTest, NestedMatchesBothOutput) {
+  EvalResult r = Eval("<a><a>x</a></a>", "//a");
+  ASSERT_EQ(r.items.size(), 2u);
+  EXPECT_EQ(r.items[0], "<a><a>x</a></a>");
+  EXPECT_EQ(r.items[1], "<a>x</a>");
+}
+
+TEST(DomEvaluatorTest, Aggregations) {
+  const char* doc = "<r><a>1</a><a>2.5</a><a>x</a><a>4</a></r>";
+  EXPECT_DOUBLE_EQ(*Eval(doc, "/r/a/count()").aggregate, 4.0);
+  EXPECT_DOUBLE_EQ(*Eval(doc, "/r/a/sum()").aggregate, 7.5);
+  EXPECT_DOUBLE_EQ(*Eval(doc, "/r/a/avg()").aggregate, 2.5);
+  EXPECT_DOUBLE_EQ(*Eval(doc, "/r/a/min()").aggregate, 1.0);
+  EXPECT_DOUBLE_EQ(*Eval(doc, "/r/a/max()").aggregate, 4.0);
+}
+
+TEST(DomEvaluatorTest, AggregationsOnEmptyMatchSet) {
+  const char* doc = "<r><b/></r>";
+  EXPECT_DOUBLE_EQ(*Eval(doc, "/r/a/count()").aggregate, 0.0);
+  EXPECT_DOUBLE_EQ(*Eval(doc, "/r/a/sum()").aggregate, 0.0);
+  EXPECT_FALSE(Eval(doc, "/r/a/avg()").aggregate.has_value());
+  EXPECT_FALSE(Eval(doc, "/r/a/min()").aggregate.has_value());
+}
+
+TEST(DomEvaluatorTest, AggregationOverNonNumericOnly) {
+  const char* doc = "<r><a>x</a></r>";
+  EXPECT_DOUBLE_EQ(*Eval(doc, "/r/a/sum()").aggregate, 0.0);
+  EXPECT_FALSE(Eval(doc, "/r/a/avg()").aggregate.has_value());
+  EXPECT_DOUBLE_EQ(*Eval(doc, "/r/a/count()").aggregate, 1.0);
+}
+
+TEST(DomEvaluatorTest, MissingAttributeYieldsNoItem) {
+  EvalResult r = Eval("<r><a/></r>", "/r/a/@id");
+  EXPECT_EQ(r.match_count, 1u);
+  EXPECT_TRUE(r.items.empty());
+}
+
+TEST(DomEvaluatorTest, DocumentOrderWithClosure) {
+  EvalResult r = Eval(
+      "<r><a><n>1</n></a><b><a><n>2</n></a></b><a><n>3</n></a></r>",
+      "//a/n/text()");
+  ASSERT_EQ(r.items.size(), 3u);
+  EXPECT_EQ(r.items[0], "1");
+  EXPECT_EQ(r.items[1], "2");
+  EXPECT_EQ(r.items[2], "3");
+}
+
+TEST(DomEvaluatorTest, ApproxBytesGrowsWithDocument) {
+  Result<Document> small = BuildFromString("<a/>");
+  Result<Document> large =
+      BuildFromString("<a><b>some text content here</b><c x=\"y\"/></a>");
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(large->ApproxBytes(), small->ApproxBytes());
+}
+
+}  // namespace
+}  // namespace xsq::dom

@@ -1,0 +1,155 @@
+// Additional DTD module coverage: content-model corner cases, ToString
+// round trips, nested groups through the automaton, and validator
+// behavior on the generated corpora DTDs.
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "dtd/content_automaton.h"
+#include "dtd/dtd.h"
+#include "dtd/optimizer.h"
+#include "dtd/validator.h"
+#include "xpath/ast.h"
+
+namespace xsq::dtd {
+namespace {
+
+Dtd ParseOk(std::string_view text) {
+  Result<Dtd> dtd = Dtd::Parse(text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return dtd.ok() ? *std::move(dtd) : Dtd();
+}
+
+TEST(DtdEdgeTest, ToStringRoundTripsThroughParser) {
+  const char* sources[] = {
+      "<!ELEMENT a (b,c?,(d|e)*)>\n<!ELEMENT b EMPTY>\n",
+      "<!ELEMENT a (#PCDATA|b)*>\n",
+      "<!ELEMENT a ANY>\n<!ATTLIST a x CDATA #REQUIRED>\n",
+      "<!ELEMENT a ((b,c)+|d)>\n",
+  };
+  for (const char* source : sources) {
+    Dtd first = ParseOk(source);
+    Dtd second = ParseOk(first.ToString());
+    EXPECT_EQ(first.ToString(), second.ToString()) << source;
+  }
+}
+
+TEST(DtdEdgeTest, NestedGroupAutomaton) {
+  Dtd dtd = ParseOk("<!ELEMENT a ((b,c)+|d)>");
+  ContentAutomaton automaton =
+      ContentAutomaton::Compile(dtd.FindElement("a")->model.particle);
+  auto run = [&](std::initializer_list<const char*> children) {
+    std::vector<int> states = automaton.Start();
+    for (const char* child : children) {
+      states = automaton.Advance(states, child);
+      if (states.empty()) return false;
+    }
+    return automaton.Accepts(states);
+  };
+  EXPECT_TRUE(run({"b", "c"}));
+  EXPECT_TRUE(run({"b", "c", "b", "c"}));
+  EXPECT_TRUE(run({"d"}));
+  EXPECT_FALSE(run({}));
+  EXPECT_FALSE(run({"b"}));
+  EXPECT_FALSE(run({"b", "c", "d"}));
+  EXPECT_FALSE(run({"d", "d"}));
+}
+
+TEST(DtdEdgeTest, GroupRepeatWrapsSingleChild) {
+  // (a?)* folds to a*.
+  Dtd dtd = ParseOk("<!ELEMENT r ((a?)*)>");
+  ContentAutomaton automaton =
+      ContentAutomaton::Compile(dtd.FindElement("r")->model.particle);
+  std::vector<int> states = automaton.Start();
+  EXPECT_TRUE(automaton.Accepts(states));
+  for (int i = 0; i < 4; ++i) {
+    states = automaton.Advance(states, "a");
+    ASSERT_FALSE(states.empty());
+    EXPECT_TRUE(automaton.Accepts(states));
+  }
+}
+
+TEST(DtdEdgeTest, RedeclarationKeepsLatestModel) {
+  Dtd dtd = ParseOk("<!ELEMENT a (b)>\n<!ELEMENT a ANY>");
+  EXPECT_EQ(dtd.element_count(), 1u);
+  EXPECT_EQ(dtd.FindElement("a")->model.kind, ContentModel::Kind::kAny);
+}
+
+TEST(DtdEdgeTest, AttlistBeforeElementDeclaration) {
+  Dtd dtd = ParseOk(
+      "<!ATTLIST a x CDATA #IMPLIED>\n<!ELEMENT a EMPTY>");
+  const ElementDecl* a = dtd.FindElement("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->attributes.size(), 1u);
+  EXPECT_EQ(a->model.kind, ContentModel::Kind::kEmpty);
+}
+
+TEST(DtdEdgeTest, DblpCorpusValidatesAgainstItsDtd) {
+  Dtd dtd = ParseOk(R"(
+    <!ELEMENT dblp (article|inproceedings)*>
+    <!ELEMENT article (author*,title,year,journal,pages)>
+    <!ELEMENT inproceedings (author*,title,year,booktitle,pages)>
+    <!ATTLIST article key CDATA #REQUIRED>
+    <!ATTLIST inproceedings key CDATA #REQUIRED>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT year (#PCDATA)>
+    <!ELEMENT journal (#PCDATA)>
+    <!ELEMENT booktitle (#PCDATA)>
+    <!ELEMENT pages (#PCDATA)>
+  )");
+  std::string xml = datagen::GenerateDblp(80000, 3);
+  EXPECT_TRUE(ValidateDocument(dtd, xml, "dblp").ok());
+}
+
+TEST(DtdEdgeTest, PubsCorpusValidatesAgainstItsDtd) {
+  Dtd dtd = ParseOk(R"(
+    <!ELEMENT pubs (pub+)>
+    <!ELEMENT pub (year?,(book|pub)*)>
+    <!ELEMENT book (title,price)>
+    <!ATTLIST book id CDATA #IMPLIED>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT price (#PCDATA)>
+    <!ELEMENT year (#PCDATA)>
+  )");
+  std::string xml = datagen::GenerateRecursivePubs(80000, 4);
+  Status status = ValidateDocument(dtd, xml, "pubs");
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(DtdEdgeTest, OptimizerStepTagsOnWildcardQuery) {
+  Dtd dtd = ParseOk(R"(
+    <!ELEMENT r (a,b)>
+    <!ELEMENT a (x?)>
+    <!ELEMENT b EMPTY>
+    <!ELEMENT x (#PCDATA)>
+  )");
+  auto query = xpath::ParseQuery("/r/*");
+  ASSERT_TRUE(query.ok());
+  auto analysis = AnalyzeQuery(dtd, "r", *query);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->step_tags[1],
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(DtdEdgeTest, OptimizerHandlesAnyContent) {
+  Dtd dtd = ParseOk("<!ELEMENT r ANY><!ELEMENT leaf (#PCDATA)>");
+  auto query = xpath::ParseQuery("//leaf/text()");
+  ASSERT_TRUE(query.ok());
+  auto analysis = AnalyzeQuery(dtd, "r", *query);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_TRUE(analysis->satisfiable);
+  // ANY makes the element graph cyclic-ish (r can contain r), so no
+  // unique-path rewrite should be claimed.
+  EXPECT_FALSE(analysis->closure_free_rewrite.has_value());
+}
+
+TEST(DtdEdgeTest, ValidatorStopsAtFirstErrorAndReportsIt) {
+  Dtd dtd = ParseOk("<!ELEMENT r (a)><!ELEMENT a EMPTY>");
+  Status status =
+      ValidateDocument(dtd, "<r><a/><a/></r>", "r");  // one a too many
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not allowed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xsq::dtd

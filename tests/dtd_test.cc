@@ -1,0 +1,339 @@
+#include "dtd/dtd.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datagen/generators.h"
+#include "dtd/content_automaton.h"
+#include "dtd/optimizer.h"
+#include "dtd/validator.h"
+#include "xpath/ast.h"
+
+namespace xsq::dtd {
+namespace {
+
+// DTDs matching the synthetic corpora of datagen/.
+constexpr const char* kShakeDtd = R"(
+  <!ELEMENT PLAY (TITLE, ACT+)>
+  <!ELEMENT TITLE (#PCDATA)>
+  <!ELEMENT ACT (TITLE, SCENE+)>
+  <!ELEMENT SCENE (TITLE, SPEECH+)>
+  <!ELEMENT SPEECH (SPEAKER, LINE+)>
+  <!ELEMENT SPEAKER (#PCDATA)>
+  <!ELEMENT LINE (#PCDATA)>
+)";
+
+constexpr const char* kPubsDtd = R"(
+  <!-- recursive: pub may contain pub -->
+  <!ELEMENT pubs (pub+)>
+  <!ELEMENT pub (year?, (book | pub)*)>
+  <!ELEMENT book (title, price)>
+  <!ATTLIST book id CDATA #IMPLIED>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT price (#PCDATA)>
+  <!ELEMENT year (#PCDATA)>
+)";
+
+Dtd ParseOk(std::string_view text) {
+  Result<Dtd> dtd = Dtd::Parse(text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return dtd.ok() ? *std::move(dtd) : Dtd();
+}
+
+TEST(DtdParserTest, ParsesElementDeclarations) {
+  Dtd dtd = ParseOk(kShakeDtd);
+  EXPECT_EQ(dtd.element_count(), 7u);
+  const ElementDecl* play = dtd.FindElement("PLAY");
+  ASSERT_NE(play, nullptr);
+  EXPECT_EQ(play->model.kind, ContentModel::Kind::kChildren);
+  EXPECT_EQ(play->model.ToString(), "(TITLE,ACT+)");
+  const ElementDecl* title = dtd.FindElement("TITLE");
+  ASSERT_NE(title, nullptr);
+  EXPECT_EQ(title->model.kind, ContentModel::Kind::kMixed);
+  EXPECT_EQ(dtd.FindElement("NOSUCH"), nullptr);
+}
+
+TEST(DtdParserTest, ParsesAttlistAndSpecials) {
+  Dtd dtd = ParseOk(R"(
+    <!ELEMENT r EMPTY>
+    <!ATTLIST r id CDATA #REQUIRED
+                kind (a|b) "a"
+                version CDATA #FIXED "1.0"
+                note CDATA #IMPLIED>
+  )");
+  const ElementDecl* r = dtd.FindElement("r");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->model.kind, ContentModel::Kind::kEmpty);
+  ASSERT_EQ(r->attributes.size(), 4u);
+  EXPECT_EQ(r->attributes[0].presence, AttributeDecl::Presence::kRequired);
+  EXPECT_EQ(r->attributes[1].type, "(a|b)");
+  EXPECT_EQ(r->attributes[1].default_value, "a");
+  EXPECT_EQ(r->attributes[2].presence, AttributeDecl::Presence::kFixed);
+  EXPECT_EQ(r->attributes[2].default_value, "1.0");
+  EXPECT_EQ(r->attributes[3].presence, AttributeDecl::Presence::kImplied);
+}
+
+TEST(DtdParserTest, SkipsEntitiesAndComments) {
+  Dtd dtd = ParseOk(R"(
+    <!-- a comment -->
+    <!ENTITY e "text">
+    <!ELEMENT a ANY>
+  )");
+  EXPECT_EQ(dtd.element_count(), 1u);
+}
+
+TEST(DtdParserTest, Rejections) {
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT >").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (b,c|d)>").ok());  // mixed separators
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (b").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ATTLIST a x>").ok());
+  EXPECT_FALSE(Dtd::Parse("random").ok());
+}
+
+TEST(DtdModelTest, PossibleChildrenAndText) {
+  Dtd dtd = ParseOk(kPubsDtd);
+  auto pub_children = dtd.PossibleChildren("pub");
+  EXPECT_EQ(pub_children.size(), 3u);  // year, book, pub
+  EXPECT_TRUE(dtd.AllowsText("title"));
+  EXPECT_FALSE(dtd.AllowsText("pub"));
+}
+
+TEST(DtdModelTest, RecursionDetection) {
+  EXPECT_TRUE(ParseOk(kPubsDtd).IsRecursive());
+  EXPECT_FALSE(ParseOk(kShakeDtd).IsRecursive());
+}
+
+TEST(DtdModelTest, ReachableDescendants) {
+  Dtd dtd = ParseOk(kShakeDtd);
+  auto from_act = dtd.ReachableDescendants("ACT");
+  EXPECT_EQ(from_act.count("SPEAKER"), 1u);
+  EXPECT_EQ(from_act.count("PLAY"), 0u);
+  EXPECT_EQ(from_act.count("TITLE"), 1u);
+}
+
+TEST(ContentAutomatonTest, SequencesChoicesAndRepeats) {
+  Dtd dtd = ParseOk("<!ELEMENT a (b, (c | d)+, e?)>");
+  const ElementDecl* a = dtd.FindElement("a");
+  ASSERT_NE(a, nullptr);
+  ContentAutomaton automaton = ContentAutomaton::Compile(a->model.particle);
+
+  auto run = [&](const std::vector<std::string>& children) {
+    std::vector<int> states = automaton.Start();
+    for (const std::string& child : children) {
+      states = automaton.Advance(states, child);
+      if (states.empty()) return false;
+    }
+    return automaton.Accepts(states);
+  };
+  EXPECT_TRUE(run({"b", "c"}));
+  EXPECT_TRUE(run({"b", "d", "c", "e"}));
+  EXPECT_FALSE(run({"b"}));            // missing (c|d)+
+  EXPECT_FALSE(run({"c"}));            // missing b
+  EXPECT_FALSE(run({"b", "c", "b"}));  // b not allowed again
+  EXPECT_FALSE(run({"b", "e"}));
+  EXPECT_FALSE(run({"b", "c", "e", "e"}));
+}
+
+TEST(ContentAutomatonTest, StarAcceptsEmpty) {
+  Dtd dtd = ParseOk("<!ELEMENT a (b*)>");
+  ContentAutomaton automaton =
+      ContentAutomaton::Compile(dtd.FindElement("a")->model.particle);
+  EXPECT_TRUE(automaton.Accepts(automaton.Start()));
+  auto states = automaton.Advance(automaton.Start(), "b");
+  EXPECT_TRUE(automaton.Accepts(states));
+  states = automaton.Advance(states, "b");
+  EXPECT_TRUE(automaton.Accepts(states));
+}
+
+TEST(ValidatorTest, AcceptsValidDocuments) {
+  Dtd dtd = ParseOk(kPubsDtd);
+  EXPECT_TRUE(ValidateDocument(dtd,
+                               "<pubs><pub><year>2002</year>"
+                               "<book id=\"1\"><title>t</title>"
+                               "<price>9</price></book>"
+                               "<pub><book><title>u</title><price>8</price>"
+                               "</book></pub></pub></pubs>",
+                               "pubs")
+                  .ok());
+}
+
+TEST(ValidatorTest, RejectsWrongRoot) {
+  Dtd dtd = ParseOk(kPubsDtd);
+  Status status = ValidateDocument(dtd, "<pub></pub>", "pubs");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("root"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsUndeclaredElement) {
+  Dtd dtd = ParseOk(kPubsDtd);
+  EXPECT_FALSE(
+      ValidateDocument(dtd, "<pubs><mystery/></pubs>").ok());
+}
+
+TEST(ValidatorTest, RejectsChildOutOfPlace) {
+  Dtd dtd = ParseOk(kShakeDtd);
+  // SPEECH requires SPEAKER before LINE.
+  Status status = ValidateDocument(
+      dtd,
+      "<PLAY><TITLE>t</TITLE><ACT><TITLE>t</TITLE><SCENE><TITLE>t</TITLE>"
+      "<SPEECH><LINE>l</LINE><SPEAKER>s</SPEAKER></SPEECH>"
+      "</SCENE></ACT></PLAY>");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not allowed at this position"),
+            std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsIncompleteContent) {
+  Dtd dtd = ParseOk(kShakeDtd);
+  // SPEECH requires at least one LINE.
+  Status status = ValidateDocument(
+      dtd,
+      "<PLAY><TITLE>t</TITLE><ACT><TITLE>t</TITLE><SCENE><TITLE>t</TITLE>"
+      "<SPEECH><SPEAKER>s</SPEAKER></SPEECH></SCENE></ACT></PLAY>");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("incomplete"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsTextInElementContent) {
+  Dtd dtd = ParseOk(kPubsDtd);
+  EXPECT_FALSE(
+      ValidateDocument(dtd, "<pubs>stray text<pub></pub></pubs>").ok());
+  // Whitespace between children is fine.
+  EXPECT_TRUE(ValidateDocument(dtd, "<pubs>\n  <pub></pub>\n</pubs>").ok());
+}
+
+TEST(ValidatorTest, ChecksAttributes) {
+  Dtd dtd = ParseOk(R"(
+    <!ELEMENT r EMPTY>
+    <!ATTLIST r id CDATA #REQUIRED v CDATA #FIXED "1">
+  )");
+  EXPECT_TRUE(ValidateDocument(dtd, "<r id=\"7\" v=\"1\"/>").ok());
+  EXPECT_FALSE(ValidateDocument(dtd, "<r v=\"1\"/>").ok());        // missing id
+  EXPECT_FALSE(ValidateDocument(dtd, "<r id=\"7\" v=\"2\"/>").ok());  // FIXED
+  EXPECT_FALSE(ValidateDocument(dtd, "<r id=\"7\" x=\"1\"/>").ok());  // undecl
+}
+
+TEST(ValidatorTest, GeneratedShakeCorpusIsValid) {
+  // The SHAKE generator produces documents valid under the SHAKE DTD -
+  // the schema-optimizer experiments depend on this.
+  Dtd dtd = ParseOk(kShakeDtd);
+  std::string xml = datagen::GenerateShake(60000, 11);
+  EXPECT_TRUE(ValidateDocument(dtd, xml, "PLAY").ok());
+}
+
+TEST(OptimizerTest, StepTagsAndSatisfiability) {
+  Dtd dtd = ParseOk(kShakeDtd);
+  auto query = xpath::ParseQuery("//ACT//SPEAKER/text()");
+  ASSERT_TRUE(query.ok());
+  Result<QueryAnalysis> analysis = AnalyzeQuery(dtd, "PLAY", *query);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_TRUE(analysis->satisfiable);
+  ASSERT_EQ(analysis->step_tags.size(), 2u);
+  EXPECT_EQ(analysis->step_tags[0], std::vector<std::string>{"ACT"});
+  EXPECT_EQ(analysis->step_tags[1], std::vector<std::string>{"SPEAKER"});
+}
+
+TEST(OptimizerTest, ProvesUnsatisfiability) {
+  Dtd dtd = ParseOk(kShakeDtd);
+  // No GHOST element exists.
+  auto q1 = xpath::ParseQuery("//GHOST/text()");
+  auto a1 = AnalyzeQuery(dtd, "PLAY", *q1);
+  ASSERT_TRUE(a1.ok());
+  EXPECT_FALSE(a1->satisfiable);
+  // SPEAKER can never be a child of ACT.
+  auto q2 = xpath::ParseQuery("/PLAY/ACT/SPEAKER");
+  auto a2 = AnalyzeQuery(dtd, "PLAY", *q2);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_FALSE(a2->satisfiable);
+  // SPEAKER has no attributes declared.
+  auto q3 = xpath::ParseQuery("//SPEAKER[@id]/text()");
+  auto a3 = AnalyzeQuery(dtd, "PLAY", *q3);
+  ASSERT_TRUE(a3.ok());
+  EXPECT_FALSE(a3->satisfiable);
+  // SPEECH has element content: text() can never hold.
+  auto q4 = xpath::ParseQuery("//SPEECH[text()=1]");
+  auto a4 = AnalyzeQuery(dtd, "PLAY", *q4);
+  ASSERT_TRUE(a4.ok());
+  EXPECT_FALSE(a4->satisfiable);
+}
+
+TEST(OptimizerTest, RewritesClosuresToUniqueChildPaths) {
+  // The headline rewrite: Q3 becomes Q2 of the paper's Figure 16.
+  Dtd dtd = ParseOk(kShakeDtd);
+  auto query = xpath::ParseQuery("//ACT//SPEAKER/text()");
+  auto analysis = AnalyzeQuery(dtd, "PLAY", *query);
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_TRUE(analysis->closure_free_rewrite.has_value());
+  EXPECT_EQ(analysis->closure_free_rewrite->ToString(),
+            "/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()");
+  EXPECT_FALSE(analysis->closure_free_rewrite->HasClosure());
+}
+
+TEST(OptimizerTest, RewritePreservesPredicates) {
+  Dtd dtd = ParseOk(kShakeDtd);
+  auto query = xpath::ParseQuery("//SPEECH[LINE%love]/SPEAKER/text()");
+  auto analysis = AnalyzeQuery(dtd, "PLAY", *query);
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_TRUE(analysis->closure_free_rewrite.has_value());
+  EXPECT_EQ(analysis->closure_free_rewrite->ToString(),
+            "/PLAY/ACT/SCENE/SPEECH[LINE%\"love\"]/SPEAKER/text()");
+}
+
+TEST(OptimizerTest, RewriteEquivalentOnValidDocuments) {
+  Dtd dtd = ParseOk(kShakeDtd);
+  std::string xml = datagen::GenerateShake(80000, 3);
+  auto query = xpath::ParseQuery("//ACT//SPEAKER/text()");
+  auto analysis = AnalyzeQuery(dtd, "PLAY", *query);
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_TRUE(analysis->closure_free_rewrite.has_value());
+  auto original = core::RunQuery("//ACT//SPEAKER/text()", xml);
+  auto rewritten =
+      core::RunQuery(analysis->closure_free_rewrite->ToString(), xml);
+  ASSERT_TRUE(original.ok() && rewritten.ok());
+  EXPECT_EQ(original->items, rewritten->items);
+  EXPECT_GT(original->items.size(), 0u);
+}
+
+TEST(OptimizerTest, RecursiveDtdBlocksRewrite) {
+  Dtd dtd = ParseOk(kPubsDtd);
+  auto query = xpath::ParseQuery("//pub[year]//book[@id]/title/text()");
+  auto analysis = AnalyzeQuery(dtd, "pubs", *query);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_TRUE(analysis->satisfiable);
+  EXPECT_FALSE(analysis->closure_free_rewrite.has_value());
+}
+
+TEST(OptimizerTest, AmbiguousPathBlocksRewrite) {
+  Dtd dtd = ParseOk(R"(
+    <!ELEMENT r (a, b)>
+    <!ELEMENT a (t?)>
+    <!ELEMENT b (t?)>
+    <!ELEMENT t (#PCDATA)>
+  )");
+  auto query = xpath::ParseQuery("//t/text()");
+  auto analysis = AnalyzeQuery(dtd, "r", *query);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_TRUE(analysis->satisfiable);
+  EXPECT_FALSE(analysis->closure_free_rewrite.has_value());  // via a or b
+}
+
+TEST(OptimizerTest, WildcardClosureResolvedWhenUnique) {
+  Dtd dtd = ParseOk(R"(
+    <!ELEMENT r (m)>
+    <!ELEMENT m (#PCDATA)>
+  )");
+  auto query = xpath::ParseQuery("//m/text()");
+  auto analysis = AnalyzeQuery(dtd, "r", *query);
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_TRUE(analysis->closure_free_rewrite.has_value());
+  EXPECT_EQ(analysis->closure_free_rewrite->ToString(), "/r/m/text()");
+}
+
+TEST(OptimizerTest, UnknownRootIsAnError) {
+  Dtd dtd = ParseOk(kShakeDtd);
+  auto query = xpath::ParseQuery("//ACT");
+  EXPECT_FALSE(AnalyzeQuery(dtd, "NOSUCH", *query).ok());
+}
+
+}  // namespace
+}  // namespace xsq::dtd

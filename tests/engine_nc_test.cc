@@ -1,0 +1,192 @@
+#include "core/engine_nc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "xml/sax_parser.h"
+
+namespace xsq::core {
+namespace {
+
+constexpr const char* kFig1 =
+    "<root><pub>"
+    "<book id=\"1\"><price>12.00</price><name>First</name>"
+    "<author>A</author><price type=\"discount\">10.00</price></book>"
+    "<book id=\"2\"><price>14.00</price><name>Second</name>"
+    "<author>A</author><author>B</author>"
+    "<price type=\"discount\">12.00</price></book>"
+    "<year>2002</year>"
+    "</pub></root>";
+
+struct NcRun {
+  std::vector<std::string> items;
+  std::vector<double> updates;
+  std::optional<double> aggregate;
+};
+
+NcRun RunQ(std::string_view query_text, std::string_view xml) {
+  Result<xpath::Query> query = xpath::ParseQuery(query_text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  CollectingSink sink;
+  auto engine = XsqNcEngine::Create(*query, &sink);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  xml::SaxParser parser(engine->get());
+  Status status = parser.Parse(xml);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE((*engine)->status().ok()) << (*engine)->status().ToString();
+  return {std::move(sink.items), std::move(sink.aggregate_updates),
+          sink.aggregate};
+}
+
+TEST(XsqNcEngineTest, RejectsClosureQueries) {
+  Result<xpath::Query> query = xpath::ParseQuery("//a/text()");
+  ASSERT_TRUE(query.ok());
+  CollectingSink sink;
+  auto engine = XsqNcEngine::Create(*query, &sink);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(XsqNcEngineTest, PaperExample1) {
+  NcRun r = RunQ("/root/pub[year=2002]/book[price<11]/author", kFig1);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "<author>A</author>");
+}
+
+TEST(XsqNcEngineTest, TextOutput) {
+  NcRun r = RunQ("/root/pub/book/name/text()", kFig1);
+  ASSERT_EQ(r.items.size(), 2u);
+  EXPECT_EQ(r.items[0], "First");
+  EXPECT_EQ(r.items[1], "Second");
+}
+
+TEST(XsqNcEngineTest, AttributeOutput) {
+  NcRun r = RunQ("/root/pub/book/@id", kFig1);
+  ASSERT_EQ(r.items.size(), 2u);
+  EXPECT_EQ(r.items[0], "1");
+  EXPECT_EQ(r.items[1], "2");
+}
+
+TEST(XsqNcEngineTest, LatePredicateBuffersThenFlushes) {
+  const char* doc = "<r><b><t>first</t><ok/></b><b><t>drop</t></b></r>";
+  NcRun r = RunQ("/r/b[ok]/t/text()", doc);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "first");
+}
+
+TEST(XsqNcEngineTest, ElementOutput) {
+  NcRun r = RunQ("/r/a", "<r><a x=\"1\">t<b>u</b></a></r>");
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "<a x=\"1\">t<b>u</b></a>");
+}
+
+TEST(XsqNcEngineTest, BufferedElementOutput) {
+  const char* doc = "<r><p><a>keep</a><ok/></p><p><a>drop</a></p></r>";
+  NcRun r = RunQ("/r/p[ok]/a", doc);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "<a>keep</a>");
+}
+
+TEST(XsqNcEngineTest, AggregationWithIncrementalUpdates) {
+  NcRun r = RunQ("/r/x/count()", "<r><x/><y/><x/></r>");
+  ASSERT_TRUE(r.aggregate.has_value());
+  EXPECT_DOUBLE_EQ(*r.aggregate, 2.0);
+  ASSERT_EQ(r.updates.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.updates[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.updates[1], 2.0);
+}
+
+TEST(XsqNcEngineTest, SumAggregation) {
+  NcRun r = RunQ("/r/x/sum()", "<r><x>1</x><x>2.5</x><x>oops</x></r>");
+  ASSERT_TRUE(r.aggregate.has_value());
+  EXPECT_DOUBLE_EQ(*r.aggregate, 3.5);
+}
+
+TEST(XsqNcEngineTest, MultiplePredicatesPerStep) {
+  const char* doc =
+      "<r><a id=\"1\"><b/><t>both</t></a><a id=\"1\"><t>one</t></a></r>";
+  NcRun r = RunQ("/r/a[@id][b]/t/text()", doc);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "both");
+}
+
+TEST(XsqNcEngineTest, OrderingSensitivityScenario) {
+  // The Figure 21 workload: element order decides how much is buffered,
+  // but never the result (all three queries are empty).
+  const char* doc =
+      "<data><a id=\"1\"><prior>1</prior><foo>1</foo><foo>1</foo>"
+      "<posterior>1</posterior></a></data>";
+  EXPECT_TRUE(RunQ("/data/a[prior=0]", doc).items.empty());
+  EXPECT_TRUE(RunQ("/data/a[posterior=0]", doc).items.empty());
+  EXPECT_TRUE(RunQ("/data/a[@id=0]", doc).items.empty());
+}
+
+TEST(XsqNcEngineTest, MemoryDependsOnElementOrder) {
+  // With [@id=0] the match dies at the begin event: nothing is ever
+  // buffered. With [posterior=0] the whole <a> content is buffered.
+  std::string doc = "<data><a id=\"1\"><prior>1</prior>";
+  for (int i = 0; i < 50; ++i) doc += "<foo>1</foo>";
+  doc += "<posterior>1</posterior></a></data>";
+
+  auto peak = [&](const char* query_text) {
+    Result<xpath::Query> query = xpath::ParseQuery(query_text);
+    EXPECT_TRUE(query.ok());
+    CollectingSink sink;
+    auto engine = XsqNcEngine::Create(*query, &sink);
+    EXPECT_TRUE(engine.ok());
+    xml::SaxParser parser(engine->get());
+    EXPECT_TRUE(parser.Parse(doc).ok());
+    return (*engine)->memory().peak_bytes();
+  };
+  EXPECT_EQ(peak("/data/a[@id=0]"), 0u);
+  EXPECT_GT(peak("/data/a[posterior=0]"), 100u);
+}
+
+TEST(XsqNcEngineTest, EmitsAsSoonAsResolved) {
+  // The deterministic engine outputs an item the moment it is selected,
+  // before the document ends (Section 6.2's XSQ-NC advantage).
+  class ImmediateSink : public ResultSink {
+   public:
+    void OnItem(std::string_view value) override {
+      items.emplace_back(value);
+    }
+    std::vector<std::string> items;
+  };
+  Result<xpath::Query> query = xpath::ParseQuery("/r/a/text()");
+  ASSERT_TRUE(query.ok());
+  ImmediateSink sink;
+  auto engine = XsqNcEngine::Create(*query, &sink);
+  ASSERT_TRUE(engine.ok());
+  xml::SaxParser parser(engine->get());
+  // Feed only a prefix: the first item must already be out.
+  ASSERT_TRUE((*engine)->status().ok());
+  ASSERT_TRUE(parser.Feed("<r><a>early</a>").ok());
+  EXPECT_EQ(sink.items.size(), 1u);
+  ASSERT_TRUE(parser.Feed("<a>late</a></r>").ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(sink.items.size(), 2u);
+}
+
+TEST(XsqNcEngineTest, AgreesWithXsqFOnClosureFreeQueries) {
+  const char* queries[] = {
+      "/root/pub[year=2002]/book[price<11]/author",
+      "/root/pub/book/name/text()",
+      "/root/pub/book/@id",
+      "/root/pub/book/price/sum()",
+      "/root/pub/book[author]/name/count()",
+      "/root/pub[year>2000]/book/author",
+  };
+  for (const char* q : queries) {
+    Result<QueryResult> full = RunQuery(q, kFig1);
+    ASSERT_TRUE(full.ok()) << q;
+    NcRun nc = RunQ(q, kFig1);
+    EXPECT_EQ(full->items, nc.items) << q;
+    EXPECT_EQ(full->aggregate.has_value(), nc.aggregate.has_value()) << q;
+    if (full->aggregate.has_value()) {
+      EXPECT_DOUBLE_EQ(*full->aggregate, *nc.aggregate) << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xsq::core

@@ -1,0 +1,177 @@
+#include "core/hpdt.h"
+
+#include <gtest/gtest.h>
+
+#include "xpath/ast.h"
+
+namespace xsq::core {
+namespace {
+
+std::unique_ptr<Hpdt> BuildOk(std::string_view query_text) {
+  Result<xpath::Query> query = xpath::ParseQuery(query_text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  Result<std::unique_ptr<Hpdt>> hpdt = Hpdt::Build(*query);
+  EXPECT_TRUE(hpdt.ok()) << hpdt.status().ToString();
+  return *std::move(hpdt);
+}
+
+const Bpdt* Find(const Hpdt& hpdt, int layer, uint64_t position) {
+  for (const auto& bpdt : hpdt.bpdts()) {
+    if (bpdt->layer == layer && bpdt->position == position) {
+      return bpdt.get();
+    }
+  }
+  return nullptr;
+}
+
+TEST(HpdtTest, Figure11Structure) {
+  // The paper's running example: //pub[year>2000]//book[author]//name.
+  auto hpdt = BuildOk("//pub[year>2000]//book[author]//name/text()");
+  EXPECT_EQ(hpdt->num_layers(), 3);
+  // bpdt(0,0); bpdt(1,1); bpdt(2,2),(2,3); bpdt(3,4)..(3,7): 8 total,
+  // exactly the boxes of Figure 11.
+  EXPECT_EQ(hpdt->bpdt_count(), 8u);
+  EXPECT_NE(Find(*hpdt, 0, 0), nullptr);
+  EXPECT_NE(Find(*hpdt, 1, 1), nullptr);
+  EXPECT_NE(Find(*hpdt, 2, 2), nullptr);
+  EXPECT_NE(Find(*hpdt, 2, 3), nullptr);
+  for (uint64_t k = 4; k <= 7; ++k) {
+    EXPECT_NE(Find(*hpdt, 3, k), nullptr) << k;
+  }
+}
+
+TEST(HpdtTest, LeftChildHangsOffTrueRightOffNa) {
+  auto hpdt = BuildOk("//pub[year>2000]//book[author]//name/text()");
+  const Bpdt* b11 = Find(*hpdt, 1, 1);
+  ASSERT_NE(b11, nullptr);
+  EXPECT_TRUE(b11->has_na_state);
+  ASSERT_NE(b11->left, nullptr);
+  ASSERT_NE(b11->right, nullptr);
+  EXPECT_EQ(b11->left->position, 3u);   // 2k+1
+  EXPECT_EQ(b11->right->position, 2u);  // 2k
+  EXPECT_EQ(b11->left->parent, b11);
+  EXPECT_EQ(b11->right->parent, b11);
+}
+
+TEST(HpdtTest, PositionBitsEncodePredicateStatus) {
+  auto hpdt = BuildOk("//pub[year>2000]//book[author]//name/text()");
+  // bpdt(3,5): 5 = (101)b - entered with pub TRUE, book NA, name TRUE
+  // (Example 7 discusses exactly this BPDT).
+  const Bpdt* b35 = Find(*hpdt, 3, 5);
+  ASSERT_NE(b35, nullptr);
+  EXPECT_FALSE(b35->on_true_spine);
+  EXPECT_EQ(b35->parent->position, 2u);  // via TRUE of bpdt(2,2)
+  EXPECT_EQ(b35->parent->left, b35);
+  // bpdt(3,7) = (111)b: everything known true - the flushing spine.
+  const Bpdt* b37 = Find(*hpdt, 3, 7);
+  ASSERT_NE(b37, nullptr);
+  EXPECT_TRUE(b37->on_true_spine);
+}
+
+TEST(HpdtTest, StepsWithoutDelayedPredicatesHaveNoNaState) {
+  auto hpdt = BuildOk("/a[@id=1]/b/c[x]/text()");
+  const Bpdt* a = Find(*hpdt, 1, 1);
+  ASSERT_NE(a, nullptr);
+  EXPECT_FALSE(a->has_na_state);  // attribute predicate decided at begin
+  EXPECT_EQ(a->right, nullptr);
+  const Bpdt* b = Find(*hpdt, 2, 3);
+  ASSERT_NE(b, nullptr);
+  EXPECT_FALSE(b->has_na_state);  // no predicate at all
+  const Bpdt* c = Find(*hpdt, 3, 7);
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->has_na_state);  // child-existence predicate is delayed
+}
+
+TEST(HpdtTest, NoDelayedPredicatesMeansOneBpdtPerLayer) {
+  auto hpdt = BuildOk("/a/b/c/d");
+  EXPECT_EQ(hpdt->bpdt_count(), 5u);  // root + one per step
+  for (const auto& bpdt : hpdt->bpdts()) {
+    EXPECT_TRUE(bpdt->on_true_spine);
+  }
+}
+
+TEST(HpdtTest, RootBpdtTemplate) {
+  auto hpdt = BuildOk("/a");
+  const Bpdt* root = hpdt->root();
+  EXPECT_EQ(root->layer, 0);
+  EXPECT_EQ(root->step, nullptr);
+  EXPECT_FALSE(root->has_na_state);
+  EXPECT_GE(root->start_state, 1);
+  EXPECT_GE(root->true_state, 1);
+  EXPECT_EQ(root->na_state, -1);
+  ASSERT_EQ(root->arcs.size(), 2u);
+  EXPECT_EQ(root->arcs[0].label, "<root>");
+}
+
+TEST(HpdtTest, ClosureStepsGetSelfTransition) {
+  auto hpdt = BuildOk("//a/text()");
+  const Bpdt* a = Find(*hpdt, 1, 1);
+  ASSERT_NE(a, nullptr);
+  bool has_self_loop = false;
+  for (const BpdtArc& arc : a->arcs) {
+    if (arc.label == "//" && arc.from == a->start_state &&
+        arc.to == a->start_state) {
+      has_self_loop = true;
+    }
+  }
+  EXPECT_TRUE(has_self_loop);
+}
+
+TEST(HpdtTest, TrueSpineFlushesOthersUpload) {
+  auto hpdt = BuildOk("//a[x]//b[y]/text()");
+  const Bpdt* spine = Find(*hpdt, 2, 3);
+  const Bpdt* off = Find(*hpdt, 2, 2);
+  ASSERT_NE(spine, nullptr);
+  ASSERT_NE(off, nullptr);
+  auto ops_of = [](const Bpdt* bpdt) {
+    std::string all;
+    for (const BpdtArc& arc : bpdt->arcs) all += arc.ops;
+    return all;
+  };
+  EXPECT_NE(ops_of(spine).find("queue.flush()"), std::string::npos);
+  EXPECT_EQ(ops_of(spine).find("queue.upload()"), std::string::npos);
+  EXPECT_NE(ops_of(off).find("queue.upload()"), std::string::npos);
+}
+
+TEST(HpdtTest, NaStatesClearOnEndTag) {
+  auto hpdt = BuildOk("/a[b]/text()");
+  const Bpdt* a = Find(*hpdt, 1, 1);
+  ASSERT_NE(a, nullptr);
+  bool clear_on_end = false;
+  for (const BpdtArc& arc : a->arcs) {
+    if (arc.from == a->na_state && arc.label == "</a>" &&
+        arc.ops.find("queue.clear()") != std::string::npos) {
+      clear_on_end = true;
+    }
+  }
+  EXPECT_TRUE(clear_on_end);
+}
+
+TEST(HpdtTest, DebugStringMentionsEveryBpdt) {
+  auto hpdt = BuildOk("//pub[year>2000]//book[author]//name/text()");
+  std::string debug = hpdt->DebugString();
+  for (const auto& bpdt : hpdt->bpdts()) {
+    EXPECT_NE(debug.find(bpdt->Name()), std::string::npos) << bpdt->Name();
+  }
+  EXPECT_NE(debug.find("true-spine"), std::string::npos);
+}
+
+TEST(HpdtTest, RejectsOversizedQueries) {
+  std::string query;
+  for (int i = 0; i < 33; ++i) query += "/a";
+  Result<xpath::Query> parsed = xpath::ParseQuery(query);
+  ASSERT_TRUE(parsed.ok());
+  Result<std::unique_ptr<Hpdt>> hpdt = Hpdt::Build(*parsed);
+  EXPECT_FALSE(hpdt.ok());
+  EXPECT_EQ(hpdt.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(HpdtTest, StateCountGrowsWithBranching) {
+  auto no_preds = BuildOk("/a/b/c");
+  auto with_preds = BuildOk("/a[x]/b[y]/c[z]");
+  EXPECT_GT(with_preds->bpdt_count(), no_preds->bpdt_count());
+  EXPECT_GT(with_preds->state_count(), no_preds->state_count());
+}
+
+}  // namespace
+}  // namespace xsq::core

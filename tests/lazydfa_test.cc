@@ -1,0 +1,108 @@
+#include "lazydfa/lazy_dfa_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/result_sink.h"
+#include "xml/sax_parser.h"
+#include "xpath/ast.h"
+
+namespace xsq::lazydfa {
+namespace {
+
+struct RunResult {
+  std::vector<std::string> items;
+  size_t dfa_states = 0;
+};
+
+RunResult RunQuery(std::string_view query_text, std::string_view xml) {
+  Result<xpath::Query> query = xpath::ParseQuery(query_text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  core::CollectingSink sink;
+  auto engine = LazyDfaEngine::Create(*query, &sink);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  xml::SaxParser parser(engine->get());
+  Status status = parser.Parse(xml);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE((*engine)->status().ok());
+  return {std::move(sink.items), (*engine)->dfa_state_count()};
+}
+
+TEST(LazyDfaTest, RejectsPredicatesAndAggregations) {
+  core::CollectingSink sink;
+  auto q1 = xpath::ParseQuery("/a[b]/c");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(LazyDfaEngine::Create(*q1, &sink).status().code(),
+            StatusCode::kNotSupported);
+  auto q2 = xpath::ParseQuery("/a/b/count()");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(LazyDfaEngine::Create(*q2, &sink).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(LazyDfaTest, ChildPathTextOutput) {
+  RunResult r = RunQuery("/r/a/text()", "<r><a>1</a><b><a>no</a></b><a>2</a></r>");
+  ASSERT_EQ(r.items.size(), 2u);
+  EXPECT_EQ(r.items[0], "1");
+  EXPECT_EQ(r.items[1], "2");
+}
+
+TEST(LazyDfaTest, ClosureMatchesAllDepths) {
+  RunResult r = RunQuery("//a/text()", "<r><a>1</a><b><a>2</a></b></r>");
+  ASSERT_EQ(r.items.size(), 2u);
+}
+
+TEST(LazyDfaTest, MixedAxes) {
+  RunResult r = RunQuery("/r//a/b/text()",
+                   "<r><a><b>1</b></a><x><a><b>2</b></a></x><b>no</b></r>");
+  ASSERT_EQ(r.items.size(), 2u);
+}
+
+TEST(LazyDfaTest, AttributeOutput) {
+  RunResult r = RunQuery("//a/@id", "<r><a id=\"1\"/><a/><a id=\"2\"/></r>");
+  ASSERT_EQ(r.items.size(), 2u);
+  EXPECT_EQ(r.items[0], "1");
+}
+
+TEST(LazyDfaTest, ElementOutputNestedMatchesInDocumentOrder) {
+  RunResult r = RunQuery("//a", "<a>1<a>2</a></a>");
+  ASSERT_EQ(r.items.size(), 2u);
+  EXPECT_EQ(r.items[0], "<a>1<a>2</a></a>");
+  EXPECT_EQ(r.items[1], "<a>2</a>");
+}
+
+TEST(LazyDfaTest, WildcardSteps) {
+  RunResult r = RunQuery("/r/*/text()", "<r><a>1</a><b>2</b></r>");
+  ASSERT_EQ(r.items.size(), 2u);
+}
+
+TEST(LazyDfaTest, RecursiveNestingBeyondQueryDepth) {
+  RunResult r = RunQuery("//a//a/text()", "<a><a>1<a>2</a></a></a>");
+  ASSERT_EQ(r.items.size(), 2u);
+}
+
+TEST(LazyDfaTest, DfaStatesMaterializeLazily) {
+  // Only the tag paths actually observed create states.
+  RunResult narrow = RunQuery("/r/a/b/text()", "<r><a><b>1</b></a></r>");
+  RunResult wide = RunQuery(
+      "/r/a/b/text()",
+      "<r><a><b>1</b></a><x/><y/><z><q><b>no</b></q></z><a><c/></a></r>");
+  EXPECT_GT(wide.dfa_states, narrow.dfa_states);
+}
+
+TEST(LazyDfaTest, MemoryGrowsWithDfaNotDocument) {
+  Result<xpath::Query> query = xpath::ParseQuery("//a/text()");
+  ASSERT_TRUE(query.ok());
+  core::CollectingSink sink;
+  auto engine = LazyDfaEngine::Create(*query, &sink);
+  ASSERT_TRUE(engine.ok());
+  // A long flat document with one repeated tag: the DFA stays tiny.
+  std::string doc = "<r>";
+  for (int i = 0; i < 2000; ++i) doc += "<x>text</x>";
+  doc += "</r>";
+  xml::SaxParser parser(engine->get());
+  ASSERT_TRUE(parser.Parse(doc).ok());
+  EXPECT_LE((*engine)->dfa_state_count(), 8u);
+}
+
+}  // namespace
+}  // namespace xsq::lazydfa

@@ -1,0 +1,133 @@
+#include "core/multi_query.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xml/sax_parser.h"
+
+namespace xsq::core {
+namespace {
+
+constexpr const char* kDoc =
+    "<lib>"
+    "<book id=\"1\"><title>Streams</title><price>10</price></book>"
+    "<book id=\"2\"><title>Trees</title><price>30</price></book>"
+    "<cd><title>Tunes</title></cd>"
+    "</lib>";
+
+TEST(MultiQueryTest, IndependentResultsPerQuery) {
+  MultiQueryEngine multi;
+  CollectingSink titles;
+  CollectingSink cheap;
+  CollectingSink count;
+  ASSERT_TRUE(multi.AddQuery("//title/text()", &titles).ok());
+  ASSERT_TRUE(multi.AddQuery("/lib/book[price<20]/title/text()", &cheap).ok());
+  ASSERT_TRUE(multi.AddQuery("//book/count()", &count).ok());
+  EXPECT_EQ(multi.query_count(), 3u);
+
+  xml::SaxParser parser(&multi);
+  ASSERT_TRUE(parser.Parse(kDoc).ok());
+  ASSERT_TRUE(multi.status().ok());
+
+  EXPECT_EQ(titles.items,
+            (std::vector<std::string>{"Streams", "Trees", "Tunes"}));
+  EXPECT_EQ(cheap.items, std::vector<std::string>{"Streams"});
+  ASSERT_TRUE(count.aggregate.has_value());
+  EXPECT_DOUBLE_EQ(*count.aggregate, 2.0);
+}
+
+TEST(MultiQueryTest, BadQueryIsRejectedWithoutPoisoningOthers) {
+  MultiQueryEngine multi;
+  CollectingSink sink;
+  EXPECT_FALSE(multi.AddQuery("not a query", &sink).ok());
+  ASSERT_TRUE(multi.AddQuery("//title/text()", &sink).ok());
+  EXPECT_EQ(multi.query_count(), 1u);
+  xml::SaxParser parser(&multi);
+  ASSERT_TRUE(parser.Parse(kDoc).ok());
+  EXPECT_EQ(sink.items.size(), 3u);
+}
+
+TEST(MultiQueryTest, SharedParseMatchesIndividualRuns) {
+  // Property: N queries through one parse produce exactly what each
+  // produces alone.
+  const char* queries[] = {
+      "//book/@id",
+      "/lib/*/title/text()",
+      "//book[price>20]",
+      "//book/price/sum()",
+      "/lib/cd/title/text()",
+  };
+  const std::string doc = kDoc;
+
+  std::vector<CollectingSink> shared_sinks(std::size(queries));
+  MultiQueryEngine multi;
+  for (size_t i = 0; i < std::size(queries); ++i) {
+    ASSERT_TRUE(multi.AddQuery(queries[i], &shared_sinks[i]).ok());
+  }
+  xml::SaxParser parser(&multi);
+  ASSERT_TRUE(parser.Parse(doc).ok());
+  ASSERT_TRUE(multi.status().ok());
+
+  for (size_t i = 0; i < std::size(queries); ++i) {
+    Result<QueryResult> alone = RunQuery(queries[i], doc);
+    ASSERT_TRUE(alone.ok()) << queries[i];
+    EXPECT_EQ(shared_sinks[i].items, alone->items) << queries[i];
+    EXPECT_EQ(shared_sinks[i].aggregate.has_value(),
+              alone->aggregate.has_value())
+        << queries[i];
+    if (alone->aggregate.has_value()) {
+      EXPECT_DOUBLE_EQ(*shared_sinks[i].aggregate, *alone->aggregate);
+    }
+  }
+}
+
+class MultiQueryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiQueryPropertyTest, RandomQueriesOverRandomDocuments) {
+  const uint64_t seed = GetParam();
+  const std::string doc = testutil::RandomDocument(seed + 500);
+  MultiQueryEngine multi;
+  std::vector<CollectingSink> sinks(6);
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < sinks.size(); ++i) {
+    queries.push_back(testutil::RandomQuery(seed * 31 + i));
+    ASSERT_TRUE(multi.AddQuery(queries.back(), &sinks[i]).ok());
+  }
+  xml::SaxParser parser(&multi);
+  ASSERT_TRUE(parser.Parse(doc).ok());
+  ASSERT_TRUE(multi.status().ok());
+  for (size_t i = 0; i < sinks.size(); ++i) {
+    Result<QueryResult> alone = RunQuery(queries[i], doc);
+    ASSERT_TRUE(alone.ok());
+    EXPECT_EQ(sinks[i].items, alone->items)
+        << queries[i] << "\ndoc: " << doc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiQueryPropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{15}));
+
+TEST(MultiQueryTest, ReusableAcrossDocuments) {
+  MultiQueryEngine multi;
+  CollectingSink sink;
+  ASSERT_TRUE(multi.AddQuery("//a/text()", &sink).ok());
+  for (const char* doc : {"<r><a>1</a></r>", "<r><a>2</a></r>"}) {
+    xml::SaxParser parser(&multi);
+    ASSERT_TRUE(parser.Parse(doc).ok());
+  }
+  EXPECT_EQ(sink.items, (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(MultiQueryTest, PerQueryEngineIntrospection) {
+  MultiQueryEngine multi;
+  CollectingSink sink;
+  Result<int> id = multi.AddQuery("//a[b]/text()", &sink);
+  ASSERT_TRUE(id.ok());
+  xml::SaxParser parser(&multi);
+  ASSERT_TRUE(parser.Parse("<r><a><b/>x</a></r>").ok());
+  EXPECT_GT(multi.engine(*id).stats().items_emitted, 0u);
+  EXPECT_GE(multi.total_peak_buffered_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace xsq::core

@@ -1,0 +1,119 @@
+#include "naive/naive_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/result_sink.h"
+#include "xml/sax_parser.h"
+#include "xpath/ast.h"
+
+namespace xsq::naive {
+namespace {
+
+struct RunResult {
+  std::vector<std::string> items;
+  std::optional<double> aggregate;
+  size_t peak_memory = 0;
+};
+
+RunResult RunQuery(std::string_view query_text, std::string_view xml) {
+  Result<xpath::Query> query = xpath::ParseQuery(query_text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  core::CollectingSink sink;
+  auto engine = NaiveEngine::Create(*query, &sink);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  xml::SaxParser parser(engine->get());
+  Status status = parser.Parse(xml);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE((*engine)->status().ok());
+  return {std::move(sink.items), sink.aggregate,
+          (*engine)->memory().peak_bytes()};
+}
+
+TEST(NaiveEngineTest, BasicQuery) {
+  RunResult r = RunQuery("/r/a[ok]/t/text()",
+                   "<r><a><t>keep</t><ok/></a><a><t>drop</t></a></r>");
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "keep");
+}
+
+TEST(NaiveEngineTest, ClosureFirstStepFindsNestedMatches) {
+  // The outer candidate subtree covers the inner pub; results must not
+  // be duplicated and must include inner-chain-only matches.
+  const char* doc =
+      "<root><pub><year>2002</year>"
+      "<pub><year>1999</year><name>inner</name></pub>"
+      "<name>outer</name></pub></root>";
+  RunResult r = RunQuery("//pub[year=2002]//name/text()", doc);
+  ASSERT_EQ(r.items.size(), 2u);
+  EXPECT_EQ(r.items[0], "inner");
+  EXPECT_EQ(r.items[1], "outer");
+}
+
+TEST(NaiveEngineTest, SeparateCandidatesEvaluateIndependently) {
+  const char* doc =
+      "<r><x><p><q>1</q></p></x><p><q>2</q></p></r>";
+  RunResult r = RunQuery("//p/q/text()", doc);
+  ASSERT_EQ(r.items.size(), 2u);
+}
+
+TEST(NaiveEngineTest, AggregationAcrossCandidates) {
+  const char* doc = "<r><p><v>1</v></p><x/><p><v>2</v><v>4</v></p></r>";
+  RunResult r = RunQuery("//p/v/sum()", doc);
+  ASSERT_TRUE(r.aggregate.has_value());
+  EXPECT_DOUBLE_EQ(*r.aggregate, 7.0);
+  r = RunQuery("//p/v/count()", doc);
+  EXPECT_DOUBLE_EQ(*r.aggregate, 3.0);
+  r = RunQuery("//p/v/avg()", doc);
+  EXPECT_DOUBLE_EQ(*r.aggregate, 7.0 / 3.0);
+  r = RunQuery("//p/v/min()", doc);
+  EXPECT_DOUBLE_EQ(*r.aggregate, 1.0);
+  r = RunQuery("//p/v/max()", doc);
+  EXPECT_DOUBLE_EQ(*r.aggregate, 4.0);
+}
+
+TEST(NaiveEngineTest, NonCandidateContentIsNotBuffered) {
+  std::string doc = "<r>";
+  for (int i = 0; i < 500; ++i) doc += "<skip>data</skip>";
+  doc += "<p><q>hit</q></p></r>";
+  RunResult r = RunQuery("//p/q/text()", doc);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_LT(r.peak_memory, 1000u);
+}
+
+TEST(NaiveEngineTest, BuffersWholeCandidateSubtreeUnlikeXsq) {
+  // The strawman's weakness (Section 3.1): it buffers the entire <a>
+  // even though the query needs almost none of it.
+  std::string doc = "<r><a><ok/><t>x</t>";
+  for (int i = 0; i < 500; ++i) doc += "<junk>filler filler</junk>";
+  doc += "</a></r>";
+
+  RunResult naive_run = RunQuery("//a[ok]/t/text()", doc);
+  ASSERT_EQ(naive_run.items.size(), 1u);
+
+  Result<xpath::Query> query = xpath::ParseQuery("//a[ok]/t/text()");
+  ASSERT_TRUE(query.ok());
+  core::CollectingSink sink;
+  auto xsq = core::XsqEngine::Create(*query, &sink);
+  ASSERT_TRUE(xsq.ok());
+  xml::SaxParser parser(xsq->get());
+  ASSERT_TRUE(parser.Parse(doc).ok());
+
+  EXPECT_GT(naive_run.peak_memory, 10000u);
+  EXPECT_LT((*xsq)->memory().peak_bytes(), 100u);
+}
+
+TEST(NaiveEngineTest, ChildAxisFirstStepOnlyMatchesRoot) {
+  RunResult r = RunQuery("/p/q/text()", "<p><q>yes</q><x><p><q>no</q></p></x></p>");
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "yes");
+}
+
+TEST(NaiveEngineTest, ElementOutput) {
+  RunResult r = RunQuery("//a[b]", "<r><a><b/>x</a><a>y</a></r>");
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "<a><b></b>x</a>");
+}
+
+}  // namespace
+}  // namespace xsq::naive

@@ -1,0 +1,178 @@
+// Tests pinned directly to the paper's worked scenarios that are not
+// already covered elsewhere: Example 3's three tasks, Example 7's
+// flush-before-clear ordering, the Figure 10 single-step BPDT behavior,
+// and a golden snapshot of the Figure 11 HPDT structure.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/hpdt.h"
+#include "core/trace.h"
+#include "xml/events.h"
+#include "xml/sax_parser.h"
+#include "xpath/ast.h"
+
+namespace xsq::core {
+namespace {
+
+QueryResult RunQ(std::string_view query, std::string_view xml) {
+  Result<QueryResult> result = RunQuery(query, xml);
+  EXPECT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+  return result.ok() ? *std::move(result) : QueryResult{};
+}
+
+// Example 3 (Section 3.2): the three tasks of /book[author] inside
+// Q: /pub[year>2000]/book[author]/name/text().
+TEST(PaperFidelityTest, Example3TaskOneRememberAuthorSeen) {
+  // The author arrives before the name: predicate already true when the
+  // name streams past, name still waits on [year>2000].
+  const char* doc =
+      "<pub><book><author>A</author><name>N</name></book>"
+      "<year>2001</year></pub>";
+  QueryResult r = RunQ("/pub[year>2000]/book[author]/name/text()", doc);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "N");
+}
+
+TEST(PaperFidelityTest, Example3TaskTwoDeleteBufferedNameOnNoAuthor) {
+  // The book has no author: its buffered name must be deleted at
+  // </book>.
+  const char* doc =
+      "<pub><book><name>N</name></book><year>2001</year></pub>";
+  QueryResult r = RunQ("/pub[year>2000]/book[author]/name/text()", doc);
+  EXPECT_TRUE(r.items.empty());
+}
+
+TEST(PaperFidelityTest, Example3TaskThreeSendBufferedNameOnAuthor) {
+  // The name is buffered; the author arrives later and releases it
+  // (year already known true).
+  const char* doc =
+      "<pub><year>2001</year><book><name>N</name><author>A</author>"
+      "</book></pub>";
+  QueryResult r = RunQ("/pub[year>2000]/book[author]/name/text()", doc);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "N");
+}
+
+// Figure 10: the single-location-step query /pub[year>2000] with
+// catchall output buffers descendants until a year decides.
+TEST(PaperFidelityTest, Figure10CatchallBuffersUntilYearDecides) {
+  const char* doc = "<pub><a>x</a><year>1999</year><year>2002</year></pub>";
+  QueryResult r = RunQ("/pub[year>2000]", doc);
+  ASSERT_EQ(r.items.size(), 1u);
+  // The whole pub element, including content seen before the deciding
+  // year, appears in the output.
+  EXPECT_EQ(r.items[0],
+            "<pub><a>x</a><year>1999</year><year>2002</year></pub>");
+}
+
+TEST(PaperFidelityTest, Figure10AllYearsFailClearsQueue) {
+  const char* doc = "<pub><a>x</a><year>1999</year><year>1998</year></pub>";
+  QueryResult r = RunQ("/pub[year>2000]", doc);
+  EXPECT_TRUE(r.items.empty());
+}
+
+// Example 7 (Section 4.3): a result element arriving after the text
+// event of the deciding year but before its end event must be flushed,
+// not cleared. Requires mixed content inside year.
+TEST(PaperFidelityTest, Example7ResultBetweenTextAndEndOfYear) {
+  const char* doc =
+      "<root><pub><year>2002<name>N</name></year></pub></root>";
+  QueryResult r = RunQ("//pub[year>2000]//name/text()", doc);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "N");
+}
+
+TEST(PaperFidelityTest, Example7FailingYearStillClears) {
+  const char* doc =
+      "<root><pub><year>1999<name>N</name></year></pub></root>";
+  QueryResult r = RunQ("//pub[year>2000]//name/text()", doc);
+  EXPECT_TRUE(r.items.empty());
+}
+
+// A golden snapshot of the Figure 11 HPDT skeleton: BPDT ids, parent
+// links, and entry-state kinds. (State numbers are implementation
+// detail, so the snapshot checks structure lines only.)
+TEST(PaperFidelityTest, Figure11GoldenStructure) {
+  Result<xpath::Query> query =
+      xpath::ParseQuery("//pub[year>2000]//book[author]//name/text()");
+  ASSERT_TRUE(query.ok());
+  Result<std::unique_ptr<Hpdt>> hpdt = Hpdt::Build(*query);
+  ASSERT_TRUE(hpdt.ok());
+  const std::string debug = (*hpdt)->DebugString();
+  const char* expected_lines[] = {
+      "bpdt(0,0)  (root)  [true-spine]",
+      "bpdt(1,1)  step=//pub[year>2000]  [true-spine]",
+      "bpdt(2,3)  step=//book[author]  [true-spine]",
+      "bpdt(2,2)  step=//book[author]",
+      "bpdt(3,7)  step=//name  [true-spine]",
+      "bpdt(3,6)  step=//name",
+      "bpdt(3,5)  step=//name",
+      "bpdt(3,4)  step=//name",
+      "parent=bpdt(1,1) (via TRUE)",
+      "parent=bpdt(1,1) (via NA)",
+      "parent=bpdt(2,3) (via TRUE)",
+      "parent=bpdt(2,2) (via NA)",
+  };
+  for (const char* line : expected_lines) {
+    EXPECT_NE(debug.find(line), std::string::npos) << line << "\n" << debug;
+  }
+}
+
+// The depth-vector scenario of Example 6, rechecked through the trace:
+// the clear at </pub> (inner) must only drop the inner-chain claim.
+TEST(PaperFidelityTest, Example6InnerClearLeavesOuterClaim) {
+  constexpr const char* kFig2 =
+      "<root><pub>"
+      "<book><name>X</name><author>A</author></book>"
+      "<book><name>Y</name>"
+      "<pub><book><name>Z</name><author>B</author></book>"
+      "<year>1999</year></pub>"
+      "</book>"
+      "<year>2002</year>"
+      "</pub></root>";
+  RecordingTrace trace;
+  Result<xpath::Query> query =
+      xpath::ParseQuery("//pub[year=2002]//book[author]//name/text()");
+  ASSERT_TRUE(query.ok());
+  CollectingSink sink;
+  auto engine = XsqEngine::Create(*query, &sink);
+  ASSERT_TRUE(engine.ok());
+  (*engine)->set_trace(&trace);
+  xml::SaxParser parser(engine->get());
+  ASSERT_TRUE(parser.Parse(kFig2).ok());
+  EXPECT_EQ(sink.items, (std::vector<std::string>{"X", "Z"}));
+  // Z was cleared at least once (failing chains) yet emitted: claims
+  // are per chain, exactly the depth-vector bookkeeping of Example 6.
+  size_t z_clears = 0;
+  for (const BufferOp& op : trace.OfKind(BufferOp::Kind::kClear)) {
+    if (op.value == "Z") ++z_clears;
+  }
+  EXPECT_GE(z_clears, 1u);
+  size_t z_emits = 0;
+  for (const BufferOp& op : trace.OfKind(BufferOp::Kind::kEmit)) {
+    if (op.value == "Z") ++z_emits;
+  }
+  EXPECT_EQ(z_emits, 1u);
+}
+
+// TeeHandler: one parse feeding two engines produces the same results
+// as two parses.
+TEST(PaperFidelityTest, TeeHandlerSharesOneParse) {
+  const char* doc = "<r><a>1</a><b>2</b></r>";
+  Result<xpath::Query> qa = xpath::ParseQuery("/r/a/text()");
+  Result<xpath::Query> qb = xpath::ParseQuery("/r/b/text()");
+  ASSERT_TRUE(qa.ok() && qb.ok());
+  CollectingSink sa;
+  CollectingSink sb;
+  auto ea = XsqEngine::Create(*qa, &sa);
+  auto eb = XsqEngine::Create(*qb, &sb);
+  ASSERT_TRUE(ea.ok() && eb.ok());
+  xml::TeeHandler tee({ea->get(), eb->get()});
+  xml::SaxParser parser(&tee);
+  ASSERT_TRUE(parser.Parse(doc).ok());
+  EXPECT_EQ(sa.items, std::vector<std::string>{"1"});
+  EXPECT_EQ(sb.items, std::vector<std::string>{"2"});
+}
+
+}  // namespace
+}  // namespace xsq::core

@@ -1,0 +1,142 @@
+// Additional SAX parser edge cases: byte order marks, file input,
+// DOCTYPE/PI corners, and positional bookkeeping under chunking.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "xml/events.h"
+#include "xml/sax_parser.h"
+
+namespace xsq::xml {
+namespace {
+
+std::vector<Event> ParseOk(std::string_view text) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  Status status = parser.Parse(text);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return handler.events;
+}
+
+TEST(ParserEdgeTest, Utf8BomIsSkipped) {
+  auto events = ParseOk("\xef\xbb\xbf<a>x</a>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].tag, "a");
+}
+
+TEST(ParserEdgeTest, BomSplitAcrossChunks) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  ASSERT_TRUE(parser.Feed("\xef").ok());
+  ASSERT_TRUE(parser.Feed("\xbb").ok());
+  ASSERT_TRUE(parser.Feed("\xbf<a/>").ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  ASSERT_EQ(handler.events.size(), 2u);
+}
+
+TEST(ParserEdgeTest, BomOnlyDocumentIsStillEmpty) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  ASSERT_TRUE(parser.Feed("\xef\xbb\xbf").ok());
+  EXPECT_FALSE(parser.Finish().ok());  // no root element
+}
+
+TEST(ParserEdgeTest, NonBomLeadingEfByteIsAnError) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  Status status = parser.Parse("\xef\x01\x02<a/>");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(ParserEdgeTest, ParseFileReadsInChunks) {
+  const char* path = "xsq_parse_file_test.xml";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "<r>";
+    for (int i = 0; i < 50000; ++i) out << "<e>" << i << "</e>";
+    out << "</r>";
+  }
+  RecordingHandler handler;
+  Status status = ParseFile(path, &handler);
+  std::remove(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(handler.events.size(), 2u + 3u * 50000u);
+}
+
+TEST(ParserEdgeTest, ParseFileMissingFile) {
+  RecordingHandler handler;
+  Status status = ParseFile("definitely/not/here.xml", &handler);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserEdgeTest, PiBetweenTextKeepsRunTogether) {
+  auto events = ParseOk("<a>x<?pi data?>y</a>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].text, "xy");
+}
+
+TEST(ParserEdgeTest, DoctypeQuotedBracketDoesNotConfuseSubset) {
+  auto events = ParseOk(
+      "<!DOCTYPE a [ <!ENTITY weird \"]>\"> ]><a/>");
+  ASSERT_EQ(events.size(), 2u);
+}
+
+TEST(ParserEdgeTest, CommentBeforeAndAfterRoot) {
+  auto events = ParseOk("<!-- pre --><a/><!-- post -->");
+  ASSERT_EQ(events.size(), 2u);
+}
+
+TEST(ParserEdgeTest, WhitespaceAfterRootOk) {
+  auto events = ParseOk("<a/>\n\n  \t");
+  ASSERT_EQ(events.size(), 2u);
+}
+
+TEST(ParserEdgeTest, SelfClosingWithAttributes) {
+  auto events = ParseOk("<a><b x=\"1\" y=\"2\"/></a>");
+  ASSERT_EQ(events[1].attributes.size(), 2u);
+}
+
+TEST(ParserEdgeTest, TagSpanningManyChunks) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  const std::string doc = "<element attribute=\"value with spaces\">text"
+                          "</element>";
+  for (size_t i = 0; i < doc.size(); i += 3) {
+    ASSERT_TRUE(parser.Feed(std::string_view(doc).substr(i, 3)).ok());
+  }
+  ASSERT_TRUE(parser.Finish().ok());
+  ASSERT_EQ(handler.events.size(), 3u);
+  EXPECT_EQ(handler.events[0].attributes[0].value, "value with spaces");
+}
+
+TEST(ParserEdgeTest, BytesConsumedCountsBom) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  ASSERT_TRUE(parser.Parse("\xef\xbb\xbf<a/>").ok());
+  EXPECT_EQ(parser.bytes_consumed(), 7u);
+}
+
+TEST(ParserEdgeTest, DepthAccessorDuringStreaming) {
+  class DepthProbe : public SaxHandler {
+   public:
+    explicit DepthProbe(SaxParser** parser) : parser_(parser) {}
+    void OnBegin(std::string_view, const std::vector<Attribute>&,
+                 int depth) override {
+      EXPECT_EQ((*parser_)->depth(), depth);
+    }
+    void OnEnd(std::string_view, int) override {}
+    void OnText(std::string_view, std::string_view, int) override {}
+
+   private:
+    SaxParser** parser_;
+  };
+  SaxParser* handle = nullptr;
+  DepthProbe probe(&handle);
+  SaxParser parser(&probe);
+  handle = &parser;
+  ASSERT_TRUE(parser.Parse("<a><b><c/></b></a>").ok());
+}
+
+}  // namespace
+}  // namespace xsq::xml

@@ -1,0 +1,79 @@
+// '.' (self) and '..' (parent) steps, rewritten to forward-only queries
+// at parse time - the miniature of "XPath: Looking Forward" [21] cited
+// in the paper's related work. The paper's XSQ excludes reverse axes;
+// the rewrite makes the common cases evaluable anyway.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dom/builder.h"
+#include "dom/evaluator.h"
+#include "xpath/ast.h"
+
+namespace xsq::xpath {
+namespace {
+
+std::string Rewritten(std::string_view text) {
+  Result<Query> query = ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << text << ": " << query.status().ToString();
+  return query.ok() ? query->ToString() : "";
+}
+
+TEST(ReverseAxisTest, SelfStepDisappears) {
+  EXPECT_EQ(Rewritten("/a/./b"), "/a/b");
+  EXPECT_EQ(Rewritten("/a/b/."), "/a/b");
+  EXPECT_EQ(Rewritten("//a/./text()"), "//a/text()");
+}
+
+TEST(ReverseAxisTest, ParentFoldsIntoChildPredicate) {
+  EXPECT_EQ(Rewritten("/a/b/.."), "/a[b]");
+  EXPECT_EQ(Rewritten("/a/b/../c"), "/a[b]/c");
+  EXPECT_EQ(Rewritten("//x/y/../t/text()"), "//x[y]/t/text()");
+  EXPECT_EQ(Rewritten("/a/b/../c/d/../e"), "/a[b]/c[d]/e");
+}
+
+TEST(ReverseAxisTest, RewriteInsideUnions) {
+  EXPECT_EQ(Rewritten("/a/b/.. | /c/./d"), "/a[b] | /c/d");
+}
+
+TEST(ReverseAxisTest, UnsupportedFormsAreRejectedCleanly) {
+  EXPECT_EQ(ParseQuery("/a/..").status().code(), StatusCode::kNotSupported);
+  EXPECT_EQ(ParseQuery("/..").status().code(), StatusCode::kNotSupported);
+  EXPECT_EQ(ParseQuery("/.").status().code(), StatusCode::kNotSupported);
+  EXPECT_EQ(ParseQuery("/a//b/..").status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(ParseQuery("/a/b[x]/..").status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_FALSE(ParseQuery("/a/..[x]").ok());
+  EXPECT_FALSE(ParseQuery("//..").ok());
+}
+
+TEST(ReverseAxisTest, RewrittenQueriesEvaluateCorrectly) {
+  const char* doc =
+      "<r><a><b/><t>has-b</t></a><a><t>no-b</t></a></r>";
+  // /r/a/b/../t = the t children of a's that have a b child.
+  Result<core::QueryResult> result =
+      core::RunQuery("/r/a/b/../t/text()", doc);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->items.size(), 1u);
+  EXPECT_EQ(result->items[0], "has-b");
+
+  // Same result through the DOM oracle, which sees the rewritten query.
+  Result<Query> query = ParseQuery("/r/a/b/../t/text()");
+  ASSERT_TRUE(query.ok());
+  Result<dom::Document> document = dom::BuildFromString(doc);
+  ASSERT_TRUE(document.ok());
+  Result<dom::EvalResult> oracle = dom::Evaluate(*document, *query);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(oracle->items, result->items);
+}
+
+TEST(ReverseAxisTest, ParentDeduplicatesLikeANodeSet) {
+  // Two b children, one parent: the parent is matched once.
+  Result<core::QueryResult> result =
+      core::RunQuery("/r/a/b/../count()", "<r><a><b/><b/></a><a/></r>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result->aggregate, 1.0);
+}
+
+}  // namespace
+}  // namespace xsq::xpath

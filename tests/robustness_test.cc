@@ -1,0 +1,165 @@
+// Robustness properties: malformed input must produce a clean parse
+// error (never a crash, hang, or engine-internal error), and extreme but
+// well-formed structure (very deep nesting, huge attributes, long text)
+// must be handled gracefully by every layer.
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "core/engine.h"
+#include "core/engine_nc.h"
+#include "core/result_sink.h"
+#include "dom/builder.h"
+#include "dom/evaluator.h"
+#include "test_util.h"
+#include "xml/sax_parser.h"
+
+namespace xsq {
+namespace {
+
+class MutationFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutationFuzzTest, MutatedDocumentsNeverBreakTheEngine) {
+  const uint64_t seed = GetParam();
+  SplitMix64 rng(seed * 7919 + 13);
+  std::string doc = testutil::RandomDocument(seed);
+
+  for (int round = 0; round < 30; ++round) {
+    std::string mutated = doc;
+    int mutations = 1 + static_cast<int>(rng.Below(4));
+    for (int m = 0; m < mutations; ++m) {
+      if (mutated.empty()) break;
+      size_t pos = rng.Below(mutated.size());
+      switch (rng.Below(4)) {
+        case 0:  // flip a byte to a random printable character
+          mutated[pos] = static_cast<char>(' ' + rng.Below(94));
+          break;
+        case 1:  // delete a byte
+          mutated.erase(pos, 1);
+          break;
+        case 2:  // duplicate a byte
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+        case 3:  // insert a metacharacter
+          mutated.insert(pos, 1, "<>&\"'/!["[rng.Below(8)]);
+          break;
+      }
+    }
+    // The engine either processes the stream or reports a parse error;
+    // its internal status must never trip.
+    Result<xpath::Query> query = xpath::ParseQuery("//a[b]/text()");
+    ASSERT_TRUE(query.ok());
+    core::CollectingSink sink;
+    auto engine = core::XsqEngine::Create(*query, &sink);
+    ASSERT_TRUE(engine.ok());
+    xml::SaxParser parser(engine->get());
+    Status status = parser.Parse(mutated);
+    if (status.ok()) {
+      EXPECT_TRUE((*engine)->status().ok())
+          << "engine invariant violated on: " << mutated;
+    } else {
+      EXPECT_EQ(status.code(), StatusCode::kParseError) << mutated;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzzTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{20}));
+
+TEST(ExtremeInputTest, VeryDeepNesting) {
+  const int depth = 5000;
+  std::string doc;
+  doc.reserve(static_cast<size_t>(depth) * 8);
+  for (int i = 0; i < depth; ++i) doc += "<d>";
+  doc += "x";
+  for (int i = 0; i < depth; ++i) doc += "</d>";
+
+  // Parser and XSQ-F (closure query: one chain per ancestor is the
+  // worst case; the spine dedup keeps it linear).
+  Result<core::QueryResult> result = core::RunQuery("//d//d/count()", doc);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(*result->aggregate, depth - 1.0);
+}
+
+TEST(ExtremeInputTest, DeepNestingThroughDomOracle) {
+  const int depth = 2000;
+  std::string doc;
+  for (int i = 0; i < depth; ++i) doc += "<d>";
+  for (int i = 0; i < depth; ++i) doc += "</d>";
+  Result<dom::Document> document = dom::BuildFromString(doc);
+  ASSERT_TRUE(document.ok());
+  Result<xpath::Query> query = xpath::ParseQuery("//d/count()");
+  ASSERT_TRUE(query.ok());
+  Result<dom::EvalResult> eval = dom::Evaluate(*document, *query);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(*eval->aggregate, static_cast<double>(depth));
+}
+
+TEST(ExtremeInputTest, LongTextRunsAcrossTinyChunks) {
+  std::string text(200000, 'x');
+  text[100000] = '&';  // will be an entity start
+  text.replace(100000, 1, "&amp;");
+  const std::string doc = "<a>" + text + "</a>";
+  core::CollectingSink sink;
+  Result<xpath::Query> query = xpath::ParseQuery("/a/text()");
+  ASSERT_TRUE(query.ok());
+  auto engine = core::XsqEngine::Create(*query, &sink);
+  ASSERT_TRUE(engine.ok());
+  xml::SaxParser parser(engine->get());
+  for (size_t pos = 0; pos < doc.size(); pos += 4096) {
+    ASSERT_TRUE(
+        parser.Feed(std::string_view(doc).substr(pos, 4096)).ok());
+  }
+  ASSERT_TRUE(parser.Finish().ok());
+  ASSERT_EQ(sink.items.size(), 1u);
+  EXPECT_EQ(sink.items[0].size(), text.size() - 4);  // &amp; decoded to &
+}
+
+TEST(ExtremeInputTest, ManySiblingsManyAttributes) {
+  std::string doc = "<r>";
+  for (int i = 0; i < 20000; ++i) {
+    doc += "<e a" + std::to_string(i % 7) + "=\"" + std::to_string(i) +
+           "\"/>";
+  }
+  doc += "</r>";
+  Result<core::QueryResult> result = core::RunQuery("/r/e[@a0]/count()", doc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(*result->aggregate, 0.0);
+}
+
+TEST(ExtremeInputTest, HugeAttributeValue) {
+  std::string value(100000, 'v');
+  std::string doc = "<a x=\"" + value + "\"/>";
+  Result<core::QueryResult> result = core::RunQuery("/a/@x", doc);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items.size(), 1u);
+  EXPECT_EQ(result->items[0].size(), value.size());
+}
+
+TEST(ExtremeInputTest, PathologicalCommentAndCdata) {
+  std::string doc = "<a><!--";
+  doc.append(50000, '-');
+  // Many hyphens inside a comment terminated properly.
+  doc += " --><![CDATA[";
+  doc.append(50000, ']');
+  doc += "]]></a>";
+  xml::RecordingHandler handler;
+  xml::SaxParser parser(&handler);
+  EXPECT_TRUE(parser.Parse(doc).ok());
+}
+
+TEST(ExtremeInputTest, EngineStatusCatchesDesyncedEvents) {
+  // Driving the engine with an inconsistent event stream directly (not
+  // through the parser) must flag Internal, not crash.
+  Result<xpath::Query> query = xpath::ParseQuery("/a/text()");
+  ASSERT_TRUE(query.ok());
+  core::CollectingSink sink;
+  auto engine = core::XsqEngine::Create(*query, &sink);
+  ASSERT_TRUE(engine.ok());
+  (*engine)->OnDocumentBegin();
+  (*engine)->OnBegin("a", {}, /*depth=*/3);  // wrong depth
+  EXPECT_FALSE((*engine)->status().ok());
+  EXPECT_EQ((*engine)->status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace xsq

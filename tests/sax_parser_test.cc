@@ -1,0 +1,334 @@
+#include "xml/sax_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "test_util.h"
+#include "xml/events.h"
+#include "xml/writer.h"
+
+namespace xsq::xml {
+namespace {
+
+std::vector<Event> ParseEvents(std::string_view text, Status* status) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  *status = parser.Parse(text);
+  return handler.events;
+}
+
+std::vector<Event> ParseOk(std::string_view text) {
+  Status status;
+  std::vector<Event> events = ParseEvents(text, &status);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return events;
+}
+
+Status ParseStatus(std::string_view text) {
+  Status status;
+  ParseEvents(text, &status);
+  return status;
+}
+
+TEST(SaxParserTest, SingleEmptyElement) {
+  auto events = ParseOk("<a></a>");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, Event::Type::kBegin);
+  EXPECT_EQ(events[0].tag, "a");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].type, Event::Type::kEnd);
+  EXPECT_EQ(events[1].tag, "a");
+  EXPECT_EQ(events[1].depth, 1);
+}
+
+TEST(SaxParserTest, SelfClosingElement) {
+  auto events = ParseOk("<a><b/></a>");
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[1].type, Event::Type::kBegin);
+  EXPECT_EQ(events[1].tag, "b");
+  EXPECT_EQ(events[1].depth, 2);
+  EXPECT_EQ(events[2].type, Event::Type::kEnd);
+  EXPECT_EQ(events[2].tag, "b");
+}
+
+TEST(SaxParserTest, TextEventCarriesEnclosingTagAndDepth) {
+  auto events = ParseOk("<a><b>hello</b></a>");
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[2].type, Event::Type::kText);
+  EXPECT_EQ(events[2].tag, "b");
+  EXPECT_EQ(events[2].text, "hello");
+  EXPECT_EQ(events[2].depth, 2);
+}
+
+TEST(SaxParserTest, MixedContentSplitsTextAtMarkup) {
+  auto events = ParseOk("<a>x<b/>y</a>");
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[1].text, "x");
+  EXPECT_EQ(events[4].text, "y");
+  EXPECT_EQ(events[4].tag, "a");
+}
+
+TEST(SaxParserTest, Attributes) {
+  auto events = ParseOk(R"(<a id="1" name='two'><b x="a&amp;b"/></a>)");
+  ASSERT_EQ(events[0].attributes.size(), 2u);
+  EXPECT_EQ(events[0].attributes[0].name, "id");
+  EXPECT_EQ(events[0].attributes[0].value, "1");
+  EXPECT_EQ(events[0].attributes[1].name, "name");
+  EXPECT_EQ(events[0].attributes[1].value, "two");
+  EXPECT_EQ(events[1].attributes[0].value, "a&b");
+}
+
+TEST(SaxParserTest, AttributeWithWhitespaceAroundEquals) {
+  auto events = ParseOk(R"(<a id = "7"></a>)");
+  ASSERT_EQ(events[0].attributes.size(), 1u);
+  EXPECT_EQ(events[0].attributes[0].value, "7");
+}
+
+TEST(SaxParserTest, GreaterThanInsideAttributeValue) {
+  auto events = ParseOk(R"(<a cond="x>y"></a>)");
+  EXPECT_EQ(events[0].attributes[0].value, "x>y");
+}
+
+TEST(SaxParserTest, PredefinedEntities) {
+  auto events = ParseOk("<a>&lt;&gt;&amp;&apos;&quot;</a>");
+  EXPECT_EQ(events[1].text, "<>&'\"");
+}
+
+TEST(SaxParserTest, NumericCharacterReferences) {
+  auto events = ParseOk("<a>&#65;&#x42;&#x3b1;</a>");
+  EXPECT_EQ(events[1].text,
+            "AB\xce\xb1");  // alpha encodes to two UTF-8 bytes
+}
+
+TEST(SaxParserTest, CdataIsVerbatimAndMergedWithText) {
+  auto events = ParseOk("<a>x<![CDATA[<not&markup>]]>y</a>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].text, "x<not&markup>y");
+}
+
+TEST(SaxParserTest, CommentsDoNotSplitTextRuns) {
+  auto events = ParseOk("<a>x<!-- ignore <b> -->y</a>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].text, "xy");
+}
+
+TEST(SaxParserTest, ProcessingInstructionsAndXmlDeclSkipped) {
+  auto events =
+      ParseOk("<?xml version=\"1.0\"?><a><?target data?><b/></a>");
+  ASSERT_EQ(events.size(), 4u);
+}
+
+TEST(SaxParserTest, DoctypeWithInternalSubsetSkipped) {
+  auto events = ParseOk(
+      "<!DOCTYPE a [ <!ELEMENT a (b)> <!ENTITY e \"x>y\"> ]><a><b/></a>");
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].tag, "a");
+}
+
+TEST(SaxParserTest, WhitespaceOnlyTextIsReported) {
+  auto events = ParseOk("<a> <b/> </a>");
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[1].type, Event::Type::kText);
+  EXPECT_EQ(events[1].text, " ");
+}
+
+TEST(SaxParserTest, DepthTracksNesting) {
+  auto events = ParseOk("<a><b><c></c></b><b/></a>");
+  EXPECT_EQ(events[2].depth, 3);  // <c>
+  EXPECT_EQ(events[6].depth, 2);  // second <b>
+}
+
+TEST(SaxParserTest, Utf8TagsAndTextPassThrough) {
+  auto events = ParseOk("<caf\xc3\xa9>\xc3\xbc</caf\xc3\xa9>");
+  EXPECT_EQ(events[0].tag, "caf\xc3\xa9");
+  EXPECT_EQ(events[1].text, "\xc3\xbc");
+}
+
+// --- error cases ---
+
+TEST(SaxParserErrorTest, MismatchedEndTag) {
+  Status status = ParseStatus("<a><b></a></b>");
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("does not match"), std::string::npos);
+}
+
+TEST(SaxParserErrorTest, UnclosedElement) {
+  Status status = ParseStatus("<a><b></b>");
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("not closed"), std::string::npos);
+}
+
+TEST(SaxParserErrorTest, MultipleRootElements) {
+  EXPECT_EQ(ParseStatus("<a></a><b></b>").code(), StatusCode::kParseError);
+}
+
+TEST(SaxParserErrorTest, TextOutsideRoot) {
+  EXPECT_EQ(ParseStatus("hello<a></a>").code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseStatus("<a></a>trailing").code(), StatusCode::kParseError);
+}
+
+TEST(SaxParserErrorTest, EmptyDocument) {
+  EXPECT_EQ(ParseStatus("").code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseStatus("  \n ").code(), StatusCode::kParseError);
+}
+
+TEST(SaxParserErrorTest, UnknownEntity) {
+  EXPECT_EQ(ParseStatus("<a>&nosuch;</a>").code(), StatusCode::kParseError);
+}
+
+TEST(SaxParserErrorTest, UnterminatedEntity) {
+  EXPECT_EQ(ParseStatus("<a>&amp</a>").code(), StatusCode::kParseError);
+}
+
+TEST(SaxParserErrorTest, InvalidCharacterReference) {
+  EXPECT_EQ(ParseStatus("<a>&#xZZ;</a>").code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseStatus("<a>&#1114112;</a>").code(),
+            StatusCode::kParseError);  // beyond U+10FFFF
+  EXPECT_EQ(ParseStatus("<a>&#xD800;</a>").code(),
+            StatusCode::kParseError);  // surrogate
+}
+
+TEST(SaxParserErrorTest, DuplicateAttribute) {
+  EXPECT_EQ(ParseStatus(R"(<a x="1" x="2"></a>)").code(),
+            StatusCode::kParseError);
+}
+
+TEST(SaxParserErrorTest, BadAttributeSyntax) {
+  EXPECT_EQ(ParseStatus("<a x></a>").code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseStatus("<a x=1></a>").code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseStatus(R"(<a x="1"y="2"></a>)").code(),
+            StatusCode::kParseError);
+}
+
+TEST(SaxParserErrorTest, RawLessThanInAttributeValue) {
+  EXPECT_EQ(ParseStatus(R"(<a x="<"></a>)").code(), StatusCode::kParseError);
+}
+
+TEST(SaxParserErrorTest, InvalidElementName) {
+  EXPECT_EQ(ParseStatus("<1a></1a>").code(), StatusCode::kParseError);
+}
+
+TEST(SaxParserErrorTest, EndTagWithNoOpenElement) {
+  EXPECT_EQ(ParseStatus("</a>").code(), StatusCode::kParseError);
+}
+
+TEST(SaxParserErrorTest, TruncatedMarkupAtEof) {
+  EXPECT_EQ(ParseStatus("<a><b").code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseStatus("<a><!-- never closed").code(),
+            StatusCode::kParseError);
+}
+
+TEST(SaxParserErrorTest, ErrorsCarryLineAndColumn) {
+  Status status = ParseStatus("<a>\n<b></c>\n</a>");
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST(SaxParserErrorTest, CdataOutsideRoot) {
+  EXPECT_EQ(ParseStatus("<![CDATA[x]]><a/>").code(), StatusCode::kParseError);
+}
+
+// --- incremental feeding ---
+
+TEST(SaxParserChunkTest, FeedByteByByteMatchesWholeParse) {
+  const std::string doc =
+      "<?xml version=\"1.0\"?><root a=\"1\"><x>te&amp;xt<![CDATA[cd]]>"
+      "</x><!--c--><y b='2'>z</y></root>";
+  RecordingHandler whole;
+  {
+    SaxParser parser(&whole);
+    ASSERT_TRUE(parser.Parse(doc).ok());
+  }
+  RecordingHandler chunked;
+  {
+    SaxParser parser(&chunked);
+    for (char c : doc) {
+      ASSERT_TRUE(parser.Feed(std::string_view(&c, 1)).ok());
+    }
+    ASSERT_TRUE(parser.Finish().ok());
+  }
+  ASSERT_EQ(whole.events.size(), chunked.events.size());
+  for (size_t i = 0; i < whole.events.size(); ++i) {
+    EXPECT_EQ(whole.events[i].type, chunked.events[i].type) << i;
+    EXPECT_EQ(whole.events[i].tag, chunked.events[i].tag) << i;
+    EXPECT_EQ(whole.events[i].text, chunked.events[i].text) << i;
+    EXPECT_EQ(whole.events[i].depth, chunked.events[i].depth) << i;
+  }
+}
+
+class ChunkPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChunkPropertyTest, RandomChunkingIsEquivalentToWholeParse) {
+  const uint64_t seed = GetParam();
+  const std::string doc = testutil::RandomDocument(seed);
+  RecordingHandler whole;
+  {
+    SaxParser parser(&whole);
+    ASSERT_TRUE(parser.Parse(doc).ok()) << doc;
+  }
+  RecordingHandler chunked;
+  SaxParser parser(&chunked);
+  SplitMix64 rng(seed + 99);
+  size_t pos = 0;
+  while (pos < doc.size()) {
+    size_t len = 1 + rng.Below(17);
+    len = std::min(len, doc.size() - pos);
+    ASSERT_TRUE(parser.Feed(std::string_view(doc).substr(pos, len)).ok());
+    pos += len;
+  }
+  ASSERT_TRUE(parser.Finish().ok());
+  ASSERT_EQ(whole.events.size(), chunked.events.size());
+  for (size_t i = 0; i < whole.events.size(); ++i) {
+    EXPECT_EQ(whole.events[i].text, chunked.events[i].text);
+    EXPECT_EQ(whole.events[i].tag, chunked.events[i].tag);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChunkPropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{25}));
+
+class RoundTripPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripPropertyTest, SerializeThenReparseYieldsSameEvents) {
+  const std::string doc = testutil::RandomDocument(GetParam());
+  RecordingHandler first;
+  {
+    SaxParser parser(&first);
+    ASSERT_TRUE(parser.Parse(doc).ok());
+  }
+  const std::string serialized = SerializeEvents(first.events);
+  RecordingHandler second;
+  {
+    SaxParser parser(&second);
+    ASSERT_TRUE(parser.Parse(serialized).ok()) << serialized;
+  }
+  ASSERT_EQ(first.events.size(), second.events.size());
+  for (size_t i = 0; i < first.events.size(); ++i) {
+    EXPECT_EQ(first.events[i].tag, second.events[i].tag);
+    EXPECT_EQ(first.events[i].text, second.events[i].text);
+    EXPECT_EQ(first.events[i].depth, second.events[i].depth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripPropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{25}));
+
+TEST(SaxParserTest, BytesConsumedAndPosition) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  ASSERT_TRUE(parser.Parse("<a>\nxy\n</a>").ok());
+  EXPECT_EQ(parser.bytes_consumed(), 11u);
+  EXPECT_EQ(parser.line(), 3);
+}
+
+TEST(SaxParserTest, ResetAllowsReuse) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  ASSERT_TRUE(parser.Parse("<a/>").ok());
+  parser.Reset();
+  ASSERT_TRUE(parser.Parse("<b/>").ok());
+  ASSERT_EQ(handler.events.size(), 4u);
+  EXPECT_EQ(handler.events[2].tag, "b");
+}
+
+}  // namespace
+}  // namespace xsq::xml

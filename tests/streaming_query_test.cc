@@ -1,0 +1,116 @@
+#include "core/streaming_query.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "core/engine.h"
+#include "test_util.h"
+
+namespace xsq::core {
+namespace {
+
+TEST(StreamingQueryTest, PushPullBasics) {
+  auto query = StreamingQuery::Open("//book[price<20]/title/text()");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_TRUE((*query)
+                  ->Push("<catalog><book><title>A</title>"
+                         "<price>10</price></book>")
+                  .ok());
+  // Item available before the document ends.
+  std::optional<std::string> item = (*query)->NextItem();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, "A");
+  EXPECT_FALSE((*query)->NextItem().has_value());
+  ASSERT_TRUE((*query)
+                  ->Push("<book><title>B</title><price>99</price></book>"
+                         "</catalog>")
+                  .ok());
+  ASSERT_TRUE((*query)->Close().ok());
+  EXPECT_FALSE((*query)->NextItem().has_value());  // B was too expensive
+}
+
+TEST(StreamingQueryTest, PicksDeterministicEngineWhenPossible) {
+  auto nc = StreamingQuery::Open("/a/b/text()");
+  ASSERT_TRUE(nc.ok());
+  EXPECT_TRUE((*nc)->uses_deterministic_engine());
+  auto f = StreamingQuery::Open("//a/b/text()");
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE((*f)->uses_deterministic_engine());
+  auto u = StreamingQuery::Open("/a/b/text() | /a/c/text()");
+  ASSERT_TRUE(u.ok());
+  EXPECT_FALSE((*u)->uses_deterministic_engine());
+}
+
+TEST(StreamingQueryTest, AggregationExposesRunningAndFinalValues) {
+  auto query = StreamingQuery::Open("/r/x/sum()");
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE((*query)->Push("<r><x>1</x>").ok());
+  ASSERT_TRUE((*query)->current_aggregate().has_value());
+  EXPECT_DOUBLE_EQ(*(*query)->current_aggregate(), 1.0);
+  ASSERT_TRUE((*query)->Push("<x>2.5</x></r>").ok());
+  EXPECT_DOUBLE_EQ(*(*query)->current_aggregate(), 3.5);
+  ASSERT_TRUE((*query)->Close().ok());
+  ASSERT_TRUE((*query)->final_aggregate().has_value());
+  EXPECT_DOUBLE_EQ(*(*query)->final_aggregate(), 3.5);
+}
+
+TEST(StreamingQueryTest, ErrorsSurfaceFromParserAndParserReuseBlocked) {
+  auto query = StreamingQuery::Open("//a/text()");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE((*query)->Push("<a><b></a>").ok());
+  auto bad = StreamingQuery::Open("not a query");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(StreamingQueryTest, CloseIsIdempotent) {
+  auto query = StreamingQuery::Open("//a/text()");
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE((*query)->Push("<a>x</a>").ok());
+  ASSERT_TRUE((*query)->Close().ok());
+  ASSERT_TRUE((*query)->Close().ok());
+  EXPECT_FALSE((*query)->Push("<more/>").ok());
+}
+
+TEST(StreamingQueryTest, PeakBufferReflectsEngineAccounting) {
+  auto query = StreamingQuery::Open("/r/a[late]/t/text()");
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE((*query)->Push("<r><a><t>buffered content</t>").ok());
+  EXPECT_GT((*query)->peak_buffered_bytes(), 0u);
+  ASSERT_TRUE((*query)->Push("</a></r>").ok());
+  ASSERT_TRUE((*query)->Close().ok());
+  EXPECT_FALSE((*query)->NextItem().has_value());  // [late] never held
+}
+
+class StreamingQueryChunkingTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(StreamingQueryChunkingTest, ResultsIndependentOfChunking) {
+  const uint64_t seed = GetParam();
+  const std::string doc = testutil::RandomDocument(seed + 3000);
+  const std::string query_text = testutil::RandomQuery(seed * 3 + 1);
+
+  Result<QueryResult> whole = RunQuery(query_text, doc);
+  ASSERT_TRUE(whole.ok());
+
+  auto query = StreamingQuery::Open(query_text);
+  ASSERT_TRUE(query.ok());
+  SplitMix64 rng(seed);
+  size_t pos = 0;
+  std::vector<std::string> items;
+  while (pos < doc.size()) {
+    size_t len = 1 + rng.Below(23);
+    len = std::min(len, doc.size() - pos);
+    ASSERT_TRUE((*query)->Push(std::string_view(doc).substr(pos, len)).ok());
+    while (auto item = (*query)->NextItem()) items.push_back(*item);
+    pos += len;
+  }
+  ASSERT_TRUE((*query)->Close().ok());
+  while (auto item = (*query)->NextItem()) items.push_back(*item);
+  EXPECT_EQ(items, whole->items) << query_text << "\n" << doc;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingQueryChunkingTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{20}));
+
+}  // namespace
+}  // namespace xsq::core

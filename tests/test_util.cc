@@ -1,0 +1,134 @@
+#include "test_util.h"
+
+#include "common/strings.h"
+
+namespace xsq::testutil {
+
+namespace {
+
+void EmitElement(std::string* out, SplitMix64* rng,
+                 const RandomDocOptions& options, int depth) {
+  const std::string& tag = options.tags[rng->Below(options.tags.size())];
+  out->push_back('<');
+  out->append(tag);
+  if (rng->Chance(options.attr_probability)) {
+    const std::string& name =
+        options.attr_names[rng->Below(options.attr_names.size())];
+    out->push_back(' ');
+    out->append(name);
+    out->append("=\"");
+    out->append(options.values[rng->Below(options.values.size())]);
+    out->push_back('"');
+  }
+  out->push_back('>');
+  int children = depth >= options.max_depth
+                     ? 0
+                     : static_cast<int>(rng->Below(
+                           static_cast<uint64_t>(options.max_children) + 1));
+  for (int i = 0; i < children; ++i) {
+    if (rng->Chance(options.text_probability)) {
+      out->append(options.values[rng->Below(options.values.size())]);
+    }
+    EmitElement(out, rng, options, depth + 1);
+  }
+  if (rng->Chance(options.text_probability)) {
+    out->append(options.values[rng->Below(options.values.size())]);
+  }
+  out->append("</");
+  out->append(tag);
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string RandomDocument(uint64_t seed, const RandomDocOptions& options) {
+  SplitMix64 rng(seed * 2654435761ULL + 1);
+  std::string out = "<r>";
+  int top = 1 + static_cast<int>(rng.Below(3));
+  for (int i = 0; i < top; ++i) {
+    EmitElement(&out, &rng, options, 1);
+  }
+  out += "</r>";
+  return out;
+}
+
+std::string RandomQuery(uint64_t seed, const RandomDocOptions& options) {
+  SplitMix64 rng(seed * 0x9e3779b97f4a7c15ULL + 17);
+  std::string query;
+  int steps = 1 + static_cast<int>(rng.Below(4));
+  bool first = true;
+  for (int s = 0; s < steps; ++s) {
+    query += rng.Chance(0.5) ? "//" : "/";
+    if (first && query == "/") {
+      // Child-axis first step: target the known root tag half the time
+      // so queries are not trivially empty.
+      query += rng.Chance(0.5) ? "r" : options.tags[rng.Below(
+                                           options.tags.size())];
+    } else if (rng.Chance(0.1)) {
+      query += "*";
+    } else {
+      query += options.tags[rng.Below(options.tags.size())];
+    }
+    first = false;
+    if (rng.Chance(0.5)) {
+      // One predicate, occasionally two.
+      int predicates = rng.Chance(0.15) ? 2 : 1;
+      for (int p = 0; p < predicates; ++p) {
+        query += "[";
+        int kind = static_cast<int>(rng.Below(5));
+        const std::string& value =
+            options.values[rng.Below(options.values.size())];
+        const std::string& child = options.tags[rng.Below(options.tags.size())];
+        const std::string& attr =
+            options.attr_names[rng.Below(options.attr_names.size())];
+        static constexpr const char* kOps[] = {"=", "!=", "<", "<=",
+                                               ">", ">=", "%"};
+        const char* op = kOps[rng.Below(7)];
+        switch (kind) {
+          case 0:  // attribute
+            query += "@" + attr;
+            if (rng.Chance(0.7)) query += std::string(op) + value;
+            break;
+          case 1:  // text
+            query += "text()";
+            if (rng.Chance(0.7)) query += std::string(op) + value;
+            break;
+          case 2:  // child existence
+            query += child;
+            break;
+          case 3:  // child attribute
+            query += child + "@" + attr;
+            if (rng.Chance(0.7)) query += std::string(op) + value;
+            break;
+          case 4:  // child text
+            query += child + std::string(op) + value;
+            break;
+        }
+        query += "]";
+      }
+    }
+  }
+  int output = static_cast<int>(rng.Below(6));
+  switch (output) {
+    case 0:
+      break;  // element output
+    case 1:
+      query += "/text()";
+      break;
+    case 2:
+      query += "/@" + options.attr_names[rng.Below(options.attr_names.size())];
+      break;
+    case 3:
+      query += "/count()";
+      break;
+    case 4:
+      query += "/sum()";
+      break;
+    case 5:
+      query += "/avg()";
+      break;
+  }
+  return query;
+}
+
+}  // namespace xsq::testutil

@@ -1,0 +1,37 @@
+// Shared helpers for the XSQ++ test suite: deterministic random XML
+// documents and random queries for differential testing of the streaming
+// engines against the DOM oracle.
+#ifndef XSQ_TESTS_TEST_UTIL_H_
+#define XSQ_TESTS_TEST_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace xsq::testutil {
+
+struct RandomDocOptions {
+  int max_depth = 6;
+  int max_children = 5;
+  double text_probability = 0.5;
+  double attr_probability = 0.4;
+  // Small tag/value pools maximize collisions, which is what stresses
+  // closures, recursion, and predicate logic.
+  std::vector<std::string> tags = {"a", "b", "c", "d"};
+  std::vector<std::string> attr_names = {"id", "x"};
+  std::vector<std::string> values = {"1", "2", "3", "10", "foo", "bar"};
+};
+
+// Generates a random well-formed document. Deterministic in `seed`.
+std::string RandomDocument(uint64_t seed, const RandomDocOptions& options = {});
+
+// Generates a random query over the same tag/value pools: 1-4 steps,
+// random axes, wildcards, the five predicate categories, all output
+// kinds. Deterministic in `seed`.
+std::string RandomQuery(uint64_t seed, const RandomDocOptions& options = {});
+
+}  // namespace xsq::testutil
+
+#endif  // XSQ_TESTS_TEST_UTIL_H_

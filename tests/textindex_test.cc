@@ -1,0 +1,132 @@
+#include "textindex/text_index_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "dom/builder.h"
+#include "xpath/ast.h"
+
+namespace xsq::textindex {
+namespace {
+
+constexpr const char* kDoc =
+    "<plays>"
+    "<speech><speaker>HAMLET</speaker><line>To be or not to be</line>"
+    "</speech>"
+    "<speech><speaker>OPHELIA</speaker><line>My lord, I love thee</line>"
+    "</speech>"
+    "<speech><speaker>HAMLET</speaker><line>Get thee to a nunnery</line>"
+    "</speech>"
+    "</plays>";
+
+std::unique_ptr<TextIndexEngine> BuildOk(std::string_view xml) {
+  auto engine = TextIndexEngine::Build(xml);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return *std::move(engine);
+}
+
+TEST(TokenizeTest, LowercasesAndSplitsOnNonWordChars) {
+  auto tokens = TokenizeText("To be, or NOT to-be?  42");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"to", "be", "or", "not", "to",
+                                              "be", "42"}));
+  EXPECT_TRUE(TokenizeText("  ,;  ").empty());
+}
+
+TEST(TextIndexTest, BuildsIndexOverDocument) {
+  auto engine = BuildOk(kDoc);
+  EXPECT_EQ(engine->element_count(), 10u);
+  EXPECT_GT(engine->distinct_words(), 10u);
+  EXPECT_GT(engine->ApproxBytes(), 0u);
+}
+
+TEST(TextIndexTest, SearchWordFindsEnclosingElements) {
+  auto engine = BuildOk(kDoc);
+  auto hits = engine->SearchWord("thee");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->tag(), "line");
+  // Case-folded lookup.
+  EXPECT_EQ(engine->SearchWord("HAMLET").size(), 2u);
+  EXPECT_EQ(engine->SearchWord("hamlet").size(), 2u);
+  EXPECT_TRUE(engine->SearchWord("macbeth").empty());
+}
+
+TEST(TextIndexTest, BooleanSearch) {
+  auto engine = BuildOk(kDoc);
+  EXPECT_EQ(engine->SearchAll({"to", "be"}).size(), 1u);
+  EXPECT_EQ(engine->SearchAll({"to", "nunnery"}).size(), 1u);
+  EXPECT_TRUE(engine->SearchAll({"to", "macbeth"}).empty());
+  EXPECT_EQ(engine->SearchAny({"love", "nunnery"}).size(), 2u);
+  EXPECT_TRUE(engine->SearchAny({"x", "y"}).empty());
+  EXPECT_TRUE(engine->SearchAll({}).empty());
+}
+
+TEST(TextIndexTest, SearchResultsAreInDocumentOrder) {
+  auto engine = BuildOk(kDoc);
+  auto hits = engine->SearchWord("thee");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_LT(hits[0]->order_index(), hits[1]->order_index());
+}
+
+TEST(TextIndexTest, EvaluateDelegatesToXPathSemantics) {
+  auto engine = BuildOk(kDoc);
+  auto query = xpath::ParseQuery("//speech[line%love]/speaker/text()");
+  ASSERT_TRUE(query.ok());
+  auto result = engine->Evaluate(*query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items.size(), 1u);
+  EXPECT_EQ(result->items[0], "OPHELIA");
+}
+
+TEST(TextIndexTest, AbsentKeywordShortCircuitsToEmpty) {
+  auto engine = BuildOk(kDoc);
+  auto query = xpath::ParseQuery("//speech[line%zzzz]/speaker/text()");
+  ASSERT_TRUE(query.ok());
+  auto result = engine->Evaluate(*query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->items.empty());
+  // Aggregations still get their defined empty values.
+  query = xpath::ParseQuery("//speech[line%zzzz]/speaker/count()");
+  result = engine->Evaluate(*query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->aggregate.has_value());
+  EXPECT_DOUBLE_EQ(*result->aggregate, 0.0);
+}
+
+TEST(TextIndexTest, SubstringOfIndexedWordIsNotShortCircuited) {
+  // contains() is a substring test: "unner" occurs inside "nunnery"
+  // even though it is not a token, so the index must not prune it.
+  auto engine = BuildOk(kDoc);
+  auto query = xpath::ParseQuery("//speech[line%unner]/speaker/text()");
+  ASSERT_TRUE(query.ok());
+  auto result = engine->Evaluate(*query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items.size(), 1u);
+  EXPECT_EQ(result->items[0], "HAMLET");
+}
+
+TEST(TextIndexTest, MultiWordLiteralIsNotShortCircuited) {
+  auto engine = BuildOk(kDoc);
+  auto query = xpath::ParseQuery("//speech[line%'or not']/speaker/text()");
+  ASSERT_TRUE(query.ok());
+  auto result = engine->Evaluate(*query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->items.size(), 1u);
+}
+
+TEST(TextIndexTest, ElementLimitReproducesXqEngineFootnote) {
+  std::string big = "<r>";
+  for (size_t i = 0; i < TextIndexEngine::kMaxElements + 10; ++i) {
+    big += "<e/>";
+  }
+  big += "</r>";
+  auto engine = TextIndexEngine::Build(big);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kNotSupported);
+  EXPECT_NE(engine.status().message().find("32768"), std::string::npos);
+}
+
+TEST(TextIndexTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(TextIndexEngine::Build("<a><b></a>").ok());
+}
+
+}  // namespace
+}  // namespace xsq::textindex

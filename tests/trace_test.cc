@@ -1,0 +1,143 @@
+// Verifies that XSQ-F's buffer operations match the paper's worked
+// narration of Example 1 (Section 1) and Example 6 (Section 4.3).
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "xml/sax_parser.h"
+
+namespace xsq::core {
+namespace {
+
+constexpr const char* kFig1 =
+    "<root><pub>"
+    "<book id=\"1\"><price>12.00</price><name>First</name>"
+    "<author>A</author><price type=\"discount\">10.00</price></book>"
+    "<book id=\"2\"><price>14.00</price><name>Second</name>"
+    "<author>A</author><author>B</author>"
+    "<price type=\"discount\">12.00</price></book>"
+    "<year>2002</year>"
+    "</pub></root>";
+
+constexpr const char* kFig2 =
+    "<root><pub>"
+    "<book><name>X</name><author>A</author></book>"
+    "<book><name>Y</name>"
+    "<pub><book><name>Z</name><author>B</author></book>"
+    "<year>1999</year></pub>"
+    "</book>"
+    "<year>2002</year>"
+    "</pub></root>";
+
+RecordingTrace RunTraced(const char* query_text, const char* xml) {
+  RecordingTrace trace;
+  Result<xpath::Query> query = xpath::ParseQuery(query_text);
+  EXPECT_TRUE(query.ok());
+  CollectingSink sink;
+  auto engine = XsqEngine::Create(*query, &sink);
+  EXPECT_TRUE(engine.ok());
+  (*engine)->set_trace(&trace);
+  xml::SaxParser parser(engine->get());
+  EXPECT_TRUE(parser.Parse(xml).ok());
+  EXPECT_TRUE((*engine)->status().ok());
+  return trace;
+}
+
+size_t CountKind(const RecordingTrace& trace, BufferOp::Kind kind) {
+  return trace.OfKind(kind).size();
+}
+
+TEST(TraceTest, Example1Narration) {
+  // Section 1, Example 1: three authors are buffered (A of book 1;
+  // A and B of book 2); the two authors of book 2 are removed when
+  // </book> proves [price<11] false; author A is flushed when the
+  // year satisfies [year=2002]; exactly one item is emitted.
+  RecordingTrace trace =
+      RunTraced("/root/pub[year=2002]/book[price<11]/author", kFig1);
+  EXPECT_EQ(CountKind(trace, BufferOp::Kind::kEnqueue), 3u);
+  EXPECT_EQ(CountKind(trace, BufferOp::Kind::kClear), 2u);
+  EXPECT_EQ(CountKind(trace, BufferOp::Kind::kFlush), 1u);
+  EXPECT_EQ(CountKind(trace, BufferOp::Kind::kEmit), 1u);
+  EXPECT_EQ(CountKind(trace, BufferOp::Kind::kDiscard), 2u);
+
+  // Author A is first buffered under the book BPDT ([price<11] still
+  // undecided), then uploaded to the pub BPDT - bpdt(2,3), pub entered with /root
+  // known true - when the 10.00 price
+  // arrives, exactly as the example walks through.
+  auto uploads = trace.OfKind(BufferOp::Kind::kUpload);
+  bool a_uploaded_to_pub = false;
+  for (const BufferOp& op : uploads) {
+    if (op.value.find(">A<") != std::string::npos &&
+        op.bpdt == "bpdt(2,3)") {
+      a_uploaded_to_pub = true;
+    }
+  }
+  EXPECT_TRUE(a_uploaded_to_pub);
+
+  // The cleared items are the book-2 authors.
+  auto clears = trace.OfKind(BufferOp::Kind::kClear);
+  ASSERT_EQ(clears.size(), 2u);
+  EXPECT_NE(clears[0].value.find("author"), std::string::npos);
+}
+
+TEST(TraceTest, Example1EnqueueTargetsTheUndecidedBpdt) {
+  RecordingTrace trace =
+      RunTraced("/root/pub[year=2002]/book[price<11]/author", kFig1);
+  // All three enqueues land in the book BPDT's buffer: when each
+  // author streams past, [price<11] is the lowest undecided predicate.
+  for (const BufferOp& op : trace.OfKind(BufferOp::Kind::kEnqueue)) {
+    EXPECT_EQ(op.bpdt, "bpdt(3,6)") << op.ToString();
+  }
+}
+
+TEST(TraceTest, Example6SelectiveClear) {
+  // Section 4.3, Example 6: when the inner pub fails [year=2002], its
+  // clear must not delete the copy of Z claimed through the outer pub;
+  // Z is emitted exactly once, X likewise.
+  RecordingTrace trace =
+      RunTraced("//pub[year=2002]//book[author]//name", kFig2);
+  EXPECT_EQ(CountKind(trace, BufferOp::Kind::kEmit), 2u);
+  EXPECT_EQ(CountKind(trace, BufferOp::Kind::kDiscard), 1u);  // only Y
+  bool y_cleared = false;
+  bool z_cleared = false;
+  for (const BufferOp& op : trace.OfKind(BufferOp::Kind::kClear)) {
+    if (op.value.find(">Y<") != std::string::npos) y_cleared = true;
+    if (op.value.find(">Z<") != std::string::npos) z_cleared = true;
+  }
+  EXPECT_TRUE(y_cleared);
+  // Z loses SOME claims (the failing chains), but the emit above
+  // proves the surviving chain outweighed them.
+  (void)z_cleared;
+}
+
+TEST(TraceTest, FullyProvedItemsFlushWithoutBuffering) {
+  RecordingTrace trace = RunTraced("/r/a/text()", "<r><a>x</a></r>");
+  EXPECT_EQ(CountKind(trace, BufferOp::Kind::kEnqueue), 0u);
+  EXPECT_EQ(CountKind(trace, BufferOp::Kind::kFlush), 1u);
+  EXPECT_EQ(CountKind(trace, BufferOp::Kind::kEmit), 1u);
+}
+
+TEST(TraceTest, OpsRenderReadably) {
+  BufferOp op;
+  op.kind = BufferOp::Kind::kUpload;
+  op.bpdt = "bpdt(1,1)";
+  op.value = "<author>A</author>";
+  EXPECT_EQ(op.ToString(), "upload @bpdt(1,1)  [<author>A</author>]");
+  EXPECT_STREQ(BufferOpKindName(BufferOp::Kind::kClear), "clear");
+}
+
+TEST(TraceTest, DisabledTraceCostsNothingAndChangesNothing) {
+  Result<xpath::Query> query =
+      xpath::ParseQuery("/root/pub[year=2002]/book[price<11]/author");
+  ASSERT_TRUE(query.ok());
+  CollectingSink sink;
+  auto engine = XsqEngine::Create(*query, &sink);
+  ASSERT_TRUE(engine.ok());
+  xml::SaxParser parser(engine->get());
+  ASSERT_TRUE(parser.Parse(kFig1).ok());
+  ASSERT_EQ(sink.items.size(), 1u);
+}
+
+}  // namespace
+}  // namespace xsq::core

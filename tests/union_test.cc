@@ -1,0 +1,251 @@
+// Union queries (XPath 1.0 '|'): parser, XSQ-F, lazy DFA, filter, and
+// the DOM oracle, including cross-branch deduplication and
+// document-order output.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/engine_nc.h"
+#include "core/result_sink.h"
+#include "dom/builder.h"
+#include "dom/evaluator.h"
+#include "filter/filter_engine.h"
+#include "lazydfa/lazy_dfa_engine.h"
+#include "test_util.h"
+#include "xml/sax_parser.h"
+#include "xpath/ast.h"
+
+namespace xsq {
+namespace {
+
+TEST(UnionParserTest, ParsesBranches) {
+  Result<xpath::Query> query =
+      xpath::ParseQuery("//a/text() | /r/b/text() | //c[d]/text()");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_TRUE(query->IsUnion());
+  ASSERT_EQ(query->union_branches.size(), 2u);
+  EXPECT_EQ(query->steps.size(), 1u);
+  EXPECT_EQ(query->union_branches[0].steps.size(), 2u);
+  EXPECT_TRUE(query->HasPredicates());  // only the last branch has one
+  EXPECT_TRUE(query->HasClosure());
+  EXPECT_EQ(query->ToString(),
+            "//a/text() | /r/b/text() | //c[d]/text()");
+}
+
+TEST(UnionParserTest, PipeInsidePredicateIsNotAUnion) {
+  // '|' inside brackets belongs to the literal, not the union.
+  Result<xpath::Query> query = xpath::ParseQuery("/a[b='x|y']/text()");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(query->IsUnion());
+  EXPECT_EQ(query->steps[0].predicates[0].literal, "x|y");
+}
+
+TEST(UnionParserTest, MismatchedOutputsRejected) {
+  EXPECT_FALSE(xpath::ParseQuery("//a/text() | //b/@id").ok());
+  EXPECT_FALSE(xpath::ParseQuery("//a/count() | //b/sum()").ok());
+  EXPECT_FALSE(xpath::ParseQuery("//a | ").ok());
+}
+
+TEST(UnionParserTest, RoundTrips) {
+  Result<xpath::Query> q1 = xpath::ParseQuery("//a/text() | /r/b/text()");
+  ASSERT_TRUE(q1.ok());
+  Result<xpath::Query> q2 = xpath::ParseQuery(q1->ToString());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q1->ToString(), q2->ToString());
+}
+
+TEST(UnionDomTest, SetSemanticsAcrossBranches) {
+  Result<dom::Document> doc = dom::BuildFromString(
+      "<r><a>1</a><b>2</b><a>3</a><c>4</c></r>");
+  ASSERT_TRUE(doc.ok());
+  Result<xpath::Query> query = xpath::ParseQuery("/r/a/text() | /r/b/text()");
+  ASSERT_TRUE(query.ok());
+  Result<dom::EvalResult> result = dom::Evaluate(*doc, *query);
+  ASSERT_TRUE(result.ok());
+  // Document order across branches.
+  EXPECT_EQ(result->items, (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(UnionDomTest, OverlappingBranchesDeduplicate) {
+  Result<dom::Document> doc =
+      dom::BuildFromString("<r><a x=\"1\">v</a></r>");
+  ASSERT_TRUE(doc.ok());
+  Result<xpath::Query> query = xpath::ParseQuery("//a | /r/a");
+  ASSERT_TRUE(query.ok());
+  Result<dom::EvalResult> result = dom::Evaluate(*doc, *query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items.size(), 1u);  // both branches match the same a
+  EXPECT_EQ(result->match_count, 1u);
+}
+
+core::QueryResult RunF(std::string_view query, std::string_view xml) {
+  Result<core::QueryResult> result = core::RunQuery(query, xml);
+  EXPECT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+  return result.ok() ? *std::move(result) : core::QueryResult{};
+}
+
+TEST(UnionEngineTest, DocumentOrderAcrossBranches) {
+  core::QueryResult r =
+      RunF("/r/a/text() | /r/b/text()",
+           "<r><a>1</a><b>2</b><a>3</a><c>4</c></r>");
+  EXPECT_EQ(r.items, (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(UnionEngineTest, OverlapEmittedOnce) {
+  core::QueryResult r = RunF("//a | /r/a", "<r><a x=\"1\">v</a></r>");
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "<a x=\"1\">v</a>");
+}
+
+TEST(UnionEngineTest, BranchesWithDifferentPredicates) {
+  const char* doc =
+      "<r><p><ok/><t>via-p</t></p><q><t>via-q</t><yes/></q>"
+      "<p><t>drop</t></p></r>";
+  core::QueryResult r = RunF("/r/p[ok]/t/text() | /r/q[yes]/t/text()", doc);
+  EXPECT_EQ(r.items, (std::vector<std::string>{"via-p", "via-q"}));
+}
+
+TEST(UnionEngineTest, ElementMatchedByOneBranchOnlyNeedsThatBranch) {
+  // The element fails branch 1's predicate but passes branch 2's.
+  const char* doc = "<r><a><t>x</t><second/></a></r>";
+  core::QueryResult r = RunF("/r/a[first]/t/text() | /r/a[second]/t/text()",
+                             doc);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "x");
+}
+
+TEST(UnionEngineTest, AggregationOverUnion) {
+  const char* doc = "<r><a>1</a><b>2</b><a>4</a></r>";
+  core::QueryResult r = RunF("/r/a/sum() | /r/b/sum()", doc);
+  ASSERT_TRUE(r.aggregate.has_value());
+  EXPECT_DOUBLE_EQ(*r.aggregate, 7.0);
+  r = RunF("//a/count() | //b/count()", doc);
+  EXPECT_DOUBLE_EQ(*r.aggregate, 3.0);
+}
+
+TEST(UnionEngineTest, ClosurePlusChildBranches) {
+  const char* doc = "<r><x><a>deep</a></x><a>shallow</a></r>";
+  core::QueryResult r = RunF("//x//a/text() | /r/a/text()", doc);
+  EXPECT_EQ(r.items, (std::vector<std::string>{"deep", "shallow"}));
+}
+
+TEST(UnionEngineTest, NcRejectsUnions) {
+  Result<xpath::Query> query = xpath::ParseQuery("/r/a | /r/b");
+  ASSERT_TRUE(query.ok());
+  core::CollectingSink sink;
+  EXPECT_EQ(core::XsqNcEngine::Create(*query, &sink).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(UnionLazyDfaTest, UnionOfPaths) {
+  Result<xpath::Query> query =
+      xpath::ParseQuery("/r/a/text() | //b/text()");
+  ASSERT_TRUE(query.ok());
+  core::CollectingSink sink;
+  auto engine = lazydfa::LazyDfaEngine::Create(*query, &sink);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  xml::SaxParser parser(engine->get());
+  ASSERT_TRUE(parser.Parse("<r><a>1</a><x><b>2</b></x><b>3</b></r>").ok());
+  EXPECT_EQ(sink.items, (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(UnionLazyDfaTest, OverlappingBranchesEmitOnce) {
+  Result<xpath::Query> query = xpath::ParseQuery("//a/text() | /r/a/text()");
+  ASSERT_TRUE(query.ok());
+  core::CollectingSink sink;
+  auto engine = lazydfa::LazyDfaEngine::Create(*query, &sink);
+  ASSERT_TRUE(engine.ok());
+  xml::SaxParser parser(engine->get());
+  ASSERT_TRUE(parser.Parse("<r><a>once</a></r>").ok());
+  EXPECT_EQ(sink.items, std::vector<std::string>{"once"});
+}
+
+TEST(UnionFilterTest, SubscriptionMatchesViaAnyBranch) {
+  filter::FilterEngine engine;
+  Result<int> id = engine.AddQuery("/r/a | //b");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(engine.query_count(), 1u);
+  EXPECT_EQ(engine.FilterDocument("<r><a/></r>")->size(), 1u);
+  EXPECT_EQ(engine.FilterDocument("<x><b/></x>")->size(), 1u);
+  EXPECT_EQ(engine.FilterDocument("<r><c/></r>")->size(), 0u);
+  // Matching both branches still reports the id once.
+  auto both = engine.FilterDocument("<r><a/><b/></r>");
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(*both, std::vector<int>{0});
+}
+
+TEST(UnionEngineTest, IdenticalBranchesStillEmitOnce) {
+  core::QueryResult r = RunF("//a/text() | //a/text()", "<r><a>x</a></r>");
+  EXPECT_EQ(r.items, std::vector<std::string>{"x"});
+}
+
+TEST(UnionEngineTest, ThreeBranches) {
+  const char* doc = "<r><a>1</a><b>2</b><c>3</c><d>4</d></r>";
+  core::QueryResult r =
+      RunF("/r/a/text() | /r/c/text() | /r/d/text()", doc);
+  EXPECT_EQ(r.items, (std::vector<std::string>{"1", "3", "4"}));
+}
+
+TEST(UnionEngineTest, RecursiveClosureUnionDeduplicates) {
+  // Both branches match the inner a via different chains.
+  const char* doc = "<a><b><a>inner</a></b></a>";
+  core::QueryResult r = RunF("//b//a/text() | //a//a/text()", doc);
+  EXPECT_EQ(r.items, std::vector<std::string>{"inner"});
+}
+
+TEST(UnionEngineTest, PendingBranchesResolveIndependently) {
+  // Branch 1 pends on [x], branch 2 on [y]; only [y] arrives. The item
+  // must survive through branch 2 and be emitted exactly once.
+  const char* doc = "<r><p><t>keep</t><y/></p></r>";
+  core::QueryResult r = RunF("/r/p[x]/t/text() | /r/p[y]/t/text()", doc);
+  EXPECT_EQ(r.items, std::vector<std::string>{"keep"});
+}
+
+class UnionDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnionDifferentialTest, EngineMatchesOracleOnRandomUnions) {
+  const uint64_t seed = GetParam();
+  for (int i = 0; i < 3; ++i) {
+    const std::string doc =
+        testutil::RandomDocument(seed * 211 + static_cast<uint64_t>(i));
+    // Two random branches forced onto a common output expression.
+    std::string b1 = testutil::RandomQuery(seed * 7 + static_cast<uint64_t>(i));
+    std::string b2 =
+        testutil::RandomQuery(seed * 13 + static_cast<uint64_t>(i) + 99);
+    auto strip_output = [](std::string query) {
+      for (const char* suffix :
+           {"/text()", "/count()", "/sum()", "/avg()", "/@id", "/@x"}) {
+        size_t pos = query.rfind(suffix);
+        if (pos != std::string::npos &&
+            pos + std::string(suffix).size() == query.size()) {
+          query.resize(pos);
+          break;
+        }
+      }
+      return query;
+    };
+    std::string query_text =
+        strip_output(b1) + "/text() | " + strip_output(b2) + "/text()";
+
+    Result<xpath::Query> query = xpath::ParseQuery(query_text);
+    ASSERT_TRUE(query.ok()) << query_text;
+    Result<dom::Document> document = dom::BuildFromString(doc);
+    ASSERT_TRUE(document.ok());
+    Result<dom::EvalResult> oracle = dom::Evaluate(*document, *query);
+    ASSERT_TRUE(oracle.ok());
+
+    core::CollectingSink sink;
+    auto engine = core::XsqEngine::Create(*query, &sink);
+    ASSERT_TRUE(engine.ok());
+    xml::SaxParser parser(engine->get());
+    ASSERT_TRUE(parser.Parse(doc).ok());
+    ASSERT_TRUE((*engine)->status().ok()) << query_text;
+    EXPECT_EQ(sink.items, oracle->items)
+        << "union mismatch\nquery: " << query_text << "\ndoc: " << doc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionDifferentialTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{30}));
+
+}  // namespace
+}  // namespace xsq

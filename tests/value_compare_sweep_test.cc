@@ -1,0 +1,98 @@
+// Parameterized sweep over the comparison semantics shared by every
+// engine (xpath/value_compare.h): each case is (observed, op, literal,
+// expected), covering numeric coercion, string fallback, whitespace,
+// and contains.
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "xpath/ast.h"
+#include "xpath/value_compare.h"
+
+namespace xsq::xpath {
+namespace {
+
+struct CompareCase {
+  const char* observed;
+  CompareOp op;
+  const char* literal;
+  bool expected;
+};
+
+class ValueCompareSweep : public ::testing::TestWithParam<CompareCase> {};
+
+TEST_P(ValueCompareSweep, MatchesExpectation) {
+  const CompareCase& c = GetParam();
+  Predicate predicate;
+  predicate.kind = PredicateKind::kText;
+  predicate.has_comparison = true;
+  predicate.op = c.op;
+  predicate.literal = c.literal;
+  predicate.literal_number = ParseNumber(c.literal);
+  EXPECT_EQ(CompareValue(c.observed, predicate), c.expected)
+      << "'" << c.observed << "' " << CompareOpName(c.op) << " '"
+      << c.literal << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NumericRelational, ValueCompareSweep,
+    ::testing::Values(
+        CompareCase{"5", CompareOp::kLt, "10", true},
+        CompareCase{"10", CompareOp::kLt, "10", false},
+        CompareCase{"10", CompareOp::kLe, "10", true},
+        CompareCase{"10.5", CompareOp::kGt, "10", true},
+        CompareCase{"-3", CompareOp::kGt, "-4", true},
+        CompareCase{"2e2", CompareOp::kGe, "200", true},
+        CompareCase{"0.1", CompareOp::kGe, "0.2", false},
+        CompareCase{" 7 ", CompareOp::kLt, "8", true},     // trimmed
+        CompareCase{"abc", CompareOp::kLt, "10", false},   // NaN
+        CompareCase{"10", CompareOp::kLt, "abc", false},   // literal NaN
+        CompareCase{"", CompareOp::kLe, "0", false},
+        CompareCase{"12x", CompareOp::kGt, "1", false}));  // partial number
+
+INSTANTIATE_TEST_SUITE_P(
+    Equality, ValueCompareSweep,
+    ::testing::Values(
+        CompareCase{"10", CompareOp::kEq, "10.0", true},   // numeric
+        CompareCase{" 10", CompareOp::kEq, "10", true},
+        CompareCase{"10.", CompareOp::kEq, "10", true},
+        CompareCase{"x", CompareOp::kEq, "x", true},       // string
+        CompareCase{" x", CompareOp::kEq, "x", false},     // no trim
+        CompareCase{"X", CompareOp::kEq, "x", false},      // case
+        CompareCase{"x", CompareOp::kEq, "10", false},
+        CompareCase{"10", CompareOp::kNe, "10.0", false},
+        CompareCase{"11", CompareOp::kNe, "10", true},
+        CompareCase{"x", CompareOp::kNe, "10", true},
+        CompareCase{"", CompareOp::kEq, "", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Contains, ValueCompareSweep,
+    ::testing::Values(
+        CompareCase{"what light", CompareOp::kContains, "light", true},
+        CompareCase{"light", CompareOp::kContains, "what light", false},
+        CompareCase{"lovely", CompareOp::kContains, "love", true},
+        CompareCase{"love", CompareOp::kContains, "LOVE", false},  // case
+        CompareCase{"anything", CompareOp::kContains, "", true},
+        CompareCase{"", CompareOp::kContains, "x", false},
+        CompareCase{"123.5", CompareOp::kContains, "3.5", true}));
+
+struct FormatCase {
+  double value;
+  const char* expected;
+};
+
+class FormatNumberSweep : public ::testing::TestWithParam<FormatCase> {};
+
+TEST_P(FormatNumberSweep, FormatsLikeXPath) {
+  EXPECT_EQ(FormatNumber(GetParam().value), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FormatNumberSweep,
+    ::testing::Values(FormatCase{0.0, "0"}, FormatCase{-0.0, "-0"},
+                      FormatCase{1.0, "1"}, FormatCase{-17.0, "-17"},
+                      FormatCase{1e6, "1000000"},
+                      FormatCase{0.5, "0.5"},
+                      FormatCase{1.25, "1.25"}));
+
+}  // namespace
+}  // namespace xsq::xpath

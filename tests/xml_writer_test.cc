@@ -1,0 +1,89 @@
+#include "xml/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/sax_parser.h"
+
+namespace xsq::xml {
+namespace {
+
+TEST(XmlWriterTest, BasicElementWithAttributes) {
+  XmlWriter writer;
+  writer.BeginElement("a", {{"x", "1"}, {"y", "two"}});
+  writer.Text("hi");
+  writer.EndElement("a");
+  EXPECT_EQ(writer.str(), "<a x=\"1\" y=\"two\">hi</a>");
+}
+
+TEST(XmlWriterTest, EscapesTextAndAttributeValues) {
+  XmlWriter writer;
+  writer.BeginElement("a", {{"v", "x<y&\"q\""}});
+  writer.Text("1 < 2 & 'three'");
+  writer.EndElement("a");
+  EXPECT_EQ(writer.str(),
+            "<a v=\"x&lt;y&amp;&quot;q&quot;\">"
+            "1 &lt; 2 &amp; &apos;three&apos;</a>");
+}
+
+TEST(XmlWriterTest, NestedElements) {
+  XmlWriter writer;
+  writer.BeginElement("r");
+  writer.TextElement("a", "1");
+  writer.BeginElement("b");
+  writer.EndElement("b");
+  writer.EndElement("r");
+  EXPECT_EQ(writer.str(), "<r><a>1</a><b></b></r>");
+}
+
+TEST(XmlWriterTest, PrettyModeIndents) {
+  XmlWriter writer(/*pretty=*/true);
+  writer.BeginElement("r");
+  writer.TextElement("a", "1");
+  writer.EndElement("r");
+  std::string out = writer.str();
+  EXPECT_NE(out.find("\n  <a>1</a>"), std::string::npos);
+}
+
+TEST(XmlWriterTest, ClearResets) {
+  XmlWriter writer;
+  writer.BeginElement("a");
+  writer.EndElement("a");
+  writer.Clear();
+  EXPECT_EQ(writer.size(), 0u);
+  writer.TextElement("b", "x");
+  EXPECT_EQ(writer.str(), "<b>x</b>");
+}
+
+TEST(XmlWriterTest, TakeStringMoves) {
+  XmlWriter writer;
+  writer.TextElement("a", "v");
+  std::string out = writer.TakeString();
+  EXPECT_EQ(out, "<a>v</a>");
+}
+
+TEST(SerializeEventsTest, RoundTripsThroughParser) {
+  const char* doc = "<r a=\"1\">x<b>y&amp;z</b><c/>w</r>";
+  RecordingHandler first;
+  SaxParser parser(&first);
+  ASSERT_TRUE(parser.Parse(doc).ok());
+  std::string serialized = SerializeEvents(first.events);
+  RecordingHandler second;
+  SaxParser reparser(&second);
+  ASSERT_TRUE(reparser.Parse(serialized).ok());
+  ASSERT_EQ(first.events.size(), second.events.size());
+  for (size_t i = 0; i < first.events.size(); ++i) {
+    EXPECT_EQ(first.events[i].type, second.events[i].type);
+    EXPECT_EQ(first.events[i].tag, second.events[i].tag);
+    EXPECT_EQ(first.events[i].text, second.events[i].text);
+  }
+}
+
+TEST(SerializeEventsTest, SelfClosingBecomesExplicitPair) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  ASSERT_TRUE(parser.Parse("<a><b/></a>").ok());
+  EXPECT_EQ(SerializeEvents(handler.events), "<a><b></b></a>");
+}
+
+}  // namespace
+}  // namespace xsq::xml

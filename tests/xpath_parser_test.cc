@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "xpath/ast.h"
+#include "xpath/value_compare.h"
+
+namespace xsq::xpath {
+namespace {
+
+Query ParseOk(std::string_view text) {
+  Result<Query> query = ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  return query.ok() ? *std::move(query) : Query{};
+}
+
+TEST(XPathParserTest, SimpleChildPath) {
+  Query q = ParseOk("/a/b/c");
+  ASSERT_EQ(q.steps.size(), 3u);
+  EXPECT_EQ(q.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(q.steps[0].node_test, "a");
+  EXPECT_EQ(q.steps[2].node_test, "c");
+  EXPECT_EQ(q.output.kind, OutputKind::kElement);
+  EXPECT_FALSE(q.HasClosure());
+  EXPECT_FALSE(q.HasPredicates());
+}
+
+TEST(XPathParserTest, ClosureAxis) {
+  Query q = ParseOk("//book//name");
+  ASSERT_EQ(q.steps.size(), 2u);
+  EXPECT_EQ(q.steps[0].axis, Axis::kClosure);
+  EXPECT_EQ(q.steps[1].axis, Axis::kClosure);
+  EXPECT_TRUE(q.HasClosure());
+}
+
+TEST(XPathParserTest, WildcardNodeTest) {
+  Query q = ParseOk("/*/b");
+  EXPECT_TRUE(q.steps[0].IsWildcard());
+}
+
+TEST(XPathParserTest, AttributePredicateExistence) {
+  Query q = ParseOk("/book[@id]");
+  ASSERT_EQ(q.steps[0].predicates.size(), 1u);
+  const Predicate& p = q.steps[0].predicates[0];
+  EXPECT_EQ(p.kind, PredicateKind::kAttribute);
+  EXPECT_EQ(p.attribute, "id");
+  EXPECT_FALSE(p.has_comparison);
+}
+
+TEST(XPathParserTest, AttributePredicateComparison) {
+  Query q = ParseOk("/book[@id<=10]");
+  const Predicate& p = q.steps[0].predicates[0];
+  EXPECT_EQ(p.kind, PredicateKind::kAttribute);
+  EXPECT_TRUE(p.has_comparison);
+  EXPECT_EQ(p.op, CompareOp::kLe);
+  EXPECT_EQ(p.literal, "10");
+  ASSERT_TRUE(p.literal_number.has_value());
+  EXPECT_DOUBLE_EQ(*p.literal_number, 10.0);
+}
+
+TEST(XPathParserTest, TextPredicate) {
+  Query q = ParseOk("/year[text()=2000]");
+  const Predicate& p = q.steps[0].predicates[0];
+  EXPECT_EQ(p.kind, PredicateKind::kText);
+  EXPECT_EQ(p.op, CompareOp::kEq);
+  EXPECT_EQ(p.literal, "2000");
+}
+
+TEST(XPathParserTest, ChildExistencePredicate) {
+  Query q = ParseOk("/book[author]");
+  const Predicate& p = q.steps[0].predicates[0];
+  EXPECT_EQ(p.kind, PredicateKind::kChild);
+  EXPECT_EQ(p.child_tag, "author");
+  EXPECT_FALSE(p.has_comparison);
+}
+
+TEST(XPathParserTest, ChildAttributePredicate) {
+  Query q = ParseOk("/pub[book@id<=10]");
+  const Predicate& p = q.steps[0].predicates[0];
+  EXPECT_EQ(p.kind, PredicateKind::kChildAttribute);
+  EXPECT_EQ(p.child_tag, "book");
+  EXPECT_EQ(p.attribute, "id");
+  EXPECT_EQ(p.op, CompareOp::kLe);
+}
+
+TEST(XPathParserTest, ChildTextPredicate) {
+  Query q = ParseOk("/book[year<2000]");
+  const Predicate& p = q.steps[0].predicates[0];
+  EXPECT_EQ(p.kind, PredicateKind::kChildText);
+  EXPECT_EQ(p.child_tag, "year");
+  EXPECT_EQ(p.op, CompareOp::kLt);
+}
+
+TEST(XPathParserTest, ContainsViaPercent) {
+  // The paper writes contains as '%': /SPEECH[LINE%love].
+  Query q = ParseOk("/SPEECH[LINE%love]/SPEAKER/text()");
+  const Predicate& p = q.steps[0].predicates[0];
+  EXPECT_EQ(p.kind, PredicateKind::kChildText);
+  EXPECT_EQ(p.op, CompareOp::kContains);
+  EXPECT_EQ(p.literal, "love");
+  EXPECT_FALSE(p.literal_number.has_value());
+}
+
+TEST(XPathParserTest, ContainsViaKeyword) {
+  Query q = ParseOk("/a[b contains love]");
+  EXPECT_EQ(q.steps[0].predicates[0].op, CompareOp::kContains);
+  EXPECT_EQ(q.steps[0].predicates[0].literal, "love");
+}
+
+TEST(XPathParserTest, QuotedLiterals) {
+  Query q = ParseOk("/a[b='hello world']");
+  EXPECT_EQ(q.steps[0].predicates[0].literal, "hello world");
+  q = ParseOk("/a[b=\"x]y\"]");
+  EXPECT_EQ(q.steps[0].predicates[0].literal, "x]y");
+}
+
+TEST(XPathParserTest, AllComparisonOperators) {
+  struct Case {
+    const char* text;
+    CompareOp op;
+  };
+  const Case cases[] = {
+      {"/a[b=1]", CompareOp::kEq},  {"/a[b!=1]", CompareOp::kNe},
+      {"/a[b<1]", CompareOp::kLt},  {"/a[b<=1]", CompareOp::kLe},
+      {"/a[b>1]", CompareOp::kGt},  {"/a[b>=1]", CompareOp::kGe},
+      {"/a[b%x]", CompareOp::kContains},
+  };
+  for (const Case& c : cases) {
+    Query q = ParseOk(c.text);
+    EXPECT_EQ(q.steps[0].predicates[0].op, c.op) << c.text;
+  }
+}
+
+TEST(XPathParserTest, MultiplePredicatesOnOneStep) {
+  Query q = ParseOk("/book[@id][year>2000][author]");
+  ASSERT_EQ(q.steps[0].predicates.size(), 3u);
+  EXPECT_EQ(q.steps[0].predicates[0].kind, PredicateKind::kAttribute);
+  EXPECT_EQ(q.steps[0].predicates[1].kind, PredicateKind::kChildText);
+  EXPECT_EQ(q.steps[0].predicates[2].kind, PredicateKind::kChild);
+}
+
+TEST(XPathParserTest, OutputExpressions) {
+  EXPECT_EQ(ParseOk("/a/text()").output.kind, OutputKind::kText);
+  EXPECT_EQ(ParseOk("/a/count()").output.kind, OutputKind::kCount);
+  EXPECT_EQ(ParseOk("/a/sum()").output.kind, OutputKind::kSum);
+  EXPECT_EQ(ParseOk("/a/avg()").output.kind, OutputKind::kAvg);
+  EXPECT_EQ(ParseOk("/a/min()").output.kind, OutputKind::kMin);
+  EXPECT_EQ(ParseOk("/a/max()").output.kind, OutputKind::kMax);
+  Query q = ParseOk("/a/@id");
+  EXPECT_EQ(q.output.kind, OutputKind::kAttribute);
+  EXPECT_EQ(q.output.attribute, "id");
+}
+
+TEST(XPathParserTest, TextWithoutParensIsAChildTag) {
+  Query q = ParseOk("/a[text=1]");
+  EXPECT_EQ(q.steps[0].predicates[0].kind, PredicateKind::kChildText);
+  EXPECT_EQ(q.steps[0].predicates[0].child_tag, "text");
+}
+
+TEST(XPathParserTest, PaperQueries) {
+  // Every query string used in the paper's examples and experiments.
+  const char* queries[] = {
+      "//book[year>2000]/name/text()",
+      "/pub[year=2002]/book[price<11]/author",
+      "//pub[year=2002]//book[author]//name",
+      "/pub[year>2000]/book[author]/name/text()",
+      "//pub[year>2000]//book[author]//name/text()",
+      "//pub[year>2000]//book[author]//name/count()",
+      "/PLAY/ACT/SCENE/SPEECH[LINE%love]/SPEAKER/text()",
+      "/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()",
+      "//ACT//SPEAKER/text()",
+      "/datasets/dataset/reference/source/other/name/text()",
+      "/dblp/article/title/text()",
+      "/ProteinDatabase/ProteinEntry/reference/refinfo/authors/author/text()",
+      "/dblp/inproceedings[author]/title/text()",
+      "//pub[year]//book[@id]/title/text()",
+  };
+  for (const char* text : queries) {
+    Result<Query> q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+  }
+}
+
+TEST(XPathParserTest, ToStringRoundTrips) {
+  const char* queries[] = {
+      "/a/b/c",
+      "//a[@id=1]//b[c>2]/text()",
+      "/pub[year=2002]/book[price<11]/author",
+      "/a[b%love]/@id",
+      "/a[text()=5]/count()",
+      "/*[b@x!=3]/sum()",
+  };
+  for (const char* text : queries) {
+    Query q1 = ParseOk(text);
+    Query q2 = ParseOk(q1.ToString());
+    EXPECT_EQ(q1.ToString(), q2.ToString()) << text;
+    ASSERT_EQ(q1.steps.size(), q2.steps.size());
+    EXPECT_EQ(q1.output.kind, q2.output.kind);
+  }
+}
+
+TEST(XPathParserErrorTest, Rejections) {
+  const char* bad[] = {
+      "",                 // empty
+      "a/b",              // missing leading slash
+      "/",                // dangling slash
+      "/a/",              // dangling slash
+      "/a[",              // unterminated predicate
+      "/a[]",             // empty predicate
+      "/a[@]",            // missing attribute name
+      "/a[b='x]",         // unterminated string
+      "/a[b=]",           // missing constant
+      "/a/text()/b",      // output not at end
+      "/a/@id/b",         // output not at end
+      "/a/nosuchfn()",    // unknown output function
+      "//@id",            // '//' before output expression
+      "/a[b ?? 3]",       // bad operator
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseQuery(text).ok()) << text;
+  }
+}
+
+TEST(ValueCompareTest, NumericComparisons) {
+  Predicate p;
+  p.kind = PredicateKind::kText;
+  p.has_comparison = true;
+  p.literal = "10";
+  p.literal_number = 10.0;
+  p.op = CompareOp::kLt;
+  EXPECT_TRUE(CompareValue("9.5", p));
+  EXPECT_FALSE(CompareValue("10", p));
+  EXPECT_FALSE(CompareValue("abc", p));  // non-numeric: relational false
+  p.op = CompareOp::kGe;
+  EXPECT_TRUE(CompareValue(" 10 ", p));  // whitespace trimmed for numbers
+  p.op = CompareOp::kEq;
+  EXPECT_TRUE(CompareValue("10.0", p));  // numeric equality, not string
+  EXPECT_TRUE(CompareValue(" 10", p));
+  EXPECT_FALSE(CompareValue("x", p));
+  p.op = CompareOp::kNe;
+  EXPECT_TRUE(CompareValue("11", p));
+  EXPECT_TRUE(CompareValue("x", p));  // string inequality fallback
+}
+
+TEST(ValueCompareTest, StringComparisons) {
+  Predicate p;
+  p.kind = PredicateKind::kText;
+  p.has_comparison = true;
+  p.literal = "foo";
+  p.op = CompareOp::kEq;
+  EXPECT_TRUE(CompareValue("foo", p));
+  EXPECT_FALSE(CompareValue(" foo ", p));  // strings are not trimmed
+  p.op = CompareOp::kLt;
+  EXPECT_FALSE(CompareValue("abc", p));  // non-numeric relational is false
+  p.op = CompareOp::kContains;
+  EXPECT_TRUE(CompareValue("xfoox", p));
+  EXPECT_FALSE(CompareValue("fo", p));
+}
+
+}  // namespace
+}  // namespace xsq::xpath

@@ -1,0 +1,156 @@
+#include "xsm/xsm_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine_nc.h"
+#include "dom/builder.h"
+#include "dom/evaluator.h"
+#include "test_util.h"
+#include "xml/sax_parser.h"
+#include "xpath/ast.h"
+
+namespace xsq::xsm {
+namespace {
+
+constexpr const char* kFig1 =
+    "<root><pub>"
+    "<book id=\"1\"><price>12.00</price><name>First</name>"
+    "<author>A</author><price type=\"discount\">10.00</price></book>"
+    "<book id=\"2\"><price>14.00</price><name>Second</name>"
+    "<author>A</author><author>B</author>"
+    "<price type=\"discount\">12.00</price></book>"
+    "<year>2002</year>"
+    "</pub></root>";
+
+struct XsmRun {
+  std::vector<std::string> items;
+  std::optional<double> aggregate;
+  size_t peak_memory = 0;
+  uint64_t tokens_forwarded = 0;
+};
+
+XsmRun RunXsm(std::string_view query_text, std::string_view xml) {
+  Result<xpath::Query> query = xpath::ParseQuery(query_text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  core::CollectingSink sink;
+  auto engine = XsmEngine::Create(*query, &sink);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  xml::SaxParser parser(engine->get());
+  Status status = parser.Parse(xml);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE((*engine)->status().ok());
+  return {std::move(sink.items), sink.aggregate,
+          (*engine)->memory().peak_bytes(), (*engine)->tokens_forwarded()};
+}
+
+TEST(XsmEngineTest, RejectsClosures) {
+  Result<xpath::Query> query = xpath::ParseQuery("//a/text()");
+  ASSERT_TRUE(query.ok());
+  core::CollectingSink sink;
+  auto engine = XsmEngine::Create(*query, &sink);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(XsmEngineTest, PaperExample1) {
+  XsmRun r = RunXsm("/root/pub[year=2002]/book[price<11]/author", kFig1);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "<author>A</author>");
+}
+
+TEST(XsmEngineTest, TextAttributeAndElementOutputs) {
+  XsmRun r = RunXsm("/root/pub/book/name/text()", kFig1);
+  EXPECT_EQ(r.items, (std::vector<std::string>{"First", "Second"}));
+  r = RunXsm("/root/pub/book/@id", kFig1);
+  EXPECT_EQ(r.items, (std::vector<std::string>{"1", "2"}));
+  r = RunXsm("/root/pub/book[price<11]", kFig1);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0].substr(0, 13), "<book id=\"1\">");
+}
+
+TEST(XsmEngineTest, Aggregations) {
+  XsmRun r = RunXsm("/root/pub/book/price/sum()", kFig1);
+  ASSERT_TRUE(r.aggregate.has_value());
+  EXPECT_DOUBLE_EQ(*r.aggregate, 48.0);
+  r = RunXsm("/root/pub/book/author/count()", kFig1);
+  EXPECT_DOUBLE_EQ(*r.aggregate, 3.0);
+}
+
+TEST(XsmEngineTest, LatePredicateBuffersWholeSubtreeAtTheStage) {
+  // The XSM cost model: an unresolved predicate buffers the candidate's
+  // entire content at the stage queue - much more than XSQ-NC's items.
+  std::string doc = "<r><b><t>first</t>";
+  for (int i = 0; i < 200; ++i) doc += "<pad>xxxxxxxx</pad>";
+  doc += "<ok/></b></r>";
+  XsmRun r = RunXsm("/r/b[ok]/t/text()", doc);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], "first");
+  EXPECT_GT(r.peak_memory, 3000u);  // buffered the pad elements
+
+  Result<xpath::Query> query = xpath::ParseQuery("/r/b[ok]/t/text()");
+  ASSERT_TRUE(query.ok());
+  core::CollectingSink sink;
+  auto nc = core::XsqNcEngine::Create(*query, &sink);
+  ASSERT_TRUE(nc.ok());
+  xml::SaxParser parser(nc->get());
+  ASSERT_TRUE(parser.Parse(doc).ok());
+  EXPECT_LT((*nc)->memory().peak_bytes(), 100u);  // XSQ buffers only "first"
+}
+
+TEST(XsmEngineTest, TokensAreCopiedBetweenStages) {
+  XsmRun shallow = RunXsm("/root/pub/text()", kFig1);
+  XsmRun deep = RunXsm("/root/pub/book/name/text()", kFig1);
+  EXPECT_GT(deep.tokens_forwarded, 0u);
+  (void)shallow;
+}
+
+TEST(XsmEngineTest, ReusableAcrossDocuments) {
+  Result<xpath::Query> query = xpath::ParseQuery("/r/a/text()");
+  ASSERT_TRUE(query.ok());
+  core::CollectingSink sink;
+  auto engine = XsmEngine::Create(*query, &sink);
+  ASSERT_TRUE(engine.ok());
+  for (const char* doc : {"<r><a>1</a></r>", "<r><a>2</a></r>"}) {
+    xml::SaxParser parser(engine->get());
+    ASSERT_TRUE(parser.Parse(doc).ok());
+  }
+  EXPECT_EQ(sink.items, (std::vector<std::string>{"1", "2"}));
+}
+
+class XsmDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XsmDifferentialTest, AgreesWithOracleOnClosureFreeQueries) {
+  const uint64_t seed = GetParam();
+  for (uint64_t i = 0; i < 6; ++i) {
+    const std::string doc = testutil::RandomDocument(seed * 131 + i);
+    std::string query_text = testutil::RandomQuery(seed * 17 + i * 7);
+    Result<xpath::Query> query = xpath::ParseQuery(query_text);
+    ASSERT_TRUE(query.ok());
+    if (query->HasClosure()) continue;
+
+    Result<dom::Document> document = dom::BuildFromString(doc);
+    ASSERT_TRUE(document.ok());
+    Result<dom::EvalResult> oracle = dom::Evaluate(*document, *query);
+    ASSERT_TRUE(oracle.ok());
+
+    core::CollectingSink sink;
+    auto engine = XsmEngine::Create(*query, &sink);
+    ASSERT_TRUE(engine.ok());
+    xml::SaxParser parser(engine->get());
+    ASSERT_TRUE(parser.Parse(doc).ok());
+    ASSERT_TRUE((*engine)->status().ok());
+    EXPECT_EQ(sink.items, oracle->items)
+        << "XSM mismatch\nquery: " << query_text << "\ndoc: " << doc;
+    EXPECT_EQ(sink.aggregate.has_value(), oracle->aggregate.has_value());
+    if (sink.aggregate.has_value() && oracle->aggregate.has_value()) {
+      EXPECT_DOUBLE_EQ(*sink.aggregate, *oracle->aggregate) << query_text;
+    }
+    EXPECT_EQ((*engine)->memory().current_bytes(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XsmDifferentialTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{40}));
+
+}  // namespace
+}  // namespace xsq::xsm

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper plus the extension
+# experiments, writing one .txt per binary into results/ (override with
+# $1). Scale corpora with XSQ_BENCH_SCALE (default 1; 16 approximates
+# the paper's real dataset sizes).
+set -u
+cd "$(dirname "$0")/.."
+build_dir=${BUILD_DIR:-build}
+out_dir=${1:-results}
+mkdir -p "$out_dir"
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: build first: cmake -B $build_dir -G Ninja && cmake --build $build_dir" >&2
+  exit 1
+fi
+
+status=0
+for bench in "$build_dir"/bench/fig* "$build_dir"/bench/ext_*; do
+  name=$(basename "$bench")
+  echo "== $name"
+  if ! "$bench" > "$out_dir/$name.txt" 2>&1; then
+    echo "   FAILED (see $out_dir/$name.txt)" >&2
+    status=1
+  fi
+done
+
+echo "== micro_benchmarks"
+"$build_dir/bench/micro_benchmarks" \
+    > "$out_dir/micro_benchmarks.txt" 2>&1 || status=1
+
+echo "results written to $out_dir/"
+exit $status
