@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_filter.dir/ext_filter.cc.o"
+  "CMakeFiles/ext_filter.dir/ext_filter.cc.o.d"
+  "ext_filter"
+  "ext_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_schema.dir/ext_schema.cc.o"
+  "CMakeFiles/ext_schema.dir/ext_schema.cc.o.d"
+  "ext_schema"
+  "ext_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_xsm.dir/ext_xsm.cc.o"
+  "CMakeFiles/ext_xsm.dir/ext_xsm.cc.o.d"
+  "ext_xsm"
+  "ext_xsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_xsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

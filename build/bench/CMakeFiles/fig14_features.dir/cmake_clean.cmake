@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_features.dir/fig14_features.cc.o"
+  "CMakeFiles/fig14_features.dir/fig14_features.cc.o.d"
+  "fig14_features"
+  "fig14_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

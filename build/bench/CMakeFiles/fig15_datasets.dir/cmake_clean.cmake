@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_datasets.dir/fig15_datasets.cc.o"
+  "CMakeFiles/fig15_datasets.dir/fig15_datasets.cc.o.d"
+  "fig15_datasets"
+  "fig15_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

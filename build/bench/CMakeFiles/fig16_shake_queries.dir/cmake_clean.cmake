@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_shake_queries.dir/fig16_shake_queries.cc.o"
+  "CMakeFiles/fig16_shake_queries.dir/fig16_shake_queries.cc.o.d"
+  "fig16_shake_queries"
+  "fig16_shake_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_shake_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

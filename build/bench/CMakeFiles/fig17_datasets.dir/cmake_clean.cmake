@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_datasets.dir/fig17_datasets.cc.o"
+  "CMakeFiles/fig17_datasets.dir/fig17_datasets.cc.o.d"
+  "fig17_datasets"
+  "fig17_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_ordering.dir/fig21_ordering.cc.o"
+  "CMakeFiles/fig21_ordering.dir/fig21_ordering.cc.o.d"
+  "fig21_ordering"
+  "fig21_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_stream.dir/aggregate_stream.cpp.o"
+  "CMakeFiles/aggregate_stream.dir/aggregate_stream.cpp.o.d"
+  "aggregate_stream"
+  "aggregate_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

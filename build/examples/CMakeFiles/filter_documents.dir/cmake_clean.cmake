@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_documents.dir/filter_documents.cpp.o"
+  "CMakeFiles/filter_documents.dir/filter_documents.cpp.o.d"
+  "filter_documents"
+  "filter_documents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_documents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

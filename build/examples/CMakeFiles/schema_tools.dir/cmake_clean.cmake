@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_tools.dir/schema_tools.cpp.o"
+  "CMakeFiles/schema_tools.dir/schema_tools.cpp.o.d"
+  "schema_tools"
+  "schema_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

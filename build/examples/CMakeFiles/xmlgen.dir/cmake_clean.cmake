@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlgen.dir/xmlgen.cpp.o"
+  "CMakeFiles/xmlgen.dir/xmlgen.cpp.o.d"
+  "xmlgen"
+  "xmlgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

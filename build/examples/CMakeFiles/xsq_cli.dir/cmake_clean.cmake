@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_cli.dir/xsq_cli.cpp.o"
+  "CMakeFiles/xsq_cli.dir/xsq_cli.cpp.o.d"
+  "xsq_cli"
+  "xsq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("xpath")
+subdirs("dom")
+subdirs("core")
+subdirs("lazydfa")
+subdirs("filter")
+subdirs("naive")
+subdirs("textindex")
+subdirs("dtd")
+subdirs("xsm")
+subdirs("datagen")
+subdirs("bench_util")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_bench_util.dir/runner.cc.o"
+  "CMakeFiles/xsq_bench_util.dir/runner.cc.o.d"
+  "CMakeFiles/xsq_bench_util.dir/table.cc.o"
+  "CMakeFiles/xsq_bench_util.dir/table.cc.o.d"
+  "libxsq_bench_util.a"
+  "libxsq_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_common.dir/status.cc.o"
+  "CMakeFiles/xsq_common.dir/status.cc.o.d"
+  "CMakeFiles/xsq_common.dir/strings.cc.o"
+  "CMakeFiles/xsq_common.dir/strings.cc.o.d"
+  "libxsq_common.a"
+  "libxsq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/xsq_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/xsq_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/engine_nc.cc" "src/core/CMakeFiles/xsq_core.dir/engine_nc.cc.o" "gcc" "src/core/CMakeFiles/xsq_core.dir/engine_nc.cc.o.d"
+  "/root/repo/src/core/hpdt.cc" "src/core/CMakeFiles/xsq_core.dir/hpdt.cc.o" "gcc" "src/core/CMakeFiles/xsq_core.dir/hpdt.cc.o.d"
+  "/root/repo/src/core/multi_query.cc" "src/core/CMakeFiles/xsq_core.dir/multi_query.cc.o" "gcc" "src/core/CMakeFiles/xsq_core.dir/multi_query.cc.o.d"
+  "/root/repo/src/core/streaming_query.cc" "src/core/CMakeFiles/xsq_core.dir/streaming_query.cc.o" "gcc" "src/core/CMakeFiles/xsq_core.dir/streaming_query.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/xsq_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/xsq_core.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xsq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xsq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/xsq_xpath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

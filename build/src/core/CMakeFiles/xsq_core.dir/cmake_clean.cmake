@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_core.dir/engine.cc.o"
+  "CMakeFiles/xsq_core.dir/engine.cc.o.d"
+  "CMakeFiles/xsq_core.dir/engine_nc.cc.o"
+  "CMakeFiles/xsq_core.dir/engine_nc.cc.o.d"
+  "CMakeFiles/xsq_core.dir/hpdt.cc.o"
+  "CMakeFiles/xsq_core.dir/hpdt.cc.o.d"
+  "CMakeFiles/xsq_core.dir/multi_query.cc.o"
+  "CMakeFiles/xsq_core.dir/multi_query.cc.o.d"
+  "CMakeFiles/xsq_core.dir/streaming_query.cc.o"
+  "CMakeFiles/xsq_core.dir/streaming_query.cc.o.d"
+  "CMakeFiles/xsq_core.dir/trace.cc.o"
+  "CMakeFiles/xsq_core.dir/trace.cc.o.d"
+  "libxsq_core.a"
+  "libxsq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxsq_core.a"
+)

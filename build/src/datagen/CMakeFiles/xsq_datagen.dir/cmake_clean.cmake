@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_datagen.dir/generators.cc.o"
+  "CMakeFiles/xsq_datagen.dir/generators.cc.o.d"
+  "libxsq_datagen.a"
+  "libxsq_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_dom.dir/builder.cc.o"
+  "CMakeFiles/xsq_dom.dir/builder.cc.o.d"
+  "CMakeFiles/xsq_dom.dir/evaluator.cc.o"
+  "CMakeFiles/xsq_dom.dir/evaluator.cc.o.d"
+  "libxsq_dom.a"
+  "libxsq_dom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_dom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xsq_dom.
+# This may be replaced when dependencies are built.

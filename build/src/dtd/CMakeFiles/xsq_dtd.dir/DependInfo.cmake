@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtd/content_automaton.cc" "src/dtd/CMakeFiles/xsq_dtd.dir/content_automaton.cc.o" "gcc" "src/dtd/CMakeFiles/xsq_dtd.dir/content_automaton.cc.o.d"
+  "/root/repo/src/dtd/dtd.cc" "src/dtd/CMakeFiles/xsq_dtd.dir/dtd.cc.o" "gcc" "src/dtd/CMakeFiles/xsq_dtd.dir/dtd.cc.o.d"
+  "/root/repo/src/dtd/optimizer.cc" "src/dtd/CMakeFiles/xsq_dtd.dir/optimizer.cc.o" "gcc" "src/dtd/CMakeFiles/xsq_dtd.dir/optimizer.cc.o.d"
+  "/root/repo/src/dtd/validator.cc" "src/dtd/CMakeFiles/xsq_dtd.dir/validator.cc.o" "gcc" "src/dtd/CMakeFiles/xsq_dtd.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xsq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xsq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/xsq_xpath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

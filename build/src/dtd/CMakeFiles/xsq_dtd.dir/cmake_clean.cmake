@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_dtd.dir/content_automaton.cc.o"
+  "CMakeFiles/xsq_dtd.dir/content_automaton.cc.o.d"
+  "CMakeFiles/xsq_dtd.dir/dtd.cc.o"
+  "CMakeFiles/xsq_dtd.dir/dtd.cc.o.d"
+  "CMakeFiles/xsq_dtd.dir/optimizer.cc.o"
+  "CMakeFiles/xsq_dtd.dir/optimizer.cc.o.d"
+  "CMakeFiles/xsq_dtd.dir/validator.cc.o"
+  "CMakeFiles/xsq_dtd.dir/validator.cc.o.d"
+  "libxsq_dtd.a"
+  "libxsq_dtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_dtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

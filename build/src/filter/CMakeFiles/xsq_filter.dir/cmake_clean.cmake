@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_filter.dir/filter_engine.cc.o"
+  "CMakeFiles/xsq_filter.dir/filter_engine.cc.o.d"
+  "libxsq_filter.a"
+  "libxsq_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_lazydfa.dir/lazy_dfa_engine.cc.o"
+  "CMakeFiles/xsq_lazydfa.dir/lazy_dfa_engine.cc.o.d"
+  "libxsq_lazydfa.a"
+  "libxsq_lazydfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_lazydfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

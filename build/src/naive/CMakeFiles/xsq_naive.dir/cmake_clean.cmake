@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_naive.dir/naive_engine.cc.o"
+  "CMakeFiles/xsq_naive.dir/naive_engine.cc.o.d"
+  "libxsq_naive.a"
+  "libxsq_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

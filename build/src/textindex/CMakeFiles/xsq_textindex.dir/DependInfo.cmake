@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/textindex/text_index_engine.cc" "src/textindex/CMakeFiles/xsq_textindex.dir/text_index_engine.cc.o" "gcc" "src/textindex/CMakeFiles/xsq_textindex.dir/text_index_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xsq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dom/CMakeFiles/xsq_dom.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/xsq_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xsq_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_textindex.dir/text_index_engine.cc.o"
+  "CMakeFiles/xsq_textindex.dir/text_index_engine.cc.o.d"
+  "libxsq_textindex.a"
+  "libxsq_textindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_textindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xsq_textindex.
+# This may be replaced when dependencies are built.

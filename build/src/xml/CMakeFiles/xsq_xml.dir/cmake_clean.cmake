@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_xml.dir/sax_parser.cc.o"
+  "CMakeFiles/xsq_xml.dir/sax_parser.cc.o.d"
+  "CMakeFiles/xsq_xml.dir/writer.cc.o"
+  "CMakeFiles/xsq_xml.dir/writer.cc.o.d"
+  "libxsq_xml.a"
+  "libxsq_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

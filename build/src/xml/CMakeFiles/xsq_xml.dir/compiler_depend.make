@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xsq_xml.
+# This may be replaced when dependencies are built.

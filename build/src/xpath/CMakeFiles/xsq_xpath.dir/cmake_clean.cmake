@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_xpath.dir/parser.cc.o"
+  "CMakeFiles/xsq_xpath.dir/parser.cc.o.d"
+  "CMakeFiles/xsq_xpath.dir/value_compare.cc.o"
+  "CMakeFiles/xsq_xpath.dir/value_compare.cc.o.d"
+  "libxsq_xpath.a"
+  "libxsq_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

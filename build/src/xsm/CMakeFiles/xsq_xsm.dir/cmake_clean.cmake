@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_xsm.dir/xsm_engine.cc.o"
+  "CMakeFiles/xsq_xsm.dir/xsm_engine.cc.o.d"
+  "libxsq_xsm.a"
+  "libxsq_xsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_xsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

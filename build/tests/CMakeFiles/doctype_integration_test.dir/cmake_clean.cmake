@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doctype_integration_test.dir/doctype_integration_test.cc.o"
+  "CMakeFiles/doctype_integration_test.dir/doctype_integration_test.cc.o.d"
+  "doctype_integration_test"
+  "doctype_integration_test.pdb"
+  "doctype_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doctype_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtd_edge_test.dir/dtd_edge_test.cc.o"
+  "CMakeFiles/dtd_edge_test.dir/dtd_edge_test.cc.o.d"
+  "dtd_edge_test"
+  "dtd_edge_test.pdb"
+  "dtd_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtd_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

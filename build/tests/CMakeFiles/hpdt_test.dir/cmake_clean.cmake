@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpdt_test.dir/hpdt_test.cc.o"
+  "CMakeFiles/hpdt_test.dir/hpdt_test.cc.o.d"
+  "hpdt_test"
+  "hpdt_test.pdb"
+  "hpdt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpdt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazydfa_test.dir/lazydfa_test.cc.o"
+  "CMakeFiles/lazydfa_test.dir/lazydfa_test.cc.o.d"
+  "lazydfa_test"
+  "lazydfa_test.pdb"
+  "lazydfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazydfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

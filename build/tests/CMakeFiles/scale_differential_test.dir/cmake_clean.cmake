@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_differential_test.dir/scale_differential_test.cc.o"
+  "CMakeFiles/scale_differential_test.dir/scale_differential_test.cc.o.d"
+  "scale_differential_test"
+  "scale_differential_test.pdb"
+  "scale_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

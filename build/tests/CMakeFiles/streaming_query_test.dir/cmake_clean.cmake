@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_query_test.dir/streaming_query_test.cc.o"
+  "CMakeFiles/streaming_query_test.dir/streaming_query_test.cc.o.d"
+  "streaming_query_test"
+  "streaming_query_test.pdb"
+  "streaming_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

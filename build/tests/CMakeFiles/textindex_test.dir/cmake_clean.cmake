@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textindex_test.dir/textindex_test.cc.o"
+  "CMakeFiles/textindex_test.dir/textindex_test.cc.o.d"
+  "textindex_test"
+  "textindex_test.pdb"
+  "textindex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_compare_sweep_test.dir/value_compare_sweep_test.cc.o"
+  "CMakeFiles/value_compare_sweep_test.dir/value_compare_sweep_test.cc.o.d"
+  "value_compare_sweep_test"
+  "value_compare_sweep_test.pdb"
+  "value_compare_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_compare_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xml_writer_test.cc" "tests/CMakeFiles/xml_writer_test.dir/xml_writer_test.cc.o" "gcc" "tests/CMakeFiles/xml_writer_test.dir/xml_writer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/xsq_test_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_util/CMakeFiles/xsq_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xsq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dom/CMakeFiles/xsq_dom.dir/DependInfo.cmake"
+  "/root/repo/build/src/lazydfa/CMakeFiles/xsq_lazydfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/xsq_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/textindex/CMakeFiles/xsq_textindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtd/CMakeFiles/xsq_dtd.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsm/CMakeFiles/xsq_xsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/naive/CMakeFiles/xsq_naive.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/xsq_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/xsq_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xsq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xsq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

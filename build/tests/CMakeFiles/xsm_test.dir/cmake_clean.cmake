@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsm_test.dir/xsm_test.cc.o"
+  "CMakeFiles/xsm_test.dir/xsm_test.cc.o.d"
+  "xsm_test"
+  "xsm_test.pdb"
+  "xsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

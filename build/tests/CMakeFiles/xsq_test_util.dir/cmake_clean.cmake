@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsq_test_util.dir/test_util.cc.o"
+  "CMakeFiles/xsq_test_util.dir/test_util.cc.o.d"
+  "libxsq_test_util.a"
+  "libxsq_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsq_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxsq_test_util.a"
+)
