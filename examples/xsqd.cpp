@@ -1,0 +1,213 @@
+// xsqd: a query-service daemon speaking a line-delimited protocol on
+// stdin/stdout. It is the thinnest possible front-end over
+// service::QueryService — every command maps 1:1 onto a service call —
+// which makes the whole concurrent stack scriptable from a shell:
+//
+//   $ printf 'OPEN //book[price<20]/title/text()\nPUSH 1 <catalog>...\n
+//     CLOSE 1\nQUIT\n' | xsqd
+//
+// Protocol (one command per line, responses flushed per command):
+//   OPEN <query>       -> OK <id>                  open a session
+//   PUSH <id> <chunk>  -> OK                       feed document bytes
+//   DRAIN <id>         -> ITEM <value>... OK       pop available results
+//   CLOSE <id>         -> ITEM <value>...          end document; prints the
+//                         [AGG <number>] OK        remaining items, the final
+//                                                  aggregate if any, then
+//                                                  releases the session
+//   STATS              -> STAT <name> <value>... OK
+//   QUIT               -> OK (and exit; EOF quits too)
+// Any failure answers "ERR <Code>: <message>" instead of OK.
+//
+// Chunk and item payloads are escaped so arbitrary document bytes fit
+// on one line: "\n" = newline, "\t" = tab, "\\" = backslash.
+//
+// Flags: --workers=N (default 4), --max-sessions=N,
+//        --session-memory-budget=BYTES, --plan-cache=N.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "service/query_service.h"
+
+namespace {
+
+using xsq::service::QueryService;
+using xsq::service::ServiceConfig;
+using xsq::service::SessionId;
+
+std::string Unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      ++i;
+      switch (text[i]) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case '\\': out.push_back('\\'); break;
+        default: out.push_back(text[i]); break;
+      }
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+std::string Escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\\': out += "\\\\"; break;
+      default: out.push_back(c); break;
+    }
+  }
+  return out;
+}
+
+void Reply(const std::string& line) {
+  std::fputs(line.c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+void ReplyStatus(const xsq::Status& status) {
+  if (status.ok()) {
+    Reply("OK");
+  } else {
+    Reply("ERR " + status.ToString());
+  }
+}
+
+// "PUSH 7 <abc>" -> id=7, rest="<abc>". Returns nullopt on a bad id.
+std::optional<SessionId> ParseId(std::string_view* rest) {
+  size_t space = rest->find(' ');
+  std::string_view id_text = rest->substr(0, space);
+  *rest = space == std::string_view::npos ? std::string_view()
+                                          : rest->substr(space + 1);
+  if (id_text.empty()) return std::nullopt;
+  SessionId id = 0;
+  for (char c : id_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<SessionId>(c - '0');
+  }
+  return id;
+}
+
+void PrintItems(QueryService& service, SessionId id) {
+  for (const std::string& item : service.Drain(id)) {
+    Reply("ITEM " + Escape(item));
+  }
+}
+
+size_t FlagValue(std::string_view arg, size_t fallback) {
+  size_t eq = arg.find('=');
+  if (eq == std::string_view::npos) return fallback;
+  return static_cast<size_t>(
+      std::strtoull(std::string(arg.substr(eq + 1)).c_str(), nullptr, 10));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServiceConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--workers", 0) == 0) {
+      config.num_workers = static_cast<int>(FlagValue(arg, 4));
+    } else if (arg.rfind("--max-sessions", 0) == 0) {
+      config.max_sessions = FlagValue(arg, config.max_sessions);
+    } else if (arg.rfind("--session-memory-budget", 0) == 0) {
+      config.per_session_memory_budget =
+          FlagValue(arg, config.per_session_memory_budget);
+    } else if (arg.rfind("--plan-cache", 0) == 0) {
+      config.plan_cache_capacity = FlagValue(arg, config.plan_cache_capacity);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
+      return 2;
+    }
+  }
+
+  QueryService service(config);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::string_view input = line;
+    if (!input.empty() && input.back() == '\r') input.remove_suffix(1);
+    size_t space = input.find(' ');
+    std::string_view command = input.substr(0, space);
+    std::string_view rest = space == std::string_view::npos
+                                ? std::string_view()
+                                : input.substr(space + 1);
+
+    if (command == "QUIT") {
+      Reply("OK");
+      break;
+    } else if (command == "OPEN") {
+      auto id = service.OpenSession(rest);
+      if (id.ok()) {
+        Reply("OK " + std::to_string(*id));
+      } else {
+        Reply("ERR " + id.status().ToString());
+      }
+    } else if (command == "PUSH") {
+      std::optional<SessionId> id = ParseId(&rest);
+      if (!id.has_value()) {
+        Reply("ERR InvalidArgument: bad session id");
+      } else {
+        ReplyStatus(service.Push(*id, Unescape(rest)));
+      }
+    } else if (command == "DRAIN") {
+      std::optional<SessionId> id = ParseId(&rest);
+      if (!id.has_value()) {
+        Reply("ERR InvalidArgument: bad session id");
+      } else if (!service.HasSession(*id)) {
+        Reply("ERR InvalidArgument: unknown session id " +
+              std::to_string(*id));
+      } else {
+        PrintItems(service, *id);
+        Reply("OK");
+      }
+    } else if (command == "CLOSE") {
+      std::optional<SessionId> id = ParseId(&rest);
+      if (!id.has_value()) {
+        Reply("ERR InvalidArgument: bad session id");
+      } else {
+        xsq::Status status = service.Close(*id);
+        PrintItems(service, *id);
+        if (status.ok()) {
+          if (std::optional<double> agg = service.FinalAggregate(*id)) {
+            std::string value = std::to_string(*agg);
+            Reply("AGG " + value);
+          }
+        }
+        service.Release(*id);
+        ReplyStatus(status);
+      }
+    } else if (command == "STATS") {
+      xsq::service::StatsSnapshot snap = service.stats();
+      std::string text = snap.ToString();
+      size_t begin = 0;
+      while (begin < text.size()) {
+        size_t end = text.find('\n', begin);
+        Reply("STAT " + text.substr(begin, end - begin));
+        begin = end + 1;
+      }
+      Reply("OK");
+    } else if (command.empty()) {
+      // Blank line: ignore.
+      continue;
+    } else {
+      Reply("ERR InvalidArgument: unknown command '" + std::string(command) +
+            "'");
+    }
+    std::fflush(stdout);
+  }
+  service.Shutdown();
+  return 0;
+}

@@ -35,6 +35,10 @@ class MemoryTracker {
     peak_ = 0;
   }
 
+  // Drops the current accounting (an engine reset discards all buffered
+  // items at once) while preserving the observed peak.
+  void ReleaseAll() { current_ = 0; }
+
   size_t current_bytes() const { return current_; }
   size_t peak_bytes() const { return peak_; }
 

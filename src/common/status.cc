@@ -14,6 +14,8 @@ const char* StatusCodeName(StatusCode code) {
       return "NotSupported";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -20,6 +20,7 @@ enum class StatusCode : uint8_t {
   kParseError,        // malformed XML / XPath input
   kNotSupported,      // feature outside the implemented XPath subset
   kOutOfRange,        // index/size violation
+  kResourceExhausted, // admission/backpressure/memory budget rejection
   kInternal,          // invariant violation inside the library
 };
 
@@ -45,6 +46,9 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,0 +1,38 @@
+#include "core/compiled_plan.h"
+
+namespace xsq::core {
+
+Result<std::vector<std::shared_ptr<const Hpdt>>> BuildUnionHpdts(
+    const xpath::Query& query) {
+  std::vector<std::shared_ptr<const Hpdt>> hpdts;
+  xpath::Query main = query;
+  std::vector<xpath::Query> branches = std::move(main.union_branches);
+  main.union_branches.clear();
+  XSQ_ASSIGN_OR_RETURN(std::unique_ptr<Hpdt> main_hpdt, Hpdt::Build(main));
+  hpdts.push_back(std::move(main_hpdt));
+  size_t total_slots = main.steps.size() + 1;
+  for (const xpath::Query& branch : branches) {
+    XSQ_ASSIGN_OR_RETURN(std::unique_ptr<Hpdt> hpdt, Hpdt::Build(branch));
+    hpdts.push_back(std::move(hpdt));
+    total_slots += branch.steps.size() + 1;
+  }
+  if (total_slots > 64) {
+    return Status::NotSupported(
+        "union query has too many location steps in total (max 63)");
+  }
+  return hpdts;
+}
+
+Result<std::shared_ptr<const CompiledPlan>> CompilePlan(
+    std::string_view query_text) {
+  XSQ_ASSIGN_OR_RETURN(xpath::Query query, xpath::ParseQuery(query_text));
+  auto plan = std::make_shared<CompiledPlan>();
+  plan->deterministic = !query.HasClosure() && !query.IsUnion();
+  if (!plan->deterministic) {
+    XSQ_ASSIGN_OR_RETURN(plan->hpdts, BuildUnionHpdts(query));
+  }
+  plan->query = std::move(query);
+  return std::shared_ptr<const CompiledPlan>(std::move(plan));
+}
+
+}  // namespace xsq::core

@@ -1,0 +1,52 @@
+// CompiledPlan: the immutable, shareable result of query compilation.
+//
+// Compiling a query means parsing the XPath text, deciding which engine
+// runs it (deterministic XSQ-NC for closure-free non-union queries,
+// XSQ-F otherwise), and - for XSQ-F - building one HPDT per union
+// branch. All of that work is input-independent, so a plan compiled once
+// can back any number of concurrently-running engines: HPDTs are
+// read-only at run time and are held by shared_ptr<const>, while every
+// engine keeps its own run-time state (match chains, buffers, stacks).
+//
+// This is what the service layer's PlanCache stores; StreamingQuery can
+// be opened directly from a cached plan so hot queries skip parse and
+// HPDT construction entirely.
+#ifndef XSQ_CORE_COMPILED_PLAN_H_
+#define XSQ_CORE_COMPILED_PLAN_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/hpdt.h"
+#include "xpath/ast.h"
+
+namespace xsq::core {
+
+struct CompiledPlan {
+  xpath::Query query;
+
+  // True when the query runs on the deterministic XSQ-NC engine (no
+  // closure axis, no union). XSQ-NC needs no HPDT, so `hpdts` is empty.
+  bool deterministic = false;
+
+  // For XSQ-F plans: the main query's HPDT followed by one per union
+  // branch, in branch order. Immutable once built; shared by every
+  // engine instantiated from this plan.
+  std::vector<std::shared_ptr<const Hpdt>> hpdts;
+};
+
+// Parses `query_text` and compiles it into an engine-ready plan.
+Result<std::shared_ptr<const CompiledPlan>> CompilePlan(
+    std::string_view query_text);
+
+// Builds the XSQ-F HPDT set for `query` (main path first, then one per
+// union branch). Fails with NotSupported when the union's location
+// steps exceed the engine's 63-step budget.
+Result<std::vector<std::shared_ptr<const Hpdt>>> BuildUnionHpdts(
+    const xpath::Query& query);
+
+}  // namespace xsq::core
+
+#endif  // XSQ_CORE_COMPILED_PLAN_H_

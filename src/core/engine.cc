@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/strings.h"
+#include "core/compiled_plan.h"
 #include "xml/sax_parser.h"
 #include "xpath/value_compare.h"
 
@@ -50,7 +51,7 @@ void AppendBeginTag(std::string* out, std::string_view tag,
 
 }  // namespace
 
-XsqEngine::XsqEngine(std::vector<std::unique_ptr<Hpdt>> hpdts,
+XsqEngine::XsqEngine(std::vector<std::shared_ptr<const Hpdt>> hpdts,
                      ResultSink* sink)
     : hpdts_(std::move(hpdts)),
       sink_(sink),
@@ -67,26 +68,21 @@ Result<std::unique_ptr<XsqEngine>> XsqEngine::Create(
     const xpath::Query& query, ResultSink* sink) {
   // One HPDT per union branch; items are shared across branches so set
   // semantics and document order hold over the whole union.
-  std::vector<std::unique_ptr<Hpdt>> hpdts;
-  xpath::Query main = query;
-  std::vector<xpath::Query> branches = std::move(main.union_branches);
-  main.union_branches.clear();
-  XSQ_ASSIGN_OR_RETURN(auto main_hpdt, Hpdt::Build(main));
-  hpdts.push_back(std::move(main_hpdt));
-  size_t total_slots = main.steps.size() + 1;
-  for (const xpath::Query& branch : branches) {
-    XSQ_ASSIGN_OR_RETURN(auto hpdt, Hpdt::Build(branch));
-    hpdts.push_back(std::move(hpdt));
-    total_slots += branch.steps.size() + 1;
-  }
-  if (total_slots > 64) {
-    return Status::NotSupported(
-        "union query has too many location steps in total (max 63)");
+  XSQ_ASSIGN_OR_RETURN(std::vector<std::shared_ptr<const Hpdt>> hpdts,
+                       BuildUnionHpdts(query));
+  return std::unique_ptr<XsqEngine>(new XsqEngine(std::move(hpdts), sink));
+}
+
+Result<std::unique_ptr<XsqEngine>> XsqEngine::Create(
+    std::vector<std::shared_ptr<const Hpdt>> hpdts, ResultSink* sink) {
+  if (hpdts.empty()) {
+    return Status::InvalidArgument("engine needs at least one HPDT");
   }
   return std::unique_ptr<XsqEngine>(new XsqEngine(std::move(hpdts), sink));
 }
 
 void XsqEngine::Reset() {
+  memory_.ReleaseAll();  // buffered items discarded below
   stack_.clear();
   active_by_step_.assign(total_step_slots_, {});
   output_queue_.clear();

@@ -61,6 +61,12 @@ class XsqEngine : public xml::SaxHandler {
   static Result<std::unique_ptr<XsqEngine>> Create(const xpath::Query& query,
                                                    ResultSink* sink);
 
+  // Instantiates an engine over already-compiled HPDTs (main path first,
+  // then union branches), e.g. from a cached CompiledPlan. The HPDTs are
+  // read-only at run time, so one set may back many engines at once.
+  static Result<std::unique_ptr<XsqEngine>> Create(
+      std::vector<std::shared_ptr<const Hpdt>> hpdts, ResultSink* sink);
+
   // SaxHandler interface: feed this engine to a SaxParser.
   void OnDocumentBegin() override;
   void OnBegin(std::string_view tag,
@@ -122,7 +128,7 @@ class XsqEngine : public xml::SaxHandler {
     int begin_depth;
   };
 
-  XsqEngine(std::vector<std::unique_ptr<Hpdt>> hpdts, ResultSink* sink);
+  XsqEngine(std::vector<std::shared_ptr<const Hpdt>> hpdts, ResultSink* sink);
 
   // Flat index of (branch, step) into active_by_step_ and the
   // resolved-spine bitmask.
@@ -140,7 +146,7 @@ class XsqEngine : public xml::SaxHandler {
   void EmitReadyItems();
   void AppendToSerializations(std::string_view data);
 
-  std::vector<std::unique_ptr<Hpdt>> hpdts_;  // one per union branch
+  std::vector<std::shared_ptr<const Hpdt>> hpdts_;  // one per union branch
   std::vector<size_t> branch_offsets_;         // into per-(branch,step) slots
   size_t total_step_slots_ = 0;
   ResultSink* sink_;

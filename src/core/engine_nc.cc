@@ -75,6 +75,7 @@ Result<std::unique_ptr<XsqNcEngine>> XsqNcEngine::Create(
 }
 
 void XsqNcEngine::Reset() {
+  memory_.ReleaseAll();  // queue_ items discarded below
   stack_.clear();
   stack_.emplace_back();  // virtual document entry; always satisfied
   stack_.front().has_match = true;

@@ -2,27 +2,34 @@
 
 namespace xsq::core {
 
-StreamingQuery::StreamingQuery(xpath::Query query)
-    : query_(std::move(query)) {}
+StreamingQuery::StreamingQuery(std::shared_ptr<const CompiledPlan> plan)
+    : plan_(std::move(plan)) {}
 
 Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Open(
     std::string_view query_text) {
-  XSQ_ASSIGN_OR_RETURN(xpath::Query query, xpath::ParseQuery(query_text));
+  XSQ_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
+                       CompilePlan(query_text));
+  return Open(std::move(plan));
+}
+
+Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Open(
+    std::shared_ptr<const CompiledPlan> plan) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
   auto streaming_query =
-      std::unique_ptr<StreamingQuery>(new StreamingQuery(std::move(query)));
+      std::unique_ptr<StreamingQuery>(new StreamingQuery(std::move(plan)));
 
   xml::SaxHandler* handler = nullptr;
-  if (!streaming_query->query_.HasClosure() &&
-      !streaming_query->query_.IsUnion()) {
+  if (streaming_query->plan_->deterministic) {
     XSQ_ASSIGN_OR_RETURN(
         streaming_query->nc_engine_,
-        XsqNcEngine::Create(streaming_query->query_,
+        XsqNcEngine::Create(streaming_query->plan_->query,
                             &streaming_query->sink_));
     handler = streaming_query->nc_engine_.get();
   } else {
     XSQ_ASSIGN_OR_RETURN(
         streaming_query->f_engine_,
-        XsqEngine::Create(streaming_query->query_, &streaming_query->sink_));
+        XsqEngine::Create(streaming_query->plan_->hpdts,
+                          &streaming_query->sink_));
     handler = streaming_query->f_engine_.get();
   }
   streaming_query->parser_ = std::make_unique<xml::SaxParser>(handler);
@@ -44,6 +51,17 @@ Status StreamingQuery::Close() {
   return nc_engine_->status();
 }
 
+void StreamingQuery::Reset() {
+  parser_->Reset();
+  if (f_engine_ != nullptr) f_engine_->Reset();
+  if (nc_engine_ != nullptr) nc_engine_->Reset();
+  sink_.items.clear();
+  sink_.aggregate_updates.clear();
+  sink_.aggregate.reset();
+  next_item_ = 0;
+  closed_ = false;
+}
+
 std::optional<std::string> StreamingQuery::NextItem() {
   if (next_item_ >= sink_.items.size()) return std::nullopt;
   return sink_.items[next_item_++];
@@ -52,6 +70,11 @@ std::optional<std::string> StreamingQuery::NextItem() {
 size_t StreamingQuery::peak_buffered_bytes() const {
   if (f_engine_ != nullptr) return f_engine_->memory().peak_bytes();
   return nc_engine_->memory().peak_bytes();
+}
+
+size_t StreamingQuery::buffered_bytes() const {
+  if (f_engine_ != nullptr) return f_engine_->memory().current_bytes();
+  return nc_engine_->memory().current_bytes();
 }
 
 }  // namespace xsq::core

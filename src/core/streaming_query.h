@@ -14,6 +14,11 @@
 // document is still streaming. Closure-free queries automatically run
 // on the faster deterministic XSQ-NC engine; everything else runs on
 // XSQ-F.
+//
+// A StreamingQuery is reusable: Reset() rewinds parser and engine so the
+// same compiled query can process another document without recompiling,
+// and Open(plan) instantiates one from an already-compiled (typically
+// cached) plan, skipping parse and HPDT construction entirely.
 #ifndef XSQ_CORE_STREAMING_QUERY_H_
 #define XSQ_CORE_STREAMING_QUERY_H_
 
@@ -24,6 +29,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "core/compiled_plan.h"
 #include "core/engine.h"
 #include "core/engine_nc.h"
 #include "core/result_sink.h"
@@ -38,11 +44,22 @@ class StreamingQuery {
   static Result<std::unique_ptr<StreamingQuery>> Open(
       std::string_view query_text);
 
+  // Instantiates engines from an already-compiled plan (no parse, no
+  // HPDT construction). The plan is retained by shared_ptr and may back
+  // any number of StreamingQuery instances concurrently.
+  static Result<std::unique_ptr<StreamingQuery>> Open(
+      std::shared_ptr<const CompiledPlan> plan);
+
   // Feeds the next chunk of the document (any chunk boundaries).
   Status Push(std::string_view chunk);
 
   // Declares end of input. Idempotent after success.
   Status Close();
+
+  // Rewinds parser, engine, and collected results so the same compiled
+  // query can process a new document. Valid in any state, including
+  // after a parse error or Close().
+  void Reset();
 
   // Pops the next available result item, in document order; nullopt
   // when none is available yet (more input may produce more).
@@ -57,16 +74,22 @@ class StreamingQuery {
   }
   std::optional<double> final_aggregate() const { return sink_.aggregate; }
 
-  const xpath::Query& query() const { return query_; }
+  const xpath::Query& query() const { return plan_->query; }
+  const std::shared_ptr<const CompiledPlan>& plan() const { return plan_; }
   bool uses_deterministic_engine() const { return nc_engine_ != nullptr; }
 
   // Peak buffered bytes so far (the engine's accounted memory).
   size_t peak_buffered_bytes() const;
 
- private:
-  explicit StreamingQuery(xpath::Query query);
+  // Bytes the engine is holding right now: buffered items whose
+  // predicates are still undecided. The service layer's memory budgets
+  // are enforced against this.
+  size_t buffered_bytes() const;
 
-  xpath::Query query_;
+ private:
+  explicit StreamingQuery(std::shared_ptr<const CompiledPlan> plan);
+
+  std::shared_ptr<const CompiledPlan> plan_;
   CollectingSink sink_;
   size_t next_item_ = 0;  // items before this index were handed out
   std::unique_ptr<XsqEngine> f_engine_;

@@ -1,0 +1,70 @@
+#include "service/plan_cache.h"
+
+namespace xsq::service {
+
+namespace {
+
+bool IsAsciiSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+}  // namespace
+
+PlanCache::PlanCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::string PlanCache::Normalize(std::string_view query_text) {
+  size_t begin = 0;
+  size_t end = query_text.size();
+  while (begin < end && IsAsciiSpace(query_text[begin])) ++begin;
+  while (end > begin && IsAsciiSpace(query_text[end - 1])) --end;
+  return std::string(query_text.substr(begin, end - begin));
+}
+
+Result<std::shared_ptr<const core::CompiledPlan>> PlanCache::GetOrCompile(
+    std::string_view query_text) {
+  std::string key = Normalize(query_text);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(std::string_view(key));
+    if (it != index_.end()) {
+      ++counters_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      return it->second->plan;
+    }
+    ++counters_.misses;
+  }
+
+  // Compile outside the lock: a miss must not stall hits on other keys.
+  XSQ_ASSIGN_OR_RETURN(std::shared_ptr<const core::CompiledPlan> plan,
+                       core::CompilePlan(key));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string_view(key));
+  if (it != index_.end()) {
+    // Another thread compiled the same query while we did; keep theirs.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->plan;
+  }
+  lru_.push_front(Entry{std::move(key), plan});
+  index_[std::string_view(lru_.front().key)] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(std::string_view(lru_.back().key));
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  return plan;
+}
+
+PlanCache::Counters PlanCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace xsq::service

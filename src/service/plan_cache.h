@@ -1,0 +1,72 @@
+// PlanCache: a thread-safe, bounded LRU cache of compiled query plans.
+//
+// Compilation (XPath parse + engine selection + HPDT construction) is
+// input-independent, so a plan compiled once serves every session that
+// ever runs the same query text. The cache is keyed by normalized query
+// text; a hit returns a shared_ptr<const CompiledPlan> that stays valid
+// even if the entry is evicted while sessions still use it.
+//
+// Compilation happens outside the cache lock, so a slow compile never
+// blocks hits on other keys; two threads racing to compile the same new
+// query may both compile, and the first insert wins (the loser's plan
+// is discarded — duplicate work, never duplicate entries).
+#ifndef XSQ_SERVICE_PLAN_CACHE_H_
+#define XSQ_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "core/compiled_plan.h"
+
+namespace xsq::service {
+
+class PlanCache {
+ public:
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;      // == number of compilations started
+    uint64_t evictions = 0;
+  };
+
+  // `capacity` is the maximum number of cached plans; at least 1.
+  explicit PlanCache(size_t capacity);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Returns the cached plan for `query_text`, compiling and inserting
+  // it on a miss. Compile errors are returned and not cached.
+  Result<std::shared_ptr<const core::CompiledPlan>> GetOrCompile(
+      std::string_view query_text);
+
+  // Cache key: query text with surrounding ASCII whitespace trimmed.
+  // (Internal whitespace is preserved — it may be significant inside
+  // quoted comparison literals.)
+  static std::string Normalize(std::string_view query_text);
+
+  Counters counters() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const core::CompiledPlan> plan;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> index_;
+  Counters counters_;
+};
+
+}  // namespace xsq::service
+
+#endif  // XSQ_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,233 @@
+#include "service/query_service.h"
+
+namespace xsq::service {
+
+QueryService::QueryService(ServiceConfig config)
+    : config_(config), plan_cache_(config.plan_cache_capacity) {
+  int workers = config_.num_workers < 1 ? 1 : config_.num_workers;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !runnable_.empty(); });
+    if (runnable_.empty()) {
+      if (stopping_) return;  // fully drained
+      continue;
+    }
+    std::shared_ptr<SessionState> state = std::move(runnable_.front());
+    runnable_.pop_front();
+    // Claim this session's entire queue; Push keeps appending while we
+    // evaluate, and the re-check below picks those up.
+    std::deque<WorkItem> batch = std::move(state->queue);
+    state->queue.clear();
+    lock.unlock();
+
+    for (WorkItem& item : batch) {
+      if (item.kind == WorkItem::Kind::kChunk) {
+        // Failed sessions swallow their remaining queued chunks (the
+        // error is already recorded; Close reports it).
+        state->session->Push(item.chunk);
+        stats_.RecordChunk(item.chunk.size());
+      } else {
+        state->session->Close();
+      }
+    }
+
+    lock.lock();
+    if (!state->queue.empty()) {
+      runnable_.push_back(state);  // more work arrived while evaluating
+    } else {
+      state->scheduled = false;
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void QueryService::ScheduleLocked(const std::shared_ptr<SessionState>& state) {
+  if (state->scheduled) return;
+  state->scheduled = true;
+  runnable_.push_back(state);
+  work_cv_.notify_one();
+}
+
+Result<std::shared_ptr<QueryService::SessionState>> QueryService::FindLocked(
+    SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second->released) {
+    return Status::InvalidArgument("unknown session id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+void QueryService::WaitUntilIdle(std::unique_lock<std::mutex>& lock,
+                                 const std::shared_ptr<SessionState>& state) {
+  idle_cv_.wait(lock,
+                [&] { return state->queue.empty() && !state->scheduled; });
+}
+
+Result<SessionId> QueryService::OpenSession(std::string_view query_text) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return Status::InvalidArgument("service is shut down");
+    if (sessions_.size() >= config_.max_sessions) {
+      stats_.RecordSessionRejected();
+      return Status::ResourceExhausted(
+          "session limit reached (" + std::to_string(config_.max_sessions) +
+          ")");
+    }
+  }
+  // Compile (or hit the cache) outside the service lock.
+  XSQ_ASSIGN_OR_RETURN(std::shared_ptr<const core::CompiledPlan> plan,
+                       plan_cache_.GetOrCompile(query_text));
+  XSQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<Session> session,
+      Session::Create(std::move(plan), config_.per_session_memory_budget,
+                      &stats_));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return Status::InvalidArgument("service is shut down");
+  if (sessions_.size() >= config_.max_sessions) {
+    stats_.RecordSessionRejected();
+    return Status::ResourceExhausted(
+        "session limit reached (" + std::to_string(config_.max_sessions) +
+        ")");
+  }
+  SessionId id = next_id_++;
+  auto state = std::make_shared<SessionState>();
+  state->session = std::move(session);
+  sessions_.emplace(id, std::move(state));
+  stats_.RecordSessionOpened();
+  return id;
+}
+
+Status QueryService::Push(SessionId id, std::string chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return Status::InvalidArgument("service is shut down");
+  XSQ_ASSIGN_OR_RETURN(std::shared_ptr<SessionState> state, FindLocked(id));
+  if (state->close_requested) {
+    return Status::InvalidArgument("Push after Close");
+  }
+  if (state->queue.size() >= config_.max_queued_chunks_per_session) {
+    stats_.RecordPushRejected();
+    return Status::ResourceExhausted(
+        "session queue full (" +
+        std::to_string(config_.max_queued_chunks_per_session) +
+        " chunks); drain or retry");
+  }
+  if (config_.global_memory_budget > 0 &&
+      stats_.buffered_bytes() > config_.global_memory_budget) {
+    stats_.RecordPushRejected();
+    return Status::ResourceExhausted(
+        "global memory budget exceeded; retry after buffers drain");
+  }
+  state->queue.push_back(WorkItem{WorkItem::Kind::kChunk, std::move(chunk)});
+  stats_.RecordQueueDepth(state->queue.size());
+  ScheduleLocked(state);
+  return Status::OK();
+}
+
+Status QueryService::Close(SessionId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  XSQ_ASSIGN_OR_RETURN(std::shared_ptr<SessionState> state, FindLocked(id));
+  if (!state->close_requested) {
+    if (stopping_) return Status::InvalidArgument("service is shut down");
+    state->close_requested = true;
+    state->queue.push_back(WorkItem{WorkItem::Kind::kClose, std::string()});
+    ScheduleLocked(state);
+  }
+  WaitUntilIdle(lock, state);
+  return state->session->status();
+}
+
+Status QueryService::ResetSession(SessionId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) return Status::InvalidArgument("service is shut down");
+  XSQ_ASSIGN_OR_RETURN(std::shared_ptr<SessionState> state, FindLocked(id));
+  WaitUntilIdle(lock, state);
+  // Claim the session so no worker can be scheduled onto it mid-reset
+  // (none can be: the queue is empty and Push/Close on this id are
+  // blocked on mu_, which we hold until after the claim).
+  state->scheduled = true;
+  lock.unlock();
+  Status status = state->session->Reset();
+  lock.lock();
+  state->scheduled = false;
+  state->close_requested = false;
+  if (!state->queue.empty()) ScheduleLocked(state);
+  idle_cv_.notify_all();
+  return status;
+}
+
+std::vector<std::string> QueryService::Drain(SessionId id) {
+  std::shared_ptr<SessionState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Result<std::shared_ptr<SessionState>> found = FindLocked(id);
+    if (!found.ok()) return {};
+    state = *std::move(found);
+  }
+  return state->session->TakeItems();
+}
+
+std::optional<double> QueryService::FinalAggregate(SessionId id) {
+  std::shared_ptr<SessionState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Result<std::shared_ptr<SessionState>> found = FindLocked(id);
+    if (!found.ok()) return std::nullopt;
+    state = *std::move(found);
+  }
+  return state->session->final_aggregate();
+}
+
+Status QueryService::Release(SessionId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  XSQ_ASSIGN_OR_RETURN(std::shared_ptr<SessionState> state, FindLocked(id));
+  state->released = true;
+  // The worker's shared_ptr keeps in-flight work safe; dropping the map
+  // entry frees the admission slot immediately.
+  sessions_.erase(id);
+  return Status::OK();
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+StatsSnapshot QueryService::stats() const {
+  StatsSnapshot snap = stats_.Snapshot();
+  snap.sessions_active = active_sessions();
+  PlanCache::Counters cache = plan_cache_.counters();
+  snap.plan_cache_hits = cache.hits;
+  snap.plan_cache_misses = cache.misses;
+  snap.plan_cache_evictions = cache.evictions;
+  return snap;
+}
+
+size_t QueryService::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+bool QueryService::HasSession(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.find(id) != sessions_.end();
+}
+
+}  // namespace xsq::service

@@ -1,0 +1,171 @@
+// QueryService: the concurrent multi-session front door of the library.
+//
+//              clients (any threads)
+//                 |  Open / Push / Close / Drain
+//                 v
+//   +---------- QueryService ----------+
+//   | admission control   PlanCache    |
+//   | per-session FIFO queues          |
+//   | runnable queue -> worker pool    |
+//   +----------------------------------+
+//                 v
+//         Session -> StreamingQuery -> XSQ-F / XSQ-NC engines
+//
+// Execution model: every session owns a FIFO queue of work (chunks,
+// then a close marker). A session with queued work is *scheduled* on
+// the runnable queue exactly once; a worker claims it, processes its
+// queue in order with no other worker touching that session, and
+// re-schedules it if more work arrived meanwhile. Chunks of one session
+// are therefore evaluated sequentially and in arrival order (the
+// engines are inherently order-dependent), while distinct sessions run
+// in parallel across the pool.
+//
+// Flow control is explicit and caller-visible:
+//   - OpenSession    rejects with ResourceExhausted above max_sessions.
+//   - Push           rejects with ResourceExhausted when the session's
+//                    queue is full or the global engine-buffer gauge
+//                    exceeds the global memory budget; callers retry
+//                    (ideally after draining) instead of the service
+//                    buffering without bound.
+//   - per-session    enforced inside Session: a document that forces
+//     memory budget  the engine to buffer more than the budget fails
+//                    that session with ResourceExhausted.
+//
+// Shutdown() stops admission, drains every queued work item, and joins
+// the workers; the destructor calls it.
+#ifndef XSQ_SERVICE_QUERY_SERVICE_H_
+#define XSQ_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "service/plan_cache.h"
+#include "service/session.h"
+#include "service/stats.h"
+
+namespace xsq::service {
+
+using SessionId = uint64_t;
+
+struct ServiceConfig {
+  // Worker threads evaluating sessions. At least 1.
+  int num_workers = 4;
+  // Admission control: concurrently open sessions.
+  size_t max_sessions = 1024;
+  // Backpressure: chunks a session may have queued (not yet claimed by
+  // a worker) before Push returns ResourceExhausted.
+  size_t max_queued_chunks_per_session = 64;
+  // Per-session engine-buffer bound, bytes (0 = unlimited).
+  size_t per_session_memory_budget = 0;
+  // Global engine-buffer bound, bytes (0 = unlimited). Enforced as
+  // push-time backpressure against the buffered-bytes gauge.
+  size_t global_memory_budget = 0;
+  // Compiled plans kept by the LRU plan cache.
+  size_t plan_cache_capacity = 128;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServiceConfig config = ServiceConfig());
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Compiles (or fetches from the plan cache) `query_text` and opens a
+  // session for it. ResourceExhausted when at max_sessions.
+  Result<SessionId> OpenSession(std::string_view query_text);
+
+  // Enqueues the next chunk of `id`'s current document. Returns
+  // immediately; evaluation is asynchronous. ResourceExhausted is the
+  // backpressure signal (queue full or global memory budget hit).
+  Status Push(SessionId id, std::string chunk);
+
+  // Enqueues end-of-document and blocks until every queued chunk and
+  // the close have been evaluated. Returns the session's terminal
+  // status (parse/engine errors and budget failures surface here).
+  Status Close(SessionId id);
+
+  // Blocks until the session is idle, then rewinds it for the next
+  // document (same compiled plan, failures cleared).
+  Status ResetSession(SessionId id);
+
+  // True while `id` is open (between OpenSession and Release).
+  bool HasSession(SessionId id) const;
+
+  // Moves out the items produced so far for `id`, in document order.
+  // Valid while streaming, after Close, and until Release.
+  std::vector<std::string> Drain(SessionId id);
+
+  // Final aggregate value for aggregation queries (set after Close).
+  std::optional<double> FinalAggregate(SessionId id);
+
+  // Frees the session slot. In-flight work for the session finishes
+  // first (the worker keeps it alive), but no new work is accepted.
+  Status Release(SessionId id);
+
+  // Stops admission, drains all queued work, joins the workers.
+  // Idempotent.
+  void Shutdown();
+
+  // Counters, including plan-cache hit/miss/eviction numbers.
+  StatsSnapshot stats() const;
+
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  size_t active_sessions() const;
+
+ private:
+  struct WorkItem {
+    enum class Kind { kChunk, kClose } kind;
+    std::string chunk;
+  };
+
+  // One open session plus its scheduling state. Guarded by mu_ except
+  // `session`, whose streaming side is only ever touched by the single
+  // worker that has the state claimed (scheduled == true).
+  struct SessionState {
+    std::unique_ptr<Session> session;
+    std::deque<WorkItem> queue;
+    bool scheduled = false;  // on the runnable queue or held by a worker
+    bool close_requested = false;
+    bool released = false;
+  };
+
+  void WorkerLoop();
+  // Requires mu_: puts `state` on the runnable queue if it is not
+  // already scheduled.
+  void ScheduleLocked(const std::shared_ptr<SessionState>& state);
+  // Requires mu_: looks up a live (non-released) session.
+  Result<std::shared_ptr<SessionState>> FindLocked(SessionId id);
+  // Blocks until `state` has no queued or in-flight work.
+  void WaitUntilIdle(std::unique_lock<std::mutex>& lock,
+                     const std::shared_ptr<SessionState>& state);
+
+  const ServiceConfig config_;
+  PlanCache plan_cache_;
+  ServiceStats stats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: runnable queue non-empty
+  std::condition_variable idle_cv_;  // waiters: some session went idle
+  std::unordered_map<SessionId, std::shared_ptr<SessionState>> sessions_;
+  std::deque<std::shared_ptr<SessionState>> runnable_;
+  SessionId next_id_ = 1;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xsq::service
+
+#endif  // XSQ_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,115 @@
+#include "service/session.h"
+
+namespace xsq::service {
+
+Result<std::unique_ptr<Session>> Session::Create(
+    std::shared_ptr<const core::CompiledPlan> plan, size_t memory_budget,
+    ServiceStats* stats) {
+  XSQ_ASSIGN_OR_RETURN(std::unique_ptr<core::StreamingQuery> query,
+                       core::StreamingQuery::Open(std::move(plan)));
+  return std::unique_ptr<Session>(
+      new Session(std::move(query), memory_budget, stats));
+}
+
+Session::Session(std::unique_ptr<core::StreamingQuery> query,
+                 size_t memory_budget, ServiceStats* stats)
+    : memory_budget_(memory_budget), stats_(stats), query_(std::move(query)) {}
+
+Session::~Session() {
+  // Return this session's share of the global buffered-bytes gauge.
+  if (stats_ != nullptr) {
+    stats_->AdjustBufferedBytes(
+        -static_cast<int64_t>(buffered_.load(std::memory_order_relaxed)));
+  }
+}
+
+Status Session::AfterEngineStep(Status step) {
+  // Gauge first: buffered bytes move whether or not the step succeeded.
+  size_t now_buffered = query_->buffered_bytes();
+  size_t previous =
+      buffered_.exchange(now_buffered, std::memory_order_relaxed);
+  if (stats_ != nullptr && now_buffered != previous) {
+    stats_->AdjustBufferedBytes(static_cast<int64_t>(now_buffered) -
+                                static_cast<int64_t>(previous));
+  }
+
+  if (step.ok() && memory_budget_ > 0 && now_buffered > memory_budget_) {
+    step = Status::ResourceExhausted(
+        "session memory budget exceeded: buffering " +
+        std::to_string(now_buffered) + " bytes, budget " +
+        std::to_string(memory_budget_));
+  }
+
+  uint64_t new_items = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (std::optional<std::string> item = query_->NextItem()) {
+      pending_items_.push_back(std::move(*item));
+      ++new_items;
+    }
+    current_aggregate_ = query_->current_aggregate();
+    final_aggregate_ = query_->final_aggregate();
+    status_ = step;
+  }
+  items_produced_.fetch_add(new_items, std::memory_order_relaxed);
+  if (stats_ != nullptr && new_items > 0) stats_->RecordItems(new_items);
+  return step;
+}
+
+Status Session::Push(std::string_view chunk) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status_.ok()) return status_;
+  }
+  if (closed()) return Status::InvalidArgument("Push on closed session");
+  return AfterEngineStep(query_->Push(chunk));
+}
+
+Status Session::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status_.ok()) return status_;
+  }
+  if (closed()) return Status::OK();
+  Status step = AfterEngineStep(query_->Close());
+  if (step.ok()) closed_.store(true, std::memory_order_relaxed);
+  return step;
+}
+
+Status Session::Reset() {
+  query_->Reset();
+  closed_.store(false, std::memory_order_relaxed);
+  size_t previous = buffered_.exchange(0, std::memory_order_relaxed);
+  if (stats_ != nullptr && previous != 0) {
+    stats_->AdjustBufferedBytes(-static_cast<int64_t>(previous));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  current_aggregate_.reset();
+  final_aggregate_.reset();
+  status_ = Status::OK();
+  return status_;
+}
+
+std::vector<std::string> Session::TakeItems() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> items = std::move(pending_items_);
+  pending_items_.clear();
+  return items;
+}
+
+std::optional<double> Session::current_aggregate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_aggregate_;
+}
+
+std::optional<double> Session::final_aggregate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return final_aggregate_;
+}
+
+Status Session::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+}  // namespace xsq::service

@@ -1,0 +1,119 @@
+// Session: a long-lived, reusable evaluation of one query over a
+// sequence of documents.
+//
+// A session wraps a StreamingQuery built from a (typically cached)
+// CompiledPlan and adds what a server needs around it:
+//
+//   - an explicit lifecycle:  Open -> Push* -> Close -> Reset -> Push* ...
+//     Reset rewinds parser and engine for the next document without
+//     recompiling the plan, so the serving hot path never rebuilds an
+//     engine.
+//   - a per-session memory budget: after every chunk the engine's
+//     buffered bytes are checked against the budget; exceeding it fails
+//     the session with ResourceExhausted instead of buffering without
+//     bound (Koch et al.'s buffer-minimization discipline applied as
+//     admission policy).
+//   - thread-safe result draining: the streaming side (Push/Close/
+//     Reset) is driven by exactly one worker thread at a time, while
+//     TakeItems / aggregates / buffered_bytes may be called from any
+//     thread concurrently.
+//
+// The streaming methods themselves are NOT mutually thread-safe; the
+// QueryService's per-session FIFO queue guarantees single-threaded,
+// in-order delivery per session.
+#ifndef XSQ_SERVICE_SESSION_H_
+#define XSQ_SERVICE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/compiled_plan.h"
+#include "core/streaming_query.h"
+#include "service/stats.h"
+
+namespace xsq::service {
+
+class Session {
+ public:
+  // `memory_budget` bounds the engine's buffered bytes (0 = unlimited).
+  // `stats`, if non-null, receives item counts and buffered-bytes gauge
+  // deltas; it must outlive the session.
+  static Result<std::unique_ptr<Session>> Create(
+      std::shared_ptr<const core::CompiledPlan> plan, size_t memory_budget,
+      ServiceStats* stats);
+
+  ~Session();
+
+  // --- streaming side: one thread at a time ---
+
+  // Feeds the next chunk of the current document. On failure (malformed
+  // input, engine error, memory budget exceeded) the session enters the
+  // failed state and every later streaming call returns the same error.
+  Status Push(std::string_view chunk);
+
+  // Ends the current document. Idempotent once successful.
+  Status Close();
+
+  // Rewinds for the next document, keeping the compiled plan and
+  // clearing any failure. Undrained items from the previous document
+  // remain drainable.
+  Status Reset();
+
+  // --- any thread ---
+
+  // Moves out every result item produced so far and not yet taken, in
+  // document order.
+  std::vector<std::string> TakeItems();
+
+  // Running / final aggregate value, for aggregation queries.
+  std::optional<double> current_aggregate() const;
+  std::optional<double> final_aggregate() const;
+
+  // Engine-buffered bytes after the most recent streaming call.
+  size_t buffered_bytes() const {
+    return buffered_.load(std::memory_order_relaxed);
+  }
+
+  // Most recent streaming status; non-OK means the session failed and
+  // must be Reset() before it can stream again.
+  Status status() const;
+  bool closed() const { return closed_.load(std::memory_order_relaxed); }
+
+  uint64_t items_produced() const {
+    return items_produced_.load(std::memory_order_relaxed);
+  }
+  const xpath::Query& query() const { return query_->query(); }
+
+ private:
+  Session(std::unique_ptr<core::StreamingQuery> query, size_t memory_budget,
+          ServiceStats* stats);
+
+  // Harvests new items/aggregates after an engine step, updates the
+  // buffered-bytes gauge, and records `step` as the session status.
+  Status AfterEngineStep(Status step);
+
+  const size_t memory_budget_;
+  ServiceStats* const stats_;  // may be null
+  std::unique_ptr<core::StreamingQuery> query_;
+
+  std::atomic<size_t> buffered_{0};
+  std::atomic<uint64_t> items_produced_{0};
+  std::atomic<bool> closed_{false};
+
+  mutable std::mutex mu_;  // guards the fields below
+  std::vector<std::string> pending_items_;
+  std::optional<double> current_aggregate_;
+  std::optional<double> final_aggregate_;
+  Status status_;
+};
+
+}  // namespace xsq::service
+
+#endif  // XSQ_SERVICE_SESSION_H_

@@ -1,0 +1,41 @@
+#include "service/stats.h"
+
+namespace xsq::service {
+
+std::string StatsSnapshot::ToString() const {
+  std::string out;
+  auto line = [&out](const char* name, uint64_t value) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  line("sessions_opened", sessions_opened);
+  line("sessions_rejected", sessions_rejected);
+  line("sessions_active", sessions_active);
+  line("chunks_processed", chunks_processed);
+  line("bytes_consumed", bytes_consumed);
+  line("items_emitted", items_emitted);
+  line("pushes_rejected", pushes_rejected);
+  line("queue_high_water", queue_high_water);
+  line("engine_buffered_bytes", engine_buffered_bytes);
+  line("plan_cache_hits", plan_cache_hits);
+  line("plan_cache_misses", plan_cache_misses);
+  line("plan_cache_evictions", plan_cache_evictions);
+  return out;
+}
+
+StatsSnapshot ServiceStats::Snapshot() const {
+  StatsSnapshot snap;
+  snap.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  snap.sessions_rejected = sessions_rejected_.load(std::memory_order_relaxed);
+  snap.chunks_processed = chunks_processed_.load(std::memory_order_relaxed);
+  snap.bytes_consumed = bytes_consumed_.load(std::memory_order_relaxed);
+  snap.items_emitted = items_emitted_.load(std::memory_order_relaxed);
+  snap.pushes_rejected = pushes_rejected_.load(std::memory_order_relaxed);
+  snap.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  snap.engine_buffered_bytes = buffered_bytes();
+  return snap;
+}
+
+}  // namespace xsq::service

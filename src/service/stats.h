@@ -1,0 +1,89 @@
+// ServiceStats: the observability surface of the query service.
+//
+// Counters are lock-free atomics updated from worker threads and the
+// client-facing API; Snapshot() assembles a consistent-enough plain
+// struct with relaxed loads, so reading statistics never stops the
+// world. `engine_buffered_bytes` is a gauge (sessions apply deltas as
+// their engines buffer and release items) — it is both a stat and the
+// input to the service's global memory admission check.
+#ifndef XSQ_SERVICE_STATS_H_
+#define XSQ_SERVICE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace xsq::service {
+
+// A point-in-time copy of every counter, safe to read and format at
+// leisure. Plan-cache counters are filled in by QueryService::stats()
+// from the PlanCache; they are zero in snapshots taken from a bare
+// ServiceStats.
+struct StatsSnapshot {
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_rejected = 0;   // admission control said no
+  uint64_t sessions_active = 0;
+  uint64_t chunks_processed = 0;
+  uint64_t bytes_consumed = 0;
+  uint64_t items_emitted = 0;
+  uint64_t pushes_rejected = 0;     // backpressure (queue or memory budget)
+  uint64_t queue_high_water = 0;    // most chunks ever queued on one session
+  uint64_t engine_buffered_bytes = 0;  // gauge: live engine buffers, summed
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_evictions = 0;
+
+  // One "name value" pair per line, stable names; the xsqd STATS
+  // command prints exactly this.
+  std::string ToString() const;
+};
+
+class ServiceStats {
+ public:
+  void RecordSessionOpened() { Inc(sessions_opened_); }
+  void RecordSessionRejected() { Inc(sessions_rejected_); }
+  void RecordPushRejected() { Inc(pushes_rejected_); }
+  void RecordChunk(size_t bytes) {
+    Inc(chunks_processed_);
+    bytes_consumed_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void RecordItems(uint64_t count) {
+    items_emitted_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void RecordQueueDepth(uint64_t depth) {
+    uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !queue_high_water_.compare_exchange_weak(
+               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  // Gauge maintenance; `delta` may be negative.
+  void AdjustBufferedBytes(int64_t delta) {
+    buffered_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t buffered_bytes() const {
+    int64_t v = buffered_bytes_.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<uint64_t>(v) : 0;
+  }
+
+  StatsSnapshot Snapshot() const;
+
+ private:
+  static void Inc(std::atomic<uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_rejected_{0};
+  std::atomic<uint64_t> chunks_processed_{0};
+  std::atomic<uint64_t> bytes_consumed_{0};
+  std::atomic<uint64_t> items_emitted_{0};
+  std::atomic<uint64_t> pushes_rejected_{0};
+  std::atomic<uint64_t> queue_high_water_{0};
+  std::atomic<int64_t> buffered_bytes_{0};
+};
+
+}  // namespace xsq::service
+
+#endif  // XSQ_SERVICE_STATS_H_

@@ -1,0 +1,371 @@
+// Tests for the concurrent query-service layer: plan cache LRU and
+// hit accounting, session lifecycle and budgets, backpressure, and a
+// multi-threaded stress test of the worker pool (run under
+// -DXSQ_SANITIZE=thread by tools/check.sh).
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/streaming_query.h"
+#include "service/plan_cache.h"
+#include "service/query_service.h"
+#include "service/session.h"
+#include "test_util.h"
+
+namespace xsq::service {
+namespace {
+
+using core::StreamingQuery;
+
+// ---------------------------------------------------------------- PlanCache
+
+TEST(PlanCacheTest, HitsSkipCompilation) {
+  PlanCache cache(8);
+  auto first = cache.GetOrCompile("//book/title/text()");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cache.GetOrCompile("//book/title/text()");
+  ASSERT_TRUE(second.ok());
+  // Same immutable plan object — the second open did not recompile.
+  EXPECT_EQ(first->get(), second->get());
+  PlanCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.misses, 1u);  // misses == compilations
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.evictions, 0u);
+}
+
+TEST(PlanCacheTest, NormalizesSurroundingWhitespace) {
+  PlanCache cache(8);
+  ASSERT_TRUE(cache.GetOrCompile("  //a/text()").ok());
+  ASSERT_TRUE(cache.GetOrCompile("//a/text()  \n").ok());
+  EXPECT_EQ(cache.counters().misses, 1u);
+  EXPECT_EQ(cache.counters().hits, 1u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  ASSERT_TRUE(cache.GetOrCompile("/a/text()").ok());   // {a}
+  ASSERT_TRUE(cache.GetOrCompile("/b/text()").ok());   // {b,a}
+  ASSERT_TRUE(cache.GetOrCompile("/a/text()").ok());   // hit; {a,b}
+  ASSERT_TRUE(cache.GetOrCompile("/c/text()").ok());   // evicts b; {c,a}
+  ASSERT_TRUE(cache.GetOrCompile("/b/text()").ok());   // miss again
+  PlanCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.evictions, 2u);  // b then a
+  EXPECT_EQ(counters.misses, 4u);
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCacheTest, CompileErrorsAreNotCached) {
+  PlanCache cache(2);
+  EXPECT_FALSE(cache.GetOrCompile("not a query").ok());
+  EXPECT_FALSE(cache.GetOrCompile("not a query").ok());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.counters().misses, 2u);
+}
+
+// A plan outlives its cache entry: sessions keep evicted plans alive.
+TEST(PlanCacheTest, EvictedPlansStayUsable) {
+  PlanCache cache(1);
+  auto plan = cache.GetOrCompile("//book/title/text()");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(cache.GetOrCompile("/other/text()").ok());  // evicts
+  auto query = StreamingQuery::Open(*plan);
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE((*query)->Push("<l><book><title>T</title></book></l>").ok());
+  ASSERT_TRUE((*query)->Close().ok());
+  EXPECT_EQ((*query)->NextItem().value_or(""), "T");
+}
+
+// ---------------------------------------------------------------- Session
+
+TEST(SessionTest, LifecycleAndReuseAcrossDocuments) {
+  auto plan = core::CompilePlan("//item/text()");
+  ASSERT_TRUE(plan.ok());
+  auto session = Session::Create(*plan, /*memory_budget=*/0, nullptr);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  ASSERT_TRUE((*session)->Push("<r><item>one</item>").ok());
+  ASSERT_TRUE((*session)->Push("<item>two</item></r>").ok());
+  ASSERT_TRUE((*session)->Close().ok());
+  EXPECT_EQ((*session)->TakeItems(),
+            (std::vector<std::string>{"one", "two"}));
+
+  ASSERT_TRUE((*session)->Reset().ok());
+  ASSERT_TRUE((*session)->Push("<r><item>three</item></r>").ok());
+  ASSERT_TRUE((*session)->Close().ok());
+  EXPECT_EQ((*session)->TakeItems(), (std::vector<std::string>{"three"}));
+  EXPECT_EQ((*session)->items_produced(), 3u);
+}
+
+TEST(SessionTest, MemoryBudgetFailsTheSession) {
+  // [late] stays undecided while <t> content streams past, forcing the
+  // engine to buffer the whole item; a tiny budget must trip.
+  auto plan = core::CompilePlan("/r/a[late]/t/text()");
+  ASSERT_TRUE(plan.ok());
+  auto session = Session::Create(*plan, /*memory_budget=*/16, nullptr);
+  ASSERT_TRUE(session.ok());
+  Status status =
+      (*session)->Push("<r><a><t>this text is far longer than the budget"
+                       " allows to be buffered</t>");
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+      << status.ToString();
+  // The failure is sticky until Reset.
+  EXPECT_EQ((*session)->Push("<x/>").code(),
+            StatusCode::kResourceExhausted);
+  ASSERT_TRUE((*session)->Reset().ok());
+  ASSERT_TRUE((*session)->Push("<r><a><t>ok</t>").ok());
+}
+
+TEST(SessionTest, ParseErrorsAreSticky) {
+  auto plan = core::CompilePlan("//a/text()");
+  ASSERT_TRUE(plan.ok());
+  auto session = Session::Create(*plan, 0, nullptr);
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE((*session)->Push("<a><b></a>").ok());
+  EXPECT_FALSE((*session)->Close().ok());
+  ASSERT_TRUE((*session)->Reset().ok());
+  ASSERT_TRUE((*session)->Push("<a>fine</a>").ok());
+  ASSERT_TRUE((*session)->Close().ok());
+  EXPECT_EQ((*session)->TakeItems(), (std::vector<std::string>{"fine"}));
+}
+
+// ------------------------------------------------------------ QueryService
+
+ServiceConfig SmallConfig(int workers) {
+  ServiceConfig config;
+  config.num_workers = workers;
+  config.max_sessions = 8;
+  config.max_queued_chunks_per_session = 4;
+  config.plan_cache_capacity = 4;
+  return config;
+}
+
+TEST(QueryServiceTest, EndToEndMatchesStreamingQuery) {
+  const std::string query_text = "//book[price<20]/title/text()";
+  const std::string doc =
+      "<catalog><book><title>A</title><price>10</price></book>"
+      "<book><title>B</title><price>99</price></book>"
+      "<book><title>C</title><price>5</price></book></catalog>";
+
+  auto direct = StreamingQuery::Open(query_text);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE((*direct)->Push(doc).ok());
+  ASSERT_TRUE((*direct)->Close().ok());
+  std::vector<std::string> expected;
+  while (auto item = (*direct)->NextItem()) expected.push_back(*item);
+
+  QueryService service(SmallConfig(2));
+  auto id = service.OpenSession(query_text);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  // Push in small chunks to exercise queueing.
+  for (size_t pos = 0; pos < doc.size(); pos += 16) {
+    Status status;
+    do {  // honor backpressure
+      status = service.Push(*id, doc.substr(pos, 16));
+    } while (status.code() == StatusCode::kResourceExhausted);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+  ASSERT_TRUE(service.Close(*id).ok());
+  EXPECT_EQ(service.Drain(*id), expected);
+  ASSERT_TRUE(service.Release(*id).ok());
+  EXPECT_EQ(service.active_sessions(), 0u);
+}
+
+TEST(QueryServiceTest, AdmissionControlRejectsAboveMaxSessions) {
+  ServiceConfig config = SmallConfig(1);
+  config.max_sessions = 2;
+  QueryService service(config);
+  auto a = service.OpenSession("/a/text()");
+  auto b = service.OpenSession("/b/text()");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = service.OpenSession("/c/text()");
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.stats().sessions_rejected, 1u);
+  // Releasing frees the slot.
+  ASSERT_TRUE(service.Release(*a).ok());
+  EXPECT_TRUE(service.OpenSession("/c/text()").ok());
+}
+
+TEST(QueryServiceTest, PushBackpressureWhenQueueFull) {
+  ServiceConfig config = SmallConfig(1);
+  config.max_queued_chunks_per_session = 2;
+  QueryService service(config);
+  // A session the single worker is guaranteed to be busy with: open a
+  // second session and stuff it first with a large chunk.
+  auto busy = service.OpenSession("//x/text()");
+  ASSERT_TRUE(busy.ok());
+  std::string big = "<r>";
+  for (int i = 0; i < 20000; ++i) big += "<x>filler</x>";
+  ASSERT_TRUE(service.Push(*busy, big).ok());
+
+  auto id = service.OpenSession("//a/text()");
+  ASSERT_TRUE(id.ok());
+  // With the worker occupied, the 3rd queued chunk must be rejected.
+  bool saw_backpressure = false;
+  for (int i = 0; i < 8; ++i) {
+    Status status = service.Push(*id, "<a>");
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+      saw_backpressure = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_backpressure);
+  EXPECT_GE(service.stats().pushes_rejected, 1u);
+}
+
+TEST(QueryServiceTest, PlanCacheIsSharedAcrossSessions) {
+  QueryService service(SmallConfig(2));
+  for (int i = 0; i < 6; ++i) {
+    auto id = service.OpenSession("//book/title/text()");
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(service.Push(*id, "<l><book><title>T</title></book></l>").ok());
+    ASSERT_TRUE(service.Close(*id).ok());
+    ASSERT_TRUE(service.Release(*id).ok());
+  }
+  StatsSnapshot snap = service.stats();
+  EXPECT_EQ(snap.plan_cache_misses, 1u);  // compiled exactly once
+  EXPECT_EQ(snap.plan_cache_hits, 5u);
+  EXPECT_EQ(snap.items_emitted, 6u);
+  EXPECT_EQ(snap.chunks_processed, 6u);
+}
+
+TEST(QueryServiceTest, SessionReuseAcrossDocuments) {
+  QueryService service(SmallConfig(2));
+  auto id = service.OpenSession("//item/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Push(*id, "<r><item>one</item></r>").ok());
+  ASSERT_TRUE(service.Close(*id).ok());
+  EXPECT_EQ(service.Drain(*id), (std::vector<std::string>{"one"}));
+  ASSERT_TRUE(service.ResetSession(*id).ok());
+  ASSERT_TRUE(service.Push(*id, "<r><item>two</item></r>").ok());
+  ASSERT_TRUE(service.Close(*id).ok());
+  EXPECT_EQ(service.Drain(*id), (std::vector<std::string>{"two"}));
+}
+
+TEST(QueryServiceTest, CloseSurfacesDocumentErrors) {
+  QueryService service(SmallConfig(2));
+  auto id = service.OpenSession("//a/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Push(*id, "<a><b></a>").ok());  // queued fine
+  EXPECT_FALSE(service.Close(*id).ok());  // evaluation failed
+}
+
+TEST(QueryServiceTest, ShutdownDrainsInFlightWork) {
+  QueryService service(SmallConfig(2));
+  auto id = service.OpenSession("//item/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Push(*id, "<r><item>last</item></r>").ok());
+  ASSERT_TRUE(service.Close(*id).ok());
+  service.Shutdown();
+  // Results survive shutdown; new work is refused.
+  EXPECT_EQ(service.Drain(*id), (std::vector<std::string>{"last"}));
+  EXPECT_FALSE(service.Push(*id, "<more/>").ok());
+  EXPECT_FALSE(service.OpenSession("/x/text()").ok());
+}
+
+// ------------------------------------------------------------- stress test
+
+// N client threads × M sessions each, interleaved chunks, results must
+// come back per-session complete and in document order.
+TEST(QueryServiceStressTest, ManyThreadsManySessionsKeepOrder) {
+  ServiceConfig config;
+  config.num_workers = 4;
+  config.max_sessions = 64;
+  config.max_queued_chunks_per_session = 8;
+  config.plan_cache_capacity = 4;
+  QueryService service(config);
+
+  constexpr int kThreads = 4;
+  constexpr int kSessionsPerThread = 4;
+  constexpr int kItemsPerDoc = 50;
+  std::atomic<int> failures{0};
+
+  auto client = [&](int thread_index) {
+    for (int s = 0; s < kSessionsPerThread; ++s) {
+      // Two query shapes so the plan cache sees hits and misses.
+      const char* query_text =
+          (s % 2 == 0) ? "//entry/text()" : "/doc/entry/text()";
+      auto id = service.OpenSession(query_text);
+      if (!id.ok()) { ++failures; return; }
+      std::vector<std::string> expected;
+      std::string doc = "<doc>";
+      for (int i = 0; i < kItemsPerDoc; ++i) {
+        char value[32];
+        std::snprintf(value, sizeof value, "t%ds%di%d", thread_index, s, i);
+        expected.push_back(value);
+        doc += "<entry>";
+        doc += value;
+        doc += "</entry>";
+      }
+      doc += "</doc>";
+      // Deliberately ragged chunk sizes to shake out ordering bugs.
+      size_t pos = 0;
+      int chunk_index = 0;
+      while (pos < doc.size()) {
+        size_t len = 7 + static_cast<size_t>((thread_index * 13 +
+                                              s * 5 + chunk_index) % 23);
+        len = std::min(len, doc.size() - pos);
+        Status status;
+        do {
+          status = service.Push(*id, doc.substr(pos, len));
+        } while (status.code() == StatusCode::kResourceExhausted);
+        if (!status.ok()) { ++failures; return; }
+        pos += len;
+        ++chunk_index;
+      }
+      if (!service.Close(*id).ok()) { ++failures; return; }
+      if (service.Drain(*id) != expected) { ++failures; return; }
+      if (!service.Release(*id).ok()) { ++failures; return; }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(client, t);
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  StatsSnapshot snap = service.stats();
+  EXPECT_EQ(snap.sessions_opened,
+            static_cast<uint64_t>(kThreads * kSessionsPerThread));
+  EXPECT_EQ(snap.items_emitted, static_cast<uint64_t>(
+                                    kThreads * kSessionsPerThread *
+                                    kItemsPerDoc));
+  // Two distinct query texts; concurrent first-time opens may race the
+  // (deliberately lock-free) compile step, so at most one extra compile
+  // per racing thread — never one per session.
+  EXPECT_GE(snap.plan_cache_misses, 2u);
+  EXPECT_LE(snap.plan_cache_misses, static_cast<uint64_t>(2 * kThreads));
+  EXPECT_EQ(snap.plan_cache_hits + snap.plan_cache_misses,
+            static_cast<uint64_t>(kThreads * kSessionsPerThread));
+  EXPECT_EQ(snap.sessions_active, 0u);
+}
+
+// Concurrent plan-cache access from many threads on overlapping keys.
+TEST(QueryServiceStressTest, PlanCacheConcurrentGetOrCompile) {
+  PlanCache cache(4);
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &failures, t] {
+      for (int i = 0; i < 50; ++i) {
+        std::string query_text =
+            "//q" + std::to_string((t + i) % 6) + "/text()";
+        if (!cache.GetOrCompile(query_text).ok()) ++failures;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(cache.size(), 4u);
+}
+
+}  // namespace
+}  // namespace xsq::service

@@ -81,6 +81,65 @@ TEST(StreamingQueryTest, PeakBufferReflectsEngineAccounting) {
   EXPECT_FALSE((*query)->NextItem().has_value());  // [late] never held
 }
 
+// One compiled query replayed over two documents must match two fresh
+// queries, on both engines (NC and F) and after error states.
+TEST(StreamingQueryTest, ResetReplaysOnNewDocument) {
+  const char* queries[] = {"/catalog/book[price<20]/title/text()",  // XSQ-NC
+                           "//book[price<20]/title/text()"};        // XSQ-F
+  const std::string docs[] = {
+      "<catalog><book><title>A</title><price>10</price></book>"
+      "<book><title>B</title><price>99</price></book></catalog>",
+      "<catalog><book><title>C</title><price>1</price></book></catalog>"};
+  for (const char* query_text : queries) {
+    auto reused = StreamingQuery::Open(query_text);
+    ASSERT_TRUE(reused.ok());
+    for (const std::string& doc : docs) {
+      auto fresh = StreamingQuery::Open(query_text);
+      ASSERT_TRUE(fresh.ok());
+      ASSERT_TRUE((*fresh)->Push(doc).ok());
+      ASSERT_TRUE((*fresh)->Close().ok());
+      ASSERT_TRUE((*reused)->Push(doc).ok());
+      ASSERT_TRUE((*reused)->Close().ok());
+      while (auto expected = (*fresh)->NextItem()) {
+        auto actual = (*reused)->NextItem();
+        ASSERT_TRUE(actual.has_value());
+        EXPECT_EQ(*actual, *expected) << query_text;
+      }
+      EXPECT_FALSE((*reused)->NextItem().has_value());
+      (*reused)->Reset();
+    }
+  }
+}
+
+TEST(StreamingQueryTest, ResetClearsErrorAndAggregateState) {
+  auto query = StreamingQuery::Open("/r/x/sum()");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE((*query)->Push("<r><x>1</x><bad").ok() &&
+               (*query)->Close().ok());
+  (*query)->Reset();
+  EXPECT_FALSE((*query)->current_aggregate().has_value());
+  ASSERT_TRUE((*query)->Push("<r><x>4</x></r>").ok());
+  ASSERT_TRUE((*query)->Close().ok());
+  EXPECT_DOUBLE_EQ((*query)->final_aggregate().value(), 4.0);
+}
+
+TEST(StreamingQueryTest, OpenFromSharedPlanMatchesTextOpen) {
+  auto plan = CompilePlan("//book/title/text()");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE((*plan)->deterministic);
+  auto a = StreamingQuery::Open(*plan);
+  auto b = StreamingQuery::Open(*plan);  // same plan, two engines
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const std::string doc = "<l><book><title>T</title></book></l>";
+  ASSERT_TRUE((*a)->Push(doc).ok());
+  ASSERT_TRUE((*b)->Push(doc).ok());
+  ASSERT_TRUE((*a)->Close().ok());
+  ASSERT_TRUE((*b)->Close().ok());
+  EXPECT_EQ((*a)->NextItem().value_or(""), "T");
+  EXPECT_EQ((*b)->NextItem().value_or(""), "T");
+}
+
 class StreamingQueryChunkingTest : public ::testing::TestWithParam<uint64_t> {
 };
 

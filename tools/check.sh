@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The per-PR verification gate:
+#   1. builds the default tree and runs the full tier-1 ctest suite;
+#   2. builds a ThreadSanitizer tree and re-runs the suite under TSan so
+#      the concurrent service layer is race-checked on every change.
+#
+# Usage: tools/check.sh [ctest-regex]
+#   tools/check.sh              # everything, both builds
+#   tools/check.sh Service      # only tests matching 'Service'
+# Env: BUILD_DIR (default build), TSAN_BUILD_DIR (default build-tsan),
+#      XSQ_SKIP_TSAN=1 to run only the plain build (e.g. no libtsan).
+set -eu
+cd "$(dirname "$0")/.."
+
+build_dir=${BUILD_DIR:-build}
+tsan_dir=${TSAN_BUILD_DIR:-build-tsan}
+filter=${1:-}
+ctest_args=(--output-on-failure -j "$(nproc)")
+if [ -n "$filter" ]; then
+  ctest_args+=(-R "$filter")
+fi
+
+echo "== plain build ($build_dir)"
+cmake -B "$build_dir" -S . >/dev/null
+cmake --build "$build_dir" -j "$(nproc)"
+(cd "$build_dir" && ctest "${ctest_args[@]}")
+
+if [ "${XSQ_SKIP_TSAN:-0}" = "1" ]; then
+  echo "== TSan build skipped (XSQ_SKIP_TSAN=1)"
+  exit 0
+fi
+
+echo "== ThreadSanitizer build ($tsan_dir)"
+cmake -B "$tsan_dir" -S . -DXSQ_SANITIZE=thread >/dev/null
+cmake --build "$tsan_dir" -j "$(nproc)"
+# halt_on_error turns any reported race into a test failure.
+(cd "$tsan_dir" &&
+  TSAN_OPTIONS="halt_on_error=1" ctest "${ctest_args[@]}")
+
+echo "check.sh: all green"

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the xsqd daemon's line protocol, run by
+# ctest (example_xsqd_smoke). Drives OPEN/PUSH/CLOSE/STATS through a
+# pipe and diffs the exact responses; the expected ITEM lines are what
+# StreamingQuery produces for the same query+document, so this pins the
+# daemon to the library's results.
+set -u
+xsqd=${1:?usage: xsqd_smoke.sh /path/to/xsqd}
+
+actual=$("$xsqd" --workers=2 <<'EOF'
+OPEN //book[price<20]/title/text()
+PUSH 1 <catalog><book><title>Cheap</title><price>10</price></book>
+PUSH 1 <book><title>Pricey</title><price>99</price></book></catalog>
+CLOSE 1
+OPEN /r/x/sum()
+PUSH 2 <r><x>1</x><x>2.5</x></r>
+CLOSE 2
+DRAIN 99
+QUIT
+EOF
+) || { echo "xsqd exited non-zero" >&2; exit 1; }
+
+expected='OK 1
+OK
+OK
+ITEM Cheap
+OK
+OK 2
+OK
+AGG 3.500000
+OK
+ERR InvalidArgument: unknown session id 99
+OK'
+
+if [ "$actual" != "$expected" ]; then
+  echo "xsqd protocol output mismatch" >&2
+  diff <(echo "$expected") <(echo "$actual") >&2
+  exit 1
+fi
+
+# A malformed query must answer ERR, not kill the daemon.
+bad=$(printf 'OPEN not a query\nQUIT\n' | "$xsqd" --workers=1)
+case $bad in
+  "ERR "*) ;;
+  *) echo "expected ERR for a malformed query, got: $bad" >&2; exit 1 ;;
+esac
+
+# STATS must report the work done and be line-parseable.
+stats=$("$xsqd" --workers=1 <<'EOF'
+OPEN //a/text()
+PUSH 1 <a>hi</a>
+CLOSE 1
+STATS
+QUIT
+EOF
+)
+for key in sessions_opened chunks_processed items_emitted plan_cache_misses; do
+  if ! echo "$stats" | grep -q "^STAT $key "; then
+    echo "STATS output missing '$key':" >&2
+    echo "$stats" >&2
+    exit 1
+  fi
+done
+if ! echo "$stats" | grep -q "^STAT items_emitted 1$"; then
+  echo "expected exactly one emitted item in STATS:" >&2
+  echo "$stats" >&2
+  exit 1
+fi
+echo "xsqd smoke OK"
