@@ -1,0 +1,267 @@
+// Extension experiment: the event-tape subsystem (parse once, replay
+// many). Three questions, each a table:
+//
+//   (a) How much faster is replaying a recorded tape than re-parsing
+//       the source XML? (The parse tax the tape amortizes; the
+//       acceptance bar is >= 2x on DBLP-like input.)
+//   (b) How does parse-once-run-N scale against ext_multiquery's
+//       shared-parse baseline? Four strategies evaluate the same N
+//       queries: N separate parses, one shared parse (MultiQueryEngine),
+//       one record + N single-engine replays, and one record + one
+//       MultiQueryEngine replay.
+//   (c) What does record-time projection buy? Tape size and replay+query
+//       time for a selective query per corpus, full vs projected tape.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/multi_query.h"
+#include "core/result_sink.h"
+#include "core/streaming_query.h"
+#include "datagen/generators.h"
+#include "fig_util.h"
+#include "tape/projection.h"
+#include "tape/recorder.h"
+#include "tape/replayer.h"
+#include "xml/sax_parser.h"
+
+namespace xsq::bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// The cheapest possible consumer: counts events so neither the parser
+// nor the replayer can be optimized away.
+class CountingHandler : public xml::SaxHandler {
+ public:
+  void OnBegin(std::string_view, const std::vector<xml::Attribute>& attrs,
+               int) override {
+    events_ += 1 + static_cast<uint64_t>(attrs.size());
+  }
+  void OnEnd(std::string_view, int) override { ++events_; }
+  void OnText(std::string_view, std::string_view text, int) override {
+    events_ += 1 + static_cast<uint64_t>(!text.empty());
+  }
+  uint64_t events() const { return events_; }
+
+ private:
+  uint64_t events_ = 0;
+};
+
+double MbPerS(size_t bytes, double seconds) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
+}
+
+template <typename Fn>
+double BestOf(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    double t = Seconds(start);
+    if (i == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+struct Corpus {
+  const char* name;
+  std::string xml;
+  const char* query;  // selective query used for projection (c)
+};
+
+int ReplayVsReparse(const std::vector<Corpus>& corpora, bool* dblp_ok) {
+  std::printf("\n(a) Replay vs re-parse (event delivery only)\n");
+  TablePrinter table({"Corpus", "Size", "Parse MB/s", "Replay MB/s",
+                      "Speedup", "Tape bytes/src"});
+  for (const Corpus& corpus : corpora) {
+    Result<tape::Tape> tape = tape::RecordDocument(corpus.xml);
+    if (!tape.ok()) {
+      std::fprintf(stderr, "%s: %s\n", corpus.name,
+                   tape.status().ToString().c_str());
+      return 1;
+    }
+    double parse = BestOf(3, [&corpus] {
+      CountingHandler sink;
+      xml::SaxParser parser(&sink);
+      (void)parser.Parse(corpus.xml);
+    });
+    double replay = BestOf(3, [&tape] {
+      CountingHandler sink;
+      (void)tape::Replay(*tape, &sink);
+    });
+    double speedup = parse / replay;
+    if (std::string_view(corpus.name) == "DBLP" && dblp_ok != nullptr) {
+      *dblp_ok = speedup >= 2.0;
+    }
+    table.AddRow({corpus.name, FormatBytes(corpus.xml.size()),
+                  FormatDouble(MbPerS(corpus.xml.size(), parse), 1),
+                  FormatDouble(MbPerS(corpus.xml.size(), replay), 1),
+                  FormatDouble(speedup, 2),
+                  FormatDouble(static_cast<double>(tape->memory_bytes()) /
+                                   static_cast<double>(corpus.xml.size()),
+                               2)});
+  }
+  table.Print();
+  return 0;
+}
+
+std::vector<std::string> DblpQueries(int n) {
+  const char* base[] = {
+      "/dblp/article/title/text()",
+      "/dblp/inproceedings[author]/title/text()",
+      "//inproceedings/booktitle/text()",
+      "/dblp/article[year>1995]/author/text()",
+      "//article/year/count()",
+      "/dblp/*/pages/text()",
+      "//inproceedings[@key]/year/text()",
+      "/dblp/article/journal/text()",
+  };
+  std::vector<std::string> queries;
+  for (int i = 0; i < n; ++i) {
+    queries.emplace_back(base[static_cast<size_t>(i) % std::size(base)]);
+  }
+  return queries;
+}
+
+int ParseOnceRunN(const std::string& xml) {
+  std::printf("\n(b) Parse-once-run-N on DBLP (%s)\n",
+              FormatBytes(xml.size()).c_str());
+  Result<tape::Tape> tape = tape::RecordDocument(xml);
+  if (!tape.ok()) return 1;
+
+  TablePrinter table({"Queries", "Separate (ms)", "SharedParse (ms)",
+                      "Replay xN (ms)", "Replay+multi (ms)",
+                      "Best speedup"});
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    std::vector<std::string> queries = DblpQueries(n);
+
+    // N independent parse+evaluate passes (the naive baseline).
+    double separate = BestOf(1, [&queries, &xml] {
+      for (const std::string& query : queries) {
+        core::CountingSink sink;
+        auto parsed = xpath::ParseQuery(query);
+        auto engine = core::XsqEngine::Create(*parsed, &sink);
+        xml::SaxParser parser(engine->get());
+        (void)parser.Parse(xml);
+      }
+    });
+
+    // One parse fanned out to N engines (ext_multiquery's approach).
+    double shared = BestOf(1, [&queries, &xml] {
+      std::vector<core::CountingSink> sinks(queries.size());
+      core::MultiQueryEngine multi;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        (void)multi.AddQuery(queries[i], &sinks[i]);
+      }
+      xml::SaxParser parser(&multi);
+      (void)parser.Parse(xml);
+    });
+
+    // One record (already paid), then one replay per query.
+    double replay_each = BestOf(1, [&queries, &tape] {
+      for (const std::string& query : queries) {
+        core::CountingSink sink;
+        auto parsed = xpath::ParseQuery(query);
+        auto engine = core::XsqEngine::Create(*parsed, &sink);
+        (void)tape::Replay(*tape, engine->get());
+      }
+    });
+
+    // One replay fanned out to N engines: parsing amortized to zero AND
+    // event dispatch shared.
+    double replay_multi = BestOf(1, [&queries, &tape] {
+      std::vector<core::CountingSink> sinks(queries.size());
+      core::MultiQueryEngine multi;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        (void)multi.AddQuery(queries[i], &sinks[i]);
+      }
+      (void)tape::Replay(*tape, &multi);
+    });
+
+    double best = replay_multi < replay_each ? replay_multi : replay_each;
+    table.AddRow({std::to_string(n), FormatDouble(separate * 1e3, 1),
+                  FormatDouble(shared * 1e3, 1),
+                  FormatDouble(replay_each * 1e3, 1),
+                  FormatDouble(replay_multi * 1e3, 1),
+                  FormatDouble(separate / best, 2)});
+  }
+  table.Print();
+  return 0;
+}
+
+int ProjectionEffect(const std::vector<Corpus>& corpora) {
+  std::printf("\n(c) Record-time projection for one selective query\n");
+  TablePrinter table({"Corpus", "Query", "Full tape", "Projected",
+                      "Tape ratio", "Q speedup"});
+  for (const Corpus& corpus : corpora) {
+    Result<tape::Tape> full = tape::RecordDocument(corpus.xml);
+    if (!full.ok()) return 1;
+    auto plan = core::CompilePlan(corpus.query);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "%s: %s\n", corpus.query,
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    tape::ProjectionMask mask = tape::ProjectionMask::FromPlans({*plan});
+    Result<tape::Tape> projected = tape::RecordDocument(corpus.xml, &mask);
+    if (!projected.ok()) return 1;
+
+    auto run_query = [&corpus](const tape::Tape& tape) {
+      auto query = core::StreamingQuery::Open(corpus.query);
+      (void)tape::Replay(tape, (*query)->event_handler());
+      (void)(*query)->FinishEvents();
+    };
+    double on_full = BestOf(3, [&] { run_query(*full); });
+    double on_projected = BestOf(3, [&] { run_query(*projected); });
+
+    table.AddRow(
+        {corpus.name, corpus.query, FormatBytes(full->memory_bytes()),
+         FormatBytes(projected->memory_bytes()),
+         FormatDouble(static_cast<double>(projected->memory_bytes()) /
+                          static_cast<double>(full->memory_bytes()),
+                      2),
+         FormatDouble(on_full / on_projected, 2)});
+  }
+  table.Print();
+  return 0;
+}
+
+int Main() {
+  PrintHeader("Extension: event tapes",
+              "parse-once/replay-many with record-time projection");
+  std::vector<Corpus> corpora;
+  corpora.push_back({"SHAKE", datagen::GenerateShake(ScaledBytes(4u << 20), 1),
+                     "/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()"});
+  corpora.push_back({"NASA", datagen::GenerateNasa(ScaledBytes(6u << 20), 1),
+                     "/datasets/dataset/reference/source/other/name/text()"});
+  corpora.push_back({"DBLP", datagen::GenerateDblp(ScaledBytes(6u << 20), 1),
+                     "/dblp/inproceedings[author]/title/text()"});
+  corpora.push_back({"PSD", datagen::GeneratePsd(ScaledBytes(8u << 20), 1),
+                     "/ProteinDatabase/ProteinEntry/reference/refinfo/"
+                     "authors/author/text()"});
+
+  bool dblp_ok = false;
+  if (ReplayVsReparse(corpora, &dblp_ok) != 0) return 1;
+  if (ParseOnceRunN(corpora[2].xml) != 0) return 1;
+  if (ProjectionEffect(corpora) != 0) return 1;
+
+  std::printf(
+      "\nExpected shape: replay skips tokenization/well-formedness work,\n"
+      "so (a) clears 2x over re-parsing (checked on DBLP: %s); (b) the\n"
+      "tape strategies beat ext_multiquery's shared parse because the\n"
+      "remaining per-run parse cost drops to event dispatch; (c) selective\n"
+      "queries shrink the tape and speed up replay proportionally.\n",
+      dblp_ok ? "PASS" : "FAIL");
+  return dblp_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xsq::bench
+
+int main() { return xsq::bench::Main(); }

@@ -14,15 +14,24 @@
 //                         [AGG <number>] OK        remaining items, the final
 //                                                  aggregate if any, then
 //                                                  releases the session
+//   RECORD <name> <doc>-> OK <events> <bytes>     parse once, cache the tape
+//   RUNCACHED <id> <name>                         replay the cached tape into
+//                      -> ITEM <value>...         the session; prints items,
+//                         [AGG <number>] OK       the aggregate if any, and
+//                                                 keeps the session open for
+//                                                 the next RUNCACHED
+//   EVICT <name>       -> OK                      drop a cached tape
 //   STATS              -> STAT <name> <value>... OK
 //   QUIT               -> OK (and exit; EOF quits too)
 // Any failure answers "ERR <Code>: <message>" instead of OK.
 //
 // Chunk and item payloads are escaped so arbitrary document bytes fit
-// on one line: "\n" = newline, "\t" = tab, "\\" = backslash.
+// on one line: "\n" = newline, "\t" = tab, "\\" = backslash. Document
+// names must not contain spaces.
 //
 // Flags: --workers=N (default 4), --max-sessions=N,
-//        --session-memory-budget=BYTES, --plan-cache=N.
+//        --session-memory-budget=BYTES, --plan-cache=N,
+//        --doc-cache=N, --doc-cache-bytes=BYTES.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -106,6 +115,15 @@ void PrintItems(QueryService& service, SessionId id) {
   }
 }
 
+// "RECORD shake <doc>" -> name="shake", rest="<doc>". Empty on no name.
+std::string_view TakeWord(std::string_view* rest) {
+  size_t space = rest->find(' ');
+  std::string_view word = rest->substr(0, space);
+  *rest = space == std::string_view::npos ? std::string_view()
+                                          : rest->substr(space + 1);
+  return word;
+}
+
 size_t FlagValue(std::string_view arg, size_t fallback) {
   size_t eq = arg.find('=');
   if (eq == std::string_view::npos) return fallback;
@@ -128,6 +146,11 @@ int main(int argc, char** argv) {
           FlagValue(arg, config.per_session_memory_budget);
     } else if (arg.rfind("--plan-cache", 0) == 0) {
       config.plan_cache_capacity = FlagValue(arg, config.plan_cache_capacity);
+    } else if (arg.rfind("--doc-cache-bytes", 0) == 0) {
+      config.doc_cache_byte_budget =
+          FlagValue(arg, config.doc_cache_byte_budget);
+    } else if (arg.rfind("--doc-cache", 0) == 0) {
+      config.doc_cache_capacity = FlagValue(arg, config.doc_cache_capacity);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
       return 2;
@@ -188,6 +211,43 @@ int main(int argc, char** argv) {
         }
         service.Release(*id);
         ReplyStatus(status);
+      }
+    } else if (command == "RECORD") {
+      std::string_view name = TakeWord(&rest);
+      if (name.empty()) {
+        Reply("ERR InvalidArgument: missing document name");
+      } else {
+        auto tape = service.RecordDocument(name, Unescape(rest));
+        if (tape.ok()) {
+          Reply("OK " + std::to_string((*tape)->event_count()) + " " +
+                std::to_string((*tape)->memory_bytes()));
+        } else {
+          Reply("ERR " + tape.status().ToString());
+        }
+      }
+    } else if (command == "RUNCACHED") {
+      std::optional<SessionId> id = ParseId(&rest);
+      std::string_view name = TakeWord(&rest);
+      if (!id.has_value()) {
+        Reply("ERR InvalidArgument: bad session id");
+      } else if (name.empty()) {
+        Reply("ERR InvalidArgument: missing document name");
+      } else {
+        xsq::Status status = service.RunCached(*id, name);
+        PrintItems(service, *id);
+        if (status.ok()) {
+          if (std::optional<double> agg = service.FinalAggregate(*id)) {
+            Reply("AGG " + std::to_string(*agg));
+          }
+        }
+        ReplyStatus(status);
+      }
+    } else if (command == "EVICT") {
+      std::string_view name = TakeWord(&rest);
+      if (name.empty()) {
+        Reply("ERR InvalidArgument: missing document name");
+      } else {
+        ReplyStatus(service.EvictDocument(name));
       }
     } else if (command == "STATS") {
       xsq::service::StatsSnapshot snap = service.stats();

@@ -51,6 +51,21 @@ Status StreamingQuery::Close() {
   return nc_engine_->status();
 }
 
+xml::SaxHandler* StreamingQuery::event_handler() {
+  if (f_engine_ != nullptr) return f_engine_.get();
+  return nc_engine_.get();
+}
+
+Status StreamingQuery::engine_status() const {
+  if (f_engine_ != nullptr) return f_engine_->status();
+  return nc_engine_->status();
+}
+
+Status StreamingQuery::FinishEvents() {
+  closed_ = true;
+  return engine_status();
+}
+
 void StreamingQuery::Reset() {
   parser_->Reset();
   if (f_engine_ != nullptr) f_engine_->Reset();

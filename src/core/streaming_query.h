@@ -56,6 +56,27 @@ class StreamingQuery {
   // Declares end of input. Idempotent after success.
   Status Close();
 
+  // --- event-level ingestion (tape replay) ---
+  //
+  // Instead of pushing bytes through the parser, a caller holding an
+  // already-parsed event stream (a tape::TapeReplayer, a tee of another
+  // parse) can deliver events straight to the engine. The stream must
+  // be a complete, well-formed document sequence ending in
+  // OnDocumentEnd; mixing event delivery and Push on one document is
+  // unsupported.
+
+  // The engine as a SaxHandler. Invalid to call after Close() until
+  // Reset().
+  xml::SaxHandler* event_handler();
+
+  // Engine health between event batches (what Push would have
+  // returned).
+  Status engine_status() const;
+
+  // Marks the document complete after direct event delivery; afterwards
+  // the query behaves exactly as after Close().
+  Status FinishEvents();
+
   // Rewinds parser, engine, and collected results so the same compiled
   // query can process a new document. Valid in any state, including
   // after a parse error or Close().

@@ -1,0 +1,76 @@
+#include "service/document_cache.h"
+
+namespace xsq::service {
+
+DocumentCache::DocumentCache(size_t capacity, size_t byte_budget)
+    : capacity_(capacity == 0 ? 1 : capacity), byte_budget_(byte_budget) {}
+
+std::shared_ptr<const tape::Tape> DocumentCache::Get(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->tape;
+}
+
+void DocumentCache::Put(std::string_view name,
+                        std::shared_ptr<const tape::Tape> tape) {
+  if (tape == nullptr) return;
+  size_t bytes = tape->memory_bytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    resident_bytes_ -= it->second->bytes;
+    resident_bytes_ += bytes;
+    it->second->tape = std::move(tape);
+    it->second->bytes = bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{std::string(name), std::move(tape), bytes});
+    index_[std::string_view(lru_.front().name)] = lru_.begin();
+    resident_bytes_ += bytes;
+  }
+  EvictToBoundsLocked();
+}
+
+bool DocumentCache::Evict(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end()) return false;
+  resident_bytes_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void DocumentCache::EvictToBoundsLocked() {
+  // Never evict the most recent entry: an oversized tape the caller just
+  // recorded must stay resident or the cache can thrash to empty.
+  while (lru_.size() > 1 &&
+         (lru_.size() > capacity_ ||
+          (byte_budget_ > 0 && resident_bytes_ > byte_budget_))) {
+    resident_bytes_ -= lru_.back().bytes;
+    index_.erase(std::string_view(lru_.back().name));
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+DocumentCache::Counters DocumentCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters counters = counters_;
+  counters.resident_documents = lru_.size();
+  counters.resident_bytes = resident_bytes_;
+  return counters;
+}
+
+size_t DocumentCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace xsq::service

@@ -1,0 +1,87 @@
+// DocumentCache: a thread-safe, bounded LRU cache of recorded event
+// tapes, keyed by caller-chosen document name.
+//
+// The parse-once/replay-many companion of the PlanCache: where that
+// cache amortizes query compilation across sessions, this one amortizes
+// document parsing across queries. A tape recorded once (optionally
+// projected down at record time) serves every session that ever queries
+// the same document. Entries are shared_ptr<const Tape>, so an evicted
+// tape stays valid for replays already holding it.
+//
+// Eviction is LRU, bounded two ways: by entry count (`capacity`) and by
+// total resident bytes (`byte_budget`, Tape::memory_bytes summed; 0 =
+// unlimited). A single tape larger than the whole byte budget is
+// admitted alone — rejecting it would make the cache silently useless
+// for the one document the caller just paid to record.
+#ifndef XSQ_SERVICE_DOCUMENT_CACHE_H_
+#define XSQ_SERVICE_DOCUMENT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "tape/tape.h"
+
+namespace xsq::service {
+
+class DocumentCache {
+ public:
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t resident_documents = 0;
+    uint64_t resident_bytes = 0;
+  };
+
+  // `capacity` is the maximum number of cached tapes (at least 1);
+  // `byte_budget` bounds their summed memory_bytes (0 = unlimited).
+  explicit DocumentCache(size_t capacity, size_t byte_budget = 0);
+
+  DocumentCache(const DocumentCache&) = delete;
+  DocumentCache& operator=(const DocumentCache&) = delete;
+
+  // Returns the tape recorded under `name`, refreshing its recency, or
+  // null on a miss.
+  std::shared_ptr<const tape::Tape> Get(std::string_view name);
+
+  // Inserts (or replaces) `name`'s tape and evicts LRU entries until
+  // both bounds hold again. Replacement does not count as an eviction.
+  void Put(std::string_view name, std::shared_ptr<const tape::Tape> tape);
+
+  // Drops `name`'s entry; false if it was not resident. Explicit
+  // eviction is not counted in `evictions` (that counter measures
+  // budget pressure).
+  bool Evict(std::string_view name);
+
+  Counters counters() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::shared_ptr<const tape::Tape> tape;
+    size_t bytes = 0;  // memory_bytes at insert, stable for accounting
+  };
+
+  // Requires mu_: pops LRU entries until count and byte bounds hold.
+  void EvictToBoundsLocked();
+
+  const size_t capacity_;
+  const size_t byte_budget_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> index_;
+  size_t resident_bytes_ = 0;
+  Counters counters_;
+};
+
+}  // namespace xsq::service
+
+#endif  // XSQ_SERVICE_DOCUMENT_CACHE_H_

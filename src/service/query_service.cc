@@ -1,9 +1,14 @@
 #include "service/query_service.h"
 
+#include "tape/projection.h"
+#include "tape/recorder.h"
+
 namespace xsq::service {
 
 QueryService::QueryService(ServiceConfig config)
-    : config_(config), plan_cache_(config.plan_cache_capacity) {
+    : config_(config),
+      plan_cache_(config.plan_cache_capacity),
+      doc_cache_(config.doc_cache_capacity, config.doc_cache_byte_budget) {
   int workers = config_.num_workers < 1 ? 1 : config_.num_workers;
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -165,6 +170,76 @@ Status QueryService::ResetSession(SessionId id) {
   return status;
 }
 
+Result<std::shared_ptr<const tape::Tape>> QueryService::RecordDocument(
+    std::string_view name, std::string_view document,
+    const std::vector<std::string>& projection_queries) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return Status::InvalidArgument("service is shut down");
+  }
+  if (name.empty()) return Status::InvalidArgument("empty document name");
+
+  tape::ProjectionMask mask;
+  if (!projection_queries.empty()) {
+    std::vector<std::shared_ptr<const core::CompiledPlan>> plans;
+    plans.reserve(projection_queries.size());
+    for (const std::string& query_text : projection_queries) {
+      XSQ_ASSIGN_OR_RETURN(std::shared_ptr<const core::CompiledPlan> plan,
+                           plan_cache_.GetOrCompile(query_text));
+      plans.push_back(std::move(plan));
+    }
+    mask = tape::ProjectionMask::FromPlans(plans);
+  }
+  XSQ_ASSIGN_OR_RETURN(
+      tape::Tape recorded,
+      tape::RecordDocument(document,
+                           projection_queries.empty() ? nullptr : &mask));
+  auto tape = std::make_shared<const tape::Tape>(std::move(recorded));
+  doc_cache_.Put(name, tape);
+  return tape;
+}
+
+Status QueryService::RunCached(SessionId id, std::string_view name) {
+  std::shared_ptr<const tape::Tape> tape = doc_cache_.Get(name);
+  if (tape == nullptr) {
+    return Status::InvalidArgument("document not recorded: " +
+                                   std::string(name));
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) return Status::InvalidArgument("service is shut down");
+  XSQ_ASSIGN_OR_RETURN(std::shared_ptr<SessionState> state, FindLocked(id));
+  WaitUntilIdle(lock, state);
+  // Claim the session so no worker can touch it while we replay inline
+  // (same discipline as ResetSession; Push/Close on this id block on
+  // mu_ until the claim is visible).
+  state->scheduled = true;
+  lock.unlock();
+
+  // Rewind a session that already served a document (or failed) so
+  // RunCached composes back to back without an explicit reset.
+  Status status = Status::OK();
+  if (state->session->closed() || !state->session->status().ok()) {
+    status = state->session->Reset();
+  }
+  if (status.ok()) status = state->session->RunTape(*tape);
+
+  lock.lock();
+  state->scheduled = false;
+  state->close_requested = false;
+  if (!state->queue.empty()) ScheduleLocked(state);
+  idle_cv_.notify_all();
+  return status;
+}
+
+Status QueryService::EvictDocument(std::string_view name) {
+  if (!doc_cache_.Evict(name)) {
+    return Status::InvalidArgument("document not recorded: " +
+                                   std::string(name));
+  }
+  return Status::OK();
+}
+
 std::vector<std::string> QueryService::Drain(SessionId id) {
   std::shared_ptr<SessionState> state;
   {
@@ -217,6 +292,12 @@ StatsSnapshot QueryService::stats() const {
   snap.plan_cache_hits = cache.hits;
   snap.plan_cache_misses = cache.misses;
   snap.plan_cache_evictions = cache.evictions;
+  DocumentCache::Counters docs = doc_cache_.counters();
+  snap.doc_cache_hits = docs.hits;
+  snap.doc_cache_misses = docs.misses;
+  snap.doc_cache_evictions = docs.evictions;
+  snap.doc_cache_documents = docs.resident_documents;
+  snap.doc_cache_bytes = docs.resident_bytes;
   return snap;
 }
 

@@ -49,9 +49,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "service/document_cache.h"
 #include "service/plan_cache.h"
 #include "service/session.h"
 #include "service/stats.h"
+#include "tape/tape.h"
 
 namespace xsq::service {
 
@@ -72,6 +74,10 @@ struct ServiceConfig {
   size_t global_memory_budget = 0;
   // Compiled plans kept by the LRU plan cache.
   size_t plan_cache_capacity = 128;
+  // Recorded tapes kept by the LRU document cache.
+  size_t doc_cache_capacity = 64;
+  // Byte budget for resident tapes (0 = unlimited).
+  size_t doc_cache_byte_budget = 0;
 };
 
 class QueryService {
@@ -100,6 +106,31 @@ class QueryService {
   // document (same compiled plan, failures cleared).
   Status ResetSession(SessionId id);
 
+  // --- parse-once/replay-many document serving ---
+
+  // Parses `document` once, records it as a tape under `name` in the
+  // document cache (replacing any previous recording), and returns the
+  // tape. If `projection_queries` is non-empty, the tape is projected at
+  // record time: events provably irrelevant to every listed query are
+  // dropped, shrinking the tape while keeping RunCached results for
+  // those queries (and any query they subsume) identical. The queries
+  // are compiled through the plan cache, warming it for later sessions.
+  Result<std::shared_ptr<const tape::Tape>> RecordDocument(
+      std::string_view name, std::string_view document,
+      const std::vector<std::string>& projection_queries = {});
+
+  // Evaluates the cached document `name` on session `id` by replaying
+  // its tape, synchronously on the calling thread. The session is
+  // rewound first if it already served a document or failed, so one
+  // session can RunCached any number of documents back to back. Returns
+  // the session's terminal status; results are drainable as after
+  // Close. InvalidArgument when `name` is not resident.
+  Status RunCached(SessionId id, std::string_view name);
+
+  // Drops `name`'s tape from the document cache. InvalidArgument when
+  // it is not resident. In-flight replays keep their tape alive.
+  Status EvictDocument(std::string_view name);
+
   // True while `id` is open (between OpenSession and Release).
   bool HasSession(SessionId id) const;
 
@@ -122,6 +153,7 @@ class QueryService {
   StatsSnapshot stats() const;
 
   const PlanCache& plan_cache() const { return plan_cache_; }
+  const DocumentCache& document_cache() const { return doc_cache_; }
   size_t active_sessions() const;
 
  private:
@@ -153,6 +185,7 @@ class QueryService {
 
   const ServiceConfig config_;
   PlanCache plan_cache_;
+  DocumentCache doc_cache_;
   ServiceStats stats_;
 
   mutable std::mutex mu_;

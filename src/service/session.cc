@@ -1,6 +1,14 @@
 #include "service/session.h"
 
+#include "tape/replayer.h"
+
 namespace xsq::service {
+
+namespace {
+// Events replayed between budget checks. Large enough that the check is
+// noise, small enough that a runaway document trips the budget promptly.
+constexpr size_t kReplayBatchEvents = 8192;
+}  // namespace
 
 Result<std::unique_ptr<Session>> Session::Create(
     std::shared_ptr<const core::CompiledPlan> plan, size_t memory_budget,
@@ -73,6 +81,26 @@ Status Session::Close() {
   if (closed()) return Status::OK();
   Status step = AfterEngineStep(query_->Close());
   if (step.ok()) closed_.store(true, std::memory_order_relaxed);
+  return step;
+}
+
+Status Session::RunTape(const tape::Tape& tape) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status_.ok()) return status_;
+  }
+  if (closed()) return Status::InvalidArgument("RunTape on closed session");
+
+  tape::TapeReplayer replayer(tape);
+  xml::SaxHandler* handler = query_->event_handler();
+  while (replayer.Step(handler, kReplayBatchEvents)) {
+    Status step = AfterEngineStep(query_->engine_status());
+    if (!step.ok()) return step;
+  }
+  if (!replayer.status().ok()) return AfterEngineStep(replayer.status());
+  Status step = AfterEngineStep(query_->FinishEvents());
+  if (step.ok()) closed_.store(true, std::memory_order_relaxed);
+  if (stats_ != nullptr) stats_->RecordTapeReplay(replayer.events_emitted());
   return step;
 }
 

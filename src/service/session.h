@@ -37,6 +37,7 @@
 #include "core/compiled_plan.h"
 #include "core/streaming_query.h"
 #include "service/stats.h"
+#include "tape/tape.h"
 
 namespace xsq::service {
 
@@ -60,6 +61,14 @@ class Session {
 
   // Ends the current document. Idempotent once successful.
   Status Close();
+
+  // Evaluates an entire recorded document by replaying `tape` into the
+  // engine, then closes the document. Replay happens in bounded event
+  // batches with the memory budget re-checked between batches, exactly
+  // as Push re-checks per chunk. The session must be fresh (not closed,
+  // no bytes pushed); on success it ends in the closed state with
+  // results drainable as usual.
+  Status RunTape(const tape::Tape& tape);
 
   // Rewinds for the next document, keeping the compiled plan and
   // clearing any failure. Undrained items from the previous document

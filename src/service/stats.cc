@@ -22,6 +22,13 @@ std::string StatsSnapshot::ToString() const {
   line("plan_cache_hits", plan_cache_hits);
   line("plan_cache_misses", plan_cache_misses);
   line("plan_cache_evictions", plan_cache_evictions);
+  line("doc_cache_hits", doc_cache_hits);
+  line("doc_cache_misses", doc_cache_misses);
+  line("doc_cache_evictions", doc_cache_evictions);
+  line("doc_cache_documents", doc_cache_documents);
+  line("doc_cache_bytes", doc_cache_bytes);
+  line("tape_replays", tape_replays);
+  line("tape_events_replayed", tape_events_replayed);
   return out;
 }
 
@@ -35,6 +42,9 @@ StatsSnapshot ServiceStats::Snapshot() const {
   snap.pushes_rejected = pushes_rejected_.load(std::memory_order_relaxed);
   snap.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
   snap.engine_buffered_bytes = buffered_bytes();
+  snap.tape_replays = tape_replays_.load(std::memory_order_relaxed);
+  snap.tape_events_replayed =
+      tape_events_replayed_.load(std::memory_order_relaxed);
   return snap;
 }
 

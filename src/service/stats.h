@@ -32,6 +32,13 @@ struct StatsSnapshot {
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
   uint64_t plan_cache_evictions = 0;
+  uint64_t doc_cache_hits = 0;
+  uint64_t doc_cache_misses = 0;
+  uint64_t doc_cache_evictions = 0;
+  uint64_t doc_cache_documents = 0;  // gauge: tapes resident
+  uint64_t doc_cache_bytes = 0;      // gauge: their summed memory_bytes
+  uint64_t tape_replays = 0;         // documents served from tape
+  uint64_t tape_events_replayed = 0;
 
   // One "name value" pair per line, stable names; the xsqd STATS
   // command prints exactly this.
@@ -49,6 +56,10 @@ class ServiceStats {
   }
   void RecordItems(uint64_t count) {
     items_emitted_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void RecordTapeReplay(uint64_t events) {
+    Inc(tape_replays_);
+    tape_events_replayed_.fetch_add(events, std::memory_order_relaxed);
   }
   void RecordQueueDepth(uint64_t depth) {
     uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
@@ -82,6 +93,8 @@ class ServiceStats {
   std::atomic<uint64_t> pushes_rejected_{0};
   std::atomic<uint64_t> queue_high_water_{0};
   std::atomic<int64_t> buffered_bytes_{0};
+  std::atomic<uint64_t> tape_replays_{0};
+  std::atomic<uint64_t> tape_events_replayed_{0};
 };
 
 }  // namespace xsq::service

@@ -1,0 +1,126 @@
+#include "tape/projection.h"
+
+namespace xsq::tape {
+
+ProjectionMask ProjectionMask::FromPlans(
+    const std::vector<std::shared_ptr<const core::CompiledPlan>>& plans) {
+  std::vector<xpath::Query> queries;
+  queries.reserve(plans.size());
+  for (const auto& plan : plans) {
+    if (plan != nullptr) queries.push_back(plan->query);
+  }
+  return FromQueries(queries);
+}
+
+ProjectionMask ProjectionMask::FromQueries(
+    const std::vector<xpath::Query>& queries) {
+  ProjectionMask mask;
+  if (queries.empty()) return mask;  // nothing known: keep everything
+  mask.keep_all_ = false;
+  for (const xpath::Query& query : queries) mask.AddQuery(query);
+  return mask;
+}
+
+void ProjectionMask::AddQuery(const xpath::Query& query) {
+  AddPath(query);
+  for (const xpath::Query& branch : query.union_branches) AddPath(branch);
+}
+
+void ProjectionMask::AddPath(const xpath::Query& path) {
+  // Element-valued output serializes whole subtrees below matches; any
+  // event may end up in the output, so no pruning is sound.
+  if (path.output.kind == xpath::OutputKind::kElement) {
+    keep_all_ = true;
+    return;
+  }
+
+  const std::vector<xpath::LocationStep>& steps = path.steps;
+  const size_t k = steps.size();
+
+  // First closure step (1-based); k+1 when the path is closure-free.
+  size_t first_closure = k + 1;
+  for (size_t i = 0; i < k; ++i) {
+    if (steps[i].axis == xpath::Axis::kClosure) {
+      first_closure = i + 1;
+      break;
+    }
+  }
+
+  QueryShape shape;
+  shape.open_tail = first_closure <= k;
+  // Anchored prefix: depth d (1-based) admits step d's node test plus
+  // the child tags referenced by step d-1's predicates. Closure-free
+  // paths get one extra level for the last step's predicate children.
+  const size_t prefix = shape.open_tail ? first_closure - 1 : k + 1;
+  shape.levels.resize(prefix);
+  for (size_t d = 1; d <= prefix; ++d) {
+    if (d <= k) shape.levels[d - 1].Add(steps[d - 1].node_test);
+    if (d >= 2) {
+      for (const xpath::Predicate& pred : steps[d - 2].predicates) {
+        if (!pred.child_tag.empty()) shape.levels[d - 1].Add(pred.child_tag);
+      }
+    }
+  }
+  shapes_.push_back(std::move(shape));
+
+  // Payload relevance is name-based and global (sound at any depth).
+  for (const xpath::LocationStep& step : steps) {
+    for (const xpath::Predicate& pred : step.predicates) {
+      switch (pred.kind) {
+        case xpath::PredicateKind::kText:
+          text_names_.Add(step.node_test);
+          break;
+        case xpath::PredicateKind::kChildText:
+          text_names_.Add(pred.child_tag);
+          break;
+        case xpath::PredicateKind::kAttribute:
+          attr_names_.Add(step.node_test);
+          break;
+        case xpath::PredicateKind::kChildAttribute:
+          attr_names_.Add(pred.child_tag);
+          break;
+        case xpath::PredicateKind::kChild:
+          break;  // existence is decided by the begin event alone
+      }
+    }
+  }
+  switch (path.output.kind) {
+    case xpath::OutputKind::kText:
+    case xpath::OutputKind::kSum:
+    case xpath::OutputKind::kAvg:
+    case xpath::OutputKind::kMin:
+    case xpath::OutputKind::kMax:
+      // All read the matched element's text content.
+      if (!steps.empty()) text_names_.Add(steps.back().node_test);
+      break;
+    case xpath::OutputKind::kAttribute:
+      if (!steps.empty()) attr_names_.Add(steps.back().node_test);
+      break;
+    case xpath::OutputKind::kCount:
+    case xpath::OutputKind::kElement:  // handled above
+      break;
+  }
+}
+
+bool ProjectionMask::KeepElement(std::string_view tag, int depth) const {
+  if (keep_all_) return true;
+  const size_t d = static_cast<size_t>(depth);
+  for (const QueryShape& shape : shapes_) {
+    if (d <= shape.levels.size()) {
+      if (shape.levels[d - 1].Matches(tag)) return true;
+    } else if (shape.open_tail) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ProjectionMask::KeepText(std::string_view tag) const {
+  return keep_all_ || text_names_.Matches(tag);
+}
+
+bool ProjectionMask::KeepAttributes(std::string_view tag) const {
+  return keep_all_ || attr_names_.Matches(tag);
+}
+
+}  // namespace xsq::tape

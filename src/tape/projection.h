@@ -1,0 +1,119 @@
+// Record-time projection: drop events a query set provably cannot
+// observe (Koch et al.'s buffer/stream minimization applied at the
+// tape boundary).
+//
+// The mask is derived from compiled plans and is conservative — it may
+// keep irrelevant events, never drop relevant ones. Three levels of
+// pruning, each with a simple soundness argument (DESIGN.md spells the
+// full argument out):
+//
+//   1. Subtree drops. For a query whose steps before the first closure
+//      axis are all child-axis, an element at depth d can only
+//      participate if its tag matches that query's depth-d name set
+//      (step node test at depth d, plus child tags of the previous
+//      step's predicates); every element of a match and every element a
+//      predicate inspects passes this test, so a begin event failing it
+//      for EVERY query roots a subtree no engine will touch, and the
+//      whole subtree is dropped. Dropping whole subtrees keeps depths
+//      contiguous, which the engines require.
+//   2. Text drops. An engine only reads text() of elements it matches
+//      (text/aggregation output, [text() op c]) or of predicate child
+//      tags ([tag op c]); those names are collected into a text set and
+//      every other element's text events are dropped.
+//   3. Attribute drops. Same, for @attr output and [@attr] / [tag@attr]
+//      predicates.
+//
+// Conservatism under `//`: from the first closure step on, a query can
+// match at any depth under any ancestors, so such queries keep all
+// structure (subtree pruning disabled beyond the anchored prefix) and
+// pruning falls back to the payload (text/attribute) level. Wildcard
+// node tests make the corresponding name set match everything, and an
+// element-valued output (`//a` returning serialized subtrees) disables
+// projection entirely — serialization may need any event below a match.
+#ifndef XSQ_TAPE_PROJECTION_H_
+#define XSQ_TAPE_PROJECTION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "core/compiled_plan.h"
+#include "xpath/ast.h"
+
+namespace xsq::tape {
+
+class ProjectionMask {
+ public:
+  // Keeps every event (recording with a null mask is equivalent).
+  ProjectionMask() = default;
+
+  // Conservative mask for a query set. Every query any consumer might
+  // run over the tape must be in `plans`.
+  static ProjectionMask FromPlans(
+      const std::vector<std::shared_ptr<const core::CompiledPlan>>& plans);
+  static ProjectionMask FromQueries(const std::vector<xpath::Query>& queries);
+
+  bool keeps_everything() const { return keep_all_; }
+
+  // Should the element (and, transitively, its subtree when false) be
+  // kept? Only meaningful when every ancestor was kept, which the
+  // recorder guarantees by skipping dropped subtrees wholesale.
+  bool KeepElement(std::string_view tag, int depth) const;
+  bool KeepText(std::string_view tag) const;
+  bool KeepAttributes(std::string_view tag) const;
+
+ private:
+  // Heterogeneous hashing so the per-event lookups take string_views
+  // without materializing a std::string.
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  struct NameSet {
+    bool any = false;  // wildcard: matches every name
+    std::unordered_set<std::string, SvHash, SvEq> names;
+
+    bool Matches(std::string_view tag) const {
+      return any || names.find(tag) != names.end();
+    }
+    void Add(std::string_view name) {
+      if (name == "*") {
+        any = true;
+      } else {
+        names.emplace(name);
+      }
+    }
+  };
+
+  // Per-query structural shape: name sets for the anchored child-axis
+  // prefix (levels[d-1] constrains depth d), then `open_tail` tells
+  // whether depths beyond the prefix are all kept (closure present) or
+  // all dropped (the query simply ends).
+  struct QueryShape {
+    std::vector<NameSet> levels;
+    bool open_tail = false;
+  };
+
+  void AddQuery(const xpath::Query& query);
+  void AddPath(const xpath::Query& path);
+
+  bool keep_all_ = true;  // no pruning at all (element output / empty set)
+  std::vector<QueryShape> shapes_;
+  NameSet text_names_;
+  NameSet attr_names_;
+};
+
+}  // namespace xsq::tape
+
+#endif  // XSQ_TAPE_PROJECTION_H_

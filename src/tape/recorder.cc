@@ -1,0 +1,72 @@
+#include "tape/recorder.h"
+
+#include "xml/sax_parser.h"
+
+namespace xsq::tape {
+
+TapeRecorder::TapeRecorder(Tape* tape, const ProjectionMask* mask)
+    : tape_(tape), mask_(mask) {
+  if (mask_ != nullptr && mask_->keeps_everything()) mask_ = nullptr;
+}
+
+void TapeRecorder::OnDocumentBegin() {
+  drop_depth_ = 0;
+  tape_->AppendDocumentBegin();
+}
+
+void TapeRecorder::OnDoctype(std::string_view name,
+                             std::string_view internal_subset) {
+  tape_->AppendDoctype(name, internal_subset);
+}
+
+void TapeRecorder::OnBegin(std::string_view tag,
+                           const std::vector<xml::Attribute>& attributes,
+                           int depth) {
+  if (Dropping(depth)) return;
+  if (mask_ != nullptr && !mask_->KeepElement(tag, depth)) {
+    drop_depth_ = depth;
+    ++tape_->mutable_stats().dropped_subtrees;
+    return;
+  }
+  if (mask_ != nullptr && !attributes.empty() &&
+      !mask_->KeepAttributes(tag)) {
+    tape_->mutable_stats().dropped_attributes += attributes.size();
+    tape_->AppendBeginNoAttributes(tag, depth);
+    return;
+  }
+  tape_->AppendBegin(tag, attributes, depth);
+}
+
+void TapeRecorder::OnEnd(std::string_view tag, int depth) {
+  if (drop_depth_ != 0) {
+    if (depth > drop_depth_) return;
+    // This end event closes the dropped subtree's root.
+    drop_depth_ = 0;
+    return;
+  }
+  tape_->AppendEnd(tag, depth);
+}
+
+void TapeRecorder::OnText(std::string_view enclosing_tag,
+                          std::string_view text, int depth) {
+  if (Dropping(depth)) return;
+  if (mask_ != nullptr && !mask_->KeepText(enclosing_tag)) {
+    ++tape_->mutable_stats().dropped_text_events;
+    return;
+  }
+  tape_->AppendText(enclosing_tag, text, depth);
+}
+
+void TapeRecorder::OnDocumentEnd() { tape_->AppendDocumentEnd(); }
+
+Result<Tape> RecordDocument(std::string_view document,
+                            const ProjectionMask* mask) {
+  Tape tape;
+  TapeRecorder recorder(&tape, mask);
+  xml::SaxParser parser(&recorder);
+  XSQ_RETURN_IF_ERROR(parser.Parse(document));
+  tape.mutable_stats().source_bytes = document.size();
+  return tape;
+}
+
+}  // namespace xsq::tape

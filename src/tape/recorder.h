@@ -1,0 +1,58 @@
+// TapeRecorder: captures any SAX parse onto a Tape.
+//
+// It is a xml::SaxHandler, so it can sit anywhere a query engine can:
+// behind a SaxParser, inside a TeeHandler next to a live engine (record
+// while serving), or behind a TapeReplayer (re-projecting an existing
+// tape under a narrower mask). With a ProjectionMask it drops provably
+// irrelevant events at capture time; with none it records the complete
+// stream bit-for-bit.
+#ifndef XSQ_TAPE_RECORDER_H_
+#define XSQ_TAPE_RECORDER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tape/projection.h"
+#include "tape/tape.h"
+#include "xml/events.h"
+
+namespace xsq::tape {
+
+class TapeRecorder : public xml::SaxHandler {
+ public:
+  // `tape` receives the events; `mask` (optional) filters them. Both
+  // are borrowed and must outlive the recorder.
+  explicit TapeRecorder(Tape* tape, const ProjectionMask* mask = nullptr);
+
+  void OnDocumentBegin() override;
+  void OnDoctype(std::string_view name,
+                 std::string_view internal_subset) override;
+  void OnBegin(std::string_view tag,
+               const std::vector<xml::Attribute>& attributes,
+               int depth) override;
+  void OnEnd(std::string_view tag, int depth) override;
+  void OnText(std::string_view enclosing_tag, std::string_view text,
+              int depth) override;
+  void OnDocumentEnd() override;
+
+ private:
+  bool Dropping(int depth) const {
+    return drop_depth_ != 0 && depth >= drop_depth_;
+  }
+
+  Tape* tape_;
+  const ProjectionMask* mask_;  // may be null: keep everything
+  // Depth of the shallowest element of the subtree being dropped; 0
+  // when not inside a dropped subtree.
+  int drop_depth_ = 0;
+};
+
+// Convenience: parses `document` and records it in one step, filling
+// in stats().source_bytes.
+Result<Tape> RecordDocument(std::string_view document,
+                            const ProjectionMask* mask = nullptr);
+
+}  // namespace xsq::tape
+
+#endif  // XSQ_TAPE_RECORDER_H_

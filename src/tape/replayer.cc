@@ -1,0 +1,56 @@
+#include "tape/replayer.h"
+
+namespace xsq::tape {
+
+TapeReplayer::TapeReplayer(const Tape& tape) : tape_(tape), cursor_(tape) {}
+
+void TapeReplayer::Rewind() {
+  cursor_.Rewind();
+  events_emitted_ = 0;
+}
+
+bool TapeReplayer::Step(xml::SaxHandler* handler, size_t max_events) {
+  Tape::EventView event;
+  const SymbolTable& symbols = tape_.symbols();
+  for (size_t emitted = 0; emitted < max_events; ++emitted) {
+    if (!cursor_.Next(&event)) return false;
+    ++events_emitted_;
+    switch (event.op) {
+      case Op::kDocumentBegin:
+        handler->OnDocumentBegin();
+        break;
+      case Op::kDoctype:
+        handler->OnDoctype(event.doctype_name, event.text);
+        break;
+      case Op::kBegin: {
+        const std::vector<Tape::Attr>& attrs = *event.attributes;
+        attr_scratch_.resize(attrs.size());
+        for (size_t i = 0; i < attrs.size(); ++i) {
+          attr_scratch_[i].name.assign(symbols.Name(attrs[i].name));
+          attr_scratch_[i].value.assign(attrs[i].value);
+        }
+        handler->OnBegin(symbols.Name(event.tag), attr_scratch_, event.depth);
+        break;
+      }
+      case Op::kEnd:
+        handler->OnEnd(symbols.Name(event.tag), event.depth);
+        break;
+      case Op::kText:
+        handler->OnText(symbols.Name(event.tag), event.text, event.depth);
+        break;
+      case Op::kDocumentEnd:
+        handler->OnDocumentEnd();
+        break;
+    }
+  }
+  return true;  // budget exhausted; more events may remain
+}
+
+Status Replay(const Tape& tape, xml::SaxHandler* handler) {
+  TapeReplayer replayer(tape);
+  while (replayer.Step(handler)) {
+  }
+  return replayer.status();
+}
+
+}  // namespace xsq::tape

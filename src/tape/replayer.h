@@ -1,0 +1,60 @@
+// TapeReplayer: re-emits a recorded tape into any xml::SaxHandler.
+//
+// Replaying an unprojected tape reproduces the original parse's event
+// sequence exactly — same tags, attributes, text, depths, doctype and
+// document markers — so engines, validators and tees cannot tell a
+// replay from a live parse (the tape differential tests assert this on
+// every corpus). What replay skips is everything that made the parse
+// expensive: tokenization, well-formedness checking, entity decoding
+// and attribute materialization. Tag and text payloads are emitted as
+// string_views directly into the tape's blob and symbol table, and the
+// attribute vector handed to OnBegin reuses one scratch buffer, so a
+// steady-state replay performs no per-event allocation.
+//
+// Step() bounds work per call, which lets the service layer interleave
+// replay with memory-budget checks the same way it meters Push chunks.
+#ifndef XSQ_TAPE_REPLAYER_H_
+#define XSQ_TAPE_REPLAYER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "tape/tape.h"
+#include "xml/events.h"
+
+namespace xsq::tape {
+
+class TapeReplayer {
+ public:
+  // `tape` is borrowed and must outlive the replayer.
+  explicit TapeReplayer(const Tape& tape);
+
+  // Emits up to `max_events` events into `handler`; returns true while
+  // events remain. Pass SIZE_MAX (the default) to drain in one call.
+  bool Step(xml::SaxHandler* handler, size_t max_events = SIZE_MAX);
+
+  // Restarts from the first event (tapes are replay-many by design).
+  void Rewind();
+
+  // Events emitted since construction/Rewind.
+  uint64_t events_emitted() const { return events_emitted_; }
+
+  // Non-OK only for a corrupt tape that bypassed Load validation.
+  const Status& status() const { return cursor_.status(); }
+
+ private:
+  const Tape& tape_;
+  Tape::Cursor cursor_;
+  // Scratch for OnBegin: assign() into the same strings every event,
+  // reusing their capacity.
+  std::vector<xml::Attribute> attr_scratch_;
+  uint64_t events_emitted_ = 0;
+};
+
+// Replays the whole tape into `handler` in one call.
+Status Replay(const Tape& tape, xml::SaxHandler* handler);
+
+}  // namespace xsq::tape
+
+#endif  // XSQ_TAPE_REPLAYER_H_

@@ -1,0 +1,29 @@
+#include "tape/symbol_table.h"
+
+namespace xsq::tape {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+SymbolId SymbolTable::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalid : it->second;
+}
+
+size_t SymbolTable::memory_bytes() const {
+  size_t bytes = 0;
+  for (const std::string& name : names_) {
+    bytes += sizeof(std::string) + name.capacity();
+  }
+  // Hash table: one bucket pointer plus one node per entry, roughly.
+  bytes += index_.size() * (sizeof(void*) * 3 + sizeof(SymbolId));
+  return bytes;
+}
+
+}  // namespace xsq::tape

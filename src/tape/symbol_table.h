@@ -1,0 +1,54 @@
+// SymbolTable: interning of tag and attribute names to dense ids.
+//
+// XML streams repeat a tiny vocabulary of names millions of times (the
+// paper's Figure 15 corpora average ~5-7 byte tags over a few dozen
+// distinct names). The tape stores each distinct name once and encodes
+// every event occurrence as a varint id, which is both the main source
+// of the tape's compactness and what makes replay cheap: comparing or
+// dispatching on a uint32_t instead of re-hashing a string.
+//
+// Ids are dense (0..size-1) in first-seen order, so a tape's symbol
+// table round-trips through Save/Load as a plain string list and id
+// assignments are deterministic for a given event stream.
+#ifndef XSQ_TAPE_SYMBOL_TABLE_H_
+#define XSQ_TAPE_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace xsq::tape {
+
+using SymbolId = uint32_t;
+
+class SymbolTable {
+ public:
+  static constexpr SymbolId kInvalid = UINT32_MAX;
+
+  // Returns the id for `name`, interning it on first sight.
+  SymbolId Intern(std::string_view name);
+
+  // Returns the id for `name`, or kInvalid when it was never interned.
+  SymbolId Find(std::string_view name) const;
+
+  // The interned name for `id`. The view stays valid for the lifetime
+  // of the table (names are never removed).
+  std::string_view Name(SymbolId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+  // Approximate heap footprint, for cache accounting.
+  size_t memory_bytes() const;
+
+ private:
+  // deque: growth must not move the strings, the index_ views point at
+  // their (possibly inline, SSO) buffers.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, SymbolId> index_;  // views into names_
+};
+
+}  // namespace xsq::tape
+
+#endif  // XSQ_TAPE_SYMBOL_TABLE_H_

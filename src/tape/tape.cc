@@ -1,0 +1,386 @@
+#include "tape/tape.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace xsq::tape {
+namespace {
+
+// Unsigned LEB128.
+void PutVarint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+// Reads a varint from data[*pos...); false on truncation/overflow.
+bool GetVarint(const uint8_t* data, size_t size, size_t* pos,
+               uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < size && shift < 64) {
+    uint8_t byte = data[(*pos)++];
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Tape::AppendDocumentBegin() {
+  records_.push_back(static_cast<uint8_t>(Op::kDocumentBegin));
+  ++event_count_;
+}
+
+void Tape::AppendDoctype(std::string_view name,
+                         std::string_view internal_subset) {
+  records_.push_back(static_cast<uint8_t>(Op::kDoctype));
+  PutVarint(&records_, name.size());
+  PutVarint(&records_, internal_subset.size());
+  blob_.append(name);
+  blob_.append(internal_subset);
+  ++event_count_;
+}
+
+void Tape::AppendBegin(std::string_view tag,
+                       const std::vector<xml::Attribute>& attributes,
+                       int depth) {
+  records_.push_back(static_cast<uint8_t>(Op::kBegin));
+  PutVarint(&records_, symbols_.Intern(tag));
+  PutVarint(&records_, static_cast<uint64_t>(depth));
+  PutVarint(&records_, attributes.size());
+  for (const xml::Attribute& attr : attributes) {
+    PutVarint(&records_, symbols_.Intern(attr.name));
+    PutVarint(&records_, attr.value.size());
+    blob_.append(attr.value);
+  }
+  ++event_count_;
+  ++stats_.begin_events;
+  stats_.attribute_count += attributes.size();
+}
+
+void Tape::AppendBeginNoAttributes(std::string_view tag, int depth) {
+  records_.push_back(static_cast<uint8_t>(Op::kBegin));
+  PutVarint(&records_, symbols_.Intern(tag));
+  PutVarint(&records_, static_cast<uint64_t>(depth));
+  PutVarint(&records_, 0);
+  ++event_count_;
+  ++stats_.begin_events;
+}
+
+void Tape::AppendEnd(std::string_view tag, int depth) {
+  records_.push_back(static_cast<uint8_t>(Op::kEnd));
+  PutVarint(&records_, symbols_.Intern(tag));
+  PutVarint(&records_, static_cast<uint64_t>(depth));
+  ++event_count_;
+  ++stats_.end_events;
+}
+
+void Tape::AppendText(std::string_view tag, std::string_view text,
+                      int depth) {
+  records_.push_back(static_cast<uint8_t>(Op::kText));
+  PutVarint(&records_, symbols_.Intern(tag));
+  PutVarint(&records_, static_cast<uint64_t>(depth));
+  PutVarint(&records_, text.size());
+  blob_.append(text);
+  ++event_count_;
+  ++stats_.text_events;
+}
+
+void Tape::AppendDocumentEnd() {
+  records_.push_back(static_cast<uint8_t>(Op::kDocumentEnd));
+  ++event_count_;
+}
+
+size_t Tape::memory_bytes() const {
+  return records_.capacity() + blob_.capacity() + symbols_.memory_bytes() +
+         sizeof(Tape);
+}
+
+Tape::Cursor::Cursor(const Tape& tape) : tape_(tape) {}
+
+void Tape::Cursor::Rewind() {
+  record_pos_ = 0;
+  blob_pos_ = 0;
+  status_ = Status::OK();
+}
+
+bool Tape::Cursor::Next(EventView* out) {
+  if (!status_.ok() || record_pos_ >= tape_.records_.size()) return false;
+  const uint8_t* rec = tape_.records_.data();
+  const size_t rec_size = tape_.records_.size();
+  const std::string& blob = tape_.blob_;
+
+  auto fail = [this] {
+    status_ = Status::Internal("malformed tape record stream");
+    return false;
+  };
+  auto take_span = [&](uint64_t len, std::string_view* span) {
+    if (len > blob.size() - blob_pos_) return false;
+    *span = std::string_view(blob).substr(blob_pos_, len);
+    blob_pos_ += len;
+    return true;
+  };
+
+  Op op = static_cast<Op>(rec[record_pos_++]);
+  out->op = op;
+  out->tag = SymbolTable::kInvalid;
+  out->depth = 0;
+  out->text = {};
+  out->doctype_name = {};
+  out->attributes = nullptr;
+
+  switch (op) {
+    case Op::kDocumentBegin:
+    case Op::kDocumentEnd:
+      return true;
+    case Op::kDoctype: {
+      uint64_t name_len = 0, subset_len = 0;
+      if (!GetVarint(rec, rec_size, &record_pos_, &name_len) ||
+          !GetVarint(rec, rec_size, &record_pos_, &subset_len) ||
+          !take_span(name_len, &out->doctype_name) ||
+          !take_span(subset_len, &out->text)) {
+        return fail();
+      }
+      return true;
+    }
+    case Op::kBegin: {
+      uint64_t tag = 0, depth = 0, nattrs = 0;
+      if (!GetVarint(rec, rec_size, &record_pos_, &tag) ||
+          !GetVarint(rec, rec_size, &record_pos_, &depth) ||
+          !GetVarint(rec, rec_size, &record_pos_, &nattrs) ||
+          tag >= tape_.symbols_.size()) {
+        return fail();
+      }
+      out->tag = static_cast<SymbolId>(tag);
+      out->depth = static_cast<int>(depth);
+      attrs_.resize(static_cast<size_t>(nattrs));
+      for (uint64_t i = 0; i < nattrs; ++i) {
+        uint64_t name = 0, value_len = 0;
+        if (!GetVarint(rec, rec_size, &record_pos_, &name) ||
+            !GetVarint(rec, rec_size, &record_pos_, &value_len) ||
+            name >= tape_.symbols_.size() ||
+            !take_span(value_len, &attrs_[i].value)) {
+          return fail();
+        }
+        attrs_[i].name = static_cast<SymbolId>(name);
+      }
+      out->attributes = &attrs_;
+      return true;
+    }
+    case Op::kEnd: {
+      uint64_t tag = 0, depth = 0;
+      if (!GetVarint(rec, rec_size, &record_pos_, &tag) ||
+          !GetVarint(rec, rec_size, &record_pos_, &depth) ||
+          tag >= tape_.symbols_.size()) {
+        return fail();
+      }
+      out->tag = static_cast<SymbolId>(tag);
+      out->depth = static_cast<int>(depth);
+      return true;
+    }
+    case Op::kText: {
+      uint64_t tag = 0, depth = 0, text_len = 0;
+      if (!GetVarint(rec, rec_size, &record_pos_, &tag) ||
+          !GetVarint(rec, rec_size, &record_pos_, &depth) ||
+          !GetVarint(rec, rec_size, &record_pos_, &text_len) ||
+          tag >= tape_.symbols_.size() ||
+          !take_span(text_len, &out->text)) {
+        return fail();
+      }
+      out->tag = static_cast<SymbolId>(tag);
+      out->depth = static_cast<int>(depth);
+      return true;
+    }
+  }
+  return fail();  // unknown opcode
+}
+
+namespace {
+
+constexpr char kMagic[8] = {'X', 'S', 'Q', 'T', 'A', 'P', 'E', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void PutVarintString(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>(static_cast<uint8_t>(value) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(static_cast<uint8_t>(value)));
+}
+
+bool GetVarintString(const std::string& data, size_t* pos, uint64_t* value) {
+  return GetVarint(reinterpret_cast<const uint8_t*>(data.data()), data.size(),
+                   pos, value);
+}
+
+}  // namespace
+
+Status Tape::Save(const std::string& path) const {
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  PutVarintString(&header, symbols_.size());
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    std::string_view name = symbols_.Name(static_cast<SymbolId>(i));
+    PutVarintString(&header, name.size());
+    header.append(name);
+  }
+  const uint64_t counters[] = {
+      event_count_,          stats_.begin_events,    stats_.end_events,
+      stats_.text_events,    stats_.attribute_count, stats_.source_bytes,
+      stats_.dropped_subtrees, stats_.dropped_text_events,
+      stats_.dropped_attributes};
+  for (uint64_t counter : counters) PutVarintString(&header, counter);
+  PutVarintString(&header, records_.size());
+  PutVarintString(&header, blob_.size());
+
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  auto write_all = [&file](const void* data, size_t size) {
+    return size == 0 || std::fwrite(data, 1, size, file.get()) == size;
+  };
+  if (!write_all(header.data(), header.size()) ||
+      !write_all(records_.data(), records_.size()) ||
+      !write_all(blob_.data(), blob_.size()) ||
+      std::fflush(file.get()) != 0) {
+    return Status::Internal("short write saving tape to " + path);
+  }
+  return Status::OK();
+}
+
+Result<Tape> Tape::Load(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open tape file: " + path);
+  }
+  std::string data;
+  char buffer[1 << 16];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
+    data.append(buffer, got);
+  }
+  if (std::ferror(file.get()) != 0) {
+    return Status::Internal("read error loading tape from " + path);
+  }
+
+  auto corrupt = [&path](const char* what) {
+    return Status::ParseError(std::string("corrupt tape file ") + path + ": " +
+                              what);
+  };
+  if (data.size() < sizeof(kMagic) ||
+      data.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return corrupt("bad magic");
+  }
+  size_t pos = sizeof(kMagic);
+
+  Tape tape;
+  uint64_t symbol_count = 0;
+  if (!GetVarintString(data, &pos, &symbol_count)) return corrupt("header");
+  if (symbol_count > data.size()) return corrupt("symbol count");
+  for (uint64_t i = 0; i < symbol_count; ++i) {
+    uint64_t len = 0;
+    if (!GetVarintString(data, &pos, &len) || len > data.size() - pos) {
+      return corrupt("symbol table");
+    }
+    SymbolId id = tape.symbols_.Intern(std::string_view(data).substr(pos, len));
+    pos += len;
+    if (id != i) return corrupt("duplicate symbol");
+  }
+  uint64_t counters[9];
+  for (uint64_t& counter : counters) {
+    if (!GetVarintString(data, &pos, &counter)) return corrupt("counters");
+  }
+  tape.event_count_ = counters[0];
+  tape.stats_.begin_events = counters[1];
+  tape.stats_.end_events = counters[2];
+  tape.stats_.text_events = counters[3];
+  tape.stats_.attribute_count = counters[4];
+  tape.stats_.source_bytes = counters[5];
+  tape.stats_.dropped_subtrees = counters[6];
+  tape.stats_.dropped_text_events = counters[7];
+  tape.stats_.dropped_attributes = counters[8];
+
+  uint64_t record_size = 0, blob_size = 0;
+  if (!GetVarintString(data, &pos, &record_size) ||
+      !GetVarintString(data, &pos, &blob_size) ||
+      record_size > data.size() - pos ||
+      blob_size != data.size() - pos - record_size) {
+    return corrupt("section sizes");
+  }
+  const uint8_t* records = reinterpret_cast<const uint8_t*>(data.data()) + pos;
+  tape.records_.assign(records, records + record_size);
+  tape.blob_.assign(data, pos + record_size, blob_size);
+
+  XSQ_RETURN_IF_ERROR(tape.Validate());
+  return tape;
+}
+
+Status Tape::Validate() const {
+  Cursor cursor(*this);
+  EventView event;
+  uint64_t events = 0;
+  int open_depth = 0;
+  bool document_open = false;
+  while (cursor.Next(&event)) {
+    ++events;
+    switch (event.op) {
+      case Op::kDocumentBegin:
+        if (document_open) return Status::ParseError("tape: nested document");
+        document_open = true;
+        break;
+      case Op::kDoctype:
+        break;
+      case Op::kBegin:
+        // Holds for projected tapes too: projection drops whole
+        // subtrees, so every kept element's parent is kept and depths
+        // stay contiguous (the engines insist on this).
+        if (event.depth != open_depth + 1) {
+          return Status::ParseError("tape: begin depth out of order");
+        }
+        open_depth = event.depth;
+        break;
+      case Op::kEnd:
+        if (event.depth != open_depth || open_depth < 1) {
+          return Status::ParseError("tape: unmatched end event");
+        }
+        open_depth = event.depth - 1;
+        break;
+      case Op::kText:
+        if (event.depth != open_depth) {
+          return Status::ParseError("tape: text outside its element");
+        }
+        break;
+      case Op::kDocumentEnd:
+        if (!document_open || open_depth != 0) {
+          return Status::ParseError("tape: document end with open elements");
+        }
+        document_open = false;
+        break;
+    }
+  }
+  XSQ_RETURN_IF_ERROR(cursor.status());
+  if (document_open || open_depth != 0) {
+    return Status::ParseError("tape: truncated event stream");
+  }
+  if (events != event_count_) {
+    return Status::ParseError("tape: event count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace xsq::tape

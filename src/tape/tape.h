@@ -1,0 +1,163 @@
+// Tape: a compact binary recording of one document's SAX event stream,
+// built to be parsed once and replayed many times.
+//
+// Section 6 of the paper shows parsing dominating end-to-end cost (the
+// engines run at 0.5-0.85x of a bare parse), so any workload that
+// evaluates the same document repeatedly — the xsqd service's cached
+// documents, multi-query batches, benchmark reruns — pays the parse tax
+// per run. A tape pays it once: XMLTK's binary-token pipeline (the
+// paper's fastest competitor) is the model, with tag/attribute names
+// interned in a SymbolTable and every event encoded as a varint record:
+//
+//   record   := op:byte payload
+//   begin    := tag_id depth nattrs (attr_name_id value_len)*
+//   end      := tag_id depth
+//   text     := tag_id depth text_len
+//   doctype  := name_len subset_len
+//   docbegin / docend := (no payload)
+//
+// All varints are unsigned LEB128. Variable-length payloads (attribute
+// values, text, doctype strings) live in a single shared blob in event
+// order, so records carry only lengths — offsets are implicit in a
+// sequential scan, which is the only access pattern replay needs. A
+// replayed tape re-emits the exact event sequence of the original parse
+// (verified differentially in tests), and Cursor exposes the interned
+// view (ids + spans into the blob) for consumers that want to skip
+// string re-materialization entirely.
+//
+// Tapes are immutable once recorded and contain no pointers, so they
+// are safely shared across threads and persist byte-for-byte via
+// Save/Load across daemon restarts.
+#ifndef XSQ_TAPE_TAPE_H_
+#define XSQ_TAPE_TAPE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tape/symbol_table.h"
+#include "xml/events.h"
+
+namespace xsq::tape {
+
+// Record opcodes. Values are part of the on-disk format; append only.
+enum class Op : uint8_t {
+  kDocumentBegin = 0,
+  kDoctype = 1,
+  kBegin = 2,
+  kEnd = 3,
+  kText = 4,
+  kDocumentEnd = 5,
+};
+
+struct TapeStats {
+  uint64_t begin_events = 0;
+  uint64_t end_events = 0;
+  uint64_t text_events = 0;
+  uint64_t attribute_count = 0;
+  // Source document size in bytes, when known (RecordDocument sets it);
+  // the compression/amortization ratios in bench/ext_tape divide by it.
+  uint64_t source_bytes = 0;
+  // Projection counters: what the mask dropped at record time.
+  uint64_t dropped_subtrees = 0;     // elements pruned with their subtrees
+  uint64_t dropped_text_events = 0;  // text of kept-but-payload-free elements
+  uint64_t dropped_attributes = 0;
+
+  uint64_t element_events() const { return begin_events + end_events; }
+};
+
+class Tape {
+ public:
+  Tape() = default;
+  Tape(Tape&&) = default;
+  Tape& operator=(Tape&&) = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // --- building (TapeRecorder uses these; order must be a legal SAX
+  // stream, which the recorder guarantees) ---
+  void AppendDocumentBegin();
+  void AppendDoctype(std::string_view name, std::string_view internal_subset);
+  void AppendBegin(std::string_view tag,
+                   const std::vector<xml::Attribute>& attributes, int depth);
+  // Begin with the attribute list suppressed (projection).
+  void AppendBeginNoAttributes(std::string_view tag, int depth);
+  void AppendEnd(std::string_view tag, int depth);
+  void AppendText(std::string_view tag, std::string_view text, int depth);
+  void AppendDocumentEnd();
+
+  // --- reading ---
+
+  // One decoded record. Views point into the tape (symbol table and
+  // blob) and stay valid for the tape's lifetime.
+  struct Attr {
+    SymbolId name = SymbolTable::kInvalid;
+    std::string_view value;
+  };
+  struct EventView {
+    Op op = Op::kDocumentBegin;
+    SymbolId tag = SymbolTable::kInvalid;  // begin / end / text
+    int depth = 0;
+    std::string_view text;          // text payload, or doctype subset
+    std::string_view doctype_name;  // doctype only
+    const std::vector<Attr>* attributes = nullptr;  // begin only
+  };
+
+  // Sequential scan over the records. The cursor holds the attribute
+  // scratch vector, so iteration allocates only while an event carries
+  // more attributes than any previous one.
+  class Cursor {
+   public:
+    explicit Cursor(const Tape& tape);
+
+    // Decodes the next record into `out`; false at end of tape.
+    // A malformed tape (only possible via a corrupt Load bypassing
+    // validation) stops the scan and sets status().
+    bool Next(EventView* out);
+
+    void Rewind();
+    const Status& status() const { return status_; }
+
+   private:
+    const Tape& tape_;
+    size_t record_pos_ = 0;
+    size_t blob_pos_ = 0;
+    std::vector<Attr> attrs_;
+    Status status_;
+  };
+
+  const SymbolTable& symbols() const { return symbols_; }
+  const TapeStats& stats() const { return stats_; }
+  TapeStats& mutable_stats() { return stats_; }
+
+  uint64_t event_count() const { return event_count_; }
+  size_t record_bytes() const { return records_.size(); }
+  size_t blob_bytes() const { return blob_.size(); }
+
+  // Total footprint: records + blob + symbol table. This is what the
+  // DocumentCache's byte budget accounts.
+  size_t memory_bytes() const;
+
+  // --- persistence ---
+  Status Save(const std::string& path) const;
+  // Loads and fully validates a tape (magic, symbol ids, payload spans,
+  // depth/nesting sanity), so replay never needs to re-validate.
+  static Result<Tape> Load(const std::string& path);
+
+ private:
+  // Walks every record checking structural invariants; used by Load.
+  Status Validate() const;
+
+  SymbolTable symbols_;
+  std::vector<uint8_t> records_;
+  std::string blob_;
+  uint64_t event_count_ = 0;
+  TapeStats stats_;
+};
+
+}  // namespace xsq::tape
+
+#endif  // XSQ_TAPE_TAPE_H_

@@ -55,14 +55,25 @@ class SaxHandler {
   virtual void OnDocumentEnd() {}
 };
 
-// Materialized event, used by tests and by engines that buffer.
+// Materialized event, used by tests and by engines that buffer. Covers
+// the complete SaxHandler surface — document markers and doctype
+// included — so recorded streams can be compared in full (the tape
+// subsystem's round-trip tests rely on this).
 struct Event {
-  enum class Type { kBegin, kEnd, kText };
+  enum class Type {
+    kBegin,
+    kEnd,
+    kText,
+    kDocumentBegin,
+    kDocumentEnd,
+    kDoctype,
+  };
 
   Type type;
-  std::string tag;                     // element tag (enclosing tag for text)
+  std::string tag;                     // element tag (enclosing tag for
+                                       // text, doctype name for doctype)
   std::vector<Attribute> attributes;  // begin only
-  std::string text;                    // text only
+  std::string text;                    // text content / doctype subset
   int depth = 0;
 
   static Event Begin(std::string tag, std::vector<Attribute> attrs,
@@ -88,6 +99,42 @@ struct Event {
     e.text = std::move(text);
     e.depth = depth;
     return e;
+  }
+  static Event DocumentBegin() {
+    Event e;
+    e.type = Type::kDocumentBegin;
+    return e;
+  }
+  static Event DocumentEnd() {
+    Event e;
+    e.type = Type::kDocumentEnd;
+    return e;
+  }
+  static Event Doctype(std::string name, std::string internal_subset) {
+    Event e;
+    e.type = Type::kDoctype;
+    e.tag = std::move(name);
+    e.text = std::move(internal_subset);
+    return e;
+  }
+
+  bool IsElementEvent() const {
+    return type == Type::kBegin || type == Type::kEnd || type == Type::kText;
+  }
+
+  bool operator==(const Event& other) const {
+    if (type != other.type || tag != other.tag || text != other.text ||
+        depth != other.depth ||
+        attributes.size() != other.attributes.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < attributes.size(); ++i) {
+      if (attributes[i].name != other.attributes[i].name ||
+          attributes[i].value != other.attributes[i].value) {
+        return false;
+      }
+    }
+    return true;
   }
 };
 
@@ -129,9 +176,17 @@ class TeeHandler : public SaxHandler {
   std::vector<SaxHandler*> targets_;
 };
 
-// A handler that records every event; used by tests.
+// A handler that records every event — including document markers and
+// doctype declarations, so `events` is the complete stream and two
+// recorded parses can be compared element-for-element.
 class RecordingHandler : public SaxHandler {
  public:
+  void OnDocumentBegin() override { events.push_back(Event::DocumentBegin()); }
+  void OnDoctype(std::string_view name,
+                 std::string_view internal_subset) override {
+    events.push_back(
+        Event::Doctype(std::string(name), std::string(internal_subset)));
+  }
   void OnBegin(std::string_view tag, const std::vector<Attribute>& attributes,
                int depth) override {
     events.push_back(Event::Begin(std::string(tag), attributes, depth));
@@ -143,6 +198,17 @@ class RecordingHandler : public SaxHandler {
               int depth) override {
     events.push_back(
         Event::Text(std::string(enclosing_tag), std::string(text), depth));
+  }
+  void OnDocumentEnd() override { events.push_back(Event::DocumentEnd()); }
+
+  // The begin/end/text subsequence, for consumers that only care about
+  // element structure.
+  std::vector<Event> element_events() const {
+    std::vector<Event> filtered;
+    for (const Event& event : events) {
+      if (event.IsElementEvent()) filtered.push_back(event);
+    }
+    return filtered;
   }
 
   std::vector<Event> events;

@@ -56,6 +56,20 @@ void XmlWriter::TextElement(std::string_view tag, std::string_view text) {
   needs_indent_ = true;
 }
 
+void XmlWriter::Doctype(std::string_view name,
+                        std::string_view internal_subset) {
+  Indent();
+  out_.append("<!DOCTYPE ");
+  out_.append(name);
+  if (!internal_subset.empty()) {
+    out_.append(" [");
+    out_.append(internal_subset);
+    out_.append("]");
+  }
+  out_.push_back('>');
+  needs_indent_ = true;
+}
+
 std::string SerializeEvents(const std::vector<Event>& events) {
   XmlWriter writer;
   for (const Event& event : events) {
@@ -69,6 +83,12 @@ std::string SerializeEvents(const std::vector<Event>& events) {
       case Event::Type::kText:
         writer.Text(event.text);
         break;
+      case Event::Type::kDoctype:
+        writer.Doctype(event.tag, event.text);
+        break;
+      case Event::Type::kDocumentBegin:
+      case Event::Type::kDocumentEnd:
+        break;  // markers have no textual form
     }
   }
   return writer.TakeString();

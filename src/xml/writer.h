@@ -29,6 +29,10 @@ class XmlWriter {
   // Writes <tag>text</tag> in one call.
   void TextElement(std::string_view tag, std::string_view text);
 
+  // Writes <!DOCTYPE name> or <!DOCTYPE name [subset]>. The subset is
+  // written verbatim (it is raw DTD text, not character data).
+  void Doctype(std::string_view name, std::string_view internal_subset);
+
   const std::string& str() const { return out_; }
   std::string TakeString() { return std::move(out_); }
   size_t size() const { return out_.size(); }

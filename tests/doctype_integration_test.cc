@@ -44,8 +44,9 @@ TEST(DoctypeTest, ReportsNameAndInternalSubset) {
   EXPECT_NE(handler.subset.find("<!ELEMENT book (title)>"),
             std::string::npos);
   // Events still flow normally after the DOCTYPE.
-  ASSERT_FALSE(handler.events.empty());
-  EXPECT_EQ(handler.events[0].tag, "lib");
+  std::vector<xml::Event> events = handler.element_events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].tag, "lib");
 }
 
 TEST(DoctypeTest, DoctypeWithoutSubset) {

@@ -16,7 +16,7 @@ std::vector<Event> ParseOk(std::string_view text) {
   SaxParser parser(&handler);
   Status status = parser.Parse(text);
   EXPECT_TRUE(status.ok()) << status.ToString();
-  return handler.events;
+  return handler.element_events();
 }
 
 TEST(ParserEdgeTest, Utf8BomIsSkipped) {
@@ -32,7 +32,7 @@ TEST(ParserEdgeTest, BomSplitAcrossChunks) {
   ASSERT_TRUE(parser.Feed("\xbb").ok());
   ASSERT_TRUE(parser.Feed("\xbf<a/>").ok());
   ASSERT_TRUE(parser.Finish().ok());
-  ASSERT_EQ(handler.events.size(), 2u);
+  ASSERT_EQ(handler.element_events().size(), 2u);
 }
 
 TEST(ParserEdgeTest, BomOnlyDocumentIsStillEmpty) {
@@ -61,7 +61,7 @@ TEST(ParserEdgeTest, ParseFileReadsInChunks) {
   Status status = ParseFile(path, &handler);
   std::remove(path);
   ASSERT_TRUE(status.ok()) << status.ToString();
-  EXPECT_EQ(handler.events.size(), 2u + 3u * 50000u);
+  EXPECT_EQ(handler.element_events().size(), 2u + 3u * 50000u);
 }
 
 TEST(ParserEdgeTest, ParseFileMissingFile) {
@@ -94,6 +94,7 @@ TEST(ParserEdgeTest, WhitespaceAfterRootOk) {
 
 TEST(ParserEdgeTest, SelfClosingWithAttributes) {
   auto events = ParseOk("<a><b x=\"1\" y=\"2\"/></a>");
+  ASSERT_GE(events.size(), 2u);
   ASSERT_EQ(events[1].attributes.size(), 2u);
 }
 
@@ -106,8 +107,9 @@ TEST(ParserEdgeTest, TagSpanningManyChunks) {
     ASSERT_TRUE(parser.Feed(std::string_view(doc).substr(i, 3)).ok());
   }
   ASSERT_TRUE(parser.Finish().ok());
-  ASSERT_EQ(handler.events.size(), 3u);
-  EXPECT_EQ(handler.events[0].attributes[0].value, "value with spaces");
+  std::vector<Event> events = handler.element_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].attributes[0].value, "value with spaces");
 }
 
 TEST(ParserEdgeTest, BytesConsumedCountsBom) {

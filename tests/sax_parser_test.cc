@@ -14,7 +14,9 @@ std::vector<Event> ParseEvents(std::string_view text, Status* status) {
   RecordingHandler handler;
   SaxParser parser(&handler);
   *status = parser.Parse(text);
-  return handler.events;
+  // These tests assert element structure; document markers and doctype
+  // capture have their own tests below.
+  return handler.element_events();
 }
 
 std::vector<Event> ParseOk(std::string_view text) {
@@ -326,8 +328,28 @@ TEST(SaxParserTest, ResetAllowsReuse) {
   ASSERT_TRUE(parser.Parse("<a/>").ok());
   parser.Reset();
   ASSERT_TRUE(parser.Parse("<b/>").ok());
-  ASSERT_EQ(handler.events.size(), 4u);
-  EXPECT_EQ(handler.events[2].tag, "b");
+  // Two full documents, each with begin/end markers around one element.
+  ASSERT_EQ(handler.events.size(), 8u);
+  EXPECT_EQ(handler.events[0].type, Event::Type::kDocumentBegin);
+  EXPECT_EQ(handler.events[3].type, Event::Type::kDocumentEnd);
+  EXPECT_EQ(handler.events[5].tag, "b");
+}
+
+TEST(SaxParserTest, RecordingHandlerCapturesCompleteStream) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  ASSERT_TRUE(
+      parser.Parse("<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>x</a>").ok());
+  ASSERT_EQ(handler.events.size(), 6u);
+  EXPECT_EQ(handler.events[0].type, Event::Type::kDocumentBegin);
+  EXPECT_EQ(handler.events[1].type, Event::Type::kDoctype);
+  EXPECT_EQ(handler.events[1].tag, "a");
+  EXPECT_EQ(handler.events[1].text, "<!ELEMENT a (#PCDATA)>");
+  EXPECT_EQ(handler.events[2].type, Event::Type::kBegin);
+  EXPECT_EQ(handler.events[3].type, Event::Type::kText);
+  EXPECT_EQ(handler.events[4].type, Event::Type::kEnd);
+  EXPECT_EQ(handler.events[5].type, Event::Type::kDocumentEnd);
+  EXPECT_EQ(handler.element_events().size(), 3u);
 }
 
 }  // namespace

@@ -11,9 +11,11 @@
 #include <gtest/gtest.h>
 
 #include "core/streaming_query.h"
+#include "service/document_cache.h"
 #include "service/plan_cache.h"
 #include "service/query_service.h"
 #include "service/session.h"
+#include "tape/recorder.h"
 #include "test_util.h"
 
 namespace xsq::service {
@@ -365,6 +367,219 @@ TEST(QueryServiceStressTest, PlanCacheConcurrentGetOrCompile) {
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_LE(cache.size(), 4u);
+}
+
+// ----------------------------------------------------------- DocumentCache
+
+std::shared_ptr<const tape::Tape> MakeTape(const std::string& document) {
+  Result<tape::Tape> tape = tape::RecordDocument(document);
+  EXPECT_TRUE(tape.ok()) << tape.status().ToString();
+  return std::make_shared<const tape::Tape>(*std::move(tape));
+}
+
+TEST(DocumentCacheTest, MissThenHit) {
+  DocumentCache cache(4);
+  EXPECT_EQ(cache.Get("d"), nullptr);
+  auto tape = MakeTape("<a>x</a>");
+  cache.Put("d", tape);
+  EXPECT_EQ(cache.Get("d").get(), tape.get());
+  DocumentCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.resident_documents, 1u);
+  EXPECT_EQ(counters.resident_bytes, tape->memory_bytes());
+}
+
+TEST(DocumentCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  DocumentCache cache(2);
+  cache.Put("a", MakeTape("<a/>"));
+  cache.Put("b", MakeTape("<b/>"));
+  EXPECT_NE(cache.Get("a"), nullptr);     // a most recent; {a,b}
+  cache.Put("c", MakeTape("<c/>"));       // evicts b
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+}
+
+TEST(DocumentCacheTest, ByteBudgetEvicts) {
+  auto tape = MakeTape("<a>some text content</a>");
+  size_t one = tape->memory_bytes();
+  DocumentCache cache(100, /*byte_budget=*/2 * one + one / 2);
+  cache.Put("a", tape);
+  cache.Put("b", MakeTape("<a>some text content</a>"));
+  cache.Put("c", MakeTape("<a>some text content</a>"));  // evicts "a"
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  DocumentCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.resident_documents, 2u);
+  EXPECT_LE(counters.resident_bytes, 2 * one + one / 2);
+}
+
+TEST(DocumentCacheTest, OversizedTapeStaysResidentAlone) {
+  auto tape = MakeTape("<a>payload far above the byte budget</a>");
+  DocumentCache cache(100, /*byte_budget=*/1);
+  cache.Put("big", tape);
+  EXPECT_NE(cache.Get("big"), nullptr);  // never thrashes to empty
+  cache.Put("second", MakeTape("<b/>"));
+  EXPECT_EQ(cache.size(), 1u);  // "big" evicted in favor of newest
+  EXPECT_NE(cache.Get("second"), nullptr);
+}
+
+TEST(DocumentCacheTest, ReplacePutAndExplicitEvict) {
+  DocumentCache cache(4);
+  cache.Put("d", MakeTape("<a>one</a>"));
+  auto replacement = MakeTape("<a>two two two</a>");
+  cache.Put("d", replacement);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.counters().resident_bytes, replacement->memory_bytes());
+  EXPECT_EQ(cache.counters().evictions, 0u);  // replacement, not pressure
+  EXPECT_TRUE(cache.Evict("d"));
+  EXPECT_FALSE(cache.Evict("d"));
+  EXPECT_EQ(cache.counters().resident_bytes, 0u);
+}
+
+// -------------------------------------------------- cached-document serving
+
+TEST(QueryServiceTapeTest, RunCachedMatchesStreaming) {
+  const std::string document =
+      "<r><item>one</item><skip>no</skip><item>two</item></r>";
+  QueryService service(SmallConfig(2));
+
+  auto recorded = service.RecordDocument("doc", document);
+  ASSERT_TRUE(recorded.ok()) << recorded.status().ToString();
+  EXPECT_GT((*recorded)->event_count(), 0u);
+
+  auto streamed = service.OpenSession("//item/text()");
+  ASSERT_TRUE(streamed.ok());
+  ASSERT_TRUE(service.Push(*streamed, document).ok());
+  ASSERT_TRUE(service.Close(*streamed).ok());
+  std::vector<std::string> expected = service.Drain(*streamed);
+
+  auto cached = service.OpenSession("//item/text()");
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(service.RunCached(*cached, "doc").ok());
+  EXPECT_EQ(service.Drain(*cached), expected);
+  EXPECT_EQ(expected, (std::vector<std::string>{"one", "two"}));
+
+  StatsSnapshot snap = service.stats();
+  EXPECT_EQ(snap.doc_cache_hits, 1u);
+  EXPECT_EQ(snap.doc_cache_documents, 1u);
+  EXPECT_GT(snap.doc_cache_bytes, 0u);
+  EXPECT_EQ(snap.tape_replays, 1u);
+  EXPECT_GT(snap.tape_events_replayed, 0u);
+}
+
+TEST(QueryServiceTapeTest, RunCachedComposesBackToBack) {
+  QueryService service(SmallConfig(2));
+  ASSERT_TRUE(service.RecordDocument("a", "<r><v>1</v></r>").ok());
+  ASSERT_TRUE(service.RecordDocument("b", "<r><v>2</v><v>3</v></r>").ok());
+  auto id = service.OpenSession("//v/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.RunCached(*id, "a").ok());
+  ASSERT_TRUE(service.RunCached(*id, "b").ok());  // auto-rewinds
+  ASSERT_TRUE(service.RunCached(*id, "a").ok());
+  EXPECT_EQ(service.Drain(*id),
+            (std::vector<std::string>{"1", "2", "3", "1"}));
+}
+
+TEST(QueryServiceTapeTest, RunCachedAggregates) {
+  QueryService service(SmallConfig(2));
+  ASSERT_TRUE(
+      service.RecordDocument("nums", "<r><v>1</v><v>2</v><v>4</v></r>").ok());
+  auto id = service.OpenSession("//v/sum()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.RunCached(*id, "nums").ok());
+  std::optional<double> sum = service.FinalAggregate(*id);
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_DOUBLE_EQ(*sum, 7.0);
+}
+
+TEST(QueryServiceTapeTest, UnknownDocumentAndEvict) {
+  QueryService service(SmallConfig(1));
+  auto id = service.OpenSession("//a/text()");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(service.RunCached(*id, "nope").code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(service.RecordDocument("doc", "<a>x</a>").ok());
+  ASSERT_TRUE(service.RunCached(*id, "doc").ok());
+  ASSERT_TRUE(service.EvictDocument("doc").ok());
+  EXPECT_EQ(service.EvictDocument("doc").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.RunCached(*id, "doc").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTapeTest, RecordWithProjectionPreservesResults) {
+  std::string document = "<r>";
+  for (int i = 0; i < 50; ++i) {
+    document += "<keep>k" + std::to_string(i) + "</keep>";
+    document += "<noise><deep>waste</deep></noise>";
+  }
+  document += "</r>";
+  QueryService service(SmallConfig(2));
+  auto full = service.RecordDocument("full", document);
+  ASSERT_TRUE(full.ok());
+  auto projected = service.RecordDocument("proj", document,
+                                          {"/r/keep/text()"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_LT((*projected)->memory_bytes(), (*full)->memory_bytes());
+
+  auto id = service.OpenSession("/r/keep/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.RunCached(*id, "full").ok());
+  std::vector<std::string> from_full = service.Drain(*id);
+  ASSERT_TRUE(service.RunCached(*id, "proj").ok());
+  EXPECT_EQ(service.Drain(*id), from_full);
+  EXPECT_EQ(from_full.size(), 50u);
+}
+
+TEST(QueryServiceTapeTest, RunCachedAfterFailureRecovers) {
+  QueryService service(SmallConfig(1));
+  ASSERT_TRUE(service.RecordDocument("doc", "<a>ok</a>").ok());
+  auto id = service.OpenSession("//a/text()");
+  ASSERT_TRUE(id.ok());
+  // Fail the session with a malformed streamed document first.
+  ASSERT_TRUE(service.Push(*id, "<a><b></a>").ok());
+  EXPECT_FALSE(service.Close(*id).ok());
+  // RunCached rewinds the failed session and serves from the tape.
+  ASSERT_TRUE(service.RunCached(*id, "doc").ok());
+  EXPECT_EQ(service.Drain(*id), (std::vector<std::string>{"ok"}));
+}
+
+// Many threads replaying the same cached tape into their own sessions;
+// run under TSan by tools/check.sh.
+TEST(QueryServiceStressTest, ConcurrentRunCachedSharedTape) {
+  QueryService service(SmallConfig(4));
+  std::string document = "<r>";
+  for (int i = 0; i < 100; ++i) {
+    document += "<item>v" + std::to_string(i) + "</item>";
+  }
+  document += "</r>";
+  ASSERT_TRUE(service.RecordDocument("shared", document).ok());
+
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &failures] {
+      auto id = service.OpenSession("//item/text()");
+      if (!id.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < 5; ++i) {
+        if (!service.RunCached(*id, "shared").ok()) ++failures;
+        if (service.Drain(*id).size() != 100u) ++failures;
+      }
+      if (!service.Release(*id).ok()) ++failures;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  StatsSnapshot snap = service.stats();
+  EXPECT_EQ(snap.tape_replays, static_cast<uint64_t>(kThreads * 5));
+  EXPECT_EQ(snap.doc_cache_hits, static_cast<uint64_t>(kThreads * 5));
 }
 
 }  // namespace

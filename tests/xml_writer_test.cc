@@ -85,5 +85,21 @@ TEST(SerializeEventsTest, SelfClosingBecomesExplicitPair) {
   EXPECT_EQ(SerializeEvents(handler.events), "<a><b></b></a>");
 }
 
+TEST(SerializeEventsTest, DoctypeRoundTrips) {
+  const char* doc = "<!DOCTYPE r [<!ELEMENT r (#PCDATA)>]><r>x</r>";
+  RecordingHandler first;
+  SaxParser parser(&first);
+  ASSERT_TRUE(parser.Parse(doc).ok());
+  std::string serialized = SerializeEvents(first.events);
+  EXPECT_NE(serialized.find("<!DOCTYPE r ["), std::string::npos);
+  RecordingHandler second;
+  SaxParser reparser(&second);
+  ASSERT_TRUE(reparser.Parse(serialized).ok()) << serialized;
+  ASSERT_EQ(first.events.size(), second.events.size());
+  for (size_t i = 0; i < first.events.size(); ++i) {
+    EXPECT_TRUE(first.events[i] == second.events[i]) << i;
+  }
+}
+
 }  // namespace
 }  // namespace xsq::xml

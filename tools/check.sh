@@ -2,18 +2,24 @@
 # The per-PR verification gate:
 #   1. builds the default tree and runs the full tier-1 ctest suite;
 #   2. builds a ThreadSanitizer tree and re-runs the suite under TSan so
-#      the concurrent service layer is race-checked on every change.
+#      the concurrent service layer is race-checked on every change;
+#   3. builds an AddressSanitizer tree and re-runs the suite under ASan
+#      so the tape subsystem's binary decoding (varints, blob spans,
+#      string_views into interned symbols) is overflow- and leak-checked.
 #
 # Usage: tools/check.sh [ctest-regex]
-#   tools/check.sh              # everything, both builds
+#   tools/check.sh              # everything, all builds
 #   tools/check.sh Service      # only tests matching 'Service'
 # Env: BUILD_DIR (default build), TSAN_BUILD_DIR (default build-tsan),
-#      XSQ_SKIP_TSAN=1 to run only the plain build (e.g. no libtsan).
+#      ASAN_BUILD_DIR (default build-asan),
+#      XSQ_SKIP_TSAN=1 to skip the TSan build (e.g. no libtsan),
+#      XSQ_SKIP_ASAN=1 to skip the ASan build (e.g. no libasan).
 set -eu
 cd "$(dirname "$0")/.."
 
 build_dir=${BUILD_DIR:-build}
 tsan_dir=${TSAN_BUILD_DIR:-build-tsan}
+asan_dir=${ASAN_BUILD_DIR:-build-asan}
 filter=${1:-}
 ctest_args=(--output-on-failure -j "$(nproc)")
 if [ -n "$filter" ]; then
@@ -27,14 +33,23 @@ cmake --build "$build_dir" -j "$(nproc)"
 
 if [ "${XSQ_SKIP_TSAN:-0}" = "1" ]; then
   echo "== TSan build skipped (XSQ_SKIP_TSAN=1)"
-  exit 0
+else
+  echo "== ThreadSanitizer build ($tsan_dir)"
+  cmake -B "$tsan_dir" -S . -DXSQ_SANITIZE=thread >/dev/null
+  cmake --build "$tsan_dir" -j "$(nproc)"
+  # halt_on_error turns any reported race into a test failure.
+  (cd "$tsan_dir" &&
+    TSAN_OPTIONS="halt_on_error=1" ctest "${ctest_args[@]}")
 fi
 
-echo "== ThreadSanitizer build ($tsan_dir)"
-cmake -B "$tsan_dir" -S . -DXSQ_SANITIZE=thread >/dev/null
-cmake --build "$tsan_dir" -j "$(nproc)"
-# halt_on_error turns any reported race into a test failure.
-(cd "$tsan_dir" &&
-  TSAN_OPTIONS="halt_on_error=1" ctest "${ctest_args[@]}")
+if [ "${XSQ_SKIP_ASAN:-0}" = "1" ]; then
+  echo "== ASan build skipped (XSQ_SKIP_ASAN=1)"
+else
+  echo "== AddressSanitizer build ($asan_dir)"
+  cmake -B "$asan_dir" -S . -DXSQ_SANITIZE=address >/dev/null
+  cmake --build "$asan_dir" -j "$(nproc)"
+  (cd "$asan_dir" &&
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ctest "${ctest_args[@]}")
+fi
 
 echo "check.sh: all green"

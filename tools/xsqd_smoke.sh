@@ -66,4 +66,59 @@ if ! echo "$stats" | grep -q "^STAT items_emitted 1$"; then
   echo "$stats" >&2
   exit 1
 fi
+
+# Cached-document serving: RECORD parses once, RUNCACHED replays the
+# tape (twice, same session, auto-rewind), EVICT drops it.
+cached=$("$xsqd" --workers=2 <<'EOF'
+RECORD doc <r><item>one</item><item>two</item></r>
+OPEN //item/text()
+RUNCACHED 1 doc
+RUNCACHED 1 doc
+RUNCACHED 1 missing
+EVICT doc
+RUNCACHED 1 doc
+EVICT doc
+STATS
+QUIT
+EOF
+) || { echo "xsqd exited non-zero in cached-serving block" >&2; exit 1; }
+
+# RECORD answers "OK <events> <bytes>"; the event count is pinned by the
+# document (docbegin + 3 begin + 3 end + 2 text + docend), the byte
+# count is an implementation detail.
+record_line=$(echo "$cached" | head -1)
+case $record_line in
+  "OK 10 "*) ;;
+  *) echo "unexpected RECORD reply: $record_line" >&2; exit 1 ;;
+esac
+
+cached_expected='OK 1
+ITEM one
+ITEM two
+OK
+ITEM one
+ITEM two
+OK
+ERR InvalidArgument: document not recorded: missing
+OK
+ERR InvalidArgument: document not recorded: doc
+ERR InvalidArgument: document not recorded: doc'
+cached_actual=$(echo "$cached" | sed -n '2,12p')
+if [ "$cached_actual" != "$cached_expected" ]; then
+  echo "cached-serving protocol output mismatch" >&2
+  diff <(echo "$cached_expected") <(echo "$cached_actual") >&2
+  exit 1
+fi
+
+# The document-cache counters must reflect the runs above: two replay
+# hits, two misses (the RUNCACHEDs after eviction/for an unknown name),
+# nothing left resident after EVICT.
+for want in "doc_cache_hits 2" "doc_cache_misses 2" "doc_cache_documents 0" \
+            "tape_replays 2"; do
+  if ! echo "$cached" | grep -q "^STAT $want$"; then
+    echo "STATS cache counters wrong; wanted 'STAT $want' in:" >&2
+    echo "$cached" | grep "^STAT" >&2
+    exit 1
+  fi
+done
 echo "xsqd smoke OK"
