@@ -22,6 +22,9 @@
 //                                                 the next RUNCACHED
 //   EVICT <name>       -> OK                      drop a cached tape
 //   STATS              -> STAT <name> <value>... OK
+//   METRICS            -> METRIC <line>... OK     latency/phase histograms
+//                                                 plus counters, Prometheus
+//                                                 text format per line
 //   QUIT               -> OK (and exit; EOF quits too)
 // Any failure answers "ERR <Code>: <message>" instead of OK.
 //
@@ -31,7 +34,10 @@
 //
 // Flags: --workers=N (default 4), --max-sessions=N,
 //        --session-memory-budget=BYTES, --plan-cache=N,
-//        --doc-cache=N, --doc-cache-bytes=BYTES.
+//        --doc-cache=N (0 = unlimited), --doc-cache-bytes=BYTES
+//        (0 = unlimited), --slow-query-ms=N (log requests at or above
+//        N ms to stderr with their parse/automaton/buffer phase split;
+//        0 = disabled).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -151,6 +157,8 @@ int main(int argc, char** argv) {
           FlagValue(arg, config.doc_cache_byte_budget);
     } else if (arg.rfind("--doc-cache", 0) == 0) {
       config.doc_cache_capacity = FlagValue(arg, config.doc_cache_capacity);
+    } else if (arg.rfind("--slow-query-ms", 0) == 0) {
+      config.slow_query_ms = FlagValue(arg, config.slow_query_ms);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
       return 2;
@@ -256,6 +264,15 @@ int main(int argc, char** argv) {
       while (begin < text.size()) {
         size_t end = text.find('\n', begin);
         Reply("STAT " + text.substr(begin, end - begin));
+        begin = end + 1;
+      }
+      Reply("OK");
+    } else if (command == "METRICS") {
+      std::string text = service.MetricsText();
+      size_t begin = 0;
+      while (begin < text.size()) {
+        size_t end = text.find('\n', begin);
+        Reply("METRIC " + text.substr(begin, end - begin));
         begin = end + 1;
       }
       Reply("OK");

@@ -17,13 +17,25 @@ std::string_view TrimWhitespace(std::string_view s) {
 
 std::optional<double> ParseNumber(std::string_view s) {
   std::string_view t = TrimWhitespace(s);
-  if (t.empty() || t.size() > 63) return std::nullopt;
-  char buf[64];
-  std::memcpy(buf, t.data(), t.size());
-  buf[t.size()] = '\0';
+  if (t.empty()) return std::nullopt;
+  // strtod needs NUL termination; numerals short enough for the stack
+  // buffer (the overwhelming majority) avoid a heap allocation, longer
+  // ones — legal XPath numerals like a 70-digit integer or a padded
+  // "0.000...1" — take the std::string path instead of being rejected.
+  char stack_buf[64];
+  std::string heap_buf;
+  const char* begin;
+  if (t.size() < sizeof(stack_buf)) {
+    std::memcpy(stack_buf, t.data(), t.size());
+    stack_buf[t.size()] = '\0';
+    begin = stack_buf;
+  } else {
+    heap_buf.assign(t);
+    begin = heap_buf.c_str();
+  }
   char* end = nullptr;
-  double value = std::strtod(buf, &end);
-  if (end != buf + t.size()) return std::nullopt;
+  double value = std::strtod(begin, &end);
+  if (end != begin + t.size()) return std::nullopt;
   if (std::isnan(value)) return std::nullopt;
   return value;
 }
@@ -57,8 +69,15 @@ std::string FormatNumber(double value) {
     std::snprintf(buf, sizeof(buf), "%.0f", value);
     return buf;
   }
+  // Shortest representation that round-trips: %.15g suffices for most
+  // doubles, %.17g always does. Fixed %.12g silently lost precision,
+  // which made streaming and DOM evaluators disagree on values that
+  // differ only past the 12th significant digit.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
   return buf;
 }
 

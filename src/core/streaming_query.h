@@ -22,6 +22,7 @@
 #ifndef XSQ_CORE_STREAMING_QUERY_H_
 #define XSQ_CORE_STREAMING_QUERY_H_
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -38,6 +39,28 @@
 
 namespace xsq::core {
 
+// Receives phase timing samples from an instrumented StreamingQuery
+// (see set_phase_listener). Durations are nanoseconds, split the way
+// the paper's Figure 18 decomposes runtime:
+//   parse     - SAX tokenization and well-formedness work,
+//   automaton - engine transition work driven by begin/end events
+//               (HPDT transitions on XSQ-F, stack moves on XSQ-NC),
+//   buffer    - text-event work: candidate buffering, predicate
+//               evaluation, and item upload.
+// Measurement is two-level sampling so the hot path stays within the
+// ext_obs overhead bound: every Nth chunk is routed through a timing
+// shim (every Mth SAX callback inside it is clocked and scaled), other
+// chunks run the exact uninstrumented path. One sample is emitted per
+// document, at Close: the sampled-chunk totals scaled by the observed
+// chunks/sampled ratio plus the always-timed Close flush — a
+// statistically faithful estimate of the document's split, not exact.
+class PhaseListener {
+ public:
+  virtual ~PhaseListener() = default;
+  virtual void OnPhaseSample(uint64_t parse_ns, uint64_t automaton_ns,
+                             uint64_t buffer_ns) = 0;
+};
+
 class StreamingQuery {
  public:
   // Parses and compiles `query_text`.
@@ -49,6 +72,19 @@ class StreamingQuery {
   // any number of StreamingQuery instances concurrently.
   static Result<std::unique_ptr<StreamingQuery>> Open(
       std::shared_ptr<const CompiledPlan> plan);
+
+  ~StreamingQuery();
+
+  // Attaches (or with nullptr detaches) a per-phase timing listener.
+  // While attached, each Close reports the document's estimated
+  // parse/automaton/buffer nanosecond split (see PhaseListener).
+  // Must be called between documents (before the first Push, or after
+  // Reset); the listener must outlive the query or be detached first.
+  //
+  // Cost model: detached, the only overhead is one pointer test per
+  // Push; compiled with XSQ_OBS=OFF the hook is a no-op and the
+  // instrumentation code does not exist at all (compile-time zero).
+  void set_phase_listener(PhaseListener* listener);
 
   // Feeds the next chunk of the document (any chunk boundaries).
   Status Push(std::string_view chunk);
@@ -108,7 +144,12 @@ class StreamingQuery {
   size_t buffered_bytes() const;
 
  private:
+  class PhaseShim;  // sampled SaxHandler timing wrapper (obs builds)
+
   explicit StreamingQuery(std::shared_ptr<const CompiledPlan> plan);
+
+  // The engine as a SaxHandler, bypassing any phase shim.
+  xml::SaxHandler* engine_handler();
 
   std::shared_ptr<const CompiledPlan> plan_;
   CollectingSink sink_;
@@ -116,6 +157,16 @@ class StreamingQuery {
   std::unique_ptr<XsqEngine> f_engine_;
   std::unique_ptr<XsqNcEngine> nc_engine_;
   std::unique_ptr<xml::SaxParser> parser_;
+  PhaseListener* phase_listener_ = nullptr;
+  std::unique_ptr<PhaseShim> phase_shim_;
+  // Chunk-level sampling state (obs builds): how many chunks this
+  // document has seen / how many went through the shim, and the
+  // unscaled phase totals of the sampled ones (scaled out at Close).
+  uint32_t chunk_tick_ = 0;
+  uint32_t sampled_chunks_ = 0;
+  uint64_t phase_parse_ns_ = 0;
+  uint64_t phase_automaton_ns_ = 0;
+  uint64_t phase_buffer_ns_ = 0;
   bool closed_ = false;
 };
 

@@ -1,0 +1,57 @@
+#include "obs/histogram.h"
+
+namespace xsq::obs {
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  // Rank against the bucket totals, not `count`: a snapshot taken while
+  // writers are recording may have copied the two at slightly different
+  // instants, and the quantile must stay inside the copied buckets.
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+
+  // 1-based rank of the requested quantile.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] >= rank) {
+      double lower = static_cast<double>(BucketLowerBound(i));
+      double upper = static_cast<double>(BucketUpperBound(i));
+      if (i == kBucketCount - 1 || upper < lower) return lower;
+      // Interpolate linearly by the rank's position inside the bucket.
+      double within = static_cast<double>(rank - cumulative - 1) /
+                      static_cast<double>(buckets[i]);
+      double value = lower + within * (upper - lower);
+      // The observed max is a tighter bound than the bucket ceiling.
+      double cap = static_cast<double>(max);
+      return cap > 0.0 && value > cap && cumulative + buckets[i] == total
+                 ? cap
+                 : value;
+    }
+    cumulative += buckets[i];
+  }
+  return static_cast<double>(max);
+}
+
+void Histogram::Snapshot::Merge(const Snapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+  for (size_t i = 0; i < kBucketCount; ++i) buckets[i] += other.buckets[i];
+}
+
+}  // namespace xsq::obs

@@ -1,0 +1,102 @@
+// Histogram: a lock-free, fixed log-bucket latency histogram.
+//
+// The serving stack needs latency *distributions*, not just lifetime
+// counters: the paper's own evaluation (Section 6, Figure 18) splits
+// runtime into parsing / automaton / buffer phases, and under the
+// concurrent load the service layer targets, tails (p95/p99) are what
+// admission control and capacity planning act on.
+//
+// Design: 65 buckets on power-of-two boundaries — bucket 0 holds the
+// value 0, bucket b >= 1 holds [2^(b-1), 2^b). A value's bucket is
+// bit_width(value), one instruction; Record() is then four relaxed
+// atomic adds plus a CAS-max, so any number of worker threads can record
+// concurrently with snapshot readers without ever contending on a lock.
+// Values are unit-agnostic; the service layer records microseconds.
+//
+// Snapshot() copies the buckets with relaxed loads. Counts recorded
+// concurrently with the copy may or may not be included (each Record is
+// atomic, so a snapshot is always a valid histogram, just a slightly
+// stale one). Snapshots are plain structs: mergeable across histograms
+// (worker-local shards, multi-process roll-ups) and queryable for
+// p50/p95/p99/max with log-linear interpolation inside the bucket.
+#ifndef XSQ_OBS_HISTOGRAM_H_
+#define XSQ_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace xsq::obs {
+
+class Histogram {
+ public:
+  // Bucket 0 = {0}; bucket b in [1, 64] = [2^(b-1), 2^b).
+  static constexpr size_t kBucketCount = 65;
+
+  static constexpr size_t BucketIndex(uint64_t value) {
+    return value == 0 ? 0 : static_cast<size_t>(std::bit_width(value));
+  }
+  // Inclusive bounds of bucket `index`.
+  static constexpr uint64_t BucketLowerBound(size_t index) {
+    return index == 0 ? 0 : uint64_t{1} << (index - 1);
+  }
+  static constexpr uint64_t BucketUpperBound(size_t index) {
+    return index == 0 ? 0
+           : index >= 64
+               ? ~uint64_t{0}
+               : (uint64_t{1} << index) - 1;
+  }
+
+  // A point-in-time copy, safe to read, merge, and format at leisure.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    std::array<uint64_t, kBucketCount> buckets{};
+
+    // Approximate quantile (q in [0, 1]) with linear interpolation
+    // inside the containing bucket; exact for q=1 up to bucket bounds.
+    // Returns 0 for an empty snapshot.
+    double Quantile(double q) const;
+    double p50() const { return Quantile(0.50); }
+    double p95() const { return Quantile(0.95); }
+    double p99() const { return Quantile(0.99); }
+    double Mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+
+    // Adds `other`'s counts into this snapshot (shard roll-up).
+    void Merge(const Snapshot& other);
+  };
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Lock-free; any thread.
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen && !max_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  Snapshot snapshot() const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace xsq::obs
+
+#endif  // XSQ_OBS_HISTOGRAM_H_

@@ -1,0 +1,106 @@
+#include "obs/registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace xsq::obs {
+
+namespace {
+
+void AppendUint(std::string* out, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  *out += buf;
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  *out += buf;
+}
+
+}  // namespace
+
+Histogram* Registry::GetOrCreateHistogram(std::string_view name,
+                                          std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    if (entry->name == name) return &entry->histogram;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name.assign(name);
+  entry->help.assign(help);
+  entries_.push_back(std::move(entry));
+  return &entries_.back()->histogram;
+}
+
+const Histogram* Registry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    if (entry->name == name) return &entry->histogram;
+  }
+  return nullptr;
+}
+
+std::string Registry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    Histogram::Snapshot snap = entry->histogram.snapshot();
+    if (!entry->help.empty()) {
+      out += "# HELP " + entry->name + " " + entry->help + "\n";
+    }
+    out += "# TYPE " + entry->name + " histogram\n";
+
+    size_t highest = 0;
+    for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      if (snap.buckets[i] != 0) highest = i;
+    }
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= highest; ++i) {
+      cumulative += snap.buckets[i];
+      out += entry->name + "_bucket{le=\"";
+      AppendUint(&out, Histogram::BucketUpperBound(i));
+      out += "\"} ";
+      AppendUint(&out, cumulative);
+      out += '\n';
+    }
+    out += entry->name + "_bucket{le=\"+Inf\"} ";
+    AppendUint(&out, snap.count);
+    out += '\n';
+    out += entry->name + "_sum ";
+    AppendUint(&out, snap.sum);
+    out += '\n';
+    out += entry->name + "_count ";
+    AppendUint(&out, snap.count);
+    out += '\n';
+    out += entry->name + "_p50 ";
+    AppendDouble(&out, snap.p50());
+    out += '\n';
+    out += entry->name + "_p95 ";
+    AppendDouble(&out, snap.p95());
+    out += '\n';
+    out += entry->name + "_p99 ";
+    AppendDouble(&out, snap.p99());
+    out += '\n';
+    out += entry->name + "_max ";
+    AppendUint(&out, snap.max);
+    out += '\n';
+  }
+  return out;
+}
+
+void Registry::AppendScalar(std::string* out, std::string_view name,
+                            std::string_view type, uint64_t value) {
+  *out += "# TYPE ";
+  out->append(name);
+  *out += ' ';
+  out->append(type);
+  *out += '\n';
+  out->append(name);
+  *out += ' ';
+  AppendUint(out, value);
+  *out += '\n';
+}
+
+}  // namespace xsq::obs

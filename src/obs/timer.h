@@ -1,0 +1,57 @@
+// RAII timers over the obs histograms.
+//
+// ScopedTimer measures one region and records its duration (in
+// microseconds, the unit every service histogram uses) into a Histogram
+// when it goes out of scope. The clock is steady_clock — two reads per
+// timed region, no allocation, safe on any thread.
+#ifndef XSQ_OBS_TIMER_H_
+#define XSQ_OBS_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/histogram.h"
+
+namespace xsq::obs {
+
+// Monotonic nanoseconds since an arbitrary epoch.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline uint64_t NanosToMicros(uint64_t nanos) { return nanos / 1000; }
+
+// Records the lifetime of the scope into `histogram` (microseconds).
+// A null histogram makes the timer a near-no-op (one clock read).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_ns_(MonotonicNanos()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Record(NanosToMicros(MonotonicNanos() - start_ns_));
+    }
+  }
+
+  // Elapsed time so far, without stopping the timer.
+  uint64_t ElapsedNanos() const { return MonotonicNanos() - start_ns_; }
+  uint64_t ElapsedMicros() const { return NanosToMicros(ElapsedNanos()); }
+
+  // Detaches the histogram; nothing is recorded at destruction.
+  void Cancel() { histogram_ = nullptr; }
+
+ private:
+  Histogram* histogram_;
+  const uint64_t start_ns_;
+};
+
+}  // namespace xsq::obs
+
+#endif  // XSQ_OBS_TIMER_H_

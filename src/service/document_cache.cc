@@ -3,7 +3,7 @@
 namespace xsq::service {
 
 DocumentCache::DocumentCache(size_t capacity, size_t byte_budget)
-    : capacity_(capacity == 0 ? 1 : capacity), byte_budget_(byte_budget) {}
+    : capacity_(capacity), byte_budget_(byte_budget) {}
 
 std::shared_ptr<const tape::Tape> DocumentCache::Get(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -44,6 +44,7 @@ bool DocumentCache::Evict(std::string_view name) {
   resident_bytes_ -= it->second->bytes;
   lru_.erase(it->second);
   index_.erase(it);
+  ++counters_.explicit_evictions;
   return true;
 }
 
@@ -51,7 +52,7 @@ void DocumentCache::EvictToBoundsLocked() {
   // Never evict the most recent entry: an oversized tape the caller just
   // recorded must stay resident or the cache can thrash to empty.
   while (lru_.size() > 1 &&
-         (lru_.size() > capacity_ ||
+         ((capacity_ > 0 && lru_.size() > capacity_) ||
           (byte_budget_ > 0 && resident_bytes_ > byte_budget_))) {
     resident_bytes_ -= lru_.back().bytes;
     index_.erase(std::string_view(lru_.back().name));

@@ -9,10 +9,10 @@
 // tape stays valid for replays already holding it.
 //
 // Eviction is LRU, bounded two ways: by entry count (`capacity`) and by
-// total resident bytes (`byte_budget`, Tape::memory_bytes summed; 0 =
-// unlimited). A single tape larger than the whole byte budget is
-// admitted alone — rejecting it would make the cache silently useless
-// for the one document the caller just paid to record.
+// total resident bytes (`byte_budget`, Tape::memory_bytes summed). For
+// both bounds 0 means unlimited. A single tape larger than the whole
+// byte budget is admitted alone — rejecting it would make the cache
+// silently useless for the one document the caller just paid to record.
 #ifndef XSQ_SERVICE_DOCUMENT_CACHE_H_
 #define XSQ_SERVICE_DOCUMENT_CACHE_H_
 
@@ -33,13 +33,14 @@ class DocumentCache {
   struct Counters {
     uint64_t hits = 0;
     uint64_t misses = 0;
-    uint64_t evictions = 0;
+    uint64_t evictions = 0;           // budget pressure (LRU) only
+    uint64_t explicit_evictions = 0;  // caller-requested Evict() calls
     uint64_t resident_documents = 0;
     uint64_t resident_bytes = 0;
   };
 
-  // `capacity` is the maximum number of cached tapes (at least 1);
-  // `byte_budget` bounds their summed memory_bytes (0 = unlimited).
+  // `capacity` is the maximum number of cached tapes; `byte_budget`
+  // bounds their summed memory_bytes. For both, 0 means unlimited.
   explicit DocumentCache(size_t capacity, size_t byte_budget = 0);
 
   DocumentCache(const DocumentCache&) = delete;
@@ -53,9 +54,9 @@ class DocumentCache {
   // both bounds hold again. Replacement does not count as an eviction.
   void Put(std::string_view name, std::shared_ptr<const tape::Tape> tape);
 
-  // Drops `name`'s entry; false if it was not resident. Explicit
-  // eviction is not counted in `evictions` (that counter measures
-  // budget pressure).
+  // Drops `name`'s entry; false if it was not resident. Counted in
+  // `explicit_evictions`, not `evictions` (that counter measures budget
+  // pressure), so the two can be reconciled independently.
   bool Evict(std::string_view name);
 
   Counters counters() const;

@@ -1,0 +1,59 @@
+// ServiceMetrics: the service layer's histogram set, resolved once from
+// an obs::Registry so hot paths record through stable pointers.
+//
+// Metric names (all durations in microseconds, log2 buckets):
+//   xsq_request_latency_us   first chunk queued (or RunCached entry) to
+//                            document fully evaluated
+//   xsq_queue_wait_us        work item queued to claimed by a worker
+//   xsq_chunk_latency_us     chunk queued to chunk evaluated
+//   xsq_phase_parse_us       per-document SAX parse time (Figure 18)
+//   xsq_phase_automaton_us   per-document engine transition time
+//   xsq_phase_buffer_us      per-document buffering/predicate time
+//   xsq_tape_replay_us       Session::RunTape replay duration
+//
+// The phase histograms record one sample per served document (the
+// accumulated per-chunk split core::PhaseListener reports), mirroring
+// the paper's per-run phase decomposition rather than per-event noise.
+#ifndef XSQ_SERVICE_METRICS_H_
+#define XSQ_SERVICE_METRICS_H_
+
+#include "obs/registry.h"
+
+namespace xsq::service {
+
+struct ServiceMetrics {
+  explicit ServiceMetrics(obs::Registry* registry)
+      : request_latency_us(registry->GetOrCreateHistogram(
+            "xsq_request_latency_us",
+            "End-to-end document serve latency, microseconds")),
+        queue_wait_us(registry->GetOrCreateHistogram(
+            "xsq_queue_wait_us",
+            "Work item queue wait before a worker claims it, microseconds")),
+        chunk_latency_us(registry->GetOrCreateHistogram(
+            "xsq_chunk_latency_us",
+            "Chunk push-to-evaluated latency, microseconds")),
+        phase_parse_us(registry->GetOrCreateHistogram(
+            "xsq_phase_parse_us",
+            "Per-document SAX parse phase time, microseconds")),
+        phase_automaton_us(registry->GetOrCreateHistogram(
+            "xsq_phase_automaton_us",
+            "Per-document automaton transition phase time, microseconds")),
+        phase_buffer_us(registry->GetOrCreateHistogram(
+            "xsq_phase_buffer_us",
+            "Per-document buffer/predicate phase time, microseconds")),
+        tape_replay_us(registry->GetOrCreateHistogram(
+            "xsq_tape_replay_us",
+            "Cached-document tape replay duration, microseconds")) {}
+
+  obs::Histogram* const request_latency_us;
+  obs::Histogram* const queue_wait_us;
+  obs::Histogram* const chunk_latency_us;
+  obs::Histogram* const phase_parse_us;
+  obs::Histogram* const phase_automaton_us;
+  obs::Histogram* const phase_buffer_us;
+  obs::Histogram* const tape_replay_us;
+};
+
+}  // namespace xsq::service
+
+#endif  // XSQ_SERVICE_METRICS_H_

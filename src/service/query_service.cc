@@ -1,9 +1,22 @@
 #include "service/query_service.h"
 
+#include <cstdio>
+
+#include "obs/timer.h"
 #include "tape/projection.h"
 #include "tape/recorder.h"
 
 namespace xsq::service {
+
+namespace {
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point since,
+                       std::chrono::steady_clock::time_point now) {
+  if (now <= since) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - since)
+          .count());
+}
+}  // namespace
 
 QueryService::QueryService(ServiceConfig config)
     : config_(config),
@@ -34,14 +47,25 @@ void QueryService::WorkerLoop() {
     state->queue.clear();
     lock.unlock();
 
+    std::chrono::steady_clock::time_point claimed =
+        std::chrono::steady_clock::now();
     for (WorkItem& item : batch) {
+      metrics_.queue_wait_us->Record(ElapsedMicros(item.enqueued, claimed));
       if (item.kind == WorkItem::Kind::kChunk) {
         // Failed sessions swallow their remaining queued chunks (the
         // error is already recorded; Close reports it).
         state->session->Push(item.chunk);
         stats_.RecordChunk(item.chunk.size());
+        metrics_.chunk_latency_us->Record(ElapsedMicros(
+            item.enqueued, std::chrono::steady_clock::now()));
       } else {
         state->session->Close();
+        if (state->doc_started) {
+          uint64_t elapsed_us = ElapsedMicros(
+              state->doc_start, std::chrono::steady_clock::now());
+          metrics_.request_latency_us->Record(elapsed_us);
+          MaybeLogSlowQuery(*state, elapsed_us);
+        }
       }
     }
 
@@ -94,7 +118,7 @@ Result<SessionId> QueryService::OpenSession(std::string_view query_text) {
   XSQ_ASSIGN_OR_RETURN(
       std::unique_ptr<Session> session,
       Session::Create(std::move(plan), config_.per_session_memory_budget,
-                      &stats_));
+                      &stats_, &metrics_));
 
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) return Status::InvalidArgument("service is shut down");
@@ -132,7 +156,13 @@ Status QueryService::Push(SessionId id, std::string chunk) {
     return Status::ResourceExhausted(
         "global memory budget exceeded; retry after buffers drain");
   }
-  state->queue.push_back(WorkItem{WorkItem::Kind::kChunk, std::move(chunk)});
+  std::chrono::steady_clock::time_point now = std::chrono::steady_clock::now();
+  if (!state->doc_started) {
+    state->doc_started = true;
+    state->doc_start = now;
+  }
+  state->queue.push_back(
+      WorkItem{WorkItem::Kind::kChunk, std::move(chunk), now});
   stats_.RecordQueueDepth(state->queue.size());
   ScheduleLocked(state);
   return Status::OK();
@@ -144,7 +174,14 @@ Status QueryService::Close(SessionId id) {
   if (!state->close_requested) {
     if (stopping_) return Status::InvalidArgument("service is shut down");
     state->close_requested = true;
-    state->queue.push_back(WorkItem{WorkItem::Kind::kClose, std::string()});
+    std::chrono::steady_clock::time_point now =
+        std::chrono::steady_clock::now();
+    if (!state->doc_started) {
+      state->doc_started = true;
+      state->doc_start = now;
+    }
+    state->queue.push_back(
+        WorkItem{WorkItem::Kind::kClose, std::string(), now});
     ScheduleLocked(state);
   }
   WaitUntilIdle(lock, state);
@@ -165,6 +202,7 @@ Status QueryService::ResetSession(SessionId id) {
   lock.lock();
   state->scheduled = false;
   state->close_requested = false;
+  state->doc_started = false;
   if (!state->queue.empty()) ScheduleLocked(state);
   idle_cv_.notify_all();
   return status;
@@ -218,15 +256,18 @@ Status QueryService::RunCached(SessionId id, std::string_view name) {
 
   // Rewind a session that already served a document (or failed) so
   // RunCached composes back to back without an explicit reset.
+  obs::ScopedTimer request_timer(metrics_.request_latency_us);
   Status status = Status::OK();
   if (state->session->closed() || !state->session->status().ok()) {
     status = state->session->Reset();
   }
   if (status.ok()) status = state->session->RunTape(*tape);
+  MaybeLogSlowQuery(*state, request_timer.ElapsedMicros());
 
   lock.lock();
   state->scheduled = false;
   state->close_requested = false;
+  state->doc_started = false;
   if (!state->queue.empty()) ScheduleLocked(state);
   idle_cv_.notify_all();
   return status;
@@ -296,9 +337,68 @@ StatsSnapshot QueryService::stats() const {
   snap.doc_cache_hits = docs.hits;
   snap.doc_cache_misses = docs.misses;
   snap.doc_cache_evictions = docs.evictions;
+  snap.doc_cache_explicit_evictions = docs.explicit_evictions;
   snap.doc_cache_documents = docs.resident_documents;
   snap.doc_cache_bytes = docs.resident_bytes;
   return snap;
+}
+
+std::string QueryService::MetricsText() const {
+  std::string out = registry_.RenderText();
+  // The STATS counters re-exposed in the same format, `xsq_` prefixed,
+  // so one METRICS scrape reconciles histograms against lifetime
+  // counters and gauges.
+  StatsSnapshot snap = stats();
+  auto counter = [&out](const char* name, uint64_t value) {
+    obs::Registry::AppendScalar(&out, name, "counter", value);
+  };
+  auto gauge = [&out](const char* name, uint64_t value) {
+    obs::Registry::AppendScalar(&out, name, "gauge", value);
+  };
+  // Whether the per-phase hooks were compiled in; scrapers (and the
+  // smoke test) use this to know if the phase histograms can populate.
+#if XSQ_OBS_ENABLED
+  gauge("xsq_obs_enabled", 1);
+#else
+  gauge("xsq_obs_enabled", 0);
+#endif
+  counter("xsq_sessions_opened", snap.sessions_opened);
+  counter("xsq_sessions_rejected", snap.sessions_rejected);
+  gauge("xsq_sessions_active", snap.sessions_active);
+  counter("xsq_chunks_processed", snap.chunks_processed);
+  counter("xsq_bytes_consumed", snap.bytes_consumed);
+  counter("xsq_items_emitted", snap.items_emitted);
+  counter("xsq_pushes_rejected", snap.pushes_rejected);
+  gauge("xsq_queue_high_water", snap.queue_high_water);
+  gauge("xsq_engine_buffered_bytes", snap.engine_buffered_bytes);
+  counter("xsq_plan_cache_hits", snap.plan_cache_hits);
+  counter("xsq_plan_cache_misses", snap.plan_cache_misses);
+  counter("xsq_plan_cache_evictions", snap.plan_cache_evictions);
+  counter("xsq_doc_cache_hits", snap.doc_cache_hits);
+  counter("xsq_doc_cache_misses", snap.doc_cache_misses);
+  counter("xsq_doc_cache_evictions", snap.doc_cache_evictions);
+  counter("xsq_doc_cache_explicit_evictions",
+          snap.doc_cache_explicit_evictions);
+  gauge("xsq_doc_cache_documents", snap.doc_cache_documents);
+  gauge("xsq_doc_cache_bytes", snap.doc_cache_bytes);
+  counter("xsq_tape_replays", snap.tape_replays);
+  counter("xsq_tape_events_replayed", snap.tape_events_replayed);
+  return out;
+}
+
+void QueryService::MaybeLogSlowQuery(const SessionState& state,
+                                     uint64_t elapsed_us) const {
+  if (config_.slow_query_ms == 0) return;
+  if (elapsed_us < static_cast<uint64_t>(config_.slow_query_ms) * 1000) return;
+  Session::PhaseTotals phases = state.session->phase_totals();
+  std::fprintf(stderr,
+               "[xsq] slow query: %.1f ms total "
+               "(parse %.1f ms, automaton %.1f ms, buffer %.1f ms) %s\n",
+               static_cast<double>(elapsed_us) / 1e3,
+               static_cast<double>(phases.parse_ns) / 1e6,
+               static_cast<double>(phases.automaton_ns) / 1e6,
+               static_cast<double>(phases.buffer_ns) / 1e6,
+               state.session->query().ToString().c_str());
 }
 
 size_t QueryService::active_sessions() const {

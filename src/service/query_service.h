@@ -36,6 +36,7 @@
 #ifndef XSQ_SERVICE_QUERY_SERVICE_H_
 #define XSQ_SERVICE_QUERY_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -49,7 +50,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/registry.h"
 #include "service/document_cache.h"
+#include "service/metrics.h"
 #include "service/plan_cache.h"
 #include "service/session.h"
 #include "service/stats.h"
@@ -74,10 +77,14 @@ struct ServiceConfig {
   size_t global_memory_budget = 0;
   // Compiled plans kept by the LRU plan cache.
   size_t plan_cache_capacity = 128;
-  // Recorded tapes kept by the LRU document cache.
+  // Recorded tapes kept by the LRU document cache (0 = unlimited).
   size_t doc_cache_capacity = 64;
   // Byte budget for resident tapes (0 = unlimited).
   size_t doc_cache_byte_budget = 0;
+  // Requests (Close/RunCached completions) at or above this many
+  // milliseconds are logged to stderr with their phase breakdown
+  // (0 = disabled).
+  size_t slow_query_ms = 0;
 };
 
 class QueryService {
@@ -152,6 +159,14 @@ class QueryService {
   // Counters, including plan-cache hit/miss/eviction numbers.
   StatsSnapshot stats() const;
 
+  // Latency observability: the histogram registry (see
+  // service/metrics.h for the metric set) and the combined
+  // Prometheus-style exposition — every histogram plus the StatsSnapshot
+  // counters/gauges as `xsq_<name>` scalars. The xsqd METRICS verb
+  // prints MetricsText() verbatim.
+  const obs::Registry& metrics_registry() const { return registry_; }
+  std::string MetricsText() const;
+
   const PlanCache& plan_cache() const { return plan_cache_; }
   const DocumentCache& document_cache() const { return doc_cache_; }
   size_t active_sessions() const;
@@ -160,6 +175,8 @@ class QueryService {
   struct WorkItem {
     enum class Kind { kChunk, kClose } kind;
     std::string chunk;
+    // Enqueue instant, for queue-wait and chunk-latency histograms.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   // One open session plus its scheduling state. Guarded by mu_ except
@@ -171,6 +188,11 @@ class QueryService {
     bool scheduled = false;  // on the runnable queue or held by a worker
     bool close_requested = false;
     bool released = false;
+    // Request-latency bookkeeping: set under mu_ when the document's
+    // first work item is queued, read by the worker processing kClose
+    // (ordered by the queue handoff through mu_).
+    std::chrono::steady_clock::time_point doc_start{};
+    bool doc_started = false;
   };
 
   void WorkerLoop();
@@ -183,10 +205,18 @@ class QueryService {
   void WaitUntilIdle(std::unique_lock<std::mutex>& lock,
                      const std::shared_ptr<SessionState>& state);
 
+  // Logs the request to stderr with its phase breakdown when it ran at
+  // or above the slow-query threshold. Called by the thread that just
+  // finished evaluating the request (it owns the session's claim).
+  void MaybeLogSlowQuery(const SessionState& state,
+                         uint64_t elapsed_us) const;
+
   const ServiceConfig config_;
   PlanCache plan_cache_;
   DocumentCache doc_cache_;
   ServiceStats stats_;
+  obs::Registry registry_;
+  ServiceMetrics metrics_{&registry_};
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers: runnable queue non-empty

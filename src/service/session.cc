@@ -1,5 +1,6 @@
 #include "service/session.h"
 
+#include "obs/timer.h"
 #include "tape/replayer.h"
 
 namespace xsq::service {
@@ -12,16 +13,46 @@ constexpr size_t kReplayBatchEvents = 8192;
 
 Result<std::unique_ptr<Session>> Session::Create(
     std::shared_ptr<const core::CompiledPlan> plan, size_t memory_budget,
-    ServiceStats* stats) {
+    ServiceStats* stats, ServiceMetrics* metrics) {
   XSQ_ASSIGN_OR_RETURN(std::unique_ptr<core::StreamingQuery> query,
                        core::StreamingQuery::Open(std::move(plan)));
   return std::unique_ptr<Session>(
-      new Session(std::move(query), memory_budget, stats));
+      new Session(std::move(query), memory_budget, stats, metrics));
 }
 
 Session::Session(std::unique_ptr<core::StreamingQuery> query,
-                 size_t memory_budget, ServiceStats* stats)
-    : memory_budget_(memory_budget), stats_(stats), query_(std::move(query)) {}
+                 size_t memory_budget, ServiceStats* stats,
+                 ServiceMetrics* metrics)
+    : memory_budget_(memory_budget),
+      stats_(stats),
+      metrics_(metrics),
+      query_(std::move(query)) {
+  // With metrics attached the session doubles as the query's phase
+  // listener; per-chunk samples accumulate into phases_ and flush to the
+  // histograms once per document. No-op in XSQ_OBS=OFF builds.
+  if (metrics_ != nullptr) query_->set_phase_listener(this);
+}
+
+void Session::OnPhaseSample(uint64_t parse_ns, uint64_t automaton_ns,
+                            uint64_t buffer_ns) {
+  phases_.parse_ns += parse_ns;
+  phases_.automaton_ns += automaton_ns;
+  phases_.buffer_ns += buffer_ns;
+}
+
+void Session::RecordPhaseHistograms() {
+  if (metrics_ == nullptr) return;
+  // In XSQ_OBS=OFF builds no samples ever arrive; suppress the all-zero
+  // document record so the histograms stay empty rather than misleading.
+  if (phases_.parse_ns == 0 && phases_.automaton_ns == 0 &&
+      phases_.buffer_ns == 0) {
+    return;
+  }
+  metrics_->phase_parse_us->Record(obs::NanosToMicros(phases_.parse_ns));
+  metrics_->phase_automaton_us->Record(
+      obs::NanosToMicros(phases_.automaton_ns));
+  metrics_->phase_buffer_us->Record(obs::NanosToMicros(phases_.buffer_ns));
+}
 
 Session::~Session() {
   // Return this session's share of the global buffered-bytes gauge.
@@ -81,6 +112,7 @@ Status Session::Close() {
   if (closed()) return Status::OK();
   Status step = AfterEngineStep(query_->Close());
   if (step.ok()) closed_.store(true, std::memory_order_relaxed);
+  RecordPhaseHistograms();
   return step;
 }
 
@@ -91,6 +123,8 @@ Status Session::RunTape(const tape::Tape& tape) {
   }
   if (closed()) return Status::InvalidArgument("RunTape on closed session");
 
+  obs::ScopedTimer replay_timer(metrics_ != nullptr ? metrics_->tape_replay_us
+                                                    : nullptr);
   tape::TapeReplayer replayer(tape);
   xml::SaxHandler* handler = query_->event_handler();
   while (replayer.Step(handler, kReplayBatchEvents)) {
@@ -106,6 +140,7 @@ Status Session::RunTape(const tape::Tape& tape) {
 
 Status Session::Reset() {
   query_->Reset();
+  phases_ = PhaseTotals();
   closed_.store(false, std::memory_order_relaxed);
   size_t previous = buffered_.exchange(0, std::memory_order_relaxed);
   if (stats_ != nullptr && previous != 0) {

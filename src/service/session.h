@@ -36,19 +36,23 @@
 #include "common/status.h"
 #include "core/compiled_plan.h"
 #include "core/streaming_query.h"
+#include "service/metrics.h"
 #include "service/stats.h"
 #include "tape/tape.h"
 
 namespace xsq::service {
 
-class Session {
+class Session : private core::PhaseListener {
  public:
   // `memory_budget` bounds the engine's buffered bytes (0 = unlimited).
   // `stats`, if non-null, receives item counts and buffered-bytes gauge
-  // deltas; it must outlive the session.
+  // deltas; it must outlive the session. `metrics`, if non-null,
+  // receives per-document phase samples and tape replay timings (the
+  // session attaches itself as the query's PhaseListener); it must also
+  // outlive the session.
   static Result<std::unique_ptr<Session>> Create(
       std::shared_ptr<const core::CompiledPlan> plan, size_t memory_budget,
-      ServiceStats* stats);
+      ServiceStats* stats, ServiceMetrics* metrics = nullptr);
 
   ~Session();
 
@@ -100,17 +104,38 @@ class Session {
   }
   const xpath::Query& query() const { return query_->query(); }
 
+  // Accumulated parse/automaton/buffer time for the current document,
+  // nanoseconds. Only meaningful with metrics attached; written by the
+  // streaming thread and intended to be read there too (the slow-query
+  // log reads it right after Close on the same worker).
+  struct PhaseTotals {
+    uint64_t parse_ns = 0;
+    uint64_t automaton_ns = 0;
+    uint64_t buffer_ns = 0;
+  };
+  PhaseTotals phase_totals() const { return phases_; }
+
  private:
   Session(std::unique_ptr<core::StreamingQuery> query, size_t memory_budget,
-          ServiceStats* stats);
+          ServiceStats* stats, ServiceMetrics* metrics);
+
+  // core::PhaseListener: per-chunk phase sample from the query.
+  void OnPhaseSample(uint64_t parse_ns, uint64_t automaton_ns,
+                     uint64_t buffer_ns) override;
 
   // Harvests new items/aggregates after an engine step, updates the
   // buffered-bytes gauge, and records `step` as the session status.
   Status AfterEngineStep(Status step);
 
+  // Flushes the per-document phase totals into the phase histograms
+  // (one sample per served document, mirroring Figure 18).
+  void RecordPhaseHistograms();
+
   const size_t memory_budget_;
-  ServiceStats* const stats_;  // may be null
+  ServiceStats* const stats_;      // may be null
+  ServiceMetrics* const metrics_;  // may be null
   std::unique_ptr<core::StreamingQuery> query_;
+  PhaseTotals phases_;  // streaming thread only
 
   std::atomic<size_t> buffered_{0};
   std::atomic<uint64_t> items_produced_{0};

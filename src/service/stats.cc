@@ -25,6 +25,7 @@ std::string StatsSnapshot::ToString() const {
   line("doc_cache_hits", doc_cache_hits);
   line("doc_cache_misses", doc_cache_misses);
   line("doc_cache_evictions", doc_cache_evictions);
+  line("doc_cache_explicit_evictions", doc_cache_explicit_evictions);
   line("doc_cache_documents", doc_cache_documents);
   line("doc_cache_bytes", doc_cache_bytes);
   line("tape_replays", tape_replays);

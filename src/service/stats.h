@@ -34,7 +34,8 @@ struct StatsSnapshot {
   uint64_t plan_cache_evictions = 0;
   uint64_t doc_cache_hits = 0;
   uint64_t doc_cache_misses = 0;
-  uint64_t doc_cache_evictions = 0;
+  uint64_t doc_cache_evictions = 0;           // LRU budget pressure
+  uint64_t doc_cache_explicit_evictions = 0;  // caller-requested EVICTs
   uint64_t doc_cache_documents = 0;  // gauge: tapes resident
   uint64_t doc_cache_bytes = 0;      // gauge: their summed memory_bytes
   uint64_t tape_replays = 0;         // documents served from tape

@@ -133,10 +133,21 @@ Status SaxParser::DecodeEntities(std::string_view raw, std::string* out) {
     size_t amp_pos = static_cast<size_t>(amp - raw.data());
     out->append(raw.data() + pos, amp_pos - pos);
     size_t semi = raw.find(';', amp_pos + 1);
-    if (semi == std::string_view::npos || semi - amp_pos > 12) {
+    if (semi == std::string_view::npos) {
       return ErrorHere("unterminated entity reference");
     }
+    // A terminator exists, so "unterminated" would be wrong; references
+    // longer than any legal name or character code get their own error.
+    // The bound is generous on purpose: zero-padded forms like
+    // "&#0000000000000065;" are valid XML and must decode.
+    if (semi - amp_pos - 1 > 64) {
+      return ErrorHere("entity reference too long");
+    }
     std::string_view name = raw.substr(amp_pos + 1, semi - amp_pos - 1);
+    if (name == "#" || name == "#x" || name == "#X") {
+      return ErrorHere("empty character reference '&" + std::string(name) +
+                       ";'");
+    }
     if (name == "lt") {
       out->push_back('<');
     } else if (name == "gt") {

@@ -58,6 +58,15 @@ class SaxParser {
   // Current element nesting depth (root element = 1 while open).
   int depth() const { return static_cast<int>(open_elements_.size()); }
 
+  // Redirects event delivery to `handler` from the next Feed on. The
+  // handler is not part of the parse state, so swapping between chunks
+  // of one document is safe; callers that interpose a wrapper (see
+  // core::StreamingQuery's phase shim) use this to pay the wrapper's
+  // per-event cost only on sampled chunks. `handler` must outlive the
+  // parser and must forward to the same underlying consumer, or events
+  // will be split across handlers mid-document.
+  void set_handler(SaxHandler* handler) { handler_ = handler; }
+
  private:
   enum class Progress { kOk, kNeedMore };
 

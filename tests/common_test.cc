@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <string>
+
 #include "common/memory_tracker.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -57,6 +62,31 @@ TEST(StringsTest, ParseNumber) {
   EXPECT_FALSE(ParseNumber("1 2").has_value());
 }
 
+// Regression: numerals longer than the 64-byte stack buffer used to be
+// rejected outright; they must now take the heap path and parse.
+TEST(StringsTest, ParseNumberLongNumerals) {
+  // 70-digit integer: value saturates the double mantissa but parses.
+  std::string long_int(70, '9');
+  ASSERT_TRUE(ParseNumber(long_int).has_value());
+  EXPECT_DOUBLE_EQ(*ParseNumber(long_int), 1e70);
+
+  // Zero-padded fraction well past 63 chars, exact value 0.5.
+  std::string padded = "0." + std::string(100, '0');
+  padded.insert(2, "5");
+  EXPECT_DOUBLE_EQ(*ParseNumber(padded), 0.5);
+
+  // Long garbage is still rejected (parse must consume every byte).
+  std::string long_bad(80, '1');
+  long_bad.push_back('x');
+  EXPECT_FALSE(ParseNumber(long_bad).has_value());
+
+  // Exactly at and around the stack-buffer boundary.
+  for (size_t digits : {62u, 63u, 64u, 65u}) {
+    std::string s = "1" + std::string(digits, '0');
+    ASSERT_TRUE(ParseNumber(s).has_value()) << digits;
+  }
+}
+
 TEST(StringsTest, TrimWhitespace) {
   EXPECT_EQ(TrimWhitespace("  a b \n"), "a b");
   EXPECT_EQ(TrimWhitespace("\t\r\n "), "");
@@ -67,6 +97,45 @@ TEST(StringsTest, FormatNumber) {
   EXPECT_EQ(FormatNumber(42.0), "42");
   EXPECT_EQ(FormatNumber(-7.0), "-7");
   EXPECT_EQ(FormatNumber(2.5), "2.5");
+}
+
+// Regression: FormatNumber used fixed %.12g, so doubles differing past
+// the 12th significant digit collapsed to the same string and the
+// streaming/DOM differential checks could not distinguish them. The
+// shortest-round-trip form must re-parse to the identical bits.
+TEST(StringsTest, FormatNumberRoundTripsExactly) {
+  const double cases[] = {
+      0.1,
+      1.0 / 3.0,
+      2.0 / 3.0,
+      1234567890123.4567,   // needs >12 significant digits
+      0.30000000000000004,  // classic 0.1 + 0.2
+      1e-300,
+      -9.007199254740993e15,  // 2^53 + 1 territory
+  };
+  for (double value : cases) {
+    std::optional<double> back = ParseNumber(FormatNumber(value));
+    ASSERT_TRUE(back.has_value()) << FormatNumber(value);
+    EXPECT_EQ(*back, value) << FormatNumber(value);
+  }
+}
+
+// Property test: random doubles round-trip bit-exactly through
+// FormatNumber + ParseNumber.
+TEST(StringsTest, FormatNumberRoundTripProperty) {
+  SplitMix64 rng(0x0b5efab1e5eedULL);
+  int tested = 0;
+  while (tested < 2000) {
+    uint64_t bits = rng.Next();
+    double value;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&value, &bits, sizeof(value));
+    if (std::isnan(value) || std::isinf(value)) continue;
+    ++tested;
+    std::optional<double> back = ParseNumber(FormatNumber(value));
+    ASSERT_TRUE(back.has_value()) << FormatNumber(value);
+    EXPECT_EQ(*back, value) << FormatNumber(value);
+  }
 }
 
 TEST(StringsTest, XmlEscape) {
@@ -170,6 +239,18 @@ TEST(AggregatorTest, SumOfNothingIsZero) {
   EXPECT_DOUBLE_EQ(*agg.Final(), 0.0);
   core::Aggregator count(xpath::OutputKind::kCount);
   EXPECT_DOUBLE_EQ(*count.Final(), 0.0);
+}
+
+// Regression: a zero-padded numeral longer than ParseNumber's old
+// 63-char cap was treated as non-numeric and silently dropped from the
+// sum.
+TEST(AggregatorTest, SumAcceptsLongNumerals) {
+  core::Aggregator agg(xpath::OutputKind::kSum);
+  std::string padded = "000000000000000000000000000000000000"
+                       "000000000000000000000000000000000042";  // 72 chars
+  EXPECT_TRUE(agg.Update(padded));
+  EXPECT_TRUE(agg.Update("8"));
+  EXPECT_DOUBLE_EQ(*agg.Final(), 50.0);
 }
 
 TEST(AggregatorTest, AvgMinMax) {

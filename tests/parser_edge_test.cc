@@ -70,6 +70,53 @@ TEST(ParserEdgeTest, ParseFileMissingFile) {
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
 
+// --- entity-reference diagnostics (regression) ---
+// The decoder used to answer "unterminated entity reference" whenever
+// the ';' was more than 12 bytes away — even when it was present.
+
+std::string ParseError(std::string_view text) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  Status status = parser.Parse(text);
+  EXPECT_FALSE(status.ok()) << "expected a parse error";
+  return status.ToString();
+}
+
+TEST(ParserEdgeTest, LongTerminatedEntityIsTooLongNotUnterminated) {
+  std::string doc = "<a>&" + std::string(80, 'x') + ";</a>";
+  std::string message = ParseError(doc);
+  EXPECT_NE(message.find("entity reference too long"), std::string::npos)
+      << message;
+  EXPECT_EQ(message.find("unterminated"), std::string::npos) << message;
+}
+
+TEST(ParserEdgeTest, MissingSemicolonIsUnterminated) {
+  std::string message = ParseError("<a>&amp oops</a>");
+  EXPECT_NE(message.find("unterminated entity reference"), std::string::npos)
+      << message;
+}
+
+TEST(ParserEdgeTest, EmptyCharacterReferenceHasPreciseMessage) {
+  for (const char* doc : {"<a>&#;</a>", "<a>&#x;</a>", "<a>&#X;</a>"}) {
+    std::string message = ParseError(doc);
+    EXPECT_NE(message.find("empty character reference"), std::string::npos)
+        << doc << " -> " << message;
+  }
+}
+
+TEST(ParserEdgeTest, ZeroPaddedCharacterReferenceDecodes) {
+  // Valid but longer than the old 12-byte window: must decode, not error.
+  auto events = ParseOk("<a>&#0000000000000065;</a>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].text, "A");
+}
+
+TEST(ParserEdgeTest, LongHexCharacterReferenceDecodes) {
+  auto events = ParseOk("<a>&#x00000000000000042;</a>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].text, "B");
+}
+
 TEST(ParserEdgeTest, PiBetweenTextKeepsRunTogether) {
   auto events = ParseOk("<a>x<?pi data?>y</a>");
   ASSERT_EQ(events.size(), 3u);

@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include "core/streaming_query.h"
+#include "obs/histogram.h"
+#include "obs/registry.h"
 #include "service/document_cache.h"
 #include "service/plan_cache.h"
 #include "service/query_service.h"
@@ -348,6 +350,92 @@ TEST(QueryServiceStressTest, ManyThreadsManySessionsKeepOrder) {
   EXPECT_EQ(snap.sessions_active, 0u);
 }
 
+// The observability tentpole: under concurrent load every request-path
+// histogram must populate, and the counts must reconcile with the work
+// actually submitted.
+TEST(QueryServiceStressTest, MetricsPopulateUnderConcurrentLoad) {
+  ServiceConfig config;
+  config.num_workers = 4;
+  config.max_sessions = 32;
+  QueryService service(config);
+
+  constexpr int kThreads = 4;
+  constexpr int kDocsPerThread = 5;
+  std::atomic<int> failures{0};
+  auto client = [&] {
+    for (int d = 0; d < kDocsPerThread; ++d) {
+      auto id = service.OpenSession("//e/text()");
+      if (!id.ok()) { ++failures; return; }
+      for (const char* chunk : {"<r><e>a</e>", "<e>b</e>", "</r>"}) {
+        Status status;
+        do {
+          status = service.Push(*id, chunk);
+        } while (status.code() == StatusCode::kResourceExhausted);
+        if (!status.ok()) { ++failures; return; }
+      }
+      if (!service.Close(*id).ok()) { ++failures; return; }
+      if (!service.Release(*id).ok()) { ++failures; return; }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(client);
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  constexpr uint64_t kDocs = kThreads * kDocsPerThread;
+  const obs::Registry& registry = service.metrics_registry();
+  const obs::Histogram* latency =
+      registry.FindHistogram("xsq_request_latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), kDocs);  // one sample per Close
+  const obs::Histogram* queue_wait =
+      registry.FindHistogram("xsq_queue_wait_us");
+  ASSERT_NE(queue_wait, nullptr);
+  // One wait per work item: 3 chunks + 1 close per document.
+  EXPECT_EQ(queue_wait->count(), kDocs * 4);
+  const obs::Histogram* chunk_latency =
+      registry.FindHistogram("xsq_chunk_latency_us");
+  ASSERT_NE(chunk_latency, nullptr);
+  EXPECT_EQ(chunk_latency->count(), kDocs * 3);
+#if XSQ_OBS_ENABLED
+  // Phase histograms: one sample per document (flushed at Close).
+  for (const char* name : {"xsq_phase_parse_us", "xsq_phase_automaton_us",
+                           "xsq_phase_buffer_us"}) {
+    const obs::Histogram* phase = registry.FindHistogram(name);
+    ASSERT_NE(phase, nullptr) << name;
+    EXPECT_EQ(phase->count(), kDocs) << name;
+  }
+#endif
+
+  // The combined exposition carries both the histograms and the STATS
+  // scalars, so one METRICS scrape reconciles them.
+  std::string text = service.MetricsText();
+  EXPECT_NE(text.find("xsq_request_latency_us_count"), std::string::npos);
+  EXPECT_NE(text.find("xsq_queue_wait_us_count"), std::string::npos);
+  EXPECT_NE(text.find("xsq_sessions_opened " + std::to_string(kDocs)),
+            std::string::npos);
+}
+
+// RunCached must time replays into both the request-latency and
+// tape-replay histograms.
+TEST(QueryServiceTapeTest, RunCachedPopulatesReplayMetrics) {
+  QueryService service(SmallConfig(2));
+  ASSERT_TRUE(
+      service.RecordDocument("doc", "<r><e>x</e><e>y</e></r>").ok());
+  auto id = service.OpenSession("//e/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.RunCached(*id, "doc").ok());
+  ASSERT_TRUE(service.RunCached(*id, "doc").ok());
+  const obs::Registry& registry = service.metrics_registry();
+  const obs::Histogram* replay = registry.FindHistogram("xsq_tape_replay_us");
+  ASSERT_NE(replay, nullptr);
+  EXPECT_EQ(replay->count(), 2u);
+  const obs::Histogram* latency =
+      registry.FindHistogram("xsq_request_latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 2u);
+}
+
 // Concurrent plan-cache access from many threads on overlapping keys.
 TEST(QueryServiceStressTest, PlanCacheConcurrentGetOrCompile) {
   PlanCache cache(4);
@@ -436,6 +524,41 @@ TEST(DocumentCacheTest, ReplacePutAndExplicitEvict) {
   EXPECT_TRUE(cache.Evict("d"));
   EXPECT_FALSE(cache.Evict("d"));
   EXPECT_EQ(cache.counters().resident_bytes, 0u);
+}
+
+// Regression: capacity 0 used to be clamped to 1 while byte budget 0
+// already meant unlimited — both zeros now mean unlimited.
+TEST(DocumentCacheTest, ZeroCapacityMeansUnlimited) {
+  DocumentCache cache(0);
+  for (int i = 0; i < 50; ++i) {
+    cache.Put("doc" + std::to_string(i), MakeTape("<a/>"));
+  }
+  EXPECT_EQ(cache.size(), 50u);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+  EXPECT_NE(cache.Get("doc0"), nullptr);  // oldest still resident
+}
+
+TEST(DocumentCacheTest, ZeroByteBudgetMeansUnlimited) {
+  DocumentCache cache(0, /*byte_budget=*/0);
+  for (int i = 0; i < 20; ++i) {
+    cache.Put("doc" + std::to_string(i),
+              MakeTape("<a>plenty of text to have nonzero bytes</a>"));
+  }
+  EXPECT_EQ(cache.size(), 20u);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+}
+
+TEST(DocumentCacheTest, ExplicitEvictionsAreCountedSeparately) {
+  DocumentCache cache(2);
+  cache.Put("a", MakeTape("<a/>"));
+  cache.Put("b", MakeTape("<b/>"));
+  cache.Put("c", MakeTape("<c/>"));  // LRU-evicts "a"
+  EXPECT_TRUE(cache.Evict("b"));
+  EXPECT_FALSE(cache.Evict("missing"));
+  DocumentCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.evictions, 1u);           // budget pressure only
+  EXPECT_EQ(counters.explicit_evictions, 1u);  // the Evict("b") call
+  EXPECT_EQ(counters.resident_documents, 1u);
 }
 
 // -------------------------------------------------- cached-document serving

@@ -49,6 +49,27 @@ INSTANTIATE_TEST_SUITE_P(
         CompareCase{"", CompareOp::kLe, "0", false},
         CompareCase{"12x", CompareOp::kGt, "1", false}));  // partial number
 
+// Regression: numerals longer than ParseNumber's old 63-char stack cap
+// were treated as NaN, so zero-padded observed values compared as
+// strings (or not at all) instead of numerically.
+INSTANTIATE_TEST_SUITE_P(
+    LongNumerals, ValueCompareSweep,
+    ::testing::Values(
+        // 72-char zero-padded 42 == 42 numerically.
+        CompareCase{"000000000000000000000000000000000000"
+                    "000000000000000000000000000000000042",
+                    CompareOp::kEq, "42", true},
+        CompareCase{"000000000000000000000000000000000000"
+                    "000000000000000000000000000000000042",
+                    CompareOp::kLt, "43", true},
+        // Long observed vs long literal.
+        CompareCase{"0000000000000000000000000000000000000000"
+                    "0000000000000000000000000000000000000007",
+                    CompareOp::kGe,
+                    "0000000000000000000000000000000000000000"
+                    "0000000000000000000000000000000000000008",
+                    false}));
+
 INSTANTIATE_TEST_SUITE_P(
     Equality, ValueCompareSweep,
     ::testing::Values(

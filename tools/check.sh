@@ -5,21 +5,28 @@
 #      the concurrent service layer is race-checked on every change;
 #   3. builds an AddressSanitizer tree and re-runs the suite under ASan
 #      so the tape subsystem's binary decoding (varints, blob spans,
-#      string_views into interned symbols) is overflow- and leak-checked.
+#      string_views into interned symbols) is overflow- and leak-checked;
+#   4. builds an UndefinedBehaviorSanitizer tree and re-runs the suite
+#      under UBSan so numeric edge cases (ParseNumber/FormatNumber
+#      round-trips, histogram bucket arithmetic, shift-heavy automaton
+#      code) are checked for overflow/UB.
 #
 # Usage: tools/check.sh [ctest-regex]
 #   tools/check.sh              # everything, all builds
 #   tools/check.sh Service      # only tests matching 'Service'
 # Env: BUILD_DIR (default build), TSAN_BUILD_DIR (default build-tsan),
 #      ASAN_BUILD_DIR (default build-asan),
+#      UBSAN_BUILD_DIR (default build-ubsan),
 #      XSQ_SKIP_TSAN=1 to skip the TSan build (e.g. no libtsan),
-#      XSQ_SKIP_ASAN=1 to skip the ASan build (e.g. no libasan).
+#      XSQ_SKIP_ASAN=1 to skip the ASan build (e.g. no libasan),
+#      XSQ_SKIP_UBSAN=1 to skip the UBSan build (e.g. no libubsan).
 set -eu
 cd "$(dirname "$0")/.."
 
 build_dir=${BUILD_DIR:-build}
 tsan_dir=${TSAN_BUILD_DIR:-build-tsan}
 asan_dir=${ASAN_BUILD_DIR:-build-asan}
+ubsan_dir=${UBSAN_BUILD_DIR:-build-ubsan}
 filter=${1:-}
 ctest_args=(--output-on-failure -j "$(nproc)")
 if [ -n "$filter" ]; then
@@ -50,6 +57,16 @@ else
   cmake --build "$asan_dir" -j "$(nproc)"
   (cd "$asan_dir" &&
     ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ctest "${ctest_args[@]}")
+fi
+
+if [ "${XSQ_SKIP_UBSAN:-0}" = "1" ]; then
+  echo "== UBSan build skipped (XSQ_SKIP_UBSAN=1)"
+else
+  echo "== UndefinedBehaviorSanitizer build ($ubsan_dir)"
+  cmake -B "$ubsan_dir" -S . -DXSQ_SANITIZE=undefined >/dev/null
+  cmake --build "$ubsan_dir" -j "$(nproc)"
+  (cd "$ubsan_dir" &&
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ctest "${ctest_args[@]}")
 fi
 
 echo "check.sh: all green"

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the xsqd daemon's line protocol, run by
-# ctest (example_xsqd_smoke). Drives OPEN/PUSH/CLOSE/STATS through a
-# pipe and diffs the exact responses; the expected ITEM lines are what
-# StreamingQuery produces for the same query+document, so this pins the
-# daemon to the library's results.
+# ctest (example_xsqd_smoke). Drives OPEN/PUSH/CLOSE/STATS/METRICS
+# through a pipe and diffs the exact responses; the expected ITEM lines
+# are what StreamingQuery produces for the same query+document, so this
+# pins the daemon to the library's results. The METRICS block also pins
+# the exposition names of the serving-path histograms.
 set -u
 xsqd=${1:?usage: xsqd_smoke.sh /path/to/xsqd}
 
@@ -121,4 +122,37 @@ for want in "doc_cache_hits 2" "doc_cache_misses 2" "doc_cache_documents 0" \
     exit 1
   fi
 done
+# METRICS must expose the serving-path histograms with non-zero counts
+# after a query has run. The names are part of the daemon's interface —
+# dashboards scrape them — so this pins them exactly.
+metrics=$("$xsqd" --workers=1 <<'EOF'
+OPEN //a/text()
+PUSH 1 <r><a>hi</a><a>ho</a></r>
+CLOSE 1
+METRICS
+QUIT
+EOF
+) || { echo "xsqd exited non-zero in METRICS block" >&2; exit 1; }
+
+# Wall-clock histograms populate in every build; the phase histograms
+# additionally need the XSQ_OBS hooks compiled in (xsq_obs_enabled 1).
+hists="xsq_request_latency_us xsq_queue_wait_us xsq_chunk_latency_us"
+if echo "$metrics" | grep -q "^METRIC xsq_obs_enabled 1$"; then
+  hists="$hists xsq_phase_parse_us xsq_phase_automaton_us xsq_phase_buffer_us"
+fi
+for hist in $hists; do
+  count=$(echo "$metrics" | sed -n "s/^METRIC ${hist}_count //p")
+  if [ -z "$count" ] || [ "$count" -eq 0 ]; then
+    echo "METRICS: expected non-zero ${hist}_count, got '${count:-missing}':" >&2
+    echo "$metrics" | grep "^METRIC" | grep "_count" >&2
+    exit 1
+  fi
+done
+# Scalars from STATS must be re-exposed with the xsq_ prefix.
+if ! echo "$metrics" | grep -q "^METRIC xsq_sessions_opened 1$"; then
+  echo "METRICS: missing 'xsq_sessions_opened 1' scalar:" >&2
+  echo "$metrics" | grep "^METRIC xsq_" | head -20 >&2
+  exit 1
+fi
+
 echo "xsqd smoke OK"
