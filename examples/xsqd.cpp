@@ -21,6 +21,9 @@
 //                                                 keeps the session open for
 //                                                 the next RUNCACHED
 //   EVICT <name>       -> OK                      drop a cached tape
+//   CANCEL <id>        -> OK                      cancel the session's
+//                                                 in-flight evaluation;
+//                                                 it fails kCancelled
 //   STATS              -> STAT <name> <value>... OK
 //   METRICS            -> METRIC <line>... OK     latency/phase histograms
 //                                                 plus counters, Prometheus
@@ -32,12 +35,20 @@
 // on one line: "\n" = newline, "\t" = tab, "\\" = backslash. Document
 // names must not contain spaces.
 //
+// Malformed input never aborts the daemon: unknown verbs, bad ids and
+// oversized lines all answer ERR and the loop keeps serving; EOF in the
+// middle of a line processes the partial command, then exits cleanly.
+//
 // Flags: --workers=N (default 4), --max-sessions=N,
 //        --session-memory-budget=BYTES, --plan-cache=N,
 //        --doc-cache=N (0 = unlimited), --doc-cache-bytes=BYTES
 //        (0 = unlimited), --slow-query-ms=N (log requests at or above
 //        N ms to stderr with their parse/automaton/buffer phase split;
-//        0 = disabled).
+//        0 = disabled), --default-deadline-ms=N (deadline applied to
+//        every document request; 0 = none), --drain-deadline-ms=N
+//        (bound on the shutdown drain; 0 = wait forever),
+//        --max-line-bytes=N (protocol lines above N bytes are rejected
+//        with ERR and discarded; default 16 MiB).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -137,10 +148,41 @@ size_t FlagValue(std::string_view arg, size_t fallback) {
       std::strtoull(std::string(arg.substr(eq + 1)).c_str(), nullptr, 10));
 }
 
+// One bounded read of a protocol line. Unlike std::getline, a hostile
+// or broken client cannot make the daemon buffer an unbounded line:
+// once `max_bytes` is exceeded the rest of the line is discarded (not
+// stored) and the command is rejected, keeping the daemon serving.
+enum class LineRead {
+  kLine,       // complete line in *line (newline consumed)
+  kPartial,    // EOF mid-line: *line holds the final, unterminated command
+  kEof,        // EOF with nothing read
+  kOversized,  // line exceeded max_bytes; remainder discarded
+};
+
+LineRead ReadLineBounded(std::istream& in, size_t max_bytes,
+                         std::string* line) {
+  line->clear();
+  std::streambuf* buf = in.rdbuf();
+  constexpr int kEofChar = std::char_traits<char>::eof();
+  for (int c = buf->sbumpc();; c = buf->sbumpc()) {
+    if (c == kEofChar) {
+      return line->empty() ? LineRead::kEof : LineRead::kPartial;
+    }
+    if (c == '\n') return LineRead::kLine;
+    if (line->size() >= max_bytes) {
+      // Swallow the rest of the line without storing it.
+      while (c != kEofChar && c != '\n') c = buf->sbumpc();
+      return LineRead::kOversized;
+    }
+    line->push_back(static_cast<char>(c));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ServiceConfig config;
+  size_t max_line_bytes = 16u << 20;  // 16 MiB
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg.rfind("--workers", 0) == 0) {
@@ -159,6 +201,12 @@ int main(int argc, char** argv) {
       config.doc_cache_capacity = FlagValue(arg, config.doc_cache_capacity);
     } else if (arg.rfind("--slow-query-ms", 0) == 0) {
       config.slow_query_ms = FlagValue(arg, config.slow_query_ms);
+    } else if (arg.rfind("--default-deadline-ms", 0) == 0) {
+      config.default_deadline_ms = FlagValue(arg, config.default_deadline_ms);
+    } else if (arg.rfind("--drain-deadline-ms", 0) == 0) {
+      config.drain_deadline_ms = FlagValue(arg, config.drain_deadline_ms);
+    } else if (arg.rfind("--max-line-bytes", 0) == 0) {
+      max_line_bytes = FlagValue(arg, max_line_bytes);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
       return 2;
@@ -167,7 +215,16 @@ int main(int argc, char** argv) {
 
   QueryService service(config);
   std::string line;
-  while (std::getline(std::cin, line)) {
+  for (;;) {
+    LineRead read = ReadLineBounded(std::cin, max_line_bytes, &line);
+    if (read == LineRead::kEof) break;
+    if (read == LineRead::kOversized) {
+      Reply("ERR LimitExceeded: line exceeds --max-line-bytes=" +
+            std::to_string(max_line_bytes) + "; command discarded");
+      std::fflush(stdout);
+      continue;
+    }
+    const bool eof_after_line = read == LineRead::kPartial;
     std::string_view input = line;
     if (!input.empty() && input.back() == '\r') input.remove_suffix(1);
     size_t space = input.find(' ');
@@ -250,6 +307,13 @@ int main(int argc, char** argv) {
         }
         ReplyStatus(status);
       }
+    } else if (command == "CANCEL") {
+      std::optional<SessionId> id = ParseId(&rest);
+      if (!id.has_value()) {
+        Reply("ERR InvalidArgument: bad session id");
+      } else {
+        ReplyStatus(service.CancelSession(*id));
+      }
     } else if (command == "EVICT") {
       std::string_view name = TakeWord(&rest);
       if (name.empty()) {
@@ -284,6 +348,7 @@ int main(int argc, char** argv) {
             "'");
     }
     std::fflush(stdout);
+    if (eof_after_line) break;  // EOF mid-line: partial command handled
   }
   service.Shutdown();
   return 0;

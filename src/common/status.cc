@@ -18,6 +18,14 @@ const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kLimitExceeded:
+      return "LimitExceeded";
+    case StatusCode::kDataCorruption:
+      return "DataCorruption";
   }
   return "Unknown";
 }

@@ -22,6 +22,10 @@ enum class StatusCode : uint8_t {
   kOutOfRange,        // index/size violation
   kResourceExhausted, // admission/backpressure/memory budget rejection
   kInternal,          // invariant violation inside the library
+  kCancelled,         // caller cancelled the operation (CancelToken)
+  kDeadlineExceeded,  // the operation's deadline passed before it finished
+  kLimitExceeded,     // input exceeded a configured hard limit (ParserLimits)
+  kDataCorruption,    // stored bytes failed integrity checks (tape CRC etc.)
 };
 
 // Returns a stable human-readable name such as "ParseError".
@@ -52,6 +56,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status LimitExceeded(std::string msg) {
+    return Status(StatusCode::kLimitExceeded, std::move(msg));
+  }
+  static Status DataCorruption(std::string msg) {
+    return Status(StatusCode::kDataCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

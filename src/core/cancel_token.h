@@ -1,0 +1,96 @@
+// CancelToken: cooperative cancellation and deadlines for streaming
+// evaluation.
+//
+// A token is an atomic cancel flag plus an optional monotonic deadline.
+// The serving side arms it (Cancel() from any thread, SetDeadline* when
+// a request starts) and the evaluation side polls it at natural
+// boundaries: StreamingQuery checks once per Push/Close (chunk
+// granularity) and both engines check every kCheckIntervalEvents SAX
+// events (the kSampleEvery cadence of the phase shim), so even a
+// single-chunk document with millions of events stops within
+// microseconds of the flag being raised. Polling a token with no
+// deadline armed costs one relaxed atomic load; the steady_clock read
+// happens only while a deadline is set.
+//
+// The token does not own or interrupt anything: evaluation that
+// observes it simply fails with kCancelled / kDeadlineExceeded, which
+// propagates through the session status like any other error. Reset()
+// re-arms the token for the next document (service::Session does this
+// in its own Reset).
+#ifndef XSQ_CORE_CANCEL_TOKEN_H_
+#define XSQ_CORE_CANCEL_TOKEN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace xsq::core {
+
+class CancelToken {
+ public:
+  // Engines poll the token every this-many events. Matches the phase
+  // shim's kSampleEvery so the cancellation and observability sampling
+  // grains stay aligned (see streaming_query.cc).
+  static constexpr uint32_t kCheckIntervalEvents = 64;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Raises the cancel flag. Any thread; idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  // Arms a deadline `delta` from now (replacing any previous deadline).
+  void SetDeadlineAfter(std::chrono::nanoseconds delta) {
+    deadline_ns_.store(NowNanos() + delta.count(), std::memory_order_release);
+  }
+  void SetDeadlineAfterMs(uint64_t ms) {
+    SetDeadlineAfter(std::chrono::milliseconds(ms));
+  }
+  void ClearDeadline() { deadline_ns_.store(0, std::memory_order_release); }
+
+  // Clears both the flag and the deadline for the next request.
+  void Reset() {
+    cancelled_.store(false, std::memory_order_release);
+    ClearDeadline();
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  // True once the armed deadline has passed (false when none is armed).
+  bool expired() const {
+    int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != 0 && NowNanos() >= deadline;
+  }
+
+  // The poll the evaluation side calls: OK, or the terminal status the
+  // operation must fail with. Cancel wins over an expired deadline.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("operation cancelled");
+    if (expired()) {
+      return Status::DeadlineExceeded("operation deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};  // steady-clock ns; 0 = none armed
+};
+
+}  // namespace xsq::core
+
+#endif  // XSQ_CORE_CANCEL_TOKEN_H_

@@ -90,6 +90,7 @@ void XsqEngine::Reset() {
   aggregator_ = Aggregator(output_kind_);
   next_sequence_ = 0;
   live_matches_ = 0;
+  cancel_tick_ = 0;
   status_ = Status::OK();
 
   // The virtual document entry with one always-TRUE root match per
@@ -223,6 +224,7 @@ void XsqEngine::OnBegin(std::string_view tag,
                         const std::vector<xml::Attribute>& attributes,
                         int depth) {
   if (!status_.ok()) return;
+  if (CheckCancelSampled()) return;
   if (static_cast<size_t>(depth) != stack_.size()) {
     status_ = Status::Internal("event depth out of sync with engine stack");
     return;
@@ -374,6 +376,7 @@ void XsqEngine::OnBegin(std::string_view tag,
 void XsqEngine::OnText(std::string_view enclosing_tag, std::string_view text,
                        int /*depth*/) {
   if (!status_.ok()) return;
+  if (CheckCancelSampled()) return;
   StackEntry& entry = stack_.back();
 
   // Text predicates on the enclosing element (Figure 6 template).
@@ -428,6 +431,7 @@ void XsqEngine::OnText(std::string_view enclosing_tag, std::string_view text,
 
 void XsqEngine::OnEnd(std::string_view tag, int depth) {
   if (!status_.ok()) return;
+  if (CheckCancelSampled()) return;
   StackEntry& entry = stack_.back();
 
   if (output_kind_ == xpath::OutputKind::kElement &&

@@ -37,6 +37,7 @@
 #include "common/memory_tracker.h"
 #include "common/status.h"
 #include "core/aggregator.h"
+#include "core/cancel_token.h"
 #include "core/hpdt.h"
 #include "core/item.h"
 #include "core/result_sink.h"
@@ -84,6 +85,13 @@ class XsqEngine : public xml::SaxHandler {
   // 3.3/4.3). Pass nullptr to disable. Not owned; must outlive the
   // engine while installed.
   void set_trace(TraceListener* trace) { trace_ = trace; }
+
+  // Installs a cooperative cancellation token, polled once every
+  // CancelToken::kCheckIntervalEvents handler events. Pass nullptr to
+  // detach. Not owned; must outlive the engine while installed. A
+  // trip sets status() to kCancelled/kDeadlineExceeded, after which
+  // every handler call is a no-op until Reset.
+  void set_cancel_token(const CancelToken* token) { cancel_token_ = token; }
 
   // The HPDT of the first (or only) union branch.
   const Hpdt& hpdt() const { return *hpdts_.front(); }
@@ -137,6 +145,21 @@ class XsqEngine : public xml::SaxHandler {
            static_cast<size_t>(step);
   }
 
+  // Sampled poll of the cancel token: true (with status_ set) when the
+  // token has tripped. The common case is one pointer test and one
+  // increment; the atomic load happens only on sampled events.
+  bool CheckCancelSampled() {
+    if (cancel_token_ == nullptr ||
+        ++cancel_tick_ < CancelToken::kCheckIntervalEvents) {
+      return false;
+    }
+    cancel_tick_ = 0;
+    Status cancel_status = cancel_token_->Check();
+    if (cancel_status.ok()) return false;
+    status_ = std::move(cancel_status);
+    return true;
+  }
+
   void SatisfyPredicate(Match* match, uint32_t bit);
   void Trace(BufferOp::Kind kind, const Bpdt* bpdt, const Item* item);
   Match* LowestUnsatisfied(Match* match);
@@ -161,6 +184,8 @@ class XsqEngine : public xml::SaxHandler {
   uint64_t live_matches_ = 0;
 
   TraceListener* trace_ = nullptr;
+  const CancelToken* cancel_token_ = nullptr;
+  uint32_t cancel_tick_ = 0;
   EngineStats stats_;
   MemoryTracker memory_;
   Status status_;

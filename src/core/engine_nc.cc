@@ -83,6 +83,7 @@ void XsqNcEngine::Reset() {
   serializing_item_ = nullptr;
   serialization_depth_ = 0;
   aggregator_ = Aggregator(output_kind_);
+  cancel_tick_ = 0;
   status_ = Status::OK();
 }
 
@@ -161,6 +162,7 @@ void XsqNcEngine::OnBegin(std::string_view tag,
                           const std::vector<xml::Attribute>& attributes,
                           int depth) {
   if (!status_.ok()) return;
+  if (CheckCancelSampled()) return;
   const size_t d = static_cast<size_t>(depth);
   if (d != stack_.size()) {
     status_ = Status::Internal("event depth out of sync with engine stack");
@@ -252,6 +254,7 @@ void XsqNcEngine::OnBegin(std::string_view tag,
 void XsqNcEngine::OnText(std::string_view enclosing_tag,
                          std::string_view text, int /*depth*/) {
   if (!status_.ok()) return;
+  if (CheckCancelSampled()) return;
   const size_t d = stack_.size() - 1;
   NcEntry& entry = stack_.back();
 
@@ -301,6 +304,7 @@ void XsqNcEngine::OnText(std::string_view enclosing_tag,
 
 void XsqNcEngine::OnEnd(std::string_view tag, int depth) {
   if (!status_.ok()) return;
+  if (CheckCancelSampled()) return;
   NcEntry& entry = stack_.back();
 
   if (serializing_item_ != nullptr) {

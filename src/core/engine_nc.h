@@ -22,6 +22,7 @@
 #include "common/memory_tracker.h"
 #include "common/status.h"
 #include "core/aggregator.h"
+#include "core/cancel_token.h"
 #include "core/result_sink.h"
 #include "xml/events.h"
 #include "xpath/ast.h"
@@ -44,6 +45,10 @@ class XsqNcEngine : public xml::SaxHandler {
   void OnDocumentEnd() override;
 
   void Reset();
+
+  // Same contract as XsqEngine::set_cancel_token: polled every
+  // CancelToken::kCheckIntervalEvents events; a trip fails status().
+  void set_cancel_token(const CancelToken* token) { cancel_token_ = token; }
 
   const MemoryTracker& memory() const { return memory_; }
   const Status& status() const { return status_; }
@@ -70,6 +75,19 @@ class XsqNcEngine : public xml::SaxHandler {
 
   XsqNcEngine(xpath::Query query, ResultSink* sink);
 
+  // Sampled poll of the cancel token; see XsqEngine::CheckCancelSampled.
+  bool CheckCancelSampled() {
+    if (cancel_token_ == nullptr ||
+        ++cancel_tick_ < CancelToken::kCheckIntervalEvents) {
+      return false;
+    }
+    cancel_tick_ = 0;
+    Status cancel_status = cancel_token_->Check();
+    if (cancel_status.ok()) return false;
+    status_ = std::move(cancel_status);
+    return true;
+  }
+
   // Index of the deepest entry (<= from) with an undecided predicate,
   // or 0 when the whole chain is decided true.
   size_t LowestUnsatisfied(size_t from) const;
@@ -91,6 +109,8 @@ class XsqNcEngine : public xml::SaxHandler {
   int serialization_depth_ = 0;         // begin depth of that element
   Aggregator aggregator_;
 
+  const CancelToken* cancel_token_ = nullptr;
+  uint32_t cancel_tick_ = 0;
   uint64_t items_emitted_ = 0;
   MemoryTracker memory_;
   Status status_;

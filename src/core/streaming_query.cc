@@ -4,6 +4,8 @@
 #include <chrono>
 #endif
 
+#include "common/failpoints.h"
+
 namespace xsq::core {
 
 #if XSQ_OBS_ENABLED
@@ -118,6 +120,9 @@ Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Open(
 Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Open(
     std::shared_ptr<const CompiledPlan> plan) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
+  XSQ_FAILPOINT("core.engine.alloc_fail",
+                return Status::ResourceExhausted(
+                    "injected engine allocation failure"));
   auto streaming_query =
       std::unique_ptr<StreamingQuery>(new StreamingQuery(std::move(plan)));
 
@@ -142,6 +147,16 @@ Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Open(
 xml::SaxHandler* StreamingQuery::engine_handler() {
   if (f_engine_ != nullptr) return f_engine_.get();
   return nc_engine_.get();
+}
+
+void StreamingQuery::set_cancel_token(const CancelToken* token) {
+  cancel_token_ = token;
+  if (f_engine_ != nullptr) f_engine_->set_cancel_token(token);
+  if (nc_engine_ != nullptr) nc_engine_->set_cancel_token(token);
+}
+
+void StreamingQuery::set_parser_limits(const xml::ParserLimits& limits) {
+  parser_->set_limits(limits);
 }
 
 void StreamingQuery::set_phase_listener(PhaseListener* listener) {
@@ -171,6 +186,9 @@ constexpr uint32_t kChunkSampleEvery = 16;
 
 Status StreamingQuery::Push(std::string_view chunk) {
   if (closed_) return Status::Internal("Push after Close");
+  if (cancel_token_ != nullptr) {
+    XSQ_RETURN_IF_ERROR(cancel_token_->Check());  // chunk boundary
+  }
 #if XSQ_OBS_ENABLED
   // Sampled chunk: route events through the phase shim, wall-time the
   // Feed, and accumulate the unscaled split; Close scales it by the
@@ -203,6 +221,9 @@ Status StreamingQuery::Push(std::string_view chunk) {
 
 Status StreamingQuery::Close() {
   if (closed_) return Status::OK();
+  if (cancel_token_ != nullptr) {
+    XSQ_RETURN_IF_ERROR(cancel_token_->Check());  // chunk boundary
+  }
 #if XSQ_OBS_ENABLED
   // Close flushes whatever the parser retained (timed unscaled), then
   // emits the document's one phase sample: the sampled-chunk

@@ -30,6 +30,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "core/cancel_token.h"
 #include "core/compiled_plan.h"
 #include "core/engine.h"
 #include "core/engine_nc.h"
@@ -85,6 +86,20 @@ class StreamingQuery {
   // Push; compiled with XSQ_OBS=OFF the hook is a no-op and the
   // instrumentation code does not exist at all (compile-time zero).
   void set_phase_listener(PhaseListener* listener);
+
+  // Attaches (or with nullptr detaches) a cooperative cancellation
+  // token. Not owned; must outlive the query or be detached first.
+  // Push and Close check it once per chunk, and the engine polls it
+  // every CancelToken::kCheckIntervalEvents SAX events, so a tripped
+  // token stops evaluation mid-chunk — a cancelled or past-deadline
+  // query fails with kCancelled/kDeadlineExceeded within one sampling
+  // interval, not at the next chunk boundary. Detached, the only cost
+  // is one null test per chunk and per sampled event.
+  void set_cancel_token(const CancelToken* token);
+
+  // Replaces the parser's resource limits (see xml::ParserLimits).
+  // Call between documents.
+  void set_parser_limits(const xml::ParserLimits& limits);
 
   // Feeds the next chunk of the document (any chunk boundaries).
   Status Push(std::string_view chunk);
@@ -157,6 +172,7 @@ class StreamingQuery {
   std::unique_ptr<XsqEngine> f_engine_;
   std::unique_ptr<XsqNcEngine> nc_engine_;
   std::unique_ptr<xml::SaxParser> parser_;
+  const CancelToken* cancel_token_ = nullptr;
   PhaseListener* phase_listener_ = nullptr;
   std::unique_ptr<PhaseShim> phase_shim_;
   // Chunk-level sampling state (obs builds): how many chunks this

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/failpoints.h"
 #include "obs/timer.h"
 #include "tape/projection.h"
 #include "tape/recorder.h"
@@ -115,10 +116,13 @@ Result<SessionId> QueryService::OpenSession(std::string_view query_text) {
   // Compile (or hit the cache) outside the service lock.
   XSQ_ASSIGN_OR_RETURN(std::shared_ptr<const core::CompiledPlan> plan,
                        plan_cache_.GetOrCompile(query_text));
+  XSQ_FAILPOINT("service.worker.alloc_fail",
+                return Status::ResourceExhausted(
+                    "injected session allocation failure"));
   XSQ_ASSIGN_OR_RETURN(
       std::unique_ptr<Session> session,
       Session::Create(std::move(plan), config_.per_session_memory_budget,
-                      &stats_, &metrics_));
+                      &stats_, &metrics_, config_.parser_limits));
 
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) return Status::InvalidArgument("service is shut down");
@@ -136,7 +140,8 @@ Result<SessionId> QueryService::OpenSession(std::string_view query_text) {
   return id;
 }
 
-Status QueryService::Push(SessionId id, std::string chunk) {
+Status QueryService::Push(SessionId id, std::string chunk,
+                          uint64_t deadline_ms) {
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) return Status::InvalidArgument("service is shut down");
   XSQ_ASSIGN_OR_RETURN(std::shared_ptr<SessionState> state, FindLocked(id));
@@ -160,6 +165,13 @@ Status QueryService::Push(SessionId id, std::string chunk) {
   if (!state->doc_started) {
     state->doc_started = true;
     state->doc_start = now;
+    // Arm the document deadline with the first work item: explicit
+    // per-request value, else the service default. The token is atomic,
+    // so arming races harmlessly with a worker already evaluating.
+    uint64_t ms = deadline_ms > 0 ? deadline_ms : config_.default_deadline_ms;
+    if (ms > 0) state->session->SetDeadlineAfterMs(ms);
+  } else if (deadline_ms > 0) {
+    state->session->SetDeadlineAfterMs(deadline_ms);  // caller re-arms
   }
   state->queue.push_back(
       WorkItem{WorkItem::Kind::kChunk, std::move(chunk), now});
@@ -179,6 +191,9 @@ Status QueryService::Close(SessionId id) {
     if (!state->doc_started) {
       state->doc_started = true;
       state->doc_start = now;
+      if (config_.default_deadline_ms > 0) {
+        state->session->SetDeadlineAfterMs(config_.default_deadline_ms);
+      }
     }
     state->queue.push_back(
         WorkItem{WorkItem::Kind::kClose, std::string(), now});
@@ -216,6 +231,9 @@ Result<std::shared_ptr<const tape::Tape>> QueryService::RecordDocument(
     if (stopping_) return Status::InvalidArgument("service is shut down");
   }
   if (name.empty()) return Status::InvalidArgument("empty document name");
+  XSQ_FAILPOINT("service.record.alloc_fail",
+                return Status::ResourceExhausted(
+                    "injected tape allocation failure"));
 
   tape::ProjectionMask mask;
   if (!projection_queries.empty()) {
@@ -237,7 +255,8 @@ Result<std::shared_ptr<const tape::Tape>> QueryService::RecordDocument(
   return tape;
 }
 
-Status QueryService::RunCached(SessionId id, std::string_view name) {
+Status QueryService::RunCached(SessionId id, std::string_view name,
+                               uint64_t deadline_ms) {
   std::shared_ptr<const tape::Tape> tape = doc_cache_.Get(name);
   if (tape == nullptr) {
     return Status::InvalidArgument("document not recorded: " +
@@ -261,6 +280,9 @@ Status QueryService::RunCached(SessionId id, std::string_view name) {
   if (state->session->closed() || !state->session->status().ok()) {
     status = state->session->Reset();
   }
+  // Arm after the reset (Reset clears the token along with failures).
+  uint64_t ms = deadline_ms > 0 ? deadline_ms : config_.default_deadline_ms;
+  if (status.ok() && ms > 0) state->session->SetDeadlineAfterMs(ms);
   if (status.ok()) status = state->session->RunTape(*tape);
   MaybeLogSlowQuery(*state, request_timer.ElapsedMicros());
 
@@ -271,6 +293,16 @@ Status QueryService::RunCached(SessionId id, std::string_view name) {
   if (!state->queue.empty()) ScheduleLocked(state);
   idle_cv_.notify_all();
   return status;
+}
+
+Status QueryService::CancelSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  XSQ_ASSIGN_OR_RETURN(std::shared_ptr<SessionState> state, FindLocked(id));
+  // Trip the token only; the worker (or the next streaming call)
+  // observes it, fails the session with kCancelled, and frees its
+  // buffers. Nothing here blocks on the evaluation.
+  state->session->Cancel();
+  return Status::OK();
 }
 
 Status QueryService::EvictDocument(std::string_view name) {
@@ -318,6 +350,16 @@ void QueryService::Shutdown() {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ && workers_.empty()) return;
     stopping_ = true;
+    // Bound the drain: give every live session the drain deadline so a
+    // wedged or adversarial evaluation aborts with kDeadlineExceeded
+    // instead of wedging the join below. Sessions already released but
+    // still held by a worker finish on their own (their queues are
+    // bounded).
+    if (config_.drain_deadline_ms > 0) {
+      for (auto& [id, state] : sessions_) {
+        state->session->SetDeadlineAfterMs(config_.drain_deadline_ms);
+      }
+    }
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) {
@@ -383,6 +425,10 @@ std::string QueryService::MetricsText() const {
   gauge("xsq_doc_cache_bytes", snap.doc_cache_bytes);
   counter("xsq_tape_replays", snap.tape_replays);
   counter("xsq_tape_events_replayed", snap.tape_events_replayed);
+  counter("xsq_cancelled", snap.cancelled);
+  counter("xsq_deadline_exceeded", snap.deadline_exceeded);
+  counter("xsq_limit_rejected", snap.limit_rejected);
+  counter("xsq_tape_corrupt", snap.tape_corrupt);
   return out;
 }
 

@@ -85,6 +85,22 @@ struct ServiceConfig {
   // milliseconds are logged to stderr with their phase breakdown
   // (0 = disabled).
   size_t slow_query_ms = 0;
+  // Service-wide default deadline for a document request, milliseconds
+  // (0 = none). Armed when a document's first work arrives; a request
+  // that is still evaluating when it expires fails with
+  // kDeadlineExceeded and frees its buffers. Push/RunCached accept a
+  // per-request override.
+  uint64_t default_deadline_ms = 0;
+  // Bound on Shutdown's drain, milliseconds (0 = wait for everything).
+  // When set, every live session gets this deadline at shutdown, so a
+  // wedged evaluation aborts with kDeadlineExceeded instead of hanging
+  // the join.
+  uint64_t drain_deadline_ms = 0;
+  // Parser hardening applied to every session. Defaults to the Serving
+  // preset: hostile documents (absurd nesting, attribute floods,
+  // entity bombs, unterminated DOCTYPEs) fail that session with
+  // kLimitExceeded instead of exhausting the process.
+  xml::ParserLimits parser_limits = xml::ParserLimits::Serving();
 };
 
 class QueryService {
@@ -102,7 +118,9 @@ class QueryService {
   // Enqueues the next chunk of `id`'s current document. Returns
   // immediately; evaluation is asynchronous. ResourceExhausted is the
   // backpressure signal (queue full or global memory budget hit).
-  Status Push(SessionId id, std::string chunk);
+  // `deadline_ms` > 0 (re)arms the document's deadline from now,
+  // overriding the service default; 0 keeps whatever is armed.
+  Status Push(SessionId id, std::string chunk, uint64_t deadline_ms = 0);
 
   // Enqueues end-of-document and blocks until every queued chunk and
   // the close have been evaluated. Returns the session's terminal
@@ -132,7 +150,17 @@ class QueryService {
   // session can RunCached any number of documents back to back. Returns
   // the session's terminal status; results are drainable as after
   // Close. InvalidArgument when `name` is not resident.
-  Status RunCached(SessionId id, std::string_view name);
+  // `deadline_ms` > 0 bounds this replay, overriding the service
+  // default.
+  Status RunCached(SessionId id, std::string_view name,
+                   uint64_t deadline_ms = 0);
+
+  // Cancels session `id` from any thread: an in-flight evaluation
+  // aborts with kCancelled within one engine sampling interval, its
+  // buffers are freed, and sibling sessions are untouched. Idle
+  // sessions stay cancelled (the next streaming call fails) until
+  // ResetSession.
+  Status CancelSession(SessionId id);
 
   // Drops `name`'s tape from the document cache. InvalidArgument when
   // it is not resident. In-flight replays keep their tape alive.

@@ -1,5 +1,6 @@
 #include "service/session.h"
 
+#include "common/failpoints.h"
 #include "obs/timer.h"
 #include "tape/replayer.h"
 
@@ -13,16 +14,18 @@ constexpr size_t kReplayBatchEvents = 8192;
 
 Result<std::unique_ptr<Session>> Session::Create(
     std::shared_ptr<const core::CompiledPlan> plan, size_t memory_budget,
-    ServiceStats* stats, ServiceMetrics* metrics) {
+    ServiceStats* stats, ServiceMetrics* metrics,
+    const xml::ParserLimits& parser_limits) {
   XSQ_ASSIGN_OR_RETURN(std::unique_ptr<core::StreamingQuery> query,
                        core::StreamingQuery::Open(std::move(plan)));
-  return std::unique_ptr<Session>(
-      new Session(std::move(query), memory_budget, stats, metrics));
+  return std::unique_ptr<Session>(new Session(
+      std::move(query), memory_budget, stats, metrics, parser_limits));
 }
 
 Session::Session(std::unique_ptr<core::StreamingQuery> query,
                  size_t memory_budget, ServiceStats* stats,
-                 ServiceMetrics* metrics)
+                 ServiceMetrics* metrics,
+                 const xml::ParserLimits& parser_limits)
     : memory_budget_(memory_budget),
       stats_(stats),
       metrics_(metrics),
@@ -31,6 +34,8 @@ Session::Session(std::unique_ptr<core::StreamingQuery> query,
   // listener; per-chunk samples accumulate into phases_ and flush to the
   // histograms once per document. No-op in XSQ_OBS=OFF builds.
   if (metrics_ != nullptr) query_->set_phase_listener(this);
+  query_->set_parser_limits(parser_limits);
+  query_->set_cancel_token(&cancel_);
 }
 
 void Session::OnPhaseSample(uint64_t parse_ns, uint64_t automaton_ns,
@@ -80,6 +85,7 @@ Status Session::AfterEngineStep(Status step) {
   }
 
   uint64_t new_items = 0;
+  bool newly_failed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     while (std::optional<std::string> item = query_->NextItem()) {
@@ -88,10 +94,44 @@ Status Session::AfterEngineStep(Status step) {
     }
     current_aggregate_ = query_->current_aggregate();
     final_aggregate_ = query_->final_aggregate();
+    newly_failed = status_.ok() && !step.ok();
     status_ = step;
   }
   items_produced_.fetch_add(new_items, std::memory_order_relaxed);
   if (stats_ != nullptr && new_items > 0) stats_->RecordItems(new_items);
+
+  if (newly_failed) {
+    if (stats_ != nullptr) {
+      switch (step.code()) {
+        case StatusCode::kCancelled:
+          stats_->RecordCancelled();
+          break;
+        case StatusCode::kDeadlineExceeded:
+          stats_->RecordDeadlineExceeded();
+          break;
+        case StatusCode::kLimitExceeded:
+          stats_->RecordLimitRejected();
+          break;
+        case StatusCode::kDataCorruption:
+          stats_->RecordTapeCorrupt();
+          break;
+        default:
+          break;
+      }
+    }
+    // A cancelled or timed-out request is abandoned, not resumable:
+    // drop the engine's buffered items right now so a session parked in
+    // the failed state does not pin memory against the global budget.
+    // status_ keeps the failure; Reset() reopens the session as usual.
+    if (step.code() == StatusCode::kCancelled ||
+        step.code() == StatusCode::kDeadlineExceeded) {
+      query_->Reset();
+      size_t previous = buffered_.exchange(0, std::memory_order_relaxed);
+      if (stats_ != nullptr && previous != 0) {
+        stats_->AdjustBufferedBytes(-static_cast<int64_t>(previous));
+      }
+    }
+  }
   return step;
 }
 
@@ -101,6 +141,9 @@ Status Session::Push(std::string_view chunk) {
     if (!status_.ok()) return status_;
   }
   if (closed()) return Status::InvalidArgument("Push on closed session");
+  XSQ_FAILPOINT("service.session.push_fault",
+                return AfterEngineStep(Status::Internal(
+                    "injected worker fault evaluating chunk")));
   return AfterEngineStep(query_->Push(chunk));
 }
 
@@ -139,6 +182,7 @@ Status Session::RunTape(const tape::Tape& tape) {
 }
 
 Status Session::Reset() {
+  cancel_.Reset();  // clears both the flag and any armed deadline
   query_->Reset();
   phases_ = PhaseTotals();
   closed_.store(false, std::memory_order_relaxed);

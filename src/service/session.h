@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/cancel_token.h"
 #include "core/compiled_plan.h"
 #include "core/streaming_query.h"
 #include "service/metrics.h"
@@ -50,9 +51,13 @@ class Session : private core::PhaseListener {
   // receives per-document phase samples and tape replay timings (the
   // session attaches itself as the query's PhaseListener); it must also
   // outlive the session.
+  // `parser_limits` (default: unlimited) hardens the session's parser
+  // against hostile documents; violations fail the session with
+  // kLimitExceeded like any other streaming error.
   static Result<std::unique_ptr<Session>> Create(
       std::shared_ptr<const core::CompiledPlan> plan, size_t memory_budget,
-      ServiceStats* stats, ServiceMetrics* metrics = nullptr);
+      ServiceStats* stats, ServiceMetrics* metrics = nullptr,
+      const xml::ParserLimits& parser_limits = {});
 
   ~Session();
 
@@ -80,6 +85,18 @@ class Session : private core::PhaseListener {
   Status Reset();
 
   // --- any thread ---
+
+  // Cooperative cancellation and deadlines. Safe to call from any
+  // thread while a worker streams: the engine observes the token within
+  // one sampling interval (CancelToken::kCheckIntervalEvents events)
+  // and the session fails with kCancelled / kDeadlineExceeded. The
+  // failure frees the engine's buffered bytes immediately (the gauge
+  // returns its share) without touching sibling sessions; Reset()
+  // clears the token along with the failure.
+  void Cancel() { cancel_.Cancel(); }
+  void SetDeadlineAfterMs(uint64_t ms) { cancel_.SetDeadlineAfterMs(ms); }
+  void ClearDeadline() { cancel_.ClearDeadline(); }
+  bool cancelled() const { return cancel_.cancelled(); }
 
   // Moves out every result item produced so far and not yet taken, in
   // document order.
@@ -117,7 +134,8 @@ class Session : private core::PhaseListener {
 
  private:
   Session(std::unique_ptr<core::StreamingQuery> query, size_t memory_budget,
-          ServiceStats* stats, ServiceMetrics* metrics);
+          ServiceStats* stats, ServiceMetrics* metrics,
+          const xml::ParserLimits& parser_limits);
 
   // core::PhaseListener: per-chunk phase sample from the query.
   void OnPhaseSample(uint64_t parse_ns, uint64_t automaton_ns,
@@ -134,6 +152,7 @@ class Session : private core::PhaseListener {
   const size_t memory_budget_;
   ServiceStats* const stats_;      // may be null
   ServiceMetrics* const metrics_;  // may be null
+  core::CancelToken cancel_;       // installed into query_ at creation
   std::unique_ptr<core::StreamingQuery> query_;
   PhaseTotals phases_;  // streaming thread only
 

@@ -30,6 +30,10 @@ std::string StatsSnapshot::ToString() const {
   line("doc_cache_bytes", doc_cache_bytes);
   line("tape_replays", tape_replays);
   line("tape_events_replayed", tape_events_replayed);
+  line("cancelled", cancelled);
+  line("deadline_exceeded", deadline_exceeded);
+  line("limit_rejected", limit_rejected);
+  line("tape_corrupt", tape_corrupt);
   return out;
 }
 
@@ -46,6 +50,10 @@ StatsSnapshot ServiceStats::Snapshot() const {
   snap.tape_replays = tape_replays_.load(std::memory_order_relaxed);
   snap.tape_events_replayed =
       tape_events_replayed_.load(std::memory_order_relaxed);
+  snap.cancelled = cancelled_.load(std::memory_order_relaxed);
+  snap.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  snap.limit_rejected = limit_rejected_.load(std::memory_order_relaxed);
+  snap.tape_corrupt = tape_corrupt_.load(std::memory_order_relaxed);
   return snap;
 }
 

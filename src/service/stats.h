@@ -40,6 +40,13 @@ struct StatsSnapshot {
   uint64_t doc_cache_bytes = 0;      // gauge: their summed memory_bytes
   uint64_t tape_replays = 0;         // documents served from tape
   uint64_t tape_events_replayed = 0;
+  // Failure-mode counters (the robustness surface): how many requests
+  // died by caller cancellation, by deadline, by a ParserLimits
+  // rejection, and how many tapes failed integrity checks.
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t limit_rejected = 0;
+  uint64_t tape_corrupt = 0;
 
   // One "name value" pair per line, stable names; the xsqd STATS
   // command prints exactly this.
@@ -62,6 +69,10 @@ class ServiceStats {
     Inc(tape_replays_);
     tape_events_replayed_.fetch_add(events, std::memory_order_relaxed);
   }
+  void RecordCancelled() { Inc(cancelled_); }
+  void RecordDeadlineExceeded() { Inc(deadline_exceeded_); }
+  void RecordLimitRejected() { Inc(limit_rejected_); }
+  void RecordTapeCorrupt() { Inc(tape_corrupt_); }
   void RecordQueueDepth(uint64_t depth) {
     uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
     while (depth > seen &&
@@ -96,6 +107,10 @@ class ServiceStats {
   std::atomic<int64_t> buffered_bytes_{0};
   std::atomic<uint64_t> tape_replays_{0};
   std::atomic<uint64_t> tape_events_replayed_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> limit_rejected_{0};
+  std::atomic<uint64_t> tape_corrupt_{0};
 };
 
 }  // namespace xsq::service

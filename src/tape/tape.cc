@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <limits>
 
+#include "common/crc32c.h"
+#include "common/failpoints.h"
+
 namespace xsq::tape {
 namespace {
 
@@ -119,7 +122,7 @@ bool Tape::Cursor::Next(EventView* out) {
   const std::string& blob = tape_.blob_;
 
   auto fail = [this] {
-    status_ = Status::Internal("malformed tape record stream");
+    status_ = Status::DataCorruption("malformed tape record stream");
     return false;
   };
   auto take_span = [&](uint64_t len, std::string_view* span) {
@@ -205,7 +208,23 @@ bool Tape::Cursor::Next(EventView* out) {
 
 namespace {
 
-constexpr char kMagic[8] = {'X', 'S', 'Q', 'T', 'A', 'P', 'E', '1'};
+constexpr char kMagicV1[8] = {'X', 'S', 'Q', 'T', 'A', 'P', 'E', '1'};
+constexpr char kMagicV2[8] = {'X', 'S', 'Q', 'T', 'A', 'P', 'E', '2'};
+
+// Little-endian CRC32C trailer appended after each v2 section.
+void PutCrc(std::string* out, uint32_t crc) {
+  out->push_back(static_cast<char>(crc & 0xff));
+  out->push_back(static_cast<char>((crc >> 8) & 0xff));
+  out->push_back(static_cast<char>((crc >> 16) & 0xff));
+  out->push_back(static_cast<char>((crc >> 24) & 0xff));
+}
+
+uint32_t GetCrc(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -229,9 +248,8 @@ bool GetVarintString(const std::string& data, size_t* pos, uint64_t* value) {
 
 }  // namespace
 
-Status Tape::Save(const std::string& path) const {
+std::string Tape::SerializeHeaderBody() const {
   std::string header;
-  header.append(kMagic, sizeof(kMagic));
   PutVarintString(&header, symbols_.size());
   for (size_t i = 0; i < symbols_.size(); ++i) {
     std::string_view name = symbols_.Name(static_cast<SymbolId>(i));
@@ -246,47 +264,76 @@ Status Tape::Save(const std::string& path) const {
   for (uint64_t counter : counters) PutVarintString(&header, counter);
   PutVarintString(&header, records_.size());
   PutVarintString(&header, blob_.size());
+  return header;
+}
 
+std::string Tape::Serialize() const {
+  std::string out;
+  std::string header = SerializeHeaderBody();
+  out.reserve(sizeof(kMagicV2) + header.size() + records_.size() +
+              blob_.size() + 12);
+  out.append(kMagicV2, sizeof(kMagicV2));
+  out.append(header);
+  PutCrc(&out, Crc32c(header.data(), header.size()));
+  out.append(reinterpret_cast<const char*>(records_.data()), records_.size());
+  PutCrc(&out, Crc32c(records_.data(), records_.size()));
+  out.append(blob_);
+  PutCrc(&out, Crc32c(blob_.data(), blob_.size()));
+  return out;
+}
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& image) {
+  XSQ_FAILPOINT("tape.save.short_write",
+                return Status::Internal("injected short write saving tape to " +
+                                        path));
   FilePtr file(std::fopen(path.c_str(), "wb"));
   if (file == nullptr) {
     return Status::InvalidArgument("cannot open for writing: " + path);
   }
-  auto write_all = [&file](const void* data, size_t size) {
-    return size == 0 || std::fwrite(data, 1, size, file.get()) == size;
-  };
-  if (!write_all(header.data(), header.size()) ||
-      !write_all(records_.data(), records_.size()) ||
-      !write_all(blob_.data(), blob_.size()) ||
+  if ((!image.empty() &&
+       std::fwrite(image.data(), 1, image.size(), file.get()) !=
+           image.size()) ||
       std::fflush(file.get()) != 0) {
     return Status::Internal("short write saving tape to " + path);
   }
   return Status::OK();
 }
 
-Result<Tape> Tape::Load(const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) {
-    return Status::InvalidArgument("cannot open tape file: " + path);
-  }
-  std::string data;
-  char buffer[1 << 16];
-  size_t got;
-  while ((got = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
-    data.append(buffer, got);
-  }
-  if (std::ferror(file.get()) != 0) {
-    return Status::Internal("read error loading tape from " + path);
-  }
+}  // namespace
 
-  auto corrupt = [&path](const char* what) {
-    return Status::ParseError(std::string("corrupt tape file ") + path + ": " +
-                              what);
+Status Tape::Save(const std::string& path) const {
+  return WriteFile(path, Serialize());
+}
+
+Status Tape::SaveLegacyV1(const std::string& path) const {
+  std::string image(kMagicV1, sizeof(kMagicV1));
+  image.append(SerializeHeaderBody());
+  image.append(reinterpret_cast<const char*>(records_.data()),
+               records_.size());
+  image.append(blob_);
+  return WriteFile(path, image);
+}
+
+Result<Tape> Tape::FromBytes(std::string data, const std::string& origin) {
+  auto corrupt = [&origin](const char* what) {
+    return Status::DataCorruption(std::string("corrupt tape file ") + origin +
+                                  ": " + what);
   };
-  if (data.size() < sizeof(kMagic) ||
-      data.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+  bool checksummed;
+  if (data.size() >= sizeof(kMagicV2) &&
+      data.compare(0, sizeof(kMagicV2), kMagicV2, sizeof(kMagicV2)) == 0) {
+    checksummed = true;
+  } else if (data.size() >= sizeof(kMagicV1) &&
+             data.compare(0, sizeof(kMagicV1), kMagicV1, sizeof(kMagicV1)) ==
+                 0) {
+    checksummed = false;  // legacy v1: no section checksums
+  } else {
     return corrupt("bad magic");
   }
-  size_t pos = sizeof(kMagic);
+  size_t pos = sizeof(kMagicV2);
+  const size_t header_begin = pos;
 
   Tape tape;
   uint64_t symbol_count = 0;
@@ -317,17 +364,60 @@ Result<Tape> Tape::Load(const std::string& path) {
 
   uint64_t record_size = 0, blob_size = 0;
   if (!GetVarintString(data, &pos, &record_size) ||
-      !GetVarintString(data, &pos, &blob_size) ||
-      record_size > data.size() - pos ||
-      blob_size != data.size() - pos - record_size) {
+      !GetVarintString(data, &pos, &blob_size)) {
     return corrupt("section sizes");
   }
-  const uint8_t* records = reinterpret_cast<const uint8_t*>(data.data()) + pos;
-  tape.records_.assign(records, records + record_size);
-  tape.blob_.assign(data, pos + record_size, blob_size);
+  // The parsed header declares the section sizes; with checksums, every
+  // section is followed by its 4-byte CRC32C trailer.
+  const size_t trailer = checksummed ? 4 : 0;
+  const size_t tail = data.size() - pos;  // bytes after the header body
+  if (record_size > tail || tail - record_size < 3 * trailer ||
+      blob_size != tail - record_size - 3 * trailer) {
+    return corrupt("section sizes");
+  }
+  if (checksummed) {
+    uint32_t header_crc =
+        Crc32c(data.data() + header_begin, pos - header_begin);
+    if (header_crc != GetCrc(data.data() + pos)) {
+      return corrupt("header checksum mismatch");
+    }
+    pos += 4;
+  }
+  const char* records = data.data() + pos;
+  if (checksummed &&
+      Crc32c(records, record_size) != GetCrc(records + record_size)) {
+    return corrupt("record section checksum mismatch");
+  }
+  const char* blob = records + record_size + trailer;
+  if (checksummed && Crc32c(blob, blob_size) != GetCrc(blob + blob_size)) {
+    return corrupt("blob section checksum mismatch");
+  }
+  tape.records_.assign(reinterpret_cast<const uint8_t*>(records),
+                       reinterpret_cast<const uint8_t*>(records) + record_size);
+  tape.blob_.assign(blob, blob_size);
 
   XSQ_RETURN_IF_ERROR(tape.Validate());
   return tape;
+}
+
+Result<Tape> Tape::Load(const std::string& path) {
+  XSQ_FAILPOINT("tape.load.short_read",
+                return Status::DataCorruption(
+                    "injected short read loading tape from " + path));
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open tape file: " + path);
+  }
+  std::string data;
+  char buffer[1 << 16];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
+    data.append(buffer, got);
+  }
+  if (std::ferror(file.get()) != 0) {
+    return Status::Internal("read error loading tape from " + path);
+  }
+  return FromBytes(std::move(data), path);
 }
 
 Status Tape::Validate() const {

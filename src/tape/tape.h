@@ -142,14 +142,36 @@ class Tape {
   size_t memory_bytes() const;
 
   // --- persistence ---
+  //
+  // On-disk format v2 ("XSQTAPE2"): the v1 layout (varint header with
+  // symbol table, counters and section sizes, then records, then blob)
+  // with a 4-byte little-endian CRC32C trailer after each of the three
+  // sections. CRC32C detects every single-bit error, so Load rejects
+  // any tape a storage layer flipped a bit in — verified exhaustively
+  // in tests. v1 tapes ("XSQTAPE1", no checksums) still load.
+
+  // The complete v2 byte image (what Save writes).
+  std::string Serialize() const;
   Status Save(const std::string& path) const;
-  // Loads and fully validates a tape (magic, symbol ids, payload spans,
-  // depth/nesting sanity), so replay never needs to re-validate.
+
+  // Parses and fully validates a serialized tape (either version):
+  // magic, per-section checksums (v2), symbol ids, payload spans,
+  // depth/nesting sanity — so replay never needs to re-validate.
+  // `origin` names the source (a path, "<memory>") in error messages.
+  // Corruption fails with StatusCode::kDataCorruption.
+  static Result<Tape> FromBytes(std::string data, const std::string& origin);
   static Result<Tape> Load(const std::string& path);
+
+  // Writes the legacy checksum-free v1 image; kept so tests can prove
+  // v1 tapes remain loadable. New code has no reason to call this.
+  Status SaveLegacyV1(const std::string& path) const;
 
  private:
   // Walks every record checking structural invariants; used by Load.
   Status Validate() const;
+
+  // The shared varint header (everything between magic and records).
+  std::string SerializeHeaderBody() const;
 
   SymbolTable symbols_;
   std::vector<uint8_t> records_;

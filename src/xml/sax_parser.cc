@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/failpoints.h"
 #include "common/strings.h"
 
 namespace xsq::xml {
@@ -80,9 +81,11 @@ bool IsWhitespaceOnly(std::string_view s) {
 
 }  // namespace
 
-SaxParser::SaxParser(SaxHandler* handler) : handler_(handler) {}
+SaxParser::SaxParser(SaxHandler* handler, ParserLimits limits)
+    : handler_(handler), limits_(limits) {}
 
 void SaxParser::Reset() {
+  entity_expanded_bytes_ = 0;
   pending_.clear();
   text_.clear();
   has_pending_text_ = false;
@@ -100,6 +103,11 @@ void SaxParser::Reset() {
 Status SaxParser::ErrorHere(const std::string& message) const {
   return Status::ParseError(message + " at line " + std::to_string(line_) +
                             ", column " + std::to_string(column_));
+}
+
+Status SaxParser::LimitErrorHere(const std::string& message) const {
+  return Status::LimitExceeded(message + " at line " + std::to_string(line_) +
+                               ", column " + std::to_string(column_));
 }
 
 void SaxParser::AdvancePosition(std::string_view consumed_text) {
@@ -122,6 +130,8 @@ void SaxParser::AdvancePosition(std::string_view consumed_text) {
 }
 
 Status SaxParser::DecodeEntities(std::string_view raw, std::string* out) {
+  const size_t out_size_before = out->size();
+  bool saw_reference = false;
   size_t pos = 0;
   while (pos < raw.size()) {
     const char* amp = static_cast<const char*>(
@@ -199,6 +209,20 @@ Status SaxParser::DecodeEntities(std::string_view raw, std::string* out) {
                        ";'");
     }
     pos = semi + 1;
+    saw_reference = true;
+  }
+  // Any run that contained references counts in full against the
+  // per-document expansion budget. DTD-declared entities are never
+  // expanded here (non-validating), so classic billion-laughs cannot
+  // amplify; the budget bounds how much reference-bearing text a single
+  // document may make the parser decode and buffer downstream.
+  if (saw_reference && limits_.max_entity_expansion != 0) {
+    entity_expanded_bytes_ += out->size() - out_size_before;
+    if (entity_expanded_bytes_ > limits_.max_entity_expansion) {
+      return LimitErrorHere("entity expansion budget exceeded (" +
+                            std::to_string(limits_.max_entity_expansion) +
+                            " bytes)");
+    }
   }
   return Status::OK();
 }
@@ -228,6 +252,14 @@ Status SaxParser::ParseElementTag(std::string_view markup_body,
   if (!IsValidName(name)) {
     return ErrorHere("invalid element name '" + std::string(name) + "'");
   }
+  if (limits_.max_name_length != 0 && name.size() > limits_.max_name_length) {
+    return LimitErrorHere("element name exceeds " +
+                          std::to_string(limits_.max_name_length) + " bytes");
+  }
+  if (limits_.max_depth != 0 && open_elements_.size() >= limits_.max_depth) {
+    return LimitErrorHere("element nesting exceeds depth limit " +
+                          std::to_string(limits_.max_depth));
+  }
 
   attributes_.clear();
   while (true) {
@@ -244,6 +276,18 @@ Status SaxParser::ParseElementTag(std::string_view markup_body,
     if (!IsValidName(attr_name)) {
       return ErrorHere("invalid attribute name in element '" +
                        std::string(name) + "'");
+    }
+    if (limits_.max_name_length != 0 &&
+        attr_name.size() > limits_.max_name_length) {
+      return LimitErrorHere("attribute name exceeds " +
+                            std::to_string(limits_.max_name_length) +
+                            " bytes");
+    }
+    if (limits_.max_attributes != 0 &&
+        attributes_.size() >= limits_.max_attributes) {
+      return LimitErrorHere("element '" + std::string(name) +
+                            "' exceeds attribute limit " +
+                            std::to_string(limits_.max_attributes));
     }
     while (pos < markup_body.size() && IsXmlWhitespace(markup_body[pos])) ++pos;
     if (pos >= markup_body.size() || markup_body[pos] != '=') {
@@ -385,6 +429,12 @@ Status SaxParser::HandleMarkup(std::string_view data, size_t* consumed,
         in_subset = false;
         subset_end = i;
       } else if (c == '>' && !in_subset) {
+        if (limits_.max_doctype_bytes != 0 &&
+            i + 1 > limits_.max_doctype_bytes) {
+          return LimitErrorHere("declaration exceeds " +
+                                std::to_string(limits_.max_doctype_bytes) +
+                                " bytes");
+        }
         static constexpr std::string_view kDoctype = "<!DOCTYPE";
         if (data.substr(0, kDoctype.size()) == kDoctype) {
           size_t name_begin = kDoctype.size();
@@ -407,6 +457,16 @@ Status SaxParser::HandleMarkup(std::string_view data, size_t* consumed,
         *progress = Progress::kOk;
         return Status::OK();
       }
+    }
+    // Still waiting for the closing '>'. The unconsumed declaration is
+    // retained across Feeds, so an unterminated DOCTYPE would otherwise
+    // grow pending_ without bound — the cap fails it as soon as the
+    // retained prefix alone exceeds the budget.
+    if (limits_.max_doctype_bytes != 0 &&
+        data.size() > limits_.max_doctype_bytes) {
+      return LimitErrorHere("declaration exceeds " +
+                            std::to_string(limits_.max_doctype_bytes) +
+                            " bytes");
     }
     return Status::OK();  // need more input
   }
@@ -504,6 +564,8 @@ Status SaxParser::ParseBuffer(std::string_view data, size_t* consumed,
 }
 
 Status SaxParser::Feed(std::string_view chunk) {
+  XSQ_FAILPOINT("xml.parse.io_error",
+                return Status::Internal("injected I/O error reading input"));
   if (finished_) {
     return Status::Internal("Feed called after Finish");
   }

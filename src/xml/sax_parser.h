@@ -25,10 +25,43 @@
 
 namespace xsq::xml {
 
+// Hard resource limits on a single parsed document. A hostile or
+// pathological stream cannot be rejected by well-formedness alone —
+// a billion nested elements are perfectly well-formed — so the parser
+// enforces these bounds and fails with StatusCode::kLimitExceeded
+// (distinct from kParseError: the input may be valid XML, it is merely
+// bigger than this deployment will evaluate). 0 = unlimited for every
+// field; a default-constructed ParserLimits changes no behavior.
+struct ParserLimits {
+  size_t max_depth = 0;             // open elements at once
+  size_t max_attributes = 0;        // attributes on one element
+  size_t max_name_length = 0;       // element/attribute name bytes
+  size_t max_entity_expansion = 0;  // total bytes produced by entity
+                                    // references in one document
+  size_t max_doctype_bytes = 0;     // DOCTYPE declaration size (this is
+                                    // the dtd/ internal-subset path)
+
+  // The serving defaults: generous enough for every real corpus in the
+  // bench suite (DBLP/NASA/PSD/SHAKE and the recursive generators), but
+  // finite, so one hostile document cannot wedge a shared daemon.
+  // service::ServiceConfig applies these unless overridden.
+  static ParserLimits Serving() {
+    ParserLimits limits;
+    limits.max_depth = 4096;
+    limits.max_attributes = 1024;
+    limits.max_name_length = 4096;
+    limits.max_entity_expansion = 64u << 20;  // 64 MiB
+    limits.max_doctype_bytes = 4u << 20;      // 4 MiB internal subset
+    return limits;
+  }
+};
+
 class SaxParser {
  public:
-  // `handler` must outlive the parser and is not owned.
-  explicit SaxParser(SaxHandler* handler);
+  // `handler` must outlive the parser and is not owned. `limits`
+  // defaults to unlimited (library behavior); servers pass
+  // ParserLimits::Serving() or their own bounds.
+  explicit SaxParser(SaxHandler* handler, ParserLimits limits = {});
 
   SaxParser(const SaxParser&) = delete;
   SaxParser& operator=(const SaxParser&) = delete;
@@ -67,6 +100,12 @@ class SaxParser {
   // will be split across handlers mid-document.
   void set_handler(SaxHandler* handler) { handler_ = handler; }
 
+  // Replaces the resource limits. Takes effect immediately; call
+  // between documents to avoid judging a half-parsed document by two
+  // different rule sets.
+  void set_limits(const ParserLimits& limits) { limits_ = limits; }
+  const ParserLimits& limits() const { return limits_; }
+
  private:
   enum class Progress { kOk, kNeedMore };
 
@@ -78,9 +117,12 @@ class SaxParser {
   Status FlushText();
   Status DecodeEntities(std::string_view raw, std::string* out);
   Status ErrorHere(const std::string& message) const;
+  Status LimitErrorHere(const std::string& message) const;
   void AdvancePosition(std::string_view consumed_text);
 
   SaxHandler* handler_;
+  ParserLimits limits_;
+  size_t entity_expanded_bytes_ = 0;  // per document, against the budget
   std::string pending_;                   // unconsumed tail from prior Feed
   std::string text_;                      // decoded pending character data
   bool has_pending_text_ = false;         // a text run is in progress

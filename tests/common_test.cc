@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "common/crc32c.h"
 #include "common/memory_tracker.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -34,6 +35,44 @@ TEST(StatusTest, EveryCodeHasAName) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
                "InvalidArgument");
   EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kLimitExceeded), "LimitExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataCorruption), "DataCorruption");
+}
+
+TEST(Crc32cTest, KnownAnswerVectors) {
+  // RFC 3720 appendix B.4 test vectors for CRC32C (Castagnoli).
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, SeedChainingMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32c(data.data(), split);
+    crc = Crc32c(data.data() + split, data.size() - split, crc);
+    EXPECT_EQ(crc, whole) << "split " << split;
+  }
+}
+
+TEST(Crc32cTest, SingleBitFlipsAlwaysChangeTheChecksum) {
+  const std::string data = "XSQTAPE2 payload bytes for the flip check";
+  const uint32_t reference = Crc32c(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = data;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c(mutated.data(), mutated.size()), reference)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
 }
 
 TEST(ResultTest, HoldsValueOrStatus) {

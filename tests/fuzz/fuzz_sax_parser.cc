@@ -1,0 +1,32 @@
+// libFuzzer harness for the SAX parser: arbitrary bytes, parsed once in
+// a single Feed and once split into small chunks, both under the
+// Serving resource limits (the configuration xsqd exposes to untrusted
+// input). Any crash, hang, or sanitizer report is a finding; error
+// Statuses are the expected outcome for most inputs.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/events.h"
+#include "xml/sax_parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view doc(reinterpret_cast<const char*>(data), size);
+  {
+    xsq::xml::RecordingHandler handler;
+    xsq::xml::SaxParser parser(&handler, xsq::xml::ParserLimits::Serving());
+    (void)parser.Parse(doc);
+  }
+  {
+    // Chunked delivery exercises the pending-markup resume paths.
+    xsq::xml::RecordingHandler handler;
+    xsq::xml::SaxParser parser(&handler, xsq::xml::ParserLimits::Serving());
+    xsq::Status status;
+    for (size_t pos = 0; pos < doc.size() && status.ok(); pos += 17) {
+      status = parser.Feed(doc.substr(pos, 17));
+    }
+    if (status.ok()) (void)parser.Finish();
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// libFuzzer harness for the tape loader: arbitrary bytes as a tape
+// image through Tape::FromBytes (the same decoding Tape::Load runs on
+// files). Inputs that pass the CRC gauntlet — in practice only
+// unmutated corpus seeds — are replayed to cover the cursor's record
+// decoding end to end.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "tape/replayer.h"
+#include "tape/tape.h"
+#include "xml/events.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string image(reinterpret_cast<const char*>(data), size);
+  xsq::Result<xsq::tape::Tape> tape =
+      xsq::tape::Tape::FromBytes(std::move(image), "fuzz");
+  if (tape.ok()) {
+    xsq::xml::RecordingHandler handler;
+    (void)xsq::tape::Replay(*tape, &handler);
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// libFuzzer harness for the XPath query parser: arbitrary bytes as
+// query text. Compilation to a plan is included when parsing succeeds,
+// covering HPDT construction on fuzzer-discovered query shapes.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "core/compiled_plan.h"
+#include "xpath/ast.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  xsq::Result<xsq::xpath::Query> query = xsq::xpath::ParseQuery(text);
+  if (query.ok()) {
+    (void)xsq::core::CompilePlan(text);
+  }
+  return 0;
+}

@@ -1,0 +1,533 @@
+// Resilience properties of the serving path: cooperative cancellation
+// and deadlines (CancelToken through StreamingQuery, Session, and
+// QueryService), parser resource limits, and the failure accounting
+// that backs the cancelled/deadline_exceeded/limit_rejected counters.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cancel_token.h"
+#include "core/streaming_query.h"
+#include "service/query_service.h"
+#include "service/session.h"
+#include "xml/events.h"
+#include "xml/sax_parser.h"
+
+namespace xsq {
+namespace {
+
+using core::CancelToken;
+using core::StreamingQuery;
+
+// ------------------------------------------------------------- CancelToken
+
+TEST(CancelTokenTest, FreshTokenChecksOk) {
+  CancelToken token;
+  EXPECT_TRUE(token.Check().ok());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.expired());
+}
+
+TEST(CancelTokenTest, CancelTripsCheck) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineTripsCheck) {
+  CancelToken token;
+  token.SetDeadlineAfter(std::chrono::nanoseconds(-1));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.expired());
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, FutureDeadlineChecksOk) {
+  CancelToken token;
+  token.SetDeadlineAfterMs(60'000);
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.expired());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancelTokenTest, CancelWinsOverExpiredDeadline) {
+  CancelToken token;
+  token.SetDeadlineAfter(std::chrono::nanoseconds(-1));
+  token.Cancel();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, ClearDeadlineDisarms) {
+  CancelToken token;
+  token.SetDeadlineAfter(std::chrono::nanoseconds(-1));
+  token.ClearDeadline();
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancelTokenTest, ResetClearsFlagAndDeadline) {
+  CancelToken token;
+  token.Cancel();
+  token.SetDeadlineAfter(std::chrono::nanoseconds(-1));
+  token.Reset();
+  EXPECT_TRUE(token.Check().ok());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.has_deadline());
+}
+
+// ---------------------------------------------------------- StreamingQuery
+
+std::unique_ptr<StreamingQuery> MustOpen(const char* query) {
+  auto result = StreamingQuery::Open(query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *std::move(result);
+}
+
+TEST(StreamingCancelTest, DetachedTokenCostsNothingAndWorks) {
+  auto query = MustOpen("//a/text()");
+  ASSERT_TRUE(query->Push("<r><a>hi</a></r>").ok());
+  ASSERT_TRUE(query->Close().ok());
+  EXPECT_EQ(query->NextItem(), "hi");
+}
+
+TEST(StreamingCancelTest, CancelledTokenFailsTheNextChunk) {
+  auto query = MustOpen("//a/text()");
+  CancelToken token;
+  query->set_cancel_token(&token);
+  ASSERT_TRUE(query->Push("<r><a>hi</a>").ok());
+  token.Cancel();
+  EXPECT_EQ(query->Push("<a>more</a>").code(), StatusCode::kCancelled);
+  EXPECT_EQ(query->Close().code(), StatusCode::kCancelled);
+}
+
+TEST(StreamingCancelTest, ExpiredDeadlineFailsTheNextChunk) {
+  auto query = MustOpen("//a/text()");
+  CancelToken token;
+  query->set_cancel_token(&token);
+  ASSERT_TRUE(query->Push("<r>").ok());
+  token.SetDeadlineAfter(std::chrono::nanoseconds(-1));
+  EXPECT_EQ(query->Push("<a>x</a>").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(StreamingCancelTest, EngineObservesTokenWithinOneSamplingInterval) {
+  // The engine polls the token every kCheckIntervalEvents events, so a
+  // flag raised mid-stream is observed without another chunk boundary.
+  // Event-level delivery bypasses Push's per-chunk check and isolates
+  // the sampled engine path.
+  auto query = MustOpen("//a/text()");
+  CancelToken token;
+  query->set_cancel_token(&token);
+
+  xml::SaxHandler* handler = query->event_handler();
+  handler->OnDocumentBegin();
+  handler->OnBegin("r", {}, 1);
+  token.Cancel();
+  int delivered = 0;
+  while (query->engine_status().ok() && delivered < 1000) {
+    handler->OnBegin("a", {}, 2);
+    handler->OnEnd("a", 2);
+    delivered += 2;
+  }
+  EXPECT_EQ(query->engine_status().code(), StatusCode::kCancelled);
+  // Observed within one sampling interval, not at the end of the doc.
+  EXPECT_LE(delivered,
+            static_cast<int>(CancelToken::kCheckIntervalEvents) + 2);
+}
+
+TEST(StreamingCancelTest, ResetRearmsACancelledQuery) {
+  auto query = MustOpen("//a/text()");
+  CancelToken token;
+  query->set_cancel_token(&token);
+  token.Cancel();
+  ASSERT_EQ(query->Push("<r/>").code(), StatusCode::kCancelled);
+  token.Reset();
+  query->Reset();
+  ASSERT_TRUE(query->Push("<r><a>back</a></r>").ok());
+  ASSERT_TRUE(query->Close().ok());
+  EXPECT_EQ(query->NextItem(), "back");
+}
+
+// ------------------------------------------------------------ ParserLimits
+
+Status ParseWithLimits(std::string_view doc, const xml::ParserLimits& limits) {
+  xml::RecordingHandler handler;
+  xml::SaxParser parser(&handler, limits);
+  return parser.Parse(doc);
+}
+
+TEST(ParserLimitsTest, DefaultsAreUnlimited) {
+  xml::ParserLimits limits;
+  EXPECT_EQ(limits.max_depth, 0u);
+  EXPECT_EQ(limits.max_attributes, 0u);
+  EXPECT_EQ(limits.max_name_length, 0u);
+  EXPECT_EQ(limits.max_entity_expansion, 0u);
+  EXPECT_EQ(limits.max_doctype_bytes, 0u);
+}
+
+TEST(ParserLimitsTest, DepthLimitRejectsDeepNesting) {
+  xml::ParserLimits limits;
+  limits.max_depth = 8;
+  std::string at_limit = "<a><a><a><a><a><a><a><a>";
+  std::string closing = "</a></a></a></a></a></a></a></a>";
+  EXPECT_TRUE(ParseWithLimits(at_limit + closing, limits).ok());
+  Status over = ParseWithLimits("<a>" + at_limit + closing + "</a>", limits);
+  EXPECT_EQ(over.code(), StatusCode::kLimitExceeded);
+  EXPECT_NE(over.message().find("depth"), std::string::npos);
+  EXPECT_NE(over.message().find("line"), std::string::npos);
+}
+
+TEST(ParserLimitsTest, AttributeCountLimit) {
+  xml::ParserLimits limits;
+  limits.max_attributes = 3;
+  EXPECT_TRUE(ParseWithLimits("<a p=\"1\" q=\"2\" r=\"3\"/>", limits).ok());
+  Status over =
+      ParseWithLimits("<a p=\"1\" q=\"2\" r=\"3\" s=\"4\"/>", limits);
+  EXPECT_EQ(over.code(), StatusCode::kLimitExceeded);
+}
+
+TEST(ParserLimitsTest, NameLengthLimitCoversElementsAndAttributes) {
+  xml::ParserLimits limits;
+  limits.max_name_length = 8;
+  EXPECT_TRUE(ParseWithLimits("<okname/>", limits).ok());
+  EXPECT_EQ(ParseWithLimits("<waytoolongname/>", limits).code(),
+            StatusCode::kLimitExceeded);
+  EXPECT_EQ(
+      ParseWithLimits("<a waytoolongattr=\"v\"/>", limits).code(),
+      StatusCode::kLimitExceeded);
+}
+
+TEST(ParserLimitsTest, EntityExpansionBudgetIsPerDocument) {
+  xml::ParserLimits limits;
+  limits.max_entity_expansion = 16;
+  EXPECT_TRUE(ParseWithLimits("<a>&amp;&amp;</a>", limits).ok());
+  // Each text run with references charges its decoded size; the budget
+  // accumulates across runs within one document.
+  std::string doc = "<r>";
+  for (int i = 0; i < 8; ++i) doc += "<a>x&amp;x</a>";
+  doc += "</r>";
+  Status over = ParseWithLimits(doc, limits);
+  EXPECT_EQ(over.code(), StatusCode::kLimitExceeded);
+  EXPECT_NE(over.message().find("entity expansion"), std::string::npos);
+  // Reference-free text is never charged, however large.
+  std::string plain = "<a>" + std::string(4096, 'x') + "</a>";
+  EXPECT_TRUE(ParseWithLimits(plain, limits).ok());
+}
+
+TEST(ParserLimitsTest, DoctypeByteLimitStopsUnterminatedDoctype) {
+  xml::ParserLimits limits;
+  limits.max_doctype_bytes = 64;
+  EXPECT_TRUE(
+      ParseWithLimits("<!DOCTYPE r [<!ELEMENT r (#PCDATA)>]><r/>", limits)
+          .ok());
+  // Complete but oversized declaration.
+  std::string big = "<!DOCTYPE r [" + std::string(200, ' ') + "]><r/>";
+  EXPECT_EQ(ParseWithLimits(big, limits).code(), StatusCode::kLimitExceeded);
+  // Unterminated declaration fed in chunks must trip the cap instead of
+  // buffering the prefix without bound.
+  xml::RecordingHandler handler;
+  xml::SaxParser parser(&handler, limits);
+  Status status = parser.Feed("<!DOCTYPE r [");
+  for (int i = 0; status.ok() && i < 100; ++i) {
+    status = parser.Feed(std::string(16, ' '));
+  }
+  EXPECT_EQ(status.code(), StatusCode::kLimitExceeded);
+}
+
+TEST(ParserLimitsTest, ServingPresetAcceptsOrdinaryDocuments) {
+  xml::ParserLimits serving = xml::ParserLimits::Serving();
+  EXPECT_GT(serving.max_depth, 0u);
+  EXPECT_GT(serving.max_attributes, 0u);
+  EXPECT_TRUE(ParseWithLimits(
+                  "<!DOCTYPE r [<!ELEMENT r (a*)>]>"
+                  "<r><a id=\"1\">hello &amp; goodbye</a><b/></r>",
+                  serving)
+                  .ok());
+  // ... and still rejects a hostile depth.
+  std::string deep;
+  for (size_t i = 0; i <= serving.max_depth; ++i) deep += "<d>";
+  EXPECT_EQ(ParseWithLimits(deep, serving).code(),
+            StatusCode::kLimitExceeded);
+}
+
+TEST(ParserLimitsTest, LimitsResetPerDocument) {
+  xml::ParserLimits limits;
+  limits.max_entity_expansion = 8;
+  xml::RecordingHandler handler;
+  xml::SaxParser parser(&handler, limits);
+  ASSERT_TRUE(parser.Parse("<a>&amp;&amp;&amp;</a>").ok());
+  parser.Reset();
+  // A fresh document gets a fresh budget: no carry-over from the last.
+  EXPECT_TRUE(parser.Parse("<a>&amp;&amp;&amp;</a>").ok());
+}
+
+// ---------------------------------------------------------------- Session
+
+using service::ServiceStats;
+using service::Session;
+
+std::unique_ptr<Session> MustCreateSession(
+    const char* query, ServiceStats* stats,
+    const xml::ParserLimits& limits = {}) {
+  auto plan = core::CompilePlan(query);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  auto session = Session::Create(*plan, /*memory_budget=*/0, stats,
+                                 /*metrics=*/nullptr, limits);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  return *std::move(session);
+}
+
+TEST(SessionCancelTest, CancelFailsSessionAndFreesBuffers) {
+  ServiceStats stats;
+  // The predicate stays undecided while price is unseen, so the title
+  // is buffered bytes until then.
+  auto session =
+      MustCreateSession("//book[price<20]/title/text()", &stats);
+  ASSERT_TRUE(
+      session->Push("<catalog><book><title>War and Peace</title>").ok());
+  EXPECT_GT(session->buffered_bytes(), 0u);
+  EXPECT_GT(stats.Snapshot().engine_buffered_bytes, 0u);
+
+  session->Cancel();
+  EXPECT_EQ(session->Push("<price>10</price>").code(),
+            StatusCode::kCancelled);
+  // The abandoned request returns its buffers immediately.
+  EXPECT_EQ(session->buffered_bytes(), 0u);
+  EXPECT_EQ(stats.Snapshot().engine_buffered_bytes, 0u);
+  EXPECT_EQ(stats.Snapshot().cancelled, 1u);
+  // Still failed, and counted exactly once.
+  EXPECT_EQ(session->Close().code(), StatusCode::kCancelled);
+  EXPECT_EQ(stats.Snapshot().cancelled, 1u);
+}
+
+TEST(SessionCancelTest, ResetRevivesACancelledSession) {
+  ServiceStats stats;
+  auto session = MustCreateSession("//a/text()", &stats);
+  session->Cancel();
+  ASSERT_EQ(session->Push("<r/>").code(), StatusCode::kCancelled);
+  ASSERT_TRUE(session->Reset().ok());
+  EXPECT_FALSE(session->cancelled());
+  ASSERT_TRUE(session->Push("<r><a>ok</a></r>").ok());
+  ASSERT_TRUE(session->Close().ok());
+  std::vector<std::string> items = session->TakeItems();
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0], "ok");
+}
+
+TEST(SessionCancelTest, DeadlineExceededIsCountedSeparately) {
+  ServiceStats stats;
+  auto session = MustCreateSession("//a/text()", &stats);
+  ASSERT_TRUE(session->Push("<r><a>hi</a>").ok());
+  session->SetDeadlineAfterMs(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(session->Push("<a>more</a>").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(stats.Snapshot().deadline_exceeded, 1u);
+  EXPECT_EQ(stats.Snapshot().cancelled, 0u);
+}
+
+TEST(SessionCancelTest, ParserLimitViolationCountsLimitRejected) {
+  ServiceStats stats;
+  xml::ParserLimits limits;
+  limits.max_depth = 4;
+  auto session = MustCreateSession("//a/text()", &stats, limits);
+  EXPECT_EQ(session->Push("<a><a><a><a><a>").code(),
+            StatusCode::kLimitExceeded);
+  EXPECT_EQ(stats.Snapshot().limit_rejected, 1u);
+}
+
+// ------------------------------------------------------------ QueryService
+
+using service::QueryService;
+using service::ServiceConfig;
+using service::SessionId;
+
+TEST(ServiceCancelTest, CancelSessionSparesSiblings) {
+  ServiceConfig config;
+  config.num_workers = 2;
+  QueryService service(config);
+
+  auto doomed = service.OpenSession("//a/text()");
+  auto healthy = service.OpenSession("//a/text()");
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_TRUE(service.Push(*doomed, "<r><a>one</a>").ok());
+  ASSERT_TRUE(service.Push(*healthy, "<r><a>two</a></r>").ok());
+
+  ASSERT_TRUE(service.CancelSession(*doomed).ok());
+  EXPECT_EQ(service.Close(*doomed).code(), StatusCode::kCancelled);
+
+  ASSERT_TRUE(service.Close(*healthy).ok());
+  std::vector<std::string> items = service.Drain(*healthy);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0], "two");
+
+  EXPECT_EQ(service.stats().cancelled, 1u);
+  EXPECT_EQ(service.CancelSession(9999).code(),
+            StatusCode::kInvalidArgument);
+  service.Shutdown();
+}
+
+TEST(ServiceCancelTest, CancelledSessionRecoversViaReset) {
+  QueryService service;
+  auto id = service.OpenSession("//a/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.CancelSession(*id).ok());
+  ASSERT_TRUE(service.Push(*id, "<r><a>x</a></r>").ok());
+  EXPECT_EQ(service.Close(*id).code(), StatusCode::kCancelled);
+  ASSERT_TRUE(service.ResetSession(*id).ok());
+  ASSERT_TRUE(service.Push(*id, "<r><a>y</a></r>").ok());
+  ASSERT_TRUE(service.Close(*id).ok());
+  std::vector<std::string> items = service.Drain(*id);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0], "y");
+  service.Shutdown();
+}
+
+TEST(ServiceDeadlineTest, PerRequestDeadlineFailsASlowDocument) {
+  QueryService service;
+  auto id = service.OpenSession("//a/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Push(*id, "<r><a>hi</a>", /*deadline_ms=*/1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(service.Close(*id).code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().deadline_exceeded, 1u);
+  service.Shutdown();
+}
+
+TEST(ServiceDeadlineTest, ServiceDefaultDeadlineApplies) {
+  ServiceConfig config;
+  config.default_deadline_ms = 1;
+  QueryService service(config);
+  auto id = service.OpenSession("//a/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Push(*id, "<r><a>hi</a>").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(service.Close(*id).code(), StatusCode::kDeadlineExceeded);
+  // The failure is exposed through METRICS as a scalar too.
+  EXPECT_NE(service.MetricsText().find("xsq_deadline_exceeded 1"),
+            std::string::npos);
+  service.Shutdown();
+}
+
+TEST(ServiceDeadlineTest, GenerousDeadlineDoesNotPerturbResults) {
+  ServiceConfig config;
+  config.default_deadline_ms = 60'000;
+  QueryService service(config);
+  auto id = service.OpenSession("//a/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Push(*id, "<r><a>one</a><a>two</a></r>").ok());
+  ASSERT_TRUE(service.Close(*id).ok());
+  EXPECT_EQ(service.Drain(*id).size(), 2u);
+  // Next document on the same session gets a fresh deadline.
+  ASSERT_TRUE(service.ResetSession(*id).ok());
+  ASSERT_TRUE(service.Push(*id, "<r><a>three</a></r>", 60'000).ok());
+  ASSERT_TRUE(service.Close(*id).ok());
+  EXPECT_EQ(service.Drain(*id).size(), 1u);
+  EXPECT_EQ(service.stats().deadline_exceeded, 0u);
+  service.Shutdown();
+}
+
+TEST(ServiceDeadlineTest, RunCachedHonoursDeadlinesAndClearsCancel) {
+  QueryService service;
+  ASSERT_TRUE(service.RecordDocument("doc", "<r><a>x</a></r>").ok());
+  auto id = service.OpenSession("//a/text()");
+  ASSERT_TRUE(id.ok());
+  // A generous per-replay deadline passes.
+  ASSERT_TRUE(service.RunCached(*id, "doc", /*deadline_ms=*/60'000).ok());
+  EXPECT_EQ(service.Drain(*id).size(), 1u);
+  // RunCached rewinds a failed session first, so a prior cancellation
+  // does not leak into the next replay.
+  ASSERT_TRUE(service.CancelSession(*id).ok());
+  ASSERT_TRUE(service.RunCached(*id, "doc").ok());
+  EXPECT_EQ(service.Drain(*id).size(), 1u);
+  service.Shutdown();
+}
+
+TEST(ServiceDeadlineTest, ShutdownDrainDeadlineBoundsTheJoin) {
+  ServiceConfig config;
+  config.drain_deadline_ms = 50;
+  QueryService service(config);
+  auto id = service.OpenSession("//a/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Push(*id, "<r><a>hi</a>").ok());
+  // Shutdown must complete even though the document never closed.
+  service.Shutdown();
+}
+
+TEST(ServiceLimitsTest, ServingLimitsRejectHostileDocumentsPerSession) {
+  QueryService service;  // parser_limits defaults to Serving()
+  auto hostile = service.OpenSession("//a/text()");
+  auto normal = service.OpenSession("//a/text()");
+  ASSERT_TRUE(hostile.ok());
+  ASSERT_TRUE(normal.ok());
+
+  std::string deep;
+  for (int i = 0; i < 5000; ++i) deep += "<d>";
+  ASSERT_TRUE(service.Push(*hostile, deep).ok());
+  EXPECT_EQ(service.Close(*hostile).code(), StatusCode::kLimitExceeded);
+
+  ASSERT_TRUE(service.Push(*normal, "<r><a>fine</a></r>").ok());
+  ASSERT_TRUE(service.Close(*normal).ok());
+  EXPECT_EQ(service.Drain(*normal).size(), 1u);
+
+  EXPECT_EQ(service.stats().limit_rejected, 1u);
+  EXPECT_NE(service.MetricsText().find("xsq_limit_rejected 1"),
+            std::string::npos);
+  service.Shutdown();
+}
+
+TEST(ServiceCancelTest, ConcurrentCancellationStress) {
+  // Many sessions streaming while another thread cancels half of them:
+  // no crash, no cross-session contamination, counters consistent.
+  ServiceConfig config;
+  config.num_workers = 4;
+  QueryService service(config);
+
+  constexpr int kSessions = 16;
+  std::vector<SessionId> ids;
+  for (int i = 0; i < kSessions; ++i) {
+    auto id = service.OpenSession("//a/text()");
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+    ASSERT_TRUE(service.Push(ids.back(), "<r>").ok());
+  }
+  std::thread canceller([&service, &ids] {
+    for (size_t i = 0; i < ids.size(); i += 2) {
+      EXPECT_TRUE(service.CancelSession(ids[i]).ok());
+    }
+  });
+  for (int round = 0; round < 8; ++round) {
+    for (SessionId id : ids) {
+      Status push = service.Push(id, "<a>x</a>");
+      // Accepted, or rejected because the session already failed.
+      EXPECT_TRUE(push.ok() || push.code() == StatusCode::kCancelled)
+          << push.ToString();
+    }
+  }
+  canceller.join();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Status ignored = service.Push(ids[i], "</r>");  // frame survivors
+    (void)ignored;
+    Status status = service.Close(ids[i]);
+    if (i % 2 == 0) {
+      // The canceller finished before these Closes, so every even
+      // session must end cancelled — and only those.
+      EXPECT_EQ(status.code(), StatusCode::kCancelled) << "session " << i;
+    } else {
+      EXPECT_TRUE(status.ok()) << "session " << i << ": "
+                               << status.ToString();
+      EXPECT_EQ(service.Drain(ids[i]).size(), 8u);
+    }
+  }
+  EXPECT_EQ(service.stats().cancelled, static_cast<uint64_t>(kSessions / 2));
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace xsq

@@ -4,10 +4,14 @@
 // must be handled gracefully by every layer.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/strings.h"
 #include "core/engine.h"
 #include "core/engine_nc.h"
 #include "core/result_sink.h"
+#include "core/streaming_query.h"
 #include "dom/builder.h"
 #include "dom/evaluator.h"
 #include "test_util.h"
@@ -145,6 +149,41 @@ TEST(ExtremeInputTest, PathologicalCommentAndCdata) {
   xml::RecordingHandler handler;
   xml::SaxParser parser(&handler);
   EXPECT_TRUE(parser.Parse(doc).ok());
+}
+
+// A streaming parser must be chunk-transparent: the final status of a
+// document — well-formed, malformed, or truncated — cannot depend on
+// where the network happened to split it. Sweep every byte boundary.
+Status RunChunked(std::string_view doc, size_t split) {
+  auto query = core::StreamingQuery::Open("//a[b]/text()");
+  EXPECT_TRUE(query.ok());
+  Status status = (*query)->Push(doc.substr(0, split));
+  if (status.ok()) status = (*query)->Push(doc.substr(split));
+  if (status.ok()) status = (*query)->Close();
+  return status;
+}
+
+TEST(ChunkSplitSweepTest, SplitPointNeverChangesTheFinalStatus) {
+  const std::vector<std::string> docs = {
+      "<r><a><b>x</b>text</a></r>",           // well-formed control
+      "<r><a>text</a></b></r>",               // mismatched close tag
+      "<r><a>truncated",                      // ends mid-document
+      "<r><a p=>bad attr</a></r>",            // malformed attribute
+      "<r><a>&bogus;</a></r>",                // unknown entity
+      "<r><a><![CDATA[never closed</a></r>",  // unterminated CDATA
+      "<r><a>text</a><!-- broken comment",    // unterminated comment
+  };
+  for (const std::string& doc : docs) {
+    const Status reference = RunChunked(doc, doc.size());
+    for (size_t split = 0; split <= doc.size(); ++split) {
+      Status status = RunChunked(doc, split);
+      EXPECT_EQ(status.code(), reference.code())
+          << "doc '" << doc << "' split at " << split << ": "
+          << status.ToString() << " vs " << reference.ToString();
+      EXPECT_EQ(status.message(), reference.message())
+          << "doc '" << doc << "' split at " << split;
+    }
+  }
 }
 
 TEST(ExtremeInputTest, EngineStatusCatchesDesyncedEvents) {

@@ -184,6 +184,9 @@ TEST(TapeTest, LoadRejectsTruncation) {
 }
 
 TEST(TapeTest, LoadRejectsCorruptRecords) {
+  // With the v2 CRC trailers a byte-level corruption anywhere in the
+  // file — magic, header, records, blob, or the checksums themselves —
+  // must be rejected outright, never half-loaded.
   const char* path = "xsq_tape_corrupt.bin";
   Tape tape = MustRecord(kDoc);
   ASSERT_TRUE(tape.Save(path).ok());
@@ -193,10 +196,7 @@ TEST(TapeTest, LoadRejectsCorruptRecords) {
     bytes.assign(std::istreambuf_iterator<char>(in),
                  std::istreambuf_iterator<char>());
   }
-  // Flip each byte past the magic; Load must either reject the file or
-  // produce a tape that still replays without tripping the cursor.
-  // (Some flips only change payload characters, which is legal data.)
-  for (size_t i = 8; i < bytes.size(); ++i) {
+  for (size_t i = 0; i < bytes.size(); ++i) {
     std::string mutated = bytes;
     mutated[i] = static_cast<char>(mutated[i] ^ 0x5a);
     {
@@ -204,12 +204,88 @@ TEST(TapeTest, LoadRejectsCorruptRecords) {
       out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
     }
     Result<Tape> loaded = Tape::Load(path);
-    if (!loaded.ok()) continue;
-    xml::RecordingHandler handler;
-    Status replay = Replay(*loaded, &handler);
-    EXPECT_TRUE(replay.ok()) << "byte " << i << ": " << replay.ToString();
+    EXPECT_FALSE(loaded.ok()) << "corrupted byte " << i << " loaded";
   }
   std::remove(path);
+}
+
+TEST(TapeTest, SerializeFromBytesRoundTripsInMemory) {
+  Tape tape = MustRecord(kDoc);
+  std::string image = tape.Serialize();
+  EXPECT_EQ(image.substr(0, 8), "XSQTAPE2");
+  Result<Tape> loaded = Tape::FromBytes(image, "in-memory");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->event_count(), tape.event_count());
+  std::vector<xml::Event> original = ReplayEvents(tape);
+  std::vector<xml::Event> reloaded = ReplayEvents(*loaded);
+  ASSERT_EQ(original.size(), reloaded.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_TRUE(original[i] == reloaded[i]) << i;
+  }
+}
+
+TEST(TapeTest, BitFlipSweepRejectsEveryFlip) {
+  // The acceptance bar from the failure model: CRC32C detects every
+  // single-bit error, so flipping ANY single bit of a serialized tape
+  // must make FromBytes fail with kDataCorruption. Exhaustive over all
+  // bits of a small tape.
+  Tape tape = MustRecord("<r><a id=\"1\">x</a></r>");
+  const std::string image = tape.Serialize();
+  size_t rejected = 0;
+  size_t total = 0;
+  for (size_t byte = 0; byte < image.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = image;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      ++total;
+      Result<Tape> loaded = Tape::FromBytes(std::move(mutated), "flip");
+      if (!loaded.ok()) {
+        ++rejected;
+        EXPECT_EQ(loaded.status().code(), StatusCode::kDataCorruption)
+            << "byte " << byte << " bit " << bit << ": "
+            << loaded.status().ToString();
+      } else {
+        ADD_FAILURE() << "flip of byte " << byte << " bit " << bit
+                      << " was accepted";
+      }
+    }
+  }
+  EXPECT_EQ(rejected, total);
+  EXPECT_EQ(total, image.size() * 8);
+}
+
+TEST(TapeTest, FromBytesRejectsTruncationWithDataCorruption) {
+  Tape tape = MustRecord(kDoc);
+  const std::string image = tape.Serialize();
+  for (size_t cut = 0; cut < image.size(); ++cut) {
+    Result<Tape> loaded = Tape::FromBytes(image.substr(0, cut), "prefix");
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes loaded";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataCorruption) << cut;
+  }
+}
+
+TEST(TapeTest, LegacyV1FilesStillLoad) {
+  // Pre-checksum tapes in the wild must keep loading (without the
+  // corruption guarantee, which v1 never had).
+  const char* path = "xsq_tape_legacy_v1.bin";
+  Tape tape = MustRecord(kDoc);
+  ASSERT_TRUE(tape.SaveLegacyV1(path).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytes.substr(0, 8), "XSQTAPE1");
+  }
+  Result<Tape> loaded = Tape::Load(path);
+  std::remove(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->event_count(), tape.event_count());
+  std::vector<xml::Event> original = ReplayEvents(tape);
+  std::vector<xml::Event> reloaded = ReplayEvents(*loaded);
+  ASSERT_EQ(original.size(), reloaded.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_TRUE(original[i] == reloaded[i]) << i;
+  }
 }
 
 TEST(ProjectionMaskTest, EmptyQuerySetKeepsEverything) {

@@ -9,7 +9,10 @@
 #   4. builds an UndefinedBehaviorSanitizer tree and re-runs the suite
 #      under UBSan so numeric edge cases (ParseNumber/FormatNumber
 #      round-trips, histogram bucket arithmetic, shift-heavy automaton
-#      code) are checked for overflow/UB.
+#      code) are checked for overflow/UB;
+#   5. builds failpoint trees (-DXSQ_FAILPOINTS=ON) under ASan and TSan
+#      and runs the fault-injection suite with every site armable, so
+#      each injected early-return path is leak- and race-checked.
 #
 # Usage: tools/check.sh [ctest-regex]
 #   tools/check.sh              # everything, all builds
@@ -17,9 +20,12 @@
 # Env: BUILD_DIR (default build), TSAN_BUILD_DIR (default build-tsan),
 #      ASAN_BUILD_DIR (default build-asan),
 #      UBSAN_BUILD_DIR (default build-ubsan),
-#      XSQ_SKIP_TSAN=1 to skip the TSan build (e.g. no libtsan),
-#      XSQ_SKIP_ASAN=1 to skip the ASan build (e.g. no libasan),
-#      XSQ_SKIP_UBSAN=1 to skip the UBSan build (e.g. no libubsan).
+#      FP_ASAN_BUILD_DIR (default build-fp-asan),
+#      FP_TSAN_BUILD_DIR (default build-fp-tsan),
+#      XSQ_SKIP_TSAN=1 to skip the TSan builds (e.g. no libtsan),
+#      XSQ_SKIP_ASAN=1 to skip the ASan builds (e.g. no libasan),
+#      XSQ_SKIP_UBSAN=1 to skip the UBSan build (e.g. no libubsan),
+#      XSQ_SKIP_FAILPOINTS=1 to skip the failpoint legs.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -27,6 +33,8 @@ build_dir=${BUILD_DIR:-build}
 tsan_dir=${TSAN_BUILD_DIR:-build-tsan}
 asan_dir=${ASAN_BUILD_DIR:-build-asan}
 ubsan_dir=${UBSAN_BUILD_DIR:-build-ubsan}
+fp_asan_dir=${FP_ASAN_BUILD_DIR:-build-fp-asan}
+fp_tsan_dir=${FP_TSAN_BUILD_DIR:-build-fp-tsan}
 filter=${1:-}
 ctest_args=(--output-on-failure -j "$(nproc)")
 if [ -n "$filter" ]; then
@@ -67,6 +75,34 @@ else
   cmake --build "$ubsan_dir" -j "$(nproc)"
   (cd "$ubsan_dir" &&
     UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ctest "${ctest_args[@]}")
+fi
+
+# Failpoint legs: the fault-injection suite only exercises its sites in
+# -DXSQ_FAILPOINTS=ON builds (it skips elsewhere), so it gets dedicated
+# trees — ASan for leaks on injected early returns, TSan for races in
+# the worker pool's failure paths.
+if [ "${XSQ_SKIP_FAILPOINTS:-0}" = "1" ]; then
+  echo "== failpoint legs skipped (XSQ_SKIP_FAILPOINTS=1)"
+else
+  fp_filter='FaultInjection|FailPoints'
+  if [ "${XSQ_SKIP_ASAN:-0}" != "1" ]; then
+    echo "== failpoints + ASan build ($fp_asan_dir)"
+    cmake -B "$fp_asan_dir" -S . -DXSQ_FAILPOINTS=ON \
+      -DXSQ_SANITIZE=address >/dev/null
+    cmake --build "$fp_asan_dir" -j "$(nproc)" --target fault_injection_test
+    (cd "$fp_asan_dir" &&
+      ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+        ctest --output-on-failure -j "$(nproc)" -R "$fp_filter")
+  fi
+  if [ "${XSQ_SKIP_TSAN:-0}" != "1" ]; then
+    echo "== failpoints + TSan build ($fp_tsan_dir)"
+    cmake -B "$fp_tsan_dir" -S . -DXSQ_FAILPOINTS=ON \
+      -DXSQ_SANITIZE=thread >/dev/null
+    cmake --build "$fp_tsan_dir" -j "$(nproc)" --target fault_injection_test
+    (cd "$fp_tsan_dir" &&
+      TSAN_OPTIONS="halt_on_error=1" \
+        ctest --output-on-failure -j "$(nproc)" -R "$fp_filter")
+  fi
 fi
 
 echo "check.sh: all green"

@@ -155,4 +155,116 @@ if ! echo "$metrics" | grep -q "^METRIC xsq_sessions_opened 1$"; then
   exit 1
 fi
 
+# --- robustness: malformed input must never abort the daemon ---
+
+# Unknown verbs and bad session ids answer ERR and the loop keeps
+# serving; EOF in the middle of the final line (no trailing newline
+# after CLOSE 1) still processes that command, then exits 0.
+mal=$(printf "FROB\nPUSH x <a/>\nCANCEL notanid\nOPEN //a/text()\nPUSH 1 <a>hi</a>\nCLOSE 1" | "$xsqd" --workers=1)
+if [ $? -ne 0 ]; then
+  echo "xsqd exited non-zero on malformed input" >&2; exit 1
+fi
+mal_expected="ERR InvalidArgument: unknown command 'FROB'
+ERR InvalidArgument: bad session id
+ERR InvalidArgument: bad session id
+OK 1
+OK
+ITEM hi
+OK"
+if [ "$mal" != "$mal_expected" ]; then
+  echo "malformed-input transcript mismatch" >&2
+  diff <(echo "$mal_expected") <(echo "$mal") >&2
+  exit 1
+fi
+
+# An oversized protocol line is rejected with ERR and discarded without
+# buffering it; the commands after it are served normally.
+junk=$(printf 'J%.0s' $(seq 1 200))
+over=$(printf 'OPEN //a/text()\n%s\nPUSH 1 <a>hi</a>\nCLOSE 1\nQUIT\n' "$junk" \
+       | "$xsqd" --workers=1 --max-line-bytes=32) \
+  || { echo "xsqd exited non-zero on oversized line" >&2; exit 1; }
+over_expected='OK 1
+ERR LimitExceeded: line exceeds --max-line-bytes=32; command discarded
+OK
+ITEM hi
+OK
+OK'
+if [ "$over" != "$over_expected" ]; then
+  echo "oversized-line transcript mismatch" >&2
+  diff <(echo "$over_expected") <(echo "$over") >&2
+  exit 1
+fi
+
+# CANCEL fails the session's evaluation with kCancelled; the failure is
+# counted in STATS and re-exposed as an xsq_ metric scalar.
+cx=$("$xsqd" --workers=1 <<'EOF'
+OPEN //a/text()
+PUSH 1 <r><a>hi</a>
+CANCEL 1
+CLOSE 1
+STATS
+METRICS
+QUIT
+EOF
+) || { echo "xsqd exited non-zero in CANCEL block" >&2; exit 1; }
+if ! echo "$cx" | grep -q "^ERR Cancelled"; then
+  echo "CANCEL: expected an 'ERR Cancelled' reply from CLOSE:" >&2
+  echo "$cx" | grep -v "^STAT\|^METRIC" >&2
+  exit 1
+fi
+if ! echo "$cx" | grep -q "^STAT cancelled 1$"; then
+  echo "CANCEL: expected 'STAT cancelled 1':" >&2
+  echo "$cx" | grep "^STAT" >&2
+  exit 1
+fi
+if ! echo "$cx" | grep -q "^METRIC xsq_cancelled 1$"; then
+  echo "CANCEL: expected 'METRIC xsq_cancelled 1':" >&2
+  echo "$cx" | grep "^METRIC xsq_" >&2
+  exit 1
+fi
+
+# --default-deadline-ms: a document still evaluating when the deadline
+# expires fails with kDeadlineExceeded at the next chunk boundary.
+dl=$( { printf 'OPEN //a/text()\nPUSH 1 <r><a>hi</a>\n'
+        sleep 0.4
+        printf 'CLOSE 1\nSTATS\nQUIT\n'
+      } | "$xsqd" --workers=1 --default-deadline-ms=50 ) \
+  || { echo "xsqd exited non-zero in deadline block" >&2; exit 1; }
+if ! echo "$dl" | grep -q "^ERR DeadlineExceeded"; then
+  echo "deadline: expected an 'ERR DeadlineExceeded' reply from CLOSE:" >&2
+  echo "$dl" | grep -v "^STAT" >&2
+  exit 1
+fi
+if ! echo "$dl" | grep -q "^STAT deadline_exceeded 1$"; then
+  echo "deadline: expected 'STAT deadline_exceeded 1':" >&2
+  echo "$dl" | grep "^STAT" >&2
+  exit 1
+fi
+
+# Parser hardening: the Serving limits reject a hostile document (here
+# 5000-deep nesting) with kLimitExceeded, counted in limit_rejected.
+# tape_corrupt is pinned present (and zero: xsqd records tapes in
+# memory, it never loads untrusted tape files).
+deep=$(printf '<a>%.0s' $(seq 1 5000))
+lim=$("$xsqd" --workers=1 <<EOF
+OPEN //a/text()
+PUSH 1 $deep
+CLOSE 1
+STATS
+QUIT
+EOF
+) || { echo "xsqd exited non-zero in parser-limits block" >&2; exit 1; }
+if ! echo "$lim" | grep -q "^ERR LimitExceeded"; then
+  echo "limits: expected an 'ERR LimitExceeded' reply:" >&2
+  echo "$lim" | grep -v "^STAT" >&2
+  exit 1
+fi
+for want in "limit_rejected 1" "tape_corrupt 0"; do
+  if ! echo "$lim" | grep -q "^STAT $want$"; then
+    echo "limits: expected 'STAT $want':" >&2
+    echo "$lim" | grep "^STAT" >&2
+    exit 1
+  fi
+done
+
 echo "xsqd smoke OK"
