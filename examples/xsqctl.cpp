@@ -1,0 +1,225 @@
+// xsqctl: a command-line client for a listening xsqd, built on
+// net::Client — connect/request timeouts, jittered exponential-backoff
+// retries for idempotent verbs, protocol escaping handled for you.
+//
+//   xsqctl [--host=H] [--port=P] [--timeout-ms=N] [--retries=N] <cmd>
+//
+// Commands:
+//   stats                      print the server's STATS block
+//   metrics                    print the METRICS exposition (verb path)
+//   http-metrics               scrape GET /metrics over raw HTTP/1.0
+//                              (same bytes a Prometheus scraper sees)
+//   query <xpath> [file]       open a session, stream the file (or
+//                              stdin) as one document, print ITEM/AGG
+//                              results
+//   cached <name> <xpath>      RUNCACHED a recorded document
+//   record <name> [file]       parse once, cache the tape server-side
+//   raw <protocol line>        send one verbatim protocol line
+//
+// Exit status: 0 on OK, 1 on an ERR reply or transport failure, 2 on
+// usage errors.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/client.h"
+#include "net/line_protocol.h"
+
+namespace {
+
+using xsq::net::Client;
+using xsq::net::ClientConfig;
+using xsq::net::LineProtocol;
+using xsq::net::Response;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: xsqctl [--host=H] [--port=P] [--timeout-ms=N] "
+               "[--retries=N] "
+               "stats|metrics|http-metrics|query|cached|record|raw ...\n");
+  return 2;
+}
+
+bool ReadAll(const std::string& path, std::string* out) {
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  if (!path.empty() && path != "-") {
+    file.open(path, std::ios::binary);
+    if (!file) return false;
+    in = &file;
+  }
+  std::ostringstream buffer;
+  buffer << in->rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+void PrintResponse(const Response& response) {
+  for (const std::string& line : response.lines) {
+    std::printf("%s\n", line.c_str());
+  }
+  if (response.status.ok()) {
+    if (response.ok_payload.empty()) {
+      std::printf("OK\n");
+    } else {
+      std::printf("OK %s\n", response.ok_payload.c_str());
+    }
+  } else {
+    std::printf("ERR %s\n", response.status.ToString().c_str());
+  }
+}
+
+int RunOne(Client& client, const std::string& line) {
+  auto response = client.Request(line);
+  if (!response.ok()) {
+    std::fprintf(stderr, "xsqctl: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  PrintResponse(*response);
+  return response->status.ok() ? 0 : 1;
+}
+
+// Raw HTTP/1.0 GET /metrics against the same port the protocol uses,
+// proving the scrape path without curl. Prints the response body
+// (headers stripped).
+int HttpMetrics(const ClientConfig& config) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::perror("xsqctl: socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror("xsqctl: connect");
+    ::close(fd);
+    return 1;
+  }
+  const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  if (::send(fd, request, sizeof(request) - 1, MSG_NOSIGNAL) < 0) {
+    std::perror("xsqctl: send");
+    ::close(fd);
+    return 1;
+  }
+  std::string response;
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // server closes after the response
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t body = response.find("\r\n\r\n");
+  if (response.rfind("HTTP/1.0 200", 0) != 0 || body == std::string::npos) {
+    std::fprintf(stderr, "xsqctl: bad HTTP response\n");
+    return 1;
+  }
+  std::fwrite(response.data() + body + 4, 1, response.size() - body - 4,
+              stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientConfig config;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&arg](size_t fallback) -> size_t {
+      size_t eq = arg.find('=');
+      if (eq == std::string_view::npos) return fallback;
+      return static_cast<size_t>(std::strtoull(
+          std::string(arg.substr(eq + 1)).c_str(), nullptr, 10));
+    };
+    if (arg.rfind("--host", 0) == 0) {
+      size_t eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        config.host = std::string(arg.substr(eq + 1));
+      }
+    } else if (arg.rfind("--port", 0) == 0) {
+      config.port = static_cast<uint16_t>(value(0));
+    } else if (arg.rfind("--timeout-ms", 0) == 0) {
+      config.request_timeout_ms = value(config.request_timeout_ms);
+      config.connect_timeout_ms = config.request_timeout_ms;
+    } else if (arg.rfind("--retries", 0) == 0) {
+      config.max_retries = static_cast<int>(value(config.max_retries));
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+  if (args.empty() || config.port == 0) return Usage();
+  const std::string& command = args[0];
+
+  if (command == "http-metrics") {
+    return HttpMetrics(config);
+  }
+
+  Client client(config);
+  if (command == "stats") {
+    return RunOne(client, "STATS");
+  } else if (command == "metrics") {
+    return RunOne(client, "METRICS");
+  } else if (command == "raw") {
+    if (args.size() < 2) return Usage();
+    return RunOne(client, args[1]);
+  } else if (command == "record") {
+    if (args.size() < 2) return Usage();
+    std::string document;
+    if (!ReadAll(args.size() > 2 ? args[2] : "-", &document)) {
+      std::fprintf(stderr, "xsqctl: cannot read %s\n", args[2].c_str());
+      return 1;
+    }
+    return RunOne(client,
+                  "RECORD " + args[1] + " " + LineProtocol::Escape(document));
+  } else if (command == "cached") {
+    if (args.size() < 3) return Usage();
+    auto open = client.Request("OPEN " + args[2]);
+    if (!open.ok() || !open->status.ok()) {
+      std::fprintf(stderr, "xsqctl: OPEN failed\n");
+      return 1;
+    }
+    return RunOne(client, "RUNCACHED " + open->ok_payload + " " + args[1]);
+  } else if (command == "query") {
+    if (args.size() < 2) return Usage();
+    std::string document;
+    if (!ReadAll(args.size() > 2 ? args[2] : "-", &document)) {
+      std::fprintf(stderr, "xsqctl: cannot read %s\n", args[2].c_str());
+      return 1;
+    }
+    auto open = client.Request("OPEN " + args[1]);
+    if (!open.ok()) {
+      std::fprintf(stderr, "xsqctl: %s\n", open.status().ToString().c_str());
+      return 1;
+    }
+    if (!open->status.ok()) {
+      PrintResponse(*open);
+      return 1;
+    }
+    const std::string id = open->ok_payload;
+    auto push =
+        client.Request("PUSH " + id + " " + LineProtocol::Escape(document));
+    if (!push.ok() || !push->status.ok()) {
+      std::fprintf(stderr, "xsqctl: PUSH failed\n");
+      return 1;
+    }
+    return RunOne(client, "CLOSE " + id);
+  }
+  return Usage();
+}

@@ -1,144 +1,82 @@
-// xsqd: a query-service daemon speaking a line-delimited protocol on
-// stdin/stdout. It is the thinnest possible front-end over
-// service::QueryService — every command maps 1:1 onto a service call —
-// which makes the whole concurrent stack scriptable from a shell:
+// xsqd: the query-service daemon. One process, two transports, one
+// protocol:
 //
-//   $ printf 'OPEN //book[price<20]/title/text()\nPUSH 1 <catalog>...\n
-//     CLOSE 1\nQUIT\n' | xsqd
+//   stdin/stdout  always on — the whole concurrent stack scriptable
+//                 from a shell:
+//                   $ printf 'OPEN //book/title/text()\nPUSH 1 <...>\n
+//                     CLOSE 1\nQUIT\n' | xsqd
+//   TCP           with --listen=PORT — the same line protocol served to
+//                 many concurrent connections by net::Server, plus
+//                 GET /metrics on the same port for HTTP scrapers.
 //
-// Protocol (one command per line, responses flushed per command):
-//   OPEN <query>       -> OK <id>                  open a session
-//   PUSH <id> <chunk>  -> OK                       feed document bytes
-//   DRAIN <id>         -> ITEM <value>... OK       pop available results
-//   CLOSE <id>         -> ITEM <value>...          end document; prints the
-//                         [AGG <number>] OK        remaining items, the final
-//                                                  aggregate if any, then
-//                                                  releases the session
-//   RECORD <name> <doc>-> OK <events> <bytes>     parse once, cache the tape
-//   RUNCACHED <id> <name>                         replay the cached tape into
-//                      -> ITEM <value>...         the session; prints items,
-//                         [AGG <number>] OK       the aggregate if any, and
-//                                                 keeps the session open for
-//                                                 the next RUNCACHED
-//   EVICT <name>       -> OK                      drop a cached tape
-//   CANCEL <id>        -> OK                      cancel the session's
-//                                                 in-flight evaluation;
-//                                                 it fails kCancelled
-//   STATS              -> STAT <name> <value>... OK
-//   METRICS            -> METRIC <line>... OK     latency/phase histograms
-//                                                 plus counters, Prometheus
-//                                                 text format per line
-//   QUIT               -> OK (and exit; EOF quits too)
-// Any failure answers "ERR <Code>: <message>" instead of OK.
+// The protocol itself (verbs, replies, escaping) lives in
+// net::LineProtocol; see src/net/line_protocol.h for the grammar. Both
+// transports produce byte-identical transcripts for the same commands.
 //
-// Chunk and item payloads are escaped so arbitrary document bytes fit
-// on one line: "\n" = newline, "\t" = tab, "\\" = backslash. Document
-// names must not contain spaces.
+// Network behavior (see src/net/server.h): per-connection idle and
+// write deadlines, bounded line and output buffers (overrun answers
+// ERR and closes), accept-side load shedding at --max-connections or a
+// saturated service, and disconnect-driven cancellation — a peer that
+// vanishes mid-query has its in-flight evaluations cancelled within
+// one engine sampling interval (--cancel-check-events).
 //
-// Malformed input never aborts the daemon: unknown verbs, bad ids and
-// oversized lines all answer ERR and the loop keeps serving; EOF in the
-// middle of a line processes the partial command, then exits cleanly.
+// Shutdown: SIGTERM or SIGINT begins a graceful drain — the listener
+// closes immediately, live connections get --drain-deadline-ms to
+// finish, stragglers are cancelled — then the service itself drains
+// under the same bound. EOF on stdin exits the same way when no
+// listener is active; with --listen the daemon keeps serving sockets
+// until a signal arrives.
 //
 // Flags: --workers=N (default 4), --max-sessions=N,
 //        --session-memory-budget=BYTES, --plan-cache=N,
 //        --doc-cache=N (0 = unlimited), --doc-cache-bytes=BYTES
 //        (0 = unlimited), --slow-query-ms=N (log requests at or above
-//        N ms to stderr with their parse/automaton/buffer phase split;
-//        0 = disabled), --default-deadline-ms=N (deadline applied to
+//        N ms to stderr with their parse/automaton/buffer phase split,
+//        and dump per-bucket slow-query exemplars at exit; 0 =
+//        disabled), --default-deadline-ms=N (deadline applied to
 //        every document request; 0 = none), --drain-deadline-ms=N
 //        (bound on the shutdown drain; 0 = wait forever),
 //        --max-line-bytes=N (protocol lines above N bytes are rejected
-//        with ERR and discarded; default 16 MiB).
+//        with ERR; default 16 MiB), --cancel-check-events=N (engine
+//        cancellation sampling interval in SAX events; default 64),
+//        --listen=PORT (serve TCP; 0 picks an ephemeral port, printed
+//        as "LISTENING <port>"), --max-connections=N (accept-side
+//        shedding threshold; default 64), --idle-timeout-ms=N (close
+//        idle/half-open connections; 0 = never; default 30000).
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <atomic>
+#include <chrono>
 #include <iostream>
-#include <optional>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 
+#include "net/line_protocol.h"
+#include "net/server.h"
 #include "service/query_service.h"
 
 namespace {
 
 using xsq::service::QueryService;
 using xsq::service::ServiceConfig;
-using xsq::service::SessionId;
 
-std::string Unescape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '\\' && i + 1 < text.size()) {
-      ++i;
-      switch (text[i]) {
-        case 'n': out.push_back('\n'); break;
-        case 't': out.push_back('\t'); break;
-        case '\\': out.push_back('\\'); break;
-        default: out.push_back(text[i]); break;
-      }
-    } else {
-      out.push_back(text[i]);
-    }
-  }
-  return out;
-}
+std::atomic<int> g_signal{0};
 
-std::string Escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\\': out += "\\\\"; break;
-      default: out.push_back(c); break;
-    }
-  }
-  return out;
-}
+void OnSignal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
 
-void Reply(const std::string& line) {
-  std::fputs(line.c_str(), stdout);
-  std::fputc('\n', stdout);
-}
-
-void ReplyStatus(const xsq::Status& status) {
-  if (status.ok()) {
-    Reply("OK");
-  } else {
-    Reply("ERR " + status.ToString());
-  }
-}
-
-// "PUSH 7 <abc>" -> id=7, rest="<abc>". Returns nullopt on a bad id.
-std::optional<SessionId> ParseId(std::string_view* rest) {
-  size_t space = rest->find(' ');
-  std::string_view id_text = rest->substr(0, space);
-  *rest = space == std::string_view::npos ? std::string_view()
-                                          : rest->substr(space + 1);
-  if (id_text.empty()) return std::nullopt;
-  SessionId id = 0;
-  for (char c : id_text) {
-    if (c < '0' || c > '9') return std::nullopt;
-    id = id * 10 + static_cast<SessionId>(c - '0');
-  }
-  return id;
-}
-
-void PrintItems(QueryService& service, SessionId id) {
-  for (const std::string& item : service.Drain(id)) {
-    Reply("ITEM " + Escape(item));
-  }
-}
-
-// "RECORD shake <doc>" -> name="shake", rest="<doc>". Empty on no name.
-std::string_view TakeWord(std::string_view* rest) {
-  size_t space = rest->find(' ');
-  std::string_view word = rest->substr(0, space);
-  *rest = space == std::string_view::npos ? std::string_view()
-                                          : rest->substr(space + 1);
-  return word;
+// Install without SA_RESTART so a blocking stdin read is interrupted
+// and the main loop falls through to the drain path.
+void InstallSignalHandlers() {
+  struct sigaction action{};
+  action.sa_handler = OnSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
 }
 
 size_t FlagValue(std::string_view arg, size_t fallback) {
@@ -182,7 +120,9 @@ LineRead ReadLineBounded(std::istream& in, size_t max_bytes,
 
 int main(int argc, char** argv) {
   ServiceConfig config;
+  xsq::net::ServerConfig net_config;
   size_t max_line_bytes = 16u << 20;  // 16 MiB
+  bool listen = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg.rfind("--workers", 0) == 0) {
@@ -205,8 +145,20 @@ int main(int argc, char** argv) {
       config.default_deadline_ms = FlagValue(arg, config.default_deadline_ms);
     } else if (arg.rfind("--drain-deadline-ms", 0) == 0) {
       config.drain_deadline_ms = FlagValue(arg, config.drain_deadline_ms);
+      net_config.drain_deadline_ms = config.drain_deadline_ms;
     } else if (arg.rfind("--max-line-bytes", 0) == 0) {
       max_line_bytes = FlagValue(arg, max_line_bytes);
+    } else if (arg.rfind("--cancel-check-events", 0) == 0) {
+      config.cancel_check_events = static_cast<uint32_t>(
+          FlagValue(arg, config.cancel_check_events));
+    } else if (arg.rfind("--listen", 0) == 0) {
+      listen = true;
+      net_config.port = static_cast<uint16_t>(FlagValue(arg, 0));
+    } else if (arg.rfind("--max-connections", 0) == 0) {
+      net_config.max_connections =
+          FlagValue(arg, net_config.max_connections);
+    } else if (arg.rfind("--idle-timeout-ms", 0) == 0) {
+      net_config.idle_timeout_ms = FlagValue(arg, net_config.idle_timeout_ms);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
       return 2;
@@ -214,142 +166,70 @@ int main(int argc, char** argv) {
   }
 
   QueryService service(config);
+
+  std::unique_ptr<xsq::net::Server> server;
+  if (listen) {
+    net_config.max_line_bytes = max_line_bytes;
+    auto created = xsq::net::Server::Create(&service, net_config);
+    if (!created.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    server = *std::move(created);
+    std::printf("LISTENING %u\n", static_cast<unsigned>(server->port()));
+    std::fflush(stdout);
+  }
+  InstallSignalHandlers();
+
+  xsq::net::LineProtocol protocol(&service);
   std::string line;
+  std::string replies;
+  bool quit = false;
   for (;;) {
+    if (g_signal.load(std::memory_order_relaxed) != 0) break;
     LineRead read = ReadLineBounded(std::cin, max_line_bytes, &line);
     if (read == LineRead::kEof) break;
     if (read == LineRead::kOversized) {
-      Reply("ERR LimitExceeded: line exceeds --max-line-bytes=" +
-            std::to_string(max_line_bytes) + "; command discarded");
+      // The stdin transport serves one trusted caller: discard the
+      // command but keep the conversation (sockets close instead).
+      std::string reply =
+          xsq::net::LineProtocol::OversizedLineReply(max_line_bytes);
+      std::fputs(reply.c_str(), stdout);
+      std::fputc('\n', stdout);
       std::fflush(stdout);
       continue;
     }
     const bool eof_after_line = read == LineRead::kPartial;
-    std::string_view input = line;
-    if (!input.empty() && input.back() == '\r') input.remove_suffix(1);
-    size_t space = input.find(' ');
-    std::string_view command = input.substr(0, space);
-    std::string_view rest = space == std::string_view::npos
-                                ? std::string_view()
-                                : input.substr(space + 1);
-
-    if (command == "QUIT") {
-      Reply("OK");
-      break;
-    } else if (command == "OPEN") {
-      auto id = service.OpenSession(rest);
-      if (id.ok()) {
-        Reply("OK " + std::to_string(*id));
-      } else {
-        Reply("ERR " + id.status().ToString());
-      }
-    } else if (command == "PUSH") {
-      std::optional<SessionId> id = ParseId(&rest);
-      if (!id.has_value()) {
-        Reply("ERR InvalidArgument: bad session id");
-      } else {
-        ReplyStatus(service.Push(*id, Unescape(rest)));
-      }
-    } else if (command == "DRAIN") {
-      std::optional<SessionId> id = ParseId(&rest);
-      if (!id.has_value()) {
-        Reply("ERR InvalidArgument: bad session id");
-      } else if (!service.HasSession(*id)) {
-        Reply("ERR InvalidArgument: unknown session id " +
-              std::to_string(*id));
-      } else {
-        PrintItems(service, *id);
-        Reply("OK");
-      }
-    } else if (command == "CLOSE") {
-      std::optional<SessionId> id = ParseId(&rest);
-      if (!id.has_value()) {
-        Reply("ERR InvalidArgument: bad session id");
-      } else {
-        xsq::Status status = service.Close(*id);
-        PrintItems(service, *id);
-        if (status.ok()) {
-          if (std::optional<double> agg = service.FinalAggregate(*id)) {
-            std::string value = std::to_string(*agg);
-            Reply("AGG " + value);
-          }
-        }
-        service.Release(*id);
-        ReplyStatus(status);
-      }
-    } else if (command == "RECORD") {
-      std::string_view name = TakeWord(&rest);
-      if (name.empty()) {
-        Reply("ERR InvalidArgument: missing document name");
-      } else {
-        auto tape = service.RecordDocument(name, Unescape(rest));
-        if (tape.ok()) {
-          Reply("OK " + std::to_string((*tape)->event_count()) + " " +
-                std::to_string((*tape)->memory_bytes()));
-        } else {
-          Reply("ERR " + tape.status().ToString());
-        }
-      }
-    } else if (command == "RUNCACHED") {
-      std::optional<SessionId> id = ParseId(&rest);
-      std::string_view name = TakeWord(&rest);
-      if (!id.has_value()) {
-        Reply("ERR InvalidArgument: bad session id");
-      } else if (name.empty()) {
-        Reply("ERR InvalidArgument: missing document name");
-      } else {
-        xsq::Status status = service.RunCached(*id, name);
-        PrintItems(service, *id);
-        if (status.ok()) {
-          if (std::optional<double> agg = service.FinalAggregate(*id)) {
-            Reply("AGG " + std::to_string(*agg));
-          }
-        }
-        ReplyStatus(status);
-      }
-    } else if (command == "CANCEL") {
-      std::optional<SessionId> id = ParseId(&rest);
-      if (!id.has_value()) {
-        Reply("ERR InvalidArgument: bad session id");
-      } else {
-        ReplyStatus(service.CancelSession(*id));
-      }
-    } else if (command == "EVICT") {
-      std::string_view name = TakeWord(&rest);
-      if (name.empty()) {
-        Reply("ERR InvalidArgument: missing document name");
-      } else {
-        ReplyStatus(service.EvictDocument(name));
-      }
-    } else if (command == "STATS") {
-      xsq::service::StatsSnapshot snap = service.stats();
-      std::string text = snap.ToString();
-      size_t begin = 0;
-      while (begin < text.size()) {
-        size_t end = text.find('\n', begin);
-        Reply("STAT " + text.substr(begin, end - begin));
-        begin = end + 1;
-      }
-      Reply("OK");
-    } else if (command == "METRICS") {
-      std::string text = service.MetricsText();
-      size_t begin = 0;
-      while (begin < text.size()) {
-        size_t end = text.find('\n', begin);
-        Reply("METRIC " + text.substr(begin, end - begin));
-        begin = end + 1;
-      }
-      Reply("OK");
-    } else if (command.empty()) {
-      // Blank line: ignore.
-      continue;
-    } else {
-      Reply("ERR InvalidArgument: unknown command '" + std::string(command) +
-            "'");
-    }
+    replies.clear();
+    bool keep_going = protocol.HandleLine(line, &replies);
+    std::fwrite(replies.data(), 1, replies.size(), stdout);
     std::fflush(stdout);
-    if (eof_after_line) break;  // EOF mid-line: partial command handled
+    if (!keep_going) {            // QUIT shuts the whole daemon down
+      quit = true;
+      break;
+    }
+    if (eof_after_line) break;    // EOF mid-line: partial command handled
   }
+
+  // With a listener, stdin ending does not end the daemon — sockets are
+  // the front door; wait for the drain signal (stdin QUIT still works).
+  if (server != nullptr) {
+    while (!quit && g_signal.load(std::memory_order_relaxed) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server->BeginDrain();
+    server->Stop();
+  }
+  protocol.ReleaseAll();
   service.Shutdown();
+  if (config.slow_query_ms > 0) {
+    std::string exemplars;
+    service.exemplars().RenderComments(&exemplars);
+    if (!exemplars.empty()) {
+      std::fputs("[xsq] slow-query exemplars:\n", stderr);
+      std::fwrite(exemplars.data(), 1, exemplars.size(), stderr);
+    }
+  }
   return 0;
 }

@@ -54,6 +54,9 @@ inline constexpr const char* kFailPointCatalog[] = {
     "service.record.alloc_fail",  // QueryService::RecordDocument - tape alloc
     "tape.load.short_read",       // Tape::Load - file truncated mid-read
     "tape.save.short_write",      // Tape::Save - disk full / write error
+    "net.accept.shed",            // net::Server - force accept-side shedding
+    "net.read.fail",              // net::Server - socket read error path
+    "net.write.fail",             // net::Server - socket write error path
 };
 
 class FailPoints {

@@ -30,14 +30,26 @@ namespace xsq::core {
 
 class CancelToken {
  public:
-  // Engines poll the token every this-many events. Matches the phase
-  // shim's kSampleEvery so the cancellation and observability sampling
-  // grains stay aligned (see streaming_query.cc).
+  // Default sampling grain: engines poll the token every this-many
+  // events. Matches the phase shim's kSampleEvery so the cancellation
+  // and observability sampling grains stay aligned (see
+  // streaming_query.cc).
   static constexpr uint32_t kCheckIntervalEvents = 64;
 
-  CancelToken() = default;
+  // `check_interval_events` sets this token's sampling grain: a smaller
+  // interval tightens the cancellation latency bound at the cost of
+  // more frequent polls (each is one relaxed load, plus a clock read
+  // while a deadline is armed). Fixed for the token's lifetime — the
+  // engines cache it when the token is installed, so it cannot race
+  // with evaluation.
+  explicit CancelToken(
+      uint32_t check_interval_events = kCheckIntervalEvents)
+      : check_interval_events_(
+            check_interval_events == 0 ? 1 : check_interval_events) {}
   CancelToken(const CancelToken&) = delete;
   CancelToken& operator=(const CancelToken&) = delete;
+
+  uint32_t check_interval_events() const { return check_interval_events_; }
 
   // Raises the cancel flag. Any thread; idempotent.
   void Cancel() { cancelled_.store(true, std::memory_order_release); }
@@ -87,6 +99,7 @@ class CancelToken {
         .count();
   }
 
+  const uint32_t check_interval_events_;
   std::atomic<bool> cancelled_{false};
   std::atomic<int64_t> deadline_ns_{0};  // steady-clock ns; 0 = none armed
 };

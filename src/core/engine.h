@@ -87,11 +87,16 @@ class XsqEngine : public xml::SaxHandler {
   void set_trace(TraceListener* trace) { trace_ = trace; }
 
   // Installs a cooperative cancellation token, polled once every
-  // CancelToken::kCheckIntervalEvents handler events. Pass nullptr to
-  // detach. Not owned; must outlive the engine while installed. A
-  // trip sets status() to kCancelled/kDeadlineExceeded, after which
-  // every handler call is a no-op until Reset.
-  void set_cancel_token(const CancelToken* token) { cancel_token_ = token; }
+  // token->check_interval_events() handler events (default
+  // CancelToken::kCheckIntervalEvents). Pass nullptr to detach. Not
+  // owned; must outlive the engine while installed. A trip sets
+  // status() to kCancelled/kDeadlineExceeded, after which every handler
+  // call is a no-op until Reset.
+  void set_cancel_token(const CancelToken* token) {
+    cancel_token_ = token;
+    cancel_interval_ = token == nullptr ? CancelToken::kCheckIntervalEvents
+                                        : token->check_interval_events();
+  }
 
   // The HPDT of the first (or only) union branch.
   const Hpdt& hpdt() const { return *hpdts_.front(); }
@@ -149,8 +154,7 @@ class XsqEngine : public xml::SaxHandler {
   // token has tripped. The common case is one pointer test and one
   // increment; the atomic load happens only on sampled events.
   bool CheckCancelSampled() {
-    if (cancel_token_ == nullptr ||
-        ++cancel_tick_ < CancelToken::kCheckIntervalEvents) {
+    if (cancel_token_ == nullptr || ++cancel_tick_ < cancel_interval_) {
       return false;
     }
     cancel_tick_ = 0;
@@ -186,6 +190,7 @@ class XsqEngine : public xml::SaxHandler {
   TraceListener* trace_ = nullptr;
   const CancelToken* cancel_token_ = nullptr;
   uint32_t cancel_tick_ = 0;
+  uint32_t cancel_interval_ = CancelToken::kCheckIntervalEvents;
   EngineStats stats_;
   MemoryTracker memory_;
   Status status_;

@@ -47,8 +47,12 @@ class XsqNcEngine : public xml::SaxHandler {
   void Reset();
 
   // Same contract as XsqEngine::set_cancel_token: polled every
-  // CancelToken::kCheckIntervalEvents events; a trip fails status().
-  void set_cancel_token(const CancelToken* token) { cancel_token_ = token; }
+  // token->check_interval_events() events; a trip fails status().
+  void set_cancel_token(const CancelToken* token) {
+    cancel_token_ = token;
+    cancel_interval_ = token == nullptr ? CancelToken::kCheckIntervalEvents
+                                        : token->check_interval_events();
+  }
 
   const MemoryTracker& memory() const { return memory_; }
   const Status& status() const { return status_; }
@@ -77,8 +81,7 @@ class XsqNcEngine : public xml::SaxHandler {
 
   // Sampled poll of the cancel token; see XsqEngine::CheckCancelSampled.
   bool CheckCancelSampled() {
-    if (cancel_token_ == nullptr ||
-        ++cancel_tick_ < CancelToken::kCheckIntervalEvents) {
+    if (cancel_token_ == nullptr || ++cancel_tick_ < cancel_interval_) {
       return false;
     }
     cancel_tick_ = 0;
@@ -111,6 +114,7 @@ class XsqNcEngine : public xml::SaxHandler {
 
   const CancelToken* cancel_token_ = nullptr;
   uint32_t cancel_tick_ = 0;
+  uint32_t cancel_interval_ = CancelToken::kCheckIntervalEvents;
   uint64_t items_emitted_ = 0;
   MemoryTracker memory_;
   Status status_;

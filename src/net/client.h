@@ -1,0 +1,107 @@
+// net::Client: a blocking TCP client for the xsqd line protocol with
+// timeouts and safe retries.
+//
+// One Request() sends one protocol line and reads reply lines until the
+// terminating "OK ..." or "ERR <Code>: <message>", all under a single
+// request deadline; connect() itself is bounded by a connect timeout
+// (non-blocking connect + poll). Transport failures — refused or timed
+// out connects, resets, a deadline with no terminator — are retried
+// with jittered exponential backoff, but ONLY for idempotent verbs:
+// RUNCACHED, METRICS and STATS leave the server in the same state when
+// repeated, while OPEN/PUSH/CLOSE/RECORD/EVICT/CANCEL do not (a
+// retried PUSH would feed the document bytes twice). Non-idempotent
+// requests surface the transport error to the caller, who knows the
+// conversation state.
+//
+// An "ERR" reply is NOT retried regardless of verb: the server
+// answered; the request failed for a reason retrying will not change
+// (except ResourceExhausted shed replies, which ARE retried for
+// idempotent verbs — that is exactly what load shedding asks of a
+// client).
+//
+// The jitter source is a deterministic splitmix64 stream seeded from
+// ClientConfig::retry_seed, so tests get reproducible backoff
+// schedules without any wall-clock or global RNG dependence.
+//
+// Not thread safe; one Client per conversation, like one socket.
+#ifndef XSQ_NET_CLIENT_H_
+#define XSQ_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xsq::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint64_t connect_timeout_ms = 2000;
+  // Deadline for one attempt of one request (send + replies).
+  uint64_t request_timeout_ms = 5000;
+  // Extra attempts after the first, idempotent verbs only.
+  int max_retries = 2;
+  uint64_t backoff_base_ms = 20;
+  uint64_t backoff_max_ms = 500;
+  // Seed for the deterministic jitter stream.
+  uint64_t retry_seed = 0x9e3779b97f4a7c15ull;
+};
+
+// One decoded reply block.
+struct Response {
+  // OK() for an "OK ..." terminator; the decoded code/message for
+  // "ERR <Code>: <message>".
+  Status status;
+  // Payload lines before the terminator, verbatim (ITEM/AGG/STAT/
+  // METRIC ... still carrying their tag and escaping).
+  std::vector<std::string> lines;
+  // The text after "OK " on the terminator (e.g. the session id for
+  // OPEN, "<events> <bytes>" for RECORD). Empty for a bare "OK".
+  std::string ok_payload;
+  // Attempts used (1 = no retry).
+  int attempts = 1;
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Establishes the connection (bounded by connect_timeout_ms). The
+  // first Request() connects implicitly; this exists for callers that
+  // want the connect error eagerly.
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Sends `line` (newline appended) and reads the reply block. Decodes
+  // the terminator into Response::status; transport errors are returned
+  // as the Result's status (after retries when the verb allows them).
+  Result<Response> Request(std::string_view line);
+
+  // True for verbs whose replay cannot change server state.
+  static bool IsIdempotent(std::string_view line);
+
+ private:
+  Status ConnectOnce();
+  Result<Response> RequestOnce(std::string_view line);
+  Status ReadLine(std::string* line,
+                  std::chrono::steady_clock::time_point deadline);
+  uint64_t NextBackoffMs(int attempt);
+
+  ClientConfig config_;
+  int fd_ = -1;
+  std::string read_buffer_;
+  uint64_t rng_state_;
+};
+
+}  // namespace xsq::net
+
+#endif  // XSQ_NET_CLIENT_H_

@@ -1,0 +1,249 @@
+#include "net/line_protocol.h"
+
+#include <optional>
+#include <vector>
+
+namespace xsq::net {
+
+namespace {
+
+using service::SessionId;
+
+// "PUSH 7 <abc>" -> id=7, rest="<abc>". Returns nullopt on a bad id.
+std::optional<SessionId> ParseId(std::string_view* rest) {
+  size_t space = rest->find(' ');
+  std::string_view id_text = rest->substr(0, space);
+  *rest = space == std::string_view::npos ? std::string_view()
+                                          : rest->substr(space + 1);
+  if (id_text.empty()) return std::nullopt;
+  SessionId id = 0;
+  for (char c : id_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<SessionId>(c - '0');
+  }
+  return id;
+}
+
+// "RECORD shake <doc>" -> name="shake", rest="<doc>". Empty on no name.
+std::string_view TakeWord(std::string_view* rest) {
+  size_t space = rest->find(' ');
+  std::string_view word = rest->substr(0, space);
+  *rest = space == std::string_view::npos ? std::string_view()
+                                          : rest->substr(space + 1);
+  return word;
+}
+
+}  // namespace
+
+std::string LineProtocol::Unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      ++i;
+      switch (text[i]) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case '\\': out.push_back('\\'); break;
+        default: out.push_back(text[i]); break;
+      }
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+std::string LineProtocol::Escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\\': out += "\\\\"; break;
+      default: out.push_back(c); break;
+    }
+  }
+  return out;
+}
+
+std::string LineProtocol::OversizedLineReply(size_t max_line_bytes) {
+  return "ERR LimitExceeded: line exceeds --max-line-bytes=" +
+         std::to_string(max_line_bytes) + "; command discarded";
+}
+
+void LineProtocol::Reply(std::string* out, std::string_view line) const {
+  out->append(line);
+  out->push_back('\n');
+}
+
+void LineProtocol::ReplyStatus(std::string* out, const Status& status) const {
+  if (status.ok()) {
+    Reply(out, "OK");
+  } else {
+    Reply(out, "ERR " + status.ToString());
+  }
+}
+
+void LineProtocol::PrintItems(std::string* out, SessionId id) const {
+  for (const std::string& item : service_->Drain(id)) {
+    Reply(out, "ITEM " + Escape(item));
+  }
+}
+
+size_t LineProtocol::CancelAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t cancelled = 0;
+  for (SessionId id : owned_) {
+    if (service_->CancelSession(id).ok()) ++cancelled;
+  }
+  return cancelled;
+}
+
+void LineProtocol::ReleaseAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SessionId id : owned_) {
+    service_->Release(id);
+  }
+  owned_.clear();
+}
+
+size_t LineProtocol::owned_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return owned_.size();
+}
+
+bool LineProtocol::HandleLine(std::string_view input, std::string* out) {
+  if (!input.empty() && input.back() == '\r') input.remove_suffix(1);
+  size_t space = input.find(' ');
+  std::string_view command = input.substr(0, space);
+  std::string_view rest = space == std::string_view::npos
+                              ? std::string_view()
+                              : input.substr(space + 1);
+
+  if (command == "QUIT") {
+    Reply(out, "OK");
+    return false;
+  } else if (command == "OPEN") {
+    auto id = service_->OpenSession(rest);
+    if (id.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        owned_.insert(*id);
+      }
+      Reply(out, "OK " + std::to_string(*id));
+    } else {
+      Reply(out, "ERR " + id.status().ToString());
+    }
+  } else if (command == "PUSH") {
+    std::optional<SessionId> id = ParseId(&rest);
+    if (!id.has_value()) {
+      Reply(out, "ERR InvalidArgument: bad session id");
+    } else {
+      ReplyStatus(out, service_->Push(*id, Unescape(rest)));
+    }
+  } else if (command == "DRAIN") {
+    std::optional<SessionId> id = ParseId(&rest);
+    if (!id.has_value()) {
+      Reply(out, "ERR InvalidArgument: bad session id");
+    } else if (!service_->HasSession(*id)) {
+      Reply(out,
+            "ERR InvalidArgument: unknown session id " + std::to_string(*id));
+    } else {
+      PrintItems(out, *id);
+      Reply(out, "OK");
+    }
+  } else if (command == "CLOSE") {
+    std::optional<SessionId> id = ParseId(&rest);
+    if (!id.has_value()) {
+      Reply(out, "ERR InvalidArgument: bad session id");
+    } else {
+      Status status = service_->Close(*id);
+      PrintItems(out, *id);
+      if (status.ok()) {
+        if (std::optional<double> agg = service_->FinalAggregate(*id)) {
+          Reply(out, "AGG " + std::to_string(*agg));
+        }
+      }
+      service_->Release(*id);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        owned_.erase(*id);
+      }
+      ReplyStatus(out, status);
+    }
+  } else if (command == "RECORD") {
+    std::string_view name = TakeWord(&rest);
+    if (name.empty()) {
+      Reply(out, "ERR InvalidArgument: missing document name");
+    } else {
+      auto tape = service_->RecordDocument(name, Unescape(rest));
+      if (tape.ok()) {
+        Reply(out, "OK " + std::to_string((*tape)->event_count()) + " " +
+                       std::to_string((*tape)->memory_bytes()));
+      } else {
+        Reply(out, "ERR " + tape.status().ToString());
+      }
+    }
+  } else if (command == "RUNCACHED") {
+    std::optional<SessionId> id = ParseId(&rest);
+    std::string_view name = TakeWord(&rest);
+    if (!id.has_value()) {
+      Reply(out, "ERR InvalidArgument: bad session id");
+    } else if (name.empty()) {
+      Reply(out, "ERR InvalidArgument: missing document name");
+    } else {
+      Status status = service_->RunCached(*id, name);
+      PrintItems(out, *id);
+      if (status.ok()) {
+        if (std::optional<double> agg = service_->FinalAggregate(*id)) {
+          Reply(out, "AGG " + std::to_string(*agg));
+        }
+      }
+      ReplyStatus(out, status);
+    }
+  } else if (command == "CANCEL") {
+    std::optional<SessionId> id = ParseId(&rest);
+    if (!id.has_value()) {
+      Reply(out, "ERR InvalidArgument: bad session id");
+    } else {
+      ReplyStatus(out, service_->CancelSession(*id));
+    }
+  } else if (command == "EVICT") {
+    std::string_view name = TakeWord(&rest);
+    if (name.empty()) {
+      Reply(out, "ERR InvalidArgument: missing document name");
+    } else {
+      ReplyStatus(out, service_->EvictDocument(name));
+    }
+  } else if (command == "STATS") {
+    service::StatsSnapshot snap = service_->stats();
+    std::string text = snap.ToString();
+    size_t begin = 0;
+    while (begin < text.size()) {
+      size_t end = text.find('\n', begin);
+      Reply(out, "STAT " + text.substr(begin, end - begin));
+      begin = end + 1;
+    }
+    Reply(out, "OK");
+  } else if (command == "METRICS") {
+    std::string text = service_->MetricsText();
+    size_t begin = 0;
+    while (begin < text.size()) {
+      size_t end = text.find('\n', begin);
+      Reply(out, "METRIC " + text.substr(begin, end - begin));
+      begin = end + 1;
+    }
+    Reply(out, "OK");
+  } else if (command.empty()) {
+    // Blank line: ignore.
+  } else {
+    Reply(out,
+          "ERR InvalidArgument: unknown command '" + std::string(command) +
+              "'");
+  }
+  return true;
+}
+
+}  // namespace xsq::net

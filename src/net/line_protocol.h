@@ -1,0 +1,93 @@
+// LineProtocol: the xsqd wire protocol, factored out of the daemon so
+// one dispatcher serves both transports byte-for-byte identically:
+//
+//   stdin/stdout  (examples/xsqd.cpp, the original scriptable path)
+//   TCP           (net::Server, one LineProtocol per connection)
+//
+// One command per line, one or more reply lines per command, every
+// reply block terminated by "OK ..." or "ERR <Code>: <message>". Chunk
+// and item payloads are escaped so arbitrary document bytes fit on one
+// line: "\n" = newline, "\t" = tab, "\\" = backslash.
+//
+// Verbs (see examples/xsqd.cpp for the full transcript grammar):
+//   OPEN PUSH DRAIN CLOSE RECORD RUNCACHED EVICT CANCEL STATS METRICS
+//   QUIT
+//
+// Beyond dispatch, a LineProtocol instance tracks which sessions *it*
+// opened. That ownership is what makes disconnect-driven cancellation
+// work: when the transport notices the peer is gone it calls
+// CancelAll() — every in-flight evaluation this connection started
+// aborts with kCancelled within one engine sampling interval — and then
+// ReleaseAll() to free the admission slots. The stdin daemon uses the
+// same hooks at EOF.
+//
+// Thread safety: HandleLine must be externally serialized per instance
+// (the server's per-connection FIFO guarantees it; stdin is single
+// threaded). CancelAll/ReleaseAll/owned_sessions are safe to call from
+// any thread concurrently with HandleLine — that is the point: the
+// poll thread cancels while a protocol worker is still blocked inside
+// service::QueryService::Close.
+#ifndef XSQ_NET_LINE_PROTOCOL_H_
+#define XSQ_NET_LINE_PROTOCOL_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "service/query_service.h"
+
+namespace xsq::net {
+
+class LineProtocol {
+ public:
+  explicit LineProtocol(service::QueryService* service) : service_(service) {}
+  ~LineProtocol() { ReleaseAll(); }
+
+  LineProtocol(const LineProtocol&) = delete;
+  LineProtocol& operator=(const LineProtocol&) = delete;
+
+  // Handles one protocol line (without its trailing newline; a trailing
+  // '\r' is tolerated and stripped). Appends newline-terminated reply
+  // lines to *out. Returns false when the command asks the transport to
+  // end the conversation (QUIT) — the "OK" reply is still appended.
+  bool HandleLine(std::string_view line, std::string* out);
+
+  // Cancels every session this instance opened: in-flight evaluations
+  // abort with kCancelled within one sampling interval; idle sessions
+  // are left tripped. Returns how many sessions were cancelled. Safe
+  // from any thread, including concurrently with HandleLine.
+  size_t CancelAll();
+
+  // Releases every session this instance opened, freeing their
+  // admission slots. In-flight work finishes first (the service keeps
+  // the session alive); no new work is accepted. Idempotent.
+  void ReleaseAll();
+
+  // Sessions currently owned (opened and not yet closed/released).
+  size_t owned_sessions() const;
+
+  // The reply the daemon gives for a line that exceeded the transport's
+  // line bound: the bounded reader discarded the command, the daemon
+  // keeps serving. Shared so stdin and TCP emit identical text.
+  static std::string OversizedLineReply(size_t max_line_bytes);
+
+  // Payload escaping, exposed for clients and tests.
+  static std::string Escape(std::string_view text);
+  static std::string Unescape(std::string_view text);
+
+ private:
+  void Reply(std::string* out, std::string_view line) const;
+  void ReplyStatus(std::string* out, const Status& status) const;
+  void PrintItems(std::string* out, service::SessionId id) const;
+
+  service::QueryService* const service_;
+
+  mutable std::mutex mu_;
+  std::unordered_set<service::SessionId> owned_;
+};
+
+}  // namespace xsq::net
+
+#endif  // XSQ_NET_LINE_PROTOCOL_H_

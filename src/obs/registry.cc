@@ -22,22 +22,29 @@ void AppendDouble(std::string* out, double value) {
 }  // namespace
 
 Histogram* Registry::GetOrCreateHistogram(std::string_view name,
-                                          std::string_view help) {
+                                          std::string_view help,
+                                          std::string_view labels) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const std::unique_ptr<Entry>& entry : entries_) {
-    if (entry->name == name) return &entry->histogram;
+    if (entry->name == name && entry->labels == labels) {
+      return &entry->histogram;
+    }
   }
   auto entry = std::make_unique<Entry>();
   entry->name.assign(name);
   entry->help.assign(help);
+  entry->labels.assign(labels);
   entries_.push_back(std::move(entry));
   return &entries_.back()->histogram;
 }
 
-const Histogram* Registry::FindHistogram(std::string_view name) const {
+const Histogram* Registry::FindHistogram(std::string_view name,
+                                         std::string_view labels) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const std::unique_ptr<Entry>& entry : entries_) {
-    if (entry->name == name) return &entry->histogram;
+    if (entry->name == name && entry->labels == labels) {
+      return &entry->histogram;
+    }
   }
   return nullptr;
 }
@@ -45,12 +52,26 @@ const Histogram* Registry::FindHistogram(std::string_view name) const {
 std::string Registry::RenderText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
+  const std::string* family = nullptr;  // name whose header was emitted
   for (const std::unique_ptr<Entry>& entry : entries_) {
     Histogram::Snapshot snap = entry->histogram.snapshot();
-    if (!entry->help.empty()) {
-      out += "# HELP " + entry->name + " " + entry->help + "\n";
+    // One # HELP/# TYPE header per metric family: labeled series of one
+    // name are registered consecutively and share the header.
+    if (family == nullptr || *family != entry->name) {
+      if (!entry->help.empty()) {
+        out += "# HELP " + entry->name + " " + entry->help + "\n";
+      }
+      out += "# TYPE " + entry->name + " histogram\n";
+      family = &entry->name;
     }
-    out += "# TYPE " + entry->name + " histogram\n";
+    // `name_sum{engine="nc"}` for labeled series, `name_sum` otherwise.
+    const std::string suffix_labels =
+        entry->labels.empty() ? "" : "{" + entry->labels + "}";
+    // le joins any series labels inside one brace list.
+    const std::string le_prefix =
+        entry->labels.empty()
+            ? entry->name + "_bucket{le=\""
+            : entry->name + "_bucket{" + entry->labels + ",le=\"";
 
     size_t highest = 0;
     for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
@@ -59,31 +80,31 @@ std::string Registry::RenderText() const {
     uint64_t cumulative = 0;
     for (size_t i = 0; i <= highest; ++i) {
       cumulative += snap.buckets[i];
-      out += entry->name + "_bucket{le=\"";
+      out += le_prefix;
       AppendUint(&out, Histogram::BucketUpperBound(i));
       out += "\"} ";
       AppendUint(&out, cumulative);
       out += '\n';
     }
-    out += entry->name + "_bucket{le=\"+Inf\"} ";
+    out += le_prefix + "+Inf\"} ";
     AppendUint(&out, snap.count);
     out += '\n';
-    out += entry->name + "_sum ";
+    out += entry->name + "_sum" + suffix_labels + " ";
     AppendUint(&out, snap.sum);
     out += '\n';
-    out += entry->name + "_count ";
+    out += entry->name + "_count" + suffix_labels + " ";
     AppendUint(&out, snap.count);
     out += '\n';
-    out += entry->name + "_p50 ";
+    out += entry->name + "_p50" + suffix_labels + " ";
     AppendDouble(&out, snap.p50());
     out += '\n';
-    out += entry->name + "_p95 ";
+    out += entry->name + "_p95" + suffix_labels + " ";
     AppendDouble(&out, snap.p95());
     out += '\n';
-    out += entry->name + "_p99 ";
+    out += entry->name + "_p99" + suffix_labels + " ";
     AppendDouble(&out, snap.p99());
     out += '\n';
-    out += entry->name + "_max ";
+    out += entry->name + "_max" + suffix_labels + " ";
     AppendUint(&out, snap.max);
     out += '\n';
   }

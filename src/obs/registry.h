@@ -40,14 +40,21 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  // Returns the histogram registered under `name`, creating it on first
-  // use. `help` is kept from the first registration. Thread-safe; the
-  // returned pointer is stable until the registry is destroyed.
+  // Returns the histogram registered under (`name`, `labels`), creating
+  // it on first use. `help` is kept from the first registration of the
+  // name. `labels` is a Prometheus label list without braces (e.g.
+  // `engine="nc"`); entries sharing a name but differing in labels are
+  // distinct series of one metric family and render under one # TYPE
+  // header when registered consecutively. Thread-safe; the returned
+  // pointer is stable until the registry is destroyed.
   Histogram* GetOrCreateHistogram(std::string_view name,
-                                  std::string_view help = "");
+                                  std::string_view help = "",
+                                  std::string_view labels = "");
 
-  // The histogram registered under `name`, or null. Thread-safe.
-  const Histogram* FindHistogram(std::string_view name) const;
+  // The histogram registered under (`name`, `labels`), or null.
+  // Thread-safe.
+  const Histogram* FindHistogram(std::string_view name,
+                                 std::string_view labels = "") const;
 
   // Prometheus-style exposition of every registered histogram, in
   // registration order. Thread-safe; concurrent Record()s may or may
@@ -64,6 +71,7 @@ class Registry {
   struct Entry {
     std::string name;
     std::string help;
+    std::string labels;  // without braces; empty = unlabeled series
     Histogram histogram;
   };
 

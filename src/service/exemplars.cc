@@ -1,0 +1,48 @@
+#include "service/exemplars.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace xsq::service {
+
+void ExemplarStore::Observe(uint64_t us, std::string_view query_text) {
+  size_t bucket = obs::Histogram::BucketIndex(us);
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[bucket];
+  if (slot.set && us <= slot.us) return;
+  slot.us = us;
+  slot.query.assign(query_text);
+  // Exemplars render one per line; a query can't be allowed to break
+  // the line-oriented exposition.
+  for (char& c : slot.query) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  slot.set = true;
+}
+
+void ExemplarStore::RenderComments(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    if (!slot.set) continue;
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "# exemplar xsq_request_latency_us bucket{le=\"%" PRIu64
+                  "\"} %" PRIu64 "us ",
+                  obs::Histogram::BucketUpperBound(i), slot.us);
+    *out += head;
+    *out += slot.query;
+    *out += '\n';
+  }
+}
+
+void ExemplarStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& slot : slots_) {
+    slot.us = 0;
+    slot.query.clear();
+    slot.set = false;
+  }
+}
+
+}  // namespace xsq::service

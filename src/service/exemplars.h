@@ -1,0 +1,51 @@
+// ExemplarStore: the slowest request seen per latency bucket, with its
+// query text.
+//
+// Histograms answer "how slow", exemplars answer "slow doing what": for
+// every log2 bucket of xsq_request_latency_us the store keeps the
+// single worst (duration, query) pair observed, so a METRICS scrape —
+// or the --slow-query-ms operator path — can name the query behind each
+// latency band without any per-request logging. Updates happen once per
+// completed document request (never on the per-chunk hot path) under a
+// small mutex; rendering snapshots under the same mutex.
+#ifndef XSQ_SERVICE_EXEMPLARS_H_
+#define XSQ_SERVICE_EXEMPLARS_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/histogram.h"
+
+namespace xsq::service {
+
+class ExemplarStore {
+ public:
+  // Records a completed request: keeps (us, query_text) iff it is the
+  // slowest seen in its bucket. Any thread.
+  void Observe(uint64_t us, std::string_view query_text);
+
+  // Appends one comment line per populated bucket, slowest bucket last:
+  //   # exemplar xsq_request_latency_us bucket{le="8191"} 5321us <query>
+  // Comment lines are ignored by Prometheus scrapers but make METRICS
+  // self-contained for operators chasing a latency band.
+  void RenderComments(std::string* out) const;
+
+  void Clear();
+
+ private:
+  struct Slot {
+    uint64_t us = 0;
+    std::string query;
+    bool set = false;
+  };
+
+  mutable std::mutex mu_;
+  std::array<Slot, obs::Histogram::kBucketCount> slots_;
+};
+
+}  // namespace xsq::service
+
+#endif  // XSQ_SERVICE_EXEMPLARS_H_

@@ -3,9 +3,14 @@
 //
 // Metric names (all durations in microseconds, log2 buckets):
 //   xsq_request_latency_us   first chunk queued (or RunCached entry) to
-//                            document fully evaluated
+//                            document fully evaluated; also broken out
+//                            per engine kind as {engine="nc"} (the
+//                            deterministic XSQ-NC engine) and
+//                            {engine="f"} (the closure XSQ-F engine) —
+//                            the unlabeled series stays the total
 //   xsq_queue_wait_us        work item queued to claimed by a worker
-//   xsq_chunk_latency_us     chunk queued to chunk evaluated
+//   xsq_chunk_latency_us     chunk queued to chunk evaluated, with the
+//                            same per-engine breakdown
 //   xsq_phase_parse_us       per-document SAX parse time (Figure 18)
 //   xsq_phase_automaton_us   per-document engine transition time
 //   xsq_phase_buffer_us      per-document buffering/predicate time
@@ -26,12 +31,20 @@ struct ServiceMetrics {
       : request_latency_us(registry->GetOrCreateHistogram(
             "xsq_request_latency_us",
             "End-to-end document serve latency, microseconds")),
+        request_latency_nc_us(registry->GetOrCreateHistogram(
+            "xsq_request_latency_us", "", "engine=\"nc\"")),
+        request_latency_f_us(registry->GetOrCreateHistogram(
+            "xsq_request_latency_us", "", "engine=\"f\"")),
         queue_wait_us(registry->GetOrCreateHistogram(
             "xsq_queue_wait_us",
             "Work item queue wait before a worker claims it, microseconds")),
         chunk_latency_us(registry->GetOrCreateHistogram(
             "xsq_chunk_latency_us",
             "Chunk push-to-evaluated latency, microseconds")),
+        chunk_latency_nc_us(registry->GetOrCreateHistogram(
+            "xsq_chunk_latency_us", "", "engine=\"nc\"")),
+        chunk_latency_f_us(registry->GetOrCreateHistogram(
+            "xsq_chunk_latency_us", "", "engine=\"f\"")),
         phase_parse_us(registry->GetOrCreateHistogram(
             "xsq_phase_parse_us",
             "Per-document SAX parse phase time, microseconds")),
@@ -45,9 +58,25 @@ struct ServiceMetrics {
             "xsq_tape_replay_us",
             "Cached-document tape replay duration, microseconds")) {}
 
+  // Engine-kind breakdown: record the total and the matching labeled
+  // series together.
+  void RecordRequestLatency(uint64_t us, bool deterministic) {
+    request_latency_us->Record(us);
+    (deterministic ? request_latency_nc_us : request_latency_f_us)
+        ->Record(us);
+  }
+  void RecordChunkLatency(uint64_t us, bool deterministic) {
+    chunk_latency_us->Record(us);
+    (deterministic ? chunk_latency_nc_us : chunk_latency_f_us)->Record(us);
+  }
+
   obs::Histogram* const request_latency_us;
+  obs::Histogram* const request_latency_nc_us;
+  obs::Histogram* const request_latency_f_us;
   obs::Histogram* const queue_wait_us;
   obs::Histogram* const chunk_latency_us;
+  obs::Histogram* const chunk_latency_nc_us;
+  obs::Histogram* const chunk_latency_f_us;
   obs::Histogram* const phase_parse_us;
   obs::Histogram* const phase_automaton_us;
   obs::Histogram* const phase_buffer_us;

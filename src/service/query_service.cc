@@ -57,14 +57,17 @@ void QueryService::WorkerLoop() {
         // error is already recorded; Close reports it).
         state->session->Push(item.chunk);
         stats_.RecordChunk(item.chunk.size());
-        metrics_.chunk_latency_us->Record(ElapsedMicros(
-            item.enqueued, std::chrono::steady_clock::now()));
+        metrics_.RecordChunkLatency(
+            ElapsedMicros(item.enqueued, std::chrono::steady_clock::now()),
+            state->session->deterministic());
       } else {
         state->session->Close();
         if (state->doc_started) {
           uint64_t elapsed_us = ElapsedMicros(
               state->doc_start, std::chrono::steady_clock::now());
-          metrics_.request_latency_us->Record(elapsed_us);
+          metrics_.RecordRequestLatency(elapsed_us,
+                                        state->session->deterministic());
+          exemplars_.Observe(elapsed_us, state->session->query().ToString());
           MaybeLogSlowQuery(*state, elapsed_us);
         }
       }
@@ -122,7 +125,8 @@ Result<SessionId> QueryService::OpenSession(std::string_view query_text) {
   XSQ_ASSIGN_OR_RETURN(
       std::unique_ptr<Session> session,
       Session::Create(std::move(plan), config_.per_session_memory_budget,
-                      &stats_, &metrics_, config_.parser_limits));
+                      &stats_, &metrics_, config_.parser_limits,
+                      config_.cancel_check_events));
 
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) return Status::InvalidArgument("service is shut down");
@@ -275,7 +279,8 @@ Status QueryService::RunCached(SessionId id, std::string_view name,
 
   // Rewind a session that already served a document (or failed) so
   // RunCached composes back to back without an explicit reset.
-  obs::ScopedTimer request_timer(metrics_.request_latency_us);
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
   Status status = Status::OK();
   if (state->session->closed() || !state->session->status().ok()) {
     status = state->session->Reset();
@@ -284,7 +289,11 @@ Status QueryService::RunCached(SessionId id, std::string_view name,
   uint64_t ms = deadline_ms > 0 ? deadline_ms : config_.default_deadline_ms;
   if (status.ok() && ms > 0) state->session->SetDeadlineAfterMs(ms);
   if (status.ok()) status = state->session->RunTape(*tape);
-  MaybeLogSlowQuery(*state, request_timer.ElapsedMicros());
+  uint64_t elapsed_us =
+      ElapsedMicros(started, std::chrono::steady_clock::now());
+  metrics_.RecordRequestLatency(elapsed_us, state->session->deterministic());
+  exemplars_.Observe(elapsed_us, state->session->query().ToString());
+  MaybeLogSlowQuery(*state, elapsed_us);
 
   lock.lock();
   state->scheduled = false;
@@ -429,6 +438,12 @@ std::string QueryService::MetricsText() const {
   counter("xsq_deadline_exceeded", snap.deadline_exceeded);
   counter("xsq_limit_rejected", snap.limit_rejected);
   counter("xsq_tape_corrupt", snap.tape_corrupt);
+  counter("xsq_connections_accepted", snap.connections_accepted);
+  counter("xsq_connections_shed", snap.connections_shed);
+  counter("xsq_disconnect_cancels", snap.disconnect_cancels);
+  counter("xsq_net_idle_closed", snap.net_idle_closed);
+  counter("xsq_net_overrun_closed", snap.net_overrun_closed);
+  exemplars_.RenderComments(&out);
   return out;
 }
 

@@ -52,6 +52,7 @@
 #include "common/status.h"
 #include "obs/registry.h"
 #include "service/document_cache.h"
+#include "service/exemplars.h"
 #include "service/metrics.h"
 #include "service/plan_cache.h"
 #include "service/session.h"
@@ -101,6 +102,13 @@ struct ServiceConfig {
   // entity bombs, unterminated DOCTYPEs) fail that session with
   // kLimitExceeded instead of exhausting the process.
   xml::ParserLimits parser_limits = xml::ParserLimits::Serving();
+  // Cancellation sampling interval, in SAX events: how often the
+  // engines poll each session's CancelToken. Smaller = tighter
+  // cancel/deadline/disconnect latency, more polling overhead (each
+  // poll is one relaxed load, plus a clock read while a deadline is
+  // armed). The default keeps the poll under the 2% ext_resilience
+  // throughput bound on a 1-CPU box.
+  uint32_t cancel_check_events = core::CancelToken::kCheckIntervalEvents;
 };
 
 class QueryService {
@@ -195,6 +203,22 @@ class QueryService {
   const obs::Registry& metrics_registry() const { return registry_; }
   std::string MetricsText() const;
 
+  // Slow-query exemplars: the slowest request per latency bucket with
+  // its query text. Rendered into MetricsText() as comment lines; the
+  // xsqd --slow-query-ms path also dumps them at exit.
+  const ExemplarStore& exemplars() const { return exemplars_; }
+
+  // The live counter block. Exposed so the network front-end (and other
+  // transports) can account connection-level events — accepts, sheds,
+  // disconnect-driven cancels — in the same place the service counts
+  // everything else.
+  ServiceStats* stats_sink() { return &stats_; }
+
+  // The configuration the service was built with (admission limits,
+  // deadlines, cancellation grain) — the front-end reads it to align
+  // accept-side shedding with the service's own admission control.
+  const ServiceConfig& config() const { return config_; }
+
   const PlanCache& plan_cache() const { return plan_cache_; }
   const DocumentCache& document_cache() const { return doc_cache_; }
   size_t active_sessions() const;
@@ -245,6 +269,7 @@ class QueryService {
   ServiceStats stats_;
   obs::Registry registry_;
   ServiceMetrics metrics_{&registry_};
+  ExemplarStore exemplars_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers: runnable queue non-empty

@@ -15,20 +15,23 @@ constexpr size_t kReplayBatchEvents = 8192;
 Result<std::unique_ptr<Session>> Session::Create(
     std::shared_ptr<const core::CompiledPlan> plan, size_t memory_budget,
     ServiceStats* stats, ServiceMetrics* metrics,
-    const xml::ParserLimits& parser_limits) {
+    const xml::ParserLimits& parser_limits, uint32_t cancel_check_events) {
   XSQ_ASSIGN_OR_RETURN(std::unique_ptr<core::StreamingQuery> query,
                        core::StreamingQuery::Open(std::move(plan)));
-  return std::unique_ptr<Session>(new Session(
-      std::move(query), memory_budget, stats, metrics, parser_limits));
+  return std::unique_ptr<Session>(new Session(std::move(query), memory_budget,
+                                              stats, metrics, parser_limits,
+                                              cancel_check_events));
 }
 
 Session::Session(std::unique_ptr<core::StreamingQuery> query,
                  size_t memory_budget, ServiceStats* stats,
                  ServiceMetrics* metrics,
-                 const xml::ParserLimits& parser_limits)
+                 const xml::ParserLimits& parser_limits,
+                 uint32_t cancel_check_events)
     : memory_budget_(memory_budget),
       stats_(stats),
       metrics_(metrics),
+      cancel_(cancel_check_events),
       query_(std::move(query)) {
   // With metrics attached the session doubles as the query's phase
   // listener; per-chunk samples accumulate into phases_ and flush to the

@@ -54,10 +54,14 @@ class Session : private core::PhaseListener {
   // `parser_limits` (default: unlimited) hardens the session's parser
   // against hostile documents; violations fail the session with
   // kLimitExceeded like any other streaming error.
+  // `cancel_check_events` sets the engine's cancellation sampling
+  // interval (how many SAX events may pass between CancelToken polls);
+  // it bounds the latency of Cancel() and deadline detection.
   static Result<std::unique_ptr<Session>> Create(
       std::shared_ptr<const core::CompiledPlan> plan, size_t memory_budget,
       ServiceStats* stats, ServiceMetrics* metrics = nullptr,
-      const xml::ParserLimits& parser_limits = {});
+      const xml::ParserLimits& parser_limits = {},
+      uint32_t cancel_check_events = core::CancelToken::kCheckIntervalEvents);
 
   ~Session();
 
@@ -121,6 +125,10 @@ class Session : private core::PhaseListener {
   }
   const xpath::Query& query() const { return query_->query(); }
 
+  // True when the query runs on the deterministic XSQ-NC engine (the
+  // engine-kind label of the latency histograms).
+  bool deterministic() const { return query_->uses_deterministic_engine(); }
+
   // Accumulated parse/automaton/buffer time for the current document,
   // nanoseconds. Only meaningful with metrics attached; written by the
   // streaming thread and intended to be read there too (the slow-query
@@ -135,7 +143,8 @@ class Session : private core::PhaseListener {
  private:
   Session(std::unique_ptr<core::StreamingQuery> query, size_t memory_budget,
           ServiceStats* stats, ServiceMetrics* metrics,
-          const xml::ParserLimits& parser_limits);
+          const xml::ParserLimits& parser_limits,
+          uint32_t cancel_check_events);
 
   // core::PhaseListener: per-chunk phase sample from the query.
   void OnPhaseSample(uint64_t parse_ns, uint64_t automaton_ns,

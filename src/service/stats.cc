@@ -34,6 +34,11 @@ std::string StatsSnapshot::ToString() const {
   line("deadline_exceeded", deadline_exceeded);
   line("limit_rejected", limit_rejected);
   line("tape_corrupt", tape_corrupt);
+  line("connections_accepted", connections_accepted);
+  line("connections_shed", connections_shed);
+  line("disconnect_cancels", disconnect_cancels);
+  line("net_idle_closed", net_idle_closed);
+  line("net_overrun_closed", net_overrun_closed);
   return out;
 }
 
@@ -54,6 +59,14 @@ StatsSnapshot ServiceStats::Snapshot() const {
   snap.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   snap.limit_rejected = limit_rejected_.load(std::memory_order_relaxed);
   snap.tape_corrupt = tape_corrupt_.load(std::memory_order_relaxed);
+  snap.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  snap.connections_shed = connections_shed_.load(std::memory_order_relaxed);
+  snap.disconnect_cancels =
+      disconnect_cancels_.load(std::memory_order_relaxed);
+  snap.net_idle_closed = net_idle_closed_.load(std::memory_order_relaxed);
+  snap.net_overrun_closed =
+      net_overrun_closed_.load(std::memory_order_relaxed);
   return snap;
 }
 

@@ -47,6 +47,13 @@ struct StatsSnapshot {
   uint64_t deadline_exceeded = 0;
   uint64_t limit_rejected = 0;
   uint64_t tape_corrupt = 0;
+  // Network front-end counters (recorded by net::Server into the same
+  // stats block so STATS / METRICS / GET /metrics all tell one story).
+  uint64_t connections_accepted = 0;
+  uint64_t connections_shed = 0;     // accept-side load shedding
+  uint64_t disconnect_cancels = 0;   // sessions cancelled on peer loss
+  uint64_t net_idle_closed = 0;      // idle / half-open peers reaped
+  uint64_t net_overrun_closed = 0;   // input/output buffer bound hit
 
   // One "name value" pair per line, stable names; the xsqd STATS
   // command prints exactly this.
@@ -73,6 +80,13 @@ class ServiceStats {
   void RecordDeadlineExceeded() { Inc(deadline_exceeded_); }
   void RecordLimitRejected() { Inc(limit_rejected_); }
   void RecordTapeCorrupt() { Inc(tape_corrupt_); }
+  void RecordConnectionAccepted() { Inc(connections_accepted_); }
+  void RecordConnectionShed() { Inc(connections_shed_); }
+  void RecordDisconnectCancels(uint64_t count) {
+    disconnect_cancels_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void RecordNetIdleClosed() { Inc(net_idle_closed_); }
+  void RecordNetOverrunClosed() { Inc(net_overrun_closed_); }
   void RecordQueueDepth(uint64_t depth) {
     uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
     while (depth > seen &&
@@ -111,6 +125,11 @@ class ServiceStats {
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> limit_rejected_{0};
   std::atomic<uint64_t> tape_corrupt_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_shed_{0};
+  std::atomic<uint64_t> disconnect_cancels_{0};
+  std::atomic<uint64_t> net_idle_closed_{0};
+  std::atomic<uint64_t> net_overrun_closed_{0};
 };
 
 }  // namespace xsq::service

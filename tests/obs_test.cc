@@ -167,6 +167,39 @@ TEST(RegistryTest, RenderTextExposition) {
   EXPECT_NE(text.find("xsq_test_us_max 5"), std::string::npos);
 }
 
+TEST(RegistryTest, LabeledSeriesRenderUnderOneFamily) {
+  // Two series of one metric family, distinguished only by labels
+  // (the engine-kind split the service uses): one # HELP/# TYPE
+  // header, each sample line carrying its label set merged with `le`.
+  Registry registry;
+  Histogram* nc = registry.GetOrCreateHistogram("xsq_req_us", "request time",
+                                                "engine=\"nc\"");
+  Histogram* f =
+      registry.GetOrCreateHistogram("xsq_req_us", "request time",
+                                    "engine=\"f\"");
+  EXPECT_NE(nc, f);  // distinct series...
+  EXPECT_EQ(nc, registry.GetOrCreateHistogram("xsq_req_us", "",
+                                              "engine=\"nc\""));  // ...stable
+  EXPECT_EQ(registry.FindHistogram("xsq_req_us", "engine=\"f\""), f);
+
+  nc->Record(3);
+  f->Record(100);
+  std::string text = registry.RenderText();
+  // One family header, not one per series.
+  size_t first_type = text.find("# TYPE xsq_req_us histogram");
+  ASSERT_NE(first_type, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE xsq_req_us histogram", first_type + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("xsq_req_us_bucket{engine=\"nc\",le=\"3\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("xsq_req_us_bucket{engine=\"f\",le=\"127\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("xsq_req_us_count{engine=\"nc\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("xsq_req_us_sum{engine=\"f\"} 100"),
+            std::string::npos);
+}
+
 TEST(RegistryTest, AppendScalarFormat) {
   std::string out;
   Registry::AppendScalar(&out, "xsq_things_total", "counter", 42);

@@ -140,6 +140,27 @@ TEST(StreamingCancelTest, EngineObservesTokenWithinOneSamplingInterval) {
             static_cast<int>(CancelToken::kCheckIntervalEvents) + 2);
 }
 
+TEST(StreamingCancelTest, ConfigurableSamplingIntervalIsHonoured) {
+  // A token constructed with a tighter interval is observed sooner:
+  // the engine caches the token's grain, not the compile-time default.
+  auto query = MustOpen("//a/text()");
+  CancelToken token(/*check_interval_events=*/8);
+  query->set_cancel_token(&token);
+
+  xml::SaxHandler* handler = query->event_handler();
+  handler->OnDocumentBegin();
+  handler->OnBegin("r", {}, 1);
+  token.Cancel();
+  int delivered = 0;
+  while (query->engine_status().ok() && delivered < 1000) {
+    handler->OnBegin("a", {}, 2);
+    handler->OnEnd("a", 2);
+    delivered += 2;
+  }
+  EXPECT_EQ(query->engine_status().code(), StatusCode::kCancelled);
+  EXPECT_LE(delivered, 8 + 2);
+}
+
 TEST(StreamingCancelTest, ResetRearmsACancelledQuery) {
   auto query = MustOpen("//a/text()");
   CancelToken token;
@@ -319,6 +340,75 @@ TEST(SessionCancelTest, ResetRevivesACancelledSession) {
   EXPECT_EQ(items[0], "ok");
 }
 
+TEST(SessionCancelTest, ResetRevivesADeadlineExpiredSession) {
+  ServiceStats stats;
+  auto session = MustCreateSession("//a/text()", &stats);
+  session->SetDeadlineAfterMs(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(session->Push("<r><a>late</a></r>").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(session->Close().code(), StatusCode::kDeadlineExceeded);
+
+  // Reset clears the expired deadline along with the failure; the next
+  // document streams normally.
+  ASSERT_TRUE(session->Reset().ok());
+  ASSERT_TRUE(session->Push("<r><a>fresh</a></r>").ok());
+  ASSERT_TRUE(session->Close().ok());
+  std::vector<std::string> items = session->TakeItems();
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0], "fresh");
+  EXPECT_EQ(stats.Snapshot().deadline_exceeded, 1u);
+}
+
+TEST(SessionCancelTest, TokenRearmsAcrossRepeatedFailureCycles) {
+  // The same session survives alternating cancel and deadline failures:
+  // each Reset() re-arms the embedded CancelToken completely (flag and
+  // deadline both cleared), with no residue from the previous cycle.
+  ServiceStats stats;
+  auto session = MustCreateSession("//a/text()", &stats);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    session->Cancel();
+    EXPECT_EQ(session->Push("<r/>").code(), StatusCode::kCancelled);
+    ASSERT_TRUE(session->Reset().ok());
+    EXPECT_FALSE(session->cancelled());
+
+    session->SetDeadlineAfterMs(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(session->Push("<r/>").code(), StatusCode::kDeadlineExceeded);
+    ASSERT_TRUE(session->Reset().ok());
+
+    ASSERT_TRUE(session->Push("<r><a>ok</a></r>").ok());
+    ASSERT_TRUE(session->Close().ok());
+    std::vector<std::string> items = session->TakeItems();
+    ASSERT_EQ(items.size(), 1u);
+    EXPECT_EQ(items[0], "ok");
+    ASSERT_TRUE(session->Reset().ok());
+  }
+  EXPECT_EQ(stats.Snapshot().cancelled, 3u);
+  EXPECT_EQ(stats.Snapshot().deadline_exceeded, 3u);
+}
+
+TEST(SessionCancelTest, CancelCheckEventsKnobReachesTheToken) {
+  ServiceStats stats;
+  auto plan = core::CompilePlan("//a/text()");
+  ASSERT_TRUE(plan.ok());
+  auto session =
+      Session::Create(*plan, /*memory_budget=*/0, &stats,
+                      /*metrics=*/nullptr, {}, /*cancel_check_events=*/8);
+  ASSERT_TRUE(session.ok());
+  // The knob still serves documents correctly...
+  ASSERT_TRUE((*session)->Push("<r><a>x</a></r>").ok());
+  ASSERT_TRUE((*session)->Close().ok());
+  EXPECT_EQ((*session)->TakeItems().size(), 1u);
+  // ...and 0 is clamped to 1 (check-every-event), never divide-by-zero.
+  auto eager = Session::Create(*plan, 0, &stats, nullptr, {},
+                               /*cancel_check_events=*/0);
+  ASSERT_TRUE(eager.ok());
+  ASSERT_TRUE((*eager)->Push("<r><a>y</a></r>").ok());
+  ASSERT_TRUE((*eager)->Close().ok());
+  EXPECT_EQ((*eager)->TakeItems().size(), 1u);
+}
+
 TEST(SessionCancelTest, DeadlineExceededIsCountedSeparately) {
   ServiceStats stats;
   auto session = MustCreateSession("//a/text()", &stats);
@@ -386,6 +476,39 @@ TEST(ServiceCancelTest, CancelledSessionRecoversViaReset) {
   std::vector<std::string> items = service.Drain(*id);
   ASSERT_EQ(items.size(), 1u);
   EXPECT_EQ(items[0], "y");
+  service.Shutdown();
+}
+
+TEST(ServiceCancelTest, DeadlineExpiredSessionRecoversViaReset) {
+  QueryService service;
+  auto id = service.OpenSession("//a/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Push(*id, "<r><a>x</a>", /*deadline_ms=*/1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_EQ(service.Close(*id).code(), StatusCode::kDeadlineExceeded);
+  service.Drain(*id);  // discard items emitted before the deadline hit
+  ASSERT_TRUE(service.ResetSession(*id).ok());
+  ASSERT_TRUE(service.Push(*id, "<r><a>again</a></r>").ok());
+  ASSERT_TRUE(service.Close(*id).ok());
+  std::vector<std::string> items = service.Drain(*id);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0], "again");
+  service.Shutdown();
+}
+
+TEST(ServiceCancelTest, CancelCheckEventsConfigFlowsToSessions) {
+  ServiceConfig config;
+  config.cancel_check_events = 4;
+  QueryService service(config);
+  auto id = service.OpenSession("//a/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Push(*id, "<r><a>tight</a></r>").ok());
+  ASSERT_TRUE(service.Close(*id).ok());
+  EXPECT_EQ(service.Drain(*id).size(), 1u);
+  // Cancellation still lands on a session built with the tighter grain.
+  ASSERT_TRUE(service.ResetSession(*id).ok());
+  ASSERT_TRUE(service.CancelSession(*id).ok());
+  EXPECT_EQ(service.Close(*id).code(), StatusCode::kCancelled);
   service.Shutdown();
 }
 

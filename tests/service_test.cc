@@ -416,6 +416,67 @@ TEST(QueryServiceStressTest, MetricsPopulateUnderConcurrentLoad) {
             std::string::npos);
 }
 
+TEST(QueryServiceTest, LatencyHistogramsCarryEngineKindLabels) {
+  // One document through the deterministic XSQ-NC engine (no closure
+  // axis) and one through XSQ-F (closure): each lands in its labeled
+  // series, and both land in the unlabeled total.
+  QueryService service;
+  auto nc = service.OpenSession("/r/a/text()");
+  auto f = service.OpenSession("//a/text()");
+  ASSERT_TRUE(nc.ok());
+  ASSERT_TRUE(f.ok());
+  for (SessionId id : {*nc, *f}) {
+    ASSERT_TRUE(service.Push(id, "<r><a>x</a></r>").ok());
+    ASSERT_TRUE(service.Close(id).ok());
+    EXPECT_EQ(service.Drain(id).size(), 1u);
+  }
+
+  const obs::Registry& registry = service.metrics_registry();
+  const obs::Histogram* nc_series =
+      registry.FindHistogram("xsq_request_latency_us", "engine=\"nc\"");
+  const obs::Histogram* f_series =
+      registry.FindHistogram("xsq_request_latency_us", "engine=\"f\"");
+  ASSERT_NE(nc_series, nullptr);
+  ASSERT_NE(f_series, nullptr);
+  EXPECT_EQ(nc_series->count(), 1u);
+  EXPECT_EQ(f_series->count(), 1u);
+  EXPECT_EQ(registry.FindHistogram("xsq_request_latency_us")->count(), 2u);
+  // Chunk latency splits the same way (1 chunk per document here).
+  EXPECT_EQ(
+      registry.FindHistogram("xsq_chunk_latency_us", "engine=\"nc\"")->count(),
+      1u);
+  EXPECT_EQ(
+      registry.FindHistogram("xsq_chunk_latency_us", "engine=\"f\"")->count(),
+      1u);
+
+  std::string text = service.MetricsText();
+  EXPECT_NE(text.find("xsq_request_latency_us_count{engine=\"nc\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("xsq_request_latency_us_count{engine=\"f\"} 1"),
+            std::string::npos);
+  service.Shutdown();
+}
+
+TEST(QueryServiceTest, MetricsTextCarriesSlowQueryExemplars) {
+  QueryService service;
+  auto id = service.OpenSession("//a/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Push(*id, "<r><a>x</a></r>").ok());
+  ASSERT_TRUE(service.Close(*id).ok());
+
+  // The slowest query per latency bucket is kept as an exemplar and
+  // rendered as comment lines a scraper ignores but a human can read.
+  std::string text = service.MetricsText();
+  size_t at = text.find("# exemplar xsq_request_latency_us bucket{le=\"");
+  ASSERT_NE(at, std::string::npos) << text;
+  EXPECT_NE(text.find("//a/text()", at), std::string::npos);
+  // Net counters are part of the same exposition even with no listener.
+  EXPECT_NE(text.find("xsq_connections_accepted 0"), std::string::npos);
+  EXPECT_NE(text.find("xsq_connections_shed 0"), std::string::npos);
+  EXPECT_NE(text.find("xsq_disconnect_cancels 0"), std::string::npos);
+  service.Shutdown();
+}
+
 // RunCached must time replays into both the request-latency and
 // tape-replay histograms.
 TEST(QueryServiceTapeTest, RunCachedPopulatesReplayMetrics) {

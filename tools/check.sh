@@ -12,7 +12,11 @@
 #      code) are checked for overflow/UB;
 #   5. builds failpoint trees (-DXSQ_FAILPOINTS=ON) under ASan and TSan
 #      and runs the fault-injection suite with every site armable, so
-#      each injected early-return path is leak- and race-checked.
+#      each injected early-return path is leak- and race-checked;
+#   6. when clang is on PATH, builds the libFuzzer harnesses
+#      (-DXSQ_FUZZ=ON) and runs each target for a bounded stretch over
+#      its seed corpus, so the input-facing decoders get continuous
+#      coverage-guided probing on every change.
 #
 # Usage: tools/check.sh [ctest-regex]
 #   tools/check.sh              # everything, all builds
@@ -25,7 +29,10 @@
 #      XSQ_SKIP_TSAN=1 to skip the TSan builds (e.g. no libtsan),
 #      XSQ_SKIP_ASAN=1 to skip the ASan builds (e.g. no libasan),
 #      XSQ_SKIP_UBSAN=1 to skip the UBSan build (e.g. no libubsan),
-#      XSQ_SKIP_FAILPOINTS=1 to skip the failpoint legs.
+#      XSQ_SKIP_FAILPOINTS=1 to skip the failpoint legs,
+#      XSQ_SKIP_FUZZ=1 to skip the fuzz leg,
+#      FUZZ_BUILD_DIR (default build-fuzz),
+#      XSQ_FUZZ_SECONDS per-target fuzz budget (default 30).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -103,6 +110,31 @@ else
       TSAN_OPTIONS="halt_on_error=1" \
         ctest --output-on-failure -j "$(nproc)" -R "$fp_filter")
   fi
+fi
+
+# Fuzz leg: when clang is available, build the libFuzzer harnesses
+# (-DXSQ_FUZZ=ON needs clang) and give each target a bounded run over
+# its seed corpus. 30s per target keeps the gate fast while still
+# catching shallow regressions in the three input-facing decoders.
+if [ "${XSQ_SKIP_FUZZ:-0}" = "1" ]; then
+  echo "== fuzz leg skipped (XSQ_SKIP_FUZZ=1)"
+elif ! command -v clang++ >/dev/null 2>&1; then
+  echo "== fuzz leg skipped (no clang++ on PATH)"
+else
+  fuzz_dir=${FUZZ_BUILD_DIR:-build-fuzz}
+  fuzz_seconds=${XSQ_FUZZ_SECONDS:-30}
+  echo "== libFuzzer build ($fuzz_dir, ${fuzz_seconds}s per target)"
+  cmake -B "$fuzz_dir" -S . -DXSQ_FUZZ=ON \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build "$fuzz_dir" -j "$(nproc)" \
+    --target fuzz_sax_parser fuzz_xpath_parser fuzz_tape_load
+  for target in sax_parser:sax xpath_parser:xpath tape_load:tape; do
+    bin="$fuzz_dir/tests/fuzz/fuzz_${target%%:*}"
+    corpus="tests/fuzz/corpus/${target##*:}"
+    echo "== fuzz_${target%%:*} over $corpus"
+    ASAN_OPTIONS="halt_on_error=1" \
+      "$bin" -max_total_time="$fuzz_seconds" -print_final_stats=1 "$corpus"
+  done
 fi
 
 echo "check.sh: all green"

@@ -154,6 +154,131 @@ if ! echo "$metrics" | grep -q "^METRIC xsq_sessions_opened 1$"; then
   echo "$metrics" | grep "^METRIC xsq_" | head -20 >&2
   exit 1
 fi
+# The latency histograms are additionally split by engine kind:
+# //a/text() has a closure axis, so it ran on XSQ-F and the labeled
+# series must carry the sample (the names+labels are dashboard
+# interface, pinned exactly).
+for labeled in 'xsq_request_latency_us_count{engine="f"} 1' \
+               'xsq_chunk_latency_us_count{engine="f"} 1'; do
+  if ! echo "$metrics" | grep -qF "METRIC $labeled"; then
+    echo "METRICS: missing engine-labeled series '$labeled':" >&2
+    echo "$metrics" | grep "engine=" >&2
+    exit 1
+  fi
+done
+# Slow-query exemplars: the slowest query per latency bucket rides
+# along as comment lines, carrying the query text.
+if ! echo "$metrics" | grep -q '^METRIC # exemplar xsq_request_latency_us bucket{le="'; then
+  echo "METRICS: missing slow-query exemplar comments:" >&2
+  echo "$metrics" | grep "exemplar" >&2
+  exit 1
+fi
+if ! echo "$metrics" | grep '^METRIC # exemplar' | grep -qF '//a/text()'; then
+  echo "METRICS: exemplar comment does not carry the query text:" >&2
+  echo "$metrics" | grep "exemplar" >&2
+  exit 1
+fi
+# Net counters are part of the exposition even with no --listen.
+if ! echo "$metrics" | grep -q "^METRIC xsq_connections_accepted 0$"; then
+  echo "METRICS: missing 'xsq_connections_accepted 0' scalar:" >&2
+  echo "$metrics" | grep "^METRIC xsq_conn" >&2
+  exit 1
+fi
+
+# With --slow-query-ms active, the daemon dumps the per-bucket
+# slow-query exemplars to stderr at exit (the offline twin of the
+# METRICS comments).
+slow=$(printf 'OPEN //a/text()\nPUSH 1 <r><a>hi</a></r>\nCLOSE 1\nQUIT\n' \
+       | "$xsqd" --workers=1 --slow-query-ms=10000 2>&1 >/dev/null)
+if ! echo "$slow" | grep -q '^\[xsq\] slow-query exemplars:$'; then
+  echo "--slow-query-ms: missing exemplar dump header on stderr:" >&2
+  echo "$slow" >&2
+  exit 1
+fi
+if ! echo "$slow" | grep '^# exemplar' | grep -qF '//a/text()'; then
+  echo "--slow-query-ms: exemplar dump does not carry the query:" >&2
+  echo "$slow" >&2
+  exit 1
+fi
+
+# --- networking: the same protocol served over TCP ---
+
+# --listen=0 picks an ephemeral port and prints it; drive one query
+# through the socket and scrape GET /metrics over HTTP from the same
+# port, then shut down with SIGTERM (graceful drain, exit 0).
+if command -v python3 >/dev/null 2>&1; then
+  tcp_out=$(mktemp)
+  "$xsqd" --workers=2 --listen=0 > "$tcp_out" < /dev/null &
+  xsqd_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^LISTENING //p' "$tcp_out")
+    [ -n "$port" ] && break
+    sleep 0.05
+  done
+  if [ -z "$port" ]; then
+    echo "--listen=0 never printed LISTENING <port>" >&2
+    kill "$xsqd_pid" 2>/dev/null
+    exit 1
+  fi
+  socket_reply=$(python3 - "$port" <<'PYEOF'
+import socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=5)
+s.sendall(b"OPEN //a/text()\nPUSH 1 <r><a>tcp</a></r>\nCLOSE 1\nQUIT\n")
+data = b""
+while True:
+    chunk = s.recv(4096)
+    if not chunk:
+        break
+    data += chunk
+sys.stdout.write(data.decode())
+PYEOF
+)
+  tcp_expected='OK 1
+OK
+ITEM tcp
+OK
+OK'
+  if [ "$socket_reply" != "$tcp_expected" ]; then
+    echo "TCP transcript mismatch" >&2
+    diff <(echo "$tcp_expected") <(echo "$socket_reply") >&2
+    kill "$xsqd_pid" 2>/dev/null
+    exit 1
+  fi
+  http_body=$(python3 - "$port" <<'PYEOF'
+import socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=5)
+s.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+data = b""
+while True:
+    chunk = s.recv(4096)
+    if not chunk:
+        break
+    data += chunk
+head, _, body = data.partition(b"\r\n\r\n")
+if not head.startswith(b"HTTP/1.0 200"):
+    sys.stderr.write("bad status: %r\n" % head.split(b"\r\n")[0])
+    sys.exit(1)
+sys.stdout.write(body.decode())
+PYEOF
+) || { echo "GET /metrics scrape failed" >&2; kill "$xsqd_pid" 2>/dev/null; exit 1; }
+  for want in "xsq_request_latency_us_count" "xsq_connections_accepted"; do
+    if ! echo "$http_body" | grep -q "^$want"; then
+      echo "GET /metrics body missing '$want':" >&2
+      echo "$http_body" | head -20 >&2
+      kill "$xsqd_pid" 2>/dev/null
+      exit 1
+    fi
+  done
+  kill -TERM "$xsqd_pid"
+  wait "$xsqd_pid"
+  term_status=$?
+  if [ "$term_status" -ne 0 ]; then
+    echo "SIGTERM drain: expected exit 0, got $term_status" >&2
+    exit 1
+  fi
+  rm -f "$tcp_out"
+fi
 
 # --- robustness: malformed input must never abort the daemon ---
 
