@@ -14,6 +14,14 @@
 //                              results
 //   cached <name> <xpath>      RUNCACHED a recorded document
 //   record <name> [file]       parse once, cache the tape server-side
+//   publish [file]             PUBLISH the file (or stdin) to every
+//                              standing subscription on the server
+//   follow <xpath> [...]       SUBSCRIBE the given standing queries on
+//                              one dedicated connection and stream the
+//                              asynchronous EVENT frames to stdout
+//                              until the server closes or the process
+//                              is killed (raise the daemon's
+//                              --idle-timeout-ms for quiet feeds)
 //   raw <protocol line>        send one verbatim protocol line
 //
 // Exit status: 0 on OK, 1 on an ERR reply or transport failure, 2 on
@@ -47,7 +55,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: xsqctl [--host=H] [--port=P] [--timeout-ms=N] "
                "[--retries=N] "
-               "stats|metrics|http-metrics|query|cached|record|raw ...\n");
+               "stats|metrics|http-metrics|query|cached|record|publish|"
+               "follow|raw ...\n");
   return 2;
 }
 
@@ -133,6 +142,64 @@ int HttpMetrics(const ClientConfig& config) {
   return 0;
 }
 
+// Follow mode: one raw long-lived connection (net::Client is
+// request/response; EVENT frames arrive unsolicited, so we speak the
+// socket directly). Sends one SUBSCRIBE per query, checks each "OK
+// <sub-id>" reply, then streams every further line — the EVENT feed —
+// to stdout until the server closes the connection.
+int Follow(const ClientConfig& config,
+           const std::vector<std::string>& queries) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::perror("xsqctl: socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror("xsqctl: connect");
+    ::close(fd);
+    return 1;
+  }
+  std::string request;
+  for (const std::string& query : queries) {
+    request += "SUBSCRIBE " + query + "\n";
+  }
+  if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) < 0) {
+    std::perror("xsqctl: send");
+    ::close(fd);
+    return 1;
+  }
+  size_t replies_pending = queries.size();
+  bool subscribe_failed = false;
+  std::string buffer;
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    buffer.append(buf, static_cast<size_t>(n));
+    size_t begin = 0;
+    for (;;) {
+      size_t newline = buffer.find('\n', begin);
+      if (newline == std::string::npos) break;
+      std::string_view line(buffer.data() + begin, newline - begin);
+      std::printf("%.*s\n", static_cast<int>(line.size()), line.data());
+      if (replies_pending > 0 && line.rfind("EVENT ", 0) != 0) {
+        --replies_pending;
+        if (line.rfind("OK ", 0) != 0) subscribe_failed = true;
+      }
+      begin = newline + 1;
+    }
+    buffer.erase(0, begin);
+    std::fflush(stdout);
+    if (subscribe_failed) break;
+  }
+  ::close(fd);
+  return subscribe_failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -170,6 +237,11 @@ int main(int argc, char** argv) {
   if (command == "http-metrics") {
     return HttpMetrics(config);
   }
+  if (command == "follow") {
+    if (args.size() < 2) return Usage();
+    return Follow(config,
+                  std::vector<std::string>(args.begin() + 1, args.end()));
+  }
 
   Client client(config);
   if (command == "stats") {
@@ -188,6 +260,13 @@ int main(int argc, char** argv) {
     }
     return RunOne(client,
                   "RECORD " + args[1] + " " + LineProtocol::Escape(document));
+  } else if (command == "publish") {
+    std::string document;
+    if (!ReadAll(args.size() > 1 ? args[1] : "-", &document)) {
+      std::fprintf(stderr, "xsqctl: cannot read %s\n", args[1].c_str());
+      return 1;
+    }
+    return RunOne(client, "PUBLISH " + LineProtocol::Escape(document));
   } else if (command == "cached") {
     if (args.size() < 3) return Usage();
     auto open = client.Request("OPEN " + args[2]);

@@ -13,6 +13,13 @@
 // net::LineProtocol; see src/net/line_protocol.h for the grammar. Both
 // transports produce byte-identical transcripts for the same commands.
 //
+// Pub/sub: SUBSCRIBE/UNSUBSCRIBE register standing queries; PUBLISH
+// matches a document against all of them in one parse. Matches arrive
+// asynchronously as "EVENT <sub-id> ..." lines — on the stdin
+// transport they are written to stdout between reply blocks (a mutex
+// keeps lines whole); on TCP they are pushed down the subscribing
+// connection.
+//
 // Network behavior (see src/net/server.h): per-connection idle and
 // write deadlines, bounded line and output buffers (overrun answers
 // ERR and closes), accept-side load shedding at --max-connections or a
@@ -51,6 +58,7 @@
 #include <chrono>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -183,6 +191,15 @@ int main(int argc, char** argv) {
   InstallSignalHandlers();
 
   xsq::net::LineProtocol protocol(&service);
+  // Asynchronous EVENT frames from the service's dispatcher threads
+  // share stdout with the reply path; the mutex keeps every line whole.
+  std::mutex stdout_mu;
+  protocol.SetEventSink([&stdout_mu](std::string_view frame) {
+    std::lock_guard<std::mutex> lock(stdout_mu);
+    std::fwrite(frame.data(), 1, frame.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  });
   std::string line;
   std::string replies;
   bool quit = false;
@@ -195,6 +212,7 @@ int main(int argc, char** argv) {
       // command but keep the conversation (sockets close instead).
       std::string reply =
           xsq::net::LineProtocol::OversizedLineReply(max_line_bytes);
+      std::lock_guard<std::mutex> lock(stdout_mu);
       std::fputs(reply.c_str(), stdout);
       std::fputc('\n', stdout);
       std::fflush(stdout);
@@ -203,8 +221,11 @@ int main(int argc, char** argv) {
     const bool eof_after_line = read == LineRead::kPartial;
     replies.clear();
     bool keep_going = protocol.HandleLine(line, &replies);
-    std::fwrite(replies.data(), 1, replies.size(), stdout);
-    std::fflush(stdout);
+    {
+      std::lock_guard<std::mutex> lock(stdout_mu);
+      std::fwrite(replies.data(), 1, replies.size(), stdout);
+      std::fflush(stdout);
+    }
     if (!keep_going) {            // QUIT shuts the whole daemon down
       quit = true;
       break;

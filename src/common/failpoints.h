@@ -57,6 +57,7 @@ inline constexpr const char* kFailPointCatalog[] = {
     "net.accept.shed",            // net::Server - force accept-side shedding
     "net.read.fail",              // net::Server - socket read error path
     "net.write.fail",             // net::Server - socket write error path
+    "pubsub.fanout.fail",         // QueryService fan-out - sink delivery drop
 };
 
 class FailPoints {

@@ -108,4 +108,37 @@ std::string XmlEscape(std::string_view s) {
   return out;
 }
 
+std::string LineEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\\': out += "\\\\"; break;
+      default: out.push_back(c); break;
+    }
+  }
+  return out;
+}
+
+std::string LineUnescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      ++i;
+      switch (text[i]) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case '\\': out.push_back('\\'); break;
+        default: out.push_back(text[i]); break;
+      }
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
 }  // namespace xsq

@@ -41,6 +41,14 @@ std::string FormatNumber(double value);
 // Escapes <, >, &, ", ' for inclusion in XML text or attribute values.
 std::string XmlEscape(std::string_view s);
 
+// Line-oriented payload escaping used by the xsqd wire protocol and the
+// pub/sub EVENT frames: "\n" = newline, "\t" = tab, "\\" = backslash,
+// so arbitrary document and item bytes fit on one protocol line. Kept
+// here (not in net/) so the service layer can format event frames with
+// exactly the encoding the transports decode.
+std::string LineEscape(std::string_view text);
+std::string LineUnescape(std::string_view text);
+
 // A deterministic 64-bit split-mix style PRNG used by data generators and
 // property tests so corpora and test cases are reproducible across runs.
 class SplitMix64 {

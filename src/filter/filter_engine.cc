@@ -6,8 +6,18 @@
 
 namespace xsq::filter {
 
+uint32_t FilterEngine::InternTag(const std::string& tag) {
+  auto [it, inserted] =
+      tag_ids_.try_emplace(tag, static_cast<uint32_t>(tag_ids_.size()));
+  return it->second;
+}
+
 Result<int> FilterEngine::AddQuery(std::string_view query_text) {
   XSQ_ASSIGN_OR_RETURN(xpath::Query query, xpath::ParseQuery(query_text));
+  return AddQuery(query);
+}
+
+Result<int> FilterEngine::AddQuery(const xpath::Query& query) {
   if (query.HasPredicates()) {
     return Status::NotSupported(
         "filtering supports only structural (predicate-free) paths");
@@ -25,6 +35,8 @@ Status FilterEngine::AddBranch(const std::vector<xpath::LocationStep>& steps,
                                int id) {
   int node = 0;
   for (const xpath::LocationStep& step : steps) {
+    const uint32_t tag_id =
+        step.IsWildcard() ? kNoTag : InternTag(step.node_test);
     Node& current = nodes_[static_cast<size_t>(node)];
     int* slot;
     if (step.axis == xpath::Axis::kChild) {
@@ -32,7 +44,7 @@ Status FilterEngine::AddBranch(const std::vector<xpath::LocationStep>& steps,
         slot = &current.child_wildcard;
       } else {
         slot = &nodes_[static_cast<size_t>(node)]
-                    .child_edges.try_emplace(step.node_test, -1)
+                    .child_edges.try_emplace(tag_id, -1)
                     .first->second;
       }
     } else {
@@ -40,25 +52,24 @@ Status FilterEngine::AddBranch(const std::vector<xpath::LocationStep>& steps,
         slot = &current.desc_wildcard;
       } else {
         slot = &nodes_[static_cast<size_t>(node)]
-                    .desc_edges.try_emplace(step.node_test, -1)
+                    .desc_edges.try_emplace(tag_id, -1)
                     .first->second;
       }
     }
     if (*slot < 0) {
       int fresh = AddNode();  // may reallocate nodes_: re-resolve the slot
-      const std::string& tag = step.node_test;
       Node& owner = nodes_[static_cast<size_t>(node)];
       if (step.axis == xpath::Axis::kChild) {
         if (step.IsWildcard()) {
           owner.child_wildcard = fresh;
         } else {
-          owner.child_edges[tag] = fresh;
+          owner.child_edges[tag_id] = fresh;
         }
       } else {
         if (step.IsWildcard()) {
           owner.desc_wildcard = fresh;
         } else {
-          owner.desc_edges[tag] = fresh;
+          owner.desc_edges[tag_id] = fresh;
         }
       }
       node = fresh;
@@ -70,70 +81,79 @@ Status FilterEngine::AddBranch(const std::vector<xpath::LocationStep>& steps,
   return Status::OK();
 }
 
-// Runs the shared NFA over one document.
-class FilterEngine::Run : public xml::SaxHandler {
- public:
-  Run(const std::vector<Node>& nodes, size_t query_count)
-      : nodes_(nodes), matched_(query_count, false) {
-    frontiers_.push_back({0});
-  }
+void FilterEngine::Matcher::Reset() {
+  matched_.assign(engine_->query_count_, 0);
+  frontiers_.clear();
+  frontiers_.push_back({0});
+  current_accepts_.clear();
+}
 
-  void OnBegin(std::string_view tag,
-               const std::vector<xml::Attribute>& /*attributes*/,
-               int /*depth*/) override {
-    std::vector<int> next;
-    const std::string tag_key(tag);
-    for (int node_id : frontiers_.back()) {
-      const Node& node = nodes_[static_cast<size_t>(node_id)];
-      auto child_it = node.child_edges.find(tag_key);
-      if (child_it != node.child_edges.end()) Activate(child_it->second, &next);
-      if (node.child_wildcard >= 0) Activate(node.child_wildcard, &next);
-      auto desc_it = node.desc_edges.find(tag_key);
+void FilterEngine::Matcher::Activate(int node_id, std::vector<int>* next) {
+  next->push_back(node_id);
+  const Node& node = engine_->nodes_[static_cast<size_t>(node_id)];
+  for (int query_id : node.accepts) {
+    current_accepts_.push_back(query_id);
+    matched_[static_cast<size_t>(query_id)] = 1;
+  }
+}
+
+void FilterEngine::Matcher::OnBegin(
+    std::string_view tag, const std::vector<xml::Attribute>& /*attributes*/,
+    int /*depth*/) {
+  current_accepts_.clear();
+  // One string hash per event: resolve the tag to its dense id, then
+  // probe integer maps per frontier node.
+  tag_scratch_.assign(tag.data(), tag.size());
+  const uint32_t tag_id = engine_->FindTag(tag_scratch_);
+  std::vector<int> next;
+  const std::vector<Node>& nodes = engine_->nodes_;
+  for (int node_id : frontiers_.back()) {
+    const Node& node = nodes[static_cast<size_t>(node_id)];
+    if (tag_id != kNoTag) {
+      auto child_it = node.child_edges.find(tag_id);
+      if (child_it != node.child_edges.end()) {
+        Activate(child_it->second, &next);
+      }
+      auto desc_it = node.desc_edges.find(tag_id);
       if (desc_it != node.desc_edges.end()) Activate(desc_it->second, &next);
-      if (node.desc_wildcard >= 0) Activate(node.desc_wildcard, &next);
-      // A node with pending '//' continuations stays active while the
-      // stream descends below it.
-      if (node.HasDescendantEdges()) Activate(node_id, &next);
     }
-    std::sort(next.begin(), next.end());
-    next.erase(std::unique(next.begin(), next.end()), next.end());
-    frontiers_.push_back(std::move(next));
+    if (node.child_wildcard >= 0) Activate(node.child_wildcard, &next);
+    if (node.desc_wildcard >= 0) Activate(node.desc_wildcard, &next);
+    // A node with pending '//' continuations stays active while the
+    // stream descends below it. This is survival, not a transition:
+    // the opened element does not match the node's prefix, so its
+    // accepts are NOT reported into current_accepts_ (matched_ was
+    // already set when the node was first entered via an edge).
+    if (node.HasDescendantEdges()) next.push_back(node_id);
   }
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+  frontiers_.push_back(std::move(next));
+  std::sort(current_accepts_.begin(), current_accepts_.end());
+  current_accepts_.erase(
+      std::unique(current_accepts_.begin(), current_accepts_.end()),
+      current_accepts_.end());
+}
 
-  void OnEnd(std::string_view /*tag*/, int /*depth*/) override {
-    frontiers_.pop_back();
+void FilterEngine::Matcher::OnEnd(std::string_view /*tag*/, int /*depth*/) {
+  current_accepts_.clear();
+  if (frontiers_.size() > 1) frontiers_.pop_back();
+}
+
+std::vector<int> FilterEngine::Matcher::MatchedIds() const {
+  std::vector<int> ids;
+  for (size_t i = 0; i < matched_.size(); ++i) {
+    if (matched_[i]) ids.push_back(static_cast<int>(i));
   }
-
-  void OnText(std::string_view /*tag*/, std::string_view /*text*/,
-              int /*depth*/) override {}
-
-  std::vector<int> MatchedIds() const {
-    std::vector<int> ids;
-    for (size_t i = 0; i < matched_.size(); ++i) {
-      if (matched_[i]) ids.push_back(static_cast<int>(i));
-    }
-    return ids;
-  }
-
- private:
-  void Activate(int node_id, std::vector<int>* next) {
-    next->push_back(node_id);
-    for (int query_id : nodes_[static_cast<size_t>(node_id)].accepts) {
-      matched_[static_cast<size_t>(query_id)] = true;
-    }
-  }
-
-  const std::vector<Node>& nodes_;
-  std::vector<bool> matched_;
-  std::vector<std::vector<int>> frontiers_;
-};
+  return ids;
+}
 
 Result<std::vector<int>> FilterEngine::FilterDocument(
     std::string_view xml_text) {
-  Run run(nodes_, query_count_);
-  xml::SaxParser parser(&run);
+  Matcher matcher(this);
+  xml::SaxParser parser(&matcher);
   XSQ_RETURN_IF_ERROR(parser.Parse(xml_text));
-  return run.MatchedIds();
+  return matcher.MatchedIds();
 }
 
 }  // namespace xsq::filter

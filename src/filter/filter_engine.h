@@ -12,7 +12,23 @@
 // whose common prefixes are shared: each node is a location-path prefix,
 // edges are (axis, tag) pairs, and a node remains active across
 // arbitrary descents when some registered query continues from it with a
-// closure axis.
+// closure axis. Tag names are interned to dense uint32 ids at AddQuery
+// time, so the per-event hot loop hashes the incoming tag once and then
+// probes integer-keyed edge maps, never re-hashing std::string tags per
+// frontier node. Registering an identical path twice reuses the existing
+// node chain end to end: node_count() grows by zero (the query still
+// gets its own id — filters report per-query matches).
+//
+// Two ways to run a document through the NFA:
+//   FilterDocument(xml_text)  - parse and match in one call (whole-string
+//                               convenience; what the original API offered)
+//   Matcher                   - an incremental xml::SaxHandler over the
+//                               shared structure, suitable for tees: feed
+//                               it events from any source (live parse,
+//                               tape replay) and read per-begin-event
+//                               accepts as they happen. This is what the
+//                               pub/sub layer drives so each published
+//                               document is parsed exactly once.
 #ifndef XSQ_FILTER_FILTER_ENGINE_H_
 #define XSQ_FILTER_FILTER_ENGINE_H_
 
@@ -37,6 +53,14 @@ class FilterEngine {
   // Output expressions are ignored: filters report document ids only.
   Result<int> AddQuery(std::string_view query_text);
 
+  // Registers an already-parsed query (same contract: predicates are
+  // rejected). The pub/sub layer uses this to register the structural
+  // skeleton — predicates stripped — of predicate-bearing subscriptions,
+  // which is a sound over-approximation: predicates only restrict, so a
+  // document the skeleton does not match cannot be matched by the full
+  // query either.
+  Result<int> AddQuery(const xpath::Query& query);
+
   // Streams one document and reports the ids of all queries it matches,
   // in ascending order.
   Result<std::vector<int>> FilterDocument(std::string_view xml_text);
@@ -45,10 +69,68 @@ class FilterEngine {
   // Number of shared NFA nodes - the YFilter sharing effect.
   size_t node_count() const { return nodes_.size(); }
 
+  // Incremental runner over the shared NFA. Not thread-safe; the engine
+  // must not have AddQuery called while a Matcher is mid-document, and
+  // must outlive the Matcher. Reset() (or OnDocumentBegin) rebinds to
+  // the engine's current query set, so one Matcher can be reused across
+  // documents even as subscriptions are added between them.
+  class Matcher : public xml::SaxHandler {
+   public:
+    explicit Matcher(const FilterEngine* engine) : engine_(engine) {
+      Reset();
+    }
+
+    // Rewinds to the document start state and resizes the matched set to
+    // the engine's current query count.
+    void Reset();
+
+    void OnDocumentBegin() override { Reset(); }
+    void OnBegin(std::string_view tag,
+                 const std::vector<xml::Attribute>& attributes,
+                 int depth) override;
+    void OnEnd(std::string_view tag, int depth) override;
+    void OnText(std::string_view /*tag*/, std::string_view /*text*/,
+                int /*depth*/) override {}
+
+    // Query ids accepted at the most recent begin event — i.e. queries
+    // for which the just-opened element is a match — sorted ascending
+    // and deduplicated (a query reachable through several NFA paths
+    // reports once). Valid until the next event.
+    const std::vector<int>& current_accepts() const {
+      return current_accepts_;
+    }
+
+    // True if query `id` matched anywhere in the document so far.
+    bool Matched(int id) const {
+      return id >= 0 && static_cast<size_t>(id) < matched_.size() &&
+             matched_[static_cast<size_t>(id)] != 0;
+    }
+
+    // All query ids matched so far, ascending.
+    std::vector<int> MatchedIds() const;
+
+   private:
+    void Activate(int node_id, std::vector<int>* next);
+
+    const FilterEngine* engine_;
+    std::vector<uint8_t> matched_;
+    std::vector<std::vector<int>> frontiers_;
+    std::vector<int> current_accepts_;
+    // Per-event scratch: the incoming tag is interned-looked-up once
+    // into this buffer (one string hash per event, not one per frontier
+    // node).
+    std::string tag_scratch_;
+  };
+
  private:
+  friend class Matcher;
+
+  // Sentinel for "tag never registered": no tag edge can match.
+  static constexpr uint32_t kNoTag = 0xffffffffu;
+
   struct Node {
-    std::unordered_map<std::string, int> child_edges;  // '/' axis
-    std::unordered_map<std::string, int> desc_edges;   // '//' axis
+    std::unordered_map<uint32_t, int> child_edges;  // '/' axis
+    std::unordered_map<uint32_t, int> desc_edges;   // '//' axis
     int child_wildcard = -1;  // '/*'
     int desc_wildcard = -1;   // '//*'
     std::vector<int> accepts;  // query ids accepted at this prefix
@@ -58,15 +140,22 @@ class FilterEngine {
     }
   };
 
-  class Run;  // per-document SAX handler
-
   Status AddBranch(const std::vector<xpath::LocationStep>& steps, int id);
+
+  // Interns `tag`, assigning the next dense id on first sight.
+  uint32_t InternTag(const std::string& tag);
+  // Lookup without interning; kNoTag when never registered.
+  uint32_t FindTag(const std::string& tag) const {
+    auto it = tag_ids_.find(tag);
+    return it == tag_ids_.end() ? kNoTag : it->second;
+  }
 
   int AddNode() {
     nodes_.emplace_back();
     return static_cast<int>(nodes_.size()) - 1;
   }
 
+  std::unordered_map<std::string, uint32_t> tag_ids_;
   std::vector<Node> nodes_ = std::vector<Node>(1);  // node 0 = root prefix
   size_t query_count_ = 0;
 };

@@ -3,6 +3,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/strings.h"
+
 namespace xsq::net {
 
 namespace {
@@ -36,36 +38,11 @@ std::string_view TakeWord(std::string_view* rest) {
 }  // namespace
 
 std::string LineProtocol::Unescape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '\\' && i + 1 < text.size()) {
-      ++i;
-      switch (text[i]) {
-        case 'n': out.push_back('\n'); break;
-        case 't': out.push_back('\t'); break;
-        case '\\': out.push_back('\\'); break;
-        default: out.push_back(text[i]); break;
-      }
-    } else {
-      out.push_back(text[i]);
-    }
-  }
-  return out;
+  return LineUnescape(text);
 }
 
 std::string LineProtocol::Escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\\': out += "\\\\"; break;
-      default: out.push_back(c); break;
-    }
-  }
-  return out;
+  return LineEscape(text);
 }
 
 std::string LineProtocol::OversizedLineReply(size_t max_line_bytes) {
@@ -101,12 +78,36 @@ size_t LineProtocol::CancelAll() {
   return cancelled;
 }
 
-void LineProtocol::ReleaseAll() {
+void LineProtocol::SetEventSink(service::QueryService::EventSink sink) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (SessionId id : owned_) {
-    service_->Release(id);
+  event_sink_ = std::move(sink);
+}
+
+Result<uint64_t> LineProtocol::EnsureSubscriberLocked() {
+  if (subscriber_id_ != 0) return subscriber_id_;
+  if (!event_sink_) {
+    return Status::NotSupported(
+        "this transport cannot deliver EVENT frames");
   }
-  owned_.clear();
+  XSQ_ASSIGN_OR_RETURN(uint64_t id, service_->AddSubscriber(event_sink_));
+  subscriber_id_ = id;
+  return id;
+}
+
+void LineProtocol::ReleaseAll() {
+  uint64_t subscriber = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (SessionId id : owned_) {
+      service_->Release(id);
+    }
+    owned_.clear();
+    subscriber = subscriber_id_;
+    subscriber_id_ = 0;
+  }
+  // Outside mu_: RemoveSubscriber blocks until no dispatcher is
+  // mid-delivery to this connection's sink.
+  if (subscriber != 0) service_->RemoveSubscriber(subscriber);
 }
 
 size_t LineProtocol::owned_sessions() const {
@@ -216,6 +217,58 @@ bool LineProtocol::HandleLine(std::string_view input, std::string* out) {
       Reply(out, "ERR InvalidArgument: missing document name");
     } else {
       ReplyStatus(out, service_->EvictDocument(name));
+    }
+  } else if (command == "SUBSCRIBE") {
+    if (rest.empty()) {
+      Reply(out, "ERR InvalidArgument: missing query text");
+    } else {
+      Result<uint64_t> sub = [&]() -> Result<uint64_t> {
+        uint64_t subscriber = 0;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          XSQ_ASSIGN_OR_RETURN(subscriber, EnsureSubscriberLocked());
+        }
+        return service_->Subscribe(subscriber, rest);
+      }();
+      if (sub.ok()) {
+        Reply(out, "OK " + std::to_string(*sub));
+      } else {
+        Reply(out, "ERR " + sub.status().ToString());
+      }
+    }
+  } else if (command == "UNSUBSCRIBE") {
+    std::optional<SessionId> id = ParseId(&rest);
+    if (!id.has_value()) {
+      Reply(out, "ERR InvalidArgument: bad subscription id");
+    } else {
+      uint64_t subscriber = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        subscriber = subscriber_id_;
+      }
+      if (subscriber == 0) {
+        Reply(out, "ERR InvalidArgument: unknown subscription id " +
+                       std::to_string(*id));
+      } else {
+        ReplyStatus(out, service_->Unsubscribe(subscriber, *id));
+      }
+    }
+  } else if (command == "PUBLISH") {
+    if (rest.empty()) {
+      Reply(out, "ERR InvalidArgument: missing document");
+    } else {
+      auto summary = service_->Publish(Unescape(rest));
+      if (summary.ok()) {
+        Reply(out, "OK matched=" + std::to_string(summary->deliveries) +
+                       " survivors=" +
+                       std::to_string(summary->filter_survivors) +
+                       " hpdt=" + std::to_string(summary->hpdt_evaluations) +
+                       " enqueued=" +
+                       std::to_string(summary->frames_enqueued) +
+                       " shed=" + std::to_string(summary->frames_shed));
+      } else {
+        Reply(out, "ERR " + summary.status().ToString());
+      }
     }
   } else if (command == "STATS") {
     service::StatsSnapshot snap = service_->stats();

@@ -11,7 +11,15 @@
 //
 // Verbs (see examples/xsqd.cpp for the full transcript grammar):
 //   OPEN PUSH DRAIN CLOSE RECORD RUNCACHED EVICT CANCEL STATS METRICS
-//   QUIT
+//   SUBSCRIBE UNSUBSCRIBE PUBLISH QUIT
+//
+// Pub/sub: SUBSCRIBE registers a standing query and replies
+// "OK <sub-id>"; PUBLISH matches a document against every standing
+// query in the service and replies with a one-line summary. Matches
+// arrive asynchronously as "EVENT <sub-id> ..." frames pushed through
+// the transport's event sink (SetEventSink) — interleaved between
+// reply blocks, never inside one. Transports that cannot push frames
+// (no sink installed) reject SUBSCRIBE.
 //
 // Beyond dispatch, a LineProtocol instance tracks which sessions *it*
 // opened. That ownership is what makes disconnect-driven cancellation
@@ -54,6 +62,14 @@ class LineProtocol {
   // end the conversation (QUIT) — the "OK" reply is still appended.
   bool HandleLine(std::string_view line, std::string* out);
 
+  // Installs the transport's asynchronous event path: dispatcher
+  // threads call `sink` with one "EVENT ..." frame (no newline) per
+  // delivery. Must be installed before the first SUBSCRIBE; the sink
+  // must be callable from any thread and must not call back into this
+  // protocol or its server. The connection is registered with the
+  // service lazily, on the first SUBSCRIBE.
+  void SetEventSink(service::QueryService::EventSink sink);
+
   // Cancels every session this instance opened: in-flight evaluations
   // abort with kCancelled within one sampling interval; idle sessions
   // are left tripped. Returns how many sessions were cancelled. Safe
@@ -61,8 +77,10 @@ class LineProtocol {
   size_t CancelAll();
 
   // Releases every session this instance opened, freeing their
-  // admission slots. In-flight work finishes first (the service keeps
-  // the session alive); no new work is accepted. Idempotent.
+  // admission slots, and deregisters this connection's subscriber (all
+  // its standing queries drop; the event sink is never invoked again
+  // after this returns). In-flight work finishes first (the service
+  // keeps the session alive); no new work is accepted. Idempotent.
   void ReleaseAll();
 
   // Sessions currently owned (opened and not yet closed/released).
@@ -73,7 +91,8 @@ class LineProtocol {
   // keeps serving. Shared so stdin and TCP emit identical text.
   static std::string OversizedLineReply(size_t max_line_bytes);
 
-  // Payload escaping, exposed for clients and tests.
+  // Payload escaping, exposed for clients and tests. Thin wrappers over
+  // common LineEscape/LineUnescape (shared with the EVENT frame path).
   static std::string Escape(std::string_view text);
   static std::string Unescape(std::string_view text);
 
@@ -81,11 +100,15 @@ class LineProtocol {
   void Reply(std::string* out, std::string_view line) const;
   void ReplyStatus(std::string* out, const Status& status) const;
   void PrintItems(std::string* out, service::SessionId id) const;
+  // Registers this connection's subscriber on first use. Requires mu_.
+  Result<uint64_t> EnsureSubscriberLocked();
 
   service::QueryService* const service_;
 
   mutable std::mutex mu_;
   std::unordered_set<service::SessionId> owned_;
+  service::QueryService::EventSink event_sink_;  // empty until installed
+  uint64_t subscriber_id_ = 0;  // 0 = not registered yet
 };
 
 }  // namespace xsq::net

@@ -186,10 +186,18 @@ void Server::TeardownLocked(const std::shared_ptr<Connection>& conn,
   if (conn->dead) return;
   conn->dead = true;
   conn->pending_lines.clear();
+  if (conn->events != nullptr) {
+    std::lock_guard<std::mutex> events_lock(conn->events->mu);
+    conn->events->closed = true;
+    conn->events->pending.clear();
+  }
   size_t cancelled = conn->protocol->CancelAll();
   if (abrupt && cancelled > 0) {
     service_->stats_sink()->RecordDisconnectCancels(cancelled);
   }
+  // ReleaseAll deregisters the connection's subscriber, blocking until
+  // no dispatcher is mid-delivery. Safe under mu_: the event sink only
+  // ever takes the EventBuffer mutex, never ours.
   conn->protocol->ReleaseAll();
   if (conn->fd >= 0) {
     ::close(conn->fd);
@@ -222,9 +230,38 @@ void Server::AcceptPendingLocked() {
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     conn->protocol = std::make_unique<LineProtocol>(service_);
+    conn->events = std::make_shared<EventBuffer>();
+    // The sink runs on service dispatcher threads: append to the
+    // side-channel under its own mutex, then nudge the poll thread so
+    // the frame ships on the next tick. It must not touch server mu_.
+    conn->protocol->SetEventSink(
+        [this, events = conn->events](std::string_view frame) {
+          {
+            std::lock_guard<std::mutex> events_lock(events->mu);
+            if (events->closed) return;
+            std::string line(frame);
+            line.push_back('\n');
+            events->pending.push_back(std::move(line));
+          }
+          WakePoll();
+        });
     conn->last_activity = std::chrono::steady_clock::now();
     conns_.emplace(fd, std::move(conn));
     service_->stats_sink()->RecordConnectionAccepted();
+  }
+}
+
+void Server::DrainEventsLocked(const std::shared_ptr<Connection>& conn) {
+  if (conn->dead || conn->events == nullptr) return;
+  std::vector<std::string> frames;
+  {
+    std::lock_guard<std::mutex> events_lock(conn->events->mu);
+    if (conn->events->pending.empty()) return;
+    frames.swap(conn->events->pending);
+  }
+  for (const std::string& frame : frames) {
+    QueueOutputLocked(conn, frame);
+    if (conn->dead || conn->closing) break;  // overflow shed the rest
   }
 }
 
@@ -264,6 +301,20 @@ void Server::HandleHttpLocked(const std::shared_ptr<Connection>& conn) {
   std::string response;
   if (path == "/metrics") {
     response = HttpResponse(200, "OK", service_->MetricsText());
+  } else if (path == "/healthz") {
+    // Health tracks what a new client would experience right now:
+    // draining means the listener is gone, shedding means accept would
+    // turn the connection away (connection slots or session slots
+    // exhausted — the same condition AcceptPendingLocked enforces).
+    if (draining_) {
+      response = HttpResponse(503, "Service Unavailable", "draining\n");
+    } else if (conns_.size() >= config_.max_connections ||
+               service_->active_sessions() >=
+                   service_->config().max_sessions) {
+      response = HttpResponse(503, "Service Unavailable", "shedding\n");
+    } else {
+      response = HttpResponse(200, "OK", "ok\n");
+    }
   } else {
     response = HttpResponse(404, "Not Found", "not found\n");
   }
@@ -458,6 +509,8 @@ void Server::PollLoop() {
         if (conn->dead) continue;
         if (revents & (POLLIN | POLLHUP | POLLERR)) ReadFromLocked(conn);
       }
+      // Ship asynchronous EVENT frames queued by dispatcher sinks.
+      for (auto& [fd, conn] : conns_) DrainEventsLocked(conn);
       // Reap conversations that are over: everything executed, every
       // reply delivered, close requested.
       std::vector<std::shared_ptr<Connection>> done;

@@ -47,8 +47,18 @@
 //
 // HTTP: a connection whose first bytes are "GET " is served as a
 // one-shot HTTP/1.0 exchange; GET /metrics returns exactly
-// QueryService::MetricsText() (the Prometheus text exposition), any
+// QueryService::MetricsText() (the Prometheus text exposition),
+// GET /healthz reports serving health — 200 "ok" normally, 503
+// "draining" once BeginDrain ran, 503 "shedding" while a new
+// connection would be shed (connection or session capacity) — and any
 // other path returns 404. The response ends the connection.
+//
+// Pub/sub transport: SUBSCRIBE/UNSUBSCRIBE/PUBLISH flow through
+// LineProtocol like any verb; asynchronous "EVENT ..." frames from the
+// service's dispatcher threads land in a per-connection EventBuffer
+// side-channel (never touching server state) and the poll thread folds
+// them into the ordinary output buffer each tick, so event frames
+// interleave between reply blocks but never inside one.
 //
 // Reply-delivery contract: responses for commands already parsed are
 // dropped when the peer disconnects — a client must keep its socket
@@ -141,9 +151,23 @@ class Server {
   size_t connection_count() const;
 
  private:
+  // The async EVENT path between the service's dispatcher threads and
+  // the poll thread. A dispatcher delivering a frame must never need
+  // the server's mu_ (teardown holds mu_ while blocking on the
+  // dispatcher unclaiming the subscriber — touching mu_ from the sink
+  // would deadlock), so the sink appends into this side-channel under
+  // its own tiny mutex and the poll thread folds pending frames into
+  // the connection's output buffer on its next tick.
+  struct EventBuffer {
+    std::mutex mu;
+    std::vector<std::string> pending;  // newline-terminated frames
+    bool closed = false;               // connection torn down: drop frames
+  };
+
   struct Connection {
     int fd = -1;
     std::unique_ptr<LineProtocol> protocol;
+    std::shared_ptr<EventBuffer> events;
     // Bytes read but not yet split into lines. Poll thread only.
     std::string in_buffer;
     // True once in_buffer overran max_line_bytes; remaining input is
@@ -179,6 +203,8 @@ class Server {
   void ReadFromLocked(const std::shared_ptr<Connection>& conn);
   void WriteToLocked(const std::shared_ptr<Connection>& conn);
   void SplitLinesLocked(const std::shared_ptr<Connection>& conn);
+  // Folds frames queued by dispatcher sinks into the output buffer.
+  void DrainEventsLocked(const std::shared_ptr<Connection>& conn);
   void HandleHttpLocked(const std::shared_ptr<Connection>& conn);
   void SweepTimeoutsLocked(std::chrono::steady_clock::time_point now);
   // Cancels (counting disconnect_cancels when `abrupt`), releases,

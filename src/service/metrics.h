@@ -15,6 +15,10 @@
 //   xsq_phase_automaton_us   per-document engine transition time
 //   xsq_phase_buffer_us      per-document buffering/predicate time
 //   xsq_tape_replay_us       Session::RunTape replay duration
+//   xsq_publish_latency_us   Publish entry to all fan-out frames queued
+//                            (one parse + filter + survivor evaluation)
+//   xsq_fanout_batch         EVENT frames per dispatcher sink batch
+//                            (dimensionless; how bursty fan-out runs)
 //
 // The phase histograms record one sample per served document (the
 // accumulated per-chunk split core::PhaseListener reports), mirroring
@@ -56,7 +60,13 @@ struct ServiceMetrics {
             "Per-document buffer/predicate phase time, microseconds")),
         tape_replay_us(registry->GetOrCreateHistogram(
             "xsq_tape_replay_us",
-            "Cached-document tape replay duration, microseconds")) {}
+            "Cached-document tape replay duration, microseconds")),
+        publish_latency_us(registry->GetOrCreateHistogram(
+            "xsq_publish_latency_us",
+            "Publish parse+filter+evaluate+enqueue latency, microseconds")),
+        fanout_batch(registry->GetOrCreateHistogram(
+            "xsq_fanout_batch",
+            "EVENT frames delivered per dispatcher batch")) {}
 
   // Engine-kind breakdown: record the total and the matching labeled
   // series together.
@@ -81,6 +91,8 @@ struct ServiceMetrics {
   obs::Histogram* const phase_automaton_us;
   obs::Histogram* const phase_buffer_us;
   obs::Histogram* const tape_replay_us;
+  obs::Histogram* const publish_latency_us;
+  obs::Histogram* const fanout_batch;
 };
 
 }  // namespace xsq::service

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/failpoints.h"
+#include "common/strings.h"
 #include "obs/timer.h"
 #include "tape/projection.h"
 #include "tape/recorder.h"
@@ -27,6 +28,12 @@ QueryService::QueryService(ServiceConfig config)
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  pubsub_.set_parser_limits(config_.parser_limits);
+  int dispatchers = config_.num_dispatchers < 1 ? 1 : config_.num_dispatchers;
+  dispatchers_.reserve(static_cast<size_t>(dispatchers));
+  for (int i = 0; i < dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { DispatcherLoop(); });
   }
 }
 
@@ -354,6 +361,212 @@ Status QueryService::Release(SessionId id) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------
+// Standing-query pub/sub.
+
+Result<uint64_t> QueryService::AddSubscriber(EventSink sink) {
+  if (!sink) return Status::InvalidArgument("empty event sink");
+  std::lock_guard<std::mutex> lock(pub_mu_);
+  if (pub_stopping_) return Status::InvalidArgument("service is shut down");
+  uint64_t id = next_subscriber_id_++;
+  auto sub = std::make_shared<Subscriber>();
+  sub->id = id;
+  sub->sink = std::move(sink);
+  subscribers_.emplace(id, std::move(sub));
+  return id;
+}
+
+Status QueryService::RemoveSubscriber(uint64_t subscriber_id) {
+  std::unique_lock<std::mutex> lock(pub_mu_);
+  auto it = subscribers_.find(subscriber_id);
+  if (it == subscribers_.end()) {
+    return Status::InvalidArgument("unknown subscriber id " +
+                                   std::to_string(subscriber_id));
+  }
+  std::shared_ptr<Subscriber> sub = it->second;
+  sub->removed = true;
+  for (uint64_t sid : sub->subscriptions) {
+    (void)pubsub_.Unsubscribe(sid);  // only fails on unknown ids
+    subscription_owner_.erase(sid);
+  }
+  stats_.AdjustSubscriptionsActive(
+      -static_cast<int64_t>(sub->subscriptions.size()));
+  sub->subscriptions.clear();
+  sub->frames.clear();
+  subscribers_.erase(it);
+  // A dispatcher may be mid-delivery outside the lock; wait it out so
+  // the sink is provably never invoked after we return.
+  unclaim_cv_.wait(lock, [&] { return !sub->claimed; });
+  return Status::OK();
+}
+
+Result<uint64_t> QueryService::Subscribe(uint64_t subscriber_id,
+                                         std::string_view query_text) {
+  std::lock_guard<std::mutex> lock(pub_mu_);
+  if (pub_stopping_) return Status::InvalidArgument("service is shut down");
+  auto it = subscribers_.find(subscriber_id);
+  if (it == subscribers_.end()) {
+    return Status::InvalidArgument("unknown subscriber id " +
+                                   std::to_string(subscriber_id));
+  }
+  if (pubsub_.subscription_count() >= config_.max_subscriptions) {
+    return Status::ResourceExhausted(
+        "subscription limit reached (" +
+        std::to_string(config_.max_subscriptions) + ")");
+  }
+  XSQ_ASSIGN_OR_RETURN(uint64_t sid, pubsub_.Subscribe(query_text));
+  it->second->subscriptions.insert(sid);
+  subscription_owner_.emplace(sid, subscriber_id);
+  stats_.AdjustSubscriptionsActive(1);
+  return sid;
+}
+
+Status QueryService::Unsubscribe(uint64_t subscriber_id,
+                                 uint64_t subscription_id) {
+  std::lock_guard<std::mutex> lock(pub_mu_);
+  auto owner = subscription_owner_.find(subscription_id);
+  if (owner == subscription_owner_.end() ||
+      owner->second != subscriber_id) {
+    return Status::InvalidArgument(
+        "unknown subscription id " + std::to_string(subscription_id) +
+        " for subscriber " + std::to_string(subscriber_id));
+  }
+  XSQ_RETURN_IF_ERROR(pubsub_.Unsubscribe(subscription_id));
+  subscription_owner_.erase(owner);
+  auto it = subscribers_.find(subscriber_id);
+  if (it != subscribers_.end()) {
+    it->second->subscriptions.erase(subscription_id);
+  }
+  stats_.AdjustSubscriptionsActive(-1);
+  return Status::OK();
+}
+
+Result<QueryService::PublishSummary> QueryService::Publish(
+    std::string_view document) {
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(pub_mu_);
+  if (pub_stopping_) return Status::InvalidArgument("service is shut down");
+  XSQ_ASSIGN_OR_RETURN(pubsub::PublishOutcome outcome,
+                       pubsub_.Publish(document));
+  stats_.RecordPublish();
+
+  PublishSummary summary;
+  summary.subscriptions = outcome.subscriptions;
+  summary.deliveries = outcome.deliveries.size();
+  summary.filter_survivors = outcome.filter_survivors;
+  summary.hpdt_evaluations = outcome.hpdt_evaluations;
+
+  // Format EVENT frames and enqueue them on the owning subscribers'
+  // bounded queues. Overflow sheds the frame (never blocks a publish on
+  // a slow subscriber) and queues one ERR notice per shed episode — the
+  // notice rides above the bound so the subscriber always learns it
+  // lost data.
+  for (const pubsub::Delivery& delivery : outcome.deliveries) {
+    auto owner = subscription_owner_.find(delivery.subscription_id);
+    if (owner == subscription_owner_.end()) continue;
+    auto sit = subscribers_.find(owner->second);
+    if (sit == subscribers_.end()) continue;
+    Subscriber& sub = *sit->second;
+    uint64_t dropped_now = 0;
+    auto offer = [&](std::string frame) {
+      if (sub.frames.size() >= config_.max_subscriber_queue_frames) {
+        ++dropped_now;
+        return;
+      }
+      sub.frames.push_back(std::move(frame));
+      ++summary.frames_enqueued;
+    };
+    std::string prefix =
+        "EVENT " + std::to_string(delivery.subscription_id) + ' ';
+    if (delivery.is_aggregate) {
+      if (delivery.aggregate.has_value()) {
+        offer(prefix + "AGG " + std::to_string(*delivery.aggregate));
+      }
+    } else {
+      for (const std::string& item : delivery.items) {
+        offer(prefix + "ITEM " + LineEscape(item));
+      }
+    }
+    if (dropped_now > 0) {
+      summary.frames_shed += dropped_now;
+      stats_.RecordFanoutShed(dropped_now);
+      if (!sub.shed_episode) {
+        sub.shed_episode = true;
+        sub.frames.push_back(
+            "EVENT 0 ERR ResourceExhausted: slow subscriber; dropped " +
+            std::to_string(dropped_now) + " event frames");
+        ++summary.frames_enqueued;
+      }
+    }
+    if (!sub.frames.empty()) ScheduleSubscriberLocked(sit->second);
+  }
+
+  metrics_.publish_latency_us->Record(
+      ElapsedMicros(started, std::chrono::steady_clock::now()));
+  return summary;
+}
+
+size_t QueryService::subscription_count() const {
+  std::lock_guard<std::mutex> lock(pub_mu_);
+  return pubsub_.subscription_count();
+}
+
+void QueryService::ScheduleSubscriberLocked(
+    const std::shared_ptr<Subscriber>& sub) {
+  // A claimed subscriber re-checks its queue when the dispatcher
+  // unclaims it, so it must not be queued twice.
+  if (sub->queued || sub->claimed || sub->removed) return;
+  sub->queued = true;
+  dispatch_queue_.push_back(sub);
+  dispatch_cv_.notify_one();
+}
+
+void QueryService::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(pub_mu_);
+  for (;;) {
+    dispatch_cv_.wait(lock,
+                      [this] { return pub_stopping_ || !dispatch_queue_.empty(); });
+    if (dispatch_queue_.empty()) {
+      if (pub_stopping_) return;  // fully drained
+      continue;
+    }
+    std::shared_ptr<Subscriber> sub = std::move(dispatch_queue_.front());
+    dispatch_queue_.pop_front();
+    sub->queued = false;
+    if (sub->removed || sub->frames.empty()) continue;
+    sub->claimed = true;
+    std::deque<std::string> batch = std::move(sub->frames);
+    sub->frames.clear();
+    lock.unlock();
+
+    metrics_.fanout_batch->Record(batch.size());
+    uint64_t delivered = 0;
+    uint64_t injected_drops = 0;
+    for (const std::string& frame : batch) {
+      bool dropped = false;
+      XSQ_FAILPOINT("pubsub.fanout.fail", dropped = true);
+      if (dropped) {
+        ++injected_drops;
+        continue;
+      }
+      sub->sink(frame);
+      ++delivered;
+    }
+    if (delivered > 0) stats_.RecordEventsDelivered(delivered);
+    if (injected_drops > 0) stats_.RecordFanoutShed(injected_drops);
+
+    lock.lock();
+    sub->claimed = false;
+    if (sub->frames.empty()) {
+      sub->shed_episode = false;  // drained: next overflow is a new episode
+    } else {
+      ScheduleSubscriberLocked(sub);  // frames arrived while delivering
+    }
+    unclaim_cv_.notify_all();
+  }
+}
+
 void QueryService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -375,6 +588,18 @@ void QueryService::Shutdown() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+
+  // Pub/sub teardown: stop publishes, let the dispatchers drain every
+  // queued EVENT frame, join them.
+  {
+    std::lock_guard<std::mutex> lock(pub_mu_);
+    pub_stopping_ = true;
+  }
+  dispatch_cv_.notify_all();
+  for (std::thread& dispatcher : dispatchers_) {
+    if (dispatcher.joinable()) dispatcher.join();
+  }
+  dispatchers_.clear();
 }
 
 StatsSnapshot QueryService::stats() const {
@@ -443,6 +668,10 @@ std::string QueryService::MetricsText() const {
   counter("xsq_disconnect_cancels", snap.disconnect_cancels);
   counter("xsq_net_idle_closed", snap.net_idle_closed);
   counter("xsq_net_overrun_closed", snap.net_overrun_closed);
+  gauge("xsq_subscriptions_active", snap.subscriptions_active);
+  counter("xsq_publishes", snap.publishes);
+  counter("xsq_events_delivered", snap.events_delivered);
+  counter("xsq_fanout_shed", snap.fanout_shed);
   exemplars_.RenderComments(&out);
   return out;
 }

@@ -40,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -47,10 +48,12 @@
 #include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
 #include "obs/registry.h"
+#include "pubsub/subscription_registry.h"
 #include "service/document_cache.h"
 #include "service/exemplars.h"
 #include "service/metrics.h"
@@ -109,6 +112,18 @@ struct ServiceConfig {
   // armed). The default keeps the poll under the 2% ext_resilience
   // throughput bound on a 1-CPU box.
   uint32_t cancel_check_events = core::CancelToken::kCheckIntervalEvents;
+  // --- standing-query pub/sub ---
+  // Admission control: live standing subscriptions across all
+  // subscribers.
+  size_t max_subscriptions = 4096;
+  // Bound on EVENT frames queued per subscriber awaiting fan-out. A
+  // subscriber whose sink cannot keep up sheds frames past this bound
+  // (with one ERR notice per shed episode); Publish never blocks on a
+  // slow subscriber.
+  size_t max_subscriber_queue_frames = 1024;
+  // Threads fanning queued EVENT frames out to subscriber sinks.
+  // At least 1.
+  int num_dispatchers = 2;
 };
 
 class QueryService {
@@ -188,6 +203,60 @@ class QueryService {
   // first (the worker keeps it alive), but no new work is accepted.
   Status Release(SessionId id);
 
+  // --- standing-query pub/sub (src/pubsub/) ---
+  //
+  // Register subscribers (delivery endpoints), attach standing XPath
+  // subscriptions to them, and Publish documents: each document is
+  // parsed once against the shared filter NFA, surviving
+  // predicate-bearing subscriptions get one tape replay, and results
+  // fan out asynchronously as EVENT frames through per-subscriber
+  // bounded queues drained by a dispatcher pool.
+
+  // A subscriber's delivery callback. Dispatcher threads invoke it with
+  // one fully formatted frame per call, no trailing newline:
+  //   EVENT <sub-id> ITEM <line-escaped item bytes>
+  //   EVENT <sub-id> AGG <value>
+  //   EVENT 0 ERR ResourceExhausted: <shed notice>
+  // It must be fast (a slow sink backs up only its own queue, which
+  // then sheds) and must never call back into this QueryService.
+  using EventSink = std::function<void(std::string_view frame)>;
+
+  struct PublishSummary {
+    size_t subscriptions = 0;     // standing queries matched against
+    size_t deliveries = 0;        // subscriptions that produced output
+    size_t filter_survivors = 0;  // predicate subs passing the shared NFA
+    size_t hpdt_evaluations = 0;  // engines actually run (== survivors)
+    uint64_t frames_enqueued = 0;  // EVENT frames queued for fan-out
+    uint64_t frames_shed = 0;      // frames dropped on slow subscribers
+  };
+
+  // Registers a delivery endpoint. InvalidArgument on an empty sink.
+  Result<uint64_t> AddSubscriber(EventSink sink);
+
+  // Drops the subscriber and every subscription it owns. Blocks until
+  // no dispatcher is mid-delivery to it, so the sink is never invoked
+  // after this returns (safe to destroy the connection behind it).
+  Status RemoveSubscriber(uint64_t subscriber_id);
+
+  // Compiles `query_text` as a standing query owned by `subscriber_id`.
+  // Returns the subscription id (distinct from session ids; 1-based).
+  // ResourceExhausted at max_subscriptions.
+  Result<uint64_t> Subscribe(uint64_t subscriber_id,
+                             std::string_view query_text);
+
+  // Removes one standing query. InvalidArgument when the subscription
+  // does not exist or is owned by a different subscriber.
+  Status Unsubscribe(uint64_t subscriber_id, uint64_t subscription_id);
+
+  // Matches `document` against every standing query — one parse, at
+  // most one tape replay — and enqueues EVENT frames on the owning
+  // subscribers' fan-out queues. Never blocks on slow subscribers
+  // (their frames shed). Fails only on document-level errors.
+  Result<PublishSummary> Publish(std::string_view document);
+
+  // Live standing subscriptions across all subscribers.
+  size_t subscription_count() const;
+
   // Stops admission, drains all queued work, joins the workers.
   // Idempotent.
   void Shutdown();
@@ -247,7 +316,25 @@ class QueryService {
     bool doc_started = false;
   };
 
+  // One delivery endpoint plus its fan-out state. Guarded by pub_mu_
+  // except `sink`, which is only invoked by the dispatcher that has the
+  // subscriber claimed (claimed == true), outside the lock.
+  struct Subscriber {
+    uint64_t id = 0;
+    EventSink sink;
+    std::deque<std::string> frames;  // formatted, awaiting fan-out
+    std::unordered_set<uint64_t> subscriptions;
+    bool claimed = false;  // a dispatcher is delivering right now
+    bool queued = false;   // on dispatch_queue_
+    // One ERR notice per shed episode; cleared when the queue drains.
+    bool shed_episode = false;
+    bool removed = false;
+  };
+
   void WorkerLoop();
+  void DispatcherLoop();
+  // Requires pub_mu_: queues `sub` for a dispatcher if it needs one.
+  void ScheduleSubscriberLocked(const std::shared_ptr<Subscriber>& sub);
   // Requires mu_: puts `state` on the runnable queue if it is not
   // already scheduled.
   void ScheduleLocked(const std::shared_ptr<SessionState>& state);
@@ -280,6 +367,22 @@ class QueryService {
   bool stopping_ = false;
 
   std::vector<std::thread> workers_;
+
+  // Pub/sub state, guarded by pub_mu_ — independent of mu_ and never
+  // held together with it. Publishes serialize on pub_mu_ (the registry
+  // keeps persistent per-subscription engines), while fan-out to sinks
+  // happens on dispatcher threads outside the lock.
+  mutable std::mutex pub_mu_;
+  std::condition_variable dispatch_cv_;  // dispatchers: queue non-empty
+  std::condition_variable unclaim_cv_;   // RemoveSubscriber: unclaimed
+  pubsub::SubscriptionRegistry pubsub_;
+  std::unordered_map<uint64_t, std::shared_ptr<Subscriber>> subscribers_;
+  // subscription id -> owning subscriber id.
+  std::unordered_map<uint64_t, uint64_t> subscription_owner_;
+  std::deque<std::shared_ptr<Subscriber>> dispatch_queue_;
+  uint64_t next_subscriber_id_ = 1;
+  bool pub_stopping_ = false;
+  std::vector<std::thread> dispatchers_;
 };
 
 }  // namespace xsq::service

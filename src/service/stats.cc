@@ -39,6 +39,10 @@ std::string StatsSnapshot::ToString() const {
   line("disconnect_cancels", disconnect_cancels);
   line("net_idle_closed", net_idle_closed);
   line("net_overrun_closed", net_overrun_closed);
+  line("subscriptions_active", subscriptions_active);
+  line("publishes", publishes);
+  line("events_delivered", events_delivered);
+  line("fanout_shed", fanout_shed);
   return out;
 }
 
@@ -67,6 +71,11 @@ StatsSnapshot ServiceStats::Snapshot() const {
   snap.net_idle_closed = net_idle_closed_.load(std::memory_order_relaxed);
   snap.net_overrun_closed =
       net_overrun_closed_.load(std::memory_order_relaxed);
+  int64_t subs = subscriptions_active_.load(std::memory_order_relaxed);
+  snap.subscriptions_active = subs > 0 ? static_cast<uint64_t>(subs) : 0;
+  snap.publishes = publishes_.load(std::memory_order_relaxed);
+  snap.events_delivered = events_delivered_.load(std::memory_order_relaxed);
+  snap.fanout_shed = fanout_shed_.load(std::memory_order_relaxed);
   return snap;
 }
 

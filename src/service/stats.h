@@ -54,6 +54,11 @@ struct StatsSnapshot {
   uint64_t disconnect_cancels = 0;   // sessions cancelled on peer loss
   uint64_t net_idle_closed = 0;      // idle / half-open peers reaped
   uint64_t net_overrun_closed = 0;   // input/output buffer bound hit
+  // Pub/sub counters (standing-query subsystem).
+  uint64_t subscriptions_active = 0;  // gauge: live standing queries
+  uint64_t publishes = 0;             // documents published (one parse each)
+  uint64_t events_delivered = 0;      // EVENT frames handed to sinks
+  uint64_t fanout_shed = 0;           // frames dropped on slow subscribers
 
   // One "name value" pair per line, stable names; the xsqd STATS
   // command prints exactly this.
@@ -87,6 +92,17 @@ class ServiceStats {
   }
   void RecordNetIdleClosed() { Inc(net_idle_closed_); }
   void RecordNetOverrunClosed() { Inc(net_overrun_closed_); }
+  void RecordPublish() { Inc(publishes_); }
+  void RecordEventsDelivered(uint64_t count) {
+    events_delivered_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void RecordFanoutShed(uint64_t count) {
+    fanout_shed_.fetch_add(count, std::memory_order_relaxed);
+  }
+  // Gauge; `delta` may be negative (unsubscribe / subscriber teardown).
+  void AdjustSubscriptionsActive(int64_t delta) {
+    subscriptions_active_.fetch_add(delta, std::memory_order_relaxed);
+  }
   void RecordQueueDepth(uint64_t depth) {
     uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
     while (depth > seen &&
@@ -130,6 +146,10 @@ class ServiceStats {
   std::atomic<uint64_t> disconnect_cancels_{0};
   std::atomic<uint64_t> net_idle_closed_{0};
   std::atomic<uint64_t> net_overrun_closed_{0};
+  std::atomic<int64_t> subscriptions_active_{0};
+  std::atomic<uint64_t> publishes_{0};
+  std::atomic<uint64_t> events_delivered_{0};
+  std::atomic<uint64_t> fanout_shed_{0};
 };
 
 }  // namespace xsq::service

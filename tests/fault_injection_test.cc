@@ -6,8 +6,12 @@
 // compiled out and the site-dependent tests skip.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/failpoints.h"
@@ -200,6 +204,47 @@ TEST_F(FaultInjectionTest, TapeShortWriteFailsSaveCleanly) {
   std::remove(path);
 }
 
+TEST_F(FaultInjectionTest, PubSubFanoutFailDropsFramesNotTheService) {
+  QueryService service;
+  std::mutex mu;
+  std::vector<std::string> frames;
+  auto subscriber = service.AddSubscriber([&](std::string_view frame) {
+    std::lock_guard<std::mutex> lock(mu);
+    frames.emplace_back(frame);
+  });
+  ASSERT_TRUE(subscriber.ok());
+  ASSERT_TRUE(service.Subscribe(*subscriber, "//a/text()").ok());
+
+  auto wait_for = [&](auto predicate) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!predicate() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return predicate();
+  };
+
+  FailPoints::Instance().Arm("pubsub.fanout.fail");
+  auto dropped = service.Publish("<r><a>dropped</a></r>");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->frames_enqueued, 1u);
+  // The injected delivery drop is accounted as shed; the sink never
+  // sees the frame and the dispatcher keeps running.
+  EXPECT_TRUE(wait_for([&] { return service.stats().fanout_shed >= 1; }));
+  FailPoints::Instance().Disarm("pubsub.fanout.fail");
+
+  auto delivered = service.Publish("<r><a>delivered</a></r>");
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_TRUE(wait_for([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return !frames.empty();
+  }));
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(frames.size(), 1u);  // the dropped frame stayed dropped
+  EXPECT_NE(frames[0].find("ITEM delivered"), std::string::npos);
+  service.Shutdown();
+}
+
 TEST_F(FaultInjectionTest, EveryCatalogSiteArmedStillOnlyFailsStatuses) {
   // The whole catalog armed at p=0.5: a realistic serving workload must
   // keep returning Statuses from every call — under ASan/TSan this is
@@ -211,6 +256,7 @@ TEST_F(FaultInjectionTest, EveryCatalogSiteArmedStillOnlyFailsStatuses) {
   }
 
   QueryService service;
+  auto subscriber = service.AddSubscriber([](std::string_view) {});
   const char* tape_path = "xsq_fault_all_armed.bin";
   for (int round = 0; round < 50; ++round) {
     auto id = service.OpenSession("//a/text()");
@@ -232,6 +278,11 @@ TEST_F(FaultInjectionTest, EveryCatalogSiteArmedStillOnlyFailsStatuses) {
     auto tape = tape::RecordDocument("<r><a>y</a></r>");
     if (tape.ok() && tape->Save(tape_path).ok()) {
       (void)tape::Tape::Load(tape_path);
+    }
+    if (subscriber.ok()) {
+      auto sub = service.Subscribe(*subscriber, "//a/text()");
+      (void)service.Publish("<r><a>z</a></r>");
+      if (sub.ok()) (void)service.Unsubscribe(*subscriber, *sub);
     }
   }
   std::remove(tape_path);

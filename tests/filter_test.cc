@@ -109,5 +109,79 @@ TEST(FilterEngineTest, RecursiveDocumentDoesNotDoubleReport) {
   EXPECT_EQ(*matched, std::vector<int>{0});
 }
 
+TEST(FilterEngineTest, DuplicateQueryReusesNodeChain) {
+  FilterEngine engine;
+  ASSERT_TRUE(engine.AddQuery("/lib//book/title").ok());
+  size_t nodes_after_first = engine.node_count();
+  // An identical path re-registered reuses the existing chain end to
+  // end: zero node growth, still a distinct query id.
+  ASSERT_TRUE(engine.AddQuery("/lib//book/title").ok());
+  EXPECT_EQ(engine.node_count(), nodes_after_first);
+  EXPECT_EQ(engine.query_count(), 2u);
+}
+
+TEST(FilterEngineTest, MatcherReportsPerEventAccepts) {
+  FilterEngine engine;
+  ASSERT_TRUE(engine.AddQuery("//a").ok());       // 0
+  ASSERT_TRUE(engine.AddQuery("//a/b").ok());     // 1
+  ASSERT_TRUE(engine.AddQuery("/a/c").ok());      // 2
+  FilterEngine::Matcher matcher(&engine);
+  matcher.OnDocumentBegin();
+  std::vector<xml::Attribute> no_attrs;
+  matcher.OnBegin("a", no_attrs, 1);
+  EXPECT_EQ(matcher.current_accepts(), std::vector<int>{0});
+  matcher.OnBegin("b", no_attrs, 2);
+  EXPECT_EQ(matcher.current_accepts(), std::vector<int>{1});
+  matcher.OnEnd("b", 2);
+  // A non-matching element under a '//' continuation reports nothing,
+  // even though ancestor NFA nodes stay alive across it.
+  matcher.OnBegin("x", no_attrs, 2);
+  EXPECT_TRUE(matcher.current_accepts().empty());
+  matcher.OnBegin("a", no_attrs, 3);
+  EXPECT_EQ(matcher.current_accepts(), std::vector<int>{0});
+  matcher.OnEnd("a", 3);
+  matcher.OnEnd("x", 2);
+  matcher.OnBegin("c", no_attrs, 2);
+  EXPECT_EQ(matcher.current_accepts(), std::vector<int>{2});
+  matcher.OnEnd("c", 2);
+  matcher.OnEnd("a", 1);
+  matcher.OnDocumentEnd();
+  EXPECT_EQ(matcher.MatchedIds(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(FilterEngineTest, MatcherDedupsAcceptsAcrossUnionBranches) {
+  FilterEngine engine;
+  ASSERT_TRUE(engine.AddQuery("//a | /r/a").ok());
+  FilterEngine::Matcher matcher(&engine);
+  matcher.OnDocumentBegin();
+  std::vector<xml::Attribute> no_attrs;
+  matcher.OnBegin("r", no_attrs, 1);
+  matcher.OnBegin("a", no_attrs, 2);
+  // Both branches accept this element; the query reports once.
+  EXPECT_EQ(matcher.current_accepts(), std::vector<int>{0});
+  matcher.OnEnd("a", 2);
+  matcher.OnEnd("r", 1);
+  matcher.OnDocumentEnd();
+}
+
+TEST(FilterEngineTest, MatcherReusableAcrossDocumentsAndNewQueries) {
+  FilterEngine engine;
+  ASSERT_TRUE(engine.AddQuery("//a").ok());
+  FilterEngine::Matcher matcher(&engine);
+  std::vector<xml::Attribute> no_attrs;
+  matcher.OnDocumentBegin();
+  matcher.OnBegin("a", no_attrs, 1);
+  matcher.OnEnd("a", 1);
+  matcher.OnDocumentEnd();
+  EXPECT_EQ(matcher.MatchedIds(), std::vector<int>{0});
+  // Subscribe-between-documents: Reset picks up the grown query set.
+  ASSERT_TRUE(engine.AddQuery("//b").ok());
+  matcher.OnDocumentBegin();
+  matcher.OnBegin("b", no_attrs, 1);
+  matcher.OnEnd("b", 1);
+  matcher.OnDocumentEnd();
+  EXPECT_EQ(matcher.MatchedIds(), std::vector<int>{1});
+}
+
 }  // namespace
 }  // namespace xsq::filter

@@ -1,0 +1,24 @@
+// libFuzzer harness for the SUBSCRIBE verb surface: arbitrary bytes as
+// the subscription query text, driven through the full registration
+// pipeline — XPath parse, skeleton extraction (predicate stripping),
+// shared-NFA insertion, and persistent engine construction. Queries
+// that register successfully are additionally matched against a small
+// document (one Publish exercises the tee/replay path on the
+// fuzzer-discovered query shape) and then unsubscribed.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "pubsub/subscription_registry.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  xsq::pubsub::SubscriptionRegistry registry;
+  xsq::Result<uint64_t> id = registry.Subscribe(text);
+  if (id.ok()) {
+    (void)registry.Publish(
+        "<r a=\"1\"><x y=\"2\">7</x><x>text</x><z><x>9</x></z></r>");
+    (void)registry.Unsubscribe(*id);
+  }
+  return 0;
+}

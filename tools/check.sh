@@ -11,8 +11,9 @@
 #      round-trips, histogram bucket arithmetic, shift-heavy automaton
 #      code) are checked for overflow/UB;
 #   5. builds failpoint trees (-DXSQ_FAILPOINTS=ON) under ASan and TSan
-#      and runs the fault-injection suite with every site armable, so
-#      each injected early-return path is leak- and race-checked;
+#      and runs the fault-injection suite plus the pub/sub fan-out soak
+#      with every site armable, so each injected early-return path and
+#      the dispatcher's drop/shed paths are leak- and race-checked;
 #   6. when clang is on PATH, builds the libFuzzer harnesses
 #      (-DXSQ_FUZZ=ON) and runs each target for a bounded stretch over
 #      its seed corpus, so the input-facing decoders get continuous
@@ -91,12 +92,15 @@ fi
 if [ "${XSQ_SKIP_FAILPOINTS:-0}" = "1" ]; then
   echo "== failpoint legs skipped (XSQ_SKIP_FAILPOINTS=1)"
 else
-  fp_filter='FaultInjection|FailPoints'
+  # ServicePubSub pulls in the fan-out/shed tests and the
+  # 16-subscriber fault-storm soak alongside the failpoint suite.
+  fp_filter='FaultInjection|FailPoints|ServicePubSub'
   if [ "${XSQ_SKIP_ASAN:-0}" != "1" ]; then
     echo "== failpoints + ASan build ($fp_asan_dir)"
     cmake -B "$fp_asan_dir" -S . -DXSQ_FAILPOINTS=ON \
       -DXSQ_SANITIZE=address >/dev/null
-    cmake --build "$fp_asan_dir" -j "$(nproc)" --target fault_injection_test
+    cmake --build "$fp_asan_dir" -j "$(nproc)" \
+      --target fault_injection_test pubsub_test
     (cd "$fp_asan_dir" &&
       ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
         ctest --output-on-failure -j "$(nproc)" -R "$fp_filter")
@@ -105,7 +109,8 @@ else
     echo "== failpoints + TSan build ($fp_tsan_dir)"
     cmake -B "$fp_tsan_dir" -S . -DXSQ_FAILPOINTS=ON \
       -DXSQ_SANITIZE=thread >/dev/null
-    cmake --build "$fp_tsan_dir" -j "$(nproc)" --target fault_injection_test
+    cmake --build "$fp_tsan_dir" -j "$(nproc)" \
+      --target fault_injection_test pubsub_test
     (cd "$fp_tsan_dir" &&
       TSAN_OPTIONS="halt_on_error=1" \
         ctest --output-on-failure -j "$(nproc)" -R "$fp_filter")
@@ -115,7 +120,7 @@ fi
 # Fuzz leg: when clang is available, build the libFuzzer harnesses
 # (-DXSQ_FUZZ=ON needs clang) and give each target a bounded run over
 # its seed corpus. 30s per target keeps the gate fast while still
-# catching shallow regressions in the three input-facing decoders.
+# catching shallow regressions in the input-facing decoders.
 if [ "${XSQ_SKIP_FUZZ:-0}" = "1" ]; then
   echo "== fuzz leg skipped (XSQ_SKIP_FUZZ=1)"
 elif ! command -v clang++ >/dev/null 2>&1; then
@@ -127,8 +132,10 @@ else
   cmake -B "$fuzz_dir" -S . -DXSQ_FUZZ=ON \
     -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ >/dev/null
   cmake --build "$fuzz_dir" -j "$(nproc)" \
-    --target fuzz_sax_parser fuzz_xpath_parser fuzz_tape_load
-  for target in sax_parser:sax xpath_parser:xpath tape_load:tape; do
+    --target fuzz_sax_parser fuzz_xpath_parser fuzz_tape_load \
+      fuzz_subscribe_verb
+  for target in sax_parser:sax xpath_parser:xpath tape_load:tape \
+      subscribe_verb:subscribe; do
     bin="$fuzz_dir/tests/fuzz/fuzz_${target%%:*}"
     corpus="tests/fuzz/corpus/${target##*:}"
     echo "== fuzz_${target%%:*} over $corpus"

@@ -280,6 +280,58 @@ PYEOF
   rm -f "$tcp_out"
 fi
 
+# --- pub/sub: standing queries matched per single parse ---
+
+# SUBSCRIBE registers standing queries, PUBLISH matches one document
+# against all of them (the reply pins the parse-once bookkeeping:
+# survivors/hpdt count predicate work, both 0 for predicate-free subs),
+# and matches arrive asynchronously as EVENT frames — hence the sleep
+# before STATS/QUIT, which gives the dispatcher time to deliver.
+ps=$( { printf 'SUBSCRIBE //book/title/text()\nSUBSCRIBE //book/count()\n'
+        printf 'PUBLISH <lib><book><title>XSQ</title></book><book><title>YFilter</title></book></lib>\n'
+        sleep 0.5
+        printf 'UNSUBSCRIBE 1\nSTATS\nMETRICS\nQUIT\n'
+      } | "$xsqd" --workers=1 ) \
+  || { echo "xsqd exited non-zero in pub/sub block" >&2; exit 1; }
+if ! echo "$ps" | grep -q "^OK matched=2 survivors=0 hpdt=0 enqueued=3 shed=0$"; then
+  echo "pub/sub: unexpected PUBLISH reply:" >&2
+  echo "$ps" | grep -v "^STAT\|^METRIC" >&2
+  exit 1
+fi
+for frame in "EVENT 1 ITEM XSQ" "EVENT 1 ITEM YFilter" "EVENT 2 AGG 2.000000"; do
+  if ! echo "$ps" | grep -qF "$frame"; then
+    echo "pub/sub: missing frame '$frame':" >&2
+    echo "$ps" | grep -v "^STAT\|^METRIC" >&2
+    exit 1
+  fi
+done
+# STATS gauges/counters after one publish, three deliveries, and one
+# unsubscribe (the count() subscription is still standing).
+for want in "subscriptions_active 1" "publishes 1" "events_delivered 3" \
+            "fanout_shed 0"; do
+  if ! echo "$ps" | grep -q "^STAT $want$"; then
+    echo "pub/sub: expected 'STAT $want':" >&2
+    echo "$ps" | grep "^STAT" >&2
+    exit 1
+  fi
+done
+# The same scalars re-exposed with the xsq_ prefix, plus the pub/sub
+# histograms (names are dashboard interface, pinned exactly).
+for want in "xsq_subscriptions_active 1" "xsq_publishes 1" \
+            "xsq_events_delivered 3" "xsq_fanout_shed 0" \
+            "xsq_publish_latency_us_count 1"; do
+  if ! echo "$ps" | grep -q "^METRIC $want$"; then
+    echo "pub/sub: expected 'METRIC $want':" >&2
+    echo "$ps" | grep "^METRIC xsq_pub\|^METRIC xsq_sub\|^METRIC xsq_event\|^METRIC xsq_fanout" >&2
+    exit 1
+  fi
+done
+batches=$(echo "$ps" | sed -n 's/^METRIC xsq_fanout_batch_count //p')
+if [ -z "$batches" ] || [ "$batches" -eq 0 ]; then
+  echo "pub/sub: expected non-zero xsq_fanout_batch_count, got '${batches:-missing}'" >&2
+  exit 1
+fi
+
 # --- robustness: malformed input must never abort the daemon ---
 
 # Unknown verbs and bad session ids answer ERR and the loop keeps
