@@ -1,0 +1,204 @@
+#include "cluster/health.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace xsq::cluster {
+
+namespace {
+
+struct FdCloser {
+  int fd;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+Result<HttpProbeResult> HttpGet(const ShardAddress& address,
+                                std::string_view path, uint64_t timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  FdCloser closer{fd};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(address.port);
+  if (::inet_pton(AF_INET, address.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad probe host: " + address.host);
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Status::ResourceExhausted(std::string("connect: ") +
+                                     std::strerror(errno));
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready <= 0) return Status::DeadlineExceeded("probe connect timed out");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      return Status::ResourceExhausted(std::string("connect: ") +
+                                       std::strerror(err));
+    }
+  }
+  std::string request = "GET ";
+  request.append(path);
+  request += " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+          return Status::DeadlineExceeded("probe send timed out");
+        }
+        pollfd pfd{fd, POLLOUT, 0};
+        ::poll(&pfd, 1, 10);
+        continue;
+      }
+      return Status::ResourceExhausted(std::string("send: ") +
+                                       std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  // HTTP/1.0 with Connection: close — read to EOF under the deadline.
+  std::string raw;
+  for (;;) {
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return Status::DeadlineExceeded("probe read timed out");
+    }
+    auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()) + 1);
+    if (ready < 0 && errno != EINTR) {
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready <= 0) continue;
+    char buf[16 * 1024];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // EOF: response complete
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return Status::ResourceExhausted(std::string("recv: ") +
+                                       std::strerror(errno));
+    }
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  // "HTTP/1.0 <code> <reason>\r\n<headers>\r\n\r\n<body>"
+  size_t space = raw.find(' ');
+  if (raw.rfind("HTTP/", 0) != 0 || space == std::string::npos) {
+    return Status::ParseError("not an HTTP response");
+  }
+  HttpProbeResult result;
+  result.code = 0;
+  for (size_t i = space + 1; i < raw.size() && raw[i] >= '0' && raw[i] <= '9';
+       ++i) {
+    result.code = result.code * 10 + (raw[i] - '0');
+  }
+  if (result.code == 0) return Status::ParseError("bad HTTP status line");
+  size_t body = raw.find("\r\n\r\n");
+  result.body = body == std::string::npos ? std::string()
+                                          : raw.substr(body + 4);
+  return result;
+}
+
+HealthProber::HealthProber(std::vector<Backend*> backends, ProbeConfig config)
+    : backends_(std::move(backends)),
+      config_(config),
+      consecutive_failures_(backends_.size(), 0),
+      last_metrics_(backends_.size()) {}
+
+HealthProber::~HealthProber() { Stop(); }
+
+void HealthProber::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void HealthProber::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HealthProber::ProbeShard(size_t i) {
+  Backend* backend = backends_[i];
+  Result<HttpProbeResult> probe =
+      HttpGet(backend->address(), "/healthz", config_.timeout_ms);
+  if (!probe.ok()) {
+    if (++consecutive_failures_[i] >= config_.fail_threshold) {
+      backend->set_health(ShardHealth::kDead);
+    }
+    return;
+  }
+  consecutive_failures_[i] = 0;
+  if (probe->code == 200) {
+    backend->set_health(ShardHealth::kServing);
+  } else if (probe->body.rfind("shedding", 0) == 0) {
+    backend->set_health(ShardHealth::kShedding);
+  } else if (probe->body.rfind("draining", 0) == 0) {
+    backend->set_health(ShardHealth::kDraining);
+  } else {
+    // Answered but unwell in a way we do not recognize; treat like
+    // shedding — reachable, avoid for new work.
+    backend->set_health(ShardHealth::kShedding);
+  }
+  if (config_.scrape_metrics) {
+    Result<HttpProbeResult> metrics =
+        HttpGet(backend->address(), "/metrics", config_.timeout_ms);
+    if (metrics.ok() && metrics->code == 200) {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_metrics_[i] = std::move(metrics->body);
+    }
+  }
+}
+
+void HealthProber::ProbeNow() {
+  // Serialized with the background loop so a pass is a pass: health
+  // state after ProbeNow reflects one coherent sweep.
+  std::lock_guard<std::mutex> probe_lock(probe_mu_);
+  for (size_t i = 0; i < backends_.size(); ++i) ProbeShard(i);
+  passes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void HealthProber::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(config_.interval_ms),
+                   [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    ProbeNow();
+  }
+}
+
+std::string HealthProber::last_metrics(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return i < last_metrics_.size() ? last_metrics_[i] : std::string();
+}
+
+}  // namespace xsq::cluster

@@ -1,0 +1,106 @@
+// HealthProber: active health checking for the shard roster.
+//
+// A background thread polls every shard's GET /healthz on a fixed
+// cadence and flips the Backend health flag the router routes by:
+//
+//   200 "ok"        -> kServing    full member of the ring
+//   503 "shedding"  -> kShedding   reachable but at capacity
+//   503 "draining"  -> kDraining   shutting down, listener closed
+//   probe failure   -> kDead after fail_threshold consecutive misses
+//
+// The shard serves these probes even while load-shedding protocol
+// connections (net::Server defers the shed decision past the HTTP
+// sniff precisely so this prober can tell "busy" from "down"), so a
+// failed probe really means unreachable, not merely saturated. One
+// successful probe resurrects a dead shard — the ring heals itself
+// when a shard comes back.
+//
+// Ring rebalancing is implicit and non-disruptive: health lives in an
+// atomic on the Backend, ownership is computed per request against the
+// current mask (ShardMap::Owner), and nothing in flight is touched
+// when the mask changes. A dead shard's keys remap within one probe
+// interval (plus the threshold's worth of misses); every other
+// shard's keys never move.
+//
+// When scrape_metrics is set the prober also fetches GET /metrics
+// from reachable shards and caches the last good exposition text per
+// shard, giving the router's merged cluster view a stale-but-present
+// fallback for shards that drop out mid-scrape.
+#ifndef XSQ_CLUSTER_HEALTH_H_
+#define XSQ_CLUSTER_HEALTH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "cluster/backend_pool.h"
+#include "common/status.h"
+
+namespace xsq::cluster {
+
+// A one-shot HTTP/1.0 GET, used for /healthz and /metrics probes.
+struct HttpProbeResult {
+  int code = 0;
+  std::string body;
+};
+Result<HttpProbeResult> HttpGet(const ShardAddress& address,
+                                std::string_view path, uint64_t timeout_ms);
+
+struct ProbeConfig {
+  uint64_t interval_ms = 500;
+  uint64_t timeout_ms = 1000;
+  // Consecutive probe failures before a shard is marked dead.
+  int fail_threshold = 3;
+  bool scrape_metrics = true;
+};
+
+class HealthProber {
+ public:
+  // Backends outlive the prober; their health flags are its output.
+  HealthProber(std::vector<Backend*> backends, ProbeConfig config);
+  ~HealthProber();
+
+  HealthProber(const HealthProber&) = delete;
+  HealthProber& operator=(const HealthProber&) = delete;
+
+  void Start();
+  void Stop();
+
+  // One synchronous pass over every shard, callable with or without
+  // the background thread running. Tests and benches use this to make
+  // health transitions deterministic instead of sleeping.
+  void ProbeNow();
+
+  // Completed probe passes (background + ProbeNow).
+  uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
+
+  // The last successfully scraped /metrics text of shard `i` (empty
+  // until the first good scrape).
+  std::string last_metrics(size_t i) const;
+
+ private:
+  void Loop();
+  void ProbeShard(size_t i);
+
+  const std::vector<Backend*> backends_;
+  const ProbeConfig config_;
+
+  std::vector<int> consecutive_failures_;  // probe thread only
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::vector<std::string> last_metrics_;  // guarded by mu_
+  std::mutex probe_mu_;                    // serializes probe passes
+  std::atomic<uint64_t> passes_{0};
+  std::thread thread_;
+};
+
+}  // namespace xsq::cluster
+
+#endif  // XSQ_CLUSTER_HEALTH_H_

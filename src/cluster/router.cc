@@ -1,0 +1,796 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xsq::cluster {
+
+namespace {
+
+// "PUSH 7 <rest>" -> id text "7", rest "<rest>".
+std::string_view TakeWord(std::string_view* rest) {
+  size_t space = rest->find(' ');
+  std::string_view word = rest->substr(0, space);
+  *rest = space == std::string_view::npos ? std::string_view()
+                                          : rest->substr(space + 1);
+  return word;
+}
+
+std::optional<uint64_t> ParseId(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  uint64_t id = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return id;
+}
+
+void Reply(std::string* out, std::string_view line) {
+  out->append(line);
+  out->push_back('\n');
+}
+
+// Re-emits a decoded backend reply block verbatim: payload lines, then
+// the OK/ERR terminator reconstructed from the decoded status.
+void RelayReply(std::string* out, const net::Response& response) {
+  for (const std::string& line : response.lines) Reply(out, line);
+  if (response.status.ok()) {
+    if (response.ok_payload.empty()) {
+      Reply(out, "OK");
+    } else {
+      Reply(out, "OK " + response.ok_payload);
+    }
+  } else {
+    Reply(out, "ERR " + response.status.ToString());
+  }
+}
+
+// A transport-level failure (no reply from the shard) rendered in the
+// protocol's error grammar.
+void ReplyTransportError(std::string* out, const Status& status) {
+  Reply(out, "ERR " + status.ToString());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// RouterHandler: one client connection's view of the cluster.
+
+class RouterHandler : public net::ConnectionHandler {
+ public:
+  explicit RouterHandler(Router* router)
+      : router_(router), leases_(router->shard_count()) {}
+
+  ~RouterHandler() override {
+    // Leases close here (after the last worker touching them is done);
+    // each shard sees a disconnect and cancels + releases everything
+    // the lease opened. Registry entries were removed by ReleaseAll.
+    leases_.clear();
+  }
+
+  bool HandleLine(std::string_view line, std::string* out) override;
+
+  size_t CancelAll() override {
+    // Poll-thread context: must not block on the network. Bindings are
+    // copied into the router's cancel queue and sent by its
+    // maintenance thread over pooled connections (CANCEL works from
+    // any connection), which unblocks a worker stuck mid-CLOSE on the
+    // lease within one cancel-check interval.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t id : session_ids_) router_->EnqueueCancel(id);
+    return session_ids_.size();
+  }
+
+  void ReleaseAll() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    for (uint64_t id : session_ids_) router_->RemoveSession(id);
+    session_ids_.clear();
+  }
+
+ private:
+  // The dedicated session connection to `shard`, connected on demand.
+  // Worker-thread only (one worker per connection at a time).
+  Result<net::Client*> Lease(size_t shard);
+  // The lease to `shard` failed at the transport level: the shard saw
+  // a disconnect and dropped every session opened on it. Invalidate
+  // the RUNCACHED bindings so they reopen on next use.
+  void DropLease(size_t shard);
+
+  bool OwnsSession(uint64_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return session_ids_.count(id) != 0;
+  }
+
+  void HandleOpen(std::string_view query, std::string* out);
+  void HandleForward(uint64_t id, std::string_view verb,
+                     std::string_view rest, std::string* out);
+  void HandleClose(uint64_t id, std::string* out);
+  void HandleRunCached(uint64_t id, std::string_view name, std::string* out);
+
+  Router* router_;
+  std::vector<std::unique_ptr<net::Client>> leases_;  // by shard
+
+  mutable std::mutex mu_;  // session_ids_ + released_ (poll thread reads)
+  std::set<uint64_t> session_ids_;
+  bool released_ = false;
+};
+
+Result<net::Client*> RouterHandler::Lease(size_t shard) {
+  if (leases_[shard] == nullptr) {
+    XSQ_ASSIGN_OR_RETURN(leases_[shard],
+                         router_->backend(shard)->LeaseExclusive());
+  }
+  return leases_[shard].get();
+}
+
+void RouterHandler::DropLease(size_t shard) {
+  leases_[shard] = nullptr;
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.assign(session_ids_.begin(), session_ids_.end());
+  }
+  for (uint64_t id : ids) {
+    std::optional<Router::SessionRecord> record = router_->FindSession(id);
+    if (!record.has_value()) continue;
+    // Primary bindings stay: the session state is genuinely lost and
+    // later PUSH/CLOSE must surface that, not silently reopen.
+    if (record->primary_shard != shard) {
+      router_->RemoveBinding(id, shard);
+    }
+  }
+}
+
+void RouterHandler::HandleOpen(std::string_view query, std::string* out) {
+  Result<size_t> shard = router_->PickSessionShard();
+  if (!shard.ok()) {
+    ReplyTransportError(out, shard.status());
+    return;
+  }
+  Result<net::Client*> lease = Lease(*shard);
+  if (!lease.ok()) {
+    ReplyTransportError(out, lease.status());
+    return;
+  }
+  Result<net::Response> response =
+      (*lease)->Request("OPEN " + std::string(query));
+  if (!response.ok()) {
+    DropLease(*shard);
+    ReplyTransportError(out, response.status());
+    return;
+  }
+  if (!response->status.ok()) {
+    RelayReply(out, *response);
+    return;
+  }
+  uint64_t router_id = router_->RegisterSession(std::string(query), *shard,
+                                                response->ok_payload);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (released_) {
+      // Torn down while we were opening; the registry entry must not
+      // outlive the connection.
+      router_->RemoveSession(router_id);
+      return;
+    }
+    session_ids_.insert(router_id);
+  }
+  router_->sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  Reply(out, "OK " + std::to_string(router_id));
+}
+
+void RouterHandler::HandleForward(uint64_t id, std::string_view verb,
+                                  std::string_view rest, std::string* out) {
+  std::optional<Router::SessionRecord> record = router_->FindSession(id);
+  if (!record.has_value() || !OwnsSession(id)) {
+    Reply(out, "ERR InvalidArgument: unknown session id " +
+                   std::to_string(id));
+    return;
+  }
+  auto binding = record->bindings.find(record->primary_shard);
+  if (binding == record->bindings.end()) {
+    Reply(out, "ERR Internal: session has no primary binding");
+    return;
+  }
+  Result<net::Client*> lease = Lease(record->primary_shard);
+  if (!lease.ok()) {
+    ReplyTransportError(out, lease.status());
+    return;
+  }
+  std::string wire = std::string(verb) + " " + binding->second;
+  if (!rest.empty()) {
+    wire += ' ';
+    wire.append(rest);
+  }
+  Result<net::Response> response = (*lease)->Request(wire);
+  if (!response.ok()) {
+    DropLease(record->primary_shard);
+    ReplyTransportError(out, response.status());
+    return;
+  }
+  RelayReply(out, *response);
+}
+
+void RouterHandler::HandleClose(uint64_t id, std::string* out) {
+  std::optional<Router::SessionRecord> record = router_->FindSession(id);
+  if (!record.has_value() || !OwnsSession(id)) {
+    Reply(out, "ERR InvalidArgument: unknown session id " +
+                   std::to_string(id));
+    return;
+  }
+  // Close the RUNCACHED bindings first (their replies are empty-buffer
+  // finalizations the client never asked to see), then the primary,
+  // whose reply block — items, AGG, terminator — is the client's.
+  for (const auto& [shard, backend_id] : record->bindings) {
+    if (shard == record->primary_shard) continue;
+    Result<net::Client*> lease = Lease(shard);
+    if (!lease.ok()) continue;
+    Result<net::Response> discard =
+        (*lease)->Request("CLOSE " + backend_id);
+    if (!discard.ok()) DropLease(shard);
+  }
+  auto primary = record->bindings.find(record->primary_shard);
+  if (primary == record->bindings.end()) {
+    Reply(out, "ERR Internal: session has no primary binding");
+    return;
+  }
+  Result<net::Client*> lease = Lease(record->primary_shard);
+  if (!lease.ok()) {
+    router_->RemoveSession(id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      session_ids_.erase(id);
+    }
+    ReplyTransportError(out, lease.status());
+    return;
+  }
+  Result<net::Response> response =
+      (*lease)->Request("CLOSE " + primary->second);
+  router_->RemoveSession(id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session_ids_.erase(id);
+  }
+  if (!response.ok()) {
+    DropLease(record->primary_shard);
+    ReplyTransportError(out, response.status());
+    return;
+  }
+  RelayReply(out, *response);
+}
+
+void RouterHandler::HandleRunCached(uint64_t id, std::string_view name,
+                                    std::string* out) {
+  std::optional<Router::SessionRecord> record = router_->FindSession(id);
+  if (!record.has_value() || !OwnsSession(id)) {
+    Reply(out, "ERR InvalidArgument: unknown session id " +
+                   std::to_string(id));
+    return;
+  }
+  // RUNCACHED is idempotent: fail over across ring owners on transport
+  // failure. An ERR reply (e.g. document not resident after a remap)
+  // is relayed — the client re-RECORDs and retries, exactly as against
+  // a single node that lost its cache.
+  std::vector<bool> mask = router_->AliveMask();
+  Status last = Status::ResourceExhausted("no live shard owns '" +
+                                          std::string(name) + "'");
+  for (int attempt = 0; attempt <= router_->config_.max_failover_attempts;
+       ++attempt) {
+    std::optional<size_t> owner = router_->shard_map().Owner(name, mask);
+    if (!owner.has_value()) break;
+    // Bind this session on the owner shard if it is not yet there.
+    record = router_->FindSession(id);
+    if (!record.has_value()) {
+      Reply(out, "ERR InvalidArgument: unknown session id " +
+                     std::to_string(id));
+      return;
+    }
+    std::string backend_id;
+    auto binding = record->bindings.find(*owner);
+    if (binding != record->bindings.end()) {
+      backend_id = binding->second;
+    } else {
+      Result<net::Client*> lease = Lease(*owner);
+      if (!lease.ok()) {
+        last = lease.status();
+        mask[*owner] = false;
+        router_->failovers_total_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      Result<net::Response> opened =
+          (*lease)->Request("OPEN " + record->query);
+      if (!opened.ok()) {
+        DropLease(*owner);
+        last = opened.status();
+        mask[*owner] = false;
+        router_->failovers_total_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (!opened->status.ok()) {
+        RelayReply(out, *opened);  // shard answered: not a failover case
+        return;
+      }
+      backend_id = opened->ok_payload;
+      router_->AddBinding(id, *owner, backend_id);
+    }
+    Result<net::Client*> lease = Lease(*owner);
+    if (!lease.ok()) {
+      last = lease.status();
+      mask[*owner] = false;
+      router_->failovers_total_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Result<net::Response> response =
+        (*lease)->Request("RUNCACHED " + backend_id + " " +
+                          std::string(name));
+    if (!response.ok()) {
+      DropLease(*owner);
+      router_->RemoveBinding(id, *owner);
+      last = response.status();
+      mask[*owner] = false;
+      router_->failovers_total_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // The replay (successful or not) ran on the owner shard's backend
+    // session, so that is where the session's document state now lives.
+    // Re-home the primary so a later CLOSE finalizes there instead of
+    // closing a never-pushed session on the original shard.
+    router_->PromotePrimary(id, *owner);
+    RelayReply(out, *response);
+    return;
+  }
+  ReplyTransportError(out, last);
+}
+
+bool RouterHandler::HandleLine(std::string_view input, std::string* out) {
+  if (!input.empty() && input.back() == '\r') input.remove_suffix(1);
+  router_->requests_total_.fetch_add(1, std::memory_order_relaxed);
+  std::string_view rest = input;
+  std::string_view command = TakeWord(&rest);
+
+  if (command == "QUIT") {
+    Reply(out, "OK");
+    return false;
+  } else if (command == "OPEN") {
+    HandleOpen(rest, out);
+  } else if (command == "PUSH" || command == "DRAIN") {
+    std::optional<uint64_t> id = ParseId(TakeWord(&rest));
+    if (!id.has_value()) {
+      Reply(out, "ERR InvalidArgument: bad session id");
+    } else {
+      HandleForward(*id, command, rest, out);
+    }
+  } else if (command == "CLOSE") {
+    std::optional<uint64_t> id = ParseId(TakeWord(&rest));
+    if (!id.has_value()) {
+      Reply(out, "ERR InvalidArgument: bad session id");
+    } else {
+      HandleClose(*id, out);
+    }
+  } else if (command == "RUNCACHED") {
+    std::optional<uint64_t> id = ParseId(TakeWord(&rest));
+    std::string_view name = TakeWord(&rest);
+    if (!id.has_value()) {
+      Reply(out, "ERR InvalidArgument: bad session id");
+    } else if (name.empty()) {
+      Reply(out, "ERR InvalidArgument: missing document name");
+    } else {
+      HandleRunCached(*id, name, out);
+    }
+  } else if (command == "CANCEL") {
+    std::optional<uint64_t> id = ParseId(TakeWord(&rest));
+    if (!id.has_value()) {
+      Reply(out, "ERR InvalidArgument: bad session id");
+    } else {
+      // Cross-connection by design, like single-node CANCEL: routed
+      // over pooled connections, not this connection's leases.
+      Status status = router_->CancelSession(*id);
+      if (status.ok()) {
+        Reply(out, "OK");
+      } else {
+        Reply(out, "ERR " + status.ToString());
+      }
+    }
+  } else if (command == "RECORD") {
+    std::string_view name = TakeWord(&rest);
+    if (name.empty()) {
+      Reply(out, "ERR InvalidArgument: missing document name");
+    } else {
+      Result<net::Response> response =
+          router_->OwnerRequest(name, input);
+      if (!response.ok()) {
+        ReplyTransportError(out, response.status());
+      } else {
+        RelayReply(out, *response);
+      }
+    }
+  } else if (command == "EVICT") {
+    std::string_view name = TakeWord(&rest);
+    if (name.empty()) {
+      Reply(out, "ERR InvalidArgument: missing document name");
+    } else {
+      // Non-idempotent: one attempt at the current owner, no failover.
+      std::optional<size_t> owner = router_->OwnerOf(name);
+      if (!owner.has_value()) {
+        Reply(out, "ERR ResourceExhausted: no live shards");
+      } else {
+        Result<net::Response> response =
+            router_->backend(*owner)->Request(input);
+        if (!response.ok()) {
+          ReplyTransportError(out, response.status());
+        } else {
+          RelayReply(out, *response);
+        }
+      }
+    }
+  } else if (command == "STATS") {
+    service::StatsSnapshot merged = router_->ClusterStats();
+    std::string text = merged.ToString();
+    size_t begin = 0;
+    while (begin < text.size()) {
+      size_t end = text.find('\n', begin);
+      Reply(out, "STAT " + text.substr(begin, end - begin));
+      begin = end + 1;
+    }
+    Reply(out, "OK");
+  } else if (command == "METRICS") {
+    std::string text = router_->MetricsText();
+    size_t begin = 0;
+    while (begin < text.size()) {
+      size_t end = text.find('\n', begin);
+      Reply(out, "METRIC " + text.substr(begin, end - begin));
+      begin = end + 1;
+    }
+    Reply(out, "OK");
+  } else if (command == "SUBSCRIBE" || command == "UNSUBSCRIBE" ||
+             command == "PUBLISH") {
+    Reply(out, "ERR NotSupported: pub/sub is per-shard state and is not "
+               "routed; connect to a shard directly");
+  } else if (command.empty()) {
+    // Blank line: ignore.
+  } else {
+    Reply(out, "ERR InvalidArgument: unknown command '" +
+                   std::string(command) + "'");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Router.
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)),
+      map_(config_.shards.size(), config_.vnodes) {}
+
+Result<std::unique_ptr<Router>> Router::Create(RouterConfig config) {
+  if (config.shards.empty()) {
+    return Status::InvalidArgument("router needs at least one shard");
+  }
+  std::unique_ptr<Router> router(new Router(std::move(config)));
+  std::vector<Backend*> raw;
+  for (size_t i = 0; i < router->config_.shards.size(); ++i) {
+    obs::Histogram* latency = router->registry_.GetOrCreateHistogram(
+        "xsq_router_backend_request_us",
+        "wall micros per pooled backend request",
+        "shard=\"" + std::to_string(i) + "\"");
+    BackendConfig backend = router->config_.backend;
+    backend.retry_seed += i * 0x1000003ull;
+    router->backends_.push_back(std::make_unique<Backend>(
+        router->config_.shards[i], backend, latency));
+    raw.push_back(router->backends_.back().get());
+  }
+  router->prober_ =
+      std::make_unique<HealthProber>(std::move(raw), router->config_.probe);
+  if (router->config_.start_prober) router->prober_->Start();
+  router->cancel_thread_ = std::thread([raw_router = router.get()] {
+    raw_router->CancelLoop();
+  });
+  return router;
+}
+
+Router::~Router() {
+  if (prober_ != nullptr) prober_->Stop();
+  {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    cancel_stopping_ = true;
+  }
+  cancel_cv_.notify_all();
+  if (cancel_thread_.joinable()) cancel_thread_.join();
+}
+
+std::unique_ptr<net::ConnectionHandler> Router::MakeHandler() {
+  return std::make_unique<RouterHandler>(this);
+}
+
+net::ServerApp Router::MakeServerApp() {
+  net::ServerApp app;
+  app.make_handler = [this] { return MakeHandler(); };
+  app.metrics_text = [this] { return MetricsText(); };
+  // The router itself has no session table to saturate; each shard
+  // applies its own admission control and the reply propagates.
+  app.saturated = nullptr;
+  app.stats = &net_stats_;
+  return app;
+}
+
+std::vector<bool> Router::AliveMask() const {
+  std::vector<bool> mask(backends_.size());
+  for (size_t i = 0; i < backends_.size(); ++i) mask[i] = backends_[i]->alive();
+  return mask;
+}
+
+std::vector<bool> Router::ServingMask() const {
+  std::vector<bool> mask(backends_.size());
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    mask[i] = backends_[i]->serving();
+  }
+  return mask;
+}
+
+Result<size_t> Router::PickSessionShard() const {
+  size_t best = backends_.size();
+  size_t best_outstanding = 0;
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (!backends_[i]->serving()) continue;
+    size_t outstanding = backends_[i]->outstanding();
+    if (best == backends_.size() || outstanding < best_outstanding) {
+      best = i;
+      best_outstanding = outstanding;
+    }
+  }
+  if (best == backends_.size()) {
+    return Status::ResourceExhausted("no serving shards for a new session");
+  }
+  return best;
+}
+
+std::optional<size_t> Router::OwnerOf(std::string_view key) const {
+  return map_.Owner(key, AliveMask());
+}
+
+Result<net::Response> Router::OwnerRequest(std::string_view key,
+                                           std::string_view line,
+                                           size_t* shard_out) {
+  std::vector<bool> mask = AliveMask();
+  Status last = Status::ResourceExhausted("no live shard owns '" +
+                                          std::string(key) + "'");
+  for (int attempt = 0; attempt <= config_.max_failover_attempts; ++attempt) {
+    std::optional<size_t> owner = map_.Owner(key, mask);
+    if (!owner.has_value()) break;
+    Result<net::Response> response = backends_[*owner]->Request(line);
+    if (response.ok()) {
+      if (shard_out != nullptr) *shard_out = *owner;
+      return response;
+    }
+    // Transport failure (connect refused, deadline, circuit open):
+    // this shard is suspect right now regardless of what the prober
+    // last said. Exclude it locally and let the ring fail over.
+    last = response.status();
+    mask[*owner] = false;
+    failovers_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return last;
+}
+
+service::StatsSnapshot Router::ClusterStats() {
+  service::StatsSnapshot merged;
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (!backends_[i]->alive()) {
+      scatter_failures_total_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Result<net::Response> response = backends_[i]->Request("STATS");
+    if (!response.ok() || !response->status.ok()) {
+      scatter_failures_total_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::string text;
+    for (const std::string& line : response->lines) {
+      if (line.rfind("STAT ", 0) == 0) {
+        text.append(line, 5, std::string::npos);
+        text.push_back('\n');
+      }
+    }
+    Result<service::StatsSnapshot> snap = service::StatsSnapshot::Parse(text);
+    if (!snap.ok()) {
+      scatter_failures_total_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    merged.Merge(*snap);
+  }
+  return merged;
+}
+
+obs::Exposition Router::ClusterMetrics() {
+  obs::Exposition merged;
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    std::string text;
+    bool live = false;
+    if (backends_[i]->alive()) {
+      Result<net::Response> response = backends_[i]->Request("METRICS");
+      if (response.ok() && response->status.ok()) {
+        for (const std::string& line : response->lines) {
+          if (line.rfind("METRIC ", 0) == 0) {
+            text.append(line, 7, std::string::npos);
+            text.push_back('\n');
+          }
+        }
+        live = true;
+      }
+    }
+    if (!live) {
+      // Stale-but-present beats absent for a dashboard mid-incident.
+      text = prober_->last_metrics(i);
+      if (text.empty()) {
+        scatter_failures_total_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    Result<obs::Exposition> parsed = obs::Exposition::Parse(text);
+    if (!parsed.ok()) {
+      scatter_failures_total_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    merged.MergeFrom(*parsed);
+  }
+  return merged;
+}
+
+std::string Router::MetricsText() {
+  std::string out = ClusterMetrics().Render();
+  // The router's own section, distinct xsq_router_* names so the
+  // merged shard families above never collide.
+  obs::Registry::AppendScalar(
+      &out, "xsq_router_requests_total", "counter",
+      requests_total_.load(std::memory_order_relaxed));
+  obs::Registry::AppendScalar(
+      &out, "xsq_router_sessions_opened_total", "counter",
+      sessions_opened_.load(std::memory_order_relaxed));
+  obs::Registry::AppendScalar(
+      &out, "xsq_router_failovers_total", "counter",
+      failovers_total_.load(std::memory_order_relaxed));
+  obs::Registry::AppendScalar(
+      &out, "xsq_router_scatter_failures_total", "counter",
+      scatter_failures_total_.load(std::memory_order_relaxed));
+  obs::Registry::AppendScalar(
+      &out, "xsq_router_cancels_enqueued_total", "counter",
+      cancels_enqueued_.load(std::memory_order_relaxed));
+  size_t serving = 0;
+  size_t dead = 0;
+  uint64_t breaker_opens = 0;
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    if (backend->serving()) ++serving;
+    if (!backend->alive()) ++dead;
+    breaker_opens += backend->counters().breaker_opens;
+  }
+  obs::Registry::AppendScalar(&out, "xsq_router_shards_serving", "gauge",
+                              serving);
+  obs::Registry::AppendScalar(&out, "xsq_router_shards_dead", "gauge", dead);
+  obs::Registry::AppendScalar(&out, "xsq_router_breaker_opens_total",
+                              "counter", breaker_opens);
+  obs::Registry::AppendScalar(
+      &out, "xsq_router_connections_accepted", "counter",
+      net_stats_.Snapshot().connections_accepted);
+  out += registry_.RenderText();
+  return out;
+}
+
+uint64_t Router::RegisterSession(std::string query, size_t shard,
+                                 std::string backend_id) {
+  uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  SessionRecord record;
+  record.query = std::move(query);
+  record.primary_shard = shard;
+  record.bindings.emplace(shard, std::move(backend_id));
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.emplace(id, std::move(record));
+  return id;
+}
+
+std::optional<Router::SessionRecord> Router::FindSession(
+    uint64_t router_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(router_id);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Router::AddBinding(uint64_t router_id, size_t shard,
+                        std::string backend_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(router_id);
+  if (it != sessions_.end()) {
+    it->second.bindings[shard] = std::move(backend_id);
+  }
+}
+
+void Router::RemoveBinding(uint64_t router_id, size_t shard) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(router_id);
+  if (it != sessions_.end()) it->second.bindings.erase(shard);
+}
+
+void Router::PromotePrimary(uint64_t router_id, size_t shard) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(router_id);
+  if (it != sessions_.end()) it->second.primary_shard = shard;
+}
+
+void Router::RemoveSession(uint64_t router_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(router_id);
+}
+
+Status Router::CancelSession(uint64_t router_id) {
+  std::optional<SessionRecord> record = FindSession(router_id);
+  if (!record.has_value()) {
+    return Status::InvalidArgument("unknown session id " +
+                                   std::to_string(router_id));
+  }
+  Status last = Status::OK();
+  for (const auto& [shard, backend_id] : record->bindings) {
+    Result<net::Response> response =
+        backends_[shard]->Request("CANCEL " + backend_id);
+    if (!response.ok()) {
+      last = response.status();
+    } else if (!response->status.ok()) {
+      last = response->status;
+    }
+  }
+  return last;
+}
+
+void Router::EnqueueCancel(uint64_t router_id) {
+  std::optional<SessionRecord> record = FindSession(router_id);
+  if (!record.has_value() || record->bindings.empty()) return;
+  std::vector<std::pair<size_t, std::string>> bindings;
+  bindings.reserve(record->bindings.size());
+  for (const auto& [shard, backend_id] : record->bindings) {
+    bindings.emplace_back(shard, backend_id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    cancel_queue_.push_back(std::move(bindings));
+  }
+  cancels_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  cancel_cv_.notify_one();
+}
+
+void Router::CancelLoop() {
+  std::unique_lock<std::mutex> lock(cancel_mu_);
+  for (;;) {
+    cancel_cv_.wait(lock, [this] {
+      return cancel_stopping_ || !cancel_queue_.empty();
+    });
+    if (cancel_queue_.empty()) {
+      if (cancel_stopping_) return;
+      continue;
+    }
+    std::vector<std::pair<size_t, std::string>> bindings =
+        std::move(cancel_queue_.front());
+    cancel_queue_.pop_front();
+    lock.unlock();
+    for (const auto& [shard, backend_id] : bindings) {
+      // Best effort: the lease closing right after will release the
+      // session anyway; this just makes a blocked evaluation stop
+      // within one cancel-check interval instead of running out.
+      (void)backends_[shard]->Request("CANCEL " + backend_id);
+    }
+    lock.lock();
+  }
+}
+
+Router::OwnCounters Router::own_counters() const {
+  OwnCounters out;
+  out.requests_total = requests_total_.load(std::memory_order_relaxed);
+  out.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  out.failovers_total = failovers_total_.load(std::memory_order_relaxed);
+  out.scatter_failures_total =
+      scatter_failures_total_.load(std::memory_order_relaxed);
+  out.cancels_enqueued = cancels_enqueued_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace xsq::cluster

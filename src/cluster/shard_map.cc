@@ -1,0 +1,75 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+#include <string>
+
+namespace xsq::cluster {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t Fnv1a(std::string_view text, uint64_t hash = kFnvOffset) {
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Finalizer (splitmix64 mix) so vnode points spread even though their
+// inputs ("3#17") share most bytes.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t ShardMap::HashKey(std::string_view key) { return Mix(Fnv1a(key)); }
+
+ShardMap::ShardMap(size_t shard_count, size_t vnodes)
+    : shard_count_(shard_count) {
+  ring_.reserve(shard_count * vnodes);
+  for (size_t shard = 0; shard < shard_count; ++shard) {
+    for (size_t v = 0; v < vnodes; ++v) {
+      std::string point =
+          std::to_string(shard) + "#" + std::to_string(v);
+      ring_.push_back(
+          Point{Mix(Fnv1a(point)), static_cast<uint32_t>(shard)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.shard < b.shard;
+            });
+}
+
+std::optional<size_t> ShardMap::Owner(
+    std::string_view key, const std::vector<bool>& serving) const {
+  if (ring_.empty()) return std::nullopt;
+  uint64_t hash = HashKey(key);
+  size_t begin = std::lower_bound(ring_.begin(), ring_.end(), hash,
+                                  [](const Point& p, uint64_t h) {
+                                    return p.hash < h;
+                                  }) -
+                 ring_.begin();
+  // Walk the ring clockwise; the first serving shard point owns the
+  // key. Bounded by ring size: every point dead means no owner.
+  for (size_t step = 0; step < ring_.size(); ++step) {
+    const Point& point = ring_[(begin + step) % ring_.size()];
+    if (point.shard < serving.size() && serving[point.shard]) {
+      return point.shard;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> ShardMap::Owner(std::string_view key) const {
+  return Owner(key, std::vector<bool>(shard_count_, true));
+}
+
+}  // namespace xsq::cluster

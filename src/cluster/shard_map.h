@@ -1,0 +1,62 @@
+// ShardMap: consistent hashing with virtual nodes over document keys.
+//
+// The cluster places a document's tape on exactly one shard: the owner
+// of its key. Ownership must be (a) stable — RECORD and the RUNCACHED
+// that follows must agree on the shard without any coordination — and
+// (b) minimally disrupted by membership changes: when one shard dies,
+// only ITS keys may move, everything else stays put. Consistent
+// hashing gives exactly that: each shard projects `vnodes` points onto
+// a 64-bit ring, a key is owned by the first shard point at or after
+// its own hash, and a non-serving shard is simply skipped during the
+// walk — its keys fall through to the next point, which belongs to a
+// healthy shard, while keys owned by healthy shards never move.
+//
+// The ring is immutable after construction (the shard roster is fixed
+// at router start); liveness is an input to Owner(), not ring state,
+// so health flips never rebuild anything and in-flight requests racing
+// a flip just see one mask or the other.
+#ifndef XSQ_CLUSTER_SHARD_MAP_H_
+#define XSQ_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace xsq::cluster {
+
+class ShardMap {
+ public:
+  // `shard_count` shards, `vnodes` ring points each. More vnodes
+  // smooth the key distribution (and the re-spread of a dead shard's
+  // keys across the survivors) at the cost of ring size.
+  explicit ShardMap(size_t shard_count, size_t vnodes = 64);
+
+  size_t shard_count() const { return shard_count_; }
+
+  // The shard owning `key` among shards with serving[i] true.
+  // `serving` must have shard_count entries. Returns nullopt when no
+  // shard is serving.
+  std::optional<size_t> Owner(std::string_view key,
+                              const std::vector<bool>& serving) const;
+
+  // Owner with every shard serving (the steady-state answer).
+  std::optional<size_t> Owner(std::string_view key) const;
+
+  // The stable 64-bit key hash (FNV-1a); exposed for tests that want
+  // to reason about ring placement.
+  static uint64_t HashKey(std::string_view key);
+
+ private:
+  struct Point {
+    uint64_t hash;
+    uint32_t shard;
+  };
+
+  size_t shard_count_;
+  std::vector<Point> ring_;  // sorted by hash
+};
+
+}  // namespace xsq::cluster
+
+#endif  // XSQ_CLUSTER_SHARD_MAP_H_

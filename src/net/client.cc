@@ -66,10 +66,39 @@ void Client::Close() {
   read_buffer_.clear();
 }
 
-bool Client::IsIdempotent(std::string_view line) {
+VerbRetryClass Client::RetryClassFor(std::string_view line) {
   size_t space = line.find(' ');
   std::string_view verb = line.substr(0, space);
-  return verb == "RUNCACHED" || verb == "METRICS" || verb == "STATS";
+  // The verb table. Every protocol verb appears here; anything else is
+  // an unknown (future) verb and gets the conservative class.
+  struct VerbEntry {
+    std::string_view verb;
+    VerbRetryClass retry_class;
+  };
+  static constexpr VerbEntry kVerbTable[] = {
+      {"RUNCACHED", VerbRetryClass::kIdempotent},
+      {"METRICS", VerbRetryClass::kIdempotent},
+      {"STATS", VerbRetryClass::kIdempotent},
+      {"RECORD", VerbRetryClass::kIdempotent},  // idempotent by key
+      {"OPEN", VerbRetryClass::kNonIdempotent},
+      {"PUSH", VerbRetryClass::kNonIdempotent},
+      {"DRAIN", VerbRetryClass::kNonIdempotent},
+      {"CLOSE", VerbRetryClass::kNonIdempotent},
+      {"EVICT", VerbRetryClass::kNonIdempotent},
+      {"CANCEL", VerbRetryClass::kNonIdempotent},
+      {"QUIT", VerbRetryClass::kNonIdempotent},
+      {"PUBLISH", VerbRetryClass::kNeverRetry},
+      {"SUBSCRIBE", VerbRetryClass::kNeverRetry},
+      {"UNSUBSCRIBE", VerbRetryClass::kNeverRetry},
+  };
+  for (const VerbEntry& entry : kVerbTable) {
+    if (verb == entry.verb) return entry.retry_class;
+  }
+  return VerbRetryClass::kNonIdempotent;
+}
+
+bool Client::IsIdempotent(std::string_view line) {
+  return RetryClassFor(line) == VerbRetryClass::kIdempotent;
 }
 
 uint64_t Client::NextBackoffMs(int attempt) {
@@ -124,6 +153,8 @@ Status Client::ConnectOnce() {
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (counters_.connects > 0) ++counters_.reconnects;
+  ++counters_.connects;
   return Status::OK();
 }
 
@@ -217,6 +248,7 @@ Result<Response> Client::Request(std::string_view line) {
   Status last = Status::OK();
   for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
     if (attempt > 0) {
+      ++counters_.retries;
       std::this_thread::sleep_for(
           std::chrono::milliseconds(NextBackoffMs(attempt - 1)));
     }
@@ -228,6 +260,7 @@ Result<Response> Client::Request(std::string_view line) {
           result->status.code() == StatusCode::kResourceExhausted &&
           attempt + 1 < attempts_allowed) {
         last = result->status;
+        ++counters_.shed_retries;
         Close();
         continue;
       }

@@ -6,12 +6,25 @@
 // request deadline; connect() itself is bounded by a connect timeout
 // (non-blocking connect + poll). Transport failures — refused or timed
 // out connects, resets, a deadline with no terminator — are retried
-// with jittered exponential backoff, but ONLY for idempotent verbs:
-// RUNCACHED, METRICS and STATS leave the server in the same state when
-// repeated, while OPEN/PUSH/CLOSE/RECORD/EVICT/CANCEL do not (a
-// retried PUSH would feed the document bytes twice). Non-idempotent
-// requests surface the transport error to the caller, who knows the
-// conversation state.
+// with jittered exponential backoff, but ONLY for idempotent verbs.
+// The classification is a per-verb table (RetryClassFor):
+//
+//   kIdempotent    RUNCACHED METRICS STATS RECORD — replaying leaves
+//                  the server in the same state. RECORD is idempotent
+//                  *by key*: re-recording the same name with the same
+//                  bytes replaces the tape with an identical one, so a
+//                  lost reply is safe to retry.
+//   kNonIdempotent OPEN PUSH CLOSE DRAIN EVICT CANCEL — a replay
+//                  changes state (a retried PUSH feeds the document
+//                  bytes twice; a retried OPEN leaks a session). The
+//                  transport error surfaces to the caller, who knows
+//                  the conversation state.
+//   kNeverRetry    PUBLISH SUBSCRIBE UNSUBSCRIBE — a replay is not
+//                  just stateful but *externally visible*: a retried
+//                  PUBLISH double-delivers EVENT frames to every
+//                  subscriber, a retried SUBSCRIBE registers a
+//                  duplicate standing query. These must never be
+//                  auto-retried under any policy.
 //
 // An "ERR" reply is NOT retried regardless of verb: the server
 // answered; the request failed for a reason retrying will not change
@@ -36,6 +49,14 @@
 #include "common/status.h"
 
 namespace xsq::net {
+
+// How a verb behaves when its request is replayed after a transport
+// failure (see the table in the header comment).
+enum class VerbRetryClass {
+  kIdempotent,     // safe to auto-retry (reconnect + resend)
+  kNonIdempotent,  // caller must decide; never auto-retried
+  kNeverRetry,     // externally visible replay; never retried, period
+};
 
 struct ClientConfig {
   std::string host = "127.0.0.1";
@@ -86,8 +107,24 @@ class Client {
   // as the Result's status (after retries when the verb allows them).
   Result<Response> Request(std::string_view line);
 
+  // The retry class of `line`'s verb (the word before the first
+  // space). Unknown verbs classify as kNonIdempotent: a server newer
+  // than this client gets the conservative treatment.
+  static VerbRetryClass RetryClassFor(std::string_view line);
+
   // True for verbs whose replay cannot change server state.
+  // Equivalent to RetryClassFor(line) == kIdempotent.
   static bool IsIdempotent(std::string_view line);
+
+  // Lifetime transport counters, for pools and tests that need to see
+  // how hard this client has been fighting the network.
+  struct Counters {
+    uint64_t connects = 0;      // successful ConnectOnce calls
+    uint64_t reconnects = 0;    // connects after the first
+    uint64_t retries = 0;       // request attempts beyond the first
+    uint64_t shed_retries = 0;  // retries honoring an ERR ResourceExhausted
+  };
+  const Counters& counters() const { return counters_; }
 
  private:
   Status ConnectOnce();
@@ -100,6 +137,7 @@ class Client {
   int fd_ = -1;
   std::string read_buffer_;
   uint64_t rng_state_;
+  Counters counters_;
 };
 
 }  // namespace xsq::net

@@ -78,7 +78,7 @@ size_t LineProtocol::CancelAll() {
   return cancelled;
 }
 
-void LineProtocol::SetEventSink(service::QueryService::EventSink sink) {
+void LineProtocol::SetEventSink(EventSink sink) {
   std::lock_guard<std::mutex> lock(mu_);
   event_sink_ = std::move(sink);
 }

@@ -21,6 +21,18 @@
 // reply blocks, never inside one. Transports that cannot push frames
 // (no sink installed) reject SUBSCRIBE.
 //
+// EVENT ordering guarantee (asserted by net_test's pooled-connection
+// parity suite): a reply block is appended to the transport's output
+// atomically, so an EVENT frame can appear *between* two reply blocks
+// but never inside one — a client reading line-by-line can always
+// attribute payload lines to the command block in flight and treat
+// EVENT lines as out-of-band. Per subscriber, frames preserve publish
+// order: all frames of PUBLISH n precede all frames of PUBLISH n+1
+// (the service's per-subscriber FIFO queue), and within one publish,
+// frames of one subscription arrive in document order. No ordering is
+// promised *across* connections: two subscribers on different
+// connections may observe the same publish at different times.
+//
 // Beyond dispatch, a LineProtocol instance tracks which sessions *it*
 // opened. That ownership is what makes disconnect-driven cancellation
 // work: when the transport notices the peer is gone it calls
@@ -44,14 +56,15 @@
 #include <string_view>
 #include <unordered_set>
 
+#include "net/handler.h"
 #include "service/query_service.h"
 
 namespace xsq::net {
 
-class LineProtocol {
+class LineProtocol : public ConnectionHandler {
  public:
   explicit LineProtocol(service::QueryService* service) : service_(service) {}
-  ~LineProtocol() { ReleaseAll(); }
+  ~LineProtocol() override { ReleaseAll(); }
 
   LineProtocol(const LineProtocol&) = delete;
   LineProtocol& operator=(const LineProtocol&) = delete;
@@ -60,7 +73,7 @@ class LineProtocol {
   // '\r' is tolerated and stripped). Appends newline-terminated reply
   // lines to *out. Returns false when the command asks the transport to
   // end the conversation (QUIT) — the "OK" reply is still appended.
-  bool HandleLine(std::string_view line, std::string* out);
+  bool HandleLine(std::string_view line, std::string* out) override;
 
   // Installs the transport's asynchronous event path: dispatcher
   // threads call `sink` with one "EVENT ..." frame (no newline) per
@@ -68,20 +81,20 @@ class LineProtocol {
   // must be callable from any thread and must not call back into this
   // protocol or its server. The connection is registered with the
   // service lazily, on the first SUBSCRIBE.
-  void SetEventSink(service::QueryService::EventSink sink);
+  void SetEventSink(EventSink sink) override;
 
   // Cancels every session this instance opened: in-flight evaluations
   // abort with kCancelled within one sampling interval; idle sessions
   // are left tripped. Returns how many sessions were cancelled. Safe
   // from any thread, including concurrently with HandleLine.
-  size_t CancelAll();
+  size_t CancelAll() override;
 
   // Releases every session this instance opened, freeing their
   // admission slots, and deregisters this connection's subscriber (all
   // its standing queries drop; the event sink is never invoked again
   // after this returns). In-flight work finishes first (the service
   // keeps the session alive); no new work is accepted. Idempotent.
-  void ReleaseAll();
+  void ReleaseAll() override;
 
   // Sessions currently owned (opened and not yet closed/released).
   size_t owned_sessions() const;

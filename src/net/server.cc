@@ -42,15 +42,35 @@ std::string HttpResponse(int code, const char* reason,
 
 }  // namespace
 
-Server::Server(service::QueryService* service, ServerConfig config)
-    : service_(service), config_(std::move(config)) {}
+Server::Server(ServerApp app, ServerConfig config)
+    : app_(std::move(app)), config_(std::move(config)) {}
 
 Result<std::unique_ptr<Server>> Server::Create(service::QueryService* service,
                                                ServerConfig config) {
   if (service == nullptr) {
     return Status::InvalidArgument("net::Server needs a QueryService");
   }
-  std::unique_ptr<Server> server(new Server(service, std::move(config)));
+  ServerApp app;
+  app.make_handler = [service] {
+    return std::make_unique<LineProtocol>(service);
+  };
+  app.metrics_text = [service] { return service->MetricsText(); };
+  app.saturated = [service] {
+    return service->active_sessions() >= service->config().max_sessions;
+  };
+  app.stats = service->stats_sink();
+  return Create(std::move(app), std::move(config));
+}
+
+Result<std::unique_ptr<Server>> Server::Create(ServerApp app,
+                                               ServerConfig config) {
+  if (!app.make_handler) {
+    return Status::InvalidArgument("ServerApp needs a handler factory");
+  }
+  if (app.stats == nullptr) {
+    return Status::InvalidArgument("ServerApp needs a stats sink");
+  }
+  std::unique_ptr<Server> server(new Server(std::move(app), std::move(config)));
   XSQ_RETURN_IF_ERROR(server->Listen());
   int workers =
       server->config_.protocol_workers < 1 ? 1 : server->config_.protocol_workers;
@@ -177,7 +197,7 @@ void Server::QueueOutputLocked(const std::shared_ptr<Connection>& conn,
     conn->pending_lines.clear();
     conn->closing = true;
     conn->protocol->CancelAll();
-    service_->stats_sink()->RecordNetOverrunClosed();
+    app_.stats->RecordNetOverrunClosed();
   }
 }
 
@@ -193,12 +213,16 @@ void Server::TeardownLocked(const std::shared_ptr<Connection>& conn,
   }
   size_t cancelled = conn->protocol->CancelAll();
   if (abrupt && cancelled > 0) {
-    service_->stats_sink()->RecordDisconnectCancels(cancelled);
+    app_.stats->RecordDisconnectCancels(cancelled);
   }
   // ReleaseAll deregisters the connection's subscriber, blocking until
   // no dispatcher is mid-delivery. Safe under mu_: the event sink only
   // ever takes the EventBuffer mutex, never ours.
   conn->protocol->ReleaseAll();
+  if (conn->counted_http) {
+    conn->counted_http = false;
+    --http_conns_;
+  }
   if (conn->fd >= 0) {
     ::close(conn->fd);
     conns_.erase(conn->fd);
@@ -207,13 +231,26 @@ void Server::TeardownLocked(const std::shared_ptr<Connection>& conn,
   drain_cv_.notify_all();
 }
 
+bool Server::SheddingLocked() const {
+  // Only protocol conversations consume capacity slots; HTTP probes
+  // (metrics scrapers, health checkers) are excluded so observability
+  // keeps working exactly when the operator needs it most.
+  size_t protocol_conns = conns_.size() - http_conns_;
+  if (protocol_conns >= config_.max_connections) return true;
+  return app_.saturated && app_.saturated();
+}
+
 void Server::AcceptPendingLocked() {
   for (;;) {
     int fd = ::accept4(listen_fd_, nullptr, nullptr,
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN, or a transient accept error: try later
-    bool shed = conns_.size() >= config_.max_connections ||
-                service_->active_sessions() >= service_->config().max_sessions;
+    // The shed *decision* is deferred until the transport is sniffed
+    // (SplitLinesLocked) so HTTP probes are served even at capacity.
+    // Only the hard fd cap — capacity plus the probe allowance — sheds
+    // at accept, bounding descriptors a flood can pin.
+    bool shed =
+        conns_.size() >= config_.max_connections + config_.probe_slack;
     XSQ_FAILPOINT("net.accept.shed", shed = true);
     if (shed) {
       // Best effort: tell the peer why before closing. A full socket
@@ -222,14 +259,14 @@ void Server::AcceptPendingLocked() {
                                MSG_NOSIGNAL | MSG_DONTWAIT);
       (void)ignored;
       ::close(fd);
-      service_->stats_sink()->RecordConnectionShed();
+      app_.stats->RecordConnectionShed();
       continue;
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
-    conn->protocol = std::make_unique<LineProtocol>(service_);
+    conn->protocol = app_.make_handler();
     conn->events = std::make_shared<EventBuffer>();
     // The sink runs on service dispatcher threads: append to the
     // side-channel under its own mutex, then nudge the poll thread so
@@ -247,7 +284,7 @@ void Server::AcceptPendingLocked() {
         });
     conn->last_activity = std::chrono::steady_clock::now();
     conns_.emplace(fd, std::move(conn));
-    service_->stats_sink()->RecordConnectionAccepted();
+    app_.stats->RecordConnectionAccepted();
   }
 }
 
@@ -268,7 +305,7 @@ void Server::DrainEventsLocked(const std::shared_ptr<Connection>& conn) {
 void Server::HandleHttpLocked(const std::shared_ptr<Connection>& conn) {
   if (conn->closing) return;
   if (conn->in_buffer.size() > kMaxHttpRequestBytes) {
-    service_->stats_sink()->RecordNetOverrunClosed();
+    app_.stats->RecordNetOverrunClosed();
     TeardownLocked(conn, false);
     return;
   }
@@ -299,18 +336,18 @@ void Server::HandleHttpLocked(const std::shared_ptr<Connection>& conn) {
                     ? std::string_view::npos
                     : second_space - first_space - 1);
   std::string response;
-  if (path == "/metrics") {
-    response = HttpResponse(200, "OK", service_->MetricsText());
+  if (path == "/metrics" && app_.metrics_text) {
+    response = HttpResponse(200, "OK", app_.metrics_text());
   } else if (path == "/healthz") {
-    // Health tracks what a new client would experience right now:
-    // draining means the listener is gone, shedding means accept would
-    // turn the connection away (connection slots or session slots
-    // exhausted — the same condition AcceptPendingLocked enforces).
+    // Health tracks what a new protocol client would experience right
+    // now: draining means the listener is gone, shedding means a
+    // protocol conversation would be turned away (connection slots or
+    // session slots exhausted — the same SheddingLocked condition the
+    // sniff enforces). The probe's own connection is HTTP-counted, so
+    // it never tips the scale it is reading.
     if (draining_) {
       response = HttpResponse(503, "Service Unavailable", "draining\n");
-    } else if (conns_.size() >= config_.max_connections ||
-               service_->active_sessions() >=
-                   service_->config().max_sessions) {
+    } else if (SheddingLocked()) {
       response = HttpResponse(503, "Service Unavailable", "shedding\n");
     } else {
       response = HttpResponse(200, "OK", "ok\n");
@@ -336,6 +373,26 @@ void Server::SplitLinesLocked(const std::shared_ptr<Connection>& conn) {
       conn->sniffed = true;  // a full (tiny) protocol line before 4 bytes
     } else {
       return;  // wait for more bytes before deciding the transport
+    }
+    if (conn->http) {
+      // Probes don't occupy capacity slots — see SheddingLocked.
+      conn->counted_http = true;
+      ++http_conns_;
+    } else {
+      // Deferred shed: the peer revealed itself as a protocol client,
+      // so the capacity decision formerly made at accept applies now.
+      // Exclude this connection from the count — it IS the candidate.
+      bool over = (conns_.size() - http_conns_ - 1) >=
+                      config_.max_connections ||
+                  (app_.saturated && app_.saturated());
+      if (over) {
+        conn->in_buffer.clear();
+        conn->pending_lines.clear();
+        conn->closing = true;
+        QueueOutputLocked(conn, kShedReply);
+        app_.stats->RecordConnectionShed();
+        return;
+      }
     }
   }
   if (conn->http) {
@@ -372,7 +429,7 @@ void Server::SplitLinesLocked(const std::shared_ptr<Connection>& conn) {
     QueueOutputLocked(conn,
                       LineProtocol::OversizedLineReply(config_.max_line_bytes) +
                           "\n");
-    service_->stats_sink()->RecordNetOverrunClosed();
+    app_.stats->RecordNetOverrunClosed();
     return;
   }
   ScheduleLocked(conn);
@@ -448,11 +505,11 @@ void Server::SweepTimeoutsLocked(std::chrono::steady_clock::time_point now) {
     }
   }
   for (auto& conn : write_victims) {
-    service_->stats_sink()->RecordNetOverrunClosed();
+    app_.stats->RecordNetOverrunClosed();
     TeardownLocked(conn, false);
   }
   for (auto& conn : idle_victims) {
-    service_->stats_sink()->RecordNetIdleClosed();
+    app_.stats->RecordNetIdleClosed();
     TeardownLocked(conn, false);
   }
 }

@@ -50,8 +50,27 @@
 // QueryService::MetricsText() (the Prometheus text exposition),
 // GET /healthz reports serving health — 200 "ok" normally, 503
 // "draining" once BeginDrain ran, 503 "shedding" while a new
-// connection would be shed (connection or session capacity) — and any
-// other path returns 404. The response ends the connection.
+// *protocol* connection would be shed (connection or session
+// capacity) — and any other path returns 404. The response ends the
+// connection.
+//
+// Probes are not query sessions: the shed decision is deferred from
+// accept to transport sniff, and only protocol connections count
+// against max_connections. A health prober or metrics scraper arriving
+// while the server sheds still gets its HTTP answer (503 "shedding" /
+// 200 with the exposition) instead of a raw "ERR ResourceExhausted" +
+// close — exactly what a cluster front tier needs to tell "shedding"
+// apart from "dead". A hard ceiling of max_connections + probe_slack
+// total sockets still bounds fd usage; beyond it everything sheds at
+// accept, probes included.
+//
+// Applications: the server is protocol-agnostic above the transport.
+// It asks its ServerApp for a ConnectionHandler per connection, for
+// the GET /metrics body, and for an app-side saturation signal folded
+// into the shed/healthz decision. Server::Create(QueryService*, ...)
+// wires the classic single-node app (LineProtocol, MetricsText,
+// session-slot saturation); src/cluster/ wires a router app over the
+// same transport.
 //
 // Pub/sub transport: SUBSCRIBE/UNSUBSCRIBE/PUBLISH flow through
 // LineProtocol like any verb; asynchronous "EVENT ..." frames from the
@@ -77,6 +96,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -85,18 +105,42 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/handler.h"
 #include "net/line_protocol.h"
 #include "service/query_service.h"
 
 namespace xsq::net {
+
+// The application behind the transport. `make_handler` and `stats` are
+// required; empty `metrics_text` answers GET /metrics with 404, empty
+// `saturated` means the app never saturates.
+struct ServerApp {
+  // One handler per connection; called on the poll thread at accept.
+  std::function<std::unique_ptr<ConnectionHandler>()> make_handler;
+  // Body for GET /metrics.
+  std::function<std::string()> metrics_text;
+  // App-side shed signal (e.g. session slots exhausted), folded into
+  // accept-side shedding and /healthz.
+  std::function<bool()> saturated;
+  // Counter block for connection-level events (accepts, sheds, idle
+  // closes, disconnect cancels).
+  service::ServiceStats* stats = nullptr;
+};
 
 struct ServerConfig {
   // Listen address. Tests and the default deployment bind loopback.
   std::string bind_address = "127.0.0.1";
   // 0 picks an ephemeral port; read it back with port().
   uint16_t port = 0;
-  // Admission control: connections beyond this are shed at accept.
+  // Admission control: *protocol* connections beyond this are shed
+  // (the reply-then-close happens at transport sniff, so HTTP probes
+  // are still served while shedding).
   size_t max_connections = 64;
+  // Extra sockets beyond max_connections kept available for HTTP
+  // probes (health checks, metrics scrapers) and not-yet-sniffed
+  // peers. Total sockets are hard-capped at max_connections +
+  // probe_slack; beyond that everything sheds at accept.
+  size_t probe_slack = 8;
   // A protocol line larger than this closes the connection with ERR
   // (the stdin transport discards the command but keeps serving; a
   // socket peer that overruns is assumed broken or hostile).
@@ -126,6 +170,11 @@ class Server {
  public:
   // Binds, listens and starts the poll + worker threads. On success the
   // server is live and port() is the bound port.
+  static Result<std::unique_ptr<Server>> Create(
+      ServerApp app, ServerConfig config = ServerConfig());
+
+  // The classic single-node binding: LineProtocol handlers over
+  // `service`, MetricsText for scrapes, session-slot saturation.
   static Result<std::unique_ptr<Server>> Create(
       service::QueryService* service, ServerConfig config = ServerConfig());
 
@@ -166,7 +215,7 @@ class Server {
 
   struct Connection {
     int fd = -1;
-    std::unique_ptr<LineProtocol> protocol;
+    std::unique_ptr<ConnectionHandler> protocol;
     std::shared_ptr<EventBuffer> events;
     // Bytes read but not yet split into lines. Poll thread only.
     std::string in_buffer;
@@ -188,17 +237,23 @@ class Server {
     bool http = false;
     // Transport sniffing done (first bytes decide HTTP vs protocol).
     bool sniffed = false;
+    // Counted in http_conns_ (sniffed as HTTP; excluded from the
+    // protocol-connection shed accounting).
+    bool counted_http = false;
     std::chrono::steady_clock::time_point last_activity;
     // Set while out_buffer is non-empty: when delivery began.
     std::chrono::steady_clock::time_point out_since;
   };
 
-  Server(service::QueryService* service, ServerConfig config);
+  Server(ServerApp app, ServerConfig config);
   Status Listen();
   void PollLoop();
   void WorkerLoop();
 
   // All Requires-mu_ helpers run on the poll thread unless noted.
+  // True when a new protocol connection would be shed right now
+  // (protocol-connection slots or the app's own saturation signal).
+  bool SheddingLocked() const;
   void AcceptPendingLocked();
   void ReadFromLocked(const std::shared_ptr<Connection>& conn);
   void WriteToLocked(const std::shared_ptr<Connection>& conn);
@@ -217,7 +272,7 @@ class Server {
   void ScheduleLocked(const std::shared_ptr<Connection>& conn);
   void WakePoll();
 
-  service::QueryService* const service_;
+  const ServerApp app_;
   const ServerConfig config_;
   uint16_t port_ = 0;
 
@@ -230,6 +285,9 @@ class Server {
   std::condition_variable drain_cv_;  // Stop(): connection count changes
   std::unordered_map<int, std::shared_ptr<Connection>> conns_;
   std::deque<std::shared_ptr<Connection>> runnable_;
+  // Connections sniffed as HTTP; conns_.size() - http_conns_ is the
+  // protocol-connection count the shed accounting uses.
+  size_t http_conns_ = 0;
   bool draining_ = false;
   bool stopping_ = false;
 

@@ -268,15 +268,17 @@ Result<std::shared_ptr<const tape::Tape>> QueryService::RecordDocument(
 
 Status QueryService::RunCached(SessionId id, std::string_view name,
                                uint64_t deadline_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) return Status::InvalidArgument("service is shut down");
+  // Session lookup precedes the cache probe so the error precedence is
+  // the same whether the request reaches the service directly or via a
+  // router that validates its own session table first.
+  XSQ_ASSIGN_OR_RETURN(std::shared_ptr<SessionState> state, FindLocked(id));
   std::shared_ptr<const tape::Tape> tape = doc_cache_.Get(name);
   if (tape == nullptr) {
     return Status::InvalidArgument("document not recorded: " +
                                    std::string(name));
   }
-
-  std::unique_lock<std::mutex> lock(mu_);
-  if (stopping_) return Status::InvalidArgument("service is shut down");
-  XSQ_ASSIGN_OR_RETURN(std::shared_ptr<SessionState> state, FindLocked(id));
   WaitUntilIdle(lock, state);
   // Claim the session so no worker can touch it while we replay inline
   // (same discipline as ResetSession; Push/Close on this id block on

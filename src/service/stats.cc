@@ -2,48 +2,115 @@
 
 namespace xsq::service {
 
+namespace {
+
+// The one canonical field list: ToString renders it in this order,
+// Parse accepts any subset of these names, Merge folds them all.
+struct FieldSpec {
+  const char* name;
+  uint64_t StatsSnapshot::*field;
+};
+
+constexpr FieldSpec kFields[] = {
+    {"sessions_opened", &StatsSnapshot::sessions_opened},
+    {"sessions_rejected", &StatsSnapshot::sessions_rejected},
+    {"sessions_active", &StatsSnapshot::sessions_active},
+    {"chunks_processed", &StatsSnapshot::chunks_processed},
+    {"bytes_consumed", &StatsSnapshot::bytes_consumed},
+    {"items_emitted", &StatsSnapshot::items_emitted},
+    {"pushes_rejected", &StatsSnapshot::pushes_rejected},
+    {"queue_high_water", &StatsSnapshot::queue_high_water},
+    {"engine_buffered_bytes", &StatsSnapshot::engine_buffered_bytes},
+    {"plan_cache_hits", &StatsSnapshot::plan_cache_hits},
+    {"plan_cache_misses", &StatsSnapshot::plan_cache_misses},
+    {"plan_cache_evictions", &StatsSnapshot::plan_cache_evictions},
+    {"doc_cache_hits", &StatsSnapshot::doc_cache_hits},
+    {"doc_cache_misses", &StatsSnapshot::doc_cache_misses},
+    {"doc_cache_evictions", &StatsSnapshot::doc_cache_evictions},
+    {"doc_cache_explicit_evictions",
+     &StatsSnapshot::doc_cache_explicit_evictions},
+    {"doc_cache_documents", &StatsSnapshot::doc_cache_documents},
+    {"doc_cache_bytes", &StatsSnapshot::doc_cache_bytes},
+    {"tape_replays", &StatsSnapshot::tape_replays},
+    {"tape_events_replayed", &StatsSnapshot::tape_events_replayed},
+    {"cancelled", &StatsSnapshot::cancelled},
+    {"deadline_exceeded", &StatsSnapshot::deadline_exceeded},
+    {"limit_rejected", &StatsSnapshot::limit_rejected},
+    {"tape_corrupt", &StatsSnapshot::tape_corrupt},
+    {"connections_accepted", &StatsSnapshot::connections_accepted},
+    {"connections_shed", &StatsSnapshot::connections_shed},
+    {"disconnect_cancels", &StatsSnapshot::disconnect_cancels},
+    {"net_idle_closed", &StatsSnapshot::net_idle_closed},
+    {"net_overrun_closed", &StatsSnapshot::net_overrun_closed},
+    {"subscriptions_active", &StatsSnapshot::subscriptions_active},
+    {"publishes", &StatsSnapshot::publishes},
+    {"events_delivered", &StatsSnapshot::events_delivered},
+    {"fanout_shed", &StatsSnapshot::fanout_shed},
+};
+
+}  // namespace
+
 std::string StatsSnapshot::ToString() const {
   std::string out;
-  auto line = [&out](const char* name, uint64_t value) {
-    out += name;
+  for (const FieldSpec& spec : kFields) {
+    out += spec.name;
     out += ' ';
-    out += std::to_string(value);
+    out += std::to_string(this->*spec.field);
     out += '\n';
-  };
-  line("sessions_opened", sessions_opened);
-  line("sessions_rejected", sessions_rejected);
-  line("sessions_active", sessions_active);
-  line("chunks_processed", chunks_processed);
-  line("bytes_consumed", bytes_consumed);
-  line("items_emitted", items_emitted);
-  line("pushes_rejected", pushes_rejected);
-  line("queue_high_water", queue_high_water);
-  line("engine_buffered_bytes", engine_buffered_bytes);
-  line("plan_cache_hits", plan_cache_hits);
-  line("plan_cache_misses", plan_cache_misses);
-  line("plan_cache_evictions", plan_cache_evictions);
-  line("doc_cache_hits", doc_cache_hits);
-  line("doc_cache_misses", doc_cache_misses);
-  line("doc_cache_evictions", doc_cache_evictions);
-  line("doc_cache_explicit_evictions", doc_cache_explicit_evictions);
-  line("doc_cache_documents", doc_cache_documents);
-  line("doc_cache_bytes", doc_cache_bytes);
-  line("tape_replays", tape_replays);
-  line("tape_events_replayed", tape_events_replayed);
-  line("cancelled", cancelled);
-  line("deadline_exceeded", deadline_exceeded);
-  line("limit_rejected", limit_rejected);
-  line("tape_corrupt", tape_corrupt);
-  line("connections_accepted", connections_accepted);
-  line("connections_shed", connections_shed);
-  line("disconnect_cancels", disconnect_cancels);
-  line("net_idle_closed", net_idle_closed);
-  line("net_overrun_closed", net_overrun_closed);
-  line("subscriptions_active", subscriptions_active);
-  line("publishes", publishes);
-  line("events_delivered", events_delivered);
-  line("fanout_shed", fanout_shed);
+  }
   return out;
+}
+
+Result<StatsSnapshot> StatsSnapshot::Parse(std::string_view text) {
+  StatsSnapshot snap;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    size_t space = line.find(' ');
+    if (space == std::string_view::npos) {
+      return Status::ParseError("malformed stats line: " + std::string(line));
+    }
+    std::string_view name = line.substr(0, space);
+    std::string_view digits = line.substr(space + 1);
+    uint64_t value = 0;
+    if (digits.empty()) {
+      return Status::ParseError("malformed stats line: " + std::string(line));
+    }
+    for (char c : digits) {
+      if (c < '0' || c > '9') {
+        return Status::ParseError("bad stats value: " + std::string(line));
+      }
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    bool known = false;
+    for (const FieldSpec& spec : kFields) {
+      if (name == spec.name) {
+        snap.*spec.field = value;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::ParseError("unknown stats name: " + std::string(name));
+    }
+  }
+  return snap;
+}
+
+void StatsSnapshot::Merge(const StatsSnapshot& other) {
+  for (const FieldSpec& spec : kFields) {
+    if (spec.field == &StatsSnapshot::queue_high_water) {
+      if (other.queue_high_water > queue_high_water) {
+        queue_high_water = other.queue_high_water;
+      }
+    } else {
+      this->*spec.field += other.*spec.field;
+    }
+  }
 }
 
 StatsSnapshot ServiceStats::Snapshot() const {

@@ -12,6 +12,9 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
+
+#include "common/status.h"
 
 namespace xsq::service {
 
@@ -63,6 +66,19 @@ struct StatsSnapshot {
   // One "name value" pair per line, stable names; the xsqd STATS
   // command prints exactly this.
   std::string ToString() const;
+
+  // The inverse of ToString: parses "name value" lines back into a
+  // snapshot, so a router can decode a shard's STATS reply. Fields
+  // absent from the text stay zero (an older shard); an unknown name
+  // or a malformed line is a ParseError. Round trip:
+  // Parse(s.ToString())->ToString() == s.ToString().
+  static Result<StatsSnapshot> Parse(std::string_view text);
+
+  // Adds `other` into this snapshot (cluster roll-up). Every field
+  // sums — gauges included, since the cluster-wide "right now" is the
+  // sum over shards — except queue_high_water, a per-session high-water
+  // mark for which the cluster figure is the max over shards.
+  void Merge(const StatsSnapshot& other);
 };
 
 class ServiceStats {

@@ -1,0 +1,587 @@
+// Tests for the cluster front tier (src/cluster/): ShardMap consistent
+// hashing, Backend pooling + circuit breaking, HealthProber
+// transitions, and the Router end to end against three in-process xsqd
+// shards (QueryService + net::Server each), including scatter-gather
+// merge equality, dead-shard key remapping, and disconnect-driven
+// cross-shard cancellation.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/backend_pool.h"
+#include "cluster/health.h"
+#include "cluster/router.h"
+#include "cluster/shard_map.h"
+#include "common/status.h"
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/line_protocol.h"
+#include "net/server.h"
+#include "obs/exposition.h"
+#include "service/query_service.h"
+#include "service/stats.h"
+
+namespace xsq {
+namespace {
+
+using cluster::Backend;
+using cluster::BackendConfig;
+using cluster::HttpGet;
+using cluster::Router;
+using cluster::RouterConfig;
+using cluster::ShardAddress;
+using cluster::ShardHealth;
+using cluster::ShardMap;
+using net::Client;
+using net::ClientConfig;
+using net::LineProtocol;
+using net::Server;
+using net::ServerConfig;
+using service::QueryService;
+using service::ServiceConfig;
+
+// Binds an ephemeral port, reads it back, releases it. The caller gets
+// a port nothing listens on (until it binds it itself).
+uint16_t ReserveEphemeralPort() {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+template <typename Predicate>
+bool WaitFor(Predicate predicate, int timeout_ms = 5000) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return predicate();
+}
+
+// ---------------------------------------------------------------------------
+// ShardMap: consistent hashing with virtual nodes.
+
+TEST(ShardMapTest, OwnerIsDeterministicAndUsesEveryShard) {
+  ShardMap map(3, 64);
+  std::vector<size_t> per_shard(3, 0);
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = "doc-" + std::to_string(i);
+    std::optional<size_t> owner = map.Owner(key);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(map.Owner(key), owner);  // stable across calls
+    ++per_shard[*owner];
+  }
+  // Virtual nodes smooth the distribution: every shard owns a
+  // non-trivial slice (the bound is loose on purpose — the point is
+  // "no starved shard", not a balance SLO).
+  for (size_t shard = 0; shard < 3; ++shard) {
+    EXPECT_GT(per_shard[shard], 100u) << "shard " << shard;
+  }
+}
+
+TEST(ShardMapTest, MaskRemapsOnlyTheDeadShardsKeys) {
+  ShardMap map(3, 64);
+  const std::vector<bool> all = {true, true, true};
+  std::vector<bool> without_one = {true, false, true};
+  size_t moved = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = "doc-" + std::to_string(i);
+    size_t before = *map.Owner(key, all);
+    size_t after = *map.Owner(key, without_one);
+    if (before == 1) {
+      // A dead shard's keys remap to a survivor...
+      EXPECT_NE(after, 1u);
+      ++moved;
+    } else {
+      // ...and nobody else's keys move at all.
+      EXPECT_EQ(after, before) << key;
+    }
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(ShardMapTest, NoServingShardMeansNoOwner) {
+  ShardMap map(2, 8);
+  EXPECT_FALSE(map.Owner("doc", {false, false}).has_value());
+  EXPECT_EQ(*map.Owner("doc", {false, true}), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Backend: pooled requests and the circuit breaker.
+
+TEST(BackendTest, CircuitBreakerOpensFailsFastAndRecovers) {
+  uint16_t port = ReserveEphemeralPort();
+  BackendConfig config;
+  config.breaker_threshold = 2;
+  config.breaker_cooldown_ms = 100;
+  config.connect_timeout_ms = 200;
+  config.request_timeout_ms = 1000;
+  config.client_max_retries = 0;  // count transport attempts exactly
+  Backend backend({"127.0.0.1", port}, config);
+
+  // Nothing listens: two consecutive transport failures trip the
+  // breaker, and the next request fails fast instead of burning a
+  // connect timeout.
+  EXPECT_FALSE(backend.Request("STATS").ok());
+  EXPECT_FALSE(backend.Request("STATS").ok());
+  EXPECT_TRUE(backend.circuit_open());
+  auto rejected = backend.Request("STATS");
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  Backend::Counters counters = backend.counters();
+  EXPECT_GE(counters.failures, 2u);
+  EXPECT_GE(counters.breaker_opens, 1u);
+  EXPECT_GE(counters.breaker_rejects, 1u);
+
+  // Bring a real shard up on that port: after the cooldown the
+  // half-open probe goes through and closes the circuit.
+  QueryService service{ServiceConfig()};
+  ServerConfig server_config;
+  server_config.port = port;
+  auto server = Server::Create(&service, server_config);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_TRUE(WaitFor([&] {
+    auto response = backend.Request("STATS");
+    return response.ok() && response->status.ok();
+  }));
+  EXPECT_FALSE(backend.circuit_open());
+  EXPECT_EQ(backend.outstanding(), 0u);
+  (*server)->Stop();
+  service.Shutdown();
+}
+
+TEST(BackendTest, ErrRepliesNeverTripTheBreaker) {
+  QueryService service{ServiceConfig()};
+  auto server = Server::Create(&service, ServerConfig());
+  ASSERT_TRUE(server.ok());
+  BackendConfig config;
+  config.breaker_threshold = 2;
+  Backend backend({"127.0.0.1", (*server)->port()}, config);
+  // An ERR reply is a healthy transport — the shard answered.
+  for (int i = 0; i < 5; ++i) {
+    auto response = backend.Request("PUSH 99 <r/>");
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response->status.ok());
+  }
+  EXPECT_FALSE(backend.circuit_open());
+  EXPECT_EQ(backend.counters().failures, 0u);
+  (*server)->Stop();
+  service.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// The in-process cluster: N shards (QueryService + net::Server each)
+// and a Router over them. The prober runs only when a test says so
+// (start_prober=false + ProbeNow), so health transitions are
+// deterministic.
+
+struct ClusterHarness {
+  explicit ClusterHarness(size_t n, RouterConfig base = RouterConfig(),
+                          std::vector<ServiceConfig> shard_configs = {}) {
+    for (size_t i = 0; i < n; ++i) {
+      ServiceConfig service_config =
+          i < shard_configs.size() ? shard_configs[i] : ServiceConfig();
+      services.push_back(std::make_unique<QueryService>(service_config));
+      auto server = Server::Create(services.back().get(), ServerConfig());
+      EXPECT_TRUE(server.ok()) << server.status().ToString();
+      servers.push_back(*std::move(server));
+      base.shards.push_back({"127.0.0.1", servers.back()->port()});
+    }
+    base.start_prober = false;
+    auto created = Router::Create(std::move(base));
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    router = *std::move(created);
+    router->ProbeNow();
+  }
+
+  ~ClusterHarness() {
+    router.reset();  // pools + prober close before the shards stop
+    for (size_t i = 0; i < servers.size(); ++i) {
+      if (servers[i] != nullptr) servers[i]->Stop();
+      services[i]->Shutdown();
+    }
+  }
+
+  // SIGKILL-equivalent from the router's perspective: the shard's
+  // sockets die and its port stops answering.
+  void KillShard(size_t i) {
+    servers[i]->Stop();
+    services[i]->Shutdown();
+  }
+
+  // Restart a killed shard on its old port (fresh state, same address).
+  void RestartShard(size_t i) {
+    uint16_t port = servers[i]->port();
+    services[i] = std::make_unique<QueryService>(ServiceConfig());
+    ServerConfig config;
+    config.port = port;
+    auto server = Server::Create(services[i].get(), config);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    servers[i] = *std::move(server);
+  }
+
+  uint64_t SumStat(uint64_t service::StatsSnapshot::*field) const {
+    uint64_t sum = 0;
+    for (const auto& service : services) sum += service->stats().*field;
+    return sum;
+  }
+
+  size_t ActiveSessions() const {
+    size_t active = 0;
+    for (const auto& service : services) active += service->active_sessions();
+    return active;
+  }
+
+  std::vector<std::unique_ptr<QueryService>> services;
+  std::vector<std::unique_ptr<Server>> servers;
+  std::unique_ptr<Router> router;
+};
+
+TEST(RouterTest, SessionRoundTripLandsOnExactlyOneShard) {
+  ClusterHarness cluster(3);
+  auto handler = cluster.router->MakeHandler();
+  std::string out;
+  ASSERT_TRUE(handler->HandleLine("OPEN //a/text()", &out));
+  EXPECT_EQ(out, "OK 1\n");
+  out.clear();
+  handler->HandleLine("PUSH 1 <r><a>one</a><a>two</a></r>", &out);
+  handler->HandleLine("CLOSE 1", &out);
+  EXPECT_EQ(out, "OK\nITEM one\nITEM two\nOK\n");
+
+  EXPECT_EQ(cluster.SumStat(&service::StatsSnapshot::sessions_opened), 1u);
+  EXPECT_EQ(cluster.router->own_counters().sessions_opened, 1u);
+  EXPECT_FALSE(cluster.router->FindSession(1).has_value());
+}
+
+TEST(RouterTest, TranscriptMatchesSingleNodeByteForByte) {
+  // Zero result diffs: the same command sequence through one xsqd
+  // (LineProtocol over a local service) and through the 3-shard router
+  // must produce identical bytes — session ids, items, RECORD summary,
+  // everything.
+  const std::string commands[] = {
+      "OPEN //a/text()",
+      "PUSH 1 <r><a>one</a><a>two</a></r>",
+      "CLOSE 1",
+      "RECORD dblp <r><a>x</a><a>y</a></r>",
+      "OPEN //a/text()",
+      "RUNCACHED 2 dblp",
+      "CLOSE 2",
+      "EVICT dblp",
+      "RUNCACHED 99 dblp",  // unknown session: deterministic ERR
+  };
+
+  std::string expected;
+  {
+    QueryService local_service{ServiceConfig()};
+    LineProtocol local(&local_service);
+    for (const std::string& command : commands) {
+      local.HandleLine(command, &expected);
+    }
+    local.ReleaseAll();
+    local_service.Shutdown();
+  }
+
+  ClusterHarness cluster(3);
+  auto handler = cluster.router->MakeHandler();
+  std::string actual;
+  for (const std::string& command : commands) {
+    handler->HandleLine(command, &actual);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(RouterTest, RecordRunCachedAndEvictFollowTheRingOwner) {
+  ClusterHarness cluster(3);
+  auto handler = cluster.router->MakeHandler();
+  std::string out;
+  handler->HandleLine("RECORD dblp <r><a>x</a><a>y</a></r>", &out);
+  EXPECT_EQ(out.rfind("OK ", 0), 0u) << out;
+
+  size_t owner = *cluster.router->OwnerOf("dblp");
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster.services[i]->stats().doc_cache_documents,
+              i == owner ? 1u : 0u)
+        << "shard " << i;
+  }
+
+  // RUNCACHED binds the session on the owner shard and replays there.
+  out.clear();
+  handler->HandleLine("OPEN //a/text()", &out);
+  ASSERT_EQ(out, "OK 1\n");
+  out.clear();
+  handler->HandleLine("RUNCACHED 1 dblp", &out);
+  EXPECT_EQ(out, "ITEM x\nITEM y\nOK\n");
+  EXPECT_EQ(cluster.services[owner]->stats().tape_replays, 1u);
+
+  // EVICT routes to the same owner; a later RUNCACHED relays the
+  // shard's ERR (the client's cue to re-RECORD).
+  out.clear();
+  handler->HandleLine("EVICT dblp", &out);
+  EXPECT_EQ(out, "OK\n");
+  EXPECT_EQ(cluster.services[owner]->stats().doc_cache_explicit_evictions,
+            1u);
+  out.clear();
+  handler->HandleLine("RUNCACHED 1 dblp", &out);
+  EXPECT_EQ(out.rfind("ERR ", 0), 0u) << out;
+  out.clear();
+  handler->HandleLine("CLOSE 1", &out);
+}
+
+TEST(RouterTest, DeadShardFailsOverAndKeysRemapWithinOneProbePass) {
+  RouterConfig base;
+  base.probe.fail_threshold = 1;  // one missed probe marks a shard dead
+  base.backend.connect_timeout_ms = 300;
+  base.backend.client_max_retries = 0;
+  ClusterHarness cluster(3, base);
+  auto handler = cluster.router->MakeHandler();
+
+  std::string out;
+  handler->HandleLine("RECORD remap-me <r><a>z</a></r>", &out);
+  EXPECT_EQ(out.rfind("OK ", 0), 0u) << out;
+  size_t victim = *cluster.router->OwnerOf("remap-me");
+
+  cluster.KillShard(victim);
+
+  // Before any probe notices, the idempotent RECORD already fails over:
+  // the transport failure excludes the dead owner locally and the ring
+  // walks to the next live shard.
+  out.clear();
+  handler->HandleLine("RECORD remap-me <r><a>z</a></r>", &out);
+  EXPECT_EQ(out.rfind("OK ", 0), 0u) << out;
+  EXPECT_GE(cluster.router->own_counters().failovers_total, 1u);
+
+  // One probe pass marks the shard dead and remaps its keys — and only
+  // its keys (ShardMapTest pins the only-its-keys half).
+  cluster.router->ProbeNow();
+  EXPECT_EQ(cluster.router->shard_health(victim), ShardHealth::kDead);
+  size_t new_owner = *cluster.router->OwnerOf("remap-me");
+  EXPECT_NE(new_owner, victim);
+  EXPECT_EQ(cluster.services[new_owner]->stats().doc_cache_documents, 1u);
+
+  // The ring heals: one good probe resurrects a restarted shard and
+  // the key moves home.
+  cluster.RestartShard(victim);
+  cluster.router->ProbeNow();
+  EXPECT_EQ(cluster.router->shard_health(victim), ShardHealth::kServing);
+  EXPECT_EQ(*cluster.router->OwnerOf("remap-me"), victim);
+}
+
+TEST(RouterTest, ProberDistinguishesSheddingFromDead) {
+  ServiceConfig tiny;
+  tiny.max_sessions = 1;
+  ClusterHarness cluster(2, RouterConfig(), {tiny});
+
+  // Saturate shard 0: its /healthz answers 503 shedding (served even
+  // while protocol connections would be shed — that is the net-layer
+  // fix this tier depends on).
+  ClientConfig config;
+  config.port = cluster.servers[0]->port();
+  Client occupant(config);
+  auto open = occupant.Request("OPEN //a");
+  ASSERT_TRUE(open.ok() && open->status.ok());
+
+  cluster.router->ProbeNow();
+  EXPECT_EQ(cluster.router->shard_health(0), ShardHealth::kShedding);
+  EXPECT_EQ(cluster.router->shard_health(1), ShardHealth::kServing);
+  // Shedding: off the session-placement mask, still on the ring.
+  EXPECT_EQ(*cluster.router->PickSessionShard(), 1u);
+  std::vector<bool> alive = cluster.router->AliveMask();
+  EXPECT_TRUE(alive[0] && alive[1]);
+
+  // Capacity freed: the next probe pass restores full membership.
+  occupant.Close();
+  ASSERT_TRUE(WaitFor([&] { return cluster.ActiveSessions() == 0; }));
+  cluster.router->ProbeNow();
+  EXPECT_EQ(cluster.router->shard_health(0), ShardHealth::kServing);
+}
+
+TEST(RouterTest, ScatterGatherMergesStatsAndMetricsExactly) {
+  ClusterHarness cluster(3);
+  auto handler = cluster.router->MakeHandler();
+  std::string out;
+  // Non-trivial, spread-out work: a session, a recorded tape, a replay.
+  handler->HandleLine("OPEN //a/text()", &out);
+  handler->HandleLine("PUSH 1 <r><a>one</a></r>", &out);
+  handler->HandleLine("CLOSE 1", &out);
+  handler->HandleLine("RECORD doc <r><a>x</a></r>", &out);
+  handler->HandleLine("OPEN //a/text()", &out);
+  handler->HandleLine("RUNCACHED 2 doc", &out);
+  handler->HandleLine("CLOSE 2", &out);
+
+  // Expected sums read straight from the in-process services (exact;
+  // the STATS/METRICS scatter below moves none of these counters).
+  uint64_t sessions = cluster.SumStat(&service::StatsSnapshot::sessions_opened);
+  uint64_t items = cluster.SumStat(&service::StatsSnapshot::items_emitted);
+  uint64_t replays = cluster.SumStat(&service::StatsSnapshot::tape_replays);
+  uint64_t high_water = 0;
+  for (const auto& service : cluster.services) {
+    high_water = std::max(high_water, service->stats().queue_high_water);
+  }
+  ASSERT_GE(sessions, 2u);
+  ASSERT_GE(replays, 1u);
+
+  service::StatsSnapshot merged = cluster.router->ClusterStats();
+  EXPECT_EQ(merged.sessions_opened, sessions);
+  EXPECT_EQ(merged.items_emitted, items);
+  EXPECT_EQ(merged.tape_replays, replays);
+  EXPECT_EQ(merged.queue_high_water, high_water);
+
+  obs::Exposition metrics = cluster.router->ClusterMetrics();
+  const obs::ExpositionSeries* opened = metrics.Find("xsq_sessions_opened");
+  ASSERT_NE(opened, nullptr);
+  EXPECT_EQ(opened->value, sessions);
+  const obs::ExpositionSeries* replay_hist =
+      metrics.Find("xsq_tape_replay_us");
+  ASSERT_NE(replay_hist, nullptr);
+  ASSERT_TRUE(replay_hist->is_histogram);
+  // Merged histogram count == sum of the per-shard counts (each shard
+  // records one sample per tape replay).
+  EXPECT_EQ(replay_hist->hist.count, replays);
+
+  // No scatter failures against an all-healthy roster, and the router's
+  // /metrics body carries the merged families plus its own section.
+  EXPECT_EQ(cluster.router->own_counters().scatter_failures_total, 0u);
+  std::string body = cluster.router->MetricsText();
+  EXPECT_NE(body.find("xsq_sessions_opened"), std::string::npos);
+  EXPECT_NE(body.find("xsq_router_requests_total"), std::string::npos);
+  EXPECT_NE(body.find("xsq_router_shards_serving 3"), std::string::npos);
+  EXPECT_NE(body.find("xsq_router_backend_request_us"), std::string::npos);
+}
+
+TEST(RouterTest, StatsVerbReportsTheMergedClusterView) {
+  ClusterHarness cluster(3);
+  auto handler = cluster.router->MakeHandler();
+  std::string out;
+  handler->HandleLine("OPEN //a/text()", &out);
+  handler->HandleLine("PUSH 1 <r><a>v</a></r>", &out);
+  handler->HandleLine("CLOSE 1", &out);
+  uint64_t sessions = cluster.SumStat(&service::StatsSnapshot::sessions_opened);
+
+  out.clear();
+  handler->HandleLine("STATS", &out);
+  EXPECT_NE(out.find("STAT sessions_opened " + std::to_string(sessions)),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.rfind("OK\n"), std::string::npos);
+}
+
+TEST(RouterTest, ClusterMetricsFallsBackToTheProbersCachedScrape) {
+  ClusterHarness cluster(2);  // ProbeNow in the ctor cached both scrapes
+  auto handler = cluster.router->MakeHandler();
+  std::string out;
+  handler->HandleLine("OPEN //a/text()", &out);
+  handler->HandleLine("CLOSE 1", &out);
+
+  cluster.KillShard(0);
+  // The dead shard cannot be scraped live, but the prober's cached
+  // exposition keeps it present in the merged view (stale beats
+  // absent mid-incident), so nothing is counted as a scatter failure.
+  obs::Exposition merged = cluster.router->ClusterMetrics();
+  EXPECT_NE(merged.Find("xsq_sessions_opened"), nullptr);
+  EXPECT_EQ(cluster.router->own_counters().scatter_failures_total, 0u);
+}
+
+TEST(RouterTest, DisconnectEnqueuesCancelsAndLeaseClosureReleasesSessions) {
+  ClusterHarness cluster(3);
+  auto handler = cluster.router->MakeHandler();
+  std::string out;
+  handler->HandleLine("OPEN //a/text()", &out);
+  ASSERT_EQ(out, "OK 1\n");
+  ASSERT_TRUE(WaitFor([&] { return cluster.ActiveSessions() == 1; }));
+
+  // The server's disconnect sequence: CancelAll (poll thread — must
+  // not block on the network, so it only enqueues), ReleaseAll, then
+  // the handler is destroyed and its leases close — each shard sees a
+  // disconnect and releases everything opened on it.
+  EXPECT_EQ(handler->CancelAll(), 1u);
+  EXPECT_GE(cluster.router->own_counters().cancels_enqueued, 1u);
+  handler->ReleaseAll();
+  handler.reset();
+  EXPECT_TRUE(WaitFor([&] { return cluster.ActiveSessions() == 0; }));
+  EXPECT_FALSE(cluster.router->FindSession(1).has_value());
+}
+
+TEST(RouterTest, CancelWorksCrossConnectionAndPubSubIsNotRouted) {
+  ClusterHarness cluster(3);
+  auto first = cluster.router->MakeHandler();
+  auto second = cluster.router->MakeHandler();
+  std::string out;
+  first->HandleLine("OPEN //a/text()", &out);
+  ASSERT_EQ(out, "OK 1\n");
+
+  // CANCEL is cross-connection by design (routed over pooled
+  // connections, like single-node xsqd).
+  out.clear();
+  second->HandleLine("CANCEL 1", &out);
+  EXPECT_EQ(out, "OK\n");
+
+  // Session verbs are connection-scoped: the second connection cannot
+  // drive the first's session.
+  out.clear();
+  second->HandleLine("PUSH 1 <r><a>x</a></r>", &out);
+  EXPECT_EQ(out.rfind("ERR InvalidArgument: unknown session id", 0), 0u)
+      << out;
+
+  // Pub/sub is per-shard state and not routed.
+  out.clear();
+  second->HandleLine("SUBSCRIBE //a/text()", &out);
+  EXPECT_EQ(out.rfind("ERR NotSupported", 0), 0u) << out;
+
+  out.clear();
+  first->HandleLine("CLOSE 1", &out);
+}
+
+TEST(RouterTest, ServesTheLineProtocolAndHttpOverTcp) {
+  // The full stack: router behind its own net::Server, spoken to with
+  // the ordinary client and scraped over HTTP like any xsqd.
+  ClusterHarness cluster(3);
+  auto server = Server::Create(cluster.router->MakeServerApp(),
+                               ServerConfig());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  ClientConfig config;
+  config.port = (*server)->port();
+  Client client(config);
+  auto open = client.Request("OPEN //a/text()");
+  ASSERT_TRUE(open.ok() && open->status.ok());
+  client.Request("PUSH " + open->ok_payload + " <r><a>via-router</a></r>");
+  auto close = client.Request("CLOSE " + open->ok_payload);
+  ASSERT_TRUE(close.ok() && close->status.ok());
+  ASSERT_EQ(close->lines.size(), 1u);
+  EXPECT_EQ(close->lines[0], "ITEM via-router");
+
+  auto healthz = HttpGet({"127.0.0.1", (*server)->port()}, "/healthz", 2000);
+  ASSERT_TRUE(healthz.ok()) << healthz.status().ToString();
+  EXPECT_EQ(healthz->code, 200);
+  auto metrics = HttpGet({"127.0.0.1", (*server)->port()}, "/metrics", 2000);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->code, 200);
+  EXPECT_NE(metrics->body.find("xsq_sessions_opened"), std::string::npos);
+  EXPECT_NE(metrics->body.find("xsq_router_sessions_opened_total 1"),
+            std::string::npos);
+
+  (*server)->Stop();
+}
+
+}  // namespace
+}  // namespace xsq

@@ -322,7 +322,7 @@ TEST(NetServerTest, SlowReaderHitsOutputBoundAndIsClosed) {
 // ---------------------------------------------------------------------------
 // Load shedding.
 
-TEST(NetServerTest, AcceptBeyondMaxConnectionsIsShed) {
+TEST(NetServerTest, ProtocolConnectionBeyondMaxConnectionsIsShed) {
   ServerConfig server_config;
   server_config.max_connections = 1;
   Harness harness(ServiceConfig(), server_config);
@@ -332,18 +332,26 @@ TEST(NetServerTest, AcceptBeyondMaxConnectionsIsShed) {
   ASSERT_TRUE(holder.SendAll("STATS\n"));
   holder.ReadLines(1);  // make sure the server registered the connection
 
+  // The shed decision lands when the transport is sniffed, not at
+  // accept: the TCP connect succeeds, and the first protocol line draws
+  // the shed ERR plus a close. (An HTTP probe on the same socket would
+  // have been served; see HttpProbesAreServedWhileShedding.)
   RawSocket shed(harness.server->port());
   ASSERT_TRUE(shed.connected());
+  ASSERT_TRUE(shed.SendAll("STATS\n"));
   std::string reply = shed.ReadAll();
   EXPECT_NE(reply.find("ERR ResourceExhausted"), std::string::npos);
   EXPECT_TRUE(shed.AtEof());
   EXPECT_TRUE(harness.WaitFor(
       [&] { return harness.service->stats().connections_shed == 1; }));
   // The held connection is untouched.
-  EXPECT_EQ(harness.server->connection_count(), 1u);
+  EXPECT_TRUE(harness.WaitFor(
+      [&] { return harness.server->connection_count() == 1; }));
+  ASSERT_TRUE(holder.SendAll("STATS\n"));
+  EXPECT_NE(holder.ReadLines(1).find("STAT"), std::string::npos);
 }
 
-TEST(NetServerTest, SaturatedServiceShedsAtAccept) {
+TEST(NetServerTest, SaturatedServiceShedsNewProtocolConnections) {
   ServiceConfig service_config;
   service_config.max_sessions = 1;
   Harness harness(service_config);
@@ -355,9 +363,45 @@ TEST(NetServerTest, SaturatedServiceShedsAtAccept) {
 
   RawSocket shed(harness.server->port());
   ASSERT_TRUE(shed.connected());
+  ASSERT_TRUE(shed.SendAll("STATS\n"));
   EXPECT_NE(shed.ReadAll().find("ERR ResourceExhausted"), std::string::npos);
   EXPECT_TRUE(harness.WaitFor(
       [&] { return harness.service->stats().connections_shed >= 1; }));
+}
+
+TEST(NetServerTest, HttpProbesAreServedWhileShedding) {
+  // The satellite fix this pins: health probes must not be casualties
+  // of the capacity limit they exist to report. With the server at
+  // max_connections, a protocol newcomer is shed, but GET /healthz and
+  // GET /metrics on the very same port are answered (503/200), never
+  // closed raw.
+  ServerConfig server_config;
+  server_config.max_connections = 1;
+  Harness harness(ServiceConfig(), server_config);
+
+  RawSocket holder(harness.server->port());
+  ASSERT_TRUE(holder.connected());
+  ASSERT_TRUE(holder.SendAll("STATS\n"));
+  holder.ReadLines(1);
+
+  RawSocket shed(harness.server->port());
+  ASSERT_TRUE(shed.connected());
+  ASSERT_TRUE(shed.SendAll("STATS\n"));
+  EXPECT_NE(shed.ReadAll().find("ERR ResourceExhausted"), std::string::npos);
+
+  RawSocket probe(harness.server->port());
+  ASSERT_TRUE(probe.connected());
+  ASSERT_TRUE(probe.SendAll("GET /healthz HTTP/1.0\r\n\r\n"));
+  std::string healthz = probe.ReadAll();
+  EXPECT_EQ(healthz.rfind("HTTP/1.0 503", 0), 0u) << healthz;
+  EXPECT_NE(healthz.find("shedding"), std::string::npos) << healthz;
+
+  RawSocket scrape(harness.server->port());
+  ASSERT_TRUE(scrape.connected());
+  ASSERT_TRUE(scrape.SendAll("GET /metrics HTTP/1.0\r\n\r\n"));
+  std::string metrics = scrape.ReadAll();
+  EXPECT_EQ(metrics.rfind("HTTP/1.0 200 OK", 0), 0u) << metrics;
+  EXPECT_NE(metrics.find("xsq_connections_accepted"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -641,19 +685,150 @@ TEST(NetServerTest, SubscribedConnectionReceivesEventsFromOtherConnections) {
       << republish->ok_payload;
 }
 
+TEST(NetServerTest, EventFramesLandBetweenReplyBlocksNeverInsideThem) {
+  // The ordering guarantee (see net/line_protocol.h): one HandleLine's
+  // whole reply block is queued atomically, and asynchronous EVENT
+  // frames ship only between blocks. So a subscriber streaming requests
+  // on one connection while another connection publishes must see (a) a
+  // reply transcript byte-identical to an EVENT-free stdin run and (b)
+  // every EVENT frame at a block boundary — never between a payload
+  // line and its terminator.
+  constexpr int kCycles = 8;
+  constexpr int kPublishes = 16;
+  std::vector<std::string> commands = {"SUBSCRIBE //a/text()"};
+  for (int i = 1; i <= kCycles; ++i) {
+    commands.push_back("OPEN //b/text()");
+    commands.push_back("PUSH " + std::to_string(i) + " <r><b>p</b></r>");
+    commands.push_back("CLOSE " + std::to_string(i));
+  }
+
+  std::string expected;
+  {
+    QueryService local_service{ServiceConfig()};
+    LineProtocol local(&local_service);
+    local.SetEventSink([](std::string_view) {});  // no publisher here
+    for (const std::string& command : commands) {
+      local.HandleLine(command, &expected);
+    }
+    local.ReleaseAll();
+    local_service.Shutdown();
+  }
+  size_t expected_lines = 0;
+  for (char c : expected) expected_lines += c == '\n';
+
+  Harness harness;
+  RawSocket follower(harness.server->port());
+  ASSERT_TRUE(follower.connected());
+  ASSERT_TRUE(follower.SendAll(commands[0] + "\n"));
+  std::string sub_reply = follower.ReadLines(1);
+  ASSERT_EQ(sub_reply.rfind("OK ", 0), 0u) << sub_reply;
+
+  std::thread publisher([&harness] {
+    Client client(harness.client_config());
+    for (int i = 0; i < kPublishes; ++i) {
+      auto published = client.Request("PUBLISH <r><a>evt</a></r>");
+      ASSERT_TRUE(published.ok() && published->status.ok());
+    }
+  });
+  std::string wire;
+  for (size_t i = 1; i < commands.size(); ++i) wire += commands[i] + "\n";
+  ASSERT_TRUE(follower.SendAll(wire));
+  // Everything still owed on the follower's wire: the remaining reply
+  // lines plus one EVENT frame per publish.
+  std::string rest = follower.ReadLines(expected_lines - 1 + kPublishes);
+  publisher.join();
+  std::string actual = sub_reply + rest;
+
+  // (a) Reply parity with the stdin run, EVENT frames stripped.
+  std::vector<std::string> events;
+  std::vector<std::string> replies;
+  PartitionFrames(actual, &events, &replies);
+  std::vector<std::string> expected_replies;
+  {
+    std::vector<std::string> none;
+    PartitionFrames(expected, &none, &expected_replies);
+    ASSERT_TRUE(none.empty());
+  }
+  EXPECT_EQ(replies, expected_replies);
+  ASSERT_EQ(events.size(), static_cast<size_t>(kPublishes));
+  for (const std::string& event : events) {
+    EXPECT_EQ(event.substr(event.find(" ITEM ")), " ITEM evt") << event;
+  }
+
+  // (b) Block contiguity: an EVENT line's predecessor is a terminator
+  // (OK/ERR), another EVENT, or nothing — never a payload line.
+  std::string previous;
+  size_t begin = 0;
+  while (begin < actual.size()) {
+    size_t end = actual.find('\n', begin);
+    ASSERT_NE(end, std::string::npos);
+    std::string line = actual.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.rfind("EVENT ", 0) == 0) {
+      bool at_boundary = previous.empty() || previous == "OK" ||
+                         previous.rfind("OK ", 0) == 0 ||
+                         previous.rfind("ERR ", 0) == 0 ||
+                         previous.rfind("EVENT ", 0) == 0;
+      EXPECT_TRUE(at_boundary)
+          << "EVENT frame interleaved inside a reply block, after: "
+          << previous;
+    }
+    previous = std::move(line);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // net::Client behavior.
 
-TEST(NetClientTest, IdempotenceClassification) {
-  EXPECT_TRUE(Client::IsIdempotent("STATS"));
-  EXPECT_TRUE(Client::IsIdempotent("METRICS"));
-  EXPECT_TRUE(Client::IsIdempotent("RUNCACHED 1 doc"));
-  EXPECT_FALSE(Client::IsIdempotent("OPEN //a"));
-  EXPECT_FALSE(Client::IsIdempotent("PUSH 1 <r/>"));
-  EXPECT_FALSE(Client::IsIdempotent("CLOSE 1"));
-  EXPECT_FALSE(Client::IsIdempotent("RECORD doc <r/>"));
-  EXPECT_FALSE(Client::IsIdempotent("EVICT doc"));
-  EXPECT_FALSE(Client::IsIdempotent("CANCEL 1"));
+TEST(NetClientTest, VerbTableClassifiesEveryRetryClass) {
+  using net::VerbRetryClass;
+  // Idempotent: a replay leaves server state unchanged. RECORD is
+  // idempotent *by key*: re-recording the same name with the same bytes
+  // installs an identical tape.
+  for (const char* line :
+       {"STATS", "METRICS", "RUNCACHED 1 doc", "RECORD doc <r/>"}) {
+    EXPECT_EQ(Client::RetryClassFor(line), VerbRetryClass::kIdempotent)
+        << line;
+    EXPECT_TRUE(Client::IsIdempotent(line)) << line;
+  }
+  // Non-idempotent: a replay changes state; the caller decides.
+  for (const char* line : {"OPEN //a", "PUSH 1 <r/>", "DRAIN 1", "CLOSE 1",
+                           "EVICT doc", "CANCEL 1", "QUIT"}) {
+    EXPECT_EQ(Client::RetryClassFor(line), VerbRetryClass::kNonIdempotent)
+        << line;
+    EXPECT_FALSE(Client::IsIdempotent(line)) << line;
+  }
+  // Never-retried: a replay is externally visible (double-delivered
+  // EVENT frames, duplicate standing queries).
+  for (const char* line :
+       {"PUBLISH <r/>", "SUBSCRIBE //a", "UNSUBSCRIBE 1"}) {
+    EXPECT_EQ(Client::RetryClassFor(line), VerbRetryClass::kNeverRetry)
+        << line;
+    EXPECT_FALSE(Client::IsIdempotent(line)) << line;
+  }
+  // Unknown (future) verbs get the conservative class.
+  EXPECT_EQ(Client::RetryClassFor("FROB 1"),
+            VerbRetryClass::kNonIdempotent);
+  EXPECT_EQ(Client::RetryClassFor(""), VerbRetryClass::kNonIdempotent);
+}
+
+TEST(NetClientTest, CountersTrackConnectsReconnectsAndRetries) {
+  Harness harness;
+  Client client(harness.client_config());
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.counters().connects, 1u);
+  EXPECT_EQ(client.counters().reconnects, 0u);
+
+  // QUIT makes the server close; the next idempotent request finds the
+  // dead socket, reconnects, and retries.
+  ASSERT_TRUE(client.Request("QUIT").ok());
+  auto stats = client.Request("STATS");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->status.ok());
+  EXPECT_GE(client.counters().connects, 2u);
+  EXPECT_GE(client.counters().reconnects, 1u);
+  EXPECT_GE(client.counters().retries, 1u);
+  EXPECT_EQ(client.counters().shed_retries, 0u);
 }
 
 TEST(NetClientTest, DecodesErrRepliesIntoStatusCodes) {
@@ -714,6 +889,11 @@ TEST(NetClientTest, IdempotentVerbRetriesThroughShedding) {
   EXPECT_TRUE(response->status.ok());
   EXPECT_GT(response->attempts, 1);
   EXPECT_GE(harness.service->stats().connections_shed, 1u);
+  // The shed arrived as an "ERR ResourceExhausted" reply (the server
+  // answers before closing), so the retry is accounted as honoring a
+  // shed, not as fighting a dead transport.
+  EXPECT_GE(client.counters().retries, 1u);
+  EXPECT_GE(client.counters().shed_retries, 1u);
 }
 
 // ---------------------------------------------------------------------------

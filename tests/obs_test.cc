@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/exposition.h"
 #include "obs/histogram.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
@@ -232,6 +233,117 @@ TEST(RegistryTest, ConcurrentGetOrCreateAndRender) {
     total += h->count();
   }
   EXPECT_EQ(total, kThreads * 200u);
+}
+
+// --- Exposition: the parser is the renderer's exact inverse ---------
+
+TEST(ExpositionTest, RenderParseRenderIsByteIdenticalForHistograms) {
+  Registry registry;
+  Histogram* parse = registry.GetOrCreateHistogram(
+      "xsq_parse_us", "Time spent parsing, microseconds.");
+  Histogram* replay = registry.GetOrCreateHistogram(
+      "xsq_replay_us", "Tape replay latency.", "engine=\"nc\"");
+  for (uint64_t v : {0u, 1u, 3u, 17u, 1024u, 90000u}) parse->Record(v);
+  replay->Record(7);
+  replay->Record(4096);
+
+  std::string text = registry.RenderText();
+  Result<Exposition> parsed = Exposition::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Render(), text);
+
+  // And the parse is structural, not just textual: counts survive.
+  const ExpositionSeries* series =
+      parsed->Find("xsq_replay_us", "engine=\"nc\"");
+  ASSERT_NE(series, nullptr);
+  EXPECT_TRUE(series->is_histogram);
+  EXPECT_EQ(series->hist.count, 2u);
+  EXPECT_EQ(series->hist.sum, 7u + 4096u);
+  EXPECT_EQ(series->hist.max, 4096u);
+}
+
+TEST(ExpositionTest, RenderParseRenderIsByteIdenticalForScalars) {
+  std::string text;
+  Registry::AppendScalar(&text, "xsq_sessions_opened", "counter", 42);
+  Registry::AppendScalar(&text, "xsq_doc_cache_documents", "gauge", 3);
+  Registry::AppendScalar(&text, "xsq_connections_shed", "counter", 0);
+
+  Result<Exposition> parsed = Exposition::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Render(), text);
+
+  const ExpositionSeries* series = parsed->Find("xsq_sessions_opened");
+  ASSERT_NE(series, nullptr);
+  EXPECT_FALSE(series->is_histogram);
+  EXPECT_EQ(series->type, "counter");
+  EXPECT_EQ(series->value, 42u);
+}
+
+TEST(ExpositionTest, MixedScalarAndHistogramDocumentRoundTrips) {
+  // The shape METRICS actually serves: scalar counters first, then the
+  // registry's histograms.
+  Registry registry;
+  registry.GetOrCreateHistogram("xsq_request_us", "Request latency.")
+      ->Record(123);
+  std::string text;
+  Registry::AppendScalar(&text, "xsq_items_emitted", "counter", 9);
+  text += registry.RenderText();
+
+  Result<Exposition> parsed = Exposition::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Render(), text);
+}
+
+TEST(ExpositionTest, MergeFromSumsScalarsAndFoldsHistogramsBucketWise) {
+  Registry shard_a;
+  Registry shard_b;
+  Histogram* ha = shard_a.GetOrCreateHistogram("xsq_request_us", "Latency.");
+  Histogram* hb = shard_b.GetOrCreateHistogram("xsq_request_us", "Latency.");
+  ha->Record(10);
+  ha->Record(200);
+  hb->Record(5000);
+
+  std::string text_a;
+  Registry::AppendScalar(&text_a, "xsq_sessions_opened", "counter", 2);
+  text_a += shard_a.RenderText();
+  std::string text_b;
+  Registry::AppendScalar(&text_b, "xsq_sessions_opened", "counter", 5);
+  Registry::AppendScalar(&text_b, "xsq_publishes", "counter", 1);
+  text_b += shard_b.RenderText();
+
+  Result<Exposition> merged = Exposition::Parse(text_a);
+  ASSERT_TRUE(merged.ok());
+  Result<Exposition> other = Exposition::Parse(text_b);
+  ASSERT_TRUE(other.ok());
+  merged->MergeFrom(*other);
+
+  EXPECT_EQ(merged->Find("xsq_sessions_opened")->value, 7u);
+  // A series only the second shard had is appended, not dropped.
+  ASSERT_NE(merged->Find("xsq_publishes"), nullptr);
+  EXPECT_EQ(merged->Find("xsq_publishes")->value, 1u);
+
+  const ExpositionSeries* hist = merged->Find("xsq_request_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->hist.count, 3u);
+  EXPECT_EQ(hist->hist.sum, 10u + 200u + 5000u);
+  EXPECT_EQ(hist->hist.max, 5000u);  // max takes the max, not the sum
+  // Bucket-wise fold: each recorded value still lands in its bucket.
+  EXPECT_EQ(hist->hist.buckets[Histogram::BucketIndex(10)], 1u);
+  EXPECT_EQ(hist->hist.buckets[Histogram::BucketIndex(200)], 1u);
+  EXPECT_EQ(hist->hist.buckets[Histogram::BucketIndex(5000)], 1u);
+
+  // The merged document still renders in the renderer's format.
+  Result<Exposition> reparsed = Exposition::Parse(merged->Render());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Render(), merged->Render());
+}
+
+TEST(ExpositionTest, MalformedDataLineIsAParseError) {
+  EXPECT_FALSE(Exposition::Parse("xsq_broken").ok());
+  EXPECT_FALSE(Exposition::Parse("xsq_count not-a-number").ok());
+  // Unknown comment lines are skipped, not errors.
+  Result<Exposition> ok = Exposition::Parse("# EXEMPLAR whatever 1\n");
+  EXPECT_TRUE(ok.ok());
 }
 
 TEST(ScopedTimerTest, RecordsOnDestruction) {

@@ -17,6 +17,7 @@
 #include "service/plan_cache.h"
 #include "service/query_service.h"
 #include "service/session.h"
+#include "service/stats.h"
 #include "tape/recorder.h"
 #include "test_util.h"
 
@@ -764,6 +765,70 @@ TEST(QueryServiceStressTest, ConcurrentRunCachedSharedTape) {
   StatsSnapshot snap = service.stats();
   EXPECT_EQ(snap.tape_replays, static_cast<uint64_t>(kThreads * 5));
   EXPECT_EQ(snap.doc_cache_hits, static_cast<uint64_t>(kThreads * 5));
+}
+
+// ------------------------------------------------- StatsSnapshot wire form
+
+TEST(StatsSnapshotTest, ParseIsTheExactInverseOfToString) {
+  StatsSnapshot snap;
+  snap.sessions_opened = 7;
+  snap.sessions_active = 2;
+  snap.chunks_processed = 100;
+  snap.bytes_consumed = 123456;
+  snap.items_emitted = 42;
+  snap.queue_high_water = 9;
+  snap.doc_cache_documents = 3;
+  snap.tape_replays = 11;
+  snap.connections_accepted = 5;
+  snap.subscriptions_active = 1;
+  snap.fanout_shed = 2;
+
+  std::string text = snap.ToString();
+  Result<StatsSnapshot> parsed = StatsSnapshot::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->ToString(), text);
+  EXPECT_EQ(parsed->sessions_opened, 7u);
+  EXPECT_EQ(parsed->queue_high_water, 9u);
+}
+
+TEST(StatsSnapshotTest, ParseToleratesMissingFieldsFromAnOlderShard) {
+  // A shard running an older build sends fewer lines; absent counters
+  // stay zero instead of failing the whole scrape.
+  Result<StatsSnapshot> parsed =
+      StatsSnapshot::Parse("sessions_opened 4\nitems_emitted 10\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->sessions_opened, 4u);
+  EXPECT_EQ(parsed->items_emitted, 10u);
+  EXPECT_EQ(parsed->tape_replays, 0u);
+}
+
+TEST(StatsSnapshotTest, ParseRejectsUnknownNamesAndMalformedLines) {
+  EXPECT_EQ(StatsSnapshot::Parse("bogus_counter 1\n").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(StatsSnapshot::Parse("sessions_opened\n").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(StatsSnapshot::Parse("sessions_opened banana\n").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(StatsSnapshotTest, MergeSumsEverythingExceptTheHighWaterMark) {
+  StatsSnapshot a;
+  a.sessions_opened = 3;
+  a.items_emitted = 10;
+  a.queue_high_water = 4;
+  a.doc_cache_documents = 1;  // gauge: cluster "right now" is the sum
+  StatsSnapshot b;
+  b.sessions_opened = 5;
+  b.items_emitted = 1;
+  b.queue_high_water = 9;
+  b.doc_cache_documents = 2;
+
+  a.Merge(b);
+  EXPECT_EQ(a.sessions_opened, 8u);
+  EXPECT_EQ(a.items_emitted, 11u);
+  EXPECT_EQ(a.doc_cache_documents, 3u);
+  // Per-session high-water is not additive across shards: max, not sum.
+  EXPECT_EQ(a.queue_high_water, 9u);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # The per-PR verification gate:
-#   1. builds the default tree and runs the full tier-1 ctest suite;
+#   1. builds the default tree, runs the full tier-1 ctest suite, then
+#      the cluster process smoke (3 forked xsqd shards + xsq_router
+#      driven through xsqctl, including SIGKILL failover);
 #   2. builds a ThreadSanitizer tree and re-runs the suite under TSan so
 #      the concurrent service layer is race-checked on every change;
 #   3. builds an AddressSanitizer tree and re-runs the suite under ASan
@@ -30,6 +32,7 @@
 #      XSQ_SKIP_TSAN=1 to skip the TSan builds (e.g. no libtsan),
 #      XSQ_SKIP_ASAN=1 to skip the ASan builds (e.g. no libasan),
 #      XSQ_SKIP_UBSAN=1 to skip the UBSan build (e.g. no libubsan),
+#      XSQ_SKIP_CLUSTER=1 to skip the cluster process smoke,
 #      XSQ_SKIP_FAILPOINTS=1 to skip the failpoint legs,
 #      XSQ_SKIP_FUZZ=1 to skip the fuzz leg,
 #      FUZZ_BUILD_DIR (default build-fuzz),
@@ -53,6 +56,18 @@ echo "== plain build ($build_dir)"
 cmake -B "$build_dir" -S . >/dev/null
 cmake --build "$build_dir" -j "$(nproc)"
 (cd "$build_dir" && ctest "${ctest_args[@]}")
+
+# Cluster leg: 3 xsqd shards + xsq_router as real processes over TCP,
+# driven through xsqctl, including a SIGKILL failover. (The in-process
+# cluster tests and the ext_cluster_smoke bench gate are part of the
+# ctest suite above and rerun under every sanitizer tree below.)
+if [ "${XSQ_SKIP_CLUSTER:-0}" = "1" ]; then
+  echo "== cluster smoke skipped (XSQ_SKIP_CLUSTER=1)"
+elif [ -z "$filter" ]; then
+  echo "== cluster smoke (3 shards + router)"
+  tools/cluster_smoke.sh "$build_dir"/examples/xsqd \
+    "$build_dir"/examples/xsq_router "$build_dir"/examples/xsqctl
+fi
 
 if [ "${XSQ_SKIP_TSAN:-0}" = "1" ]; then
   echo "== TSan build skipped (XSQ_SKIP_TSAN=1)"

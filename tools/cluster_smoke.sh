@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the cluster tier as real processes: 3 xsqd
+# shards + xsq_router over TCP, driven through xsqctl exactly as a
+# client would drive a single node. Covers the placement contract
+# (record-then-cached agrees on a shard), the merged STATS/metrics
+# view, HTTP probing on the router port, and SIGKILL failover: after a
+# shard dies -9, re-recording and re-querying through the router must
+# succeed. Run by tools/check.sh (cluster leg).
+set -u
+xsqd=${1:?usage: cluster_smoke.sh /path/to/xsqd /path/to/xsq_router /path/to/xsqctl}
+router=${2:?usage: cluster_smoke.sh /path/to/xsqd /path/to/xsq_router /path/to/xsqctl}
+xsqctl=${3:?usage: cluster_smoke.sh /path/to/xsqd /path/to/xsq_router /path/to/xsqctl}
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do kill -TERM "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Boot a daemon on an ephemeral port; sets BOOT_PORT from the
+# "LISTENING <port>" banner. (Not a command substitution: the launched
+# pid must land in the parent shell's pids array.)
+boot() { # boot <outfile> <cmd...>
+  local out=$1
+  shift
+  "$@" >"$out" 2>"$out.err" </dev/null &
+  pids+=($!)
+  for _ in $(seq 1 100); do
+    BOOT_PORT=$(sed -n 's/^LISTENING \([0-9]*\)$/\1/p' "$out" 2>/dev/null \
+      | head -1)
+    if [ -n "$BOOT_PORT" ]; then return 0; fi
+    sleep 0.05
+  done
+  echo "daemon never printed LISTENING: $*" >&2
+  cat "$out.err" >&2
+  return 1
+}
+
+boot "$workdir/s1" "$xsqd" --listen=0 --workers=2 || exit 1
+p1=$BOOT_PORT
+boot "$workdir/s2" "$xsqd" --listen=0 --workers=2 || exit 1
+p2=$BOOT_PORT
+boot "$workdir/s3" "$xsqd" --listen=0 --workers=2 || exit 1
+p3=$BOOT_PORT
+boot "$workdir/r" "$router" --listen=0 \
+  --shard=127.0.0.1:"$p1" --shard=127.0.0.1:"$p2" \
+  --shard=127.0.0.1:"$p3" --probe-interval-ms=100 \
+  --probe-fail-threshold=1 || exit 1
+rp=$BOOT_PORT
+
+ctl() { "$xsqctl" --port="$rp" "$@"; }
+
+# Record three documents through the router and read each one back.
+for i in 1 2 3; do
+  echo "<dblp><article><title>t$i</title></article></dblp>" \
+    | ctl record "doc$i" >"$workdir/rec$i" || {
+      echo "RECORD doc$i through the router failed" >&2; exit 1; }
+done
+for i in 1 2 3; do
+  got=$(ctl cached "doc$i" '/dblp/article/title/text()')
+  expected="ITEM t$i
+OK"
+  if [ "$got" != "$expected" ]; then
+    echo "cached doc$i mismatch: $got" >&2
+    exit 1
+  fi
+done
+
+# The merged STATS view must count the cluster's sessions, and the
+# router's own HTTP surface must serve /metrics with both the merged
+# shard series and the router's section.
+stats=$(ctl stats)
+case $stats in
+  *"STAT sessions_opened"*) ;;
+  *) echo "merged STATS missing sessions_opened: $stats" >&2; exit 1 ;;
+esac
+metrics=$(ctl http-metrics)
+for want in xsq_sessions_opened xsq_router_requests_total \
+    xsq_router_shards_serving; do
+  case $metrics in
+    *"$want"*) ;;
+    *) echo "router /metrics missing $want" >&2; exit 1 ;;
+  esac
+done
+
+# SIGKILL one shard: the cluster must keep answering. Idempotent
+# re-records fail over to a live owner; the prober (100ms interval,
+# threshold 1) remaps the dead shard's keys.
+kill -9 "${pids[0]}"
+sleep 0.4
+for i in 1 2 3; do
+  echo "<dblp><article><title>t$i</title></article></dblp>" \
+    | ctl record "doc$i" >/dev/null || {
+      echo "post-kill RECORD doc$i failed" >&2; exit 1; }
+  got=$(ctl cached "doc$i" '/dblp/article/title/text()')
+  expected="ITEM t$i
+OK"
+  if [ "$got" != "$expected" ]; then
+    echo "post-kill cached doc$i mismatch: $got" >&2
+    exit 1
+  fi
+done
+metrics=$(ctl http-metrics)
+case $metrics in
+  *"xsq_router_shards_dead 1"*) ;;
+  *) echo "router /metrics did not report the dead shard" >&2; exit 1 ;;
+esac
+
+echo "cluster_smoke: all green"
