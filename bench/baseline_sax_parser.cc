@@ -1,0 +1,554 @@
+#include "baseline_sax_parser.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace xsq::bench::baseline {
+
+using xml::Attribute;
+using xml::OwnedAttribute;
+
+namespace {
+
+bool IsNameStartChar(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || c >= 0x80;
+}
+
+bool IsNameChar(unsigned char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool IsValidName(std::string_view name) {
+  if (name.empty() || !IsNameStartChar(name[0])) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!IsNameChar(name[i])) return false;
+  }
+  return true;
+}
+
+bool AppendUtf8(uint32_t codepoint, std::string* out) {
+  if (codepoint <= 0x7f) {
+    out->push_back(static_cast<char>(codepoint));
+  } else if (codepoint <= 0x7ff) {
+    out->push_back(static_cast<char>(0xc0 | (codepoint >> 6)));
+    out->push_back(static_cast<char>(0x80 | (codepoint & 0x3f)));
+  } else if (codepoint <= 0xffff) {
+    if (codepoint >= 0xd800 && codepoint <= 0xdfff) return false;
+    out->push_back(static_cast<char>(0xe0 | (codepoint >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((codepoint >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (codepoint & 0x3f)));
+  } else if (codepoint <= 0x10ffff) {
+    out->push_back(static_cast<char>(0xf0 | (codepoint >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((codepoint >> 12) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | ((codepoint >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (codepoint & 0x3f)));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// The original byte-at-a-time quote-aware '>' finder.
+size_t FindTagEnd(std::string_view s, bool* saw_lt) {
+  char quote = '\0';
+  *saw_lt = false;
+  for (size_t i = 1; i < s.size(); ++i) {  // s[0] is '<'
+    char c = s[i];
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+    } else if (c == '"' || c == '\'') {
+      quote = c;
+    } else if (c == '>') {
+      return i;
+    } else if (c == '<') {
+      *saw_lt = true;
+      return std::string_view::npos;
+    }
+  }
+  return std::string_view::npos;
+}
+
+bool IsWhitespaceOnly(std::string_view s) {
+  for (char c : s) {
+    if (!IsXmlWhitespace(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void BaselineSaxParser::Reset() {
+  pending_.clear();
+  text_.clear();
+  has_pending_text_ = false;
+  open_elements_.clear();
+  attributes_.clear();
+  attribute_views_.clear();
+  seen_root_ = false;
+  document_begun_ = false;
+  bom_checked_ = false;
+  finished_ = false;
+  bytes_consumed_ = 0;
+  line_ = 1;
+  column_ = 1;
+}
+
+Status BaselineSaxParser::ErrorHere(const std::string& message) const {
+  return Status::ParseError(message + " at line " + std::to_string(line_) +
+                            ", column " + std::to_string(column_));
+}
+
+void BaselineSaxParser::AdvancePosition(std::string_view consumed_text) {
+  bytes_consumed_ += consumed_text.size();
+  size_t last_newline = consumed_text.rfind('\n');
+  if (last_newline == std::string_view::npos) {
+    column_ += static_cast<int>(consumed_text.size());
+    return;
+  }
+  const char* p = consumed_text.data();
+  const char* end = p + consumed_text.size();
+  int newlines = 0;
+  while ((p = static_cast<const char*>(
+              memchr(p, '\n', static_cast<size_t>(end - p)))) != nullptr) {
+    ++newlines;
+    ++p;
+  }
+  line_ += newlines;
+  column_ = static_cast<int>(consumed_text.size() - last_newline);
+}
+
+Status BaselineSaxParser::DecodeEntities(std::string_view raw,
+                                         std::string* out) {
+  size_t pos = 0;
+  while (pos < raw.size()) {
+    const char* amp = static_cast<const char*>(
+        memchr(raw.data() + pos, '&', raw.size() - pos));
+    if (amp == nullptr) {
+      out->append(raw.data() + pos, raw.size() - pos);
+      break;
+    }
+    size_t amp_pos = static_cast<size_t>(amp - raw.data());
+    out->append(raw.data() + pos, amp_pos - pos);
+    size_t semi = raw.find(';', amp_pos + 1);
+    if (semi == std::string_view::npos) {
+      return ErrorHere("unterminated entity reference");
+    }
+    if (semi - amp_pos - 1 > 64) {
+      return ErrorHere("entity reference too long");
+    }
+    std::string_view name = raw.substr(amp_pos + 1, semi - amp_pos - 1);
+    if (name == "#" || name == "#x" || name == "#X") {
+      return ErrorHere("empty character reference '&" + std::string(name) +
+                       ";'");
+    }
+    if (name == "lt") {
+      out->push_back('<');
+    } else if (name == "gt") {
+      out->push_back('>');
+    } else if (name == "amp") {
+      out->push_back('&');
+    } else if (name == "apos") {
+      out->push_back('\'');
+    } else if (name == "quot") {
+      out->push_back('"');
+    } else if (!name.empty() && name[0] == '#') {
+      uint32_t code = 0;
+      bool valid = name.size() > 1;
+      if (name.size() > 2 && (name[1] == 'x' || name[1] == 'X')) {
+        for (size_t i = 2; i < name.size() && valid; ++i) {
+          char c = name[i];
+          uint32_t digit;
+          if (c >= '0' && c <= '9') {
+            digit = static_cast<uint32_t>(c - '0');
+          } else if (c >= 'a' && c <= 'f') {
+            digit = static_cast<uint32_t>(c - 'a' + 10);
+          } else if (c >= 'A' && c <= 'F') {
+            digit = static_cast<uint32_t>(c - 'A' + 10);
+          } else {
+            valid = false;
+            break;
+          }
+          code = code * 16 + digit;
+          if (code > 0x10ffff) valid = false;
+        }
+        valid = valid && name.size() > 2;
+      } else {
+        for (size_t i = 1; i < name.size() && valid; ++i) {
+          char c = name[i];
+          if (c < '0' || c > '9') {
+            valid = false;
+            break;
+          }
+          code = code * 10 + static_cast<uint32_t>(c - '0');
+          if (code > 0x10ffff) valid = false;
+        }
+      }
+      if (!valid || !AppendUtf8(code, out)) {
+        return ErrorHere("invalid character reference '&" + std::string(name) +
+                         ";'");
+      }
+    } else {
+      return ErrorHere("unknown entity reference '&" + std::string(name) +
+                       ";'");
+    }
+    pos = semi + 1;
+  }
+  return Status::OK();
+}
+
+Status BaselineSaxParser::FlushText() {
+  if (!has_pending_text_) return Status::OK();
+  has_pending_text_ = false;
+  if (open_elements_.empty()) {
+    text_.clear();
+    return ErrorHere("character data outside the root element");
+  }
+  handler_->OnText(open_elements_.back(), text_,
+                   static_cast<int>(open_elements_.size()));
+  text_.clear();
+  return Status::OK();
+}
+
+Status BaselineSaxParser::ParseElementTag(std::string_view markup_body,
+                                          bool self_closing) {
+  XSQ_RETURN_IF_ERROR(FlushText());
+  size_t pos = 0;
+  while (pos < markup_body.size() &&
+         IsNameChar(static_cast<unsigned char>(markup_body[pos]))) {
+    ++pos;
+  }
+  std::string_view name = markup_body.substr(0, pos);
+  if (!IsValidName(name)) {
+    return ErrorHere("invalid element name '" + std::string(name) + "'");
+  }
+
+  attributes_.clear();
+  while (true) {
+    while (pos < markup_body.size() && IsXmlWhitespace(markup_body[pos])) {
+      ++pos;
+    }
+    if (pos >= markup_body.size()) break;
+    size_t name_start = pos;
+    while (pos < markup_body.size() &&
+           IsNameChar(static_cast<unsigned char>(markup_body[pos]))) {
+      ++pos;
+    }
+    std::string_view attr_name =
+        markup_body.substr(name_start, pos - name_start);
+    if (!IsValidName(attr_name)) {
+      return ErrorHere("invalid attribute name in element '" +
+                       std::string(name) + "'");
+    }
+    while (pos < markup_body.size() && IsXmlWhitespace(markup_body[pos])) ++pos;
+    if (pos >= markup_body.size() || markup_body[pos] != '=') {
+      return ErrorHere("expected '=' after attribute '" +
+                       std::string(attr_name) + "'");
+    }
+    ++pos;
+    while (pos < markup_body.size() && IsXmlWhitespace(markup_body[pos])) ++pos;
+    if (pos >= markup_body.size() ||
+        (markup_body[pos] != '"' && markup_body[pos] != '\'')) {
+      return ErrorHere("expected quoted value for attribute '" +
+                       std::string(attr_name) + "'");
+    }
+    char quote = markup_body[pos];
+    ++pos;
+    size_t value_end = markup_body.find(quote, pos);
+    if (value_end == std::string_view::npos) {
+      return ErrorHere("unterminated value for attribute '" +
+                       std::string(attr_name) + "'");
+    }
+    std::string_view raw_value = markup_body.substr(pos, value_end - pos);
+    if (raw_value.find('<') != std::string_view::npos) {
+      return ErrorHere("'<' is not allowed in attribute values");
+    }
+    for (const OwnedAttribute& existing : attributes_) {
+      if (existing.name == attr_name) {
+        return ErrorHere("duplicate attribute '" + std::string(attr_name) +
+                         "'");
+      }
+    }
+    OwnedAttribute attr;
+    attr.name.assign(attr_name);
+    XSQ_RETURN_IF_ERROR(DecodeEntities(raw_value, &attr.value));
+    attributes_.push_back(std::move(attr));
+    pos = value_end + 1;
+    if (pos < markup_body.size() && !IsXmlWhitespace(markup_body[pos])) {
+      return ErrorHere("missing whitespace between attributes");
+    }
+  }
+
+  if (open_elements_.empty()) {
+    if (seen_root_) return ErrorHere("multiple root elements");
+    seen_root_ = true;
+  }
+  open_elements_.emplace_back(name);
+  int depth = static_cast<int>(open_elements_.size());
+  attribute_views_.clear();
+  for (const OwnedAttribute& attr : attributes_) {
+    attribute_views_.push_back(Attribute{attr.name, attr.value});
+  }
+  handler_->OnBegin(name, attribute_views_, depth);
+  if (self_closing) {
+    handler_->OnEnd(name, depth);
+    open_elements_.pop_back();
+  }
+  return Status::OK();
+}
+
+Status BaselineSaxParser::ParseEndTag(std::string_view markup_body) {
+  XSQ_RETURN_IF_ERROR(FlushText());
+  std::string_view name = TrimWhitespace(markup_body);
+  if (!IsValidName(name)) {
+    return ErrorHere("invalid end tag '</" + std::string(markup_body) + ">'");
+  }
+  if (open_elements_.empty()) {
+    return ErrorHere("end tag '</" + std::string(name) +
+                     ">' with no open element");
+  }
+  if (open_elements_.back() != name) {
+    return ErrorHere("end tag '</" + std::string(name) +
+                     ">' does not match open element '<" +
+                     open_elements_.back() + ">'");
+  }
+  handler_->OnEnd(name, static_cast<int>(open_elements_.size()));
+  open_elements_.pop_back();
+  return Status::OK();
+}
+
+Status BaselineSaxParser::HandleMarkup(std::string_view data, size_t* consumed,
+                                       Progress* progress) {
+  *progress = Progress::kNeedMore;
+  *consumed = 0;
+  if (data.size() < 2) return Status::OK();
+
+  char kind = data[1];
+  if (kind == '/') {
+    bool saw_lt = false;
+    size_t gt = FindTagEnd(data, &saw_lt);
+    if (saw_lt) return ErrorHere("'<' inside end tag");
+    if (gt == std::string_view::npos) return Status::OK();
+    XSQ_RETURN_IF_ERROR(ParseEndTag(data.substr(2, gt - 2)));
+    *consumed = gt + 1;
+    *progress = Progress::kOk;
+    return Status::OK();
+  }
+
+  if (kind == '!') {
+    static constexpr std::string_view kComment = "<!--";
+    static constexpr std::string_view kCdata = "<![CDATA[";
+    if (data.size() < kComment.size() &&
+        kComment.substr(0, data.size()) == data) {
+      return Status::OK();  // could still become a comment
+    }
+    if (data.substr(0, kComment.size()) == kComment) {
+      size_t end = data.find("-->", kComment.size());
+      if (end == std::string_view::npos) return Status::OK();
+      *consumed = end + 3;
+      *progress = Progress::kOk;
+      return Status::OK();
+    }
+    if (data.size() < kCdata.size() && kCdata.substr(0, data.size()) == data) {
+      return Status::OK();
+    }
+    if (data.substr(0, kCdata.size()) == kCdata) {
+      size_t end = data.find("]]>", kCdata.size());
+      if (end == std::string_view::npos) return Status::OK();
+      if (open_elements_.empty()) {
+        return ErrorHere("CDATA section outside the root element");
+      }
+      text_.append(data.data() + kCdata.size(), end - kCdata.size());
+      has_pending_text_ = true;
+      *consumed = end + 3;
+      *progress = Progress::kOk;
+      return Status::OK();
+    }
+    // DOCTYPE or other declaration: skip to the matching '>', honoring a
+    // bracketed internal subset and quoted strings.
+    char quote = '\0';
+    bool in_subset = false;
+    size_t subset_begin = 0;
+    size_t subset_end = 0;
+    for (size_t i = 2; i < data.size(); ++i) {
+      char c = data[i];
+      if (quote != '\0') {
+        if (c == quote) quote = '\0';
+      } else if (c == '"' || c == '\'') {
+        quote = c;
+      } else if (c == '[') {
+        in_subset = true;
+        if (subset_begin == 0) subset_begin = i + 1;
+      } else if (c == ']') {
+        in_subset = false;
+        subset_end = i;
+      } else if (c == '>' && !in_subset) {
+        static constexpr std::string_view kDoctype = "<!DOCTYPE";
+        if (data.substr(0, kDoctype.size()) == kDoctype) {
+          size_t name_begin = kDoctype.size();
+          while (name_begin < i && IsXmlWhitespace(data[name_begin])) {
+            ++name_begin;
+          }
+          size_t name_end = name_begin;
+          while (name_end < i &&
+                 IsNameChar(static_cast<unsigned char>(data[name_end]))) {
+            ++name_end;
+          }
+          std::string_view subset =
+              subset_end > subset_begin
+                  ? data.substr(subset_begin, subset_end - subset_begin)
+                  : std::string_view();
+          handler_->OnDoctype(data.substr(name_begin, name_end - name_begin),
+                              subset);
+        }
+        *consumed = i + 1;
+        *progress = Progress::kOk;
+        return Status::OK();
+      }
+    }
+    return Status::OK();  // need more input
+  }
+
+  if (kind == '?') {
+    size_t end = data.find("?>", 2);
+    if (end == std::string_view::npos) return Status::OK();
+    *consumed = end + 2;
+    *progress = Progress::kOk;
+    return Status::OK();
+  }
+
+  // Ordinary element start tag.
+  bool saw_lt = false;
+  size_t gt = FindTagEnd(data, &saw_lt);
+  if (saw_lt) return ErrorHere("'<' inside element tag");
+  if (gt == std::string_view::npos) return Status::OK();
+  std::string_view body = data.substr(1, gt - 1);
+  bool self_closing = !body.empty() && body.back() == '/';
+  if (self_closing) body.remove_suffix(1);
+  XSQ_RETURN_IF_ERROR(ParseElementTag(body, self_closing));
+  *consumed = gt + 1;
+  *progress = Progress::kOk;
+  return Status::OK();
+}
+
+Status BaselineSaxParser::ParseBuffer(std::string_view data, size_t* consumed,
+                                      bool at_eof) {
+  size_t pos = 0;
+  if (!bom_checked_) {
+    if (!data.empty() && data[0] == '\xef') {
+      if (data.size() < 3 && !at_eof) {
+        *consumed = 0;
+        return Status::OK();  // wait for the full mark
+      }
+      if (data.substr(0, 3) == "\xef\xbb\xbf") {
+        pos = 3;
+        bytes_consumed_ += 3;
+      }
+    }
+    bom_checked_ = true;
+  }
+  while (pos < data.size()) {
+    if (data[pos] == '<') {
+      size_t markup_consumed = 0;
+      Progress progress = Progress::kNeedMore;
+      XSQ_RETURN_IF_ERROR(
+          HandleMarkup(data.substr(pos), &markup_consumed, &progress));
+      if (progress == Progress::kNeedMore) {
+        if (at_eof) {
+          return ErrorHere("unexpected end of document inside markup");
+        }
+        break;
+      }
+      AdvancePosition(data.substr(pos, markup_consumed));
+      pos += markup_consumed;
+      continue;
+    }
+
+    const char* lt = static_cast<const char*>(
+        memchr(data.data() + pos, '<', data.size() - pos));
+    size_t run_end =
+        lt == nullptr ? data.size() : static_cast<size_t>(lt - data.data());
+    std::string_view raw = data.substr(pos, run_end - pos);
+
+    if (lt == nullptr && !at_eof) {
+      // Incomplete text run: consume the prefix that cannot be affected
+      // by future bytes (everything before a possibly-unterminated
+      // entity).
+      size_t safe_len = raw.size();
+      size_t last_amp = raw.rfind('&');
+      if (last_amp != std::string_view::npos &&
+          raw.find(';', last_amp) == std::string_view::npos) {
+        safe_len = last_amp;
+      }
+      raw = raw.substr(0, safe_len);
+      run_end = pos + safe_len;
+      if (raw.empty()) break;
+    }
+
+    if (open_elements_.empty()) {
+      if (!IsWhitespaceOnly(raw)) {
+        return ErrorHere("character data outside the root element");
+      }
+    } else {
+      XSQ_RETURN_IF_ERROR(DecodeEntities(raw, &text_));
+      has_pending_text_ = true;
+    }
+    AdvancePosition(raw);
+    pos = run_end;
+    if (lt == nullptr && !at_eof) break;
+  }
+  *consumed = pos;
+  return Status::OK();
+}
+
+Status BaselineSaxParser::Feed(std::string_view chunk) {
+  if (finished_) {
+    return Status::Internal("Feed called after Finish");
+  }
+  if (!document_begun_) {
+    document_begun_ = true;
+    handler_->OnDocumentBegin();
+  }
+  size_t consumed = 0;
+  if (pending_.empty()) {
+    XSQ_RETURN_IF_ERROR(ParseBuffer(chunk, &consumed, /*at_eof=*/false));
+    pending_.assign(chunk.substr(consumed));
+  } else {
+    pending_.append(chunk);
+    XSQ_RETURN_IF_ERROR(ParseBuffer(pending_, &consumed, /*at_eof=*/false));
+    pending_.erase(0, consumed);
+  }
+  return Status::OK();
+}
+
+Status BaselineSaxParser::Finish() {
+  if (finished_) return Status::Internal("Finish called twice");
+  if (!document_begun_) {
+    document_begun_ = true;
+    handler_->OnDocumentBegin();
+  }
+  size_t consumed = 0;
+  XSQ_RETURN_IF_ERROR(ParseBuffer(pending_, &consumed, /*at_eof=*/true));
+  pending_.erase(0, consumed);
+  if (!pending_.empty()) {
+    return ErrorHere("unexpected end of document inside markup");
+  }
+  if (!open_elements_.empty()) {
+    return ErrorHere("unexpected end of document: element '<" +
+                     open_elements_.back() + ">' is not closed");
+  }
+  if (!seen_root_) {
+    return ErrorHere("document has no root element");
+  }
+  finished_ = true;
+  handler_->OnDocumentEnd();
+  return Status::OK();
+}
+
+Status BaselineSaxParser::Parse(std::string_view document) {
+  XSQ_RETURN_IF_ERROR(Feed(document));
+  return Finish();
+}
+
+}  // namespace xsq::bench::baseline

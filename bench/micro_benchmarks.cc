@@ -21,6 +21,7 @@
 #include "lazydfa/lazy_dfa_engine.h"
 #include "textindex/text_index_engine.h"
 #include "xml/sax_parser.h"
+#include "xml/scan.h"
 #include "xpath/ast.h"
 #include "xsm/xsm_engine.h"
 
@@ -51,6 +52,46 @@ void ReportThroughput(benchmark::State& state, size_t bytes_per_iter) {
   state.SetBytesProcessed(
       static_cast<int64_t>(state.iterations() * bytes_per_iter));
 }
+
+// The scan primitive underneath the parser, isolated: find the next
+// structural byte over DBLP-shaped input with each implementation.
+// Arg selects the ScanImpl (0=scalar, 1=swar, 2=simd).
+void BM_ScanFindTextSpecial(benchmark::State& state) {
+  const std::string& xml = DblpCorpus();
+  const auto impl = static_cast<xml::ScanImpl>(state.range(0));
+  if (!xml::SetScanImpl(impl)) {
+    state.SkipWithError("scan impl not available in this build");
+    return;
+  }
+  for (auto _ : state) {
+    size_t pos = 0;
+    size_t hits = 0;
+    while ((pos = xml::FindTextSpecial(xml, pos)) != std::string_view::npos) {
+      ++hits;
+      ++pos;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  xml::SetScanImpl(xml::BestScanImpl());
+  ReportThroughput(state, xml.size());
+}
+BENCHMARK(BM_ScanFindTextSpecial)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ScanCountNewlines(benchmark::State& state) {
+  const std::string& xml = DblpCorpus();
+  const auto impl = static_cast<xml::ScanImpl>(state.range(0));
+  if (!xml::SetScanImpl(impl)) {
+    state.SkipWithError("scan impl not available in this build");
+    return;
+  }
+  for (auto _ : state) {
+    size_t n = xml::CountNewlines(xml);
+    benchmark::DoNotOptimize(n);
+  }
+  xml::SetScanImpl(xml::BestScanImpl());
+  ReportThroughput(state, xml.size());
+}
+BENCHMARK(BM_ScanCountNewlines)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_SaxParse(benchmark::State& state) {
   const std::string& xml = DblpCorpus();

@@ -19,8 +19,8 @@ bool ChildTagMatches(const xpath::Predicate& predicate, std::string_view tag) {
   return predicate.child_tag == "*" || predicate.child_tag == tag;
 }
 
-const std::string* FindAttr(const std::vector<xml::Attribute>& attributes,
-                            std::string_view name) {
+const std::string_view* FindAttr(const std::vector<xml::Attribute>& attributes,
+                                 std::string_view name) {
   for (const xml::Attribute& attr : attributes) {
     if (attr.name == name) return &attr.value;
   }
@@ -30,7 +30,7 @@ const std::string* FindAttr(const std::vector<xml::Attribute>& attributes,
 // True iff the attribute predicate holds for the given attribute list.
 bool AttributePredicateHolds(const xpath::Predicate& predicate,
                              const std::vector<xml::Attribute>& attributes) {
-  const std::string* value = FindAttr(attributes, predicate.attribute);
+  const std::string_view* value = FindAttr(attributes, predicate.attribute);
   if (value == nullptr) return false;
   return !predicate.has_comparison || xpath::CompareValue(*value, predicate);
 }
@@ -353,7 +353,7 @@ void XsqEngine::OnBegin(std::string_view tag,
     }
   } else if (output_kind_ == xpath::OutputKind::kAttribute) {
     if (!entry.last_step_matches.empty()) {
-      const std::string* value =
+      const std::string_view* value =
           FindAttr(attributes, hpdts_.front()->query().output.attribute);
       if (value != nullptr) {
         std::shared_ptr<Item> item = MakeItem();

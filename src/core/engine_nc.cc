@@ -15,8 +15,8 @@ bool ChildTagMatches(const xpath::Predicate& predicate, std::string_view tag) {
   return predicate.child_tag == "*" || predicate.child_tag == tag;
 }
 
-const std::string* FindAttr(const std::vector<xml::Attribute>& attributes,
-                            std::string_view name) {
+const std::string_view* FindAttr(const std::vector<xml::Attribute>& attributes,
+                                 std::string_view name) {
   for (const xml::Attribute& attr : attributes) {
     if (attr.name == name) return &attr.value;
   }
@@ -25,7 +25,7 @@ const std::string* FindAttr(const std::vector<xml::Attribute>& attributes,
 
 bool AttributePredicateHolds(const xpath::Predicate& predicate,
                              const std::vector<xml::Attribute>& attributes) {
-  const std::string* value = FindAttr(attributes, predicate.attribute);
+  const std::string_view* value = FindAttr(attributes, predicate.attribute);
   if (value == nullptr) return false;
   return !predicate.has_comparison || xpath::CompareValue(*value, predicate);
 }
@@ -234,7 +234,7 @@ void XsqNcEngine::OnBegin(std::string_view tag,
     }
   } else if (entry.has_match && d == num_steps_) {
     if (output_kind_ == xpath::OutputKind::kAttribute) {
-      const std::string* value = FindAttr(attributes, query_.output.attribute);
+      const std::string_view* value = FindAttr(attributes, query_.output.attribute);
       if (value != nullptr) {
         NcItem* item = MakeItem();
         AppendToItem(item, *value);

@@ -309,8 +309,13 @@ size_t StreamingQuery::peak_buffered_bytes() const {
 }
 
 size_t StreamingQuery::buffered_bytes() const {
-  if (f_engine_ != nullptr) return f_engine_->memory().current_bytes();
-  return nc_engine_->memory().current_bytes();
+  // The parser's retained bytes (unconsumed chunk tail + live arenas)
+  // count too: an adversarial stream can park memory in an unterminated
+  // construct just as well as in undecided predicate buffers.
+  size_t engine_bytes = f_engine_ != nullptr
+                            ? f_engine_->memory().current_bytes()
+                            : nc_engine_->memory().current_bytes();
+  return engine_bytes + parser_->retained_bytes();
 }
 
 }  // namespace xsq::core

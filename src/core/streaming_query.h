@@ -153,9 +153,10 @@ class StreamingQuery {
   // Peak buffered bytes so far (the engine's accounted memory).
   size_t peak_buffered_bytes() const;
 
-  // Bytes the engine is holding right now: buffered items whose
-  // predicates are still undecided. The service layer's memory budgets
-  // are enforced against this.
+  // Bytes this query is holding right now: buffered items whose
+  // predicates are still undecided, plus the parser's retained bytes
+  // (unconsumed chunk tail and live arena storage). The service layer's
+  // memory budgets are enforced against this.
   size_t buffered_bytes() const;
 
  private:

@@ -14,9 +14,9 @@ std::string Node::DirectText() const {
 
 size_t Node::ApproxBytes() const {
   size_t bytes = sizeof(Node) + tag_.capacity() + text_.capacity() +
-                 attributes_.capacity() * sizeof(xml::Attribute) +
+                 attributes_.capacity() * sizeof(xml::OwnedAttribute) +
                  children_.capacity() * sizeof(std::unique_ptr<Node>);
-  for (const xml::Attribute& attr : attributes_) {
+  for (const xml::OwnedAttribute& attr : attributes_) {
     bytes += attr.name.capacity() + attr.value.capacity();
   }
   for (const auto& child : children_) {
@@ -42,8 +42,8 @@ void Document::AssignOrderIndexes() {
 void DomBuilder::OnBegin(std::string_view tag,
                          const std::vector<xml::Attribute>& attributes,
                          int /*depth*/) {
-  Node* node =
-      stack_.back()->AddChild(Node::MakeElement(std::string(tag), attributes));
+  Node* node = stack_.back()->AddChild(
+      Node::MakeElement(std::string(tag), xml::CopyAttributes(attributes)));
   stack_.push_back(node);
 }
 

@@ -95,7 +95,7 @@ void SerializeNode(const Node& node, xml::XmlWriter* writer) {
     writer->Text(node.text());
     return;
   }
-  writer->BeginElement(node.tag(), node.attributes());
+  writer->BeginElement(node.tag(), xml::AttributeViews(node.attributes()));
   for (const auto& child : node.children()) {
     SerializeNode(*child, writer);
   }

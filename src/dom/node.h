@@ -21,8 +21,8 @@ class Node {
  public:
   enum class Type { kElement, kText };
 
-  static std::unique_ptr<Node> MakeElement(std::string tag,
-                                           std::vector<xml::Attribute> attrs) {
+  static std::unique_ptr<Node> MakeElement(
+      std::string tag, std::vector<xml::OwnedAttribute> attrs) {
     auto node = std::unique_ptr<Node>(new Node(Type::kElement));
     node->tag_ = std::move(tag);
     node->attributes_ = std::move(attrs);
@@ -41,7 +41,9 @@ class Node {
 
   const std::string& tag() const { return tag_; }
   const std::string& text() const { return text_; }
-  const std::vector<xml::Attribute>& attributes() const { return attributes_; }
+  const std::vector<xml::OwnedAttribute>& attributes() const {
+    return attributes_;
+  }
   const Node* parent() const { return parent_; }
   const std::vector<std::unique_ptr<Node>>& children() const {
     return children_;
@@ -53,7 +55,7 @@ class Node {
 
   // Returns the attribute value, or nullptr if absent.
   const std::string* FindAttribute(std::string_view name) const {
-    for (const xml::Attribute& attr : attributes_) {
+    for (const xml::OwnedAttribute& attr : attributes_) {
       if (attr.name == name) return &attr.value;
     }
     return nullptr;
@@ -78,7 +80,7 @@ class Node {
   Type type_;
   std::string tag_;
   std::string text_;
-  std::vector<xml::Attribute> attributes_;
+  std::vector<xml::OwnedAttribute> attributes_;
   Node* parent_ = nullptr;
   std::vector<std::unique_ptr<Node>> children_;
   size_t order_index_ = 0;

@@ -113,13 +113,13 @@ void DtdValidator::OnBegin(std::string_view tag,
       }
     }
     if (found == nullptr) {
-      Fail("attribute '" + attr.name + "' of element '" + std::string(tag) +
-           "' is not declared");
+      Fail("attribute '" + std::string(attr.name) + "' of element '" +
+           std::string(tag) + "' is not declared");
       return;
     }
     if (found->presence == AttributeDecl::Presence::kFixed &&
         attr.value != found->default_value) {
-      Fail("attribute '" + attr.name + "' is #FIXED to \"" +
+      Fail("attribute '" + std::string(attr.name) + "' is #FIXED to \"" +
            found->default_value + "\"");
       return;
     }

@@ -57,8 +57,8 @@ void NaiveEngine::OnBegin(std::string_view tag,
     build_stack_.push_back(buffering_->mutable_document_node());
     candidate_depth_ = depth;
   }
-  dom::Node* node = build_stack_.back()->AddChild(
-      dom::Node::MakeElement(std::string(tag), attributes));
+  dom::Node* node = build_stack_.back()->AddChild(dom::Node::MakeElement(
+      std::string(tag), xml::CopyAttributes(attributes)));
   build_stack_.push_back(node);
   size_t bytes = sizeof(dom::Node) + tag.size();
   for (const xml::Attribute& attr : attributes) {

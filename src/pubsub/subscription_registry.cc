@@ -13,8 +13,8 @@ namespace xsq::pubsub {
 
 namespace {
 
-const std::string* FindAttr(const std::vector<xml::Attribute>& attributes,
-                            std::string_view name) {
+const std::string_view* FindAttr(const std::vector<xml::Attribute>& attributes,
+                                 std::string_view name) {
   for (const xml::Attribute& attr : attributes) {
     if (attr.name == name) return &attr.value;
   }
@@ -152,9 +152,9 @@ class SubscriptionRegistry::DirectRun : public xml::SaxHandler {
           frame.text_subs.push_back(static_cast<size_t>(filter_id));
           break;
         case xpath::OutputKind::kAttribute: {
-          const std::string* value =
+          const std::string_view* value =
               FindAttr(attributes, sub.query.output.attribute);
-          if (value != nullptr) out.items.push_back(*value);
+          if (value != nullptr) out.items.emplace_back(*value);
           break;
         }
         default: {  // aggregation: accumulate this element's direct text

@@ -26,8 +26,8 @@ bool TapeReplayer::Step(xml::SaxHandler* handler, size_t max_events) {
         const std::vector<Tape::Attr>& attrs = *event.attributes;
         attr_scratch_.resize(attrs.size());
         for (size_t i = 0; i < attrs.size(); ++i) {
-          attr_scratch_[i].name.assign(symbols.Name(attrs[i].name));
-          attr_scratch_[i].value.assign(attrs[i].value);
+          attr_scratch_[i].name = symbols.Name(attrs[i].name);
+          attr_scratch_[i].value = attrs[i].value;
         }
         handler->OnBegin(symbols.Name(event.tag), attr_scratch_, event.depth);
         break;

@@ -1,0 +1,175 @@
+// Bump-allocation arena for the parser's per-document transient state
+// (the query_arena idiom): open-element names, decoded attribute values
+// and coalesced text live in reusable blocks instead of one std::string
+// allocation per element/attribute/run.
+//
+// Allocation discipline:
+//   * Alloc/Store never move previously returned memory, so views into
+//     the arena stay valid until the region holding them is rewound.
+//   * Mark/Rewind give stack-shaped reclamation: the open-element stack
+//     marks on push and rewinds on pop, so a document's name storage is
+//     bounded by its *depth*, not its element count.
+//   * Reset (between documents) keeps one block of the high-water size
+//     (capped) so steady-state parsing allocates nothing.
+//
+// Not thread-safe; each parser owns its arenas.
+#ifndef XSQ_XML_ARENA_H_
+#define XSQ_XML_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace xsq::xml {
+
+class Arena {
+ public:
+  static constexpr size_t kMinBlockBytes = 4096;
+  // Reset() retains at most this much capacity between documents; one
+  // pathological document does not pin its peak forever.
+  static constexpr size_t kMaxRetainedBytes = 256 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `n` writable bytes. The returned region is stable until the
+  // arena is rewound past it or Reset.
+  char* Alloc(size_t n) {
+    if (blocks_.empty() || blocks_[block_].size - used_ < n) Grow(n);
+    char* out = blocks_[block_].data.get() + used_;
+    used_ += n;
+    return out;
+  }
+
+  // Copies `s` into the arena and returns the stable view.
+  std::string_view Store(std::string_view s) {
+    char* dst = Alloc(s.size());
+    std::memcpy(dst, s.data(), s.size());
+    return std::string_view(dst, s.size());
+  }
+
+  // Watermark for stack-shaped reclamation. Only valid to Rewind to a
+  // mark taken from this arena with no intervening Rewind below it.
+  struct Mark {
+    size_t block = 0;
+    size_t used = 0;
+  };
+  Mark mark() const { return Mark{block_, used_}; }
+  void Rewind(Mark m) {
+    block_ = m.block;
+    used_ = m.used;
+  }
+  void RewindAll() {
+    block_ = 0;
+    used_ = 0;
+  }
+
+  // Between documents: keep one block sized to the (capped) high-water
+  // mark so the next document reuses it without allocating.
+  void Reset() {
+    size_t high_water = 0;
+    for (const Block& b : blocks_) high_water += b.size;
+    if (blocks_.size() > 1 || high_water > kMaxRetainedBytes) {
+      size_t keep = high_water < kMaxRetainedBytes ? high_water
+                                                   : kMaxRetainedBytes;
+      if (keep < kMinBlockBytes) keep = kMinBlockBytes;
+      blocks_.clear();
+      blocks_.push_back(Block{std::make_unique<char[]>(keep), keep});
+    }
+    block_ = 0;
+    used_ = 0;
+  }
+
+  // Bytes currently allocated (live), for buffer accounting.
+  size_t allocated_bytes() const {
+    size_t total = 0;
+    for (size_t i = 0; i < block_ && i < blocks_.size(); ++i) {
+      total += blocks_[i].size;
+    }
+    return total + used_;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  void Grow(size_t n) {
+    // Advance into an existing block if one fits; otherwise append a new
+    // block that doubles the arena (at least).
+    if (!blocks_.empty()) {
+      size_t next = block_ + 1;
+      if (next < blocks_.size() && blocks_[next].size >= n) {
+        block_ = next;
+        used_ = 0;
+        return;
+      }
+      // Drop too-small successor blocks (stale from a previous shape).
+      blocks_.resize(block_ + 1);
+    }
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    size_t size = total < kMinBlockBytes ? kMinBlockBytes : total;
+    if (size < n) size = n;
+    blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+    block_ = blocks_.size() - 1;
+    used_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  size_t block_ = 0;  // current block index
+  size_t used_ = 0;   // bytes used in the current block
+};
+
+// A contiguous growable byte buffer carved from an Arena: the parser's
+// decoded-entity scratch and text-coalescing buffer. Growth reallocates
+// within the arena (geometric), so the final view is contiguous; stale
+// regions are reclaimed when the owner rewinds the arena.
+class ArenaString {
+ public:
+  explicit ArenaString(Arena* arena) : arena_(arena) {}
+
+  void Clear() {
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  void Append(std::string_view s) {
+    if (size_ + s.size() > capacity_) Reserve(size_ + s.size());
+    std::memcpy(data_ + size_, s.data(), s.size());
+    size_ += s.size();
+  }
+
+  void PushBack(char c) {
+    if (size_ + 1 > capacity_) Reserve(size_ + 1);
+    data_[size_++] = c;
+  }
+
+  std::string_view view() const { return std::string_view(data_, size_); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  void Reserve(size_t need) {
+    size_t cap = capacity_ < 64 ? 64 : capacity_ * 2;
+    if (cap < need) cap = need;
+    char* fresh = arena_->Alloc(cap);
+    if (size_ != 0) std::memcpy(fresh, data_, size_);
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  Arena* arena_;
+  char* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace xsq::xml
+
+#endif  // XSQ_XML_ARENA_H_

@@ -13,10 +13,48 @@
 namespace xsq::xml {
 
 // One attribute of a begin event. Values are fully entity-decoded.
+//
+// Both fields are views into parser-owned storage (the input chunk, or
+// the parser's decode arena when the value contained entity references)
+// and are valid only for the duration of the OnBegin callback, exactly
+// like every other string_view the handler receives. Handlers that keep
+// attributes past the callback copy them into OwnedAttribute.
 struct Attribute {
+  std::string_view name;
+  std::string_view value;
+};
+
+// A materialized attribute, for consumers that buffer begin events past
+// the callback (DOM nodes, recorded Events, XSM's inter-stage tokens).
+struct OwnedAttribute {
   std::string name;
   std::string value;
+
+  OwnedAttribute() = default;
+  OwnedAttribute(std::string n, std::string v)
+      : name(std::move(n)), value(std::move(v)) {}
+  explicit OwnedAttribute(const Attribute& a) : name(a.name), value(a.value) {}
 };
+
+// Deep-copies callback-scoped attribute views into owned storage.
+inline std::vector<OwnedAttribute> CopyAttributes(
+    const std::vector<Attribute>& attributes) {
+  std::vector<OwnedAttribute> owned;
+  owned.reserve(attributes.size());
+  for (const Attribute& a : attributes) owned.emplace_back(a);
+  return owned;
+}
+
+// Builds callback-style views over owned attributes (replaying recorded
+// events back through a SaxHandler). The views alias `owned`, which must
+// stay alive and unmodified while they are in use.
+inline std::vector<Attribute> AttributeViews(
+    const std::vector<OwnedAttribute>& owned) {
+  std::vector<Attribute> views;
+  views.reserve(owned.size());
+  for (const OwnedAttribute& a : owned) views.push_back({a.name, a.value});
+  return views;
+}
 
 // Receives the event stream produced by SaxParser. All string_views are
 // only valid for the duration of the callback; handlers that need the
@@ -72,11 +110,11 @@ struct Event {
   Type type;
   std::string tag;                     // element tag (enclosing tag for
                                        // text, doctype name for doctype)
-  std::vector<Attribute> attributes;  // begin only
+  std::vector<OwnedAttribute> attributes;  // begin only
   std::string text;                    // text content / doctype subset
   int depth = 0;
 
-  static Event Begin(std::string tag, std::vector<Attribute> attrs,
+  static Event Begin(std::string tag, std::vector<OwnedAttribute> attrs,
                      int depth) {
     Event e;
     e.type = Type::kBegin;
@@ -189,7 +227,8 @@ class RecordingHandler : public SaxHandler {
   }
   void OnBegin(std::string_view tag, const std::vector<Attribute>& attributes,
                int depth) override {
-    events.push_back(Event::Begin(std::string(tag), attributes, depth));
+    events.push_back(
+        Event::Begin(std::string(tag), CopyAttributes(attributes), depth));
   }
   void OnEnd(std::string_view tag, int depth) override {
     events.push_back(Event::End(std::string(tag), depth));

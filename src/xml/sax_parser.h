@@ -5,13 +5,21 @@
 // incremental: bytes may arrive in arbitrary chunks (Feed), which is what
 // makes the downstream engines genuinely *streaming*. The parser enforces
 // well-formedness (matched tags, single root, legal names, legal entity
-// references) and reports errors with line/column positions.
+// references) and reports errors with line/column positions (columns
+// count code points, so multi-byte UTF-8 text does not skew them).
 //
 // Supported syntax: elements, attributes (single or double quoted),
 // character data with the five predefined entities and numeric character
 // references, CDATA sections, comments, processing instructions, the XML
 // declaration, and DOCTYPE declarations (skipped, including an internal
 // subset). DTD-defined entities are not expanded (non-validating).
+//
+// The scan loop classifies bytes in 8/16-byte gulps (xml/scan.h) and the
+// event path is zero-copy: tag names, text and attribute payloads are
+// delivered as string_views into the input chunk when possible, or into
+// the parser's reusable arenas when a token spans chunks or needed
+// entity decoding. Every view is valid only for the duration of the
+// handler callback (see events.h).
 #ifndef XSQ_XML_SAX_PARSER_H_
 #define XSQ_XML_SAX_PARSER_H_
 
@@ -21,6 +29,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "xml/arena.h"
 #include "xml/events.h"
 
 namespace xsq::xml {
@@ -40,6 +49,10 @@ struct ParserLimits {
                                     // references in one document
   size_t max_doctype_bytes = 0;     // DOCTYPE declaration size (this is
                                     // the dtd/ internal-subset path)
+  size_t max_retained_markup = 0;   // unconsumed markup retained across
+                                    // Feeds: an unterminated comment,
+                                    // CDATA section, PI or tag cannot
+                                    // grow pending_ past this
 
   // The serving defaults: generous enough for every real corpus in the
   // bench suite (DBLP/NASA/PSD/SHAKE and the recursive generators), but
@@ -52,6 +65,7 @@ struct ParserLimits {
     limits.max_name_length = 4096;
     limits.max_entity_expansion = 64u << 20;  // 64 MiB
     limits.max_doctype_bytes = 4u << 20;      // 4 MiB internal subset
+    limits.max_retained_markup = 64u << 20;   // 64 MiB (legit CDATA fits)
     return limits;
   }
 };
@@ -84,12 +98,22 @@ class SaxParser {
   // Total bytes accepted via Feed so far.
   size_t bytes_consumed() const { return bytes_consumed_; }
 
-  // Position used in error messages; 1-based.
+  // Position used in error messages; 1-based. Columns count code
+  // points: a multi-byte UTF-8 character advances the column by one.
   int line() const { return line_; }
   int column() const { return column_; }
 
   // Current element nesting depth (root element = 1 while open).
   int depth() const { return static_cast<int>(open_elements_.size()); }
+
+  // Bytes the parser itself is holding between Feeds: the unconsumed
+  // pending tail plus the live arena storage (open-element names,
+  // text/attribute scratch). Sessions count this against their memory
+  // budget next to the engine's buffered items.
+  size_t retained_bytes() const {
+    return pending_.size() + stack_arena_.allocated_bytes() +
+           scratch_arena_.allocated_bytes();
+  }
 
   // Redirects event delivery to `handler` from the next Feed on. The
   // handler is not part of the parse state, so swapping between chunks
@@ -109,25 +133,65 @@ class SaxParser {
  private:
   enum class Progress { kOk, kNeedMore };
 
+  // Where the pending text run's bytes live. kDirect text is a single
+  // contiguous entity-free span of the current input buffer — delivered
+  // with zero copies when the run flushes within the same Feed, and
+  // materialized into the scratch arena only when the run survives past
+  // the buffer (MaterializeText).
+  enum class TextState { kNone, kDirect, kOwned };
+
   Status ParseBuffer(std::string_view data, size_t* consumed, bool at_eof);
+  Status ParseTextRun(std::string_view data, size_t* pos, bool at_eof);
   Status HandleMarkup(std::string_view data, size_t* consumed,
                       Progress* progress);
   Status ParseElementTag(std::string_view markup_body, bool self_closing);
   Status ParseEndTag(std::string_view markup_body);
   Status FlushText();
-  Status DecodeEntities(std::string_view raw, std::string* out);
-  Status ErrorHere(const std::string& message) const;
-  Status LimitErrorHere(const std::string& message) const;
-  void AdvancePosition(std::string_view consumed_text);
+  void AppendRawText(std::string_view raw);
+  void MaterializeText();
+  Status AppendEntity(std::string_view name, ArenaString* out);
+  Status DecodeEntities(std::string_view raw, ArenaString* out);
+  Status ChargeTextRun(size_t decoded_bytes, bool saw_reference);
+  // Position accounting is deferred off the hot path: during
+  // ParseBuffer, line_/column_/bytes_consumed_ lag behind at `anchor_`
+  // (an offset into buf_, the buffer being parsed). Hot paths only
+  // store `error_anchor_` — the offset an error would point at — and
+  // SyncPosition catches the counters up in one batched scan at buffer
+  // end or, via ErrorHere, when an error is actually being formatted.
+  void SyncPosition(size_t offset);
+  Status ErrorHere(const std::string& message);
+  Status LimitErrorHere(const std::string& message);
 
   SaxHandler* handler_;
   ParserLimits limits_;
   size_t entity_expanded_bytes_ = 0;  // per document, against the budget
-  std::string pending_;                   // unconsumed tail from prior Feed
-  std::string text_;                      // decoded pending character data
-  bool has_pending_text_ = false;         // a text run is in progress
-  std::vector<std::string> open_elements_;
-  std::vector<Attribute> attributes_;     // scratch, reused per begin tag
+  std::string pending_;               // unconsumed tail from prior Feed
+
+  // Pending coalesced character data. Direct text aliases the current
+  // input buffer; owned text lives in scratch_arena_ via text_.
+  TextState text_state_ = TextState::kNone;
+  bool has_pending_text_ = false;  // a text run is in progress (it may
+                                   // be empty: <![CDATA[]]>)
+  std::string_view text_direct_;
+  Arena scratch_arena_;  // decoded text + attribute values
+  ArenaString text_{&scratch_arena_};
+
+  // Open-element names are stacked in stack_arena_; each entry rewinds
+  // the arena to `mark` when popped, so storage is bounded by depth.
+  struct OpenElement {
+    std::string_view name;
+    Arena::Mark mark;
+  };
+  Arena stack_arena_;
+  std::vector<OpenElement> open_elements_;
+
+  std::vector<Attribute> attributes_;  // scratch, reused per begin tag
+
+  // Deferred-position state, valid only while ParseBuffer runs.
+  std::string_view buf_;     // the buffer being parsed
+  size_t anchor_ = 0;        // offset up to which line_/column_ are current
+  size_t error_anchor_ = 0;  // offset an error right now would point at
+
   bool seen_root_ = false;
   bool document_begun_ = false;
   bool bom_checked_ = false;

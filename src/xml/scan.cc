@@ -1,0 +1,360 @@
+#include "xml/scan.h"
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(XSQ_SIMD_ENABLED) && (defined(__SSE2__) || defined(_M_X64))
+#define XSQ_SCAN_HAVE_SSE2 1
+#include <emmintrin.h>
+#else
+#define XSQ_SCAN_HAVE_SSE2 0
+#endif
+
+namespace xsq::xml {
+
+namespace {
+
+constexpr size_t npos = std::string_view::npos;
+
+// ------------------------------------------------------------- scalar
+
+template <char A, char B, char C>
+size_t FindAny3Scalar(std::string_view s, size_t from) {
+  for (size_t i = from; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == A || c == B || c == C) return i;
+  }
+  return npos;
+}
+
+template <char A, char B, char C, char D>
+size_t FindAny4Scalar(std::string_view s, size_t from) {
+  for (size_t i = from; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == A || c == B || c == C || c == D) return i;
+  }
+  return npos;
+}
+
+size_t FindTextSpecialScalar(std::string_view s, size_t from) {
+  return FindAny3Scalar<'<', '&', ']'>(s, from);
+}
+
+size_t FindTagSpecialScalar(std::string_view s, size_t from) {
+  return FindAny4Scalar<'>', '<', '"', '\''>(s, from);
+}
+
+size_t CountNewlinesScalar(std::string_view s) {
+  size_t n = 0;
+  for (char c : s) n += c == '\n' ? 1 : 0;
+  return n;
+}
+
+size_t CountCodepointsScalar(std::string_view s) {
+  size_t n = 0;
+  for (char c : s) {
+    n += (static_cast<unsigned char>(c) & 0xc0) != 0x80 ? 1 : 0;
+  }
+  return n;
+}
+
+// --------------------------------------------------------------- SWAR
+//
+// The classic zero-byte trick: for word w, (w - 0x01..01) & ~w & 0x80..80
+// has the high bit set exactly in bytes of w that are zero. XOR-ing the
+// word with a broadcast byte turns "find byte c" into "find zero byte";
+// OR-ing the per-target masks classifies against the whole set in one
+// pass. Loads are memcpy (no alignment assumption); the first match
+// index is the lowest set high bit (little-endian: count trailing
+// zeros / 8).
+
+constexpr uint64_t kOnes = 0x0101010101010101ull;
+constexpr uint64_t kHighs = 0x8080808080808080ull;
+
+inline uint64_t Broadcast(char c) {
+  return kOnes * static_cast<unsigned char>(c);
+}
+
+inline uint64_t ZeroBytes(uint64_t w) { return (w - kOnes) & ~w & kHighs; }
+
+inline uint64_t LoadWord(const char* p) {
+  uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+template <char A, char B, char C>
+size_t FindAny3Swar(std::string_view s, size_t from) {
+  const char* data = s.data();
+  size_t i = from;
+  const size_t n = s.size();
+  while (i + 8 <= n) {
+    uint64_t w = LoadWord(data + i);
+    uint64_t hit = ZeroBytes(w ^ Broadcast(A)) | ZeroBytes(w ^ Broadcast(B)) |
+                   ZeroBytes(w ^ Broadcast(C));
+    if (hit != 0) {
+      return i + (static_cast<size_t>(__builtin_ctzll(hit)) >> 3);
+    }
+    i += 8;
+  }
+  return FindAny3Scalar<A, B, C>(s, i);
+}
+
+template <char A, char B, char C, char D>
+size_t FindAny4Swar(std::string_view s, size_t from) {
+  const char* data = s.data();
+  size_t i = from;
+  const size_t n = s.size();
+  while (i + 8 <= n) {
+    uint64_t w = LoadWord(data + i);
+    uint64_t hit = ZeroBytes(w ^ Broadcast(A)) | ZeroBytes(w ^ Broadcast(B)) |
+                   ZeroBytes(w ^ Broadcast(C)) | ZeroBytes(w ^ Broadcast(D));
+    if (hit != 0) {
+      return i + (static_cast<size_t>(__builtin_ctzll(hit)) >> 3);
+    }
+    i += 8;
+  }
+  return FindAny4Scalar<A, B, C, D>(s, i);
+}
+
+size_t FindTextSpecialSwar(std::string_view s, size_t from) {
+  return FindAny3Swar<'<', '&', ']'>(s, from);
+}
+
+size_t FindTagSpecialSwar(std::string_view s, size_t from) {
+  return FindAny4Swar<'>', '<', '"', '\''>(s, from);
+}
+
+// Counting avoids popcount (a libcall on baseline x86-64 builds): each
+// matching byte contributes 0x80 to the hit mask, so `hit >> 7` adds one
+// per match into each 8-bit lane. The fold (acc * kOnes, top byte) sums
+// all eight lanes, so the *total* per block must stay below 256: blocks
+// are capped at 31 words (8 lanes x 31 = 248 max).
+template <typename MatchFn>
+size_t CountBytesSwar(std::string_view s, MatchFn match,
+                      bool (*scalar_match)(unsigned char)) {
+  const char* data = s.data();
+  const size_t n = s.size();
+  size_t i = 0;
+  size_t count = 0;
+  while (i + 8 <= n) {
+    uint64_t acc = 0;
+    size_t block_end = i + 8 * 31;
+    if (block_end > n) block_end = n;
+    for (; i + 8 <= block_end; i += 8) {
+      acc += match(LoadWord(data + i)) >> 7;
+    }
+    count += (acc * kOnes) >> 56;
+  }
+  for (; i < n; ++i) {
+    count += scalar_match(static_cast<unsigned char>(data[i])) ? 1 : 0;
+  }
+  return count;
+}
+
+size_t CountNewlinesSwar(std::string_view s) {
+  return CountBytesSwar(
+      s, [](uint64_t w) { return ZeroBytes(w ^ Broadcast('\n')); },
+      [](unsigned char c) { return c == '\n'; });
+}
+
+size_t CountCodepointsSwar(std::string_view s) {
+  // A continuation byte has the bit pattern 10xxxxxx: masking with 0xC0
+  // and XOR-ing with 0x80 yields zero exactly for continuation bytes.
+  size_t continuations = CountBytesSwar(
+      s, [](uint64_t w) { return ZeroBytes((w & (kOnes * 0xc0)) ^ kHighs); },
+      [](unsigned char c) { return (c & 0xc0) == 0x80; });
+  return s.size() - continuations;
+}
+
+// --------------------------------------------------------------- SSE2
+
+#if XSQ_SCAN_HAVE_SSE2
+
+template <char A, char B, char C>
+size_t FindAny3Simd(std::string_view s, size_t from) {
+  const char* data = s.data();
+  size_t i = from;
+  const size_t n = s.size();
+  const __m128i va = _mm_set1_epi8(A);
+  const __m128i vb = _mm_set1_epi8(B);
+  const __m128i vc = _mm_set1_epi8(C);
+  while (i + 16 <= n) {
+    __m128i w = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    __m128i hit = _mm_or_si128(_mm_or_si128(_mm_cmpeq_epi8(w, va),
+                                            _mm_cmpeq_epi8(w, vb)),
+                               _mm_cmpeq_epi8(w, vc));
+    int mask = _mm_movemask_epi8(hit);
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+    }
+    i += 16;
+  }
+  return FindAny3Scalar<A, B, C>(s, i);
+}
+
+template <char A, char B, char C, char D>
+size_t FindAny4Simd(std::string_view s, size_t from) {
+  const char* data = s.data();
+  size_t i = from;
+  const size_t n = s.size();
+  const __m128i va = _mm_set1_epi8(A);
+  const __m128i vb = _mm_set1_epi8(B);
+  const __m128i vc = _mm_set1_epi8(C);
+  const __m128i vd = _mm_set1_epi8(D);
+  while (i + 16 <= n) {
+    __m128i w = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    __m128i hit = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(w, va), _mm_cmpeq_epi8(w, vb)),
+        _mm_or_si128(_mm_cmpeq_epi8(w, vc), _mm_cmpeq_epi8(w, vd)));
+    int mask = _mm_movemask_epi8(hit);
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+    }
+    i += 16;
+  }
+  return FindAny4Scalar<A, B, C, D>(s, i);
+}
+
+size_t FindTextSpecialSimd(std::string_view s, size_t from) {
+  return FindAny3Simd<'<', '&', ']'>(s, from);
+}
+
+size_t FindTagSpecialSimd(std::string_view s, size_t from) {
+  return FindAny4Simd<'>', '<', '"', '\''>(s, from);
+}
+
+// Counting via PSADBW instead of movemask+popcount: _mm_cmpeq_epi8
+// yields -1 per matching byte, so subtracting it accumulates one per
+// match into each 8-bit lane. Lanes hold up to 255 vectors; blocks are
+// folded with one _mm_sad_epu8 (two 16-bit lane sums, max 8*255 each).
+template <typename MatchFn>
+size_t CountBytesSimd(std::string_view s, MatchFn match,
+                      bool (*scalar_match)(unsigned char)) {
+  const char* data = s.data();
+  const size_t n = s.size();
+  const __m128i zero = _mm_setzero_si128();
+  size_t i = 0;
+  size_t count = 0;
+  while (i + 16 <= n) {
+    __m128i acc = zero;
+    size_t block_end = i + 16 * 255;
+    if (block_end > n) block_end = n;
+    for (; i + 16 <= block_end; i += 16) {
+      __m128i w = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+      acc = _mm_sub_epi8(acc, match(w));
+    }
+    __m128i sums = _mm_sad_epu8(acc, zero);
+    count += static_cast<size_t>(_mm_cvtsi128_si64(sums)) +
+             static_cast<size_t>(_mm_extract_epi16(sums, 4));
+  }
+  for (; i < n; ++i) {
+    count += scalar_match(static_cast<unsigned char>(data[i])) ? 1 : 0;
+  }
+  return count;
+}
+
+size_t CountNewlinesSimd(std::string_view s) {
+  const __m128i nl = _mm_set1_epi8('\n');
+  return CountBytesSimd(
+      s, [nl](__m128i w) { return _mm_cmpeq_epi8(w, nl); },
+      [](unsigned char c) { return c == '\n'; });
+}
+
+size_t CountCodepointsSimd(std::string_view s) {
+  const __m128i mask_c0 = _mm_set1_epi8(static_cast<char>(0xc0));
+  const __m128i cont = _mm_set1_epi8(static_cast<char>(0x80));
+  size_t continuations = CountBytesSimd(
+      s,
+      [mask_c0, cont](__m128i w) {
+        return _mm_cmpeq_epi8(_mm_and_si128(w, mask_c0), cont);
+      },
+      [](unsigned char c) { return (c & 0xc0) == 0x80; });
+  return s.size() - continuations;
+}
+
+#endif  // XSQ_SCAN_HAVE_SSE2
+
+// ----------------------------------------------------------- dispatch
+
+struct ScanVtable {
+  size_t (*find_text_special)(std::string_view, size_t);
+  size_t (*find_tag_special)(std::string_view, size_t);
+  size_t (*count_newlines)(std::string_view);
+  size_t (*count_codepoints)(std::string_view);
+};
+
+constexpr ScanVtable kScalarVtable = {
+    FindTextSpecialScalar, FindTagSpecialScalar, CountNewlinesScalar,
+    CountCodepointsScalar};
+constexpr ScanVtable kSwarVtable = {FindTextSpecialSwar, FindTagSpecialSwar,
+                                    CountNewlinesSwar, CountCodepointsSwar};
+#if XSQ_SCAN_HAVE_SSE2
+constexpr ScanVtable kSimdVtable = {FindTextSpecialSimd, FindTagSpecialSimd,
+                                    CountNewlinesSimd, CountCodepointsSimd};
+#endif
+
+const ScanVtable* active_vtable =
+#if XSQ_SCAN_HAVE_SSE2
+    &kSimdVtable;
+#else
+    &kSwarVtable;
+#endif
+ScanImpl active_impl =
+#if XSQ_SCAN_HAVE_SSE2
+    ScanImpl::kSimd;
+#else
+    ScanImpl::kSwar;
+#endif
+
+}  // namespace
+
+ScanImpl BestScanImpl() {
+#if XSQ_SCAN_HAVE_SSE2
+  return ScanImpl::kSimd;
+#else
+  return ScanImpl::kSwar;
+#endif
+}
+
+bool SimdScanAvailable() { return XSQ_SCAN_HAVE_SSE2 != 0; }
+
+bool SetScanImpl(ScanImpl impl) {
+  switch (impl) {
+    case ScanImpl::kScalar:
+      active_vtable = &kScalarVtable;
+      break;
+    case ScanImpl::kSwar:
+      active_vtable = &kSwarVtable;
+      break;
+    case ScanImpl::kSimd:
+#if XSQ_SCAN_HAVE_SSE2
+      active_vtable = &kSimdVtable;
+      break;
+#else
+      return false;
+#endif
+  }
+  active_impl = impl;
+  return true;
+}
+
+ScanImpl CurrentScanImpl() { return active_impl; }
+
+size_t FindTextSpecial(std::string_view s, size_t from) {
+  return active_vtable->find_text_special(s, from);
+}
+
+size_t FindTagSpecial(std::string_view s, size_t from) {
+  return active_vtable->find_tag_special(s, from);
+}
+
+size_t CountNewlines(std::string_view s) {
+  return active_vtable->count_newlines(s);
+}
+
+size_t CountCodepoints(std::string_view s) {
+  return active_vtable->count_codepoints(s);
+}
+
+}  // namespace xsq::xml

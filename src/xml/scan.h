@@ -1,0 +1,62 @@
+// Byte-classification primitives for the SAX scan loop.
+//
+// The parser's hot loops reduce to "find the next structural byte":
+//   * character data stops at '<' (markup), '&' (entity) or ']'
+//     (possible forbidden "]]>"),
+//   * a tag body stops at '>' (end), '<' (error) or a quote
+//     (attribute value),
+// plus line/column bookkeeping (newlines and UTF-8 code points). Each
+// primitive classifies 8 bytes per step with SWAR word tricks, or 16
+// with SSE2 when built with -DXSQ_SIMD=ON (the default; OFF removes the
+// SIMD path entirely). A plain byte-at-a-time scalar implementation is
+// kept for differential testing: all three must produce identical
+// results on every input, and tests/benches switch between them with
+// SetScanImpl.
+//
+// SetScanImpl swaps global function pointers and must not race a live
+// parse; it exists for single-threaded differential tests and benches.
+#ifndef XSQ_XML_SCAN_H_
+#define XSQ_XML_SCAN_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace xsq::xml {
+
+enum class ScanImpl {
+  kScalar,  // byte-at-a-time reference
+  kSwar,    // 8-byte word classification
+  kSimd,    // 16-byte SSE2 classification (when compiled in)
+};
+
+// The best implementation this build supports (kSimd when compiled
+// with XSQ_SIMD on SSE2 hardware, else kSwar). Parsers use it unless a
+// test overrides.
+ScanImpl BestScanImpl();
+bool SimdScanAvailable();
+
+// Globally selects the implementation behind the primitives below.
+// Returns false (and changes nothing) if `impl` is not available in
+// this build.
+bool SetScanImpl(ScanImpl impl);
+ScanImpl CurrentScanImpl();
+
+// Index of the first byte in s[from..) that is '<', '&' or ']'; npos
+// when none. The character-data scan.
+size_t FindTextSpecial(std::string_view s, size_t from);
+
+// Index of the first byte in s[from..) that is '>', '<', '"' or '\'';
+// npos when none. The tag-body scan.
+size_t FindTagSpecial(std::string_view s, size_t from);
+
+// Number of '\n' bytes in `s`.
+size_t CountNewlines(std::string_view s);
+
+// Number of UTF-8 code points in `s`: bytes that are not continuation
+// bytes (0x80..0xBF). Column positions count code points, so multi-byte
+// characters advance the column by one.
+size_t CountCodepoints(std::string_view s);
+
+}  // namespace xsq::xml
+
+#endif  // XSQ_XML_SCAN_H_

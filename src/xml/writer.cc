@@ -75,7 +75,7 @@ std::string SerializeEvents(const std::vector<Event>& events) {
   for (const Event& event : events) {
     switch (event.type) {
       case Event::Type::kBegin:
-        writer.BeginElement(event.tag, event.attributes);
+        writer.BeginElement(event.tag, AttributeViews(event.attributes));
         break;
       case Event::Type::kEnd:
         writer.EndElement(event.tag);

@@ -16,8 +16,8 @@ bool ChildTagMatches(const xpath::Predicate& predicate, std::string_view tag) {
 }
 
 bool AttributePredicateHolds(const xpath::Predicate& predicate,
-                             const std::vector<xml::Attribute>& attributes) {
-  for (const xml::Attribute& attr : attributes) {
+                             const std::vector<xml::OwnedAttribute>& attributes) {
+  for (const xml::OwnedAttribute& attr : attributes) {
     if (attr.name == predicate.attribute) {
       return !predicate.has_comparison ||
              xpath::CompareValue(attr.value, predicate);
@@ -29,7 +29,7 @@ bool AttributePredicateHolds(const xpath::Predicate& predicate,
 void AppendBeginTag(std::string* out, const Token& token) {
   out->push_back('<');
   out->append(token.tag);
-  for (const xml::Attribute& attr : token.attributes) {
+  for (const xml::OwnedAttribute& attr : token.attributes) {
     out->push_back(' ');
     out->append(attr.name);
     out->append("=\"");
@@ -43,7 +43,7 @@ void AppendBeginTag(std::string* out, const Token& token) {
 
 size_t Token::ApproxBytes() const {
   size_t bytes = sizeof(Token) + tag.size() + text.size();
-  for (const xml::Attribute& attr : attributes) {
+  for (const xml::OwnedAttribute& attr : attributes) {
     bytes += attr.name.size() + attr.value.size();
   }
   return bytes;
@@ -117,7 +117,7 @@ class XsmEngine::OutputCollector : public TokenSinkBase {
         AppendBeginTag(&serialized_, token);
         break;
       case xpath::OutputKind::kAttribute:
-        for (const xml::Attribute& attr : token.attributes) {
+        for (const xml::OwnedAttribute& attr : token.attributes) {
           if (attr.name == output_.attribute) {
             sink_->OnItem(attr.value);
             break;
@@ -361,7 +361,7 @@ void XsmEngine::OnBegin(std::string_view tag,
   Token token;
   token.type = Token::Type::kBegin;
   token.tag.assign(tag);
-  token.attributes = attributes;
+  token.attributes = xml::CopyAttributes(attributes);
   stages_.front()->Process(token);
 }
 

@@ -43,9 +43,10 @@ struct Token {
   enum class Type : uint8_t { kBegin, kEnd, kText };
 
   Type type;
-  std::string tag;                          // begin/end
-  std::vector<xml::Attribute> attributes;  // begin
-  std::string text;                         // text
+  std::string tag;                               // begin/end
+  std::vector<xml::OwnedAttribute> attributes;   // begin (owned: tokens
+                                                 // queue across stages)
+  std::string text;                              // text
 
   size_t ApproxBytes() const;
 };

@@ -166,6 +166,122 @@ TEST(ParserEdgeTest, BytesConsumedCountsBom) {
   EXPECT_EQ(parser.bytes_consumed(), 7u);
 }
 
+// --- comment/CDATA well-formedness (regression) ---
+// The parser used to accept "--" inside comments and a bare "]]>" in
+// character data, both forbidden by XML 1.0 (§2.5, §2.4).
+
+TEST(ParserEdgeTest, DoubleHyphenInCommentRejected) {
+  std::string message = ParseError("<a><!-- x -- y --></a>");
+  EXPECT_NE(message.find("'--' is not allowed within a comment"),
+            std::string::npos)
+      << message;
+  // The position points at the "--" itself, not at the comment start.
+  EXPECT_NE(message.find("line 1, column 11"), std::string::npos) << message;
+}
+
+TEST(ParserEdgeTest, CommentEndingInHyphenRejected) {
+  std::string message = ParseError("<a><!--a---></a>");
+  EXPECT_NE(message.find("comment content may not end with '-'"),
+            std::string::npos)
+      << message;
+}
+
+TEST(ParserEdgeTest, SingleHyphensInCommentStillFine) {
+  auto events = ParseOk("<a><!-- a - b - c --></a>");
+  ASSERT_EQ(events.size(), 2u);
+}
+
+TEST(ParserEdgeTest, BareCdataCloseInTextRejected) {
+  std::string message = ParseError("<a>x]]>y</a>");
+  EXPECT_NE(message.find("']]>' is not allowed in character data"),
+            std::string::npos)
+      << message;
+}
+
+TEST(ParserEdgeTest, CdataCloseSplitAcrossChunksStillRejected) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  ASSERT_TRUE(parser.Feed("<a>x]").ok());
+  ASSERT_TRUE(parser.Feed("]").ok());
+  Status status = parser.Feed(">y</a>");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("']]>' is not allowed in character data"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(ParserEdgeTest, LoneAndDoubleBracketsInTextAreFine) {
+  auto events = ParseOk("<a>x ] y ]] z</a>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].text, "x ] y ]] z");
+}
+
+// --- retained-markup budget (regression) ---
+// Only DOCTYPE used to be capped; an unterminated comment, CDATA
+// section, PI or tag fed chunk-wise grew pending_ without bound.
+
+TEST(ParserEdgeTest, UnterminatedMarkupTripsRetainedBudget) {
+  for (const char* opener :
+       {"<a><!-- never closed ", "<a><![CDATA[ never closed ",
+        "<a><?pi never closed ", "<a><b attr=\"never closed "}) {
+    RecordingHandler handler;
+    ParserLimits limits;
+    limits.max_retained_markup = 4096;
+    SaxParser parser(&handler, limits);
+    ASSERT_TRUE(parser.Feed(opener).ok()) << opener;
+    Status status = Status::OK();
+    const std::string chunk(512, 'x');
+    for (int i = 0; i < 64 && status.ok(); ++i) status = parser.Feed(chunk);
+    ASSERT_FALSE(status.ok()) << opener << ": budget never tripped";
+    EXPECT_EQ(status.code(), StatusCode::kLimitExceeded) << opener;
+    EXPECT_NE(status.ToString().find("retained budget"), std::string::npos)
+        << opener << " -> " << status.ToString();
+  }
+}
+
+TEST(ParserEdgeTest, LargeCdataUnderBudgetStillParses) {
+  RecordingHandler handler;
+  ParserLimits limits;
+  limits.max_retained_markup = 1u << 20;
+  SaxParser parser(&handler, limits);
+  std::string body(100000, 'x');
+  std::string doc = "<a><![CDATA[" + body + "]]></a>";
+  for (size_t i = 0; i < doc.size(); i += 512) {
+    ASSERT_TRUE(parser.Feed(std::string_view(doc).substr(i, 512)).ok());
+  }
+  ASSERT_TRUE(parser.Finish().ok());
+  std::vector<Event> events = handler.element_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].text, body);
+}
+
+// --- columns count code points (regression) ---
+// Error columns used to advance one per *byte*, so any multi-byte
+// UTF-8 character before the error skewed every position after it.
+
+TEST(ParserEdgeTest, ErrorColumnCountsCodepointsNotBytes) {
+  // "αβγ" is 3 code points in 6 bytes; the "]]>"  sits at column 7
+  // (after "<a>" and three characters), not at byte offset 10.
+  std::string message = ParseError("<a>\xce\xb1\xce\xb2\xce\xb3]]>x</a>");
+  EXPECT_NE(message.find("line 1, column 7"), std::string::npos) << message;
+}
+
+TEST(ParserEdgeTest, ErrorColumnCodepointsAfterNewline) {
+  // Two 2-byte "é" on line 2 put the error at column 3, not 5.
+  std::string message = ParseError("<a>\n\xc3\xa9\xc3\xa9]]></a>");
+  EXPECT_NE(message.find("line 2, column 3"), std::string::npos) << message;
+}
+
+TEST(ParserEdgeTest, ColumnAccessorCountsCodepoints) {
+  RecordingHandler handler;
+  SaxParser parser(&handler);
+  // "<a>é</a>" is 9 bytes but 8 code points: the cursor lands on 9.
+  ASSERT_TRUE(parser.Parse("<a>\xc3\xa9</a>").ok());
+  EXPECT_EQ(parser.line(), 1);
+  EXPECT_EQ(parser.column(), 9);
+  EXPECT_EQ(parser.bytes_consumed(), 9u);
+}
+
 TEST(ParserEdgeTest, DepthAccessorDuringStreaming) {
   class DepthProbe : public SaxHandler {
    public:

@@ -9,6 +9,7 @@
 
 #include "common/strings.h"
 #include "core/engine.h"
+#include "datagen/generators.h"
 #include "core/engine_nc.h"
 #include "core/result_sink.h"
 #include "core/streaming_query.h"
@@ -16,6 +17,7 @@
 #include "dom/evaluator.h"
 #include "test_util.h"
 #include "xml/sax_parser.h"
+#include "xml/scan.h"
 
 namespace xsq {
 namespace {
@@ -140,10 +142,11 @@ TEST(ExtremeInputTest, HugeAttributeValue) {
 }
 
 TEST(ExtremeInputTest, PathologicalCommentAndCdata) {
+  // Many hyphens inside a comment terminated properly — but never two
+  // in a row, which XML 1.0 forbids ("--" must not occur in a comment).
   std::string doc = "<a><!--";
-  doc.append(50000, '-');
-  // Many hyphens inside a comment terminated properly.
-  doc += " --><![CDATA[";
+  for (int i = 0; i < 25000; ++i) doc += "- ";
+  doc += "--><![CDATA[";
   doc.append(50000, ']');
   doc += "]]></a>";
   xml::RecordingHandler handler;
@@ -184,6 +187,109 @@ TEST(ChunkSplitSweepTest, SplitPointNeverChangesTheFinalStatus) {
           << "doc '" << doc << "' split at " << split;
     }
   }
+}
+
+// --- scan-loop robustness ---
+// The parser classifies bytes in 8/16-byte gulps, so the dangerous
+// split points are the ones that land a structural byte exactly on a
+// gulp edge or straddle a multi-byte token ("]]>", "&amp;", "-->")
+// across two Feeds. The event stream must not depend on chunking or on
+// which scan implementation the build selected.
+
+std::string EventDigest(const std::string& doc, size_t chunk) {
+  class Digest : public xml::SaxHandler {
+   public:
+    void OnBegin(std::string_view tag, const std::vector<xml::Attribute>& attrs,
+                 int depth) override {
+      out += "B " + std::string(tag) + " " + std::to_string(depth);
+      for (const xml::Attribute& attr : attrs) {
+        out += " " + std::string(attr.name) + "=" + std::string(attr.value);
+      }
+      out += "\n";
+    }
+    void OnEnd(std::string_view tag, int depth) override {
+      out += "E " + std::string(tag) + " " + std::to_string(depth) + "\n";
+    }
+    void OnText(std::string_view tag, std::string_view text,
+                int depth) override {
+      out += "T " + std::string(tag) + " " + std::to_string(depth) + " " +
+             std::string(text) + "\n";
+    }
+    std::string out;
+  };
+  Digest digest;
+  xml::SaxParser parser(&digest);
+  if (chunk == 0) {
+    if (!parser.Parse(doc).ok()) return "<parse error>";
+    return digest.out;
+  }
+  for (size_t pos = 0; pos < doc.size(); pos += chunk) {
+    if (!parser.Feed(std::string_view(doc).substr(pos, chunk)).ok()) {
+      return "<parse error>";
+    }
+  }
+  if (!parser.Finish().ok()) return "<parse error>";
+  return digest.out;
+}
+
+std::vector<xml::ScanImpl> AllScanImpls() {
+  std::vector<xml::ScanImpl> impls = {xml::ScanImpl::kScalar,
+                                      xml::ScanImpl::kSwar};
+  if (xml::SimdScanAvailable()) impls.push_back(xml::ScanImpl::kSimd);
+  return impls;
+}
+
+TEST(ScanLoopTest, ChunkSplitsCrossingGulpBoundaries) {
+  // Pad the prefix so structural bytes drift across every position of
+  // an 8- and 16-byte gulp; entity and CDATA tokens sit near the pads.
+  std::string doc = "<root>";
+  for (size_t pad = 0; pad < 40; ++pad) {
+    doc += "<e" + std::to_string(pad) + ">" + std::string(pad, 'x') +
+           "&amp;" + std::string(pad, ']') + "<![CDATA[" +
+           std::string(pad, '<') + "]]></e" + std::to_string(pad) + ">";
+  }
+  doc += "</root>";
+  const std::string reference = EventDigest(doc, 0);
+  ASSERT_NE(reference, "<parse error>");
+  const xml::ScanImpl saved = xml::CurrentScanImpl();
+  for (xml::ScanImpl impl : AllScanImpls()) {
+    ASSERT_TRUE(xml::SetScanImpl(impl));
+    // 1..17 crosses both gulp widths; 8/16 land splits exactly on them.
+    for (size_t chunk = 1; chunk <= 17; ++chunk) {
+      EXPECT_EQ(EventDigest(doc, chunk), reference)
+          << "impl=" << static_cast<int>(impl) << " chunk=" << chunk;
+    }
+  }
+  xml::SetScanImpl(saved);
+}
+
+TEST(ScanLoopTest, ImplementationsAgreeOnGeneratedCorpora) {
+  const std::vector<std::pair<const char*, std::string>> corpora = {
+      {"shake", datagen::GenerateShake(96 * 1024, 7)},
+      {"nasa", datagen::GenerateNasa(96 * 1024, 7)},
+      {"dblp", datagen::GenerateDblp(96 * 1024, 7)},
+      {"psd", datagen::GeneratePsd(96 * 1024, 7)},
+      {"recursive", datagen::GenerateRecursivePubs(96 * 1024, 7)},
+  };
+  const xml::ScanImpl saved = xml::CurrentScanImpl();
+  for (const auto& [name, doc] : corpora) {
+    std::string reference;
+    for (xml::ScanImpl impl : AllScanImpls()) {
+      ASSERT_TRUE(xml::SetScanImpl(impl));
+      for (size_t chunk : {size_t{0}, size_t{4096}, size_t{7}}) {
+        std::string digest = EventDigest(doc, chunk);
+        ASSERT_NE(digest, "<parse error>") << name;
+        if (reference.empty()) {
+          reference = digest;
+        } else {
+          EXPECT_EQ(digest, reference)
+              << name << " impl=" << static_cast<int>(impl)
+              << " chunk=" << chunk;
+        }
+      }
+    }
+  }
+  xml::SetScanImpl(saved);
 }
 
 TEST(ExtremeInputTest, EngineStatusCatchesDesyncedEvents) {

@@ -1,0 +1,206 @@
+// Unit tests for the gulp scan primitives (xml/scan.h) and the parser
+// arena (xml/arena.h). The scan functions are exercised through every
+// implementation the build provides — scalar, SWAR, and (when compiled
+// in) SSE2 — against a brute-force reference, with inputs sized and
+// offset to hit the word/vector tails and block-accumulation edges.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/arena.h"
+#include "xml/scan.h"
+
+namespace xsq::xml {
+namespace {
+
+std::vector<ScanImpl> AllImpls() {
+  std::vector<ScanImpl> impls = {ScanImpl::kScalar, ScanImpl::kSwar};
+  if (SimdScanAvailable()) impls.push_back(ScanImpl::kSimd);
+  return impls;
+}
+
+class ScanImplTest : public ::testing::TestWithParam<ScanImpl> {
+ protected:
+  void SetUp() override {
+    saved_ = CurrentScanImpl();
+    ASSERT_TRUE(SetScanImpl(GetParam()));
+  }
+  void TearDown() override { SetScanImpl(saved_); }
+
+ private:
+  ScanImpl saved_ = ScanImpl::kScalar;
+};
+
+size_t ReferenceFindTextSpecial(std::string_view s, size_t from) {
+  for (size_t i = from; i < s.size(); ++i) {
+    if (s[i] == '<' || s[i] == '&' || s[i] == ']') return i;
+  }
+  return std::string_view::npos;
+}
+
+size_t ReferenceFindTagSpecial(std::string_view s, size_t from) {
+  for (size_t i = from; i < s.size(); ++i) {
+    if (s[i] == '>' || s[i] == '<' || s[i] == '"' || s[i] == '\'') return i;
+  }
+  return std::string_view::npos;
+}
+
+TEST_P(ScanImplTest, FindTextSpecialMatchesReference) {
+  // Place each structural byte at every offset of a 40-byte window so
+  // hits land in the first gulp, a later gulp, and the scalar tail.
+  for (char special : {'<', '&', ']'}) {
+    for (size_t at = 0; at < 40; ++at) {
+      std::string s(40, 'x');
+      s[at] = special;
+      for (size_t from : {size_t{0}, size_t{1}, size_t{8}, size_t{17}}) {
+        EXPECT_EQ(FindTextSpecial(s, from), ReferenceFindTextSpecial(s, from))
+            << "special=" << special << " at=" << at << " from=" << from;
+      }
+    }
+  }
+}
+
+TEST_P(ScanImplTest, FindTagSpecialMatchesReference) {
+  for (char special : {'>', '<', '"', '\''}) {
+    for (size_t at = 0; at < 40; ++at) {
+      std::string s(40, 'x');
+      s[at] = special;
+      EXPECT_EQ(FindTagSpecial(s, 0), ReferenceFindTagSpecial(s, 0))
+          << "special=" << special << " at=" << at;
+    }
+  }
+}
+
+TEST_P(ScanImplTest, FindReturnsNposWhenAbsent) {
+  std::string s(100, 'x');
+  EXPECT_EQ(FindTextSpecial(s, 0), std::string_view::npos);
+  EXPECT_EQ(FindTagSpecial(s, 0), std::string_view::npos);
+  EXPECT_EQ(FindTextSpecial("", 0), std::string_view::npos);
+  EXPECT_EQ(FindTextSpecial(s, s.size()), std::string_view::npos);
+}
+
+TEST_P(ScanImplTest, FindReturnsFirstOfSeveral) {
+  std::string s(64, 'x');
+  s[20] = '&';
+  s[21] = '<';
+  s[40] = ']';
+  EXPECT_EQ(FindTextSpecial(s, 0), 20u);
+  EXPECT_EQ(FindTextSpecial(s, 21), 21u);
+  EXPECT_EQ(FindTextSpecial(s, 22), 40u);
+}
+
+TEST_P(ScanImplTest, CountNewlinesMatchesReference) {
+  // Sizes straddle the 8/16-byte gulp widths and the 255-block fold.
+  for (size_t size : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                      size_t{15}, size_t{16}, size_t{17}, size_t{2039},
+                      size_t{2040}, size_t{2041}, size_t{5000}}) {
+    std::string s(size, 'x');
+    size_t expected = 0;
+    for (size_t i = 0; i < size; i += 3) {
+      s[i] = '\n';
+      ++expected;
+    }
+    EXPECT_EQ(CountNewlines(s), expected) << "size=" << size;
+  }
+}
+
+TEST_P(ScanImplTest, CountNewlinesAllAndNone) {
+  EXPECT_EQ(CountNewlines(std::string(4100, '\n')), 4100u);
+  EXPECT_EQ(CountNewlines(std::string(4100, 'x')), 0u);
+  EXPECT_EQ(CountNewlines(""), 0u);
+}
+
+TEST_P(ScanImplTest, CountCodepointsMatchesReference) {
+  // Mix of 1-, 2-, 3- and 4-byte UTF-8 sequences.
+  const std::string piece = "a\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80";  // 4 cps
+  for (size_t reps : {size_t{1}, size_t{2}, size_t{5}, size_t{300}}) {
+    std::string s;
+    for (size_t i = 0; i < reps; ++i) s += piece;
+    EXPECT_EQ(CountCodepoints(s), 4 * reps) << "reps=" << reps;
+  }
+  EXPECT_EQ(CountCodepoints(""), 0u);
+  EXPECT_EQ(CountCodepoints("ascii only"), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImpls, ScanImplTest,
+                         ::testing::ValuesIn(AllImpls()));
+
+TEST(ScanDispatchTest, BestImplIsAvailable) {
+  EXPECT_TRUE(SetScanImpl(BestScanImpl()));
+  EXPECT_EQ(CurrentScanImpl(), BestScanImpl());
+}
+
+TEST(ScanDispatchTest, SimdSelectionHonorsAvailability) {
+  const ScanImpl saved = CurrentScanImpl();
+  EXPECT_EQ(SetScanImpl(ScanImpl::kSimd), SimdScanAvailable());
+  SetScanImpl(saved);
+}
+
+// ----------------------------------------------------------- the arena
+
+TEST(ArenaTest, AllocationsAreStableAcrossGrowth) {
+  Arena arena;
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 1000; ++i) {
+    views.push_back(arena.Store(std::string(100, 'a' + (i % 26))));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(views[i], std::string(100, 'a' + (i % 26))) << i;
+  }
+}
+
+TEST(ArenaTest, MarkRewindReclaimsStackwise) {
+  Arena arena;
+  Arena::Mark outer = arena.mark();
+  arena.Store(std::string(64, 'x'));
+  Arena::Mark inner = arena.mark();
+  std::string_view kept = arena.Store("kept");
+  arena.Rewind(inner);
+  // The next allocation reuses the rewound region.
+  std::string_view reused = arena.Store("RE");
+  EXPECT_EQ(reused.data(), kept.data());
+  arena.Rewind(outer);
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+}
+
+TEST(ArenaTest, ResetRetainsBoundedCapacity) {
+  Arena arena;
+  for (int i = 0; i < 100; ++i) {
+    arena.Store(std::string(64 * 1024, 'x'));
+  }
+  EXPECT_GT(arena.allocated_bytes(), Arena::kMaxRetainedBytes);
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  // After Reset the arena holds at most the retention cap of capacity;
+  // fresh allocations under the cap must not regrow past it.
+  arena.Store(std::string(1000, 'y'));
+  EXPECT_LE(arena.allocated_bytes(), Arena::kMaxRetainedBytes);
+}
+
+TEST(ArenaStringTest, AppendGrowsContiguously) {
+  Arena arena;
+  ArenaString s(&arena);
+  std::string expected;
+  for (int i = 0; i < 200; ++i) {
+    std::string piece = "piece" + std::to_string(i);
+    s.Append(piece);
+    expected += piece;
+  }
+  EXPECT_EQ(s.view(), expected);
+}
+
+TEST(ArenaStringTest, PushBackAndClear) {
+  Arena arena;
+  ArenaString s(&arena);
+  for (char c = 'a'; c <= 'z'; ++c) s.PushBack(c);
+  EXPECT_EQ(s.view(), "abcdefghijklmnopqrstuvwxyz");
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  s.Append("fresh");
+  EXPECT_EQ(s.view(), "fresh");
+}
+
+}  // namespace
+}  // namespace xsq::xml

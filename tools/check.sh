@@ -2,7 +2,9 @@
 # The per-PR verification gate:
 #   1. builds the default tree, runs the full tier-1 ctest suite, then
 #      the cluster process smoke (3 forked xsqd shards + xsq_router
-#      driven through xsqctl, including SIGKILL failover);
+#      driven through xsqctl, including SIGKILL failover), then builds a
+#      -DXSQ_SIMD=OFF tree and runs the scanner differential subset so
+#      the scalar/SWAR fallback paths stay event-identical;
 #   2. builds a ThreadSanitizer tree and re-runs the suite under TSan so
 #      the concurrent service layer is race-checked on every change;
 #   3. builds an AddressSanitizer tree and re-runs the suite under ASan
@@ -25,6 +27,8 @@
 #   tools/check.sh              # everything, all builds
 #   tools/check.sh Service      # only tests matching 'Service'
 # Env: BUILD_DIR (default build), TSAN_BUILD_DIR (default build-tsan),
+#      SIMD_OFF_BUILD_DIR (default build-nosimd),
+#      XSQ_SKIP_SIMD_OFF=1 to skip the -DXSQ_SIMD=OFF scanner leg,
 #      ASAN_BUILD_DIR (default build-asan),
 #      UBSAN_BUILD_DIR (default build-ubsan),
 #      FP_ASAN_BUILD_DIR (default build-fp-asan),
@@ -56,6 +60,23 @@ echo "== plain build ($build_dir)"
 cmake -B "$build_dir" -S . >/dev/null
 cmake --build "$build_dir" -j "$(nproc)"
 (cd "$build_dir" && ctest "${ctest_args[@]}")
+
+# SIMD-off leg: the scalar/SWAR fallback tree (-DXSQ_SIMD=OFF) must
+# produce the same event streams as the vectorized default. Runs the
+# scanner differential subset: scan primitives, parser edge cases,
+# chunk-split sweeps and the cross-impl corpus differential.
+if [ "${XSQ_SKIP_SIMD_OFF:-0}" = "1" ]; then
+  echo "== SIMD-off build skipped (XSQ_SKIP_SIMD_OFF=1)"
+elif [ -z "$filter" ]; then
+  simd_off_dir=${SIMD_OFF_BUILD_DIR:-build-nosimd}
+  echo "== SIMD-off build ($simd_off_dir)"
+  cmake -B "$simd_off_dir" -S . -DXSQ_SIMD=OFF >/dev/null
+  cmake --build "$simd_off_dir" -j "$(nproc)" \
+    --target scan_test sax_parser_test parser_edge_test robustness_test
+  (cd "$simd_off_dir" &&
+    ctest --output-on-failure -j "$(nproc)" \
+      -R 'Scan|SaxParser|ParserEdge|ChunkSplit|ExtremeInput')
+fi
 
 # Cluster leg: 3 xsqd shards + xsq_router as real processes over TCP,
 # driven through xsqctl, including a SIGKILL failover. (The in-process
