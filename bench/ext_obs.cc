@@ -205,8 +205,8 @@ int Main() {
   RecordMicrocost();
 
   std::printf(
-      "\nExpected shape: two-level sampling (every 16th chunk through the\n"
-      "phase shim, every 64th event inside it clocked) stays within the\n"
+      "\nExpected shape: two-level sampling (every 32nd chunk through the\n"
+      "phase shim, every 128th event inside it clocked) stays within the\n"
       "%.0f%% bound; the phase split mirrors Figure 18; Record() is a\n"
       "handful of relaxed atomic adds.\n",
       kOverheadBound * 100.0);

@@ -5,9 +5,8 @@
 //   $ xsqd --listen=9101 &   # shard 0
 //   $ xsqd --listen=9102 &   # shard 1
 //   $ xsqd --listen=9103 &   # shard 2
-//   $ xsq_router --listen=9100 \
-//       --shard=127.0.0.1:9101 --shard=127.0.0.1:9102 \
-//       --shard=127.0.0.1:9103
+//   $ xsq_router --listen=9100 --shard=127.0.0.1:9101
+//         --shard=127.0.0.1:9102 --shard=127.0.0.1:9103   # one line
 //
 // Clients connect to the router exactly as they would to one xsqd:
 // OPEN/PUSH/CLOSE stream through a least-loaded shard, RECORD and
@@ -22,9 +21,19 @@
 // dead and its keys remap to the surviving ring. One good probe brings
 // it back.
 //
+// Replication: --replication-factor=N (default 1 = off) keeps N copies
+// of every recorded tape on the key's first N distinct ring owners.
+// The primary write stays synchronous; replicas fill from an async
+// fanout queue. When the primary dies, RUNCACHED serves byte-identical
+// replay from a replica with zero client re-records, and after every
+// probe pass that changed the liveness mask an anti-entropy sweep
+// re-replicates under-replicated keys (shard-to-shard REPLPULL,
+// CRC-verified). REPLSTATUS on the router reports the plane's state.
+//
 // Flags: --listen=PORT (0 picks an ephemeral port, printed as
 //        "LISTENING <port>"), --shard=HOST:PORT (repeat per shard),
 //        --vnodes=N (ring points per shard; default 64),
+//        --replication-factor=N (tape copies; default 1),
 //        --probe-interval-ms=N (default 500),
 //        --probe-fail-threshold=N (default 3),
 //        --request-timeout-ms=N (per backend request; default 5000),
@@ -100,6 +109,8 @@ int main(int argc, char** argv) {
       config.shards.push_back(std::move(shard));
     } else if (arg.rfind("--vnodes", 0) == 0) {
       config.vnodes = FlagValue(arg, config.vnodes);
+    } else if (arg.rfind("--replication-factor", 0) == 0) {
+      config.replication.factor = FlagValue(arg, config.replication.factor);
     } else if (arg.rfind("--probe-interval-ms", 0) == 0) {
       config.probe.interval_ms = FlagValue(arg, config.probe.interval_ms);
     } else if (arg.rfind("--probe-fail-threshold", 0) == 0) {

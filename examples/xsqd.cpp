@@ -20,6 +20,12 @@
 // keeps lines whole); on TCP they are pushed down the subscribing
 // connection.
 //
+// Replication: REPLPULL and REPLSTATUS are the shard-side verbs of the
+// router's replication plane — REPLPULL serves a resident tape (or, in
+// pull mode, fetches one shard-to-shard and CRC-verifies it on
+// ingest), REPLSTATUS inventories resident documents. Grammar in
+// src/net/line_protocol.h.
+//
 // Network behavior (see src/net/server.h): per-connection idle and
 // write deadlines, bounded line and output buffers (overrun answers
 // ERR and closes), accept-side load shedding at --max-connections or a
@@ -45,7 +51,7 @@
 //        (bound on the shutdown drain; 0 = wait forever),
 //        --max-line-bytes=N (protocol lines above N bytes are rejected
 //        with ERR; default 16 MiB), --cancel-check-events=N (engine
-//        cancellation sampling interval in SAX events; default 64),
+//        cancellation sampling interval in SAX events; default 128),
 //        --listen=PORT (serve TCP; 0 picks an ephemeral port, printed
 //        as "LISTENING <port>"), --max-connections=N (accept-side
 //        shedding threshold; default 64), --idle-timeout-ms=N (close

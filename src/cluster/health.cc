@@ -181,7 +181,14 @@ void HealthProber::ProbeNow() {
   // state after ProbeNow reflects one coherent sweep.
   std::lock_guard<std::mutex> probe_lock(probe_mu_);
   for (size_t i = 0; i < backends_.size(); ++i) ProbeShard(i);
+  std::vector<bool> alive(backends_.size());
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    alive[i] = backends_[i]->alive();
+  }
+  bool changed = alive != last_alive_;  // first pass: empty != full
+  last_alive_ = std::move(alive);
   passes_.fetch_add(1, std::memory_order_relaxed);
+  if (on_pass_) on_pass_(changed);
 }
 
 void HealthProber::Loop() {

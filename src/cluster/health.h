@@ -32,6 +32,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -79,6 +80,15 @@ class HealthProber {
   // Completed probe passes (background + ProbeNow).
   uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
 
+  // Installs a callback invoked at the end of every probe pass with
+  // whether the pass changed any shard's alive/dead bit (the first
+  // pass always reports a change). Called from the probing thread with
+  // the pass lock held — keep it cheap (set a flag, poke a cv). Must
+  // be installed before Start().
+  void set_on_pass(std::function<void(bool mask_changed)> on_pass) {
+    on_pass_ = std::move(on_pass);
+  }
+
   // The last successfully scraped /metrics text of shard `i` (empty
   // until the first good scrape).
   std::string last_metrics(size_t i) const;
@@ -91,6 +101,8 @@ class HealthProber {
   const ProbeConfig config_;
 
   std::vector<int> consecutive_failures_;  // probe thread only
+  std::vector<bool> last_alive_;           // guarded by probe_mu_
+  std::function<void(bool)> on_pass_;      // set before Start()
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -272,10 +272,15 @@ void RouterHandler::HandleRunCached(uint64_t id, std::string_view name,
   // RUNCACHED is idempotent: fail over across ring owners on transport
   // failure. An ERR reply (e.g. document not resident after a remap)
   // is relayed — the client re-RECORDs and retries, exactly as against
-  // a single node that lost its cache.
+  // a single node that lost its cache. With rf >= 2 there is one more
+  // failover trigger: a "document not recorded" miss from one owner,
+  // because the next ring owner holds a replica of the tape.
   std::vector<bool> mask = router_->AliveMask();
   Status last = Status::ResourceExhausted("no live shard owns '" +
                                           std::string(name) + "'");
+  std::optional<net::Response> missed;   // first miss reply, relayed
+                                         // verbatim if every owner misses
+  std::vector<size_t> missed_shards;     // read-repair targets
   for (int attempt = 0; attempt <= router_->config_.max_failover_attempts;
        ++attempt) {
     std::optional<size_t> owner = router_->shard_map().Owner(name, mask);
@@ -333,12 +338,38 @@ void RouterHandler::HandleRunCached(uint64_t id, std::string_view name,
       router_->failovers_total_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    if (router_->replication_factor() >= 2 && !response->status.ok() &&
+        response->status.code() == StatusCode::kInvalidArgument &&
+        response->status.message().rfind("document not recorded", 0) == 0) {
+      // Replica failover: this owner lost (or never received) the
+      // tape; the next owner in walk order has a copy. Keep the miss
+      // reply so an all-owners miss relays it byte-identically.
+      if (!missed.has_value()) missed = *response;
+      missed_shards.push_back(*owner);
+      mask[*owner] = false;
+      router_->failovers_total_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (response->status.ok() && !missed_shards.empty()) {
+      // Read repair: the replica that served is the freshest live
+      // holder; push its copy back to the owners that missed.
+      for (size_t shard : missed_shards) {
+        router_->replicator()->EnqueueRepair(
+            name, shard, router_->backend(*owner)->address());
+      }
+    }
     // The replay (successful or not) ran on the owner shard's backend
     // session, so that is where the session's document state now lives.
     // Re-home the primary so a later CLOSE finalizes there instead of
     // closing a never-pushed session on the original shard.
     router_->PromotePrimary(id, *owner);
     RelayReply(out, *response);
+    return;
+  }
+  if (missed.has_value()) {
+    // Every reachable owner missed: the cluster genuinely does not
+    // hold the tape. Same reply a single node would give.
+    RelayReply(out, *missed);
     return;
   }
   ReplyTransportError(out, last);
@@ -398,11 +429,27 @@ bool RouterHandler::HandleLine(std::string_view input, std::string* out) {
     if (name.empty()) {
       Reply(out, "ERR InvalidArgument: missing document name");
     } else {
+      // The primary write is synchronous (the client's ACK means the
+      // owner holds the tape); replica copies ride the replication
+      // queue, which buffers the full RECORD line so the window
+      // between ACK and fan-out survives a primary crash.
+      size_t answered = 0;
       Result<net::Response> response =
-          router_->OwnerRequest(name, input);
+          router_->OwnerRequest(name, input, &answered);
       if (!response.ok()) {
         ReplyTransportError(out, response.status());
       } else {
+        if (response->status.ok()) {
+          router_->replicator()->NoteKey(name);
+          if (router_->replication_factor() >= 2) {
+            std::vector<size_t> owners = router_->shard_map().Owners(
+                name, router_->replication_factor(), router_->AliveMask());
+            for (size_t owner : owners) {
+              if (owner == answered) continue;
+              router_->replicator()->EnqueueFanout(name, owner, input);
+            }
+          }
+        }
         RelayReply(out, *response);
       }
     }
@@ -410,6 +457,35 @@ bool RouterHandler::HandleLine(std::string_view input, std::string* out) {
     std::string_view name = TakeWord(&rest);
     if (name.empty()) {
       Reply(out, "ERR InvalidArgument: missing document name");
+    } else if (router_->replication_factor() >= 2) {
+      // Every live owner may hold a copy; evict them all and relay the
+      // first definitive answer (a miss everywhere relays the miss).
+      std::vector<size_t> owners = router_->shard_map().Owners(
+          name, router_->replication_factor(), router_->AliveMask());
+      if (owners.empty()) {
+        Reply(out, "ERR ResourceExhausted: no live shards");
+      } else {
+        router_->replicator()->ForgetKey(name);
+        std::optional<net::Response> best;
+        Status transport = Status::OK();
+        for (size_t owner : owners) {
+          Result<net::Response> response =
+              router_->backend(owner)->Request(input);
+          if (!response.ok()) {
+            transport = response.status();
+            continue;
+          }
+          if (!best.has_value() || (!best->status.ok() &&
+                                    response->status.ok())) {
+            best = std::move(*response);
+          }
+        }
+        if (best.has_value()) {
+          RelayReply(out, *best);
+        } else {
+          ReplyTransportError(out, transport);
+        }
+      }
     } else {
       // Non-idempotent: one attempt at the current owner, no failover.
       std::optional<size_t> owner = router_->OwnerOf(name);
@@ -425,6 +501,17 @@ bool RouterHandler::HandleLine(std::string_view input, std::string* out) {
         }
       }
     }
+  } else if (command == "REPLSTATUS") {
+    Replicator::Counters repl = router_->replicator()->counters();
+    Reply(out,
+          "REPL factor=" + std::to_string(router_->replication_factor()) +
+              " keys=" + std::to_string(router_->replicator()->known_keys()) +
+              " pending=" + std::to_string(repl.pending) +
+              " repaired=" + std::to_string(repl.repaired) +
+              " failed=" + std::to_string(repl.failed) +
+              " fanouts=" + std::to_string(repl.fanouts) +
+              " sweeps=" + std::to_string(repl.sweeps));
+    Reply(out, "OK");
   } else if (command == "STATS") {
     service::StatsSnapshot merged = router_->ClusterStats();
     std::string text = merged.ToString();
@@ -481,8 +568,26 @@ Result<std::unique_ptr<Router>> Router::Create(RouterConfig config) {
         router->config_.shards[i], backend, latency));
     raw.push_back(router->backends_.back().get());
   }
+  if (router->config_.replication.factor > router->backends_.size()) {
+    return Status::InvalidArgument(
+        "replication factor " +
+        std::to_string(router->config_.replication.factor) + " exceeds " +
+        std::to_string(router->backends_.size()) + " shards");
+  }
+  std::vector<Backend*> repl_raw = raw;
   router->prober_ =
       std::make_unique<HealthProber>(std::move(raw), router->config_.probe);
+  router->replicator_ = std::make_unique<Replicator>(
+      &router->map_, std::move(repl_raw), router->config_.replication);
+  if (router->config_.replication.factor >= 2) {
+    // Anti-entropy rides the health cadence: any probe pass that
+    // changed the liveness mask schedules a sweep (including the first
+    // pass, which repairs whatever a router restart forgot).
+    router->prober_->set_on_pass(
+        [replicator = router->replicator_.get()](bool mask_changed) {
+          if (mask_changed) replicator->RequestSweep();
+        });
+  }
   if (router->config_.start_prober) router->prober_->Start();
   router->cancel_thread_ = std::thread([raw_router = router.get()] {
     raw_router->CancelLoop();
@@ -491,7 +596,8 @@ Result<std::unique_ptr<Router>> Router::Create(RouterConfig config) {
 }
 
 Router::~Router() {
-  if (prober_ != nullptr) prober_->Stop();
+  if (prober_ != nullptr) prober_->Stop();  // before its sweep callback dies
+  if (replicator_ != nullptr) replicator_->Stop();
   {
     std::lock_guard<std::mutex> lock(cancel_mu_);
     cancel_stopping_ = true;
@@ -665,6 +771,17 @@ std::string Router::MetricsText() {
     if (!backend->alive()) ++dead;
     breaker_opens += backend->counters().breaker_opens;
   }
+  Replicator::Counters repl = replicator_->counters();
+  obs::Registry::AppendScalar(&out, "xsq_router_repl_pending", "gauge",
+                              repl.pending);
+  obs::Registry::AppendScalar(&out, "xsq_router_repl_repaired_total",
+                              "counter", repl.repaired);
+  obs::Registry::AppendScalar(&out, "xsq_router_repl_failed_total", "counter",
+                              repl.failed);
+  obs::Registry::AppendScalar(&out, "xsq_router_repl_fanouts_total", "counter",
+                              repl.fanouts);
+  obs::Registry::AppendScalar(&out, "xsq_router_repl_sweeps_total", "counter",
+                              repl.sweeps);
   obs::Registry::AppendScalar(&out, "xsq_router_shards_serving", "gauge",
                               serving);
   obs::Registry::AppendScalar(&out, "xsq_router_shards_dead", "gauge", dead);

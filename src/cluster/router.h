@@ -14,10 +14,16 @@
 //
 // Placement rules:
 //   - Document keys (RECORD / RUNCACHED / EVICT <name>) hash onto the
-//     consistent ring: a document's tape lives on exactly one shard,
-//     so RECORD and every later RUNCACHED of that name agree on the
-//     shard with zero coordination. When a shard dies, only its keys
-//     remap (to the next ring point), within one probe interval.
+//     consistent ring: a document's tape lives on its primary ring
+//     owner, so RECORD and every later RUNCACHED of that name agree on
+//     the shard with zero coordination. With replication factor rf >= 2
+//     the tape ALSO lives on the next rf-1 distinct ring owners
+//     (ShardMap::Owners), populated asynchronously by the Replicator's
+//     fanout queue; the ring walk order doubles as the failover order,
+//     so when the primary dies reads land on a shard already holding
+//     the tape — no client re-record. When a shard dies, only its keys
+//     remap (to the next ring point), within one probe interval, and
+//     anti-entropy re-replicates its keys from surviving holders.
 //   - Stateless work (RECORD bytes, scatter verbs) balances by ring
 //     or fan-out over pooled multiplexed connections with per-request
 //     deadlines; idempotent verbs fail over to the next live owner
@@ -69,6 +75,7 @@
 
 #include "cluster/backend_pool.h"
 #include "cluster/health.h"
+#include "cluster/replication.h"
 #include "cluster/shard_map.h"
 #include "common/status.h"
 #include "net/handler.h"
@@ -90,6 +97,12 @@ struct RouterConfig {
   // Start the background prober thread. Tests and benches that want
   // deterministic health transitions set false and call ProbeNow().
   bool start_prober = true;
+  // The replication plane (see cluster/replication.h). factor=1 (the
+  // default) keeps the tier byte-for-byte identical to unreplicated
+  // routing; factor>=2 fans RECORDs to the owner set, serves reads
+  // from replicas when the primary is down, and anti-entropy-repairs
+  // under-replicated keys after every mask-changing probe pass.
+  ReplicationConfig replication;
 };
 
 class Router {
@@ -118,6 +131,8 @@ class Router {
   // One synchronous probe pass (deterministic health for tests/bench).
   void ProbeNow() { prober_->ProbeNow(); }
   HealthProber* prober() { return prober_.get(); }
+  Replicator* replicator() { return replicator_.get(); }
+  size_t replication_factor() const { return config_.replication.factor; }
 
   // --- routing --------------------------------------------------------
   // The serving shard with the fewest outstanding pooled requests.
@@ -182,6 +197,7 @@ class Router {
   obs::Registry registry_;  // router-own histograms
   std::vector<std::unique_ptr<Backend>> backends_;
   std::unique_ptr<HealthProber> prober_;
+  std::unique_ptr<Replicator> replicator_;
 
   service::ServiceStats net_stats_;  // the router server's conn counters
 

@@ -72,4 +72,28 @@ std::optional<size_t> ShardMap::Owner(std::string_view key) const {
   return Owner(key, std::vector<bool>(shard_count_, true));
 }
 
+std::vector<size_t> ShardMap::Owners(
+    std::string_view key, size_t rf,
+    const std::vector<bool>& serving) const {
+  std::vector<size_t> owners;
+  if (ring_.empty() || rf == 0) return owners;
+  uint64_t hash = HashKey(key);
+  size_t begin = std::lower_bound(ring_.begin(), ring_.end(), hash,
+                                  [](const Point& p, uint64_t h) {
+                                    return p.hash < h;
+                                  }) -
+                 ring_.begin();
+  // Same clockwise walk as Owner(), collecting distinct serving shards
+  // until the factor is met or the ring is exhausted.
+  std::vector<bool> taken(shard_count_, false);
+  for (size_t step = 0; step < ring_.size() && owners.size() < rf; ++step) {
+    const Point& point = ring_[(begin + step) % ring_.size()];
+    if (point.shard >= serving.size() || !serving[point.shard]) continue;
+    if (taken[point.shard]) continue;
+    taken[point.shard] = true;
+    owners.push_back(point.shard);
+  }
+  return owners;
+}
+
 }  // namespace xsq::cluster

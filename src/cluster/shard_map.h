@@ -43,6 +43,15 @@ class ShardMap {
   // Owner with every shard serving (the steady-state answer).
   std::optional<size_t> Owner(std::string_view key) const;
 
+  // The replicated owner set: the primary plus the next rf-1 DISTINCT
+  // serving shards met walking the ring clockwise from the key's hash,
+  // in walk order (front() == Owner()). Fewer than rf serving shards
+  // returns them all; no serving shard returns empty. The walk-order
+  // property is what makes failover deterministic: when owners[0]
+  // dies, Owner() under the new mask is exactly owners[1].
+  std::vector<size_t> Owners(std::string_view key, size_t rf,
+                             const std::vector<bool>& serving) const;
+
   // The stable 64-bit key hash (FNV-1a); exposed for tests that want
   // to reason about ring placement.
   static uint64_t HashKey(std::string_view key);

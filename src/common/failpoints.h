@@ -58,6 +58,7 @@ inline constexpr const char* kFailPointCatalog[] = {
     "net.read.fail",              // net::Server - socket read error path
     "net.write.fail",             // net::Server - socket write error path
     "pubsub.fanout.fail",         // QueryService fan-out - sink delivery drop
+    "cluster.repl.fail",          // cluster::Replicator - replication send site
 };
 
 class FailPoints {

@@ -80,6 +80,11 @@ VerbRetryClass Client::RetryClassFor(std::string_view line) {
       {"METRICS", VerbRetryClass::kIdempotent},
       {"STATS", VerbRetryClass::kIdempotent},
       {"RECORD", VerbRetryClass::kIdempotent},  // idempotent by key
+      // Replication verbs: REPLPULL re-installs the same tape under the
+      // same key (idempotent by key, like RECORD); REPLSTATUS only
+      // reads. Both safe to retry across shard-to-shard transfers.
+      {"REPLPULL", VerbRetryClass::kIdempotent},
+      {"REPLSTATUS", VerbRetryClass::kIdempotent},
       {"OPEN", VerbRetryClass::kNonIdempotent},
       {"PUSH", VerbRetryClass::kNonIdempotent},
       {"DRAIN", VerbRetryClass::kNonIdempotent},

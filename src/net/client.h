@@ -9,11 +9,12 @@
 // with jittered exponential backoff, but ONLY for idempotent verbs.
 // The classification is a per-verb table (RetryClassFor):
 //
-//   kIdempotent    RUNCACHED METRICS STATS RECORD — replaying leaves
-//                  the server in the same state. RECORD is idempotent
-//                  *by key*: re-recording the same name with the same
-//                  bytes replaces the tape with an identical one, so a
-//                  lost reply is safe to retry.
+//   kIdempotent    RUNCACHED METRICS STATS RECORD REPLPULL REPLSTATUS —
+//                  replaying leaves the server in the same state.
+//                  RECORD and REPLPULL are idempotent *by key*:
+//                  re-installing the same name with the same bytes
+//                  replaces the tape with an identical one, so a lost
+//                  reply is safe to retry.
 //   kNonIdempotent OPEN PUSH CLOSE DRAIN EVICT CANCEL — a replay
 //                  changes state (a retried PUSH feeds the document
 //                  bytes twice; a retried OPEN leaks a session). The

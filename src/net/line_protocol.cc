@@ -1,9 +1,11 @@
 #include "net/line_protocol.h"
 
+#include <cstdlib>
 #include <optional>
 #include <vector>
 
 #include "common/strings.h"
+#include "net/client.h"
 
 namespace xsq::net {
 
@@ -33,6 +35,22 @@ std::string_view TakeWord(std::string_view* rest) {
   *rest = space == std::string_view::npos ? std::string_view()
                                           : rest->substr(space + 1);
   return word;
+}
+
+// "127.0.0.1:9101" -> host/port. False on a malformed or zero port.
+bool ParseHostPort(std::string_view spec, std::string* host,
+                   uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return false;
+  }
+  unsigned long value =
+      std::strtoul(std::string(spec.substr(colon + 1)).c_str(), nullptr, 10);
+  if (value == 0 || value > 65535) return false;
+  host->assign(spec.substr(0, colon));
+  *port = static_cast<uint16_t>(value);
+  return true;
 }
 
 }  // namespace
@@ -218,6 +236,73 @@ bool LineProtocol::HandleLine(std::string_view input, std::string* out) {
     } else {
       ReplyStatus(out, service_->EvictDocument(name));
     }
+  } else if (command == "REPLPULL") {
+    std::string_view name = TakeWord(&rest);
+    std::string_view source = TakeWord(&rest);
+    if (name.empty()) {
+      Reply(out, "ERR InvalidArgument: missing document name");
+    } else if (source.empty()) {
+      // Serve mode: stream the resident tape to the requesting peer.
+      auto tape = service_->ServeTape(name);
+      if (tape.ok()) {
+        Reply(out, "TAPE " + Escape((*tape)->Serialize()));
+        Reply(out, "OK " + std::to_string((*tape)->event_count()) + " " +
+                       std::to_string((*tape)->memory_bytes()));
+      } else {
+        Reply(out, "ERR " + tape.status().ToString());
+      }
+    } else {
+      // Pull mode: fetch the tape FROM the named peer and install it.
+      ClientConfig peer;
+      if (!ParseHostPort(source, &peer.host, &peer.port)) {
+        Reply(out, "ERR InvalidArgument: bad replication source '" +
+                       std::string(source) + "' (want HOST:PORT)");
+      } else {
+        peer.max_retries = 1;  // REPLPULL is idempotent by key
+        Client client(peer);
+        Result<Response> pulled =
+            client.Request("REPLPULL " + std::string(name));
+        if (!pulled.ok()) {
+          Reply(out, "ERR " + pulled.status().ToString());
+        } else if (!pulled->status.ok()) {
+          // The peer answered: relay its error (e.g. not resident).
+          Reply(out, "ERR " + pulled->status.ToString());
+        } else {
+          std::string bytes;
+          bool have_tape = false;
+          for (const std::string& line : pulled->lines) {
+            if (line.rfind("TAPE ", 0) == 0) {
+              bytes = Unescape(std::string_view(line).substr(5));
+              have_tape = true;
+              break;
+            }
+          }
+          if (!have_tape) {
+            Reply(out, "ERR DataCorruption: peer reply carried no TAPE "
+                       "line");
+          } else {
+            auto tape = service_->IngestTape(name, std::move(bytes));
+            if (tape.ok()) {
+              Reply(out,
+                    "OK " + std::to_string((*tape)->event_count()) + " " +
+                        std::to_string((*tape)->memory_bytes()));
+            } else {
+              Reply(out, "ERR " + tape.status().ToString());
+            }
+          }
+        }
+      }
+    }
+  } else if (command == "REPLSTATUS") {
+    service::StatsSnapshot snap = service_->stats();
+    for (const auto& [name, tape] : service_->DocumentInventory()) {
+      Reply(out, "DOC " + name + " " + std::to_string(tape->event_count()) +
+                     " " + std::to_string(tape->memory_bytes()));
+    }
+    Reply(out, "OK docs=" + std::to_string(snap.doc_cache_documents) +
+                   " serves=" + std::to_string(snap.repl_serves) +
+                   " ingests=" + std::to_string(snap.repl_ingests) +
+                   " corrupt=" + std::to_string(snap.repl_ingest_corrupt));
   } else if (command == "SUBSCRIBE") {
     if (rest.empty()) {
       Reply(out, "ERR InvalidArgument: missing query text");

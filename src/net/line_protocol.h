@@ -11,7 +11,20 @@
 //
 // Verbs (see examples/xsqd.cpp for the full transcript grammar):
 //   OPEN PUSH DRAIN CLOSE RECORD RUNCACHED EVICT CANCEL STATS METRICS
-//   SUBSCRIBE UNSUBSCRIBE PUBLISH QUIT
+//   SUBSCRIBE UNSUBSCRIBE PUBLISH REPLPULL REPLSTATUS QUIT
+//
+// Replication verbs (shard-to-shard tape transfer, driven by the
+// router's replication plane):
+//   REPLPULL <name>              serve mode: stream the resident tape
+//                                as "TAPE <escaped bytes>" then
+//                                "OK <events> <bytes>"
+//   REPLPULL <name> <host>:<port> pull mode: fetch <name>'s tape FROM
+//                                the named peer shard, CRC-verify,
+//                                install it locally, reply
+//                                "OK <events> <bytes>"
+//   REPLSTATUS                   one "DOC <name> <events> <bytes>" line
+//                                per resident document, then an OK line
+//                                with the replica-ingest counters
 //
 // Pub/sub: SUBSCRIBE registers a standing query and replies
 // "OK <sub-id>"; PUBLISH matches a document against every standing

@@ -48,6 +48,22 @@ bool DocumentCache::Evict(std::string_view name) {
   return true;
 }
 
+std::shared_ptr<const tape::Tape> DocumentCache::Peek(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : it->second->tape;
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const tape::Tape>>>
+DocumentCache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::shared_ptr<const tape::Tape>>> out;
+  out.reserve(lru_.size());
+  for (const Entry& entry : lru_) out.emplace_back(entry.name, entry.tape);
+  return out;
+}
+
 void DocumentCache::EvictToBoundsLocked() {
   // Never evict the most recent entry: an oversized tape the caller just
   // recorded must stay resident or the cache can thrash to empty.

@@ -23,6 +23,8 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "tape/tape.h"
 
@@ -58,6 +60,17 @@ class DocumentCache {
   // `explicit_evictions`, not `evictions` (that counter measures budget
   // pressure), so the two can be reconciled independently.
   bool Evict(std::string_view name);
+
+  // Returns `name`'s tape WITHOUT refreshing recency or touching the
+  // hit/miss counters, or null on a miss. The replication plane reads
+  // through this so shard-to-shard repair traffic never perturbs the
+  // serving-path LRU order or its statistics.
+  std::shared_ptr<const tape::Tape> Peek(std::string_view name) const;
+
+  // Every resident entry, MRU first, recency and counters untouched.
+  // The anti-entropy sweep's per-shard inventory.
+  std::vector<std::pair<std::string, std::shared_ptr<const tape::Tape>>>
+  Snapshot() const;
 
   Counters counters() const;
   size_t size() const;

@@ -331,6 +331,42 @@ Status QueryService::EvictDocument(std::string_view name) {
   return Status::OK();
 }
 
+Result<std::shared_ptr<const tape::Tape>> QueryService::ServeTape(
+    std::string_view name) {
+  std::shared_ptr<const tape::Tape> tape = doc_cache_.Peek(name);
+  if (tape == nullptr) {
+    return Status::InvalidArgument("document not recorded: " +
+                                   std::string(name));
+  }
+  stats_.RecordReplServe();
+  return tape;
+}
+
+Result<std::shared_ptr<const tape::Tape>> QueryService::IngestTape(
+    std::string_view name, std::string bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return Status::InvalidArgument("service is shut down");
+  }
+  if (name.empty()) return Status::InvalidArgument("empty document name");
+  Result<tape::Tape> decoded =
+      tape::Tape::FromBytes(std::move(bytes), "replpull:" + std::string(name));
+  if (!decoded.ok()) {
+    stats_.RecordTapeCorrupt();
+    stats_.RecordReplIngestCorrupt();
+    return decoded.status();
+  }
+  auto tape = std::make_shared<const tape::Tape>(*std::move(decoded));
+  doc_cache_.Put(name, tape);
+  stats_.RecordReplIngest();
+  return tape;
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const tape::Tape>>>
+QueryService::DocumentInventory() const {
+  return doc_cache_.Snapshot();
+}
+
 std::vector<std::string> QueryService::Drain(SessionId id) {
   std::shared_ptr<SessionState> state;
   {
@@ -674,6 +710,9 @@ std::string QueryService::MetricsText() const {
   counter("xsq_publishes", snap.publishes);
   counter("xsq_events_delivered", snap.events_delivered);
   counter("xsq_fanout_shed", snap.fanout_shed);
+  counter("xsq_repl_serves", snap.repl_serves);
+  counter("xsq_repl_ingests", snap.repl_ingests);
+  counter("xsq_repl_ingest_corrupt", snap.repl_ingest_corrupt);
   exemplars_.RenderComments(&out);
   return out;
 }

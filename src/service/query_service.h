@@ -49,6 +49,7 @@
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -188,6 +189,30 @@ class QueryService {
   // Drops `name`'s tape from the document cache. InvalidArgument when
   // it is not resident. In-flight replays keep their tape alive.
   Status EvictDocument(std::string_view name);
+
+  // --- shard-to-shard tape replication (the REPLPULL verb) ---
+  //
+  // A cluster replicates documents by streaming the serialized tape
+  // between shards: the holder serves bytes (ServeTape), the new
+  // replica validates and installs them (IngestTape). Both sides go
+  // through DocumentCache::Peek/Put, so replication traffic never
+  // perturbs the serving path's LRU order or hit/miss statistics.
+
+  // The resident tape for `name`, recency and cache counters untouched;
+  // counts one repl_serve. InvalidArgument when not resident.
+  Result<std::shared_ptr<const tape::Tape>> ServeTape(std::string_view name);
+
+  // Decodes `bytes` as a serialized tape (full validation including the
+  // per-section CRC32C trailers) and installs it under `name`,
+  // replacing any previous recording. A corrupt transfer counts in both
+  // tape_corrupt and repl_ingest_corrupt and installs nothing.
+  Result<std::shared_ptr<const tape::Tape>> IngestTape(std::string_view name,
+                                                       std::string bytes);
+
+  // Every resident document, MRU first, recency untouched — the
+  // REPLSTATUS inventory the anti-entropy sweep scatters for.
+  std::vector<std::pair<std::string, std::shared_ptr<const tape::Tape>>>
+  DocumentInventory() const;
 
   // True while `id` is open (between OpenSession and Release).
   bool HasSession(SessionId id) const;

@@ -46,6 +46,9 @@ constexpr FieldSpec kFields[] = {
     {"publishes", &StatsSnapshot::publishes},
     {"events_delivered", &StatsSnapshot::events_delivered},
     {"fanout_shed", &StatsSnapshot::fanout_shed},
+    {"repl_serves", &StatsSnapshot::repl_serves},
+    {"repl_ingests", &StatsSnapshot::repl_ingests},
+    {"repl_ingest_corrupt", &StatsSnapshot::repl_ingest_corrupt},
 };
 
 }  // namespace
@@ -143,6 +146,10 @@ StatsSnapshot ServiceStats::Snapshot() const {
   snap.publishes = publishes_.load(std::memory_order_relaxed);
   snap.events_delivered = events_delivered_.load(std::memory_order_relaxed);
   snap.fanout_shed = fanout_shed_.load(std::memory_order_relaxed);
+  snap.repl_serves = repl_serves_.load(std::memory_order_relaxed);
+  snap.repl_ingests = repl_ingests_.load(std::memory_order_relaxed);
+  snap.repl_ingest_corrupt =
+      repl_ingest_corrupt_.load(std::memory_order_relaxed);
   return snap;
 }
 

@@ -62,6 +62,10 @@ struct StatsSnapshot {
   uint64_t publishes = 0;             // documents published (one parse each)
   uint64_t events_delivered = 0;      // EVENT frames handed to sinks
   uint64_t fanout_shed = 0;           // frames dropped on slow subscribers
+  // Replication counters (shard-to-shard tape transfer, REPLPULL).
+  uint64_t repl_serves = 0;           // tapes streamed out to a peer shard
+  uint64_t repl_ingests = 0;          // tapes installed from a peer shard
+  uint64_t repl_ingest_corrupt = 0;   // pulled tapes failing CRC/decoding
 
   // One "name value" pair per line, stable names; the xsqd STATS
   // command prints exactly this.
@@ -115,6 +119,9 @@ class ServiceStats {
   void RecordFanoutShed(uint64_t count) {
     fanout_shed_.fetch_add(count, std::memory_order_relaxed);
   }
+  void RecordReplServe() { Inc(repl_serves_); }
+  void RecordReplIngest() { Inc(repl_ingests_); }
+  void RecordReplIngestCorrupt() { Inc(repl_ingest_corrupt_); }
   // Gauge; `delta` may be negative (unsubscribe / subscriber teardown).
   void AdjustSubscriptionsActive(int64_t delta) {
     subscriptions_active_.fetch_add(delta, std::memory_order_relaxed);
@@ -166,6 +173,9 @@ class ServiceStats {
   std::atomic<uint64_t> publishes_{0};
   std::atomic<uint64_t> events_delivered_{0};
   std::atomic<uint64_t> fanout_shed_{0};
+  std::atomic<uint64_t> repl_serves_{0};
+  std::atomic<uint64_t> repl_ingests_{0};
+  std::atomic<uint64_t> repl_ingest_corrupt_{0};
 };
 
 }  // namespace xsq::service

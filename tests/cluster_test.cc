@@ -23,6 +23,7 @@
 #include "cluster/health.h"
 #include "cluster/router.h"
 #include "cluster/shard_map.h"
+#include "common/failpoints.h"
 #include "common/status.h"
 #include "gtest/gtest.h"
 #include "net/client.h"
@@ -38,6 +39,7 @@ namespace {
 using cluster::Backend;
 using cluster::BackendConfig;
 using cluster::HttpGet;
+using cluster::Replicator;
 using cluster::Router;
 using cluster::RouterConfig;
 using cluster::ShardAddress;
@@ -581,6 +583,346 @@ TEST(RouterTest, ServesTheLineProtocolAndHttpOverTcp) {
             std::string::npos);
 
   (*server)->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Replication: owner sets, RECORD fanout, replica failover, read
+// repair, anti-entropy, and the REPLPULL shard-to-shard transfer.
+
+TEST(ShardMapTest, OwnersWalkOrderIsTheFailoverOrder) {
+  ShardMap map(4, 64);
+  const std::vector<bool> all(4, true);
+  for (int i = 0; i < 200; ++i) {
+    std::string key = "doc-" + std::to_string(i);
+    std::vector<size_t> owners = map.Owners(key, 2, all);
+    ASSERT_EQ(owners.size(), 2u);
+    EXPECT_EQ(owners[0], *map.Owner(key, all));
+    EXPECT_NE(owners[0], owners[1]);
+    // The property replication leans on: kill the primary and the new
+    // Owner() is exactly the replica that received the fanout.
+    std::vector<bool> mask = all;
+    mask[owners[0]] = false;
+    EXPECT_EQ(*map.Owner(key, mask), owners[1]) << key;
+  }
+}
+
+TEST(ShardMapTest, OwnersClampsToTheServingShards) {
+  ShardMap map(3, 32);
+  EXPECT_EQ(map.Owners("doc", 5, {true, true, true}).size(), 3u);
+  EXPECT_EQ(map.Owners("doc", 2, {false, true, false}),
+            std::vector<size_t>{1});
+  EXPECT_TRUE(map.Owners("doc", 2, {false, false, false}).empty());
+  EXPECT_TRUE(map.Owners("doc", 0, {true, true, true}).empty());
+}
+
+RouterConfig ReplicatedConfig(size_t factor = 2) {
+  RouterConfig base;
+  base.replication.factor = factor;
+  base.probe.fail_threshold = 1;
+  base.backend.connect_timeout_ms = 300;
+  base.backend.client_max_retries = 0;
+  return base;
+}
+
+TEST(ReplicationTest, RecordFansTapesToExactlyTheOwnerSet) {
+  ClusterHarness cluster(3, ReplicatedConfig());
+  // The harness's first ProbeNow always reports a mask change and
+  // requests the initial sweep; drain it so the exact-count asserts
+  // below see only the RECORD fanouts.
+  ASSERT_TRUE(cluster.router->replicator()->WaitIdle());
+  auto handler = cluster.router->MakeHandler();
+  const std::vector<bool> all(3, true);
+  std::string out;
+  for (int i = 0; i < 8; ++i) {
+    out.clear();
+    handler->HandleLine(
+        "RECORD doc-" + std::to_string(i) + " <r><a>v</a></r>", &out);
+    ASSERT_EQ(out.rfind("OK ", 0), 0u) << out;
+  }
+  ASSERT_TRUE(cluster.router->replicator()->WaitIdle());
+  for (int i = 0; i < 8; ++i) {
+    std::string key = "doc-" + std::to_string(i);
+    std::vector<size_t> owners =
+        cluster.router->shard_map().Owners(key, 2, all);
+    ASSERT_EQ(owners.size(), 2u);
+    for (size_t shard = 0; shard < 3; ++shard) {
+      bool is_owner = shard == owners[0] || shard == owners[1];
+      EXPECT_EQ(cluster.services[shard]->ServeTape(key).ok(), is_owner)
+          << key << " on shard " << shard;
+    }
+  }
+  Replicator::Counters repl = cluster.router->replicator()->counters();
+  EXPECT_EQ(repl.fanouts, 8u);
+  EXPECT_EQ(repl.repaired, 8u);
+  EXPECT_EQ(repl.failed, 0u);
+  EXPECT_EQ(cluster.router->replicator()->known_keys(), 8u);
+}
+
+TEST(ReplicationTest, DeadPrimaryServesByteIdenticalReplayFromReplica) {
+  ClusterHarness cluster(3, ReplicatedConfig());
+  auto handler = cluster.router->MakeHandler();
+  std::string out;
+  handler->HandleLine("RECORD stable <r><a>x</a><a>y</a></r>", &out);
+  ASSERT_EQ(out.rfind("OK ", 0), 0u) << out;
+  ASSERT_TRUE(cluster.router->replicator()->WaitIdle());
+  std::vector<size_t> owners =
+      cluster.router->shard_map().Owners("stable", 2, {true, true, true});
+  ASSERT_EQ(owners.size(), 2u);
+
+  // Baseline replay through the healthy primary.
+  out.clear();
+  handler->HandleLine("OPEN //a/text()", &out);
+  ASSERT_EQ(out, "OK 1\n");
+  out.clear();
+  handler->HandleLine("RUNCACHED 1 stable", &out);
+  const std::string replay = out;
+  EXPECT_EQ(replay, "ITEM x\nITEM y\nOK\n");
+  out.clear();
+  handler->HandleLine("CLOSE 1", &out);
+
+  cluster.KillShard(owners[0]);
+  cluster.router->ProbeNow();
+  ASSERT_EQ(cluster.router->shard_health(owners[0]), ShardHealth::kDead);
+
+  // The key's new ring owner is the replica, which already holds the
+  // tape: the replay is byte-identical with zero client re-records.
+  out.clear();
+  handler->HandleLine("OPEN //a/text()", &out);
+  ASSERT_EQ(out, "OK 2\n");
+  out.clear();
+  handler->HandleLine("RUNCACHED 2 stable", &out);
+  EXPECT_EQ(out, replay);
+  EXPECT_GE(cluster.services[owners[1]]->stats().tape_replays, 1u);
+  out.clear();
+  handler->HandleLine("CLOSE 2", &out);
+}
+
+TEST(ReplicationTest, MissOnTheOwnerFailsOverToTheReplicaAndReadRepairs) {
+  ClusterHarness cluster(3, ReplicatedConfig());
+  auto handler = cluster.router->MakeHandler();
+  std::string out;
+  handler->HandleLine("RECORD repairme <r><a>q</a></r>", &out);
+  ASSERT_EQ(out.rfind("OK ", 0), 0u) << out;
+  ASSERT_TRUE(cluster.router->replicator()->WaitIdle());
+  std::vector<size_t> owners =
+      cluster.router->shard_map().Owners("repairme", 2, {true, true, true});
+  ASSERT_EQ(owners.size(), 2u);
+
+  // The primary silently loses the tape (evicted behind the router's
+  // back); the shard itself stays healthy.
+  ASSERT_TRUE(cluster.services[owners[0]]->EvictDocument("repairme").ok());
+
+  // RUNCACHED does not relay the miss: the replica owner serves it.
+  out.clear();
+  handler->HandleLine("OPEN //a/text()", &out);
+  ASSERT_EQ(out, "OK 1\n");
+  out.clear();
+  handler->HandleLine("RUNCACHED 1 repairme", &out);
+  EXPECT_EQ(out, "ITEM q\nOK\n");
+  EXPECT_GE(cluster.router->own_counters().failovers_total, 1u);
+
+  // ...and read repair pushed the replica's copy back to the primary.
+  ASSERT_TRUE(cluster.router->replicator()->WaitIdle());
+  EXPECT_TRUE(cluster.services[owners[0]]->ServeTape("repairme").ok());
+  EXPECT_GE(cluster.services[owners[0]]->stats().repl_ingests, 1u);
+  out.clear();
+  handler->HandleLine("CLOSE 1", &out);
+}
+
+TEST(ReplicationTest, AntiEntropySweepRestoresTheFactorAfterARestart) {
+  ClusterHarness cluster(3, ReplicatedConfig());
+  auto handler = cluster.router->MakeHandler();
+  std::string out;
+  handler->HandleLine("RECORD sweepme <r><a>s</a></r>", &out);
+  ASSERT_EQ(out.rfind("OK ", 0), 0u) << out;
+  ASSERT_TRUE(cluster.router->replicator()->WaitIdle());
+  std::vector<size_t> owners =
+      cluster.router->shard_map().Owners("sweepme", 2, {true, true, true});
+  ASSERT_EQ(owners.size(), 2u);
+
+  // The replica dies and comes back empty: under-replicated. (The
+  // emptiness check sits BEFORE the probe pass that rejoins the shard
+  // to the ring — that pass changes the mask and so requests an async
+  // sweep, which may repair the copy before this thread looks again.)
+  cluster.KillShard(owners[1]);
+  cluster.router->ProbeNow();
+  cluster.RestartShard(owners[1]);
+  ASSERT_FALSE(cluster.services[owners[1]]->ServeTape("sweepme").ok());
+  cluster.router->ProbeNow();
+  ASSERT_EQ(cluster.router->shard_health(owners[1]), ShardHealth::kServing);
+
+  // One sweep pass detects the missing copy and REPLPULLs it from the
+  // surviving holder.
+  cluster.router->replicator()->SweepNow();
+  ASSERT_TRUE(cluster.router->replicator()->WaitIdle());
+  EXPECT_TRUE(cluster.services[owners[1]]->ServeTape("sweepme").ok());
+  Replicator::Counters repl = cluster.router->replicator()->counters();
+  EXPECT_GE(repl.sweeps, 1u);
+  EXPECT_GE(repl.repaired, 2u);  // the fanout + the sweep repair
+}
+
+TEST(ReplicationTest, FanoutQueueSurvivesThePrimaryCrashWindow) {
+  // The partial-replication window: the client holds an ACK but the
+  // replica fan-out has not run yet, and the primary dies. The queue
+  // buffered the full RECORD line, so releasing it delivers the bytes
+  // to the surviving replica — zero client re-records.
+  RouterConfig base = ReplicatedConfig();
+  base.replication.start_workers = false;  // freeze the fanout queue
+  ClusterHarness cluster(3, base);
+  auto handler = cluster.router->MakeHandler();
+  std::string out;
+  handler->HandleLine("RECORD windowed <r><a>w1</a><a>w2</a></r>", &out);
+  ASSERT_EQ(out.rfind("OK ", 0), 0u) << out;
+  std::vector<size_t> owners =
+      cluster.router->shard_map().Owners("windowed", 2, {true, true, true});
+  ASSERT_EQ(owners.size(), 2u);
+  ASSERT_FALSE(cluster.services[owners[1]]->ServeTape("windowed").ok());
+  EXPECT_EQ(cluster.router->replicator()->counters().pending, 1u);
+
+  cluster.KillShard(owners[0]);  // crash inside the window
+  cluster.router->ProbeNow();
+
+  cluster.router->replicator()->Start();  // the queue thaws
+  ASSERT_TRUE(cluster.router->replicator()->WaitIdle());
+  EXPECT_TRUE(cluster.services[owners[1]]->ServeTape("windowed").ok());
+
+  // Reads succeed from the replica without any client re-record...
+  out.clear();
+  handler->HandleLine("OPEN //a/text()", &out);
+  ASSERT_EQ(out, "OK 1\n");
+  out.clear();
+  handler->HandleLine("RUNCACHED 1 windowed", &out);
+  EXPECT_EQ(out, "ITEM w1\nITEM w2\nOK\n");
+  out.clear();
+  handler->HandleLine("CLOSE 1", &out);
+
+  // ...and one sweep restores the full factor on the surviving pair.
+  cluster.router->replicator()->SweepNow();
+  ASSERT_TRUE(cluster.router->replicator()->WaitIdle());
+  size_t third = 3 - owners[0] - owners[1];
+  EXPECT_TRUE(cluster.services[third]->ServeTape("windowed").ok());
+}
+
+TEST(ReplicationTest, EvictFansToEveryOwnerAndReplStatusReports) {
+  ClusterHarness cluster(3, ReplicatedConfig());
+  auto handler = cluster.router->MakeHandler();
+  std::string out;
+  handler->HandleLine("RECORD gone <r><a>g</a></r>", &out);
+  ASSERT_EQ(out.rfind("OK ", 0), 0u) << out;
+  ASSERT_TRUE(cluster.router->replicator()->WaitIdle());
+  std::vector<size_t> owners =
+      cluster.router->shard_map().Owners("gone", 2, {true, true, true});
+
+  out.clear();
+  handler->HandleLine("EVICT gone", &out);
+  EXPECT_EQ(out, "OK\n");
+  for (size_t owner : owners) {
+    EXPECT_FALSE(cluster.services[owner]->ServeTape("gone").ok())
+        << "shard " << owner;
+  }
+  EXPECT_EQ(cluster.router->replicator()->known_keys(), 0u);
+
+  out.clear();
+  handler->HandleLine("REPLSTATUS", &out);
+  EXPECT_EQ(out.rfind("REPL factor=2 keys=0", 0), 0u) << out;
+  EXPECT_NE(out.find("\nOK\n"), std::string::npos) << out;
+
+  // The router's own metrics section carries the replication plane.
+  std::string body = cluster.router->MetricsText();
+  EXPECT_NE(body.find("xsq_router_repl_pending"), std::string::npos);
+  EXPECT_NE(body.find("xsq_router_repl_repaired_total"), std::string::npos);
+  EXPECT_NE(body.find("xsq_router_repl_failed_total"), std::string::npos);
+}
+
+TEST(ReplicationTest, ReplPullServesPullsAndSurvivesCorruptPayloads) {
+  // The shard-side transfer verb, driven directly over TCP.
+  QueryService source_service{ServiceConfig()};
+  auto source = Server::Create(&source_service, ServerConfig());
+  ASSERT_TRUE(source.ok());
+  QueryService sink_service{ServiceConfig()};
+  auto sink = Server::Create(&sink_service, ServerConfig());
+  ASSERT_TRUE(sink.ok());
+
+  ClientConfig source_config;
+  source_config.port = (*source)->port();
+  Client source_client(source_config);
+  auto recorded = source_client.Request("RECORD xfer <r><a>t</a></r>");
+  ASSERT_TRUE(recorded.ok() && recorded->status.ok());
+
+  // Serve mode streams one TAPE line; a miss is the canonical ERR.
+  auto served = source_client.Request("REPLPULL xfer");
+  ASSERT_TRUE(served.ok() && served->status.ok());
+  ASSERT_EQ(served->lines.size(), 1u);
+  EXPECT_EQ(served->lines[0].rfind("TAPE ", 0), 0u);
+  auto missing = source_client.Request("REPLPULL nosuch");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status.code(), StatusCode::kInvalidArgument);
+
+  // Pull mode: the sink fetches from the source and can replay it.
+  ClientConfig sink_config;
+  sink_config.port = (*sink)->port();
+  Client sink_client(sink_config);
+  auto pulled = sink_client.Request(
+      "REPLPULL xfer 127.0.0.1:" + std::to_string((*source)->port()));
+  ASSERT_TRUE(pulled.ok() && pulled->status.ok()) << pulled->status.ToString();
+  auto open = sink_client.Request("OPEN //a/text()");
+  ASSERT_TRUE(open.ok() && open->status.ok());
+  auto replay = sink_client.Request("RUNCACHED " + open->ok_payload + " xfer");
+  ASSERT_TRUE(replay.ok() && replay->status.ok());
+  ASSERT_EQ(replay->lines.size(), 1u);
+  EXPECT_EQ(replay->lines[0], "ITEM t");
+  sink_client.Request("CLOSE " + open->ok_payload);
+
+  // A corrupted transfer is rejected by the CRC on ingest and counted.
+  std::string tape_bytes = LineProtocol::Unescape(
+      std::string_view(served->lines[0]).substr(5));
+  tape_bytes[tape_bytes.size() / 2] ^= 0x40;
+  auto corrupt = sink_service.IngestTape("xfer", std::move(tape_bytes));
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kDataCorruption);
+
+  auto status = sink_client.Request("REPLSTATUS");
+  ASSERT_TRUE(status.ok() && status->status.ok());
+  ASSERT_EQ(status->lines.size(), 1u);
+  EXPECT_EQ(status->lines[0].rfind("DOC xfer ", 0), 0u);
+  EXPECT_NE(status->ok_payload.find("ingests=1"), std::string::npos);
+  EXPECT_NE(status->ok_payload.find("corrupt=1"), std::string::npos);
+
+  (*source)->Stop();
+  source_service.Shutdown();
+  (*sink)->Stop();
+  sink_service.Shutdown();
+}
+
+TEST(ClusterReplFailPointsTest, ArmedSendSiteDropsJobsAndSweepHeals) {
+  if (!kFailPointsCompiledIn) {
+    GTEST_SKIP() << "failpoints compiled out (-DXSQ_FAILPOINTS=OFF)";
+  }
+  RouterConfig base = ReplicatedConfig();
+  base.replication.max_attempts = 2;
+  base.replication.retry_backoff_ms = 5;
+  ClusterHarness cluster(3, base);
+  auto handler = cluster.router->MakeHandler();
+
+  FailPoints::Instance().Arm("cluster.repl.fail");
+  std::string out;
+  handler->HandleLine("RECORD fp-doc <r><a>f</a></r>", &out);
+  ASSERT_EQ(out.rfind("OK ", 0), 0u) << out;
+  ASSERT_TRUE(cluster.router->replicator()->WaitIdle());
+  FailPoints::Instance().DisarmAll();
+
+  // Every send attempt fired the failpoint: the fanout job burned its
+  // retries and was dropped — cleanly, as a counter, not a crash.
+  std::vector<size_t> owners =
+      cluster.router->shard_map().Owners("fp-doc", 2, {true, true, true});
+  Replicator::Counters repl = cluster.router->replicator()->counters();
+  EXPECT_GE(repl.failed, 1u);
+  EXPECT_FALSE(cluster.services[owners[1]]->ServeTape("fp-doc").ok());
+
+  // With the site disarmed, anti-entropy repairs what the drops lost.
+  cluster.router->replicator()->SweepNow();
+  ASSERT_TRUE(cluster.router->replicator()->WaitIdle());
+  EXPECT_TRUE(cluster.services[owners[1]]->ServeTape("fp-doc").ok());
 }
 
 }  // namespace

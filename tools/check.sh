@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # The per-PR verification gate:
-#   1. builds the default tree, runs the full tier-1 ctest suite, then
-#      the cluster process smoke (3 forked xsqd shards + xsq_router
-#      driven through xsqctl, including SIGKILL failover), then builds a
+#   1. builds the default tree, runs the full tier-1 ctest suite
+#      (including the ext_cluster and ext_replication process gates),
+#      then the cluster process smoke (3 forked xsqd shards +
+#      xsq_router driven through xsqctl, including SIGKILL failover
+#      and an rf=2 kill served entirely from replicas), then builds a
 #      -DXSQ_SIMD=OFF tree and runs the scanner differential subset so
 #      the scalar/SWAR fallback paths stay event-identical;
 #   2. builds a ThreadSanitizer tree and re-runs the suite under TSan so
@@ -79,9 +81,12 @@ elif [ -z "$filter" ]; then
 fi
 
 # Cluster leg: 3 xsqd shards + xsq_router as real processes over TCP,
-# driven through xsqctl, including a SIGKILL failover. (The in-process
-# cluster tests and the ext_cluster_smoke bench gate are part of the
-# ctest suite above and rerun under every sanitizer tree below.)
+# driven through xsqctl — a SIGKILL failover on the unreplicated
+# cluster, then an rf=2 cluster where a SIGKILL costs zero client
+# re-records because replicas hold every tape. (The in-process cluster
+# tests and the ext_cluster_smoke / ext_replication_smoke bench gates
+# are part of the ctest suite above and rerun under every sanitizer
+# tree below.)
 if [ "${XSQ_SKIP_CLUSTER:-0}" = "1" ]; then
   echo "== cluster smoke skipped (XSQ_SKIP_CLUSTER=1)"
 elif [ -z "$filter" ]; then
@@ -129,14 +134,17 @@ if [ "${XSQ_SKIP_FAILPOINTS:-0}" = "1" ]; then
   echo "== failpoint legs skipped (XSQ_SKIP_FAILPOINTS=1)"
 else
   # ServicePubSub pulls in the fan-out/shed tests and the
-  # 16-subscriber fault-storm soak alongside the failpoint suite.
+  # 16-subscriber fault-storm soak alongside the failpoint suite;
+  # ClusterReplFailPoints arms the replication send site
+  # (cluster.repl.fail) and checks the anti-entropy sweep heals the
+  # dropped fanouts.
   fp_filter='FaultInjection|FailPoints|ServicePubSub'
   if [ "${XSQ_SKIP_ASAN:-0}" != "1" ]; then
     echo "== failpoints + ASan build ($fp_asan_dir)"
     cmake -B "$fp_asan_dir" -S . -DXSQ_FAILPOINTS=ON \
       -DXSQ_SANITIZE=address >/dev/null
     cmake --build "$fp_asan_dir" -j "$(nproc)" \
-      --target fault_injection_test pubsub_test
+      --target fault_injection_test pubsub_test cluster_test
     (cd "$fp_asan_dir" &&
       ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
         ctest --output-on-failure -j "$(nproc)" -R "$fp_filter")
@@ -146,7 +154,7 @@ else
     cmake -B "$fp_tsan_dir" -S . -DXSQ_FAILPOINTS=ON \
       -DXSQ_SANITIZE=thread >/dev/null
     cmake --build "$fp_tsan_dir" -j "$(nproc)" \
-      --target fault_injection_test pubsub_test
+      --target fault_injection_test pubsub_test cluster_test
     (cd "$fp_tsan_dir" &&
       TSAN_OPTIONS="halt_on_error=1" \
         ctest --output-on-failure -j "$(nproc)" -R "$fp_filter")

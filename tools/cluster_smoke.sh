@@ -5,7 +5,9 @@
 # (record-then-cached agrees on a shard), the merged STATS/metrics
 # view, HTTP probing on the router port, and SIGKILL failover: after a
 # shard dies -9, re-recording and re-querying through the router must
-# succeed. Run by tools/check.sh (cluster leg).
+# succeed. A second cluster runs with --replication-factor=2 and must
+# keep serving every cached read after a SIGKILL with zero client
+# re-records. Run by tools/check.sh (cluster leg).
 set -u
 xsqd=${1:?usage: cluster_smoke.sh /path/to/xsqd /path/to/xsq_router /path/to/xsqctl}
 router=${2:?usage: cluster_smoke.sh /path/to/xsqd /path/to/xsq_router /path/to/xsqctl}
@@ -108,5 +110,52 @@ case $metrics in
   *"xsq_router_shards_dead 1"*) ;;
   *) echo "router /metrics did not report the dead shard" >&2; exit 1 ;;
 esac
+
+# --- Replication (rf=2): kill a shard, serve from replicas ------------
+# A fresh 3-shard cluster with --replication-factor=2: every RECORD
+# fans its tape to a second ring owner, so a SIGKILLed shard costs
+# ZERO client re-records — every cached read below succeeds without a
+# single RECORD after the kill.
+boot "$workdir/t1" "$xsqd" --listen=0 --workers=2 || exit 1
+q1=$BOOT_PORT
+boot "$workdir/t2" "$xsqd" --listen=0 --workers=2 || exit 1
+q2=$BOOT_PORT
+boot "$workdir/t3" "$xsqd" --listen=0 --workers=2 || exit 1
+q3=$BOOT_PORT
+boot "$workdir/rr" "$router" --listen=0 \
+  --shard=127.0.0.1:"$q1" --shard=127.0.0.1:"$q2" \
+  --shard=127.0.0.1:"$q3" --replication-factor=2 \
+  --probe-interval-ms=100 --probe-fail-threshold=1 || exit 1
+rrp=$BOOT_PORT
+ctl2() { "$xsqctl" --port="$rrp" "$@"; }
+
+for i in 1 2 3 4 5 6; do
+  echo "<dblp><article><title>r$i</title></article></dblp>" \
+    | ctl2 record "rdoc$i" >/dev/null || {
+      echo "rf=2 RECORD rdoc$i through the router failed" >&2; exit 1; }
+done
+# Wait for the fanout queue to drain: REPLSTATUS reports pending=0.
+repl=""
+for _ in $(seq 1 100); do
+  repl=$(ctl2 raw REPLSTATUS)
+  case $repl in *" pending=0 "*) break ;; esac
+  sleep 0.05
+done
+case $repl in
+  *" pending=0 "*) ;;
+  *) echo "replication queue never drained: $repl" >&2; exit 1 ;;
+esac
+
+kill -9 "${pids[4]}"
+sleep 0.4  # one probe pass (100ms, threshold 1) remaps + starts the sweep
+for i in 1 2 3 4 5 6; do
+  got=$(ctl2 cached "rdoc$i" '/dblp/article/title/text()')
+  expected="ITEM r$i
+OK"
+  if [ "$got" != "$expected" ]; then
+    echo "replicated read rdoc$i after SIGKILL mismatch: $got" >&2
+    exit 1
+  fi
+done
 
 echo "cluster_smoke: all green"
