@@ -16,10 +16,22 @@
 // xsq_router_* section. SUBSCRIBE/PUBLISH are per-shard and answered
 // with NotSupported.
 //
-// Health: every --probe-interval-ms the router polls each shard's
-// GET /healthz; --probe-fail-threshold consecutive misses mark a shard
-// dead and its keys remap to the surviving ring. One good probe brings
-// it back.
+// Health: every --probe-interval-ms (±20% jitter) the router polls
+// each shard's GET /healthz; --probe-fail-threshold consecutive misses
+// mark a shard dead and its keys remap to the surviving ring;
+// --probe-rise-threshold consecutive good probes bring it back
+// (anti-flap hysteresis; default 1 = instantly).
+//
+// High availability: run N >= 2 routers over the same --shard set and
+// point each at the others with --peers=HOST:PORT,... Routers exchange
+// gossip digests (per-shard health epochs + the RECORD key index) on a
+// jittered --gossip-interval-ms cadence via the GOSSIP verb, so their
+// liveness masks converge within one interval and every router
+// computes the same ring for every key. Clients list every router
+// (xsqctl --router=a:PORT,b:PORT); transport failures fail over to the
+// next endpoint. A peer that stops answering is marked down in
+// xsq_router_gossip_peer_down_total — client failover is the recovery
+// path; routers never proxy for each other.
 //
 // Replication: --replication-factor=N (default 1 = off) keeps N copies
 // of every recorded tape on the key's first N distinct ring owners.
@@ -36,6 +48,9 @@
 //        --replication-factor=N (tape copies; default 1),
 //        --probe-interval-ms=N (default 500),
 //        --probe-fail-threshold=N (default 3),
+//        --probe-rise-threshold=N (good probes to resurrect; default 1),
+//        --peers=HOST:PORT[,HOST:PORT...] (fellow routers to gossip
+//        with; repeatable), --gossip-interval-ms=N (default 500),
 //        --request-timeout-ms=N (per backend request; default 5000),
 //        --pool-conns=N (pooled connections per shard; default 4),
 //        --max-connections=N (router accept shed; default 64),
@@ -75,10 +90,7 @@ size_t FlagValue(std::string_view arg, size_t fallback) {
       std::strtoull(std::string(arg.substr(eq + 1)).c_str(), nullptr, 10));
 }
 
-bool ParseShard(std::string_view arg, xsq::cluster::ShardAddress* out) {
-  size_t eq = arg.find('=');
-  if (eq == std::string_view::npos) return false;
-  std::string_view spec = arg.substr(eq + 1);
+bool ParseHostPort(std::string_view spec, xsq::cluster::ShardAddress* out) {
   size_t colon = spec.rfind(':');
   if (colon == std::string_view::npos || colon == 0 ||
       colon + 1 >= spec.size()) {
@@ -88,6 +100,31 @@ bool ParseShard(std::string_view arg, xsq::cluster::ShardAddress* out) {
   out->port = static_cast<uint16_t>(
       std::strtoul(std::string(spec.substr(colon + 1)).c_str(), nullptr, 10));
   return out->port != 0;
+}
+
+bool ParseShard(std::string_view arg, xsq::cluster::ShardAddress* out) {
+  size_t eq = arg.find('=');
+  if (eq == std::string_view::npos) return false;
+  return ParseHostPort(arg.substr(eq + 1), out);
+}
+
+// "--peers=a:1,b:2" -> appends each HOST:PORT to *out.
+bool ParsePeers(std::string_view arg,
+                std::vector<xsq::cluster::ShardAddress>* out) {
+  size_t eq = arg.find('=');
+  if (eq == std::string_view::npos) return false;
+  std::string_view list = arg.substr(eq + 1);
+  while (!list.empty()) {
+    size_t comma = list.find(',');
+    std::string_view spec = list.substr(0, comma);
+    list = comma == std::string_view::npos ? std::string_view()
+                                           : list.substr(comma + 1);
+    if (spec.empty()) continue;
+    xsq::cluster::ShardAddress peer;
+    if (!ParseHostPort(spec, &peer)) return false;
+    out->push_back(std::move(peer));
+  }
+  return true;
 }
 
 }  // namespace
@@ -116,6 +153,18 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--probe-fail-threshold", 0) == 0) {
       config.probe.fail_threshold =
           static_cast<int>(FlagValue(arg, config.probe.fail_threshold));
+    } else if (arg.rfind("--probe-rise-threshold", 0) == 0) {
+      config.probe.rise_threshold =
+          static_cast<int>(FlagValue(arg, config.probe.rise_threshold));
+    } else if (arg.rfind("--peers", 0) == 0) {
+      if (!ParsePeers(arg, &config.gossip.peers)) {
+        std::fprintf(stderr, "bad --peers (want HOST:PORT[,HOST:PORT...]): %s\n",
+                     std::string(arg).c_str());
+        return 2;
+      }
+      config.gossip.enable = true;
+    } else if (arg.rfind("--gossip-interval-ms", 0) == 0) {
+      config.gossip.interval_ms = FlagValue(arg, config.gossip.interval_ms);
     } else if (arg.rfind("--request-timeout-ms", 0) == 0) {
       config.backend.request_timeout_ms =
           FlagValue(arg, config.backend.request_timeout_ms);

@@ -3,6 +3,13 @@
 // retries for idempotent verbs, protocol escaping handled for you.
 //
 //   xsqctl [--host=H] [--port=P] [--timeout-ms=N] [--retries=N] <cmd>
+//   xsqctl --router=H:P[,H:P...] <cmd>      # multi-endpoint failover
+//
+// --router lists every front-tier endpoint (e.g. two HA xsq_routers
+// over one shard set). A transport failure on an idempotent verb
+// retries transparently on the next endpoint; sticky sessions
+// (query/cached) are replayed from OPEN on the survivor, so killing
+// one router mid-command still yields the single-router transcript.
 //
 // Commands:
 //   stats                      print the server's STATS block
@@ -31,10 +38,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -53,11 +62,61 @@ using xsq::net::Response;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: xsqctl [--host=H] [--port=P] [--timeout-ms=N] "
-               "[--retries=N] "
+               "usage: xsqctl [--host=H] [--port=P] [--router=H:P[,H:P...]] "
+               "[--timeout-ms=N] [--retries=N] "
                "stats|metrics|http-metrics|query|cached|record|publish|"
                "follow|raw ...\n");
   return 2;
+}
+
+// "--router=a:1,b:2" -> endpoint list for net::Client failover.
+bool ParseEndpoints(std::string_view arg,
+                    std::vector<xsq::net::Endpoint>* out) {
+  size_t eq = arg.find('=');
+  if (eq == std::string_view::npos) return false;
+  std::string_view list = arg.substr(eq + 1);
+  while (!list.empty()) {
+    size_t comma = list.find(',');
+    std::string_view spec = list.substr(0, comma);
+    list = comma == std::string_view::npos ? std::string_view()
+                                           : list.substr(comma + 1);
+    if (spec.empty()) continue;
+    size_t colon = spec.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 >= spec.size()) {
+      return false;
+    }
+    xsq::net::Endpoint endpoint;
+    endpoint.host.assign(spec.substr(0, colon));
+    endpoint.port = static_cast<uint16_t>(
+        std::strtoul(std::string(spec.substr(colon + 1)).c_str(), nullptr,
+                     10));
+    if (endpoint.port == 0) return false;
+    out->push_back(std::move(endpoint));
+  }
+  return !out->empty();
+}
+
+// Run a sticky OPEN..CLOSE conversation with session-level failover: a
+// transport failure mid-session loses the server-side session, so the
+// whole conversation replays against the next endpoint (net::Client has
+// already advanced past the dead one). Attempts are bounded by the
+// endpoint count — each endpoint gets at most one full replay.
+int RunSession(Client& client,
+               const std::function<int(Client&, bool*)>& body) {
+  const size_t attempts = std::max<size_t>(1, client.endpoint_count());
+  int rc = 1;
+  for (size_t i = 0; i < attempts; ++i) {
+    bool transport_failed = false;
+    rc = body(client, &transport_failed);
+    if (!transport_failed) return rc;
+    if (i + 1 < attempts) {
+      std::fprintf(stderr,
+                   "xsqctl: transport failure, replaying session on next "
+                   "endpoint\n");
+    }
+  }
+  return rc;
 }
 
 bool ReadAll(const std::string& path, std::string* out) {
@@ -220,6 +279,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--port", 0) == 0) {
       config.port = static_cast<uint16_t>(value(0));
+    } else if (arg.rfind("--router", 0) == 0) {
+      if (!ParseEndpoints(arg, &config.endpoints)) {
+        std::fprintf(stderr,
+                     "xsqctl: bad --router (want HOST:PORT[,HOST:PORT...])\n");
+        return 2;
+      }
     } else if (arg.rfind("--timeout-ms", 0) == 0) {
       config.request_timeout_ms = value(config.request_timeout_ms);
       config.connect_timeout_ms = config.request_timeout_ms;
@@ -231,7 +296,15 @@ int main(int argc, char** argv) {
       args.emplace_back(arg);
     }
   }
-  if (args.empty() || config.port == 0) return Usage();
+  if (args.empty() || (config.port == 0 && config.endpoints.empty())) {
+    return Usage();
+  }
+  // The raw-socket paths (http-metrics, follow) speak to one address;
+  // with --router they use the first endpoint.
+  if (config.port == 0 && !config.endpoints.empty()) {
+    config.host = config.endpoints[0].host;
+    config.port = config.endpoints[0].port;
+  }
   const std::string& command = args[0];
 
   if (command == "http-metrics") {
@@ -269,12 +342,27 @@ int main(int argc, char** argv) {
     return RunOne(client, "PUBLISH " + LineProtocol::Escape(document));
   } else if (command == "cached") {
     if (args.size() < 3) return Usage();
-    auto open = client.Request("OPEN " + args[2]);
-    if (!open.ok() || !open->status.ok()) {
-      std::fprintf(stderr, "xsqctl: OPEN failed\n");
-      return 1;
-    }
-    return RunOne(client, "RUNCACHED " + open->ok_payload + " " + args[1]);
+    return RunSession(client, [&args](Client& c, bool* transport_failed) {
+      auto open = c.Request("OPEN " + args[2]);
+      if (!open.ok()) {
+        *transport_failed = true;
+        std::fprintf(stderr, "xsqctl: %s\n",
+                     open.status().ToString().c_str());
+        return 1;
+      }
+      if (!open->status.ok()) {
+        std::fprintf(stderr, "xsqctl: OPEN failed\n");
+        return 1;
+      }
+      auto run = c.Request("RUNCACHED " + open->ok_payload + " " + args[1]);
+      if (!run.ok()) {
+        *transport_failed = true;
+        std::fprintf(stderr, "xsqctl: %s\n", run.status().ToString().c_str());
+        return 1;
+      }
+      PrintResponse(*run);
+      return run->status.ok() ? 0 : 1;
+    });
   } else if (command == "query") {
     if (args.size() < 2) return Usage();
     std::string document;
@@ -282,23 +370,42 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "xsqctl: cannot read %s\n", args[2].c_str());
       return 1;
     }
-    auto open = client.Request("OPEN " + args[1]);
-    if (!open.ok()) {
-      std::fprintf(stderr, "xsqctl: %s\n", open.status().ToString().c_str());
-      return 1;
-    }
-    if (!open->status.ok()) {
-      PrintResponse(*open);
-      return 1;
-    }
-    const std::string id = open->ok_payload;
-    auto push =
-        client.Request("PUSH " + id + " " + LineProtocol::Escape(document));
-    if (!push.ok() || !push->status.ok()) {
-      std::fprintf(stderr, "xsqctl: PUSH failed\n");
-      return 1;
-    }
-    return RunOne(client, "CLOSE " + id);
+    return RunSession(client, [&args, &document](Client& c,
+                                                 bool* transport_failed) {
+      auto open = c.Request("OPEN " + args[1]);
+      if (!open.ok()) {
+        *transport_failed = true;
+        std::fprintf(stderr, "xsqctl: %s\n",
+                     open.status().ToString().c_str());
+        return 1;
+      }
+      if (!open->status.ok()) {
+        PrintResponse(*open);
+        return 1;
+      }
+      const std::string id = open->ok_payload;
+      auto push =
+          c.Request("PUSH " + id + " " + LineProtocol::Escape(document));
+      if (!push.ok()) {
+        *transport_failed = true;
+        std::fprintf(stderr, "xsqctl: %s\n",
+                     push.status().ToString().c_str());
+        return 1;
+      }
+      if (!push->status.ok()) {
+        std::fprintf(stderr, "xsqctl: PUSH failed\n");
+        return 1;
+      }
+      auto close = c.Request("CLOSE " + id);
+      if (!close.ok()) {
+        *transport_failed = true;
+        std::fprintf(stderr, "xsqctl: %s\n",
+                     close.status().ToString().c_str());
+        return 1;
+      }
+      PrintResponse(*close);
+      return close->status.ok() ? 0 : 1;
+    });
   }
   return Usage();
 }

@@ -55,7 +55,12 @@
 //        --listen=PORT (serve TCP; 0 picks an ephemeral port, printed
 //        as "LISTENING <port>"), --max-connections=N (accept-side
 //        shedding threshold; default 64), --idle-timeout-ms=N (close
-//        idle/half-open connections; 0 = never; default 30000).
+//        idle/half-open connections; 0 = never; default 30000),
+//        --max-tape-bytes=N (cap on a serialized tape moved by a
+//        REPLPULL shard-to-shard transfer, serve and pull side;
+//        oversized fails with ERR LimitExceeded; 0 = unlimited),
+//        --replpull-deadline-ms=N (deadline for one REPLPULL fetch
+//        from the source peer; default 5000).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -173,6 +178,11 @@ int main(int argc, char** argv) {
           FlagValue(arg, net_config.max_connections);
     } else if (arg.rfind("--idle-timeout-ms", 0) == 0) {
       net_config.idle_timeout_ms = FlagValue(arg, net_config.idle_timeout_ms);
+    } else if (arg.rfind("--max-tape-bytes", 0) == 0) {
+      config.max_tape_bytes = FlagValue(arg, config.max_tape_bytes);
+    } else if (arg.rfind("--replpull-deadline-ms", 0) == 0) {
+      config.replpull_deadline_ms =
+          FlagValue(arg, config.replpull_deadline_ms);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
       return 2;

@@ -11,6 +11,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "net/client.h"
+
 namespace xsq::cluster {
 
 namespace {
@@ -124,6 +126,8 @@ HealthProber::HealthProber(std::vector<Backend*> backends, ProbeConfig config)
     : backends_(std::move(backends)),
       config_(config),
       consecutive_failures_(backends_.size(), 0),
+      consecutive_successes_(backends_.size(), 0),
+      jitter_state_(config.jitter_seed),
       last_metrics_(backends_.size()) {}
 
 HealthProber::~HealthProber() { Stop(); }
@@ -144,28 +148,47 @@ void HealthProber::Stop() {
   if (thread_.joinable()) thread_.join();
 }
 
+void HealthProber::Apply(size_t i, ShardHealth health) {
+  if (apply_) {
+    apply_(i, health);
+  } else {
+    backends_[i]->set_health(health);
+  }
+}
+
 void HealthProber::ProbeShard(size_t i) {
   Backend* backend = backends_[i];
   Result<HttpProbeResult> probe =
       HttpGet(backend->address(), "/healthz", config_.timeout_ms);
   if (!probe.ok()) {
+    consecutive_successes_[i] = 0;
     if (++consecutive_failures_[i] >= config_.fail_threshold) {
-      backend->set_health(ShardHealth::kDead);
+      Apply(i, ShardHealth::kDead);
     }
     return;
   }
   consecutive_failures_[i] = 0;
+  ShardHealth observed;
   if (probe->code == 200) {
-    backend->set_health(ShardHealth::kServing);
+    observed = ShardHealth::kServing;
   } else if (probe->body.rfind("shedding", 0) == 0) {
-    backend->set_health(ShardHealth::kShedding);
+    observed = ShardHealth::kShedding;
   } else if (probe->body.rfind("draining", 0) == 0) {
-    backend->set_health(ShardHealth::kDraining);
+    observed = ShardHealth::kDraining;
   } else {
     // Answered but unwell in a way we do not recognize; treat like
     // shedding — reachable, avoid for new work.
-    backend->set_health(ShardHealth::kShedding);
+    observed = ShardHealth::kShedding;
   }
+  if (backend->health() == ShardHealth::kDead &&
+      ++consecutive_successes_[i] < config_.rise_threshold) {
+    // Anti-flap hysteresis: a dead shard must answer rise_threshold
+    // probes in a row before its keys remap back. Until then the ring
+    // stays stable on the failover owner.
+    return;
+  }
+  consecutive_successes_[i] = 0;
+  Apply(i, observed);
   if (config_.scrape_metrics) {
     Result<HttpProbeResult> metrics =
         HttpGet(backend->address(), "/metrics", config_.timeout_ms);
@@ -195,7 +218,11 @@ void HealthProber::Loop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait_for(lock, std::chrono::milliseconds(config_.interval_ms),
+      // ±20% jitter per period: a fleet of routers sharing one shard
+      // set drifts apart instead of probing in synchronized bursts.
+      uint64_t wait_ms =
+          net::JitterIntervalMs(config_.interval_ms, &jitter_state_);
+      cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
                    [this] { return stopping_; });
       if (stopping_) return;
     }

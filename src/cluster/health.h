@@ -1,7 +1,9 @@
 // HealthProber: active health checking for the shard roster.
 //
-// A background thread polls every shard's GET /healthz on a fixed
-// cadence and flips the Backend health flag the router routes by:
+// A background thread polls every shard's GET /healthz on a jittered
+// cadence (±20% of interval_ms, so several routers probing the same
+// shards decorrelate instead of storming them in lockstep) and flips
+// the Backend health flag the router routes by:
 //
 //   200 "ok"        -> kServing    full member of the ring
 //   503 "shedding"  -> kShedding   reachable but at capacity
@@ -11,9 +13,13 @@
 // The shard serves these probes even while load-shedding protocol
 // connections (net::Server defers the shed decision past the HTTP
 // sniff precisely so this prober can tell "busy" from "down"), so a
-// failed probe really means unreachable, not merely saturated. One
-// successful probe resurrects a dead shard — the ring heals itself
-// when a shard comes back.
+// failed probe really means unreachable, not merely saturated.
+// Resurrection is hysteretic: a dead shard rejoins the ring only after
+// rise_threshold consecutive good probes (mirroring fail_threshold on
+// the way down), so a flapping shard cannot thrash the ring — its keys
+// stay parked on the stable failover owner until the shard proves
+// itself. The default rise_threshold of 1 preserves the historical
+// one-good-probe heal.
 //
 // Ring rebalancing is implicit and non-disruptive: health lives in an
 // atomic on the Backend, ownership is computed per request against the
@@ -57,7 +63,15 @@ struct ProbeConfig {
   uint64_t timeout_ms = 1000;
   // Consecutive probe failures before a shard is marked dead.
   int fail_threshold = 3;
+  // Consecutive probe successes before a DEAD shard rejoins the ring
+  // (anti-flap hysteresis). 1 = the historical instant resurrection.
+  // Health transitions among the reachable states (serving/shedding/
+  // draining) stay immediate — hysteresis only guards the dead->alive
+  // edge that remaps keys.
+  int rise_threshold = 1;
   bool scrape_metrics = true;
+  // Seed for the deterministic ±20% cadence jitter (net::JitterIntervalMs).
+  uint64_t jitter_seed = 0x5851f42d4c957f2dull;
 };
 
 class HealthProber {
@@ -89,6 +103,16 @@ class HealthProber {
     on_pass_ = std::move(on_pass);
   }
 
+  // Redirects health writes: when installed, every resolved probe
+  // observation goes through `apply` instead of straight to
+  // Backend::set_health. The gossip layer installs this so a local
+  // transition bumps the shard's epoch before the flag flips (the
+  // callback itself applies the health). Must be installed before
+  // Start().
+  void set_apply(std::function<void(size_t shard, ShardHealth health)> apply) {
+    apply_ = std::move(apply);
+  }
+
   // The last successfully scraped /metrics text of shard `i` (empty
   // until the first good scrape).
   std::string last_metrics(size_t i) const;
@@ -96,13 +120,17 @@ class HealthProber {
  private:
   void Loop();
   void ProbeShard(size_t i);
+  void Apply(size_t i, ShardHealth health);
 
   const std::vector<Backend*> backends_;
   const ProbeConfig config_;
 
-  std::vector<int> consecutive_failures_;  // probe thread only
-  std::vector<bool> last_alive_;           // guarded by probe_mu_
-  std::function<void(bool)> on_pass_;      // set before Start()
+  std::vector<int> consecutive_failures_;   // probe thread only
+  std::vector<int> consecutive_successes_;  // probe thread only
+  std::vector<bool> last_alive_;            // guarded by probe_mu_
+  std::function<void(bool)> on_pass_;       // set before Start()
+  std::function<void(size_t, ShardHealth)> apply_;  // set before Start()
+  uint64_t jitter_state_;                   // loop thread only
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -441,6 +441,10 @@ bool RouterHandler::HandleLine(std::string_view input, std::string* out) {
       } else {
         if (response->status.ok()) {
           router_->replicator()->NoteKey(name);
+          // Peer routers learn the key through the digest, so any of
+          // them can sweep/repair it even if this router dies before
+          // the next inventory scan.
+          if (router_->gossip() != nullptr) router_->gossip()->NoteKey(name);
           if (router_->replication_factor() >= 2) {
             std::vector<size_t> owners = router_->shard_map().Owners(
                 name, router_->replication_factor(), router_->AliveMask());
@@ -466,6 +470,7 @@ bool RouterHandler::HandleLine(std::string_view input, std::string* out) {
         Reply(out, "ERR ResourceExhausted: no live shards");
       } else {
         router_->replicator()->ForgetKey(name);
+        if (router_->gossip() != nullptr) router_->gossip()->ForgetKey(name);
         std::optional<net::Response> best;
         Status transport = Status::OK();
         for (size_t owner : owners) {
@@ -497,8 +502,27 @@ bool RouterHandler::HandleLine(std::string_view input, std::string* out) {
         if (!response.ok()) {
           ReplyTransportError(out, response.status());
         } else {
+          if (response->status.ok() && router_->gossip() != nullptr) {
+            router_->gossip()->ForgetKey(name);
+          }
           RelayReply(out, *response);
         }
+      }
+    }
+  } else if (command == "GOSSIP") {
+    if (router_->gossip() == nullptr) {
+      Reply(out, "ERR NotSupported: gossip is not enabled on this router "
+                 "(start it with --peers)");
+    } else if (rest.empty()) {
+      Reply(out, "ERR InvalidArgument: missing gossip digest");
+    } else {
+      Result<GossipAgent::ExchangeReply> merged =
+          router_->gossip()->HandleExchange(rest);
+      if (!merged.ok()) {
+        Reply(out, "ERR " + merged.status().ToString());
+      } else {
+        Reply(out, "DIGEST " + merged->wire);
+        Reply(out, "OK adopted=" + std::to_string(merged->adopted));
       }
     }
   } else if (command == "REPLSTATUS") {
@@ -588,6 +612,21 @@ Result<std::unique_ptr<Router>> Router::Create(RouterConfig config) {
           if (mask_changed) replicator->RequestSweep();
         });
   }
+  if (router->config_.gossip.enable || !router->config_.gossip.peers.empty()) {
+    std::vector<Backend*> gossip_raw;
+    for (auto& backend : router->backends_) gossip_raw.push_back(backend.get());
+    router->gossip_ = std::make_unique<GossipAgent>(
+        std::move(gossip_raw), router->replicator_.get(),
+        router->config_.gossip);
+    // Locally observed health transitions flow through the digest so
+    // each one gets an epoch and propagates; the agent applies the
+    // Backend flag itself.
+    router->prober_->set_apply(
+        [agent = router->gossip_.get()](size_t shard, ShardHealth health) {
+          agent->LocalObservation(shard, health);
+        });
+    if (router->config_.gossip.start) router->gossip_->Start();
+  }
   if (router->config_.start_prober) router->prober_->Start();
   router->cancel_thread_ = std::thread([raw_router = router.get()] {
     raw_router->CancelLoop();
@@ -596,7 +635,8 @@ Result<std::unique_ptr<Router>> Router::Create(RouterConfig config) {
 }
 
 Router::~Router() {
-  if (prober_ != nullptr) prober_->Stop();  // before its sweep callback dies
+  if (prober_ != nullptr) prober_->Stop();  // before its apply/sweep callbacks die
+  if (gossip_ != nullptr) gossip_->Stop();  // before the replicator it feeds
   if (replicator_ != nullptr) replicator_->Stop();
   {
     std::lock_guard<std::mutex> lock(cancel_mu_);
@@ -782,6 +822,18 @@ std::string Router::MetricsText() {
                               repl.fanouts);
   obs::Registry::AppendScalar(&out, "xsq_router_repl_sweeps_total", "counter",
                               repl.sweeps);
+  // Gossip surface: rendered even with gossip off (all zeros) so
+  // dashboards and smoke greps see a stable metric set.
+  GossipAgent::Counters gsp;
+  if (gossip_ != nullptr) gsp = gossip_->counters();
+  obs::Registry::AppendScalar(&out, "xsq_router_gossip_rounds_total",
+                              "counter", gsp.rounds);
+  obs::Registry::AppendScalar(&out, "xsq_router_gossip_merges_total",
+                              "counter", gsp.merges);
+  obs::Registry::AppendScalar(&out, "xsq_router_gossip_peer_down_total",
+                              "counter", gsp.peer_down);
+  obs::Registry::AppendScalar(&out, "xsq_router_gossip_peers_down", "gauge",
+                              gsp.peers_down);
   obs::Registry::AppendScalar(&out, "xsq_router_shards_serving", "gauge",
                               serving);
   obs::Registry::AppendScalar(&out, "xsq_router_shards_dead", "gauge", dead);

@@ -74,6 +74,7 @@
 #include <vector>
 
 #include "cluster/backend_pool.h"
+#include "cluster/gossip.h"
 #include "cluster/health.h"
 #include "cluster/replication.h"
 #include "cluster/shard_map.h"
@@ -103,6 +104,12 @@ struct RouterConfig {
   // from replicas when the primary is down, and anti-entropy-repairs
   // under-replicated keys after every mask-changing probe pass.
   ReplicationConfig replication;
+  // Router-to-router gossip (see cluster/gossip.h). Disabled unless
+  // peers are listed or enable is set; when on, health observations
+  // flow through the gossip digest (epoch per transition) and the
+  // GOSSIP verb merges peer digests, so N routers over the same shard
+  // set converge to one liveness mask and identical rings.
+  GossipConfig gossip;
 };
 
 class Router {
@@ -132,6 +139,8 @@ class Router {
   void ProbeNow() { prober_->ProbeNow(); }
   HealthProber* prober() { return prober_.get(); }
   Replicator* replicator() { return replicator_.get(); }
+  // Null when gossip is disabled (no peers configured).
+  GossipAgent* gossip() { return gossip_.get(); }
   size_t replication_factor() const { return config_.replication.factor; }
 
   // --- routing --------------------------------------------------------
@@ -198,6 +207,7 @@ class Router {
   std::vector<std::unique_ptr<Backend>> backends_;
   std::unique_ptr<HealthProber> prober_;
   std::unique_ptr<Replicator> replicator_;
+  std::unique_ptr<GossipAgent> gossip_;  // null when disabled
 
   service::ServiceStats net_stats_;  // the router server's conn counters
 

@@ -53,8 +53,23 @@ Status DecodeErr(std::string_view rest) {
 
 }  // namespace
 
+uint64_t JitterIntervalMs(uint64_t base_ms, uint64_t* rng_state) {
+  if (base_ms == 0) return 0;
+  // Uniform in [0.8, 1.2) of the base: wide enough to decorrelate a
+  // fleet, narrow enough that cadence-derived bounds (probe intervals,
+  // gossip convergence) stay within one nominal period.
+  uint64_t r = SplitMix64(rng_state) % 1024;
+  return (base_ms * 4) / 5 + (base_ms * 2 * r) / 5120;
+}
+
 Client::Client(ClientConfig config)
-    : config_(std::move(config)), rng_state_(config_.retry_seed) {}
+    : config_(std::move(config)), rng_state_(config_.retry_seed) {
+  if (config_.endpoints.empty()) {
+    endpoints_.push_back(Endpoint{config_.host, config_.port});
+  } else {
+    endpoints_ = config_.endpoints;
+  }
+}
 
 Client::~Client() { Close(); }
 
@@ -92,6 +107,10 @@ VerbRetryClass Client::RetryClassFor(std::string_view line) {
       {"EVICT", VerbRetryClass::kNonIdempotent},
       {"CANCEL", VerbRetryClass::kNonIdempotent},
       {"QUIT", VerbRetryClass::kNonIdempotent},
+      // GOSSIP carries a CRDT-style digest whose merge is idempotent:
+      // delivering the same digest twice leaves the peer unchanged, so
+      // a lost reply is safe to retry (on the next endpoint, if any).
+      {"GOSSIP", VerbRetryClass::kIdempotent},
       {"PUBLISH", VerbRetryClass::kNeverRetry},
       {"SUBSCRIBE", VerbRetryClass::kNeverRetry},
       {"UNSUBSCRIBE", VerbRetryClass::kNeverRetry},
@@ -118,18 +137,25 @@ uint64_t Client::NextBackoffMs(int attempt) {
   return backoff / 2 + (backoff * r) / 1024;
 }
 
+void Client::AdvanceEndpoint() {
+  if (endpoints_.size() < 2) return;
+  endpoint_index_ = (endpoint_index_ + 1) % endpoints_.size();
+  ++counters_.failovers;
+}
+
 Status Client::ConnectOnce() {
   Close();
+  const Endpoint& target = endpoints_[endpoint_index_];
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(target.port);
+  if (::inet_pton(AF_INET, target.host.c_str(), &addr.sin_addr) != 1) {
     Close();
-    return Status::InvalidArgument("bad host address: " + config_.host);
+    return Status::InvalidArgument("bad host address: " + target.host);
   }
   int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc != 0 && errno != EINPROGRESS) {
@@ -274,8 +300,12 @@ Result<Response> Client::Request(std::string_view line) {
     }
     last = result.status();
     // Transport failure: the connection is in an unknown state; retries
-    // always reconnect.
+    // always reconnect — against the NEXT endpoint when several are
+    // configured, so an idempotent retry (this loop) or the caller's
+    // own recovery (non-idempotent verbs return after this attempt)
+    // lands on a surviving router.
     Close();
+    AdvanceEndpoint();
   }
   return last;
 }

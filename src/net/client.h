@@ -1,5 +1,5 @@
 // net::Client: a blocking TCP client for the xsqd line protocol with
-// timeouts and safe retries.
+// timeouts, safe retries, and multi-endpoint failover.
 //
 // One Request() sends one protocol line and reads reply lines until the
 // terminating "OK ..." or "ERR <Code>: <message>", all under a single
@@ -37,6 +37,17 @@
 // ClientConfig::retry_seed, so tests get reproducible backoff
 // schedules without any wall-clock or global RNG dependence.
 //
+// Failover: ClientConfig::endpoints may list several HOST:PORT targets
+// (e.g. two active-active routers). Every transport failure advances
+// the client to the next endpoint in round-robin order before the next
+// connect, so an idempotent verb's automatic retry lands on the
+// survivor, and a NON-idempotent verb — which still surfaces its
+// transport error after one attempt — leaves the client pointed at the
+// next endpoint: the caller's recovery (re-OPEN, replay the session)
+// transparently runs against the surviving router. An ERR reply never
+// advances the endpoint: the server answered; moving would just forfeit
+// session affinity.
+//
 // Not thread safe; one Client per conversation, like one socket.
 #ifndef XSQ_NET_CLIENT_H_
 #define XSQ_NET_CLIENT_H_
@@ -59,9 +70,19 @@ enum class VerbRetryClass {
   kNeverRetry,     // externally visible replay; never retried, period
 };
 
+// One HOST:PORT target for multi-endpoint failover.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
 struct ClientConfig {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
+  // Failover targets. When non-empty this list replaces host/port
+  // entirely; the client starts at endpoints[0] and advances
+  // round-robin on every transport failure.
+  std::vector<Endpoint> endpoints;
   uint64_t connect_timeout_ms = 2000;
   // Deadline for one attempt of one request (send + replies).
   uint64_t request_timeout_ms = 5000;
@@ -124,8 +145,14 @@ class Client {
     uint64_t reconnects = 0;    // connects after the first
     uint64_t retries = 0;       // request attempts beyond the first
     uint64_t shed_retries = 0;  // retries honoring an ERR ResourceExhausted
+    uint64_t failovers = 0;     // endpoint advances on transport failure
   };
   const Counters& counters() const { return counters_; }
+
+  // The endpoint the next connect will target (index into the resolved
+  // endpoint list; a single-endpoint client always reports 0).
+  size_t endpoint_index() const { return endpoint_index_; }
+  size_t endpoint_count() const { return endpoints_.size(); }
 
  private:
   Status ConnectOnce();
@@ -133,13 +160,23 @@ class Client {
   Status ReadLine(std::string* line,
                   std::chrono::steady_clock::time_point deadline);
   uint64_t NextBackoffMs(int attempt);
+  void AdvanceEndpoint();
 
   ClientConfig config_;
+  std::vector<Endpoint> endpoints_;  // resolved: config endpoints or host/port
+  size_t endpoint_index_ = 0;
   int fd_ = -1;
   std::string read_buffer_;
   uint64_t rng_state_;
   Counters counters_;
 };
+
+// A jittered interval in [0.8 * base_ms, 1.2 * base_ms), driven by the
+// same deterministic splitmix64 stream the retry backoff uses. Shared
+// by the periodic loops that must not synchronize across processes —
+// health probing, gossip anti-entropy — so a fleet of routers probing
+// the same shards decorrelates instead of storming them in lockstep.
+uint64_t JitterIntervalMs(uint64_t base_ms, uint64_t* rng_state);
 
 }  // namespace xsq::net
 

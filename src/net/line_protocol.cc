@@ -243,22 +243,39 @@ bool LineProtocol::HandleLine(std::string_view input, std::string* out) {
       Reply(out, "ERR InvalidArgument: missing document name");
     } else if (source.empty()) {
       // Serve mode: stream the resident tape to the requesting peer.
+      const size_t max_tape = service_->config().max_tape_bytes;
       auto tape = service_->ServeTape(name);
-      if (tape.ok()) {
-        Reply(out, "TAPE " + Escape((*tape)->Serialize()));
-        Reply(out, "OK " + std::to_string((*tape)->event_count()) + " " +
-                       std::to_string((*tape)->memory_bytes()));
-      } else {
+      if (!tape.ok()) {
         Reply(out, "ERR " + tape.status().ToString());
+      } else {
+        std::string bytes = (*tape)->Serialize();
+        if (max_tape != 0 && bytes.size() > max_tape) {
+          // Refuse at the source too: a transfer the puller would
+          // reject anyway should not ship the bytes across shards.
+          Reply(out, "ERR LimitExceeded: tape '" + std::string(name) +
+                         "' is " + std::to_string(bytes.size()) +
+                         " bytes, over the " + std::to_string(max_tape) +
+                         "-byte replication transfer cap");
+        } else {
+          Reply(out, "TAPE " + Escape(bytes));
+          Reply(out, "OK " + std::to_string((*tape)->event_count()) + " " +
+                         std::to_string((*tape)->memory_bytes()));
+        }
       }
     } else {
-      // Pull mode: fetch the tape FROM the named peer and install it.
+      // Pull mode: fetch the tape FROM the named peer and install it,
+      // bounded by the transfer deadline and the tape byte cap. The cap
+      // is checked before IngestTape touches the cache, so an oversized
+      // transfer fails clean — never a half-installed tape.
       ClientConfig peer;
       if (!ParseHostPort(source, &peer.host, &peer.port)) {
         Reply(out, "ERR InvalidArgument: bad replication source '" +
                        std::string(source) + "' (want HOST:PORT)");
       } else {
+        const size_t max_tape = service_->config().max_tape_bytes;
         peer.max_retries = 1;  // REPLPULL is idempotent by key
+        peer.request_timeout_ms = service_->config().replpull_deadline_ms;
+        peer.connect_timeout_ms = service_->config().replpull_deadline_ms;
         Client client(peer);
         Result<Response> pulled =
             client.Request("REPLPULL " + std::string(name));
@@ -280,6 +297,12 @@ bool LineProtocol::HandleLine(std::string_view input, std::string* out) {
           if (!have_tape) {
             Reply(out, "ERR DataCorruption: peer reply carried no TAPE "
                        "line");
+          } else if (max_tape != 0 && bytes.size() > max_tape) {
+            Reply(out, "ERR LimitExceeded: peer tape for '" +
+                           std::string(name) + "' is " +
+                           std::to_string(bytes.size()) +
+                           " bytes, over the " + std::to_string(max_tape) +
+                           "-byte replication transfer cap");
           } else {
             auto tape = service_->IngestTape(name, std::move(bytes));
             if (tape.ok()) {

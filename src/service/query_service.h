@@ -113,6 +113,16 @@ struct ServiceConfig {
   // armed). The default keeps the poll under the 2% ext_resilience
   // throughput bound on a 1-CPU box.
   uint32_t cancel_check_events = core::CancelToken::kCheckIntervalEvents;
+  // --- replication transfer bounds ---
+  // Cap on a serialized tape accepted by or served for a REPLPULL
+  // shard-to-shard transfer, bytes (0 = unlimited). An oversized tape
+  // fails the transfer with kLimitExceeded *before* ingest begins, so
+  // a runaway peer can neither wedge the puller's memory nor leave a
+  // half-installed tape.
+  size_t max_tape_bytes = 0;
+  // Deadline for the pull side of one REPLPULL transfer (connect +
+  // fetch from the source peer), milliseconds.
+  uint64_t replpull_deadline_ms = 5000;
   // --- standing-query pub/sub ---
   // Admission control: live standing subscriptions across all
   // subscribers.

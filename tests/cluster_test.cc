@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cluster/backend_pool.h"
+#include "cluster/gossip.h"
 #include "cluster/health.h"
 #include "cluster/router.h"
 #include "cluster/shard_map.h"
@@ -415,6 +416,56 @@ TEST(RouterTest, ProberDistinguishesSheddingFromDead) {
   ASSERT_TRUE(WaitFor([&] { return cluster.ActiveSessions() == 0; }));
   cluster.router->ProbeNow();
   EXPECT_EQ(cluster.router->shard_health(0), ShardHealth::kServing);
+}
+
+TEST(RouterTest, RiseThresholdKeepsTheRingStableUnderFlap) {
+  // Anti-flap hysteresis: a flapping shard (dead, briefly back, dead
+  // again) must not rejoin the ring on its first good probe and yank
+  // keys back and forth. With rise_threshold=3 the ring changes once
+  // on death and once on a *sustained* recovery — two remaps total,
+  // not one per flap.
+  RouterConfig base;
+  base.probe.fail_threshold = 1;
+  base.probe.rise_threshold = 3;
+  base.backend.connect_timeout_ms = 300;
+  base.backend.client_max_retries = 0;
+  ClusterHarness cluster(3, base);
+  auto handler = cluster.router->MakeHandler();
+  std::string out;
+  handler->HandleLine("RECORD flappy <r><a>f</a></r>", &out);
+  ASSERT_EQ(out.rfind("OK ", 0), 0u) << out;
+  size_t victim = *cluster.router->OwnerOf("flappy");
+
+  cluster.KillShard(victim);
+  cluster.router->ProbeNow();
+  ASSERT_EQ(cluster.router->shard_health(victim), ShardHealth::kDead);
+  size_t survivor = *cluster.router->OwnerOf("flappy");
+  ASSERT_NE(survivor, victim);
+
+  // The shard comes back, but one good probe is below the threshold:
+  // still dead, and the key stays put on the survivor.
+  cluster.RestartShard(victim);
+  cluster.router->ProbeNow();
+  EXPECT_EQ(cluster.router->shard_health(victim), ShardHealth::kDead);
+  EXPECT_EQ(*cluster.router->OwnerOf("flappy"), survivor);
+
+  // It flaps again: the success streak resets, so the next good probe
+  // after the outage is streak 1, not 3 — the ring never moved.
+  cluster.KillShard(victim);
+  cluster.router->ProbeNow();
+  EXPECT_EQ(cluster.router->shard_health(victim), ShardHealth::kDead);
+  cluster.RestartShard(victim);
+  cluster.router->ProbeNow();  // streak 1
+  EXPECT_EQ(cluster.router->shard_health(victim), ShardHealth::kDead);
+  EXPECT_EQ(*cluster.router->OwnerOf("flappy"), survivor);
+
+  // Sustained recovery: the threshold-th consecutive good probe
+  // resurrects the shard and the key finally moves home.
+  cluster.router->ProbeNow();  // streak 2
+  EXPECT_EQ(cluster.router->shard_health(victim), ShardHealth::kDead);
+  cluster.router->ProbeNow();  // streak 3: resurrect
+  EXPECT_EQ(cluster.router->shard_health(victim), ShardHealth::kServing);
+  EXPECT_EQ(*cluster.router->OwnerOf("flappy"), victim);
 }
 
 TEST(RouterTest, ScatterGatherMergesStatsAndMetricsExactly) {
@@ -892,6 +943,180 @@ TEST(ReplicationTest, ReplPullServesPullsAndSurvivesCorruptPayloads) {
   source_service.Shutdown();
   (*sink)->Stop();
   sink_service.Shutdown();
+}
+
+TEST(ReplicationTest, ReplPullEnforcesTheTapeByteCapOnBothSides) {
+  // --max-tape-bytes bounds the shard-to-shard transfer: an oversized
+  // tape is refused with a clean ERR LimitExceeded on the serve side
+  // AND on the pull side, and the puller never half-installs it.
+  ServiceConfig capped;
+  capped.max_tape_bytes = 64;  // far below any real tape image
+  QueryService source_service{ServiceConfig()};
+  auto source = Server::Create(&source_service, ServerConfig());
+  ASSERT_TRUE(source.ok());
+  QueryService capped_service{capped};
+  auto capped_server = Server::Create(&capped_service, ServerConfig());
+  ASSERT_TRUE(capped_server.ok());
+
+  ClientConfig source_config;
+  source_config.port = (*source)->port();
+  Client source_client(source_config);
+  auto recorded =
+      source_client.Request("RECORD big <r><a>payload-payload</a></r>");
+  ASSERT_TRUE(recorded.ok() && recorded->status.ok());
+
+  // Serve side: the capped daemon refuses to *send* an oversized tape.
+  ClientConfig capped_config;
+  capped_config.port = (*capped_server)->port();
+  Client capped_client(capped_config);
+  auto r = capped_client.Request("RECORD big <r><a>payload-payload</a></r>");
+  ASSERT_TRUE(r.ok() && r->status.ok());
+  auto served = capped_client.Request("REPLPULL big");
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served->status.code(), StatusCode::kLimitExceeded)
+      << served->status.ToString();
+
+  // Pull side: the capped daemon refuses to *install* one, and stays
+  // clean — no half-installed tape, no ingest counted.
+  ASSERT_TRUE(capped_service.EvictDocument("big").ok());
+  auto pulled = capped_client.Request(
+      "REPLPULL big 127.0.0.1:" + std::to_string((*source)->port()));
+  ASSERT_TRUE(pulled.ok());
+  EXPECT_EQ(pulled->status.code(), StatusCode::kLimitExceeded)
+      << pulled->status.ToString();
+  EXPECT_FALSE(capped_service.ServeTape("big").ok());
+  EXPECT_EQ(capped_service.stats().repl_ingests, 0u);
+
+  // An uncapped sink pulling the same tape goes through: the cap, not
+  // the transfer, is what failed above.
+  QueryService sink_service{ServiceConfig()};
+  auto sink = Server::Create(&sink_service, ServerConfig());
+  ASSERT_TRUE(sink.ok());
+  ClientConfig sink_config;
+  sink_config.port = (*sink)->port();
+  Client sink_client(sink_config);
+  auto fine = sink_client.Request(
+      "REPLPULL big 127.0.0.1:" + std::to_string((*source)->port()));
+  ASSERT_TRUE(fine.ok());
+  EXPECT_TRUE(fine->status.ok()) << fine->status.ToString();
+  EXPECT_TRUE(sink_service.ServeTape("big").ok());
+
+  (*source)->Stop();
+  source_service.Shutdown();
+  (*capped_server)->Stop();
+  capped_service.Shutdown();
+  (*sink)->Stop();
+  sink_service.Shutdown();
+}
+
+TEST(ReplicationTest, ReplPullDeadlineBoundsAStalledPeer) {
+  // A peer that accepts the connection and then never answers must not
+  // wedge the pulling shard's worker: --replpull-deadline-ms bounds the
+  // fetch and surfaces a clean error.
+  int stall_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(stall_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(stall_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(stall_fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ::getsockname(stall_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  uint16_t stall_port = ntohs(addr.sin_port);
+
+  ServiceConfig bounded;
+  bounded.replpull_deadline_ms = 300;
+  QueryService service{bounded};
+  auto server = Server::Create(&service, ServerConfig());
+  ASSERT_TRUE(server.ok());
+  ClientConfig config;
+  config.port = (*server)->port();
+  config.request_timeout_ms = 10000;  // the shard's deadline, not ours
+  Client client(config);
+
+  auto start = std::chrono::steady_clock::now();
+  auto pulled = client.Request("REPLPULL stuck 127.0.0.1:" +
+                               std::to_string(stall_port));
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_TRUE(pulled.ok());
+  EXPECT_FALSE(pulled->status.ok());
+  // Bounded by the 300ms deadline (plus slack), nowhere near the 5s
+  // default or an unbounded hang.
+  EXPECT_LT(elapsed, 2500) << "REPLPULL did not honor the deadline";
+
+  ::close(stall_fd);
+  (*server)->Stop();
+  service.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// The GOSSIP verb on the router's protocol surface. The merge algebra
+// and agent semantics live in gossip_test; here we pin the wire-level
+// behavior: routing state adopted from a peer's digest changes what
+// the router serves, and the metrics section reports the gossip plane.
+
+TEST(RouterTest, GossipVerbMergesARemoteDigestIntoTheRing) {
+  RouterConfig base;
+  base.gossip.enable = true;
+  base.gossip.start = false;  // no background thread: verb-driven only
+  ClusterHarness cluster(3, base);
+  auto handler = cluster.router->MakeHandler();
+  ASSERT_NE(cluster.router->gossip(), nullptr);
+
+  // A peer router observed shard 0 dead at a fresh epoch; its digest
+  // arriving over the verb must flip our ring within this one round.
+  cluster::GossipDigest remote = cluster.router->gossip()->Snapshot();
+  remote.shards[0].epoch += 1;
+  remote.shards[0].health = ShardHealth::kDead;
+  remote.keys["peer-doc"] = {1, false};
+  std::string out;
+  ASSERT_TRUE(handler->HandleLine("GOSSIP " + remote.EncodeWire(), &out));
+  EXPECT_EQ(out.rfind("DIGEST ", 0), 0u) << out;
+  EXPECT_NE(out.find("\nOK adopted=2\n"), std::string::npos) << out;
+  EXPECT_EQ(cluster.router->shard_health(0), ShardHealth::kDead);
+  EXPECT_EQ(cluster.router->replicator()->known_keys(), 1u);
+
+  // The reply's DIGEST line is our post-merge state: a second delivery
+  // of the same digest adopts nothing (idempotent on the wire too).
+  out.clear();
+  handler->HandleLine("GOSSIP " + remote.EncodeWire(), &out);
+  EXPECT_NE(out.find("\nOK adopted=0\n"), std::string::npos) << out;
+
+  // Malformed payloads answer ERR without disturbing the ring.
+  out.clear();
+  handler->HandleLine("GOSSIP", &out);
+  EXPECT_EQ(out.rfind("ERR ", 0), 0u) << out;
+  out.clear();
+  handler->HandleLine("GOSSIP corrupt-token", &out);
+  EXPECT_EQ(out.rfind("ERR ", 0), 0u) << out;
+  EXPECT_EQ(cluster.router->shard_health(1), ShardHealth::kServing);
+
+  // The gossip counters ride the router's own metrics section.
+  std::string body = cluster.router->MetricsText();
+  EXPECT_NE(body.find("xsq_router_gossip_rounds_total"), std::string::npos);
+  EXPECT_NE(body.find("xsq_router_gossip_merges_total 2"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("xsq_router_gossip_peer_down_total"),
+            std::string::npos);
+}
+
+TEST(RouterTest, GossipVerbIsNotSupportedWhenGossipIsOff) {
+  ClusterHarness cluster(2);
+  auto handler = cluster.router->MakeHandler();
+  std::string out;
+  handler->HandleLine("GOSSIP anything", &out);
+  EXPECT_EQ(out.rfind("ERR NotSupported", 0), 0u) << out;
+  // The metrics section still exposes the (zeroed) gossip families so
+  // dashboards need no conditional scrape config.
+  std::string body = cluster.router->MetricsText();
+  EXPECT_NE(body.find("xsq_router_gossip_rounds_total 0"),
+            std::string::npos);
 }
 
 TEST(ClusterReplFailPointsTest, ArmedSendSiteDropsJobsAndSweepHeals) {

@@ -1,0 +1,26 @@
+// libFuzzer harness for the GOSSIP verb surface: arbitrary bytes as
+// the single-token wire payload a peer router would send, driven
+// through the exact decode path the verb uses (unescape, CRC trailer
+// check, header and line parsing). Tokens that decode successfully are
+// additionally re-encoded and decoded again — wire canonicalization
+// must be lossless, so any fuzzer-discovered digest that survives
+// DecodeWire once must round-trip exactly.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "cluster/gossip.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view token(reinterpret_cast<const char*>(data), size);
+  auto decoded = xsq::cluster::GossipDigest::DecodeWire(token);
+  if (decoded.ok()) {
+    auto again =
+        xsq::cluster::GossipDigest::DecodeWire(decoded->EncodeWire());
+    if (!again.ok() || !(*again == *decoded)) __builtin_trap();
+  }
+  // The unescaped block parser is also reachable (DIGEST reply lines);
+  // raw bytes must never crash it.
+  (void)xsq::cluster::GossipDigest::Parse(token);
+  return 0;
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # The per-PR verification gate:
 #   1. builds the default tree, runs the full tier-1 ctest suite
-#      (including the ext_cluster and ext_replication process gates),
-#      then the cluster process smoke (3 forked xsqd shards +
-#      xsq_router driven through xsqctl, including SIGKILL failover
-#      and an rf=2 kill served entirely from replicas), then builds a
+#      (including the ext_cluster, ext_replication and ext_router_ha
+#      process gates), then the cluster process smoke (forked xsqd
+#      shards + xsq_router driven through xsqctl, including SIGKILL
+#      failover, an rf=2 kill served entirely from replicas, and a
+#      two-router gossip pair where killing router A fails the client
+#      over to router B), then builds a
 #      -DXSQ_SIMD=OFF tree and runs the scanner differential subset so
 #      the scalar/SWAR fallback paths stay event-identical;
 #   2. builds a ThreadSanitizer tree and re-runs the suite under TSan so
@@ -80,13 +82,15 @@ elif [ -z "$filter" ]; then
       -R 'Scan|SaxParser|ParserEdge|ChunkSplit|ExtremeInput')
 fi
 
-# Cluster leg: 3 xsqd shards + xsq_router as real processes over TCP,
+# Cluster leg: xsqd shards + xsq_router as real processes over TCP,
 # driven through xsqctl — a SIGKILL failover on the unreplicated
 # cluster, then an rf=2 cluster where a SIGKILL costs zero client
-# re-records because replicas hold every tape. (The in-process cluster
-# tests and the ext_cluster_smoke / ext_replication_smoke bench gates
-# are part of the ctest suite above and rerun under every sanitizer
-# tree below.)
+# re-records because replicas hold every tape, then a two-router
+# gossip pair where SIGKILLing router A fails xsqctl's --router=A,B
+# endpoint list over to router B. (The in-process cluster tests and
+# the ext_cluster_smoke / ext_replication_smoke / ext_router_ha_smoke
+# bench gates are part of the ctest suite above and rerun under every
+# sanitizer tree below.)
 if [ "${XSQ_SKIP_CLUSTER:-0}" = "1" ]; then
   echo "== cluster smoke skipped (XSQ_SKIP_CLUSTER=1)"
 elif [ -z "$filter" ]; then
@@ -177,9 +181,9 @@ else
     -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ >/dev/null
   cmake --build "$fuzz_dir" -j "$(nproc)" \
     --target fuzz_sax_parser fuzz_xpath_parser fuzz_tape_load \
-      fuzz_subscribe_verb
+      fuzz_subscribe_verb fuzz_gossip_verb
   for target in sax_parser:sax xpath_parser:xpath tape_load:tape \
-      subscribe_verb:subscribe; do
+      subscribe_verb:subscribe gossip_verb:gossip; do
     bin="$fuzz_dir/tests/fuzz/fuzz_${target%%:*}"
     corpus="tests/fuzz/corpus/${target##*:}"
     echo "== fuzz_${target%%:*} over $corpus"

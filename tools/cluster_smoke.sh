@@ -7,7 +7,10 @@
 # shard dies -9, re-recording and re-querying through the router must
 # succeed. A second cluster runs with --replication-factor=2 and must
 # keep serving every cached read after a SIGKILL with zero client
-# re-records. Run by tools/check.sh (cluster leg).
+# re-records. A third cluster runs TWO routers gossiping over --peers:
+# after SIGKILL -9 on router A, xsqctl's --router=A,B endpoint list
+# must fail over to router B and every cached read must still answer.
+# Run by tools/check.sh (cluster leg).
 set -u
 xsqd=${1:?usage: cluster_smoke.sh /path/to/xsqd /path/to/xsq_router /path/to/xsqctl}
 router=${2:?usage: cluster_smoke.sh /path/to/xsqd /path/to/xsq_router /path/to/xsqctl}
@@ -156,6 +159,76 @@ OK"
     echo "replicated read rdoc$i after SIGKILL mismatch: $got" >&2
     exit 1
   fi
+done
+
+# --- Router HA (two gossiping routers, client failover) ---------------
+# Two routers over the SAME two shards, each listing the other in
+# --peers so membership gossip runs both ways. RECORDs flow in through
+# router A; after SIGKILL -9 on A, the client's --router=A,B endpoint
+# list must fail over to B, which serves every cached read (both
+# routers computed the same ring, and the key index gossiped across).
+# Gossip needs both routers to know the other's port up front, so the
+# pair listens on pre-picked ports instead of --listen=0 (with a retry
+# loop in case a picked port is taken).
+pick_port() { echo $(( (RANDOM % 20000) + 20000 )); }
+boot "$workdir/h1" "$xsqd" --listen=0 --workers=2 || exit 1
+h1=$BOOT_PORT
+boot "$workdir/h2" "$xsqd" --listen=0 --workers=2 || exit 1
+h2=$BOOT_PORT
+ha_ok=0
+for attempt in 1 2 3 4 5; do
+  pa=$(pick_port)
+  pb=$(pick_port)
+  [ "$pa" = "$pb" ] && continue
+  boot "$workdir/ra$attempt" "$router" --listen="$pa" \
+    --shard=127.0.0.1:"$h1" --shard=127.0.0.1:"$h2" \
+    --peers=127.0.0.1:"$pb" --gossip-interval-ms=100 \
+    --probe-interval-ms=100 --probe-fail-threshold=1 || continue
+  ra_pid=${pids[${#pids[@]}-1]}
+  boot "$workdir/rb$attempt" "$router" --listen="$pb" \
+    --shard=127.0.0.1:"$h1" --shard=127.0.0.1:"$h2" \
+    --peers=127.0.0.1:"$pa" --gossip-interval-ms=100 \
+    --probe-interval-ms=100 --probe-fail-threshold=1 || continue
+  ha_ok=1
+  break
+done
+if [ "$ha_ok" != 1 ]; then
+  echo "could not boot the two-router pair on picked ports" >&2
+  exit 1
+fi
+ctlha() { "$xsqctl" --router=127.0.0.1:"$pa",127.0.0.1:"$pb" "$@"; }
+
+for i in 1 2 3; do
+  echo "<dblp><article><title>h$i</title></article></dblp>" \
+    | ctlha record "hdoc$i" >/dev/null || {
+      echo "HA RECORD hdoc$i through router A failed" >&2; exit 1; }
+done
+sleep 0.4  # a few 100ms gossip rounds carry the key index to router B
+
+kill -9 "$ra_pid"
+for i in 1 2 3; do
+  got=$(ctlha cached "hdoc$i" '/dblp/article/title/text()')
+  expected="ITEM h$i
+OK"
+  if [ "$got" != "$expected" ]; then
+    echo "HA failover cached hdoc$i mismatch: $got" >&2
+    exit 1
+  fi
+done
+# The survivor's own metrics must expose the gossip counters and note
+# the dead peer once its exchanges start failing.
+metrics=""
+for _ in $(seq 1 100); do
+  metrics=$("$xsqctl" --port="$pb" http-metrics)
+  case $metrics in *"xsq_router_gossip_peer_down_total 1"*) break ;; esac
+  sleep 0.05
+done
+for want in xsq_router_gossip_rounds_total xsq_router_gossip_merges_total \
+    "xsq_router_gossip_peer_down_total 1"; do
+  case $metrics in
+    *"$want"*) ;;
+    *) echo "survivor /metrics missing $want" >&2; exit 1 ;;
+  esac
 done
 
 echo "cluster_smoke: all green"
